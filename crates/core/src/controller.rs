@@ -1,0 +1,180 @@
+//! Shared controller plumbing: the frequency table produced by off-line
+//! analysis and the run-time stack of active settings.
+
+use mcd_profiling::edit::{NodeKey, ReconfigEvent};
+use mcd_sim::reconfig::FrequencySetting;
+use std::collections::HashMap;
+
+/// The table of per-node frequency settings produced by slowdown thresholding
+/// (the `N+1`-entry table of Section 3.4).
+#[derive(Debug, Clone, Default)]
+pub struct FrequencyTable {
+    entries: HashMap<NodeKey, FrequencySetting>,
+}
+
+impl FrequencyTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FrequencyTable::default()
+    }
+
+    /// Inserts (or replaces) the setting for `key`.
+    pub fn insert(&mut self, key: NodeKey, setting: FrequencySetting) {
+        self.entries.insert(key, setting);
+    }
+
+    /// Looks up the setting for `key`.
+    pub fn get(&self, key: NodeKey) -> Option<FrequencySetting> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, setting)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&NodeKey, &FrequencySetting)> {
+        self.entries.iter()
+    }
+}
+
+/// Run-time stack of active frequency settings.
+///
+/// Entering a reconfiguration point pushes its setting; leaving it pops and
+/// restores whatever is now on top (or the default setting — full speed —
+/// outside every long-running region).
+#[derive(Debug, Clone)]
+pub struct SettingStack {
+    default: FrequencySetting,
+    stack: Vec<(NodeKey, FrequencySetting)>,
+}
+
+impl SettingStack {
+    /// Creates a stack whose outermost setting is `default`.
+    pub fn new(default: FrequencySetting) -> Self {
+        SettingStack {
+            default,
+            stack: Vec::with_capacity(16),
+        }
+    }
+
+    /// The setting currently in force.
+    pub fn current(&self) -> FrequencySetting {
+        self.stack.last().map(|(_, s)| *s).unwrap_or(self.default)
+    }
+
+    /// Current nesting depth of active regions.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Applies a reconfiguration event against `table`. Returns the setting to
+    /// write to the register, or `None` when no register write is needed (the
+    /// key had no table entry and the effective setting is unchanged).
+    pub fn apply(&mut self, event: ReconfigEvent, table: &FrequencyTable) -> Option<FrequencySetting> {
+        let before = self.current();
+        match event {
+            ReconfigEvent::Enter(key) => {
+                let setting = table.get(key)?;
+                self.stack.push((key, setting));
+                Some(setting).filter(|s| *s != before)
+            }
+            ReconfigEvent::Exit(key) => {
+                // Pop the innermost matching frame (robust against truncated or
+                // slightly mismatched traces).
+                if let Some(pos) = self.stack.iter().rposition(|(k, _)| *k == key) {
+                    self.stack.remove(pos);
+                }
+                let after = self.current();
+                if after != before {
+                    Some(after)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl Default for SettingStack {
+    fn default() -> Self {
+        SettingStack::new(FrequencySetting::full_speed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_profiling::call_tree::NodeId;
+    use mcd_sim::domain::Domain;
+    use mcd_sim::time::MegaHertz;
+
+    fn key(i: u32) -> NodeKey {
+        NodeKey::TreeNode(NodeId(i))
+    }
+
+    fn setting(mhz: f64) -> FrequencySetting {
+        FrequencySetting::uniform(MegaHertz::new(mhz))
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = FrequencyTable::new();
+        assert!(t.is_empty());
+        t.insert(key(1), setting(500.0));
+        t.insert(key(2), setting(750.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(key(1)), Some(setting(500.0)));
+        assert_eq!(t.get(key(9)), None);
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn stack_enters_and_restores() {
+        let mut table = FrequencyTable::new();
+        table.insert(key(1), setting(500.0));
+        table.insert(key(2), setting(250.0));
+        let mut stack = SettingStack::default();
+
+        let w1 = stack.apply(ReconfigEvent::Enter(key(1)), &table);
+        assert_eq!(w1, Some(setting(500.0)));
+        let w2 = stack.apply(ReconfigEvent::Enter(key(2)), &table);
+        assert_eq!(w2, Some(setting(250.0)));
+        assert_eq!(stack.depth(), 2);
+
+        // Leaving the inner region restores the outer one.
+        let w3 = stack.apply(ReconfigEvent::Exit(key(2)), &table);
+        assert_eq!(w3, Some(setting(500.0)));
+        // Leaving the outer region restores full speed.
+        let w4 = stack.apply(ReconfigEvent::Exit(key(1)), &table);
+        assert_eq!(w4, Some(FrequencySetting::full_speed()));
+        assert_eq!(stack.depth(), 0);
+    }
+
+    #[test]
+    fn unknown_key_is_ignored() {
+        let table = FrequencyTable::new();
+        let mut stack = SettingStack::default();
+        assert_eq!(stack.apply(ReconfigEvent::Enter(key(7)), &table), None);
+        assert_eq!(stack.depth(), 0);
+        assert_eq!(stack.apply(ReconfigEvent::Exit(key(7)), &table), None);
+    }
+
+    #[test]
+    fn redundant_writes_are_suppressed() {
+        let mut table = FrequencyTable::new();
+        table.insert(key(1), setting(600.0));
+        table.insert(key(2), setting(600.0));
+        let mut stack = SettingStack::default();
+        assert!(stack.apply(ReconfigEvent::Enter(key(1)), &table).is_some());
+        // Entering a nested region with the same setting does not need a write.
+        assert_eq!(stack.apply(ReconfigEvent::Enter(key(2)), &table), None);
+        assert_eq!(stack.apply(ReconfigEvent::Exit(key(2)), &table), None);
+    }
+}

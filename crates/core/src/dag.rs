@@ -1,0 +1,295 @@
+//! Dependence-DAG view of a recorded event trace, as consumed by the shaker.
+//!
+//! The simulator records [`PrimitiveEvent`]s and forward dependence edges
+//! during a full-speed profiling run. The shaker works on a mutable copy of
+//! those events: each event can be *stretched* (run at a lower event-specific
+//! frequency) and repositioned within the window bounded by its producers and
+//! consumers.
+
+use mcd_sim::domain::Domain;
+use mcd_sim::events::{EventTrace, PrimitiveEvent};
+use mcd_sim::time::TimeNs;
+
+/// One event of the analysis DAG, carrying its mutable schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagEvent {
+    /// Clock domain that performs the work.
+    pub domain: Domain,
+    /// Current scheduled start time.
+    pub start: TimeNs,
+    /// Current scheduled end time.
+    pub end: TimeNs,
+    /// Original duration at full speed.
+    pub nominal_duration: TimeNs,
+    /// Work in domain cycles at full speed.
+    pub cycles: f64,
+    /// Original (unscaled) power factor.
+    pub nominal_power: f64,
+    /// Current stretch factor (1.0 = full speed, 4.0 = quarter frequency).
+    pub scale: f64,
+}
+
+impl DagEvent {
+    /// The event's current power factor (scaled down as it is stretched).
+    pub fn power_factor(&self) -> f64 {
+        self.nominal_power / self.scale
+    }
+
+    /// The event's current duration.
+    pub fn duration(&self) -> TimeNs {
+        self.nominal_duration * self.scale
+    }
+
+    /// The effective frequency this event has been scaled to, given the
+    /// full-speed frequency `f_max` in MHz.
+    pub fn effective_frequency_mhz(&self, f_max: f64) -> f64 {
+        f_max / self.scale
+    }
+}
+
+/// The dependence DAG for one analysis region (call-tree node instance set or
+/// fixed interval).
+#[derive(Debug, Clone, Default)]
+pub struct DependenceDag {
+    events: Vec<DagEvent>,
+    /// Outgoing adjacency: for each event, the events that consume it.
+    successors: Vec<Vec<u32>>,
+    /// Incoming adjacency: for each event, the events it depends on.
+    predecessors: Vec<Vec<u32>>,
+    region_start: TimeNs,
+    region_end: TimeNs,
+}
+
+impl DependenceDag {
+    /// Builds the DAG from a recorded event trace (typically a region slice).
+    pub fn from_trace(trace: &EventTrace) -> Self {
+        let events: Vec<DagEvent> = trace.events().iter().map(DagEvent::from).collect();
+        let n = events.len();
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors = vec![Vec::new(); n];
+        for edge in trace.edges() {
+            successors[edge.from as usize].push(edge.to);
+            predecessors[edge.to as usize].push(edge.from);
+        }
+        let region_start = events
+            .iter()
+            .map(|e| e.start.as_ns())
+            .fold(f64::INFINITY, f64::min);
+        let region_end = events
+            .iter()
+            .map(|e| e.end.as_ns())
+            .fold(f64::NEG_INFINITY, f64::max);
+        DependenceDag {
+            events,
+            successors,
+            predecessors,
+            region_start: if n == 0 {
+                TimeNs::ZERO
+            } else {
+                TimeNs::new(region_start)
+            },
+            region_end: if n == 0 {
+                TimeNs::ZERO
+            } else {
+                TimeNs::new(region_end)
+            },
+        }
+    }
+
+    /// Number of events in the DAG.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the DAG has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events (current schedule).
+    pub fn events(&self) -> &[DagEvent] {
+        &self.events
+    }
+
+    /// Mutable access to one event.
+    pub(crate) fn event_mut(&mut self, idx: usize) -> &mut DagEvent {
+        &mut self.events[idx]
+    }
+
+    /// The region's start time (earliest event start in the original schedule).
+    pub fn region_start(&self) -> TimeNs {
+        self.region_start
+    }
+
+    /// The region's end time (latest event end in the original schedule).
+    pub fn region_end(&self) -> TimeNs {
+        self.region_end
+    }
+
+    /// Lower bound for event `idx`'s start time: the latest end of its
+    /// producers (or the region start if it has none).
+    pub fn lower_bound(&self, idx: usize) -> TimeNs {
+        self.predecessors[idx]
+            .iter()
+            .map(|&p| self.events[p as usize].end)
+            .fold(self.region_start, TimeNs::max)
+    }
+
+    /// Upper bound for event `idx`'s end time: the earliest start of its
+    /// consumers (or the region end if it has none).
+    pub fn upper_bound(&self, idx: usize) -> TimeNs {
+        self.successors[idx]
+            .iter()
+            .map(|&s| self.events[s as usize].start)
+            .fold(self.region_end, TimeNs::min)
+    }
+
+    /// The slack currently available to event `idx`: the span between its
+    /// bounds minus its current duration (never negative).
+    pub fn slack(&self, idx: usize) -> TimeNs {
+        let span = self.upper_bound(idx).saturating_sub(self.lower_bound(idx));
+        span.saturating_sub(self.events[idx].duration())
+    }
+
+    /// Total slack across all events (a convergence measure for the shaker).
+    pub fn total_slack(&self) -> TimeNs {
+        let mut total = TimeNs::ZERO;
+        for i in 0..self.events.len() {
+            total += self.slack(i);
+        }
+        total
+    }
+
+    /// Event indices sorted by original start time (forward pass order).
+    pub fn forward_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.events.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.events[a]
+                .start
+                .partial_cmp(&self.events[b].start)
+                .expect("times are not NaN")
+        });
+        idx
+    }
+
+    /// Event indices sorted by original end time, descending (backward pass).
+    pub fn backward_order(&self) -> Vec<usize> {
+        let mut idx = self.forward_order();
+        idx.reverse();
+        idx
+    }
+
+    /// The maximum nominal power factor over all events (the shaker's starting
+    /// threshold is set just below this).
+    pub fn max_power_factor(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.nominal_power)
+            .fold(0.0, f64::max)
+    }
+
+    /// The minimum nominal power factor over all events.
+    pub fn min_power_factor(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.nominal_power)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl From<&PrimitiveEvent> for DagEvent {
+    fn from(e: &PrimitiveEvent) -> Self {
+        DagEvent {
+            domain: e.domain,
+            start: e.start,
+            end: e.end,
+            nominal_duration: e.end.saturating_sub(e.start),
+            cycles: e.cycles,
+            nominal_power: e.power_factor,
+            scale: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_sim::events::{EventKind, EventTrace};
+
+    fn ev(domain: Domain, start: f64, end: f64, power: f64) -> PrimitiveEvent {
+        PrimitiveEvent {
+            instr_index: 0,
+            kind: EventKind::Execute,
+            domain,
+            start: TimeNs::new(start),
+            end: TimeNs::new(end),
+            cycles: end - start,
+            power_factor: power,
+            region: 0,
+        }
+    }
+
+    /// A chain a -> b plus an off-critical-path event c (id 1) feeding b (id 2).
+    fn small_trace() -> EventTrace {
+        let mut t = EventTrace::new();
+        let a = t.push_event(ev(Domain::Integer, 0.0, 2.0, 0.24));
+        let c = t.push_event(ev(Domain::FloatingPoint, 0.0, 1.0, 0.14));
+        let b = t.push_event(ev(Domain::Integer, 6.0, 8.0, 0.24));
+        t.push_edge(a, b);
+        t.push_edge(c, b);
+        t
+    }
+
+    #[test]
+    fn bounds_and_slack() {
+        let dag = DependenceDag::from_trace(&small_trace());
+        assert_eq!(dag.len(), 3);
+        assert_eq!(dag.region_start().as_ns(), 0.0);
+        assert_eq!(dag.region_end().as_ns(), 8.0);
+        // Event a: bound above by b.start (6.0) => slack 6 - 0 - 2 = 4.
+        assert_eq!(dag.slack(0).as_ns(), 4.0);
+        // Event c: bound above by b.start (6.0) => slack 5.
+        assert_eq!(dag.slack(1).as_ns(), 5.0);
+        // Event b: bounded below by max(a.end, c.end) = 2, above by region end 8.
+        assert_eq!(dag.lower_bound(2).as_ns(), 2.0);
+        assert_eq!(dag.slack(2).as_ns(), 4.0);
+        assert!(dag.total_slack().as_ns() > 0.0);
+    }
+
+    #[test]
+    fn stretching_consumes_slack_and_reduces_power() {
+        let mut dag = DependenceDag::from_trace(&small_trace());
+        let before = dag.slack(1);
+        {
+            let e = dag.event_mut(1);
+            e.scale = 4.0;
+            e.end = e.start + e.duration();
+        }
+        assert!(dag.slack(1) < before);
+        assert!((dag.events()[1].power_factor() - 0.14 / 4.0).abs() < 1e-12);
+        assert!((dag.events()[1].effective_frequency_mhz(1000.0) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orders_cover_all_events() {
+        let dag = DependenceDag::from_trace(&small_trace());
+        assert_eq!(dag.forward_order().len(), 3);
+        assert_eq!(dag.backward_order().len(), 3);
+        let first = dag.forward_order()[0];
+        assert!(first == 0 || first == 1, "an event starting at t=0 comes first");
+    }
+
+    #[test]
+    fn empty_trace_is_empty_dag() {
+        let dag = DependenceDag::from_trace(&EventTrace::new());
+        assert!(dag.is_empty());
+        assert_eq!(dag.total_slack(), TimeNs::ZERO);
+    }
+
+    #[test]
+    fn power_factor_extremes() {
+        let dag = DependenceDag::from_trace(&small_trace());
+        assert!((dag.max_power_factor() - 0.24).abs() < 1e-12);
+        assert!((dag.min_power_factor() - 0.14).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,307 @@
+//! The evaluation pipeline: everything needed to regenerate the paper's
+//! figures for one benchmark.
+//!
+//! All metrics are reported relative to the *baseline MCD processor*: the same
+//! machine, synchronization penalties included, with every domain at full
+//! speed, running the reference input.
+
+use crate::global_dvs::{run_global_dvs, GlobalDvsResult};
+use crate::offline::{run_offline, OfflineConfig};
+use crate::online::{OnlineConfig, OnlineController};
+use crate::profile::{train, TrainingConfig};
+use mcd_profiling::context::ContextPolicy;
+use mcd_sim::config::MachineConfig;
+use mcd_sim::instruction::TraceItem;
+use mcd_sim::simulator::{NullHooks, Simulator};
+use mcd_sim::stats::{RelativeMetrics, SimStats};
+use mcd_workloads::generator::generate_trace;
+use mcd_workloads::suite::Benchmark;
+
+/// Result of one reconfiguration scheme on one benchmark.
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    /// Raw statistics of the controlled run.
+    pub stats: SimStats,
+    /// Metrics relative to the MCD full-speed baseline.
+    pub metrics: RelativeMetrics,
+}
+
+impl SchemeResult {
+    fn new(stats: SimStats, baseline: &SimStats) -> Self {
+        let metrics = RelativeMetrics::relative_to(&stats, baseline);
+        SchemeResult { stats, metrics }
+    }
+}
+
+/// Configuration of a full evaluation.
+#[derive(Debug, Clone)]
+pub struct EvaluationConfig {
+    /// Machine model (Table 1).
+    pub machine: MachineConfig,
+    /// Training parameters for the profile-driven scheme.
+    pub training: TrainingConfig,
+    /// Off-line-oracle parameters.
+    pub offline: OfflineConfig,
+    /// On-line attack–decay parameters.
+    pub online: OnlineConfig,
+    /// Whether to also evaluate the global-DVS baseline (Figure 7).
+    pub include_global: bool,
+}
+
+impl Default for EvaluationConfig {
+    fn default() -> Self {
+        EvaluationConfig {
+            machine: MachineConfig::default(),
+            training: TrainingConfig::default(),
+            offline: OfflineConfig::default(),
+            online: OnlineConfig::default(),
+            include_global: false,
+        }
+    }
+}
+
+impl EvaluationConfig {
+    /// Sets the slowdown target of both off-line and profile-driven analysis.
+    pub fn with_slowdown(mut self, slowdown: f64) -> Self {
+        self.training.slowdown = slowdown;
+        self.offline.slowdown = slowdown;
+        self
+    }
+
+    /// Sets the calling-context policy of the profile-driven scheme.
+    pub fn with_policy(mut self, policy: ContextPolicy) -> Self {
+        self.training.policy = policy;
+        self
+    }
+}
+
+/// The complete evaluation of one benchmark (one group of bars in Figures
+/// 4–6, plus the global-DVS point of Figure 7).
+#[derive(Debug, Clone)]
+pub struct BenchmarkEvaluation {
+    /// Benchmark name.
+    pub name: String,
+    /// Full-speed MCD baseline statistics on the reference input.
+    pub baseline: SimStats,
+    /// The off-line oracle.
+    pub offline: SchemeResult,
+    /// The on-line attack–decay controller.
+    pub online: SchemeResult,
+    /// Profile-driven reconfiguration (trained on the training input).
+    pub profile: SchemeResult,
+    /// Global (whole-chip) DVS matched to the off-line run time, if requested.
+    pub global: Option<SchemeResult>,
+    /// Number of reconfiguration-register writes in the profile-driven run.
+    pub profile_reconfigurations: u64,
+}
+
+/// Runs the full-speed MCD baseline on the benchmark's reference input.
+pub fn run_baseline(bench: &Benchmark, machine: &MachineConfig) -> SimStats {
+    let trace = generate_trace(&bench.program, &bench.inputs.reference);
+    Simulator::new(machine.clone())
+        .run(trace, &mut NullHooks, false)
+        .stats
+}
+
+/// Evaluates all schemes on one benchmark.
+pub fn evaluate_benchmark(bench: &Benchmark, config: &EvaluationConfig) -> BenchmarkEvaluation {
+    let machine = &config.machine;
+    let reference_trace = generate_trace(&bench.program, &bench.inputs.reference);
+    let simulator = Simulator::new(machine.clone());
+
+    // Baseline MCD at full speed.
+    let baseline = simulator
+        .run(reference_trace.iter().copied(), &mut NullHooks, false)
+        .stats;
+
+    // Off-line oracle (perfect knowledge of the reference run).
+    let offline = run_offline(&reference_trace, machine, &config.offline);
+    let offline_result = SchemeResult::new(offline.stats.clone(), &baseline);
+
+    // On-line attack–decay controller.
+    let mut online_controller = OnlineController::new(config.online);
+    let online_stats = simulator
+        .run(reference_trace.iter().copied(), &mut online_controller, false)
+        .stats;
+    let online_result = SchemeResult::new(online_stats, &baseline);
+
+    // Profile-driven reconfiguration, trained on the training input.
+    let plan = train(
+        &bench.program,
+        &bench.inputs.training,
+        machine,
+        &config.training,
+    );
+    let mut profile_hooks = plan.hooks();
+    let profile_stats = simulator
+        .run(reference_trace.iter().copied(), &mut profile_hooks, false)
+        .stats;
+    let profile_reconfigurations = profile_stats.reconfigurations;
+    let profile_result = SchemeResult::new(profile_stats, &baseline);
+
+    // Global DVS matched to the off-line run time.
+    let global = if config.include_global {
+        let g: GlobalDvsResult = run_global_dvs(
+            &reference_trace,
+            machine,
+            baseline.run_time.as_ns(),
+            offline_result.stats.run_time.as_ns(),
+        );
+        Some(SchemeResult::new(g.stats, &baseline))
+    } else {
+        None
+    };
+
+    BenchmarkEvaluation {
+        name: bench.name.to_string(),
+        baseline,
+        offline: offline_result,
+        online: online_result,
+        profile: profile_result,
+        global,
+        profile_reconfigurations,
+    }
+}
+
+/// Evaluates only the profile-driven scheme (used by the context-sensitivity
+/// study of Figures 8 and 9, which sweeps the policy).
+pub fn evaluate_profile(
+    bench: &Benchmark,
+    config: &EvaluationConfig,
+    baseline: &SimStats,
+) -> SchemeResult {
+    let machine = &config.machine;
+    let plan = train(
+        &bench.program,
+        &bench.inputs.training,
+        machine,
+        &config.training,
+    );
+    let trace = generate_trace(&bench.program, &bench.inputs.reference);
+    let mut hooks = plan.hooks();
+    let stats = Simulator::new(machine.clone())
+        .run(trace, &mut hooks, false)
+        .stats;
+    SchemeResult::new(stats, baseline)
+}
+
+/// The MCD processor's inherent penalty versus a globally synchronous design
+/// (both at full speed): `(performance_penalty, energy_penalty)` as fractions.
+pub fn mcd_baseline_penalty(bench: &Benchmark, machine: &MachineConfig) -> (f64, f64) {
+    let trace = generate_trace(&bench.program, &bench.inputs.reference);
+    let mcd = Simulator::new(machine.clone())
+        .run(trace.iter().copied(), &mut NullHooks, false)
+        .stats;
+    let synchronous_machine = machine.to_builder().synchronization(false).build();
+    let synchronous = Simulator::new(synchronous_machine)
+        .run(trace.iter().copied(), &mut NullHooks, false)
+        .stats;
+    let perf = mcd.run_time.as_ns() / synchronous.run_time.as_ns() - 1.0;
+    let energy = mcd.total_energy.as_units() / synchronous.total_energy.as_units() - 1.0;
+    (perf, energy)
+}
+
+/// Summary statistics (minimum, maximum, average) over a set of values —
+/// the error bars of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of values. Returns the default (all zeros) for an
+    /// empty slice.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        Summary { min, max, mean }
+    }
+}
+
+/// Convenience wrapper: baseline + controlled statistics for an arbitrary
+/// externally produced run (used by the benchmark harness for ad-hoc
+/// comparisons).
+pub fn relative(stats: &SimStats, baseline: &SimStats) -> RelativeMetrics {
+    RelativeMetrics::relative_to(stats, baseline)
+}
+
+/// Runs an arbitrary trace at full speed on the given machine (helper for the
+/// harness and the examples).
+pub fn run_trace_baseline(trace: &[TraceItem], machine: &MachineConfig) -> SimStats {
+    Simulator::new(machine.clone())
+        .run(trace.iter().copied(), &mut NullHooks, false)
+        .stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_workloads::suite;
+
+    /// A reduced evaluation of one small benchmark exercises every scheme.
+    #[test]
+    fn full_pipeline_on_adpcm_decode() {
+        let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+        let config = EvaluationConfig {
+            include_global: true,
+            ..EvaluationConfig::default()
+        };
+        let eval = evaluate_benchmark(&bench, &config);
+
+        assert!(eval.baseline.instructions > 50_000);
+        // Every MCD scheme should save energy on this FP-idle benchmark.
+        assert!(eval.offline.metrics.energy_savings > 0.05);
+        assert!(eval.profile.metrics.energy_savings > 0.05);
+        assert!(eval.online.metrics.energy_savings > 0.0);
+        // Profile-driven results should be in the vicinity of the oracle.
+        assert!(
+            eval.profile.metrics.energy_savings > eval.offline.metrics.energy_savings * 0.5,
+            "profile {:.1}% vs offline {:.1}%",
+            eval.profile.metrics.energy_savings_percent(),
+            eval.offline.metrics.energy_savings_percent()
+        );
+        // Slowdowns stay bounded.
+        for m in [
+            &eval.offline.metrics,
+            &eval.profile.metrics,
+            &eval.online.metrics,
+        ] {
+            assert!(m.performance_degradation < 0.3);
+            assert!(m.performance_degradation > -0.05);
+        }
+        assert!(eval.profile_reconfigurations > 0);
+        let global = eval.global.expect("global requested");
+        assert!(
+            global.metrics.energy_savings < eval.offline.metrics.energy_savings,
+            "per-domain scaling should beat whole-chip scaling"
+        );
+    }
+
+    #[test]
+    fn mcd_penalty_is_small_but_positive() {
+        let bench = suite::benchmark("gsm decode").expect("known benchmark");
+        let (perf, energy) = mcd_baseline_penalty(&bench, &MachineConfig::default());
+        assert!(perf > 0.0, "MCD must be slower than fully synchronous");
+        assert!(perf < 0.1, "MCD penalty should be a few percent, got {perf}");
+        assert!(energy > -0.02, "energy penalty should not be strongly negative");
+        assert!(energy < 0.1);
+    }
+
+    #[test]
+    fn summary_of_values() {
+        let s = Summary::of(&[1.0, 3.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+}

@@ -1,0 +1,153 @@
+//! The global (whole-chip) dynamic voltage scaling baseline.
+//!
+//! Figure 7 compares the MCD schemes against a conventional single-clock
+//! processor with chip-wide DVS, scaled so that each benchmark takes
+//! approximately the same total time as it does under the off-line MCD
+//! algorithm: if the application needs 100 s with the off-line algorithm but
+//! only 95 s on the single-clock processor at full speed, the "global" result
+//! runs the single-clock processor at 95% of its maximum frequency. This
+//! isolates the benefit of *per-domain* scaling from the benefit of scaling at
+//! all.
+
+use mcd_sim::config::MachineConfig;
+use mcd_sim::instruction::TraceItem;
+use mcd_sim::reconfig::FrequencySetting;
+use mcd_sim::simulator::{SimHooks, Simulator};
+use mcd_sim::stats::SimStats;
+use mcd_sim::time::MegaHertz;
+
+/// Hooks that pin every domain to a single, uniform frequency for the whole
+/// run (whole-chip DVS).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalDvsHooks {
+    frequency: MegaHertz,
+}
+
+impl GlobalDvsHooks {
+    /// Creates hooks that run the whole chip at `frequency`.
+    pub fn new(frequency: MegaHertz) -> Self {
+        GlobalDvsHooks { frequency }
+    }
+
+    /// The uniform frequency.
+    pub fn frequency(&self) -> MegaHertz {
+        self.frequency
+    }
+}
+
+impl SimHooks for GlobalDvsHooks {
+    fn initial_setting(&self) -> Option<FrequencySetting> {
+        Some(FrequencySetting::uniform(self.frequency))
+    }
+}
+
+/// Result of the global-DVS baseline for one benchmark.
+#[derive(Debug, Clone)]
+pub struct GlobalDvsResult {
+    /// The uniform frequency chosen to match the target run time.
+    pub frequency: MegaHertz,
+    /// Statistics of the run at that frequency.
+    pub stats: SimStats,
+}
+
+/// Runs the global-DVS baseline: picks the uniform frequency whose run time
+/// approximately matches `target_run_time_ns` (the off-line algorithm's run
+/// time on the same trace) and simulates the whole trace at that frequency.
+///
+/// The frequency is found by scaling the full-speed run time: a single-clock
+/// processor at fraction `x` of full frequency takes roughly `1/x` as long on
+/// compute-bound code, so `x ≈ T_fullspeed / T_target`, clamped to the legal
+/// range and refined with one corrective iteration to account for the portions
+/// of run time (main memory) that do not scale with the core clock.
+pub fn run_global_dvs(
+    trace: &[TraceItem],
+    machine: &MachineConfig,
+    fullspeed_run_time_ns: f64,
+    target_run_time_ns: f64,
+) -> GlobalDvsResult {
+    let simulator = Simulator::new(machine.clone());
+    let grid = &machine.grid;
+
+    let fraction = (fullspeed_run_time_ns / target_run_time_ns).clamp(0.25, 1.0);
+    let mut frequency = grid.quantize_up(MegaHertz::new(grid.max().as_mhz() * fraction));
+    let mut result = simulator.run(
+        trace.iter().copied(),
+        &mut GlobalDvsHooks::new(frequency),
+        false,
+    );
+
+    // One refinement step: if we overshot the target run time (memory-bound
+    // code does not slow down linearly), nudge the frequency accordingly.
+    if result.stats.run_time.as_ns() > target_run_time_ns * 1.02
+        && frequency.as_mhz() < grid.max().as_mhz()
+    {
+        let correction = result.stats.run_time.as_ns() / target_run_time_ns;
+        frequency = grid.quantize_up(MegaHertz::new(
+            (frequency.as_mhz() * correction).min(grid.max().as_mhz()),
+        ));
+        result = simulator.run(
+            trace.iter().copied(),
+            &mut GlobalDvsHooks::new(frequency),
+            false,
+        );
+    }
+
+    GlobalDvsResult {
+        frequency,
+        stats: result.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_sim::simulator::NullHooks;
+    use mcd_workloads::generator::generate_trace;
+    use mcd_workloads::programs;
+
+    #[test]
+    fn global_dvs_matches_target_run_time_roughly() {
+        let (program, inputs) = programs::gsm::decode();
+        let trace: Vec<_> = generate_trace(&program, &inputs.training)
+            .into_iter()
+            .take(80_000)
+            .collect();
+        let machine = MachineConfig::default();
+        let baseline = Simulator::new(machine.clone())
+            .run(trace.iter().copied(), &mut NullHooks, false)
+            .stats;
+        // Pretend the off-line algorithm was 7% slower than full speed.
+        let target = baseline.run_time.as_ns() * 1.07;
+        let result = run_global_dvs(&trace, &machine, baseline.run_time.as_ns(), target);
+        assert!(result.frequency.as_mhz() < 1000.0);
+        let achieved = result.stats.run_time.as_ns();
+        assert!(
+            achieved <= target * 1.1,
+            "global DVS run time {achieved} should approximate the target {target}"
+        );
+        assert!(
+            result.stats.total_energy.as_units() < baseline.total_energy.as_units(),
+            "running the whole chip slower must save energy"
+        );
+    }
+
+    #[test]
+    fn full_speed_target_keeps_full_frequency() {
+        let (program, inputs) = programs::adpcm::encode();
+        let trace: Vec<_> = generate_trace(&program, &inputs.training)
+            .into_iter()
+            .take(40_000)
+            .collect();
+        let machine = MachineConfig::default();
+        let baseline = Simulator::new(machine.clone())
+            .run(trace.iter().copied(), &mut NullHooks, false)
+            .stats;
+        let result = run_global_dvs(
+            &trace,
+            &machine,
+            baseline.run_time.as_ns(),
+            baseline.run_time.as_ns(),
+        );
+        assert_eq!(result.frequency.as_mhz(), 1000.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-domain frequency histograms produced by the shaker.
+//!
+//! After shaking a region's dependence DAG, every event has been scaled to run
+//! "at or near" some frequency. The histogram records, for each hardware
+//! frequency step and each domain, the total number of full-speed cycles of
+//! work that was scaled to that step. Histograms of multiple dynamic instances
+//! of the same call-tree node are merged by simple addition before slowdown
+//! thresholding.
+
+use mcd_sim::domain::{Domain, PerDomain};
+use mcd_sim::freq::FrequencyGrid;
+use mcd_sim::time::MegaHertz;
+
+/// Cycles-per-frequency-step histogram for a single clock domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainHistogram {
+    grid: FrequencyGrid,
+    bins: Vec<f64>,
+}
+
+impl DomainHistogram {
+    /// Creates an empty histogram over the given frequency grid.
+    pub fn new(grid: FrequencyGrid) -> Self {
+        let bins = vec![0.0; grid.len()];
+        DomainHistogram { grid, bins }
+    }
+
+    /// The frequency grid this histogram is defined over.
+    pub fn grid(&self) -> &FrequencyGrid {
+        &self.grid
+    }
+
+    /// Adds `cycles` of work scaled to (approximately) `frequency`.
+    pub fn add(&mut self, frequency: MegaHertz, cycles: f64) {
+        if cycles <= 0.0 {
+            return;
+        }
+        let nearest = self.grid.quantize_nearest(frequency);
+        let idx = ((nearest.as_mhz() - self.grid.min().as_mhz()) / self.grid.step().as_mhz())
+            .round() as usize;
+        let last = self.bins.len() - 1;
+        self.bins[idx.min(last)] += cycles;
+    }
+
+    /// Cycles recorded at the `i`-th frequency step.
+    pub fn bin(&self, i: usize) -> f64 {
+        self.bins[i]
+    }
+
+    /// Total cycles recorded.
+    pub fn total_cycles(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Total execution time (in nanoseconds) of the recorded work if every
+    /// event ran at its scaled ("ideal") frequency.
+    pub fn ideal_time_ns(&self) -> f64 {
+        self.grid
+            .iter()
+            .enumerate()
+            .map(|(i, f)| self.bins[i] * 1_000.0 / f.as_mhz())
+            .sum()
+    }
+
+    /// Merges another histogram into this one (bin-wise addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids differ.
+    pub fn merge(&mut self, other: &DomainHistogram) {
+        assert_eq!(self.grid, other.grid, "histograms must share a grid");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+    }
+
+    /// Iterates `(frequency, cycles)` pairs from the lowest step up.
+    pub fn iter(&self) -> impl Iterator<Item = (MegaHertz, f64)> + '_ {
+        self.grid.iter().zip(self.bins.iter().copied())
+    }
+
+    /// True if no work has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total_cycles() <= 0.0
+    }
+}
+
+/// Histograms for all scalable domains of one analysis region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionHistograms {
+    domains: PerDomain<DomainHistogram>,
+}
+
+impl RegionHistograms {
+    /// Creates empty histograms over the given grid.
+    pub fn new(grid: &FrequencyGrid) -> Self {
+        RegionHistograms {
+            domains: PerDomain::from_fn(|_| DomainHistogram::new(grid.clone())),
+        }
+    }
+
+    /// The histogram of one domain.
+    pub fn domain(&self, domain: Domain) -> &DomainHistogram {
+        &self.domains[domain]
+    }
+
+    /// Mutable access to the histogram of one domain.
+    pub fn domain_mut(&mut self, domain: Domain) -> &mut DomainHistogram {
+        &mut self.domains[domain]
+    }
+
+    /// Merges another region's histograms into this one.
+    pub fn merge(&mut self, other: &RegionHistograms) {
+        for d in Domain::ALL {
+            self.domains[d].merge(&other.domains[d]);
+        }
+    }
+
+    /// Total cycles across all domains.
+    pub fn total_cycles(&self) -> f64 {
+        Domain::ALL
+            .iter()
+            .map(|&d| self.domains[d].total_cycles())
+            .sum()
+    }
+
+    /// True if no work has been recorded in any domain.
+    pub fn is_empty(&self) -> bool {
+        self.total_cycles() <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> FrequencyGrid {
+        FrequencyGrid::default()
+    }
+
+    #[test]
+    fn add_and_total() {
+        let mut h = DomainHistogram::new(grid());
+        h.add(MegaHertz::new(1000.0), 100.0);
+        h.add(MegaHertz::new(500.0), 50.0);
+        h.add(MegaHertz::new(497.0), 10.0); // quantizes to 500
+        assert!((h.total_cycles() - 160.0).abs() < 1e-9);
+        let at_500: f64 = h
+            .iter()
+            .filter(|(f, _)| (f.as_mhz() - 500.0).abs() < 1e-9)
+            .map(|(_, c)| c)
+            .sum();
+        assert!((at_500 - 60.0).abs() < 1e-9);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn zero_or_negative_cycles_ignored() {
+        let mut h = DomainHistogram::new(grid());
+        h.add(MegaHertz::new(750.0), 0.0);
+        h.add(MegaHertz::new(750.0), -5.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn ideal_time_prefers_low_frequencies() {
+        let mut fast = DomainHistogram::new(grid());
+        fast.add(MegaHertz::new(1000.0), 100.0);
+        let mut slow = DomainHistogram::new(grid());
+        slow.add(MegaHertz::new(250.0), 100.0);
+        assert!(slow.ideal_time_ns() > fast.ideal_time_ns() * 3.9);
+    }
+
+    #[test]
+    fn merge_adds_bins() {
+        let mut a = DomainHistogram::new(grid());
+        a.add(MegaHertz::new(1000.0), 10.0);
+        let mut b = DomainHistogram::new(grid());
+        b.add(MegaHertz::new(1000.0), 15.0);
+        a.merge(&b);
+        assert!((a.total_cycles() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_histograms_track_domains_independently() {
+        let mut r = RegionHistograms::new(&grid());
+        r.domain_mut(Domain::Integer).add(MegaHertz::new(1000.0), 30.0);
+        r.domain_mut(Domain::Memory).add(MegaHertz::new(500.0), 20.0);
+        assert!((r.domain(Domain::Integer).total_cycles() - 30.0).abs() < 1e-9);
+        assert!((r.domain(Domain::Memory).total_cycles() - 20.0).abs() < 1e-9);
+        assert!(r.domain(Domain::FloatingPoint).is_empty());
+        assert!((r.total_cycles() - 50.0).abs() < 1e-9);
+
+        let mut other = RegionHistograms::new(&grid());
+        other.domain_mut(Domain::Integer).add(MegaHertz::new(250.0), 5.0);
+        r.merge(&other);
+        assert!((r.domain(Domain::Integer).total_cycles() - 35.0).abs() < 1e-9);
+    }
+}

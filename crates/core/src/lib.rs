@@ -1,0 +1,54 @@
+//! # mcd-dvfs — profile-based DVFS control for a Multiple Clock Domain processor
+//!
+//! This crate implements the contribution of *"Profile-based Dynamic Voltage
+//! and Frequency Scaling for a Multiple Clock Domain Microprocessor"*
+//! (Magklis, Scott, Semeraro, Albonesi and Dropsho, ISCA 2003) together with
+//! the comparison schemes its evaluation uses:
+//!
+//! * [`dag`], [`shaker`], [`histogram`], [`threshold`] — the off-line analysis
+//!   machinery: dependence-DAG slack distribution (the shaker) and per-domain
+//!   slowdown thresholding;
+//! * [`profile`] — profile-driven reconfiguration: train on a small input,
+//!   edit the binary (via `mcd-profiling`), choose per-node frequencies, and
+//!   reconfigure at subroutine/loop boundaries during production runs;
+//! * [`offline`] — the off-line oracle with perfect future knowledge;
+//! * [`online`] — the hardware attack–decay controller;
+//! * [`global_dvs`] — the conventional whole-chip DVS baseline;
+//! * [`evaluation`] — the pipeline that compares all of the above per
+//!   benchmark, producing the paper's metrics (performance degradation, energy
+//!   savings, energy·delay improvement).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mcd_dvfs::profile::{train, TrainingConfig};
+//! use mcd_sim::config::MachineConfig;
+//! use mcd_workloads::suite;
+//!
+//! let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+//! let machine = MachineConfig::default();
+//! let plan = train(&bench.program, &bench.inputs.training, &machine, &TrainingConfig::default());
+//! assert!(!plan.table.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod controller;
+pub mod dag;
+pub mod evaluation;
+pub mod global_dvs;
+pub mod histogram;
+pub mod offline;
+pub mod online;
+pub mod profile;
+pub mod shaker;
+pub mod threshold;
+
+pub use controller::{FrequencyTable, SettingStack};
+pub use evaluation::{evaluate_benchmark, BenchmarkEvaluation, EvaluationConfig, SchemeResult};
+pub use offline::{run_offline, OfflineConfig, OfflineResult};
+pub use online::{OnlineConfig, OnlineController};
+pub use profile::{train, train_and_run, ProfileHooks, ProfilePlan, TrainingConfig};
+pub use shaker::{Shaker, ShakerConfig};
+pub use threshold::SlowdownThreshold;

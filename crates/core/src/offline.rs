@@ -1,0 +1,240 @@
+//! The off-line oracle with perfect future knowledge.
+//!
+//! Following the paper's earlier off-line analysis (Semeraro et al., HPCA
+//! 2002), the oracle records the *reference* run itself at full speed, slices
+//! it into fixed instruction windows, runs the shaker and slowdown
+//! thresholding on every window, and then replays the reference run applying
+//! each window's chosen frequencies at the window boundary — something no
+//! realizable controller can do, since it requires knowing the future. It is
+//! the upper bound the profile-driven and on-line mechanisms are measured
+//! against.
+
+use crate::dag::DependenceDag;
+use crate::shaker::{Shaker, ShakerConfig};
+use crate::threshold::SlowdownThreshold;
+use mcd_sim::config::MachineConfig;
+use mcd_sim::instruction::TraceItem;
+use mcd_sim::reconfig::FrequencySetting;
+use mcd_sim::simulator::{NullHooks, SimHooks, Simulator};
+use mcd_sim::stats::SimStats;
+use mcd_sim::time::TimeNs;
+
+/// Parameters of the off-line oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OfflineConfig {
+    /// Tolerable slowdown, as a fraction.
+    pub slowdown: f64,
+    /// Analysis window length in instructions.
+    pub window_instructions: u64,
+    /// Shaker tuning parameters.
+    pub shaker: ShakerConfig,
+}
+
+impl Default for OfflineConfig {
+    fn default() -> Self {
+        OfflineConfig {
+            slowdown: 0.07,
+            window_instructions: 10_000,
+            shaker: ShakerConfig::default(),
+        }
+    }
+}
+
+/// The schedule the oracle computed: one frequency setting per window.
+#[derive(Debug, Clone, Default)]
+pub struct OfflineSchedule {
+    settings: Vec<FrequencySetting>,
+}
+
+impl OfflineSchedule {
+    /// The setting for window `index` (the last setting persists past the end).
+    pub fn setting(&self, index: u64) -> Option<FrequencySetting> {
+        if self.settings.is_empty() {
+            None
+        } else {
+            let i = (index as usize).min(self.settings.len() - 1);
+            Some(self.settings[i])
+        }
+    }
+
+    /// Number of windows in the schedule.
+    pub fn len(&self) -> usize {
+        self.settings.len()
+    }
+
+    /// True if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.settings.is_empty()
+    }
+}
+
+/// Result of an off-line-oracle evaluation of one benchmark.
+#[derive(Debug, Clone)]
+pub struct OfflineResult {
+    /// The per-window schedule the oracle chose.
+    pub schedule: OfflineSchedule,
+    /// Statistics of the controlled run.
+    pub stats: SimStats,
+}
+
+/// Runs the off-line oracle on a reference trace.
+///
+/// The same trace is first recorded at full speed (the "future knowledge"),
+/// then replayed under the computed schedule.
+pub fn run_offline(
+    trace: &[TraceItem],
+    machine: &MachineConfig,
+    config: &OfflineConfig,
+) -> OfflineResult {
+    let simulator = Simulator::new(machine.clone());
+
+    // Recording pass: full speed, collect the event DAG.
+    let recording = simulator.run(trace.iter().copied(), &mut NullHooks, true);
+    let events = recording.events.expect("recording pass collects events");
+
+    // Slice by instruction window and analyse each window.
+    let shaker = Shaker::with_config(config.shaker);
+    let chooser = SlowdownThreshold::new(config.slowdown);
+    let grid = machine.grid.clone();
+    let f_max = machine.grid.max();
+    let window = config.window_instructions.max(1);
+    let window_count =
+        (recording.stats.instructions + window - 1) / window;
+
+    let mut settings = Vec::with_capacity(window_count as usize);
+    for w in 0..window_count {
+        let lo = (w * window) as u32;
+        let hi = ((w + 1) * window) as u32;
+        let mut slice = mcd_sim::events::EventTrace::new();
+        let mut id_map = vec![u32::MAX; events.len()];
+        for (i, ev) in events.events().iter().enumerate() {
+            if ev.instr_index >= lo && ev.instr_index < hi {
+                id_map[i] = slice.push_event(*ev);
+            }
+        }
+        for edge in events.edges() {
+            let f = id_map[edge.from as usize];
+            let t = id_map[edge.to as usize];
+            if f != u32::MAX && t != u32::MAX {
+                slice.push_edge(f, t);
+            }
+        }
+        if slice.is_empty() {
+            settings.push(FrequencySetting::full_speed());
+            continue;
+        }
+        let mut dag = DependenceDag::from_trace(&slice);
+        let histograms = shaker.shake_into_histograms(&mut dag, &grid, f_max);
+        settings.push(chooser.choose(&histograms).quantized(&grid));
+    }
+    let schedule = OfflineSchedule { settings };
+
+    // Controlled pass: apply each window's setting at its boundary.
+    let mut hooks = OfflineHooks {
+        schedule: &schedule,
+        window,
+    };
+    let controlled = simulator.run(trace.iter().copied(), &mut hooks, false);
+
+    OfflineResult {
+        schedule,
+        stats: controlled.stats,
+    }
+}
+
+/// Hooks that replay the oracle's schedule during the controlled run.
+#[derive(Debug)]
+struct OfflineHooks<'a> {
+    schedule: &'a OfflineSchedule,
+    window: u64,
+}
+
+impl SimHooks for OfflineHooks<'_> {
+    fn initial_setting(&self) -> Option<FrequencySetting> {
+        self.schedule.setting(0)
+    }
+
+    fn instruction_window(&self) -> Option<u64> {
+        Some(self.window)
+    }
+
+    fn on_instruction_window(&mut self, window_index: u64, _now: TimeNs) -> Option<FrequencySetting> {
+        self.schedule.setting(window_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_sim::stats::RelativeMetrics;
+    use mcd_workloads::generator::generate_trace;
+    use mcd_workloads::programs;
+
+    #[test]
+    fn oracle_saves_energy_on_integer_code() {
+        let (program, inputs) = programs::adpcm::decode();
+        let trace = generate_trace(&program, &inputs.training);
+        let machine = MachineConfig::default();
+        let baseline = Simulator::new(machine.clone())
+            .run(trace.iter().copied(), &mut NullHooks, false)
+            .stats;
+        let result = run_offline(&trace, &machine, &OfflineConfig::default());
+        assert!(!result.schedule.is_empty());
+        let metrics = RelativeMetrics::relative_to(&result.stats, &baseline);
+        assert!(
+            metrics.energy_savings > 0.05,
+            "oracle should save energy, got {:.1}%",
+            metrics.energy_savings_percent()
+        );
+        assert!(
+            metrics.performance_degradation < 0.25,
+            "oracle slowdown should be bounded, got {:.1}%",
+            metrics.degradation_percent()
+        );
+    }
+
+    #[test]
+    fn schedule_indexing_clamps_to_last_window() {
+        let schedule = OfflineSchedule {
+            settings: vec![FrequencySetting::full_speed(); 3],
+        };
+        assert!(schedule.setting(0).is_some());
+        assert!(schedule.setting(99).is_some());
+        assert_eq!(schedule.len(), 3);
+    }
+
+    #[test]
+    fn empty_schedule_returns_none() {
+        let schedule = OfflineSchedule::default();
+        assert!(schedule.setting(0).is_none());
+        assert!(schedule.is_empty());
+    }
+
+    #[test]
+    fn tighter_slowdown_bound_costs_less_performance() {
+        let (program, inputs) = programs::gsm::decode();
+        let trace: Vec<_> = generate_trace(&program, &inputs.training)
+            .into_iter()
+            .take(60_000)
+            .collect();
+        let machine = MachineConfig::default();
+        let tight = run_offline(
+            &trace,
+            &machine,
+            &OfflineConfig {
+                slowdown: 0.02,
+                ..OfflineConfig::default()
+            },
+        );
+        let loose = run_offline(
+            &trace,
+            &machine,
+            &OfflineConfig {
+                slowdown: 0.15,
+                ..OfflineConfig::default()
+            },
+        );
+        assert!(loose.stats.run_time >= tight.stats.run_time);
+        assert!(loose.stats.total_energy.as_units() <= tight.stats.total_energy.as_units());
+    }
+}

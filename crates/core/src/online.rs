@@ -1,0 +1,237 @@
+//! The on-line attack–decay hardware controller (Semeraro et al., MICRO 2002),
+//! the paper's realizable point of comparison.
+//!
+//! The controller samples each execution domain's issue-queue utilization over
+//! fixed intervals and exploits the tendency of the future to resemble the
+//! recent past. When utilization changes sharply between consecutive intervals
+//! it *attacks*: the domain frequency jumps in the direction of the change,
+//! proportionally to its magnitude. When utilization is steady it *decays*: the
+//! frequency creeps downward a small step per interval, probing for slack, and
+//! is pulled back up by the next attack when performance pressure reappears.
+//! The front-end domain is left at full speed (it feeds all others), matching
+//! the hardware proposal.
+
+use mcd_sim::domain::{Domain, PerDomain};
+use mcd_sim::reconfig::FrequencySetting;
+use mcd_sim::simulator::SimHooks;
+use mcd_sim::stats::IntervalStats;
+use mcd_sim::time::{MegaHertz, TimeNs};
+
+/// Tuning parameters of the attack–decay controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Control interval in nanoseconds (10 µs ≈ 10 000 cycles at 1 GHz).
+    pub interval_ns: f64,
+    /// Utilization change that triggers an attack.
+    pub deviation_threshold: f64,
+    /// Attack gain: frequency change (in MHz) per unit of utilization change.
+    pub attack_gain_mhz: f64,
+    /// Decay step, in MHz per interval, applied while utilization is steady.
+    pub decay_mhz: f64,
+    /// Utilization above which the domain snaps straight to full speed.
+    pub panic_utilization: f64,
+    /// Minimum frequency the controller will request.
+    pub floor_mhz: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            interval_ns: 10_000.0,
+            deviation_threshold: 0.06,
+            attack_gain_mhz: 1_500.0,
+            decay_mhz: 8.0,
+            panic_utilization: 0.85,
+            floor_mhz: 250.0,
+        }
+    }
+}
+
+/// The attack–decay controller, used as [`SimHooks`] during a production run.
+#[derive(Debug, Clone)]
+pub struct OnlineController {
+    config: OnlineConfig,
+    previous_utilization: PerDomain<f64>,
+    target_mhz: PerDomain<f64>,
+    intervals: u64,
+    attacks: u64,
+    decays: u64,
+}
+
+impl OnlineController {
+    /// Creates a controller with the given parameters.
+    pub fn new(config: OnlineConfig) -> Self {
+        OnlineController {
+            config,
+            previous_utilization: PerDomain::splat(0.0),
+            target_mhz: PerDomain::splat(1000.0),
+            intervals: 0,
+            attacks: 0,
+            decays: 0,
+        }
+    }
+
+    /// The controller's parameters.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Number of control intervals processed.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Number of attack decisions taken (per domain-interval).
+    pub fn attacks(&self) -> u64 {
+        self.attacks
+    }
+
+    /// Number of decay decisions taken (per domain-interval).
+    pub fn decays(&self) -> u64 {
+        self.decays
+    }
+
+    /// The domains the controller manages (the front end is excluded).
+    pub const CONTROLLED: [Domain; 3] =
+        [Domain::Integer, Domain::FloatingPoint, Domain::Memory];
+
+    fn decide(&mut self, stats: &IntervalStats) -> FrequencySetting {
+        self.intervals += 1;
+        let mut setting = FrequencySetting::full_speed();
+        for d in Self::CONTROLLED {
+            let utilization = stats.queue_utilization[d];
+            let previous = self.previous_utilization[d];
+            let change = utilization - previous;
+            let mut target = self.target_mhz[d];
+
+            if utilization >= self.config.panic_utilization {
+                // The queue is nearly full: this domain is throttling the rest
+                // of the machine. Go straight back to full speed.
+                target = 1000.0;
+                self.attacks += 1;
+            } else if change.abs() > self.config.deviation_threshold {
+                target += self.config.attack_gain_mhz * change;
+                self.attacks += 1;
+            } else {
+                // Steady state: probe downward for slack, more eagerly when the
+                // queue is nearly empty.
+                let idle_factor = 1.0 + 3.0 * (0.3 - utilization).max(0.0);
+                target -= self.config.decay_mhz * idle_factor;
+                self.decays += 1;
+            }
+
+            target = target.clamp(self.config.floor_mhz, 1000.0);
+            self.target_mhz[d] = target;
+            self.previous_utilization[d] = utilization;
+            setting = setting.with(d, MegaHertz::new(target));
+        }
+        setting
+    }
+}
+
+impl Default for OnlineController {
+    fn default() -> Self {
+        OnlineController::new(OnlineConfig::default())
+    }
+}
+
+impl SimHooks for OnlineController {
+    fn interval_ns(&self) -> Option<f64> {
+        Some(self.config.interval_ns)
+    }
+
+    fn on_interval(&mut self, stats: &IntervalStats, _now: TimeNs) -> Option<FrequencySetting> {
+        Some(self.decide(stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_sim::config::MachineConfig;
+    use mcd_sim::simulator::{NullHooks, Simulator};
+    use mcd_sim::stats::RelativeMetrics;
+    use mcd_workloads::generator::generate_trace;
+    use mcd_workloads::programs;
+
+    fn interval_stats(int_util: f64, fp_util: f64, mem_util: f64) -> IntervalStats {
+        let mut q = PerDomain::splat(0.0);
+        q[Domain::Integer] = int_util;
+        q[Domain::FloatingPoint] = fp_util;
+        q[Domain::Memory] = mem_util;
+        IntervalStats {
+            elapsed: TimeNs::new(10_000.0),
+            instructions: 10_000,
+            queue_utilization: q,
+            ..IntervalStats::default()
+        }
+    }
+
+    #[test]
+    fn steady_low_utilization_decays_frequency() {
+        let mut c = OnlineController::default();
+        let mut last = FrequencySetting::full_speed();
+        for _ in 0..100 {
+            last = c.decide(&interval_stats(0.05, 0.0, 0.05));
+        }
+        assert!(last.get(Domain::FloatingPoint).as_mhz() < 900.0);
+        assert!(last.get(Domain::Integer).as_mhz() < 1000.0);
+        assert!(c.decays() > 0);
+    }
+
+    #[test]
+    fn utilization_spike_attacks_upward() {
+        let mut c = OnlineController::default();
+        // Decay for a while...
+        for _ in 0..200 {
+            c.decide(&interval_stats(0.05, 0.02, 0.05));
+        }
+        let before = c.target_mhz[Domain::Integer];
+        // ...then a burst of integer work arrives.
+        let after = c.decide(&interval_stats(0.5, 0.02, 0.05));
+        assert!(after.get(Domain::Integer).as_mhz() > before);
+        assert!(c.attacks() > 0);
+    }
+
+    #[test]
+    fn saturated_queue_snaps_to_full_speed() {
+        let mut c = OnlineController::default();
+        for _ in 0..300 {
+            c.decide(&interval_stats(0.04, 0.0, 0.04));
+        }
+        let setting = c.decide(&interval_stats(0.95, 0.0, 0.04));
+        assert_eq!(setting.get(Domain::Integer).as_mhz(), 1000.0);
+    }
+
+    #[test]
+    fn frequency_never_leaves_the_legal_range() {
+        let mut c = OnlineController::default();
+        for i in 0..500 {
+            let u = if i % 7 == 0 { 0.9 } else { 0.01 };
+            let s = c.decide(&interval_stats(u, 1.0 - u, u / 2.0));
+            for d in OnlineController::CONTROLLED {
+                let f = s.get(d).as_mhz();
+                assert!((250.0..=1000.0).contains(&f), "frequency {f} out of range");
+            }
+        }
+        assert_eq!(c.intervals(), 500);
+    }
+
+    #[test]
+    fn online_controller_saves_energy_on_a_real_workload() {
+        let (program, inputs) = programs::adpcm::decode();
+        let trace = generate_trace(&program, &inputs.training);
+        let machine = MachineConfig::default();
+        let sim = Simulator::new(machine);
+        let baseline = sim.run(trace.iter().copied(), &mut NullHooks, false).stats;
+        let mut controller = OnlineController::default();
+        let controlled = sim.run(trace.iter().copied(), &mut controller, false).stats;
+        let metrics = RelativeMetrics::relative_to(&controlled, &baseline);
+        assert!(controlled.reconfigurations > 0);
+        assert!(
+            metrics.energy_savings > 0.0,
+            "attack–decay should save some energy, got {:.1}%",
+            metrics.energy_savings_percent()
+        );
+    }
+}

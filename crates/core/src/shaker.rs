@@ -1,0 +1,310 @@
+//! The shaker algorithm (Section 3.2 of the paper).
+//!
+//! The shaker walks the dependence DAG of a region alternately backward and
+//! forward, maintaining a power threshold that starts just below the power
+//! factor of the most power-intensive events and decays with every pass. When
+//! it encounters a stretchable event whose power factor exceeds the threshold,
+//! it scales (stretches) the event — as if the event could run at its own,
+//! lower frequency — until the event either consumes all of the slack available
+//! between its producers and consumers, or its power factor drops below the
+//! threshold, or it reaches one quarter of its nominal frequency. Remaining
+//! slack is pushed toward the event's incoming edges on backward passes and
+//! toward its outgoing edges on forward passes, so that later passes can hand
+//! it to other events. The result is, per clock domain, a histogram of how
+//! many cycles of work could tolerate each frequency step.
+
+use crate::dag::DependenceDag;
+use crate::histogram::RegionHistograms;
+use mcd_sim::freq::FrequencyGrid;
+use mcd_sim::time::MegaHertz;
+
+/// Maximum stretch factor: events are never scaled below one quarter of their
+/// nominal frequency (250 MHz against the 1 GHz baseline).
+pub const MAX_STRETCH: f64 = 4.0;
+
+/// Tuning parameters of the shaker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShakerConfig {
+    /// Starting threshold as a fraction of the maximum nominal power factor
+    /// ("slightly below that of the few most power-intensive events").
+    pub initial_threshold_fraction: f64,
+    /// Multiplicative decay applied to the threshold after each pass.
+    pub threshold_decay: f64,
+    /// Upper bound on the number of passes (a safety net; the algorithm
+    /// normally terminates because the threshold sinks below every event).
+    pub max_passes: usize,
+}
+
+impl Default for ShakerConfig {
+    fn default() -> Self {
+        ShakerConfig {
+            initial_threshold_fraction: 0.95,
+            threshold_decay: 0.85,
+            max_passes: 40,
+        }
+    }
+}
+
+/// The shaker algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Shaker {
+    config: ShakerConfig,
+}
+
+impl Shaker {
+    /// Creates a shaker with default parameters.
+    pub fn new() -> Self {
+        Shaker::default()
+    }
+
+    /// Creates a shaker with explicit parameters.
+    pub fn with_config(config: ShakerConfig) -> Self {
+        Shaker { config }
+    }
+
+    /// The shaker's configuration.
+    pub fn config(&self) -> &ShakerConfig {
+        &self.config
+    }
+
+    /// Runs the shaker over `dag`, mutating the event schedule in place.
+    pub fn shake(&self, dag: &mut DependenceDag) {
+        if dag.is_empty() {
+            return;
+        }
+        let max_pf = dag.max_power_factor();
+        let min_pf = dag.min_power_factor();
+        if max_pf <= 0.0 {
+            return;
+        }
+        let mut threshold = max_pf * self.config.initial_threshold_fraction;
+        // Once the threshold falls below the smallest fully stretched power
+        // factor, no further pass can change anything; the factor of 0.8 makes
+        // sure the final pass actually reaches the quarter-frequency limit.
+        let floor = (min_pf / MAX_STRETCH * 0.8).max(1e-9);
+        let forward = dag.forward_order();
+        let backward = dag.backward_order();
+
+        let mut pass = 0;
+        while pass < self.config.max_passes && threshold > floor {
+            let order = if pass % 2 == 0 { &backward } else { &forward };
+            let push_late = pass % 2 == 0;
+            for &idx in order {
+                self.try_stretch(dag, idx, threshold, push_late);
+            }
+            threshold *= self.config.threshold_decay;
+            pass += 1;
+        }
+    }
+
+    /// Attempts to stretch event `idx` under the current `threshold`. On
+    /// backward passes (`push_late`), the event is anchored to its upper bound
+    /// so remaining slack moves to its incoming edges; on forward passes it is
+    /// anchored to its lower bound.
+    fn try_stretch(&self, dag: &mut DependenceDag, idx: usize, threshold: f64, push_late: bool) {
+        let lower = dag.lower_bound(idx);
+        let upper = dag.upper_bound(idx);
+        let span = upper.saturating_sub(lower);
+        let event = dag.events()[idx].clone();
+        if event.power_factor() <= threshold {
+            // Not a high-power event at this threshold; just reposition it so
+            // slack accumulates on the requested side.
+            let duration = event.duration();
+            if span > duration {
+                let e = dag.event_mut(idx);
+                if push_late {
+                    e.end = upper;
+                    e.start = upper.saturating_sub(duration);
+                } else {
+                    e.start = lower;
+                    e.end = lower + duration;
+                }
+            }
+            return;
+        }
+        if event.nominal_duration.is_zero() || span.is_zero() {
+            return;
+        }
+        // Stretch until the power factor falls below the threshold, the slack
+        // is exhausted, or the quarter-frequency limit is reached.
+        let stretch_for_threshold = event.nominal_power / threshold;
+        let stretch_for_slack = span.as_ns() / event.nominal_duration.as_ns();
+        let new_scale = stretch_for_threshold
+            .min(stretch_for_slack)
+            .min(MAX_STRETCH)
+            .max(event.scale);
+        let e = dag.event_mut(idx);
+        e.scale = new_scale;
+        let duration = e.duration();
+        if push_late {
+            e.end = upper;
+            e.start = upper.saturating_sub(duration);
+        } else {
+            e.start = lower;
+            e.end = lower + duration;
+        }
+    }
+
+    /// Runs the shaker and summarizes the result as per-domain frequency
+    /// histograms over `grid`, assuming a full-speed frequency of `f_max`.
+    pub fn shake_into_histograms(
+        &self,
+        dag: &mut DependenceDag,
+        grid: &FrequencyGrid,
+        f_max: MegaHertz,
+    ) -> RegionHistograms {
+        self.shake(dag);
+        let mut histograms = RegionHistograms::new(grid);
+        for event in dag.events() {
+            if event.cycles <= 0.0 {
+                continue;
+            }
+            let freq = MegaHertz::new(event.effective_frequency_mhz(f_max.as_mhz()).max(1.0));
+            histograms
+                .domain_mut(event.domain)
+                .add(grid.quantize_nearest(freq), event.cycles);
+        }
+        histograms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_sim::domain::Domain;
+    use mcd_sim::events::{EventKind, EventTrace, PrimitiveEvent};
+    use mcd_sim::time::TimeNs;
+
+    fn ev(domain: Domain, start: f64, end: f64, power: f64) -> PrimitiveEvent {
+        PrimitiveEvent {
+            instr_index: 0,
+            kind: EventKind::Execute,
+            domain,
+            start: TimeNs::new(start),
+            end: TimeNs::new(end),
+            cycles: end - start,
+            power_factor: power,
+            region: 0,
+        }
+    }
+
+    /// An integer-domain critical chain with an off-path FP event that has huge
+    /// slack — the classic opportunity the shaker is meant to find.
+    fn trace_with_fp_slack() -> EventTrace {
+        let mut t = EventTrace::new();
+        let mut prev = None;
+        // 10 back-to-back integer events filling [0, 20).
+        for i in 0..10 {
+            let id = t.push_event(ev(Domain::Integer, i as f64 * 2.0, i as f64 * 2.0 + 2.0, 0.24));
+            if let Some(p) = prev {
+                t.push_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        // One short FP event near the start with no consumer before the region
+        // end: ~19 ns of slack.
+        t.push_event(ev(Domain::FloatingPoint, 0.0, 1.0, 0.14));
+        t
+    }
+
+    #[test]
+    fn shaker_stretches_the_off_critical_path_event() {
+        let mut dag = DependenceDag::from_trace(&trace_with_fp_slack());
+        Shaker::new().shake(&mut dag);
+        let fp_event = dag
+            .events()
+            .iter()
+            .find(|e| e.domain == Domain::FloatingPoint)
+            .unwrap();
+        assert!(
+            fp_event.scale >= MAX_STRETCH * 0.99,
+            "the FP event had 17 ns of slack and should be stretched to the limit, got {}",
+            fp_event.scale
+        );
+    }
+
+    #[test]
+    fn shaker_leaves_the_critical_chain_mostly_alone() {
+        let mut dag = DependenceDag::from_trace(&trace_with_fp_slack());
+        Shaker::new().shake(&mut dag);
+        // The integer chain is back to back: no event can stretch beyond a tiny
+        // numerical tolerance.
+        for e in dag.events().iter().filter(|e| e.domain == Domain::Integer) {
+            assert!(
+                e.scale < 1.3,
+                "critical-chain events must stay near full speed, got {}",
+                e.scale
+            );
+        }
+    }
+
+    #[test]
+    fn histograms_reflect_the_stretch() {
+        let mut dag = DependenceDag::from_trace(&trace_with_fp_slack());
+        let hist = Shaker::new().shake_into_histograms(
+            &mut dag,
+            &FrequencyGrid::default(),
+            MegaHertz::new(1000.0),
+        );
+        // All integer cycles should sit at (or very near) 1 GHz.
+        let int_hist = hist.domain(Domain::Integer);
+        let high_bin: f64 = int_hist
+            .iter()
+            .filter(|(f, _)| f.as_mhz() >= 900.0)
+            .map(|(_, c)| c)
+            .sum();
+        assert!(high_bin > int_hist.total_cycles() * 0.8);
+        // The FP cycle should be at 250 MHz.
+        let fp_hist = hist.domain(Domain::FloatingPoint);
+        let low_bin: f64 = fp_hist
+            .iter()
+            .filter(|(f, _)| f.as_mhz() <= 260.0)
+            .map(|(_, c)| c)
+            .sum();
+        assert!((low_bin - fp_hist.total_cycles()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shaking_an_empty_dag_is_a_noop() {
+        let mut dag = DependenceDag::from_trace(&EventTrace::new());
+        let hist = Shaker::new().shake_into_histograms(
+            &mut dag,
+            &FrequencyGrid::default(),
+            MegaHertz::new(1000.0),
+        );
+        assert!(hist.is_empty());
+    }
+
+    #[test]
+    fn events_never_stretch_beyond_quarter_frequency() {
+        // A single event with effectively infinite slack.
+        let mut t = EventTrace::new();
+        t.push_event(ev(Domain::Memory, 0.0, 1.0, 0.32));
+        t.push_event(ev(Domain::Memory, 1000.0, 1001.0, 0.32));
+        let mut dag = DependenceDag::from_trace(&t);
+        Shaker::new().shake(&mut dag);
+        for e in dag.events() {
+            assert!(e.scale <= MAX_STRETCH + 1e-9);
+        }
+    }
+
+    #[test]
+    fn custom_config_limits_passes() {
+        let cfg = ShakerConfig {
+            max_passes: 1,
+            ..ShakerConfig::default()
+        };
+        let shaker = Shaker::with_config(cfg);
+        assert_eq!(shaker.config().max_passes, 1);
+        let mut dag = DependenceDag::from_trace(&trace_with_fp_slack());
+        shaker.shake(&mut dag);
+        // With a single high-threshold pass, the low-power FP event is not yet
+        // eligible for stretching.
+        let fp_event = dag
+            .events()
+            .iter()
+            .find(|e| e.domain == Domain::FloatingPoint)
+            .unwrap();
+        assert!(fp_event.scale < MAX_STRETCH);
+    }
+}

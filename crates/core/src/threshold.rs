@@ -1,0 +1,167 @@
+//! Slowdown thresholding (Section 3.3 of the paper).
+//!
+//! The shaker scales *individual events*, but the hardware can only scale a
+//! whole domain. Given the per-domain histograms of a region and a tolerable
+//! slowdown `d`, slowdown thresholding picks, for each domain, the minimum
+//! frequency such that the extra time needed to run the work from higher
+//! histogram bins at the chosen frequency stays within `d` percent of the
+//! region's total ideal execution time.
+
+use crate::histogram::{DomainHistogram, RegionHistograms};
+use mcd_sim::domain::Domain;
+use mcd_sim::reconfig::FrequencySetting;
+use mcd_sim::time::MegaHertz;
+
+/// The slowdown-thresholding algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowdownThreshold {
+    /// Tolerable slowdown as a fraction (0.07 = 7%).
+    slowdown: f64,
+}
+
+impl SlowdownThreshold {
+    /// Creates the algorithm with a slowdown bound expressed as a fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown` is negative.
+    pub fn new(slowdown: f64) -> Self {
+        assert!(slowdown >= 0.0, "slowdown bound must be non-negative");
+        SlowdownThreshold { slowdown }
+    }
+
+    /// The slowdown bound as a fraction.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Chooses the minimum frequency for a single domain's histogram.
+    ///
+    /// Returns the grid minimum for an empty histogram: a domain that performed
+    /// no work in the region cannot be on the critical path, so it is safe (and
+    /// maximally profitable) to run it at the lowest frequency.
+    pub fn choose_for_domain(&self, histogram: &DomainHistogram) -> MegaHertz {
+        let grid = histogram.grid();
+        if histogram.is_empty() {
+            return grid.min();
+        }
+        let ideal_time = histogram.ideal_time_ns();
+        let budget = self.slowdown * ideal_time;
+
+        // Walk candidate frequencies from the lowest up; the first that fits
+        // the budget is the answer.
+        for candidate in grid.iter() {
+            let mut extra = 0.0;
+            for (f, cycles) in histogram.iter() {
+                if f.as_mhz() > candidate.as_mhz() && cycles > 0.0 {
+                    extra += cycles * (1_000.0 / candidate.as_mhz() - 1_000.0 / f.as_mhz());
+                }
+            }
+            if extra <= budget {
+                return candidate;
+            }
+        }
+        grid.max()
+    }
+
+    /// Chooses frequencies for all scalable domains of a region.
+    pub fn choose(&self, histograms: &RegionHistograms) -> FrequencySetting {
+        let mut setting = FrequencySetting::full_speed();
+        for d in Domain::SCALABLE {
+            setting = setting.with(d, self.choose_for_domain(histograms.domain(d)));
+        }
+        setting
+    }
+}
+
+impl Default for SlowdownThreshold {
+    fn default() -> Self {
+        // The paper's headline results use d ~= 7%.
+        SlowdownThreshold::new(0.07)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_sim::freq::FrequencyGrid;
+
+    fn grid() -> FrequencyGrid {
+        FrequencyGrid::default()
+    }
+
+    #[test]
+    fn all_work_at_low_frequency_yields_low_choice() {
+        let mut h = DomainHistogram::new(grid());
+        h.add(MegaHertz::new(250.0), 10_000.0);
+        let f = SlowdownThreshold::new(0.05).choose_for_domain(&h);
+        assert_eq!(f, MegaHertz::new(250.0));
+    }
+
+    #[test]
+    fn all_work_at_full_speed_yields_full_speed_at_tight_bound() {
+        let mut h = DomainHistogram::new(grid());
+        h.add(MegaHertz::new(1000.0), 10_000.0);
+        let f = SlowdownThreshold::new(0.0).choose_for_domain(&h);
+        assert_eq!(f, MegaHertz::new(1000.0));
+    }
+
+    #[test]
+    fn looser_bound_allows_lower_frequency() {
+        let mut h = DomainHistogram::new(grid());
+        h.add(MegaHertz::new(1000.0), 10_000.0);
+        let tight = SlowdownThreshold::new(0.02).choose_for_domain(&h);
+        let loose = SlowdownThreshold::new(0.20).choose_for_domain(&h);
+        assert!(loose.as_mhz() < tight.as_mhz());
+        // 20% slowdown on pure full-speed work allows roughly 1/1.2 = 833 MHz.
+        assert!(loose.as_mhz() >= 800.0 && loose.as_mhz() <= 850.0);
+    }
+
+    #[test]
+    fn mixed_histogram_lands_between_extremes() {
+        let mut h = DomainHistogram::new(grid());
+        h.add(MegaHertz::new(1000.0), 2_000.0);
+        h.add(MegaHertz::new(250.0), 8_000.0);
+        let f = SlowdownThreshold::new(0.05).choose_for_domain(&h);
+        assert!(f.as_mhz() < 1000.0);
+        assert!(f.as_mhz() >= 250.0);
+    }
+
+    #[test]
+    fn empty_histogram_defaults_to_minimum_frequency() {
+        let h = DomainHistogram::new(grid());
+        let f = SlowdownThreshold::default().choose_for_domain(&h);
+        assert_eq!(f, MegaHertz::new(250.0));
+    }
+
+    #[test]
+    fn per_domain_choices_are_independent() {
+        let mut r = RegionHistograms::new(&grid());
+        r.domain_mut(Domain::Integer).add(MegaHertz::new(1000.0), 50_000.0);
+        r.domain_mut(Domain::FloatingPoint).add(MegaHertz::new(250.0), 50_000.0);
+        let setting = SlowdownThreshold::new(0.05).choose(&r);
+        assert!(setting.get(Domain::Integer).as_mhz() > 900.0);
+        assert_eq!(setting.get(Domain::FloatingPoint).as_mhz(), 250.0);
+        // Domains with no recorded work drop to the minimum frequency.
+        assert_eq!(setting.get(Domain::Memory).as_mhz(), 250.0);
+    }
+
+    #[test]
+    fn chosen_frequency_monotone_in_slowdown() {
+        let mut h = DomainHistogram::new(grid());
+        h.add(MegaHertz::new(1000.0), 5_000.0);
+        h.add(MegaHertz::new(500.0), 5_000.0);
+        let mut prev = f64::INFINITY;
+        for d in [0.0, 0.02, 0.05, 0.1, 0.2, 0.4] {
+            let f = SlowdownThreshold::new(d).choose_for_domain(&h).as_mhz();
+            assert!(f <= prev + 1e-9, "frequency should not increase with slowdown");
+            prev = f;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_slowdown_rejected() {
+        let _ = SlowdownThreshold::new(-0.1);
+    }
+}

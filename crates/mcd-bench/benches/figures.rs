@@ -1,0 +1,42 @@
+//! Criterion benchmark: end-to-end cost of regenerating one benchmark's group
+//! of bars in Figures 4–6 (baseline + off-line oracle + on-line controller +
+//! profile-driven training and production run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcd_dvfs::evaluation::{evaluate_benchmark, EvaluationConfig};
+use mcd_dvfs::profile::{train, TrainingConfig};
+use mcd_sim::config::MachineConfig;
+use mcd_workloads::suite;
+use std::hint::black_box;
+
+fn figure_benchmarks(c: &mut Criterion) {
+    let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+
+    c.bench_function("profile_training_adpcm_decode", |b| {
+        let machine = MachineConfig::default();
+        b.iter(|| {
+            let plan = train(
+                &bench.program,
+                &bench.inputs.training,
+                &machine,
+                &TrainingConfig::default(),
+            );
+            black_box(plan.table.len())
+        })
+    });
+
+    c.bench_function("figure4_bar_group_adpcm_decode", |b| {
+        let config = EvaluationConfig::default();
+        b.iter(|| {
+            let eval = evaluate_benchmark(black_box(&bench), &config);
+            black_box(eval.profile.metrics.energy_savings)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figure_benchmarks
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Figures 10 and 11: energy savings and energy×delay improvement versus
+//! achieved slowdown for the on-line, off-line and profile-based (L+F)
+//! algorithms, produced by sweeping the slowdown threshold (off-line and
+//! profile) and the controller aggressiveness (on-line).
+
+use mcd_bench::{mean, quick_requested, selected_suite};
+use mcd_dvfs::evaluation::{evaluate_benchmark, EvaluationConfig};
+use mcd_dvfs::online::OnlineConfig;
+
+fn main() {
+    let quick = quick_requested();
+    // The sweep multiplies run time by the number of points, so it always uses
+    // a compact subset unless --full is given explicitly.
+    let full = std::env::args().any(|a| a == "--full");
+    let benches = selected_suite(!full || quick);
+
+    let slowdown_targets = [0.02, 0.04, 0.07, 0.10, 0.14];
+    let online_decays = [2.0, 6.0, 12.0, 25.0, 50.0];
+
+    println!("Figures 10 and 11. Energy savings and energy-delay improvement vs. slowdown.");
+    println!();
+    println!(
+        "{:<12} {:>12} {:>16} {:>16} {:>22}",
+        "series", "parameter", "slowdown (%)", "energy save (%)", "energy-delay impr (%)"
+    );
+    println!("{}", "-".repeat(84));
+
+    // Off-line and profile-based: sweep the slowdown threshold d.
+    for &d in &slowdown_targets {
+        let config = EvaluationConfig::default().with_slowdown(d);
+        let evals: Vec<_> = benches
+            .iter()
+            .map(|b| {
+                eprintln!("  d={d:.2} {}", b.name);
+                evaluate_benchmark(b, &config)
+            })
+            .collect();
+        let off_slow = mean(&evals.iter().map(|e| e.offline.metrics.performance_degradation).collect::<Vec<_>>());
+        let off_save = mean(&evals.iter().map(|e| e.offline.metrics.energy_savings).collect::<Vec<_>>());
+        let off_ed = mean(&evals.iter().map(|e| e.offline.metrics.energy_delay_improvement).collect::<Vec<_>>());
+        let prof_slow = mean(&evals.iter().map(|e| e.profile.metrics.performance_degradation).collect::<Vec<_>>());
+        let prof_save = mean(&evals.iter().map(|e| e.profile.metrics.energy_savings).collect::<Vec<_>>());
+        let prof_ed = mean(&evals.iter().map(|e| e.profile.metrics.energy_delay_improvement).collect::<Vec<_>>());
+        println!(
+            "{:<12} {:>12} {:>16.1} {:>16.1} {:>22.1}",
+            "off-line",
+            format!("d={:.0}%", d * 100.0),
+            off_slow * 100.0,
+            off_save * 100.0,
+            off_ed * 100.0
+        );
+        println!(
+            "{:<12} {:>12} {:>16.1} {:>16.1} {:>22.1}",
+            "L+F",
+            format!("d={:.0}%", d * 100.0),
+            prof_slow * 100.0,
+            prof_save * 100.0,
+            prof_ed * 100.0
+        );
+    }
+
+    // On-line: sweep the decay rate (more aggressive decay = more slowdown).
+    for &decay in &online_decays {
+        let config = EvaluationConfig {
+            online: OnlineConfig {
+                decay_mhz: decay,
+                ..OnlineConfig::default()
+            },
+            ..EvaluationConfig::default()
+        };
+        let evals: Vec<_> = benches
+            .iter()
+            .map(|b| {
+                eprintln!("  decay={decay} {}", b.name);
+                evaluate_benchmark(b, &config)
+            })
+            .collect();
+        let slow = mean(&evals.iter().map(|e| e.online.metrics.performance_degradation).collect::<Vec<_>>());
+        let save = mean(&evals.iter().map(|e| e.online.metrics.energy_savings).collect::<Vec<_>>());
+        let ed = mean(&evals.iter().map(|e| e.online.metrics.energy_delay_improvement).collect::<Vec<_>>());
+        println!(
+            "{:<12} {:>12} {:>16.1} {:>16.1} {:>22.1}",
+            "on-line",
+            format!("decay={decay}"),
+            slow * 100.0,
+            save * 100.0,
+            ed * 100.0
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 12: number of static reconfiguration and instrumentation points, and
+//! run-time instrumentation overhead, for each context policy, normalized to
+//! L+F+C+P (averaged across the suite).
+
+use mcd_bench::{mean, quick_requested, selected_suite};
+use mcd_profiling::call_tree::CallTree;
+use mcd_profiling::candidates::LongRunningSet;
+use mcd_profiling::context::ContextPolicy;
+use mcd_profiling::edit::InstrumentationPlan;
+use mcd_sim::config::MachineConfig;
+use mcd_sim::simulator::Simulator;
+use mcd_workloads::generator::generate_trace;
+
+fn main() {
+    let benches = selected_suite(quick_requested());
+    let machine = MachineConfig::default();
+    let policies = ContextPolicy::ALL;
+
+    // Per policy: averaged static reconfig points, static instrumentation
+    // points, and run-time overhead fraction.
+    let mut reconfig_points = vec![Vec::new(); policies.len()];
+    let mut instr_points = vec![Vec::new(); policies.len()];
+    let mut overheads = vec![Vec::new(); policies.len()];
+
+    for bench in &benches {
+        eprintln!("  analysing {} ...", bench.name);
+        let train_trace = generate_trace(&bench.program, &bench.inputs.training);
+        let ref_trace = generate_trace(&bench.program, &bench.inputs.reference);
+        for (pi, policy) in policies.iter().enumerate() {
+            let tree = CallTree::build(&train_trace, *policy);
+            let lr = LongRunningSet::identify(&tree);
+            let plan = InstrumentationPlan::new(tree, lr, *policy);
+            reconfig_points[pi].push(plan.static_reconfiguration_points() as f64);
+            instr_points[pi].push(plan.static_instrumentation_points() as f64);
+
+            // Run the reference input once per policy, charging only the
+            // instrumentation overhead (no reconfiguration), to isolate the
+            // instrumentation cost exactly as the paper does.
+            let mut tracker = plan.tracker();
+            let mut total_overhead = 0.0;
+            for item in &ref_trace {
+                if let Some(m) = item.as_marker() {
+                    total_overhead += tracker.on_marker(m).overhead_cycles;
+                }
+            }
+            // Overhead fraction of the baseline run time (in 1 GHz cycles = ns).
+            let baseline = Simulator::new(machine.clone())
+                .run(ref_trace.iter().copied(), &mut mcd_sim::simulator::NullHooks, false)
+                .stats;
+            overheads[pi].push(total_overhead / baseline.run_time.as_ns());
+        }
+    }
+
+    println!("Figure 12. Static reconfiguration/instrumentation points and run-time");
+    println!("overhead per context policy, normalized to L+F+C+P (suite average).");
+    println!();
+    println!(
+        "{:<10} {:>16} {:>18} {:>16} {:>14}",
+        "policy", "reconfig points", "instrum. points", "overhead (%)", "norm overhead"
+    );
+    println!("{}", "-".repeat(80));
+    let base_overhead = mean(&overheads[0]).max(1e-12);
+    for (pi, policy) in policies.iter().enumerate() {
+        println!(
+            "{:<10} {:>16.1} {:>18.1} {:>16.4} {:>14.3}",
+            policy.abbreviation(),
+            mean(&reconfig_points[pi]),
+            mean(&instr_points[pi]),
+            mean(&overheads[pi]) * 100.0,
+            mean(&overheads[pi]) / base_overhead
+        );
+    }
+}

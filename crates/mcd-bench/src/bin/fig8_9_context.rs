@@ -1,0 +1,40 @@
+//! Figures 8 and 9: sensitivity of performance degradation and energy savings
+//! to the definition of calling context, for the benchmarks where the choice
+//! makes a visible difference (mpeg2 decode, epic encode, plus the loop-heavy
+//! applu and art).
+
+use mcd_bench::{default_config, format};
+use mcd_dvfs::evaluation::{evaluate_profile, run_baseline};
+use mcd_profiling::context::ContextPolicy;
+use mcd_workloads::suite;
+
+fn main() {
+    let names = ["mpeg2 decode", "epic encode", "applu", "art", "adpcm decode", "gsm decode"];
+    let policies = ContextPolicy::ALL;
+
+    println!("Figures 8 and 9. Sensitivity to the definition of calling context.");
+    println!("(performance degradation / energy savings per policy)");
+    println!();
+    let mut cols: Vec<(&str, usize)> = vec![("Benchmark", 16)];
+    for p in &policies {
+        cols.push((p.abbreviation(), 15));
+    }
+    format::header(&cols);
+
+    for name in names {
+        let bench = suite::benchmark(name).expect("benchmark exists");
+        let machine = default_config(false).machine;
+        let baseline = run_baseline(&bench, &machine);
+        print!("{:>16}", bench.name);
+        for policy in policies {
+            let config = default_config(false).with_policy(policy);
+            let result = evaluate_profile(&bench, &config, &baseline);
+            print!(
+                "  {:>5.1}%/{:>5.1}%",
+                result.metrics.performance_degradation * 100.0,
+                result.metrics.energy_savings * 100.0
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,13 @@
+//! Table 1: the SimpleScalar-style machine configuration of the simulated MCD
+//! processor.
+
+use mcd_sim::config::MachineConfig;
+
+fn main() {
+    println!("Table 1. Simulator configuration.");
+    println!();
+    let cfg = MachineConfig::default();
+    for (name, value) in cfg.table1_rows() {
+        println!("{name:<42} {value}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Table 3: number of long-running (reconfiguration) nodes and total call-tree
+//! nodes when profiling with the training versus the reference input, the
+//! nodes common to both, and the coverage fractions — under the most
+//! aggressive context definition (L+F+C+P).
+
+use mcd_profiling::call_tree::CallTree;
+use mcd_profiling::candidates::LongRunningSet;
+use mcd_profiling::context::ContextPolicy;
+use mcd_profiling::coverage::CoverageReport;
+use mcd_workloads::generator::generate_trace;
+use mcd_workloads::suite::suite;
+
+fn main() {
+    println!("Table 3. Reconfiguration nodes / total call-tree nodes when profiling with");
+    println!("the training and reference input sets (L+F+C+P).");
+    println!();
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>14}",
+        "Benchmark", "TRAIN", "REF", "Common", "Coverage"
+    );
+    println!("{}", "-".repeat(72));
+
+    for bench in suite() {
+        let train_trace = generate_trace(&bench.program, &bench.inputs.training);
+        let ref_trace = generate_trace(&bench.program, &bench.inputs.reference);
+        let train_tree = CallTree::build(&train_trace, ContextPolicy::LoopFuncSitePath);
+        let ref_tree = CallTree::build(&ref_trace, ContextPolicy::LoopFuncSitePath);
+        let train_lr = LongRunningSet::identify(&train_tree);
+        let ref_lr = LongRunningSet::identify(&ref_tree);
+        let report = CoverageReport::compare(&train_tree, &train_lr, &ref_tree, &ref_lr);
+        println!(
+            "{:<16} {:>5} {:>5} {:>6} {:>5} {:>6} {:>5} {:>7.2} {:>6.2}",
+            bench.name,
+            report.train_long_running,
+            report.train_total,
+            report.reference_long_running,
+            report.reference_total,
+            report.common_long_running,
+            report.common_total,
+            report.long_running_coverage(),
+            report.total_coverage(),
+        );
+    }
+}

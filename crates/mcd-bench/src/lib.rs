@@ -1,0 +1,128 @@
+//! Shared infrastructure for the benchmark harness that regenerates every
+//! table and figure of the paper.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure; this library
+//! provides the common pieces: the evaluation configuration, suite selection,
+//! result caching across schemes, and plain-text table formatting that mirrors
+//! the rows/series the paper reports.
+
+#![warn(missing_docs)]
+
+use mcd_dvfs::evaluation::{evaluate_benchmark, BenchmarkEvaluation, EvaluationConfig};
+use mcd_workloads::suite::{suite, Benchmark};
+
+/// The slowdown target used for the headline results (the paper's Figures 4–7
+/// use a dilation target of roughly 7%).
+pub const HEADLINE_SLOWDOWN: f64 = 0.07;
+
+/// Returns the benchmarks to evaluate. `quick` restricts the run to a
+/// representative six-benchmark subset (useful while iterating); the full
+/// suite is all nineteen programs.
+pub fn selected_suite(quick: bool) -> Vec<Benchmark> {
+    let all = suite();
+    if !quick {
+        return all;
+    }
+    let keep = [
+        "adpcm decode",
+        "epic encode",
+        "jpeg compress",
+        "mcf",
+        "swim",
+        "art",
+    ];
+    all.into_iter()
+        .filter(|b| keep.contains(&b.name))
+        .collect()
+}
+
+/// True if the process arguments request a quick (subset) run.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "quick")
+        || std::env::var("MCD_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The default evaluation configuration used by the figure binaries.
+pub fn default_config(include_global: bool) -> EvaluationConfig {
+    EvaluationConfig {
+        include_global,
+        ..EvaluationConfig::default()
+    }
+    .with_slowdown(HEADLINE_SLOWDOWN)
+}
+
+/// Evaluates every benchmark in `benches` under `config`, printing progress to
+/// stderr as it goes (the full suite takes a minute or two).
+pub fn evaluate_all(benches: &[Benchmark], config: &EvaluationConfig) -> Vec<BenchmarkEvaluation> {
+    benches
+        .iter()
+        .map(|b| {
+            eprintln!("  evaluating {} ...", b.name);
+            evaluate_benchmark(b, config)
+        })
+        .collect()
+}
+
+/// Formatting helpers for the text tables the binaries print.
+pub mod format {
+    /// Formats a fraction as a percentage with one decimal.
+    pub fn pct(fraction: f64) -> String {
+        format!("{:6.1}%", fraction * 100.0)
+    }
+
+    /// Prints a header row followed by a separator of matching width.
+    pub fn header(columns: &[(&str, usize)]) {
+        let mut line = String::new();
+        for (name, width) in columns {
+            line.push_str(&format!("{name:>width$}  ", width = width));
+        }
+        println!("{line}");
+        println!("{}", "-".repeat(line.len().max(1)));
+    }
+
+    /// Pads a benchmark name to the standard column width.
+    pub fn name_cell(name: &str) -> String {
+        format!("{name:<16}")
+    }
+}
+
+/// Simple arithmetic mean (returns zero for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_is_a_subset() {
+        let quick = selected_suite(true);
+        let full = selected_suite(false);
+        assert_eq!(full.len(), 19);
+        assert!(quick.len() < full.len());
+        assert!(quick.len() >= 5);
+        for b in &quick {
+            assert!(full.iter().any(|f| f.name == b.name));
+        }
+    }
+
+    #[test]
+    fn default_config_uses_headline_slowdown() {
+        let cfg = default_config(true);
+        assert!((cfg.training.slowdown - HEADLINE_SLOWDOWN).abs() < 1e-12);
+        assert!((cfg.offline.slowdown - HEADLINE_SLOWDOWN).abs() < 1e-12);
+        assert!(cfg.include_global);
+    }
+
+    #[test]
+    fn mean_and_pct() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(format::pct(0.314).trim(), "31.4%");
+    }
+}

@@ -1,0 +1,248 @@
+//! Selection of long-running call-tree nodes (the shaded nodes of Figure 3).
+//!
+//! Starting from the leaves and working up, a node is a *reconfiguration
+//! candidate* when its average instance — excluding instructions executed in
+//! long-running descendants — exceeds the threshold (10 000 instructions in
+//! the paper: long enough for a frequency change to settle and have an energy
+//! impact, short enough that a single setting per node suffices).
+
+use crate::call_tree::{CallTree, NodeId};
+use std::collections::HashSet;
+
+/// The default long-running threshold from the paper: 10 000 instructions per
+/// average instance.
+pub const DEFAULT_THRESHOLD: u64 = 10_000;
+
+/// The set of long-running (reconfiguration-candidate) nodes of one call tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LongRunningSet {
+    threshold: u64,
+    nodes: HashSet<NodeId>,
+}
+
+impl LongRunningSet {
+    /// Identifies the long-running nodes of `tree` with the default threshold.
+    pub fn identify(tree: &CallTree) -> Self {
+        Self::identify_with_threshold(tree, DEFAULT_THRESHOLD)
+    }
+
+    /// Identifies the long-running nodes of `tree` using a custom threshold.
+    pub fn identify_with_threshold(tree: &CallTree, threshold: u64) -> Self {
+        let mut set = HashSet::new();
+        Self::visit(tree, tree.root(), threshold, &mut set);
+        LongRunningSet {
+            threshold,
+            nodes: set,
+        }
+    }
+
+    /// Bottom-up traversal returning the instructions in the subtree that are
+    /// not already covered by a long-running descendant.
+    fn visit(tree: &CallTree, id: NodeId, threshold: u64, out: &mut HashSet<NodeId>) -> u64 {
+        let node = tree.node(id);
+        let uncovered_children: u64 = node
+            .children
+            .iter()
+            .map(|&c| Self::visit(tree, c, threshold, out))
+            .sum();
+        let uncovered = node.self_instructions + uncovered_children;
+        let instances = node.instances.max(1);
+        if uncovered / instances >= threshold {
+            out.insert(id);
+            0
+        } else {
+            uncovered
+        }
+    }
+
+    /// The threshold used for identification.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Whether `id` was identified as long-running.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains(&id)
+    }
+
+    /// Number of long-running nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no node qualified.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates the long-running node ids (in arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// The long-running node ids, sorted.
+    pub fn sorted(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.nodes.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Nodes that have a long-running node somewhere in their subtree
+    /// (including themselves). These are the nodes whose subroutines need
+    /// path-tracking instrumentation under the path-based policies (nodes `A`
+    /// through `G` in Figure 3).
+    pub fn nodes_reaching_long_running(&self, tree: &CallTree) -> HashSet<NodeId> {
+        let mut reaching = HashSet::new();
+        for &id in &self.nodes {
+            let mut cur = Some(id);
+            while let Some(c) = cur {
+                if !reaching.insert(c) {
+                    break;
+                }
+                cur = tree.node(c).parent;
+            }
+        }
+        reaching
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::call_tree::{CallTree, NodeKind};
+    use crate::context::ContextPolicy;
+    use mcd_sim::instruction::{CallSiteId, Instr, InstrClass, Marker, SubroutineId, TraceItem};
+
+    fn sub_enter(s: u32, site: u32) -> TraceItem {
+        TraceItem::Marker(Marker::SubroutineEnter {
+            subroutine: SubroutineId(s),
+            call_site: CallSiteId(site),
+        })
+    }
+    fn sub_exit(s: u32) -> TraceItem {
+        TraceItem::Marker(Marker::SubroutineExit {
+            subroutine: SubroutineId(s),
+        })
+    }
+    fn instrs(n: usize) -> Vec<TraceItem> {
+        (0..n)
+            .map(|i| TraceItem::Instr(Instr::op(i as u64 * 4, InstrClass::IntAlu)))
+            .collect()
+    }
+
+    /// main calls a big worker (15k instructions per call) and a small helper
+    /// (100 instructions per call, 10 calls).
+    fn simple_trace() -> Vec<TraceItem> {
+        let mut t = vec![sub_enter(0, u32::MAX)];
+        t.extend(instrs(500));
+        t.push(sub_enter(1, 0));
+        t.extend(instrs(15_000));
+        t.push(sub_exit(1));
+        for _ in 0..10 {
+            t.push(sub_enter(2, 1));
+            t.extend(instrs(100));
+            t.push(sub_exit(2));
+        }
+        t.push(sub_exit(0));
+        t
+    }
+
+    #[test]
+    fn big_worker_is_long_running_small_helper_is_not() {
+        let trace = simple_trace();
+        let tree = CallTree::build(&trace, ContextPolicy::LoopFuncSitePath);
+        let lr = LongRunningSet::identify(&tree);
+        let worker = tree
+            .nodes()
+            .iter()
+            .find(|n| n.kind == NodeKind::Subroutine(SubroutineId(1)))
+            .unwrap()
+            .id;
+        let helper = tree
+            .nodes()
+            .iter()
+            .find(|n| n.kind == NodeKind::Subroutine(SubroutineId(2)))
+            .unwrap()
+            .id;
+        assert!(lr.contains(worker));
+        assert!(!lr.contains(helper));
+    }
+
+    #[test]
+    fn parent_excludes_long_running_children() {
+        // main itself only has 500 + 10*100 = 1500 uncovered instructions, so it
+        // is not long-running once the worker is covered.
+        let trace = simple_trace();
+        let tree = CallTree::build(&trace, ContextPolicy::LoopFuncSitePath);
+        let lr = LongRunningSet::identify(&tree);
+        assert!(!lr.contains(tree.root()));
+        assert_eq!(lr.len(), 1);
+    }
+
+    #[test]
+    fn lower_threshold_admits_more_nodes() {
+        let trace = simple_trace();
+        let tree = CallTree::build(&trace, ContextPolicy::LoopFuncSitePath);
+        let strict = LongRunningSet::identify(&tree);
+        let loose = LongRunningSet::identify_with_threshold(&tree, 50);
+        assert!(loose.len() > strict.len());
+        assert_eq!(loose.threshold(), 50);
+    }
+
+    #[test]
+    fn root_long_running_when_it_does_the_work_itself() {
+        let mut t = vec![sub_enter(0, u32::MAX)];
+        t.extend(instrs(50_000));
+        t.push(sub_exit(0));
+        let tree = CallTree::build(&t, ContextPolicy::FuncPath);
+        let lr = LongRunningSet::identify(&tree);
+        assert!(lr.contains(tree.root()));
+        assert_eq!(lr.len(), 1);
+        assert!(!lr.is_empty());
+    }
+
+    #[test]
+    fn many_instances_dilute_the_average() {
+        // A subroutine with 100 instances of 200 instructions each: 20 000 total
+        // but only 200 per instance — not long-running.
+        let mut t = vec![sub_enter(0, u32::MAX)];
+        for _ in 0..100 {
+            t.push(sub_enter(1, 0));
+            t.extend(instrs(200));
+            t.push(sub_exit(1));
+        }
+        t.push(sub_exit(0));
+        let tree = CallTree::build(&t, ContextPolicy::FuncPath);
+        let lr = LongRunningSet::identify(&tree);
+        let callee = tree
+            .nodes()
+            .iter()
+            .find(|n| n.kind == NodeKind::Subroutine(SubroutineId(1)))
+            .unwrap()
+            .id;
+        assert!(!lr.contains(callee));
+        // The total run is 20 000 instructions with one instance of main, so
+        // main absorbs it and becomes the reconfiguration point.
+        assert!(lr.contains(tree.root()));
+    }
+
+    #[test]
+    fn reaching_set_covers_ancestors() {
+        let trace = simple_trace();
+        let tree = CallTree::build(&trace, ContextPolicy::LoopFuncSitePath);
+        let lr = LongRunningSet::identify(&tree);
+        let reaching = lr.nodes_reaching_long_running(&tree);
+        assert!(reaching.contains(&tree.root()));
+        for id in lr.iter() {
+            assert!(reaching.contains(&id));
+        }
+        // The helper node does not reach any long-running node.
+        let helper = tree
+            .nodes()
+            .iter()
+            .find(|n| n.kind == NodeKind::Subroutine(SubroutineId(2)))
+            .unwrap()
+            .id;
+        assert!(!reaching.contains(&helper));
+    }
+}

@@ -1,0 +1,147 @@
+//! Definitions of calling context (Section 3.1 of the paper).
+//!
+//! The profiler can distinguish program phases at six levels of sophistication.
+//! Four of them correspond to different call trees (whether loops get their own
+//! nodes, and whether calls to the same subroutine from different call sites
+//! get separate nodes); the last two (L+F and F) use the L+F+P / F+P trees to
+//! *identify* long-running nodes during profiling but ignore calling history at
+//! run time, which makes their run-time instrumentation far simpler.
+
+use std::fmt;
+
+/// A calling-context policy.
+///
+/// The letters follow the paper: **L** = loops get nodes, **F** = functions
+/// (subroutines) get nodes, **C** = call sites within a caller are
+/// distinguished, **P** = the call path (chain) is tracked at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ContextPolicy {
+    /// Loops + functions + call sites + paths: the most precise (and most
+    /// expensive) definition of context.
+    LoopFuncSitePath,
+    /// Loops + functions + paths (call sites within a caller are merged).
+    LoopFuncPath,
+    /// Functions + call sites + paths (no loop nodes).
+    FuncSitePath,
+    /// Functions + paths only (the calling context tree of Ammons et al.).
+    FuncPath,
+    /// Loops + functions, no run-time path tracking: reconfigure whenever a
+    /// long-running static subroutine or loop is entered, whatever the path.
+    LoopFunc,
+    /// Functions only, no run-time path tracking.
+    Func,
+}
+
+impl ContextPolicy {
+    /// All six policies, most precise first (the order of Figure 12).
+    pub const ALL: [ContextPolicy; 6] = [
+        ContextPolicy::LoopFuncSitePath,
+        ContextPolicy::LoopFuncPath,
+        ContextPolicy::FuncSitePath,
+        ContextPolicy::FuncPath,
+        ContextPolicy::LoopFunc,
+        ContextPolicy::Func,
+    ];
+
+    /// Whether loops appear as call-tree nodes under this policy.
+    pub fn tracks_loops(self) -> bool {
+        matches!(
+            self,
+            ContextPolicy::LoopFuncSitePath | ContextPolicy::LoopFuncPath | ContextPolicy::LoopFunc
+        )
+    }
+
+    /// Whether calls from different call sites within the same caller get
+    /// distinct call-tree nodes.
+    pub fn tracks_call_sites(self) -> bool {
+        matches!(
+            self,
+            ContextPolicy::LoopFuncSitePath | ContextPolicy::FuncSitePath
+        )
+    }
+
+    /// Whether the run-time instrumentation tracks the call chain (and
+    /// therefore needs the node-label lookup tables).
+    pub fn tracks_paths(self) -> bool {
+        !matches!(self, ContextPolicy::LoopFunc | ContextPolicy::Func)
+    }
+
+    /// The paper's abbreviation for the policy (e.g. `"L+F+C+P"`).
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            ContextPolicy::LoopFuncSitePath => "L+F+C+P",
+            ContextPolicy::LoopFuncPath => "L+F+P",
+            ContextPolicy::FuncSitePath => "F+C+P",
+            ContextPolicy::FuncPath => "F+P",
+            ContextPolicy::LoopFunc => "L+F",
+            ContextPolicy::Func => "F",
+        }
+    }
+
+    /// The policy whose *tree* this policy uses for phase-one identification.
+    ///
+    /// L+F and F do not track paths at run time, but the paper identifies their
+    /// long-running nodes using the L+F+P and F+P trees respectively.
+    pub fn identification_policy(self) -> ContextPolicy {
+        match self {
+            ContextPolicy::LoopFunc => ContextPolicy::LoopFuncPath,
+            ContextPolicy::Func => ContextPolicy::FuncPath,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for ContextPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_policies_with_unique_abbreviations() {
+        let mut abbrs: Vec<&str> = ContextPolicy::ALL.iter().map(|p| p.abbreviation()).collect();
+        abbrs.sort();
+        abbrs.dedup();
+        assert_eq!(abbrs.len(), 6);
+    }
+
+    #[test]
+    fn tracking_properties() {
+        assert!(ContextPolicy::LoopFuncSitePath.tracks_loops());
+        assert!(ContextPolicy::LoopFuncSitePath.tracks_call_sites());
+        assert!(ContextPolicy::LoopFuncSitePath.tracks_paths());
+
+        assert!(!ContextPolicy::FuncPath.tracks_loops());
+        assert!(!ContextPolicy::FuncPath.tracks_call_sites());
+        assert!(ContextPolicy::FuncPath.tracks_paths());
+
+        assert!(ContextPolicy::LoopFunc.tracks_loops());
+        assert!(!ContextPolicy::LoopFunc.tracks_paths());
+        assert!(!ContextPolicy::Func.tracks_loops());
+        assert!(!ContextPolicy::Func.tracks_call_sites());
+    }
+
+    #[test]
+    fn identification_policies() {
+        assert_eq!(
+            ContextPolicy::LoopFunc.identification_policy(),
+            ContextPolicy::LoopFuncPath
+        );
+        assert_eq!(ContextPolicy::Func.identification_policy(), ContextPolicy::FuncPath);
+        assert_eq!(
+            ContextPolicy::FuncSitePath.identification_policy(),
+            ContextPolicy::FuncSitePath
+        );
+    }
+
+    #[test]
+    fn display_matches_abbreviation() {
+        for p in ContextPolicy::ALL {
+            assert_eq!(p.to_string(), p.abbreviation());
+        }
+    }
+}

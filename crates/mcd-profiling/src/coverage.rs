@@ -1,0 +1,152 @@
+//! Training-versus-reference call-tree coverage (Table 3 of the paper).
+//!
+//! The profiling mechanism only ever builds call trees for training runs; the
+//! reference-input trees here are constructed purely for comparison, exactly
+//! as the paper's Table 3 does, to show how well the code paths seen during
+//! training predict the paths taken in production.
+
+use crate::call_tree::{CallTree, NodeKind};
+use crate::candidates::LongRunningSet;
+use mcd_sim::instruction::CallSiteId;
+use std::collections::HashSet;
+
+type Signature = Vec<(NodeKind, Option<CallSiteId>)>;
+
+/// One row of Table 3 for a single benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Long-running nodes found with the training input.
+    pub train_long_running: usize,
+    /// Total call-tree nodes with the training input.
+    pub train_total: usize,
+    /// Long-running nodes found with the reference input.
+    pub reference_long_running: usize,
+    /// Total call-tree nodes with the reference input.
+    pub reference_total: usize,
+    /// Long-running nodes common to both trees (same path from the root).
+    pub common_long_running: usize,
+    /// Total nodes common to both trees.
+    pub common_total: usize,
+}
+
+impl CoverageReport {
+    /// Compares the training tree (and its long-running set) with the
+    /// reference tree (and its long-running set).
+    pub fn compare(
+        train_tree: &CallTree,
+        train_long: &LongRunningSet,
+        reference_tree: &CallTree,
+        reference_long: &LongRunningSet,
+    ) -> Self {
+        let train_all: HashSet<Signature> = train_tree
+            .preorder()
+            .into_iter()
+            .map(|id| train_tree.path_signature(id))
+            .collect();
+        let train_lr: HashSet<Signature> = train_long
+            .iter()
+            .map(|id| train_tree.path_signature(id))
+            .collect();
+        let ref_all: HashSet<Signature> = reference_tree
+            .preorder()
+            .into_iter()
+            .map(|id| reference_tree.path_signature(id))
+            .collect();
+        let ref_lr: HashSet<Signature> = reference_long
+            .iter()
+            .map(|id| reference_tree.path_signature(id))
+            .collect();
+
+        CoverageReport {
+            train_long_running: train_lr.len(),
+            train_total: train_all.len(),
+            reference_long_running: ref_lr.len(),
+            reference_total: ref_all.len(),
+            common_long_running: train_lr.intersection(&ref_lr).count(),
+            common_total: train_all.intersection(&ref_all).count(),
+        }
+    }
+
+    /// Coverage of long-running nodes: common / reference (the first number of
+    /// Table 3's *Coverage* column).
+    pub fn long_running_coverage(&self) -> f64 {
+        if self.reference_long_running == 0 {
+            1.0
+        } else {
+            self.common_long_running as f64 / self.reference_long_running as f64
+        }
+    }
+
+    /// Coverage of all nodes: common / reference (the second number of the
+    /// *Coverage* column).
+    pub fn total_coverage(&self) -> f64 {
+        if self.reference_total == 0 {
+            1.0
+        } else {
+            self.common_total as f64 / self.reference_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextPolicy;
+    use mcd_workloads::generator::generate_trace;
+    use mcd_workloads::programs;
+
+    fn report_for(
+        (program, inputs): (mcd_workloads::program::Program, mcd_workloads::input::InputPair),
+    ) -> CoverageReport {
+        let train_trace = generate_trace(&program, &inputs.training);
+        let ref_trace = generate_trace(&program, &inputs.reference);
+        let train_tree = CallTree::build(&train_trace, ContextPolicy::LoopFuncSitePath);
+        let ref_tree = CallTree::build(&ref_trace, ContextPolicy::LoopFuncSitePath);
+        let train_lr = LongRunningSet::identify(&train_tree);
+        let ref_lr = LongRunningSet::identify(&ref_tree);
+        CoverageReport::compare(&train_tree, &train_lr, &ref_tree, &ref_lr)
+    }
+
+    #[test]
+    fn stable_benchmark_has_full_coverage() {
+        let r = report_for(programs::adpcm::decode());
+        assert!(r.total_coverage() > 0.99, "adpcm coverage {:?}", r);
+        assert!(r.long_running_coverage() > 0.99);
+        assert!(r.train_long_running >= 1);
+    }
+
+    #[test]
+    fn mpeg2_decode_reference_has_extra_nodes() {
+        let r = report_for(programs::mpeg2::decode());
+        assert!(
+            r.reference_total > r.train_total,
+            "reference tree should have nodes training never saw: {:?}",
+            r
+        );
+        assert!(r.total_coverage() < 1.0);
+    }
+
+    #[test]
+    fn vpr_coverage_is_very_low() {
+        let r = report_for(programs::vpr::vpr());
+        assert!(
+            r.total_coverage() < 0.5,
+            "vpr training and reference should diverge strongly: {:?}",
+            r
+        );
+    }
+
+    #[test]
+    fn coverage_fractions_are_in_unit_range() {
+        for bench in [
+            programs::gsm::decode(),
+            programs::jpeg::compress(),
+            programs::swim::swim(),
+        ] {
+            let r = report_for(bench);
+            assert!(r.long_running_coverage() >= 0.0 && r.long_running_coverage() <= 1.0);
+            assert!(r.total_coverage() >= 0.0 && r.total_coverage() <= 1.0);
+            assert!(r.common_total <= r.train_total.min(r.reference_total));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Instrumentation overhead model (Section 3.4, Table 4 and Figure 12).
+//!
+//! ATOM cannot insert inline code, so the paper measures the cost of the added
+//! instructions with a hand-instrumented microbenchmark and charges a fixed
+//! penalty per instrumentation point inside the simulator. We follow the same
+//! approach with the same constants: 9 cycles for a point that accesses the
+//! two-dimensional node-label table, 17 cycles for a reconfiguration point
+//! (which additionally reads the frequency table and writes the
+//! reconfiguration register). Loop headers only add a statically known offset
+//! to the current label, and the L+F / F schemes use statically known
+//! frequencies whose few instructions schedule into empty issue slots, so both
+//! are substantially cheaper.
+
+/// Cycles charged for an instrumentation point that performs the 2-D
+/// node-label table lookup (subroutine prologue/epilogue under path tracking).
+pub const PATH_INSTRUMENTATION_CYCLES: f64 = 9.0;
+
+/// Cycles charged for a reconfiguration point: node-label update, frequency
+/// table access and reconfiguration-register write.
+pub const RECONFIG_POINT_CYCLES: f64 = 17.0;
+
+/// Cycles charged for a loop header/footer or call-site label update (adds a
+/// statically known offset, no table lookup).
+pub const LOOP_LABEL_CYCLES: f64 = 4.0;
+
+/// Cycles charged for a reconfiguration point under the L+F and F policies,
+/// where the frequency values are statically known and the handful of
+/// instructions schedule into otherwise-empty slots ("virtually zero" in the
+/// paper).
+pub const SIMPLE_RECONFIG_CYCLES: f64 = 1.0;
+
+/// Static and dynamic instrumentation statistics for one benchmark under one
+/// context policy (one row of Table 4, and the inputs to Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OverheadReport {
+    /// Static reconfiguration points in the edited binary.
+    pub static_reconfiguration_points: usize,
+    /// Static instrumentation points (reconfiguration points are a subset).
+    pub static_instrumentation_points: usize,
+    /// Dynamic executions of reconfiguration points.
+    pub dynamic_reconfigurations: u64,
+    /// Dynamic executions of instrumentation points (including reconfiguration
+    /// points).
+    pub dynamic_instrumentations: u64,
+    /// Total instrumentation cycles charged during the production run.
+    pub overhead_cycles: f64,
+    /// Estimated size of the run-time lookup tables, in bytes.
+    pub lookup_table_bytes: usize,
+}
+
+impl OverheadReport {
+    /// Overhead as a fraction of the given total run time expressed in
+    /// baseline (1 GHz) cycles.
+    pub fn overhead_fraction(&self, total_cycles: f64) -> f64 {
+        if total_cycles <= 0.0 {
+            0.0
+        } else {
+            self.overhead_cycles / total_cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_the_paper() {
+        assert_eq!(PATH_INSTRUMENTATION_CYCLES, 9.0);
+        assert_eq!(RECONFIG_POINT_CYCLES, 17.0);
+        assert!(LOOP_LABEL_CYCLES < PATH_INSTRUMENTATION_CYCLES);
+        assert!(SIMPLE_RECONFIG_CYCLES < LOOP_LABEL_CYCLES);
+    }
+
+    #[test]
+    fn overhead_fraction_guards_zero() {
+        let mut r = OverheadReport::default();
+        r.overhead_cycles = 50.0;
+        assert_eq!(r.overhead_fraction(0.0), 0.0);
+        assert!((r.overhead_fraction(10_000.0) - 0.005).abs() < 1e-12);
+    }
+}

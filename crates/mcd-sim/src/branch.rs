@@ -1,0 +1,279 @@
+//! Branch predictor model: a combining predictor choosing between a bimodal
+//! predictor and a 2-level PAg predictor, plus a set-associative BTB, matching
+//! Table 1.
+
+use crate::config::BranchPredictorConfig;
+
+/// Two-bit saturating counter used by every table in the predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Counter2(u8);
+
+impl Counter2 {
+    fn predict_taken(self) -> bool {
+        self.0 >= 2
+    }
+    fn update(&mut self, taken: bool) {
+        if taken {
+            if self.0 < 3 {
+                self.0 += 1;
+            }
+        } else if self.0 > 0 {
+            self.0 -= 1;
+        }
+    }
+}
+
+/// Outcome of predicting one dynamic branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictionOutcome {
+    /// Whether the direction prediction was correct.
+    pub direction_correct: bool,
+    /// Whether the target was found in the BTB (only meaningful for taken branches).
+    pub btb_hit: bool,
+    /// Whether the front end must be redirected (mispredicted direction, or a
+    /// taken branch whose target missed in the BTB).
+    pub mispredicted: bool,
+}
+
+/// Combining branch predictor (bimodal + 2-level PAg) with a BTB.
+///
+/// ```
+/// use mcd_sim::branch::BranchPredictor;
+/// use mcd_sim::config::MachineConfig;
+/// let mut bp = BranchPredictor::new(&MachineConfig::default().branch);
+/// // A highly biased branch is quickly learned.
+/// let mut last = None;
+/// for _ in 0..64 {
+///     last = Some(bp.predict_and_update(0x400, true, 0x800));
+/// }
+/// assert!(last.unwrap().direction_correct);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    bimodal: Vec<Counter2>,
+    history: Vec<u16>,
+    history_mask: u16,
+    pattern: Vec<Counter2>,
+    chooser: Vec<Counter2>,
+    btb: Vec<Vec<(u64, u64)>>, // per-set (pc, target) in LRU order
+    btb_ways: usize,
+    lookups: u64,
+    mispredicts: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size is zero or not a power of two.
+    pub fn new(config: &BranchPredictorConfig) -> Self {
+        for &n in &[
+            config.level1_entries,
+            config.level2_entries,
+            config.bimodal_entries,
+            config.combining_entries,
+            config.btb_sets,
+        ] {
+            assert!(n > 0 && n.is_power_of_two(), "table sizes must be powers of two");
+        }
+        assert!(config.history_bits > 0 && config.history_bits <= 16);
+        BranchPredictor {
+            bimodal: vec![Counter2(2); config.bimodal_entries as usize],
+            history: vec![0; config.level1_entries as usize],
+            history_mask: ((1u32 << config.history_bits) - 1) as u16,
+            pattern: vec![Counter2(2); config.level2_entries as usize],
+            chooser: vec![Counter2(2); config.combining_entries as usize],
+            btb: vec![Vec::new(); config.btb_sets as usize],
+            btb_ways: config.btb_ways as usize,
+            lookups: 0,
+            mispredicts: 0,
+        }
+    }
+
+    fn bimodal_index(&self, pc: u64) -> usize {
+        (pc >> 2) as usize & (self.bimodal.len() - 1)
+    }
+
+    fn history_index(&self, pc: u64) -> usize {
+        (pc >> 2) as usize & (self.history.len() - 1)
+    }
+
+    fn pattern_index(&self, hist: u16) -> usize {
+        hist as usize & (self.pattern.len() - 1)
+    }
+
+    fn chooser_index(&self, pc: u64) -> usize {
+        (pc >> 2) as usize & (self.chooser.len() - 1)
+    }
+
+    fn btb_index(&self, pc: u64) -> usize {
+        (pc >> 2) as usize & (self.btb.len() - 1)
+    }
+
+    /// Predicts the branch at `pc`, then updates all structures with the actual
+    /// outcome (`taken`, `target`). Returns whether the front end would have been
+    /// redirected.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool, target: u64) -> PredictionOutcome {
+        self.lookups += 1;
+
+        let bi = self.bimodal_index(pc);
+        let hi = self.history_index(pc);
+        let hist = self.history[hi] & self.history_mask;
+        let pi = self.pattern_index(hist);
+        let ci = self.chooser_index(pc);
+
+        let bimodal_pred = self.bimodal[bi].predict_taken();
+        let pag_pred = self.pattern[pi].predict_taken();
+        let use_pag = self.chooser[ci].predict_taken();
+        let predicted_taken = if use_pag { pag_pred } else { bimodal_pred };
+
+        // BTB lookup for the target.
+        let set = self.btb_index(pc);
+        let btb_hit = self.btb[set]
+            .iter()
+            .any(|&(tag, tgt)| tag == pc && tgt == target);
+
+        let direction_correct = predicted_taken == taken;
+        let mispredicted = !direction_correct || (taken && !btb_hit);
+        if mispredicted {
+            self.mispredicts += 1;
+        }
+
+        // Update direction predictors.
+        self.bimodal[bi].update(taken);
+        self.pattern[pi].update(taken);
+        if bimodal_pred != pag_pred {
+            // Train the chooser toward whichever component was right.
+            self.chooser[ci].update(pag_pred == taken);
+        }
+        self.history[hi] = ((self.history[hi] << 1) | u16::from(taken)) & self.history_mask;
+
+        // Update BTB for taken branches.
+        if taken {
+            let set_entries = &mut self.btb[set];
+            if let Some(pos) = set_entries.iter().position(|&(tag, _)| tag == pc) {
+                let mut e = set_entries.remove(pos);
+                e.1 = target;
+                set_entries.insert(0, e);
+            } else {
+                if set_entries.len() == self.btb_ways {
+                    set_entries.pop();
+                }
+                set_entries.insert(0, (pc, target));
+            }
+        }
+
+        PredictionOutcome {
+            direction_correct,
+            btb_hit,
+            mispredicted,
+        }
+    }
+
+    /// Number of branches predicted so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Number of mispredictions (direction or BTB) so far.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Misprediction rate, or zero before any lookup.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn predictor() -> BranchPredictor {
+        BranchPredictor::new(&MachineConfig::default().branch)
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter2(0);
+        for _ in 0..10 {
+            c.update(true);
+        }
+        assert!(c.predict_taken());
+        for _ in 0..10 {
+            c.update(false);
+        }
+        assert!(!c.predict_taken());
+    }
+
+    #[test]
+    fn biased_branch_learned_quickly() {
+        let mut bp = predictor();
+        for _ in 0..16 {
+            bp.predict_and_update(0x1000, true, 0x2000);
+        }
+        let before = bp.mispredicts();
+        for _ in 0..100 {
+            bp.predict_and_update(0x1000, true, 0x2000);
+        }
+        assert_eq!(bp.mispredicts(), before, "steady-state biased branch should not mispredict");
+    }
+
+    #[test]
+    fn alternating_branch_learned_by_pag() {
+        let mut bp = predictor();
+        let mut taken = false;
+        // Warm up the history-based predictor on a strictly alternating pattern.
+        for _ in 0..200 {
+            taken = !taken;
+            bp.predict_and_update(0x3000, taken, 0x4000);
+        }
+        let before = bp.mispredicts();
+        for _ in 0..100 {
+            taken = !taken;
+            bp.predict_and_update(0x3000, taken, 0x4000);
+        }
+        let extra = bp.mispredicts() - before;
+        assert!(extra <= 5, "PAg should capture an alternating pattern, got {extra} mispredicts");
+    }
+
+    #[test]
+    fn random_branches_mispredict_substantially() {
+        let mut bp = predictor();
+        let mut state = 0x1234_5678_u64;
+        for i in 0..2000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let taken = state & 1 == 1;
+            bp.predict_and_update(0x5000 + (i % 7) * 4, taken, 0x6000);
+        }
+        assert!(bp.mispredict_rate() > 0.2, "random branches should mispredict often");
+    }
+
+    #[test]
+    fn btb_miss_on_first_taken_branch() {
+        let mut bp = predictor();
+        let out = bp.predict_and_update(0x7000, true, 0x8000);
+        assert!(!out.btb_hit);
+        assert!(out.mispredicted);
+        let out2 = bp.predict_and_update(0x7000, true, 0x8000);
+        assert!(out2.btb_hit);
+    }
+
+    #[test]
+    fn rates_accumulate() {
+        let mut bp = predictor();
+        assert_eq!(bp.mispredict_rate(), 0.0);
+        bp.predict_and_update(0x9000, true, 0xa000);
+        assert_eq!(bp.lookups(), 1);
+        assert!(bp.mispredict_rate() > 0.0);
+    }
+}

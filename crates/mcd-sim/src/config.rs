@@ -1,0 +1,437 @@
+//! Machine configuration (Table 1 of the paper) and its builder.
+
+use crate::freq::{FrequencyGrid, RampModel, VoltageMap};
+use crate::time::MegaHertz;
+
+/// Cache geometry and latency for one level of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (1 = direct mapped).
+    pub associativity: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access latency in cycles of the cache's clock domain.
+    pub latency_cycles: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets in the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero-size cache or line).
+    pub fn sets(&self) -> u64 {
+        assert!(self.size_bytes > 0 && self.line_bytes > 0 && self.associativity > 0);
+        self.size_bytes / (self.line_bytes as u64 * self.associativity as u64)
+    }
+}
+
+/// Branch predictor configuration (combination of bimodal and 2-level PAg).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchPredictorConfig {
+    /// Entries in the first-level (per-address) history table.
+    pub level1_entries: u32,
+    /// History register length, in bits.
+    pub history_bits: u32,
+    /// Entries in the second-level pattern table.
+    pub level2_entries: u32,
+    /// Entries in the bimodal predictor.
+    pub bimodal_entries: u32,
+    /// Entries in the combining (chooser) predictor.
+    pub combining_entries: u32,
+    /// Branch target buffer sets.
+    pub btb_sets: u32,
+    /// Branch target buffer associativity.
+    pub btb_ways: u32,
+    /// Misprediction penalty in front-end cycles.
+    pub mispredict_penalty: u32,
+}
+
+/// Complete machine configuration of the MCD processor under simulation.
+///
+/// Defaults reproduce Table 1 (chosen to match an Alpha 21264 to the extent
+/// possible).
+///
+/// ```
+/// use mcd_sim::config::MachineConfig;
+/// let cfg = MachineConfig::default();
+/// assert_eq!(cfg.decode_width, 4);
+/// assert_eq!(cfg.reorder_buffer, 80);
+/// assert_eq!(cfg.l2.latency_cycles, 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Instructions fetched/decoded per front-end cycle.
+    pub decode_width: u32,
+    /// Instructions issued per cycle (across domains).
+    pub issue_width: u32,
+    /// Instructions retired per front-end cycle.
+    pub retire_width: u32,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// Main-memory access latency in nanoseconds (external domain, fixed speed).
+    pub memory_latency_ns: f64,
+    /// Integer ALUs.
+    pub int_alus: u32,
+    /// Integer multiply/divide units.
+    pub int_mult_units: u32,
+    /// Floating-point ALUs.
+    pub fp_alus: u32,
+    /// Floating-point multiply/divide/sqrt units.
+    pub fp_mult_units: u32,
+    /// Integer issue-queue entries.
+    pub int_issue_queue: u32,
+    /// Floating-point issue-queue entries.
+    pub fp_issue_queue: u32,
+    /// Load/store queue entries.
+    pub ls_queue: u32,
+    /// Reorder buffer entries.
+    pub reorder_buffer: u32,
+    /// Physical integer registers.
+    pub int_registers: u32,
+    /// Physical floating-point registers.
+    pub fp_registers: u32,
+    /// Branch predictor configuration.
+    pub branch: BranchPredictorConfig,
+    /// Hardware frequency grid (250 MHz – 1 GHz).
+    pub grid: FrequencyGrid,
+    /// Frequency→voltage operating map (0.65 V – 1.20 V).
+    pub voltage_map: VoltageMap,
+    /// Frequency change ramp model (73.3 ns/MHz).
+    pub ramp: RampModel,
+    /// Synchronization window in picoseconds (300 ps).
+    pub sync_window_ps: f64,
+    /// Clock jitter standard deviation in picoseconds (110 ps).
+    pub jitter_sigma_ps: f64,
+    /// Whether inter-domain synchronization penalties are modelled. Setting this
+    /// to `false` models the globally synchronous baseline processor.
+    pub synchronization_enabled: bool,
+    /// Seed for all stochastic elements of the simulation (jitter).
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// The baseline (maximum) clock frequency.
+    pub fn base_frequency(&self) -> MegaHertz {
+        self.grid.max()
+    }
+
+    /// Returns a builder initialized with this configuration.
+    pub fn to_builder(&self) -> MachineConfigBuilder {
+        MachineConfigBuilder {
+            config: self.clone(),
+        }
+    }
+
+    /// Renders the configuration as the rows of Table 1.
+    pub fn table1_rows(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "Branch predictor".into(),
+                "comb. of bimodal and 2-level PAg".into(),
+            ),
+            (
+                "Level1".into(),
+                format!(
+                    "{} entries, history {}",
+                    self.branch.level1_entries, self.branch.history_bits
+                ),
+            ),
+            ("Level2".into(), format!("{} entries", self.branch.level2_entries)),
+            (
+                "Bimodal predictor size".into(),
+                format!("{}", self.branch.bimodal_entries),
+            ),
+            (
+                "Combining predictor size".into(),
+                format!("{}", self.branch.combining_entries),
+            ),
+            (
+                "BTB".into(),
+                format!("{} sets, {}-way", self.branch.btb_sets, self.branch.btb_ways),
+            ),
+            (
+                "Branch Mispredict Penalty".into(),
+                format!("{}", self.branch.mispredict_penalty),
+            ),
+            (
+                "Decode / Issue / Retire Width".into(),
+                format!("{} / {} / {}", self.decode_width, self.issue_width, self.retire_width),
+            ),
+            (
+                "L1 Data Cache".into(),
+                format!(
+                    "{}KB, {}-way set associative",
+                    self.l1d.size_bytes / 1024,
+                    self.l1d.associativity
+                ),
+            ),
+            (
+                "L1 Instruction Cache".into(),
+                format!(
+                    "{}KB, {}-way set associative",
+                    self.l1i.size_bytes / 1024,
+                    self.l1i.associativity
+                ),
+            ),
+            (
+                "L2 Unified Cache".into(),
+                format!(
+                    "{}MB, {}",
+                    self.l2.size_bytes / (1024 * 1024),
+                    if self.l2.associativity == 1 {
+                        "direct mapped".to_string()
+                    } else {
+                        format!("{}-way", self.l2.associativity)
+                    }
+                ),
+            ),
+            (
+                "Cache Access Time".into(),
+                format!(
+                    "{} cycles L1, {} cycles L2",
+                    self.l1d.latency_cycles, self.l2.latency_cycles
+                ),
+            ),
+            (
+                "Integer ALUs".into(),
+                format!("{} + {} mult/div unit", self.int_alus, self.int_mult_units),
+            ),
+            (
+                "Floating-Point ALUs".into(),
+                format!("{} + {} mult/div/sqrt unit", self.fp_alus, self.fp_mult_units),
+            ),
+            (
+                "Issue Queue Size".into(),
+                format!(
+                    "{} int, {} fp, {} ld/st",
+                    self.int_issue_queue, self.fp_issue_queue, self.ls_queue
+                ),
+            ),
+            ("Reorder Buffer Size".into(), format!("{}", self.reorder_buffer)),
+            (
+                "Physical Register File Size".into(),
+                format!("{} integer, {} floating-point", self.int_registers, self.fp_registers),
+            ),
+            (
+                "Domain Frequency Range".into(),
+                format!(
+                    "{} MHz – {:.1} GHz",
+                    self.grid.min().as_mhz(),
+                    self.grid.max().as_mhz() / 1000.0
+                ),
+            ),
+            (
+                "Domain Voltage Range".into(),
+                format!(
+                    "{:.2} V – {:.2} V",
+                    self.voltage_map.min_voltage().as_volts(),
+                    self.voltage_map.max_voltage().as_volts()
+                ),
+            ),
+            (
+                "Frequency Change Speed".into(),
+                format!("{} ns/MHz", self.ramp.ns_per_mhz()),
+            ),
+            (
+                "Domain Clock Jitter".into(),
+                format!("{} ps, normally distributed", self.jitter_sigma_ps),
+            ),
+            (
+                "Inter-domain Synchronization Window".into(),
+                format!("{} ps", self.sync_window_ps),
+            ),
+        ]
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            decode_width: 4,
+            issue_width: 6,
+            retire_width: 11,
+            l1d: CacheConfig {
+                size_bytes: 64 * 1024,
+                associativity: 2,
+                line_bytes: 64,
+                latency_cycles: 2,
+            },
+            l1i: CacheConfig {
+                size_bytes: 64 * 1024,
+                associativity: 2,
+                line_bytes: 64,
+                latency_cycles: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                associativity: 1,
+                line_bytes: 64,
+                latency_cycles: 12,
+            },
+            memory_latency_ns: 80.0,
+            int_alus: 4,
+            int_mult_units: 1,
+            fp_alus: 2,
+            fp_mult_units: 1,
+            int_issue_queue: 20,
+            fp_issue_queue: 15,
+            ls_queue: 64,
+            reorder_buffer: 80,
+            int_registers: 72,
+            fp_registers: 72,
+            branch: BranchPredictorConfig {
+                level1_entries: 1024,
+                history_bits: 10,
+                level2_entries: 1024,
+                bimodal_entries: 1024,
+                combining_entries: 4096,
+                btb_sets: 4096,
+                btb_ways: 2,
+                mispredict_penalty: 7,
+            },
+            grid: FrequencyGrid::default(),
+            voltage_map: VoltageMap::default(),
+            ramp: RampModel::default(),
+            sync_window_ps: 300.0,
+            jitter_sigma_ps: 110.0,
+            synchronization_enabled: true,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Builder for [`MachineConfig`], for the handful of parameters experiments vary.
+///
+/// ```
+/// use mcd_sim::config::MachineConfig;
+/// let cfg = MachineConfig::default()
+///     .to_builder()
+///     .synchronization(false)
+///     .seed(17)
+///     .build();
+/// assert!(!cfg.synchronization_enabled);
+/// assert_eq!(cfg.seed, 17);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    config: MachineConfig,
+}
+
+impl MachineConfigBuilder {
+    /// Starts from the Table 1 defaults.
+    pub fn new() -> Self {
+        MachineConfigBuilder {
+            config: MachineConfig::default(),
+        }
+    }
+
+    /// Enables or disables inter-domain synchronization penalties.
+    pub fn synchronization(mut self, enabled: bool) -> Self {
+        self.config.synchronization_enabled = enabled;
+        self
+    }
+
+    /// Sets the seed for the simulator's stochastic elements.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the reorder-buffer size.
+    pub fn reorder_buffer(mut self, entries: u32) -> Self {
+        self.config.reorder_buffer = entries;
+        self
+    }
+
+    /// Sets the main-memory latency in nanoseconds.
+    pub fn memory_latency_ns(mut self, ns: f64) -> Self {
+        self.config.memory_latency_ns = ns;
+        self
+    }
+
+    /// Sets the branch misprediction penalty, in front-end cycles.
+    pub fn mispredict_penalty(mut self, cycles: u32) -> Self {
+        self.config.branch.mispredict_penalty = cycles;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths or structure sizes are zero.
+    pub fn build(self) -> MachineConfig {
+        let c = &self.config;
+        assert!(c.decode_width > 0 && c.issue_width > 0 && c.retire_width > 0);
+        assert!(c.reorder_buffer > 0 && c.int_issue_queue > 0 && c.fp_issue_queue > 0);
+        assert!(c.memory_latency_ns > 0.0);
+        self.config
+    }
+}
+
+impl Default for MachineConfigBuilder {
+    fn default() -> Self {
+        MachineConfigBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let cfg = MachineConfig::default();
+        assert_eq!(cfg.l1d.size_bytes, 64 * 1024);
+        assert_eq!(cfg.l1d.associativity, 2);
+        assert_eq!(cfg.l2.size_bytes, 1024 * 1024);
+        assert_eq!(cfg.l2.associativity, 1);
+        assert_eq!(cfg.int_issue_queue, 20);
+        assert_eq!(cfg.fp_issue_queue, 15);
+        assert_eq!(cfg.ls_queue, 64);
+        assert_eq!(cfg.int_registers, 72);
+        assert_eq!(cfg.branch.mispredict_penalty, 7);
+        assert_eq!(cfg.base_frequency().as_mhz(), 1000.0);
+    }
+
+    #[test]
+    fn cache_sets_computed() {
+        let cfg = MachineConfig::default();
+        assert_eq!(cfg.l1d.sets(), 64 * 1024 / (64 * 2));
+        assert_eq!(cfg.l2.sets(), 1024 * 1024 / 64);
+    }
+
+    #[test]
+    fn table1_rows_cover_all_parameters() {
+        let rows = MachineConfig::default().table1_rows();
+        assert!(rows.len() >= 20);
+        assert!(rows.iter().any(|(k, _)| k == "Reorder Buffer Size"));
+        assert!(rows.iter().any(|(_, v)| v.contains("250 MHz")));
+        assert!(rows.iter().any(|(_, v)| v.contains("73.3 ns/MHz")));
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = MachineConfigBuilder::new()
+            .reorder_buffer(128)
+            .memory_latency_ns(120.0)
+            .mispredict_penalty(10)
+            .build();
+        assert_eq!(cfg.reorder_buffer, 128);
+        assert_eq!(cfg.memory_latency_ns, 120.0);
+        assert_eq!(cfg.branch.mispredict_penalty, 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn builder_rejects_zero_rob() {
+        let _ = MachineConfigBuilder::new().reorder_buffer(0).build();
+    }
+}

@@ -1,0 +1,250 @@
+//! Primitive events and the dependence information recorded for off-line
+//! analysis.
+//!
+//! A *primitive event* is temporally contiguous work performed within a single
+//! hardware unit on behalf of a single instruction (the paper's definition):
+//! the front-end fetch/dispatch work, the execution in an integer, FP or memory
+//! unit, and the commit work. During a full-speed profiling run the simulator
+//! records every event, its start/end times and its incoming dependence edges;
+//! the shaker algorithm then redistributes slack over this DAG.
+
+use crate::domain::Domain;
+use crate::time::TimeNs;
+
+/// The kind of work a primitive event represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Fetch, decode, rename and dispatch work in the front-end domain.
+    FrontEnd,
+    /// Execution in the integer, floating-point or memory domain.
+    Execute,
+    /// Reorder-buffer commit work in the front-end domain.
+    Commit,
+}
+
+/// Identifier of a primitive event within one recorded window.
+pub type EventId = u32;
+
+/// A primitive event recorded during a full-speed profiling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrimitiveEvent {
+    /// Index of the dynamic instruction this event belongs to (within the
+    /// recorded window).
+    pub instr_index: u32,
+    /// What kind of work this is.
+    pub kind: EventKind,
+    /// Clock domain that performed the work.
+    pub domain: Domain,
+    /// Wall-clock start time in the full-speed run.
+    pub start: TimeNs,
+    /// Wall-clock end time in the full-speed run.
+    pub end: TimeNs,
+    /// Number of domain cycles of actual work (at the full-speed frequency).
+    pub cycles: f64,
+    /// Relative power weight of the unit that performed the work (from the
+    /// power model), used by the shaker to prioritize high-power events.
+    pub power_factor: f64,
+    /// Analysis region this event belongs to (call-tree node instance or
+    /// fixed interval), assigned by the caller that drives the recording.
+    pub region: u32,
+}
+
+impl PrimitiveEvent {
+    /// Duration of the event in wall-clock time.
+    pub fn duration(&self) -> TimeNs {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A dependence edge between two primitive events: `from` must complete before
+/// `to` can begin (data dependence, structural hand-off within an instruction,
+/// or in-order resource constraint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventEdge {
+    /// Producer event.
+    pub from: EventId,
+    /// Consumer event.
+    pub to: EventId,
+}
+
+/// A recorded window of primitive events plus their dependence edges.
+///
+/// Events are stored in issue order (event id = position). Edges always point
+/// forward (`from < to`), which both the recorder and the shaker rely on.
+#[derive(Debug, Clone, Default)]
+pub struct EventTrace {
+    events: Vec<PrimitiveEvent>,
+    edges: Vec<EventEdge>,
+}
+
+impl EventTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        EventTrace::default()
+    }
+
+    /// Creates an empty trace with pre-allocated capacity.
+    pub fn with_capacity(events: usize) -> Self {
+        EventTrace {
+            events: Vec::with_capacity(events),
+            edges: Vec::with_capacity(events * 2),
+        }
+    }
+
+    /// Appends an event, returning its id.
+    pub fn push_event(&mut self, event: PrimitiveEvent) -> EventId {
+        let id = self.events.len() as EventId;
+        self.events.push(event);
+        id
+    }
+
+    /// Appends a dependence edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the edge does not point forward or refers to
+    /// an unknown event.
+    pub fn push_edge(&mut self, from: EventId, to: EventId) {
+        debug_assert!(from < to, "edges must point forward: {from} -> {to}");
+        debug_assert!((to as usize) < self.events.len(), "edge target out of range");
+        self.edges.push(EventEdge { from, to });
+    }
+
+    /// The recorded events, in id order.
+    pub fn events(&self) -> &[PrimitiveEvent] {
+        &self.events
+    }
+
+    /// The recorded dependence edges.
+    pub fn edges(&self) -> &[EventEdge] {
+        &self.edges
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clears all recorded events and edges, keeping allocations.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.edges.clear();
+    }
+
+    /// Extracts the sub-trace consisting of the events in `region`, with edges
+    /// restricted to pairs inside the region and event ids remapped to be dense.
+    pub fn region_slice(&self, region: u32) -> EventTrace {
+        let mut map = vec![u32::MAX; self.events.len()];
+        let mut out = EventTrace::new();
+        for (id, ev) in self.events.iter().enumerate() {
+            if ev.region == region {
+                map[id] = out.push_event(*ev);
+            }
+        }
+        for edge in &self.edges {
+            let f = map[edge.from as usize];
+            let t = map[edge.to as usize];
+            if f != u32::MAX && t != u32::MAX {
+                out.push_edge(f, t);
+            }
+        }
+        out
+    }
+
+    /// The set of distinct regions present in the trace, in ascending order.
+    pub fn regions(&self) -> Vec<u32> {
+        let mut r: Vec<u32> = self.events.iter().map(|e| e.region).collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+
+    /// Total wall-clock span covered by the events (max end − min start), or
+    /// zero for an empty trace.
+    pub fn span(&self) -> TimeNs {
+        if self.events.is_empty() {
+            return TimeNs::ZERO;
+        }
+        let start = self
+            .events
+            .iter()
+            .map(|e| e.start.as_ns())
+            .fold(f64::INFINITY, f64::min);
+        let end = self
+            .events
+            .iter()
+            .map(|e| e.end.as_ns())
+            .fold(f64::NEG_INFINITY, f64::max);
+        TimeNs::new((end - start).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(instr: u32, domain: Domain, start: f64, end: f64, region: u32) -> PrimitiveEvent {
+        PrimitiveEvent {
+            instr_index: instr,
+            kind: EventKind::Execute,
+            domain,
+            start: TimeNs::new(start),
+            end: TimeNs::new(end),
+            cycles: end - start,
+            power_factor: 1.0,
+            region,
+        }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut t = EventTrace::new();
+        assert!(t.is_empty());
+        let a = t.push_event(ev(0, Domain::Integer, 0.0, 1.0, 0));
+        let b = t.push_event(ev(1, Domain::Memory, 1.0, 3.0, 0));
+        t.push_edge(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.edges().len(), 1);
+        assert_eq!(t.events()[1].duration().as_ns(), 2.0);
+        assert_eq!(t.span().as_ns(), 3.0);
+    }
+
+    #[test]
+    fn region_slice_remaps_ids() {
+        let mut t = EventTrace::new();
+        let a = t.push_event(ev(0, Domain::Integer, 0.0, 1.0, 7));
+        let b = t.push_event(ev(1, Domain::Integer, 1.0, 2.0, 8));
+        let c = t.push_event(ev(2, Domain::Integer, 2.0, 3.0, 7));
+        t.push_edge(a, b);
+        t.push_edge(a, c);
+        t.push_edge(b, c);
+
+        let slice = t.region_slice(7);
+        assert_eq!(slice.len(), 2);
+        // Only the a->c edge survives, remapped to 0 -> 1.
+        assert_eq!(slice.edges().len(), 1);
+        assert_eq!(slice.edges()[0], EventEdge { from: 0, to: 1 });
+        assert_eq!(t.regions(), vec![7, 8]);
+    }
+
+    #[test]
+    fn empty_trace_span_is_zero() {
+        let t = EventTrace::new();
+        assert_eq!(t.span(), TimeNs::ZERO);
+        assert!(t.regions().is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_nothing() {
+        let mut t = EventTrace::with_capacity(4);
+        t.push_event(ev(0, Domain::FrontEnd, 0.0, 1.0, 0));
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.edges().is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! Instruction and trace-item representation consumed by the timing model.
+//!
+//! The workload crate generates a stream of [`TraceItem`]s: dynamic instructions
+//! interleaved with structural markers (subroutine / loop entry and exit). The
+//! markers are what an ATOM-instrumented binary would expose to the profiler and
+//! what the edited binary uses to trigger reconfiguration at run time.
+
+use crate::domain::Domain;
+use std::fmt;
+
+/// The class of a dynamic instruction, which determines the execution domain
+/// and latency of its primary event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Simple integer ALU operation (add, logical, shift, compare).
+    IntAlu,
+    /// Integer multiply or divide.
+    IntMul,
+    /// Floating-point add/subtract/compare/convert.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide or square root.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional or unconditional branch / call / return.
+    Branch,
+}
+
+impl InstrClass {
+    /// All instruction classes.
+    pub const ALL: [InstrClass; 8] = [
+        InstrClass::IntAlu,
+        InstrClass::IntMul,
+        InstrClass::FpAdd,
+        InstrClass::FpMul,
+        InstrClass::FpDiv,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::Branch,
+    ];
+
+    /// The clock domain in which this instruction's main event executes.
+    ///
+    /// Branches and integer arithmetic execute in the integer domain, FP in the
+    /// floating-point domain, and memory operations in the memory domain (the
+    /// load/store unit, L1 D-cache and L2 live there).
+    pub fn execution_domain(self) -> Domain {
+        match self {
+            InstrClass::IntAlu | InstrClass::IntMul | InstrClass::Branch => Domain::Integer,
+            InstrClass::FpAdd | InstrClass::FpMul | InstrClass::FpDiv => Domain::FloatingPoint,
+            InstrClass::Load | InstrClass::Store => Domain::Memory,
+        }
+    }
+
+    /// Execution latency in cycles of the execution domain (cache latencies for
+    /// memory operations are added separately by the cache model).
+    pub fn base_latency(self) -> u32 {
+        match self {
+            InstrClass::IntAlu => 1,
+            InstrClass::IntMul => 3,
+            InstrClass::FpAdd => 2,
+            InstrClass::FpMul => 4,
+            InstrClass::FpDiv => 12,
+            InstrClass::Load => 1,
+            InstrClass::Store => 1,
+            InstrClass::Branch => 1,
+        }
+    }
+
+    /// Whether this is a memory operation.
+    pub fn is_memory(self) -> bool {
+        matches!(self, InstrClass::Load | InstrClass::Store)
+    }
+
+    /// Whether this is a floating-point operation.
+    pub fn is_fp(self) -> bool {
+        matches!(self, InstrClass::FpAdd | InstrClass::FpMul | InstrClass::FpDiv)
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstrClass::IntAlu => "int-alu",
+            InstrClass::IntMul => "int-mul",
+            InstrClass::FpAdd => "fp-add",
+            InstrClass::FpMul => "fp-mul",
+            InstrClass::FpDiv => "fp-div",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch behaviour of a dynamic branch instruction, as produced by the workload
+/// generator. The simulator's branch predictor decides whether it mispredicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// Whether the branch is taken in this dynamic instance.
+    pub taken: bool,
+    /// Branch target address (used for BTB indexing).
+    pub target: u64,
+}
+
+/// A dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instr {
+    /// Program counter of the instruction (static address).
+    pub pc: u64,
+    /// Instruction class.
+    pub class: InstrClass,
+    /// Distance (in dynamic instructions) back to the first source operand's
+    /// producer, if any. A distance of 1 means "the immediately preceding
+    /// instruction".
+    pub dep1: Option<u16>,
+    /// Distance back to the second source operand's producer, if any.
+    pub dep2: Option<u16>,
+    /// Effective address for loads and stores.
+    pub mem_addr: Option<u64>,
+    /// Branch behaviour for branches.
+    pub branch: Option<BranchInfo>,
+}
+
+impl Instr {
+    /// Creates a non-memory, non-branch instruction of the given class.
+    pub fn op(pc: u64, class: InstrClass) -> Self {
+        Instr {
+            pc,
+            class,
+            dep1: None,
+            dep2: None,
+            mem_addr: None,
+            branch: None,
+        }
+    }
+
+    /// Creates a load from `addr`.
+    pub fn load(pc: u64, addr: u64) -> Self {
+        Instr {
+            pc,
+            class: InstrClass::Load,
+            dep1: None,
+            dep2: None,
+            mem_addr: Some(addr),
+            branch: None,
+        }
+    }
+
+    /// Creates a store to `addr`.
+    pub fn store(pc: u64, addr: u64) -> Self {
+        Instr {
+            pc,
+            class: InstrClass::Store,
+            dep1: None,
+            dep2: None,
+            mem_addr: Some(addr),
+            branch: None,
+        }
+    }
+
+    /// Creates a branch with the given dynamic behaviour.
+    pub fn branch(pc: u64, taken: bool, target: u64) -> Self {
+        Instr {
+            pc,
+            class: InstrClass::Branch,
+            dep1: None,
+            dep2: None,
+            mem_addr: None,
+            branch: Some(BranchInfo { taken, target }),
+        }
+    }
+
+    /// Sets the first dependence distance.
+    pub fn with_dep1(mut self, distance: u16) -> Self {
+        self.dep1 = Some(distance);
+        self
+    }
+
+    /// Sets the second dependence distance.
+    pub fn with_dep2(mut self, distance: u16) -> Self {
+        self.dep2 = Some(distance);
+        self
+    }
+
+    /// The domain in which the instruction's main event executes.
+    pub fn execution_domain(&self) -> Domain {
+        self.class.execution_domain()
+    }
+}
+
+/// Identifier of a static subroutine in the program under simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubroutineId(pub u32);
+
+/// Identifier of a static loop (strongly connected component of a subroutine's
+/// control-flow graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+/// Identifier of a static call site within a subroutine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallSiteId(pub u32);
+
+/// A structural marker emitted by the (instrumented) program.
+///
+/// These correspond to the instrumentation points ATOM inserts: subroutine
+/// prologues/epilogues, loop headers/footers, and call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Marker {
+    /// Control enters `subroutine`, called from `call_site` (the static call
+    /// site within the caller).
+    SubroutineEnter {
+        /// The callee.
+        subroutine: SubroutineId,
+        /// The static call site in the caller through which it was reached.
+        call_site: CallSiteId,
+    },
+    /// Control leaves `subroutine` (returns to its caller).
+    SubroutineExit {
+        /// The subroutine being exited.
+        subroutine: SubroutineId,
+    },
+    /// Control enters loop `loop_id` (executes its header for the first time in
+    /// this instance).
+    LoopEnter {
+        /// The loop being entered.
+        loop_id: LoopId,
+    },
+    /// Control leaves loop `loop_id`.
+    LoopExit {
+        /// The loop being exited.
+        loop_id: LoopId,
+    },
+}
+
+/// One element of the dynamic trace: an instruction or a structural marker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceItem {
+    /// A dynamic instruction.
+    Instr(Instr),
+    /// A structural marker (costs nothing by itself; instrumentation overhead is
+    /// charged separately by the profiling crate's overhead model).
+    Marker(Marker),
+}
+
+impl TraceItem {
+    /// Returns the contained instruction, if this item is one.
+    pub fn as_instr(&self) -> Option<&Instr> {
+        match self {
+            TraceItem::Instr(i) => Some(i),
+            TraceItem::Marker(_) => None,
+        }
+    }
+
+    /// Returns the contained marker, if this item is one.
+    pub fn as_marker(&self) -> Option<&Marker> {
+        match self {
+            TraceItem::Marker(m) => Some(m),
+            TraceItem::Instr(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_domains() {
+        assert_eq!(InstrClass::IntAlu.execution_domain(), Domain::Integer);
+        assert_eq!(InstrClass::Branch.execution_domain(), Domain::Integer);
+        assert_eq!(InstrClass::FpMul.execution_domain(), Domain::FloatingPoint);
+        assert_eq!(InstrClass::Load.execution_domain(), Domain::Memory);
+        assert_eq!(InstrClass::Store.execution_domain(), Domain::Memory);
+    }
+
+    #[test]
+    fn class_latencies_positive_and_ordered() {
+        for c in InstrClass::ALL {
+            assert!(c.base_latency() >= 1);
+        }
+        assert!(InstrClass::FpDiv.base_latency() > InstrClass::FpMul.base_latency());
+        assert!(InstrClass::IntMul.base_latency() > InstrClass::IntAlu.base_latency());
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(InstrClass::Load.is_memory());
+        assert!(!InstrClass::Branch.is_memory());
+        assert!(InstrClass::FpDiv.is_fp());
+        assert!(!InstrClass::IntMul.is_fp());
+    }
+
+    #[test]
+    fn instruction_constructors() {
+        let ld = Instr::load(0x1000, 0xdead_beef).with_dep1(3);
+        assert_eq!(ld.class, InstrClass::Load);
+        assert_eq!(ld.mem_addr, Some(0xdead_beef));
+        assert_eq!(ld.dep1, Some(3));
+        assert_eq!(ld.execution_domain(), Domain::Memory);
+
+        let br = Instr::branch(0x2000, true, 0x3000);
+        assert_eq!(br.class, InstrClass::Branch);
+        assert_eq!(br.branch.unwrap().taken, true);
+
+        let fp = Instr::op(0x4000, InstrClass::FpMul).with_dep1(1).with_dep2(2);
+        assert_eq!(fp.dep2, Some(2));
+    }
+
+    #[test]
+    fn trace_item_accessors() {
+        let i = TraceItem::Instr(Instr::op(0, InstrClass::IntAlu));
+        assert!(i.as_instr().is_some());
+        assert!(i.as_marker().is_none());
+        let m = TraceItem::Marker(Marker::LoopEnter { loop_id: LoopId(4) });
+        assert!(m.as_marker().is_some());
+        assert!(m.as_instr().is_none());
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let mut names: Vec<String> = InstrClass::ALL.iter().map(|c| c.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), InstrClass::ALL.len());
+    }
+}

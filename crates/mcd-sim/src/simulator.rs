@@ -1,0 +1,944 @@
+//! The event-driven MCD timing and energy model.
+//!
+//! The simulator consumes a [`TraceItem`] stream and computes, for every
+//! dynamic instruction, the times at which its primitive events occur on a
+//! machine configured per Table 1, honouring:
+//!
+//! * per-domain clock frequencies that ramp toward targets written to the
+//!   reconfiguration register (the [`DvfsEngine`]),
+//! * inter-domain synchronization penalties (the [`Synchronizer`]),
+//! * structural resources (fetch/retire width, issue queues, ROB, functional
+//!   units, cache ports),
+//! * cache and branch-predictor behaviour, and
+//! * Wattch-style active + idle energy accounting per domain.
+//!
+//! Control algorithms hook into the run through [`SimHooks`]: they may react to
+//! structural markers (profile-driven reconfiguration) or to fixed intervals
+//! (the on-line attack–decay controller), and may request reconfiguration
+//! register writes and charge instrumentation overhead.
+
+use crate::cache::{AccessOutcome, CacheHierarchy};
+use crate::config::MachineConfig;
+use crate::domain::{Domain, PerDomain};
+use crate::events::{EventKind, EventTrace, PrimitiveEvent};
+use crate::instruction::{InstrClass, Marker, TraceItem};
+use crate::power::{EnergyAccount, PowerModel};
+use crate::branch::BranchPredictor;
+use crate::reconfig::{DvfsEngine, FrequencySetting};
+use crate::resources::{OccupancyQueue, StagePacer, UnitPool};
+use crate::stats::{IntervalStats, SimStats};
+use crate::sync::Synchronizer;
+use crate::time::TimeNs;
+
+/// What a hook asks the simulator to do at a marker.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HookAction {
+    /// Write the reconfiguration register with this setting.
+    pub reconfigure: Option<FrequencySetting>,
+    /// Charge this many cycles of instrumentation overhead (delays the front
+    /// end and consumes energy).
+    pub overhead_cycles: f64,
+    /// Change the analysis region tag attached to subsequently recorded events.
+    pub set_region: Option<u32>,
+}
+
+impl HookAction {
+    /// An action that does nothing.
+    pub fn none() -> Self {
+        HookAction::default()
+    }
+
+    /// An action that only changes the recording region.
+    pub fn region(region: u32) -> Self {
+        HookAction {
+            set_region: Some(region),
+            ..HookAction::default()
+        }
+    }
+}
+
+/// Control hooks invoked by the simulator during a run.
+///
+/// The default implementations do nothing, which models an uncontrolled MCD
+/// processor running every domain at full speed.
+pub trait SimHooks {
+    /// Frequency setting applied before the first instruction, if any.
+    fn initial_setting(&self) -> Option<FrequencySetting> {
+        None
+    }
+
+    /// Called at every structural marker in the trace.
+    fn on_marker(&mut self, _marker: &Marker, _now: TimeNs, _instr_index: u64) -> HookAction {
+        HookAction::none()
+    }
+
+    /// Interval length, in nanoseconds of wall-clock time, at which
+    /// [`SimHooks::on_interval`] should be invoked. `None` disables interval
+    /// callbacks. (At the 1 GHz baseline, nanoseconds equal base cycles.)
+    fn interval_ns(&self) -> Option<f64> {
+        None
+    }
+
+    /// Called at the end of each interval with utilization statistics; may
+    /// request a reconfiguration.
+    fn on_interval(&mut self, _stats: &IntervalStats, _now: TimeNs) -> Option<FrequencySetting> {
+        None
+    }
+
+    /// Window length, in committed instructions, at which
+    /// [`SimHooks::on_instruction_window`] should be invoked. `None` disables
+    /// instruction-window callbacks. Used by controllers that make decisions at
+    /// fixed instruction boundaries (the off-line oracle).
+    fn instruction_window(&self) -> Option<u64> {
+        None
+    }
+
+    /// Called every time `instruction_window()` instructions have committed;
+    /// `window_index` counts the windows from zero. May request a
+    /// reconfiguration to take effect at the window boundary.
+    fn on_instruction_window(
+        &mut self,
+        _window_index: u64,
+        _now: TimeNs,
+    ) -> Option<FrequencySetting> {
+        None
+    }
+}
+
+/// Hooks that do nothing: the baseline MCD processor at full speed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullHooks;
+
+impl SimHooks for NullHooks {}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// Aggregate statistics of the run.
+    pub stats: SimStats,
+    /// Recorded primitive events, if event recording was enabled.
+    pub events: Option<EventTrace>,
+}
+
+/// The MCD processor simulator.
+///
+/// ```
+/// use mcd_sim::simulator::{Simulator, NullHooks};
+/// use mcd_sim::config::MachineConfig;
+/// use mcd_sim::instruction::{Instr, InstrClass, TraceItem};
+/// let sim = Simulator::new(MachineConfig::default());
+/// let trace: Vec<TraceItem> = (0..100)
+///     .map(|i| TraceItem::Instr(Instr::op(0x1000 + i * 4, InstrClass::IntAlu)))
+///     .collect();
+/// let result = sim.run(trace, &mut NullHooks, false);
+/// assert_eq!(result.stats.instructions, 100);
+/// assert!(result.stats.run_time.as_ns() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: MachineConfig,
+    power: PowerModel,
+}
+
+/// Size of the dependence-history ring. Dependence distances larger than this
+/// are treated as long since resolved.
+const DEP_RING: usize = 1024;
+
+/// Data-cache ports in the memory domain (not part of Table 1; two read/write
+/// ports is the Alpha 21264 arrangement).
+const DCACHE_PORTS: u32 = 2;
+
+/// Front-end work per instruction, in front-end cycles, excluding the I-cache
+/// access latency (decode + rename + dispatch).
+const DECODE_CYCLES: f64 = 1.0;
+
+/// Commit work per instruction, in front-end cycles.
+const COMMIT_CYCLES: f64 = 1.0;
+
+/// Active *energy* charged to the front end per instruction, in front-end
+/// cycles of work. Fetch, decode, rename and commit are all several-cycle
+/// latencies, but the machine processes `decode_width` instructions per cycle,
+/// so the per-instruction occupancy (and hence energy) is roughly one cycle of
+/// front-end activity plus a commit share.
+const FE_ENERGY_CYCLES: f64 = 1.3;
+
+/// Active cycles charged to the external domain per main-memory access.
+const MEMORY_ACCESS_ACTIVE_CYCLES: f64 = 10.0;
+
+struct RunState {
+    dvfs: DvfsEngine,
+    sync: Synchronizer,
+    caches: CacheHierarchy,
+    branch: BranchPredictor,
+    power_acct: EnergyAccount,
+
+    fetch_pacer: StagePacer,
+    retire_pacer: StagePacer,
+    int_queue: OccupancyQueue,
+    fp_queue: OccupancyQueue,
+    mem_queue: OccupancyQueue,
+    int_alus: UnitPool,
+    int_muls: UnitPool,
+    fp_alus: UnitPool,
+    fp_muls: UnitPool,
+    mem_ports: UnitPool,
+
+    /// Completion time and execution domain of recent instructions.
+    dep_ring: Vec<(TimeNs, Domain)>,
+    /// Execute-event id of recent instructions (only meaningful when recording).
+    dep_event_ring: Vec<u32>,
+    /// Commit times of the last `reorder_buffer` instructions.
+    commit_ring: Vec<TimeNs>,
+    /// Commit-event ids of the last `reorder_buffer` instructions (recording only).
+    commit_event_ring: Vec<u32>,
+    /// Per-pool recent execute-event ids, used to record structural-hazard
+    /// edges (an instruction cannot start before the one `pool-size` issues
+    /// earlier on the same units has started).
+    pool_event_rings: [std::collections::VecDeque<u32>; 5],
+    /// Execute-event id of the most recent mispredicted branch whose redirect
+    /// is still pending (recording only).
+    redirect_event: Option<u32>,
+    last_commit: TimeNs,
+    redirect_time: TimeNs,
+    pending_overhead: TimeNs,
+
+    instr_index: u64,
+    current_region: u32,
+    prev_fe_event: Option<u32>,
+    prev_cm_event: Option<u32>,
+
+    // Interval accounting.
+    interval_len: Option<f64>,
+    next_interval: TimeNs,
+    interval_start: TimeNs,
+    interval_instrs: u64,
+    interval_active: PerDomain<f64>,
+    interval_queue_util: PerDomain<f64>,
+    interval_queue_admits: PerDomain<u64>,
+
+    stats: SimStats,
+    events: Option<EventTrace>,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given machine configuration, using the
+    /// default power model.
+    pub fn new(config: MachineConfig) -> Self {
+        Simulator {
+            config,
+            power: PowerModel::default(),
+        }
+    }
+
+    /// Creates a simulator with an explicit power model.
+    pub fn with_power_model(config: MachineConfig, power: PowerModel) -> Self {
+        Simulator { config, power }
+    }
+
+    /// The machine configuration of this simulator.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The power model of this simulator.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Runs the given trace under `hooks`. When `record_events` is true, the
+    /// result contains the full [`EventTrace`] used by off-line analysis.
+    pub fn run<I, H>(&self, trace: I, hooks: &mut H, record_events: bool) -> SimResult
+    where
+        I: IntoIterator<Item = TraceItem>,
+        H: SimHooks + ?Sized,
+    {
+        let cfg = &self.config;
+        let sync = if cfg.synchronization_enabled {
+            let mut s = Synchronizer::new(cfg.sync_window_ps, cfg.jitter_sigma_ps, cfg.seed);
+            s.reset_counters();
+            s
+        } else {
+            Synchronizer::disabled(cfg.seed)
+        };
+
+        let mut st = RunState {
+            dvfs: DvfsEngine::new(cfg.grid.clone(), cfg.voltage_map.clone(), cfg.ramp),
+            sync,
+            caches: CacheHierarchy::new(cfg),
+            branch: BranchPredictor::new(&cfg.branch),
+            power_acct: EnergyAccount::new(),
+            fetch_pacer: StagePacer::new(cfg.decode_width),
+            retire_pacer: StagePacer::new(cfg.retire_width),
+            int_queue: OccupancyQueue::new(cfg.int_issue_queue),
+            fp_queue: OccupancyQueue::new(cfg.fp_issue_queue),
+            mem_queue: OccupancyQueue::new(cfg.ls_queue),
+            int_alus: UnitPool::new(cfg.int_alus),
+            int_muls: UnitPool::new(cfg.int_mult_units),
+            fp_alus: UnitPool::new(cfg.fp_alus),
+            fp_muls: UnitPool::new(cfg.fp_mult_units),
+            mem_ports: UnitPool::new(DCACHE_PORTS),
+            dep_ring: vec![(TimeNs::ZERO, Domain::Integer); DEP_RING],
+            dep_event_ring: vec![u32::MAX; DEP_RING],
+            commit_ring: vec![TimeNs::ZERO; cfg.reorder_buffer as usize],
+            commit_event_ring: vec![u32::MAX; cfg.reorder_buffer as usize],
+            pool_event_rings: Default::default(),
+            redirect_event: None,
+            last_commit: TimeNs::ZERO,
+            redirect_time: TimeNs::ZERO,
+            pending_overhead: TimeNs::ZERO,
+            instr_index: 0,
+            current_region: 0,
+            prev_fe_event: None,
+            prev_cm_event: None,
+            interval_len: hooks.interval_ns(),
+            next_interval: TimeNs::new(hooks.interval_ns().unwrap_or(f64::INFINITY)),
+            interval_start: TimeNs::ZERO,
+            interval_instrs: 0,
+            interval_active: PerDomain::default(),
+            interval_queue_util: PerDomain::default(),
+            interval_queue_admits: PerDomain::default(),
+            stats: SimStats::default(),
+            events: if record_events {
+                Some(EventTrace::with_capacity(4096))
+            } else {
+                None
+            },
+        };
+
+        if let Some(setting) = hooks.initial_setting() {
+            // The run begins with the domains already at the requested operating
+            // points (no ramp): the setting describes the state the program
+            // enters the window with, not a mid-run transition.
+            st.dvfs.set_immediate(setting);
+        }
+
+        for item in trace {
+            match item {
+                TraceItem::Marker(marker) => {
+                    st.stats.markers += 1;
+                    let action = hooks.on_marker(&marker, st.last_commit, st.instr_index);
+                    self.apply_action(&mut st, action);
+                }
+                TraceItem::Instr(instr) => {
+                    self.execute_instruction(&mut st, &instr, hooks);
+                }
+            }
+        }
+
+        st.stats.run_time = st.last_commit;
+        st.stats.total_energy = st.power_acct.total();
+        st.stats.domain_energy =
+            PerDomain::from_fn(|d| st.power_acct.domain_total(d).as_units());
+        st.stats.domain_active_cycles =
+            PerDomain::from_fn(|d| st.power_acct.domain_active_cycles(d));
+        st.stats.sync_crossings = st.sync.crossings();
+        st.stats.sync_stalls = st.sync.stalls();
+        st.stats.branches = st.branch.lookups();
+        st.stats.branch_mispredicts = st.branch.mispredicts();
+        st.stats.l1d_accesses = st.caches.l1d().accesses();
+        st.stats.l1d_misses = st.caches.l1d().misses();
+        st.stats.l2_accesses = st.caches.l2().accesses();
+        st.stats.l2_misses = st.caches.l2().misses();
+
+        SimResult {
+            stats: st.stats,
+            events: st.events,
+        }
+    }
+
+    fn apply_action(&self, st: &mut RunState, action: HookAction) {
+        if let Some(region) = action.set_region {
+            st.current_region = region;
+        }
+        if action.overhead_cycles > 0.0 {
+            let now = st.last_commit;
+            let fe_freq = st.dvfs.frequency(Domain::FrontEnd, now);
+            let overhead_time = fe_freq.cycles_to_time(action.overhead_cycles);
+            st.pending_overhead += overhead_time;
+            st.stats.overhead_cycles += action.overhead_cycles;
+            // The instrumentation instructions execute in the front end and the
+            // integer core; charge them as active work split between the two.
+            let v_fe = st.dvfs.energy_scale(Domain::FrontEnd, now);
+            let v_int = st.dvfs.energy_scale(Domain::Integer, now);
+            let half = action.overhead_cycles / 2.0;
+            st.power_acct.charge_active(
+                Domain::FrontEnd,
+                self.power.active_energy(Domain::FrontEnd, half, v_fe),
+                half,
+            );
+            st.power_acct.charge_active(
+                Domain::Integer,
+                self.power.active_energy(Domain::Integer, half, v_int),
+                half,
+            );
+        }
+        if let Some(setting) = action.reconfigure {
+            st.dvfs.write_register(setting, st.last_commit);
+            st.stats.reconfigurations += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn execute_instruction<H: SimHooks + ?Sized>(
+        &self,
+        st: &mut RunState,
+        instr: &crate::instruction::Instr,
+        hooks: &mut H,
+    ) {
+        let cfg = &self.config;
+        let i = st.instr_index;
+
+        // ------------------------------------------------------------------
+        // Front end: fetch, decode, rename, dispatch.
+        // ------------------------------------------------------------------
+        let fe_freq = st.dvfs.frequency(Domain::FrontEnd, st.last_commit);
+        let fe_period = fe_freq.period();
+
+        let mut fetch_ready = st.redirect_time;
+        // Pending instrumentation overhead delays the front end once, then clears.
+        if !st.pending_overhead.is_zero() {
+            fetch_ready = fetch_ready.max(st.last_commit) + st.pending_overhead;
+            st.pending_overhead = TimeNs::ZERO;
+        }
+        let fetch_start = st.fetch_pacer.admit(fetch_ready, fe_period);
+
+        // Instruction cache access.
+        let icache_outcome = st.caches.access_instruction(instr.pc);
+        let mut fetch_latency = fe_freq.cycles_to_time(cfg.l1i.latency_cycles as f64);
+        let fe_active_cycles = cfg.l1i.latency_cycles as f64 + DECODE_CYCLES;
+        if icache_outcome.missed_l1() {
+            // The L2 lives in the memory domain: cross, access, cross back.
+            let mem_freq = st.dvfs.frequency(Domain::Memory, fetch_start);
+            let c1 = st
+                .sync
+                .crossing(Domain::FrontEnd, fe_freq, Domain::Memory, mem_freq, fetch_start);
+            let l2_time = mem_freq.cycles_to_time(cfg.l2.latency_cycles as f64);
+            let c2 = st.sync.crossing(
+                Domain::Memory,
+                mem_freq,
+                Domain::FrontEnd,
+                fe_freq,
+                fetch_start + l2_time,
+            );
+            fetch_latency += c1.penalty + l2_time + c2.penalty;
+            self.charge_active(st, Domain::Memory, cfg.l2.latency_cycles as f64, fetch_start);
+            if icache_outcome.missed_l2() {
+                fetch_latency += TimeNs::new(cfg.memory_latency_ns);
+                self.charge_active(st, Domain::External, MEMORY_ACCESS_ACTIVE_CYCLES, fetch_start);
+            }
+        }
+        let fetch_end = fetch_start + fetch_latency;
+
+        // Decode / rename / dispatch, limited by the ROB.
+        let rob_size = cfg.reorder_buffer as usize;
+        let rob_constraint = if i as usize >= rob_size {
+            st.commit_ring[(i as usize - rob_size) % rob_size]
+        } else {
+            TimeNs::ZERO
+        };
+        let dispatch_time = (fetch_end + fe_freq.cycles_to_time(DECODE_CYCLES)).max(rob_constraint);
+        // Energy: fetch/decode/rename/commit amortized over the machine width.
+        self.charge_active(st, Domain::FrontEnd, FE_ENERGY_CYCLES, fetch_start);
+
+        // ------------------------------------------------------------------
+        // Execution domain: issue queue, operand readiness, functional unit.
+        // ------------------------------------------------------------------
+        let exec_domain = instr.execution_domain();
+        let exec_freq = st.dvfs.frequency(exec_domain, dispatch_time);
+
+        // Dispatch crosses from the front end into the execution domain.
+        let crossing = st.sync.crossing(
+            Domain::FrontEnd,
+            fe_freq,
+            exec_domain,
+            exec_freq,
+            dispatch_time,
+        );
+        let mut issue_ready = dispatch_time + crossing.penalty;
+
+        // Issue-queue occupancy.
+        let queue = match exec_domain {
+            Domain::Integer => &mut st.int_queue,
+            Domain::FloatingPoint => &mut st.fp_queue,
+            _ => &mut st.mem_queue,
+        };
+        let occupancy_before = queue.occupancy() as f64 / queue.capacity() as f64;
+        issue_ready = queue.admit(issue_ready);
+        st.interval_queue_util[exec_domain] += occupancy_before;
+        st.interval_queue_admits[exec_domain] += 1;
+
+        // Operand readiness (data dependences), with cross-domain penalties.
+        let mut dep_event_ids: [u32; 2] = [u32::MAX; 2];
+        for (slot, dep) in [instr.dep1, instr.dep2].iter().enumerate() {
+            if let Some(distance) = dep {
+                let d = *distance as u64;
+                if d == 0 || d > i || d as usize >= DEP_RING {
+                    continue;
+                }
+                let producer_idx = ((i - d) as usize) % DEP_RING;
+                let (prod_done, prod_domain) = st.dep_ring[producer_idx];
+                let mut ready = prod_done;
+                if prod_domain != exec_domain {
+                    let c = st
+                        .sync
+                        .crossing(prod_domain, st.dvfs.frequency(prod_domain, prod_done), exec_domain, exec_freq, prod_done);
+                    ready += c.penalty;
+                }
+                issue_ready = issue_ready.max(ready);
+                dep_event_ids[slot] = st.dep_event_ring[producer_idx];
+            }
+        }
+
+        // Functional unit and execution latency.
+        let base_cycles = instr.class.base_latency() as f64;
+        let mut exec_cycles = base_cycles;
+        let mut external_latency = TimeNs::ZERO;
+        if instr.class.is_memory() {
+            let addr = instr.mem_addr.unwrap_or(instr.pc);
+            let outcome = st.caches.access_data(addr);
+            exec_cycles += cfg.l1d.latency_cycles as f64;
+            match outcome {
+                AccessOutcome::L1Hit => {}
+                AccessOutcome::L2Hit => {
+                    exec_cycles += cfg.l2.latency_cycles as f64;
+                }
+                AccessOutcome::MemoryAccess => {
+                    exec_cycles += cfg.l2.latency_cycles as f64;
+                    if instr.class == InstrClass::Load {
+                        external_latency = TimeNs::new(cfg.memory_latency_ns);
+                    }
+                    self.charge_active(
+                        st,
+                        Domain::External,
+                        MEMORY_ACCESS_ACTIVE_CYCLES,
+                        issue_ready,
+                    );
+                }
+            }
+        }
+        let exec_time = exec_freq.cycles_to_time(exec_cycles) + external_latency;
+        let pool = match instr.class {
+            InstrClass::IntAlu | InstrClass::Branch => &mut st.int_alus,
+            InstrClass::IntMul => &mut st.int_muls,
+            InstrClass::FpAdd => &mut st.fp_alus,
+            InstrClass::FpMul | InstrClass::FpDiv => &mut st.fp_muls,
+            InstrClass::Load | InstrClass::Store => &mut st.mem_ports,
+        };
+        // Units are pipelined: they are busy for one issue slot, not the full latency.
+        let issue_start = pool.acquire(issue_ready, exec_freq.period());
+        let complete = issue_start + exec_time;
+        let queue = match exec_domain {
+            Domain::Integer => &mut st.int_queue,
+            Domain::FloatingPoint => &mut st.fp_queue,
+            _ => &mut st.mem_queue,
+        };
+        queue.depart(issue_start);
+        self.charge_active(st, exec_domain, exec_cycles, issue_start);
+
+        // Branch resolution.
+        let mut was_mispredicted = false;
+        if instr.class == InstrClass::Branch {
+            let info = instr.branch.unwrap_or(crate::instruction::BranchInfo {
+                taken: false,
+                target: instr.pc + 4,
+            });
+            let outcome = st.branch.predict_and_update(instr.pc, info.taken, info.target);
+            if outcome.mispredicted {
+                was_mispredicted = true;
+                let c = st.sync.crossing(
+                    exec_domain,
+                    exec_freq,
+                    Domain::FrontEnd,
+                    fe_freq,
+                    complete,
+                );
+                st.redirect_time = complete
+                    + c.penalty
+                    + fe_freq.cycles_to_time(cfg.branch.mispredict_penalty as f64);
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Commit (in order, in the front-end domain).
+        // ------------------------------------------------------------------
+        let back = st.sync.crossing(exec_domain, exec_freq, Domain::FrontEnd, fe_freq, complete);
+        let commit_ready = (complete + back.penalty).max(st.last_commit);
+        let commit_time = st.retire_pacer.admit(commit_ready, fe_period);
+
+        // Idle (clock) energy for the wall-clock progress made by this instruction.
+        let idle_span = commit_time.saturating_sub(st.last_commit);
+        if !idle_span.is_zero() {
+            for d in Domain::ALL {
+                let freq = st.dvfs.frequency(d, st.last_commit);
+                let scale = st.dvfs.energy_scale(d, st.last_commit);
+                st.power_acct
+                    .charge_idle(d, self.power.idle_energy(d, freq, idle_span, scale));
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Event recording for off-line analysis.
+        // ------------------------------------------------------------------
+        if st.events.is_some() {
+            let region = st.current_region;
+            let fe_pf = self.power.power_factor(Domain::FrontEnd);
+            let ex_pf = self.power.power_factor(exec_domain);
+            let (fe_id, ex_id, cm_id);
+            {
+                let events = st.events.as_mut().expect("checked above");
+                fe_id = events.push_event(PrimitiveEvent {
+                    instr_index: i as u32,
+                    kind: EventKind::FrontEnd,
+                    domain: Domain::FrontEnd,
+                    start: fetch_start,
+                    end: dispatch_time,
+                    cycles: fe_active_cycles,
+                    power_factor: fe_pf,
+                    region,
+                });
+                ex_id = events.push_event(PrimitiveEvent {
+                    instr_index: i as u32,
+                    kind: EventKind::Execute,
+                    domain: exec_domain,
+                    start: issue_start,
+                    end: complete,
+                    cycles: exec_cycles,
+                    power_factor: ex_pf,
+                    region,
+                });
+                cm_id = events.push_event(PrimitiveEvent {
+                    instr_index: i as u32,
+                    kind: EventKind::Commit,
+                    domain: Domain::FrontEnd,
+                    start: commit_time,
+                    end: commit_time + fe_period,
+                    cycles: COMMIT_CYCLES,
+                    power_factor: fe_pf,
+                    region,
+                });
+                if let Some(prev) = st.prev_fe_event {
+                    events.push_edge(prev, fe_id);
+                }
+                events.push_edge(fe_id, ex_id);
+                for dep_id in dep_event_ids.iter().filter(|&&d| d != u32::MAX) {
+                    events.push_edge(*dep_id, ex_id);
+                }
+                events.push_edge(ex_id, cm_id);
+                if let Some(prev) = st.prev_cm_event {
+                    events.push_edge(prev, cm_id);
+                }
+                // Control dependence: after a mispredicted branch, fetch cannot
+                // proceed until the branch resolves.
+                if let Some(branch_ex) = st.redirect_event.take() {
+                    events.push_edge(branch_ex, fe_id);
+                }
+                // ROB occupancy: dispatch waits for the commit of the
+                // instruction `reorder_buffer` slots earlier.
+                let rob_size = cfg.reorder_buffer as usize;
+                if i as usize >= rob_size {
+                    let cid = st.commit_event_ring[(i as usize - rob_size) % rob_size];
+                    if cid != u32::MAX {
+                        events.push_edge(cid, fe_id);
+                    }
+                }
+                // Structural hazard: the functional-unit pool serving this
+                // instruction admits at most `pool-size` concurrent issues.
+                let (pool_idx, pool_size) = match instr.class {
+                    InstrClass::IntAlu | InstrClass::Branch => (0usize, cfg.int_alus as usize),
+                    InstrClass::IntMul => (1, cfg.int_mult_units as usize),
+                    InstrClass::FpAdd => (2, cfg.fp_alus as usize),
+                    InstrClass::FpMul | InstrClass::FpDiv => (3, cfg.fp_mult_units as usize),
+                    InstrClass::Load | InstrClass::Store => (4, DCACHE_PORTS as usize),
+                };
+                let ring = &mut st.pool_event_rings[pool_idx];
+                if ring.len() >= pool_size {
+                    if let Some(front) = ring.pop_front() {
+                        events.push_edge(front, ex_id);
+                    }
+                }
+                ring.push_back(ex_id);
+                if was_mispredicted {
+                    st.redirect_event = Some(ex_id);
+                }
+                st.commit_event_ring[(i as usize) % rob_size] = cm_id;
+            }
+            st.prev_fe_event = Some(fe_id);
+            st.prev_cm_event = Some(cm_id);
+            st.dep_event_ring[(i as usize) % DEP_RING] = ex_id;
+        }
+
+        // ------------------------------------------------------------------
+        // Bookkeeping.
+        // ------------------------------------------------------------------
+        st.dep_ring[(i as usize) % DEP_RING] = (complete, exec_domain);
+        st.commit_ring[(i as usize) % cfg.reorder_buffer as usize] = commit_time;
+        st.last_commit = commit_time;
+        st.stats.instructions += 1;
+        st.interval_instrs += 1;
+        st.interval_active[exec_domain] += exec_cycles;
+        st.interval_active[Domain::FrontEnd] += fe_active_cycles + COMMIT_CYCLES;
+        st.instr_index += 1;
+
+        // Instruction-window callback (used by the off-line oracle).
+        if let Some(window) = hooks.instruction_window() {
+            if window > 0 && st.instr_index % window == 0 {
+                let idx = st.instr_index / window;
+                if let Some(setting) = hooks.on_instruction_window(idx, st.last_commit) {
+                    st.dvfs.write_register(setting, st.last_commit);
+                    st.stats.reconfigurations += 1;
+                }
+            }
+        }
+
+        // Interval callback.
+        if let Some(interval) = st.interval_len {
+            while st.last_commit >= st.next_interval {
+                let elapsed = st.next_interval.saturating_sub(st.interval_start);
+                let mut queue_util = PerDomain::default();
+                for d in [Domain::Integer, Domain::FloatingPoint, Domain::Memory] {
+                    let n = st.interval_queue_admits[d];
+                    queue_util[d] = if n == 0 {
+                        0.0
+                    } else {
+                        st.interval_queue_util[d] / n as f64
+                    };
+                }
+                let interval_stats = IntervalStats {
+                    elapsed,
+                    instructions: st.interval_instrs,
+                    active_cycles: st.interval_active,
+                    queue_utilization: queue_util,
+                    queue_admissions: st.interval_queue_admits,
+                };
+                if let Some(setting) = hooks.on_interval(&interval_stats, st.next_interval) {
+                    st.dvfs.write_register(setting, st.next_interval);
+                    st.stats.reconfigurations += 1;
+                }
+                st.interval_start = st.next_interval;
+                st.next_interval = st.next_interval + TimeNs::new(interval);
+                st.interval_instrs = 0;
+                st.interval_active = PerDomain::default();
+                st.interval_queue_util = PerDomain::default();
+                st.interval_queue_admits = PerDomain::default();
+            }
+        }
+    }
+
+    fn charge_active(&self, st: &mut RunState, domain: Domain, cycles: f64, at: TimeNs) {
+        let scale = st.dvfs.energy_scale(domain, at);
+        st.power_acct
+            .charge_active(domain, self.power.active_energy(domain, cycles, scale), cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Instr;
+
+    fn int_trace(n: usize) -> Vec<TraceItem> {
+        (0..n)
+            .map(|i| {
+                TraceItem::Instr(
+                    Instr::op(0x1000 + (i as u64 % 64) * 4, InstrClass::IntAlu).with_dep1(1),
+                )
+            })
+            .collect()
+    }
+
+    fn mixed_trace(n: usize) -> Vec<TraceItem> {
+        (0..n)
+            .map(|i| {
+                let pc = 0x4000 + (i as u64 % 256) * 4;
+                let item = match i % 5 {
+                    0 => Instr::op(pc, InstrClass::IntAlu).with_dep1(2),
+                    1 => Instr::op(pc, InstrClass::FpMul).with_dep1(1),
+                    2 => Instr::load(pc, 0x10_0000 + (i as u64 * 64) % 8192),
+                    3 => Instr::op(pc, InstrClass::IntAlu),
+                    _ => Instr::branch(pc, i % 10 == 0, pc + 64),
+                };
+                TraceItem::Instr(item)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let sim = Simulator::new(MachineConfig::default());
+        let res = sim.run(Vec::new(), &mut NullHooks, false);
+        assert_eq!(res.stats.instructions, 0);
+        assert_eq!(res.stats.run_time, TimeNs::ZERO);
+    }
+
+    #[test]
+    fn run_time_and_energy_grow_with_instruction_count() {
+        let sim = Simulator::new(MachineConfig::default());
+        let short = sim.run(int_trace(500), &mut NullHooks, false);
+        let long = sim.run(int_trace(5000), &mut NullHooks, false);
+        assert!(long.stats.run_time > short.stats.run_time);
+        assert!(long.stats.total_energy.as_units() > short.stats.total_energy.as_units());
+        assert_eq!(long.stats.instructions, 5000);
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let sim = Simulator::new(MachineConfig::default());
+        let a = sim.run(mixed_trace(2000), &mut NullHooks, false);
+        let b = sim.run(mixed_trace(2000), &mut NullHooks, false);
+        assert_eq!(a.stats.run_time, b.stats.run_time);
+        assert_eq!(a.stats.total_energy.as_units(), b.stats.total_energy.as_units());
+        assert_eq!(a.stats.sync_stalls, b.stats.sync_stalls);
+    }
+
+    #[test]
+    fn slowing_fp_domain_barely_hurts_integer_code() {
+        let cfg = MachineConfig::default();
+        let sim = Simulator::new(cfg.clone());
+        let base = sim.run(int_trace(4000), &mut NullHooks, false);
+
+        struct SlowFp;
+        impl SimHooks for SlowFp {
+            fn initial_setting(&self) -> Option<FrequencySetting> {
+                Some(
+                    FrequencySetting::full_speed()
+                        .with(Domain::FloatingPoint, crate::time::MegaHertz::new(250.0)),
+                )
+            }
+        }
+        let slowed = sim.run(int_trace(4000), &mut SlowFp, false);
+        let degradation = (slowed.stats.run_time.as_ns() - base.stats.run_time.as_ns())
+            / base.stats.run_time.as_ns();
+        assert!(
+            degradation < 0.02,
+            "integer code should be insensitive to the FP domain, got {degradation}"
+        );
+        assert!(
+            slowed.stats.total_energy.as_units() < base.stats.total_energy.as_units(),
+            "lower FP voltage must save energy"
+        );
+    }
+
+    #[test]
+    fn slowing_the_critical_domain_hurts() {
+        let sim = Simulator::new(MachineConfig::default());
+        let base = sim.run(int_trace(4000), &mut NullHooks, false);
+
+        struct SlowInt;
+        impl SimHooks for SlowInt {
+            fn initial_setting(&self) -> Option<FrequencySetting> {
+                Some(
+                    FrequencySetting::full_speed()
+                        .with(Domain::Integer, crate::time::MegaHertz::new(250.0)),
+                )
+            }
+        }
+        let slowed = sim.run(int_trace(4000), &mut SlowInt, false);
+        let degradation = (slowed.stats.run_time.as_ns() - base.stats.run_time.as_ns())
+            / base.stats.run_time.as_ns();
+        assert!(
+            degradation > 0.5,
+            "dependent integer code at 250 MHz should run much slower, got {degradation}"
+        );
+    }
+
+    #[test]
+    fn synchronization_penalty_is_small_but_positive() {
+        let n = 6000;
+        let mcd = Simulator::new(MachineConfig::default());
+        let gs = Simulator::new(
+            MachineConfig::default()
+                .to_builder()
+                .synchronization(false)
+                .build(),
+        );
+        let mcd_run = mcd.run(mixed_trace(n), &mut NullHooks, false);
+        let gs_run = gs.run(mixed_trace(n), &mut NullHooks, false);
+        assert!(mcd_run.stats.sync_stalls > 0);
+        assert_eq!(gs_run.stats.sync_stalls, 0);
+        let penalty = (mcd_run.stats.run_time.as_ns() - gs_run.stats.run_time.as_ns())
+            / gs_run.stats.run_time.as_ns();
+        assert!(penalty > 0.0, "MCD must be slower than fully synchronous");
+        assert!(penalty < 0.15, "MCD penalty should be modest, got {penalty}");
+    }
+
+    #[test]
+    fn event_recording_produces_events_and_edges() {
+        let sim = Simulator::new(MachineConfig::default());
+        let res = sim.run(mixed_trace(300), &mut NullHooks, true);
+        let events = res.events.expect("events were requested");
+        assert_eq!(events.len(), 300 * 3);
+        assert!(!events.edges().is_empty());
+        // All edges point forward.
+        for e in events.edges() {
+            assert!(e.from < e.to);
+        }
+    }
+
+    #[test]
+    fn marker_hooks_can_reconfigure_and_charge_overhead() {
+        use crate::instruction::{LoopId, Marker};
+        struct ReconfigureOnMarker {
+            fired: bool,
+        }
+        impl SimHooks for ReconfigureOnMarker {
+            fn on_marker(&mut self, _m: &Marker, _now: TimeNs, _i: u64) -> HookAction {
+                self.fired = true;
+                HookAction {
+                    reconfigure: Some(FrequencySetting::uniform(crate::time::MegaHertz::new(
+                        500.0,
+                    ))),
+                    overhead_cycles: 17.0,
+                    set_region: Some(3),
+                }
+            }
+        }
+        let mut trace = int_trace(100);
+        trace.insert(
+            50,
+            TraceItem::Marker(Marker::LoopEnter { loop_id: LoopId(1) }),
+        );
+        let sim = Simulator::new(MachineConfig::default());
+        let mut hooks = ReconfigureOnMarker { fired: false };
+        let res = sim.run(trace, &mut hooks, true);
+        assert!(hooks.fired);
+        assert_eq!(res.stats.reconfigurations, 1);
+        assert_eq!(res.stats.markers, 1);
+        assert!(res.stats.overhead_cycles >= 17.0);
+        let events = res.events.unwrap();
+        assert!(events.regions().contains(&3));
+    }
+
+    #[test]
+    fn interval_hook_called_repeatedly() {
+        struct CountIntervals {
+            calls: u64,
+        }
+        impl SimHooks for CountIntervals {
+            fn interval_ns(&self) -> Option<f64> {
+                Some(200.0)
+            }
+            fn on_interval(&mut self, stats: &IntervalStats, _now: TimeNs) -> Option<FrequencySetting> {
+                assert!(stats.elapsed.as_ns() > 0.0);
+                self.calls += 1;
+                None
+            }
+        }
+        let sim = Simulator::new(MachineConfig::default());
+        let mut hooks = CountIntervals { calls: 0 };
+        let res = sim.run(mixed_trace(5000), &mut hooks, false);
+        assert!(hooks.calls > 2, "expected several intervals, got {}", hooks.calls);
+        assert!(res.stats.run_time.as_ns() > 400.0);
+    }
+
+    #[test]
+    fn memory_bound_code_uses_external_domain_energy() {
+        // Loads with a huge working set will miss in L2 and touch main memory.
+        let trace: Vec<TraceItem> = (0..3000)
+            .map(|i| TraceItem::Instr(Instr::load(0x100 + (i % 16) * 4, (i as u64) * 4096)))
+            .collect();
+        let sim = Simulator::new(MachineConfig::default());
+        let res = sim.run(trace, &mut NullHooks, false);
+        assert!(res.stats.l2_misses > 0);
+        assert!(res.stats.domain_energy[Domain::External] > 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Run statistics produced by the simulator and the derived metrics the paper
+//! reports (performance degradation, energy savings, energy·delay improvement).
+
+use crate::domain::PerDomain;
+use crate::time::{Energy, TimeNs};
+
+/// Statistics for one complete simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Wall-clock run time.
+    pub run_time: TimeNs,
+    /// Total energy consumed across all domains.
+    pub total_energy: Energy,
+    /// Energy per domain.
+    pub domain_energy: PerDomain<f64>,
+    /// Active (work) cycles per domain.
+    pub domain_active_cycles: PerDomain<f64>,
+    /// Inter-domain crossings evaluated.
+    pub sync_crossings: u64,
+    /// Inter-domain crossings that stalled one consumer cycle.
+    pub sync_stalls: u64,
+    /// Branch instructions executed.
+    pub branches: u64,
+    /// Branch mispredictions (direction or BTB).
+    pub branch_mispredicts: u64,
+    /// L1 data cache accesses.
+    pub l1d_accesses: u64,
+    /// L1 data cache misses.
+    pub l1d_misses: u64,
+    /// L2 accesses (from either L1).
+    pub l2_accesses: u64,
+    /// L2 misses (requests sent to main memory).
+    pub l2_misses: u64,
+    /// Reconfiguration-register writes performed during the run.
+    pub reconfigurations: u64,
+    /// Instrumentation / reconfiguration overhead cycles charged.
+    pub overhead_cycles: f64,
+    /// Markers observed in the trace.
+    pub markers: u64,
+}
+
+impl SimStats {
+    /// Instructions per nanosecond (equals IPC at the 1 GHz baseline).
+    pub fn instructions_per_ns(&self) -> f64 {
+        if self.run_time.as_ns() <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.run_time.as_ns()
+        }
+    }
+
+    /// Energy·delay product of the run.
+    pub fn energy_delay(&self) -> f64 {
+        self.total_energy.as_units() * self.run_time.as_ns()
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// The three headline metrics of the paper, computed for a controlled run
+/// relative to a baseline run (the MCD processor at full speed).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RelativeMetrics {
+    /// Performance degradation: `(T_run − T_base) / T_base`, as a fraction.
+    pub performance_degradation: f64,
+    /// Energy savings: `1 − E_run / E_base`, as a fraction.
+    pub energy_savings: f64,
+    /// Energy·delay improvement: `1 − (E_run·T_run) / (E_base·T_base)`.
+    pub energy_delay_improvement: f64,
+}
+
+impl RelativeMetrics {
+    /// Computes the metrics of `run` relative to `baseline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline has zero run time or energy.
+    pub fn relative_to(run: &SimStats, baseline: &SimStats) -> Self {
+        assert!(baseline.run_time.as_ns() > 0.0, "baseline run time must be positive");
+        assert!(
+            baseline.total_energy.as_units() > 0.0,
+            "baseline energy must be positive"
+        );
+        let t_ratio = run.run_time.as_ns() / baseline.run_time.as_ns();
+        let e_ratio = run.total_energy.as_units() / baseline.total_energy.as_units();
+        RelativeMetrics {
+            performance_degradation: t_ratio - 1.0,
+            energy_savings: 1.0 - e_ratio,
+            energy_delay_improvement: 1.0 - e_ratio * t_ratio,
+        }
+    }
+
+    /// Performance degradation in percent.
+    pub fn degradation_percent(&self) -> f64 {
+        self.performance_degradation * 100.0
+    }
+
+    /// Energy savings in percent.
+    pub fn energy_savings_percent(&self) -> f64 {
+        self.energy_savings * 100.0
+    }
+
+    /// Energy·delay improvement in percent.
+    pub fn energy_delay_percent(&self) -> f64 {
+        self.energy_delay_improvement * 100.0
+    }
+}
+
+/// Per-interval utilization statistics handed to interval-based controllers
+/// (the on-line attack–decay algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct IntervalStats {
+    /// Wall-clock time covered by the interval.
+    pub elapsed: TimeNs,
+    /// Instructions committed in the interval.
+    pub instructions: u64,
+    /// Active cycles per domain accumulated in the interval.
+    pub active_cycles: PerDomain<f64>,
+    /// Average issue-queue occupancy (fraction of capacity) per domain observed
+    /// at admissions during the interval. Only the integer, floating-point and
+    /// memory domains carry meaningful values.
+    pub queue_utilization: PerDomain<f64>,
+    /// Entries admitted to each domain's issue queue during the interval.
+    pub queue_admissions: PerDomain<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(time_ns: f64, energy: f64) -> SimStats {
+        SimStats {
+            instructions: 1000,
+            run_time: TimeNs::new(time_ns),
+            total_energy: Energy::new(energy),
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn relative_metrics_identity() {
+        let base = stats(1000.0, 500.0);
+        let m = RelativeMetrics::relative_to(&base, &base);
+        assert!(m.performance_degradation.abs() < 1e-12);
+        assert!(m.energy_savings.abs() < 1e-12);
+        assert!(m.energy_delay_improvement.abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_metrics_slower_but_cheaper() {
+        let base = stats(1000.0, 500.0);
+        let run = stats(1070.0, 350.0);
+        let m = RelativeMetrics::relative_to(&run, &base);
+        assert!((m.degradation_percent() - 7.0).abs() < 1e-9);
+        assert!((m.energy_savings_percent() - 30.0).abs() < 1e-9);
+        // ED improvement = 1 - 0.7*1.07 = 0.251.
+        assert!((m.energy_delay_percent() - 25.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_metrics_can_be_negative() {
+        let base = stats(1000.0, 500.0);
+        let run = stats(1300.0, 520.0);
+        let m = RelativeMetrics::relative_to(&run, &base);
+        assert!(m.energy_savings < 0.0);
+        assert!(m.energy_delay_improvement < 0.0);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let mut s = stats(2000.0, 100.0);
+        s.instructions = 4000;
+        s.branches = 100;
+        s.branch_mispredicts = 5;
+        assert!((s.instructions_per_ns() - 2.0).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.05).abs() < 1e-12);
+        assert!((s.energy_delay() - 100.0 * 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let s = SimStats::default();
+        assert_eq!(s.instructions_per_ns(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn relative_metrics_reject_zero_baseline() {
+        let base = SimStats::default();
+        let run = stats(10.0, 10.0);
+        let _ = RelativeMetrics::relative_to(&run, &base);
+    }
+}

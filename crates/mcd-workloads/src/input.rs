@@ -1,0 +1,141 @@
+//! Input sets and simulation windows.
+//!
+//! MediaBench ships a small and a large input for each program; SPEC provides
+//! train and ref sets. The paper profiles on the small/training input and
+//! evaluates on the larger reference input, simulating the instruction windows
+//! of Table 2. Our windows are scaled down (the paper's 200 M-instruction
+//! windows are pure simulation-time budget) but keep the same training-versus-
+//! reference relationship.
+
+use crate::program::InputKind;
+
+/// A concrete input set for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSet {
+    /// Whether this is the training or the reference input.
+    pub kind: InputKind,
+    /// Maximum number of dynamic instructions to generate (the simulation
+    /// window). `u64::MAX` means "the entire program".
+    pub max_instructions: u64,
+    /// Whether the window covers the entire program execution (for Table 2's
+    /// "entire program" rows) or is a truncated window.
+    pub entire_program: bool,
+    /// Seed used for this input's data-dependent behaviour (addresses, branch
+    /// outcomes, dependence draws). Training and reference inputs use different
+    /// seeds so that data-dependent paths differ between them.
+    pub seed: u64,
+}
+
+impl InputSet {
+    /// Creates a training input covering at most `max_instructions`.
+    pub fn training(max_instructions: u64) -> Self {
+        InputSet {
+            kind: InputKind::Training,
+            max_instructions,
+            entire_program: false,
+            seed: 0x7261_696e, // "rain" — training seed
+        }
+    }
+
+    /// Creates a reference input covering at most `max_instructions`.
+    pub fn reference(max_instructions: u64) -> Self {
+        InputSet {
+            kind: InputKind::Reference,
+            max_instructions,
+            entire_program: false,
+            seed: 0x7265_6665, // "refe" — reference seed
+        }
+    }
+
+    /// Marks the window as covering the entire program (Table 2 reporting).
+    pub fn entire(mut self) -> Self {
+        self.entire_program = true;
+        self
+    }
+
+    /// Returns a copy with a different seed (used for sensitivity studies).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Human-readable description of the window, in the style of Table 2.
+    pub fn window_description(&self) -> String {
+        let millions = self.max_instructions as f64 / 1.0e6;
+        if self.entire_program {
+            format!("entire program ({millions:.1}M)")
+        } else {
+            format!("0 – {millions:.1}M")
+        }
+    }
+}
+
+/// The pair of input sets (training, reference) a benchmark is evaluated with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputPair {
+    /// The training input (used only for profiling).
+    pub training: InputSet,
+    /// The reference input (used for all reported results).
+    pub reference: InputSet,
+}
+
+impl InputPair {
+    /// Creates a pair from training/reference window lengths (in instructions),
+    /// marking both as entire-program windows when `entire` is true.
+    pub fn new(training_window: u64, reference_window: u64, entire: bool) -> Self {
+        let mut training = InputSet::training(training_window);
+        let mut reference = InputSet::reference(reference_window);
+        if entire {
+            training = training.entire();
+            reference = reference.entire();
+        }
+        InputPair {
+            training,
+            reference,
+        }
+    }
+
+    /// The input set of the given kind.
+    pub fn get(&self, kind: InputKind) -> &InputSet {
+        match kind {
+            InputKind::Training => &self.training,
+            InputKind::Reference => &self.reference,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_and_reference_have_distinct_seeds() {
+        let pair = InputPair::new(50_000, 200_000, false);
+        assert_ne!(pair.training.seed, pair.reference.seed);
+        assert_eq!(pair.training.kind, InputKind::Training);
+        assert_eq!(pair.reference.kind, InputKind::Reference);
+        assert!(pair.reference.max_instructions > pair.training.max_instructions);
+    }
+
+    #[test]
+    fn window_description_styles() {
+        let entire = InputSet::training(7_100_000).entire();
+        assert!(entire.window_description().contains("entire program"));
+        let window = InputSet::reference(200_000_000);
+        assert!(window.window_description().starts_with("0 – "));
+    }
+
+    #[test]
+    fn get_by_kind() {
+        let pair = InputPair::new(10, 20, true);
+        assert_eq!(pair.get(InputKind::Training).max_instructions, 10);
+        assert_eq!(pair.get(InputKind::Reference).max_instructions, 20);
+        assert!(pair.training.entire_program);
+    }
+
+    #[test]
+    fn with_seed_overrides() {
+        let s = InputSet::training(100).with_seed(99);
+        assert_eq!(s.seed, 99);
+    }
+}

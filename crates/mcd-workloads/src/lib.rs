@@ -1,0 +1,39 @@
+//! # mcd-workloads — synthetic MediaBench and SPEC CPU2000 workload models
+//!
+//! The paper evaluates its profile-driven DVFS mechanism on nineteen
+//! benchmarks compiled for Alpha and traced with ATOM. Neither the binaries
+//! nor the toolchain are available as Rust, so this crate provides the
+//! substitute substrate (see DESIGN.md §2): each benchmark is modelled as a
+//! structural [`Program`](program::Program) — subroutines, loops, call sites,
+//! and input-dependent regions — whose compute blocks carry instruction-mix
+//! descriptors ([`mix::InstructionMix`]). The [`generator`] expands a program
+//! under a training or reference [`input::InputSet`] into the dynamic
+//! instruction/marker trace the `mcd-sim` simulator consumes and the
+//! `mcd-profiling` crate builds call trees from.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcd_workloads::suite;
+//! use mcd_workloads::generator::generate_trace;
+//!
+//! let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+//! let trace = generate_trace(&bench.program, &bench.inputs.training);
+//! assert!(trace.len() > 10_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod generator;
+pub mod input;
+pub mod mix;
+pub mod program;
+pub mod programs;
+pub mod suite;
+
+pub use generator::{generate_trace, TraceGenerator};
+pub use input::{InputPair, InputSet};
+pub use mix::InstructionMix;
+pub use program::{InputKind, Program, ProgramBuilder, TripCount};
+pub use suite::{benchmark, suite, Benchmark, SuiteKind};

@@ -1,0 +1,372 @@
+//! Instruction-mix descriptors.
+//!
+//! Each compute block of a synthetic program is characterized by an
+//! [`InstructionMix`]: the fraction of each instruction class, the typical
+//! dependence distance (instruction-level parallelism), the memory footprint
+//! and access pattern, and the branch behaviour. The trace generator expands a
+//! block into a concrete instruction sequence with these statistics; which
+//! clock domains end up busy — and which have slack for the DVFS algorithms to
+//! harvest — follows directly from the mix.
+
+use mcd_sim::instruction::InstrClass;
+
+/// Statistical description of a compute block's instruction stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstructionMix {
+    /// Fraction of simple integer ALU operations.
+    pub int_alu: f64,
+    /// Fraction of integer multiplies/divides.
+    pub int_mul: f64,
+    /// Fraction of floating-point adds.
+    pub fp_add: f64,
+    /// Fraction of floating-point multiplies.
+    pub fp_mul: f64,
+    /// Fraction of floating-point divides / square roots.
+    pub fp_div: f64,
+    /// Fraction of loads.
+    pub load: f64,
+    /// Fraction of stores.
+    pub store: f64,
+    /// Fraction of branches.
+    pub branch: f64,
+    /// Mean dependence distance between an instruction and its operands, in
+    /// dynamic instructions. Small values serialize execution (low ILP); larger
+    /// values leave functional units idle waiting for work instead.
+    pub dep_distance_mean: f64,
+    /// Data working-set size in bytes. Footprints beyond 64 KB spill the L1,
+    /// beyond 1 MB spill the L2.
+    pub working_set_bytes: u64,
+    /// Access stride in bytes; `0` requests a pseudo-random pattern over the
+    /// working set (pointer chasing).
+    pub stride_bytes: u64,
+    /// Probability that a data-dependent branch is taken.
+    pub branch_taken_rate: f64,
+    /// Fraction of branches whose outcome is effectively unpredictable
+    /// (data-dependent), as opposed to loop-closing or heavily biased branches.
+    pub branch_irregularity: f64,
+}
+
+impl InstructionMix {
+    /// Normalizes the class fractions so they sum to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all fractions are zero or any is negative.
+    pub fn normalized(mut self) -> Self {
+        let sum = self.int_alu
+            + self.int_mul
+            + self.fp_add
+            + self.fp_mul
+            + self.fp_div
+            + self.load
+            + self.store
+            + self.branch;
+        assert!(sum > 0.0, "instruction mix must have at least one class");
+        for f in [
+            self.int_alu,
+            self.int_mul,
+            self.fp_add,
+            self.fp_mul,
+            self.fp_div,
+            self.load,
+            self.store,
+            self.branch,
+        ] {
+            assert!(f >= 0.0, "instruction mix fractions must be non-negative");
+        }
+        self.int_alu /= sum;
+        self.int_mul /= sum;
+        self.fp_add /= sum;
+        self.fp_mul /= sum;
+        self.fp_div /= sum;
+        self.load /= sum;
+        self.store /= sum;
+        self.branch /= sum;
+        self
+    }
+
+    /// Cumulative distribution over instruction classes, in the canonical order
+    /// of [`InstrClass::ALL`]. Used by the generator to sample classes.
+    pub fn cumulative(&self) -> [(InstrClass, f64); 8] {
+        let fractions = [
+            (InstrClass::IntAlu, self.int_alu),
+            (InstrClass::IntMul, self.int_mul),
+            (InstrClass::FpAdd, self.fp_add),
+            (InstrClass::FpMul, self.fp_mul),
+            (InstrClass::FpDiv, self.fp_div),
+            (InstrClass::Load, self.load),
+            (InstrClass::Store, self.store),
+            (InstrClass::Branch, self.branch),
+        ];
+        let mut acc = 0.0;
+        let mut out = fractions;
+        for item in &mut out {
+            acc += item.1;
+            item.1 = acc;
+        }
+        out
+    }
+
+    /// Fraction of floating-point instructions of any kind.
+    pub fn fp_fraction(&self) -> f64 {
+        self.fp_add + self.fp_mul + self.fp_div
+    }
+
+    /// Fraction of memory instructions (loads + stores).
+    pub fn memory_fraction(&self) -> f64 {
+        self.load + self.store
+    }
+
+    // ---------------------------------------------------------------------
+    // Presets used by the benchmark models.
+    // ---------------------------------------------------------------------
+
+    /// Control-heavy integer code: compares, shifts, short dependence chains,
+    /// unpredictable branches (Huffman coding, parsers, compressors).
+    pub fn branchy_int() -> Self {
+        InstructionMix {
+            int_alu: 0.48,
+            int_mul: 0.01,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.22,
+            store: 0.09,
+            branch: 0.20,
+            dep_distance_mean: 2.5,
+            working_set_bytes: 32 * 1024,
+            stride_bytes: 0,
+            branch_taken_rate: 0.52,
+            branch_irregularity: 0.55,
+            ..InstructionMix::default()
+        }
+        .normalized()
+    }
+
+    /// Regular integer arithmetic over arrays (scaling, quantization, pixel
+    /// manipulation): high ILP, streaming accesses, predictable branches.
+    pub fn streaming_int() -> Self {
+        InstructionMix {
+            int_alu: 0.52,
+            int_mul: 0.06,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.24,
+            store: 0.12,
+            branch: 0.06,
+            dep_distance_mean: 6.0,
+            working_set_bytes: 48 * 1024,
+            stride_bytes: 8,
+            branch_taken_rate: 0.85,
+            branch_irregularity: 0.05,
+            ..InstructionMix::default()
+        }
+        .normalized()
+    }
+
+    /// Dense floating-point kernels (DCT, FIR filters, stencil updates): FP
+    /// dominated, good ILP, streaming memory references.
+    pub fn fp_kernel() -> Self {
+        InstructionMix {
+            int_alu: 0.16,
+            int_mul: 0.01,
+            fp_add: 0.28,
+            fp_mul: 0.24,
+            fp_div: 0.01,
+            load: 0.20,
+            store: 0.06,
+            branch: 0.04,
+            dep_distance_mean: 5.0,
+            working_set_bytes: 96 * 1024,
+            stride_bytes: 8,
+            branch_taken_rate: 0.92,
+            branch_irregularity: 0.02,
+            ..InstructionMix::default()
+        }
+        .normalized()
+    }
+
+    /// Long-latency floating-point code with recurrences (equation solvers):
+    /// serial FP chains including divides.
+    pub fn fp_recurrence() -> Self {
+        InstructionMix {
+            int_alu: 0.14,
+            int_mul: 0.0,
+            fp_add: 0.30,
+            fp_mul: 0.22,
+            fp_div: 0.04,
+            load: 0.20,
+            store: 0.06,
+            branch: 0.04,
+            dep_distance_mean: 1.8,
+            working_set_bytes: 256 * 1024,
+            stride_bytes: 8,
+            branch_taken_rate: 0.9,
+            branch_irregularity: 0.03,
+            ..InstructionMix::default()
+        }
+        .normalized()
+    }
+
+    /// Pointer-chasing, cache-hostile integer code (mcf's network simplex,
+    /// sparse graph walks): loads dominate, dependence distance is tiny, the
+    /// working set dwarfs the L2.
+    pub fn pointer_chase() -> Self {
+        InstructionMix {
+            int_alu: 0.30,
+            int_mul: 0.0,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.40,
+            store: 0.10,
+            branch: 0.20,
+            dep_distance_mean: 1.5,
+            working_set_bytes: 8 * 1024 * 1024,
+            stride_bytes: 0,
+            branch_taken_rate: 0.5,
+            branch_irregularity: 0.35,
+            ..InstructionMix::default()
+        }
+        .normalized()
+    }
+
+    /// Streaming memory-bound floating point (swim-style stencil over grids
+    /// larger than the L2).
+    pub fn fp_streaming_memory() -> Self {
+        InstructionMix {
+            int_alu: 0.14,
+            int_mul: 0.0,
+            fp_add: 0.26,
+            fp_mul: 0.18,
+            fp_div: 0.01,
+            load: 0.27,
+            store: 0.10,
+            branch: 0.04,
+            dep_distance_mean: 7.0,
+            working_set_bytes: 4 * 1024 * 1024,
+            stride_bytes: 64,
+            branch_taken_rate: 0.93,
+            branch_irregularity: 0.02,
+            ..InstructionMix::default()
+        }
+        .normalized()
+    }
+
+    /// Table-driven integer DSP (ADPCM/GSM codecs): small working set, mostly
+    /// integer ALU with some multiplies, moderately predictable branches.
+    pub fn dsp_int() -> Self {
+        InstructionMix {
+            int_alu: 0.50,
+            int_mul: 0.08,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.20,
+            store: 0.08,
+            branch: 0.14,
+            dep_distance_mean: 2.2,
+            working_set_bytes: 8 * 1024,
+            stride_bytes: 4,
+            branch_taken_rate: 0.6,
+            branch_irregularity: 0.25,
+            ..InstructionMix::default()
+        }
+        .normalized()
+    }
+}
+
+impl Default for InstructionMix {
+    fn default() -> Self {
+        InstructionMix {
+            int_alu: 0.45,
+            int_mul: 0.02,
+            fp_add: 0.05,
+            fp_mul: 0.03,
+            fp_div: 0.0,
+            load: 0.25,
+            store: 0.10,
+            branch: 0.10,
+            dep_distance_mean: 3.0,
+            working_set_bytes: 64 * 1024,
+            stride_bytes: 8,
+            branch_taken_rate: 0.6,
+            branch_irregularity: 0.15,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_normalized(mix: &InstructionMix) {
+        let sum = mix.int_alu
+            + mix.int_mul
+            + mix.fp_add
+            + mix.fp_mul
+            + mix.fp_div
+            + mix.load
+            + mix.store
+            + mix.branch;
+        assert!((sum - 1.0).abs() < 1e-9, "mix fractions sum to {sum}");
+    }
+
+    #[test]
+    fn presets_are_normalized() {
+        for mix in [
+            InstructionMix::branchy_int(),
+            InstructionMix::streaming_int(),
+            InstructionMix::fp_kernel(),
+            InstructionMix::fp_recurrence(),
+            InstructionMix::pointer_chase(),
+            InstructionMix::fp_streaming_memory(),
+            InstructionMix::dsp_int(),
+            InstructionMix::default().normalized(),
+        ] {
+            assert_normalized(&mix);
+        }
+    }
+
+    #[test]
+    fn cumulative_ends_at_one() {
+        let mix = InstructionMix::fp_kernel();
+        let cum = mix.cumulative();
+        assert!((cum.last().unwrap().1 - 1.0).abs() < 1e-9);
+        // Monotone non-decreasing.
+        for w in cum.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn preset_characters() {
+        assert!(InstructionMix::fp_kernel().fp_fraction() > 0.4);
+        assert!(InstructionMix::branchy_int().fp_fraction() < 1e-9);
+        assert!(InstructionMix::pointer_chase().memory_fraction() > 0.4);
+        assert!(InstructionMix::pointer_chase().working_set_bytes > 1024 * 1024);
+        assert!(InstructionMix::dsp_int().working_set_bytes <= 64 * 1024);
+        assert!(
+            InstructionMix::branchy_int().branch_irregularity
+                > InstructionMix::fp_kernel().branch_irregularity
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn normalize_rejects_all_zero() {
+        let _ = InstructionMix {
+            int_alu: 0.0,
+            int_mul: 0.0,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.0,
+            store: 0.0,
+            branch: 0.0,
+            ..InstructionMix::default()
+        }
+        .normalized();
+    }
+}

@@ -1,0 +1,480 @@
+//! Structural program representation.
+//!
+//! A [`Program`] is the synthetic stand-in for an application binary: a set of
+//! subroutines, each containing straight-line compute blocks, loops (with
+//! input-dependent trip counts), calls to other subroutines through distinct
+//! static call sites, and — for applications whose behaviour differs between
+//! the training and reference data sets — input-dependent regions. The trace
+//! generator walks this structure to produce the dynamic instruction/marker
+//! stream consumed by the simulator, and the profiling crate reconstructs call
+//! trees from the same markers, exactly as ATOM-instrumented binaries allowed
+//! the paper's authors to do.
+
+use crate::mix::InstructionMix;
+use mcd_sim::instruction::{CallSiteId, LoopId, SubroutineId};
+
+/// Which input set a run uses (MediaBench's small "training" input versus the
+/// larger "reference" input, or SPEC's train/ref sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputKind {
+    /// The small training input used for profiling runs.
+    Training,
+    /// The larger reference input used for production runs.
+    Reference,
+}
+
+/// How a loop's trip count responds to the input set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TripCount {
+    /// The same number of iterations regardless of input.
+    Fixed(u32),
+    /// `base` iterations on the training input, `base × reference_factor` on the
+    /// reference input (rounded).
+    Scaled {
+        /// Iterations under the training input.
+        base: u32,
+        /// Multiplier applied for the reference input.
+        reference_factor: f64,
+    },
+}
+
+impl TripCount {
+    /// The number of iterations under the given input kind.
+    pub fn trips(&self, input: InputKind) -> u32 {
+        match *self {
+            TripCount::Fixed(n) => n,
+            TripCount::Scaled {
+                base,
+                reference_factor,
+            } => match input {
+                InputKind::Training => base,
+                InputKind::Reference => ((base as f64) * reference_factor).round().max(1.0) as u32,
+            },
+        }
+    }
+}
+
+/// A straight-line compute block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSpec {
+    /// Number of dynamic instructions the block expands to per execution.
+    pub instructions: u32,
+    /// Statistical character of those instructions.
+    pub mix: InstructionMix,
+}
+
+/// A loop within a subroutine (a strongly connected component of its CFG).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopSpec {
+    /// Static loop identifier, unique within the program.
+    pub id: LoopId,
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// Trip count, possibly input dependent.
+    pub trips: TripCount,
+    /// Elements executed once per iteration.
+    pub body: Vec<Element>,
+}
+
+/// A call to another subroutine through a specific static call site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallSpec {
+    /// The callee.
+    pub callee: SubroutineId,
+    /// The static call site within the caller.
+    pub site: CallSiteId,
+    /// Work multiplier applied to the callee's blocks for this invocation.
+    ///
+    /// This models argument-dependent behaviour: the same subroutine called
+    /// with different arguments (epic's `internal_filter` called on different
+    /// pyramid levels, for instance) performs different amounts of work at
+    /// different call sites. A value of `1.0` means the callee's nominal size.
+    pub intensity: f64,
+}
+
+/// One element of a subroutine or loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Straight-line computation.
+    Block(BlockSpec),
+    /// A nested loop.
+    Loop(LoopSpec),
+    /// A call to another subroutine.
+    Call(CallSpec),
+    /// A region that is only executed under one of the input sets. This models
+    /// applications (mpeg2 decode, vpr) whose reference inputs exercise code
+    /// paths the training input never reaches.
+    InputDependent {
+        /// Elements executed under the training input.
+        training: Vec<Element>,
+        /// Elements executed under the reference input.
+        reference: Vec<Element>,
+    },
+}
+
+/// A static subroutine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subroutine {
+    /// Identifier (index into [`Program::subroutines`]).
+    pub id: SubroutineId,
+    /// Name (as a symbol table would give it).
+    pub name: String,
+    /// Body elements, executed in order.
+    pub body: Vec<Element>,
+}
+
+/// A whole synthetic program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Program name (benchmark name).
+    pub name: String,
+    /// All subroutines; index equals [`SubroutineId`].
+    pub subroutines: Vec<Subroutine>,
+    /// The entry subroutine (`main`).
+    pub entry: SubroutineId,
+}
+
+impl Program {
+    /// Looks up a subroutine by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn subroutine(&self, id: SubroutineId) -> &Subroutine {
+        &self.subroutines[id.0 as usize]
+    }
+
+    /// Looks up a subroutine by name, if present.
+    pub fn subroutine_by_name(&self, name: &str) -> Option<&Subroutine> {
+        self.subroutines.iter().find(|s| s.name == name)
+    }
+
+    /// Number of subroutines.
+    pub fn subroutine_count(&self) -> usize {
+        self.subroutines.len()
+    }
+
+    /// Total number of static loops in the program.
+    pub fn loop_count(&self) -> usize {
+        fn count(elements: &[Element]) -> usize {
+            elements
+                .iter()
+                .map(|e| match e {
+                    Element::Loop(l) => 1 + count(&l.body),
+                    Element::InputDependent {
+                        training,
+                        reference,
+                    } => count(training) + count(reference),
+                    _ => 0,
+                })
+                .sum()
+        }
+        self.subroutines.iter().map(|s| count(&s.body)).sum()
+    }
+
+    /// Total number of static call sites in the program.
+    pub fn call_site_count(&self) -> usize {
+        fn count(elements: &[Element]) -> usize {
+            elements
+                .iter()
+                .map(|e| match e {
+                    Element::Call(_) => 1,
+                    Element::Loop(l) => count(&l.body),
+                    Element::InputDependent {
+                        training,
+                        reference,
+                    } => count(training) + count(reference),
+                    _ => 0,
+                })
+                .sum()
+        }
+        self.subroutines.iter().map(|s| count(&s.body)).sum()
+    }
+}
+
+/// Builder used by the benchmark definitions to assemble a [`Program`] with
+/// automatically assigned loop and call-site identifiers.
+///
+/// ```
+/// use mcd_workloads::program::{ProgramBuilder, TripCount};
+/// use mcd_workloads::mix::InstructionMix;
+///
+/// let mut b = ProgramBuilder::new("example");
+/// let helper = b.subroutine("helper", |s| {
+///     s.block(500, InstructionMix::streaming_int());
+/// });
+/// b.subroutine("main", |s| {
+///     s.repeat("outer", TripCount::Fixed(10), |l| {
+///         l.call(helper);
+///         l.block(200, InstructionMix::branchy_int());
+///     });
+/// });
+/// let program = b.build("main");
+/// assert_eq!(program.subroutine_count(), 2);
+/// assert_eq!(program.loop_count(), 1);
+/// assert_eq!(program.call_site_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    subroutines: Vec<Subroutine>,
+    next_loop: u32,
+    next_site: u32,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            subroutines: Vec::new(),
+            next_loop: 0,
+            next_site: 0,
+        }
+    }
+
+    /// Defines a subroutine; the closure receives a [`BodyBuilder`] to populate
+    /// its body. Returns the new subroutine's id (usable at later call sites).
+    pub fn subroutine(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut BodyBuilder<'_>),
+    ) -> SubroutineId {
+        let id = SubroutineId(self.subroutines.len() as u32);
+        // Temporarily push a placeholder so nested builders can allocate ids.
+        let name = name.into();
+        let mut elements = Vec::new();
+        {
+            let mut body = BodyBuilder {
+                builder: self,
+                elements: &mut elements,
+            };
+            f(&mut body);
+        }
+        self.subroutines.push(Subroutine {
+            id,
+            name,
+            body: elements,
+        });
+        id
+    }
+
+    /// Finalizes the program with the named subroutine as the entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no subroutine has the given entry name.
+    pub fn build(self, entry: &str) -> Program {
+        let entry_id = self
+            .subroutines
+            .iter()
+            .find(|s| s.name == entry)
+            .unwrap_or_else(|| panic!("entry subroutine `{entry}` not defined"))
+            .id;
+        Program {
+            name: self.name,
+            subroutines: self.subroutines,
+            entry: entry_id,
+        }
+    }
+
+    fn alloc_loop(&mut self) -> LoopId {
+        let id = LoopId(self.next_loop);
+        self.next_loop += 1;
+        id
+    }
+
+    fn alloc_site(&mut self) -> CallSiteId {
+        let id = CallSiteId(self.next_site);
+        self.next_site += 1;
+        id
+    }
+}
+
+/// Builder for the body of a subroutine, loop or input-dependent region.
+#[derive(Debug)]
+pub struct BodyBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+    elements: &'a mut Vec<Element>,
+}
+
+impl BodyBuilder<'_> {
+    /// Appends a straight-line compute block of `instructions` instructions.
+    pub fn block(&mut self, instructions: u32, mix: InstructionMix) -> &mut Self {
+        self.elements.push(Element::Block(BlockSpec {
+            instructions,
+            mix,
+        }));
+        self
+    }
+
+    /// Appends a loop named `name` with the given trip count; the closure
+    /// populates the loop body.
+    pub fn repeat(
+        &mut self,
+        name: impl Into<String>,
+        trips: TripCount,
+        f: impl FnOnce(&mut BodyBuilder<'_>),
+    ) -> &mut Self {
+        let id = self.builder.alloc_loop();
+        let mut body = Vec::new();
+        {
+            let mut inner = BodyBuilder {
+                builder: &mut *self.builder,
+                elements: &mut body,
+            };
+            f(&mut inner);
+        }
+        self.elements.push(Element::Loop(LoopSpec {
+            id,
+            name: name.into(),
+            trips,
+            body,
+        }));
+        self
+    }
+
+    /// Appends a call to `callee` through a fresh static call site.
+    pub fn call(&mut self, callee: SubroutineId) -> &mut Self {
+        self.call_scaled(callee, 1.0)
+    }
+
+    /// Appends a call to `callee` through a fresh static call site, scaling the
+    /// callee's work by `intensity` for this invocation (argument-dependent
+    /// behaviour).
+    pub fn call_scaled(&mut self, callee: SubroutineId, intensity: f64) -> &mut Self {
+        let site = self.builder.alloc_site();
+        self.elements.push(Element::Call(CallSpec {
+            callee,
+            site,
+            intensity,
+        }));
+        self
+    }
+
+    /// Appends a region whose contents differ between the training and
+    /// reference inputs.
+    pub fn input_dependent(
+        &mut self,
+        training: impl FnOnce(&mut BodyBuilder<'_>),
+        reference: impl FnOnce(&mut BodyBuilder<'_>),
+    ) -> &mut Self {
+        let mut train_elems = Vec::new();
+        {
+            let mut inner = BodyBuilder {
+                builder: &mut *self.builder,
+                elements: &mut train_elems,
+            };
+            training(&mut inner);
+        }
+        let mut ref_elems = Vec::new();
+        {
+            let mut inner = BodyBuilder {
+                builder: &mut *self.builder,
+                elements: &mut ref_elems,
+            };
+            reference(&mut inner);
+        }
+        self.elements.push(Element::InputDependent {
+            training: train_elems,
+            reference: ref_elems,
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_count_scaling() {
+        let fixed = TripCount::Fixed(7);
+        assert_eq!(fixed.trips(InputKind::Training), 7);
+        assert_eq!(fixed.trips(InputKind::Reference), 7);
+        let scaled = TripCount::Scaled {
+            base: 10,
+            reference_factor: 3.5,
+        };
+        assert_eq!(scaled.trips(InputKind::Training), 10);
+        assert_eq!(scaled.trips(InputKind::Reference), 35);
+    }
+
+    #[test]
+    fn builder_assigns_unique_ids() {
+        let mut b = ProgramBuilder::new("t");
+        let callee = b.subroutine("callee", |s| {
+            s.block(10, InstructionMix::default().normalized());
+        });
+        b.subroutine("main", |s| {
+            s.repeat("l0", TripCount::Fixed(2), |l| {
+                l.call(callee);
+                l.repeat("l1", TripCount::Fixed(3), |l2| {
+                    l2.block(5, InstructionMix::default().normalized());
+                });
+            });
+            s.call(callee);
+        });
+        let p = b.build("main");
+        assert_eq!(p.subroutine_count(), 2);
+        assert_eq!(p.loop_count(), 2);
+        assert_eq!(p.call_site_count(), 2);
+        assert_eq!(p.entry, SubroutineId(1));
+        assert!(p.subroutine_by_name("callee").is_some());
+        assert!(p.subroutine_by_name("nonexistent").is_none());
+
+        // Loop and call-site ids are distinct.
+        fn collect_loops(elems: &[Element], out: &mut Vec<u32>) {
+            for e in elems {
+                match e {
+                    Element::Loop(l) => {
+                        out.push(l.id.0);
+                        collect_loops(&l.body, out);
+                    }
+                    Element::InputDependent {
+                        training,
+                        reference,
+                    } => {
+                        collect_loops(training, out);
+                        collect_loops(reference, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        for s in &p.subroutines {
+            collect_loops(&s.body, &mut loops);
+        }
+        loops.sort_unstable();
+        let len = loops.len();
+        loops.dedup();
+        assert_eq!(loops.len(), len);
+    }
+
+    #[test]
+    fn input_dependent_regions_counted_in_both_branches() {
+        let mut b = ProgramBuilder::new("t");
+        b.subroutine("main", |s| {
+            s.input_dependent(
+                |tr| {
+                    tr.block(10, InstructionMix::default().normalized());
+                },
+                |rf| {
+                    rf.repeat("ref_only", TripCount::Fixed(4), |l| {
+                        l.block(20, InstructionMix::default().normalized());
+                    });
+                },
+            );
+        });
+        let p = b.build("main");
+        assert_eq!(p.loop_count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn build_rejects_unknown_entry() {
+        let b = ProgramBuilder::new("t");
+        let _ = b.build("main");
+    }
+}

@@ -1,0 +1,130 @@
+//! ADPCM (adaptive differential PCM) speech codec from MediaBench.
+//!
+//! The codec is a tiny, table-driven integer kernel: a single coder routine is
+//! called once per input buffer and walks the samples with short dependence
+//! chains, a handful of table lookups and data-dependent step-size updates.
+//! The floating-point domain is completely idle and the memory footprint is
+//! tiny — the canonical case where an MCD processor can slow the FP (and to a
+//! lesser degree memory) domains drastically at almost no performance cost.
+//!
+//! Per the paper (Table 2), both the training and the reference inputs are run
+//! to completion ("entire program").
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+/// Mix of the inner decoder loop: integer ALU dominated with table lookups.
+fn decoder_mix() -> InstructionMix {
+    InstructionMix {
+        dep_distance_mean: 2.0,
+        ..InstructionMix::dsp_int()
+    }
+    .normalized()
+}
+
+/// Mix of the inner encoder loop: adds the quantizer search (slightly more
+/// branches and multiplies than the decoder).
+fn encoder_mix() -> InstructionMix {
+    InstructionMix {
+        int_mul: 0.10,
+        branch: 0.17,
+        dep_distance_mean: 1.8,
+        ..InstructionMix::dsp_int()
+    }
+    .normalized()
+}
+
+/// `adpcm decode`: buffers of compressed samples expanded by `adpcm_decoder`.
+pub fn decode() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("adpcm_decode");
+    let decoder = b.subroutine("adpcm_decoder", |s| {
+        s.repeat("sample_loop", TripCount::Fixed(320), |l| {
+            l.block(38, decoder_mix());
+        });
+    });
+    b.subroutine("main", |s| {
+        s.block(400, InstructionMix::streaming_int());
+        s.repeat(
+            "buffer_loop",
+            TripCount::Scaled {
+                base: 5,
+                reference_factor: 1.6,
+            },
+            |l| {
+                l.call(decoder);
+            },
+        );
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(80_000, 130_000, true);
+    (program, inputs)
+}
+
+/// `adpcm encode`: buffers of PCM samples compressed by `adpcm_coder`.
+pub fn encode() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("adpcm_encode");
+    let coder = b.subroutine("adpcm_coder", |s| {
+        s.repeat("sample_loop", TripCount::Fixed(320), |l| {
+            l.block(44, encoder_mix());
+        });
+    });
+    b.subroutine("main", |s| {
+        s.block(400, InstructionMix::streaming_int());
+        s.repeat(
+            "buffer_loop",
+            TripCount::Scaled {
+                base: 5,
+                reference_factor: 1.6,
+            },
+            |l| {
+                l.call(coder);
+            },
+        );
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(90_000, 150_000, true);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_trace;
+
+    #[test]
+    fn adpcm_is_pure_integer() {
+        let (program, inputs) = decode();
+        let trace = generate_trace(&program, &inputs.training);
+        let fp = trace
+            .iter()
+            .filter_map(|t| t.as_instr())
+            .filter(|i| i.class.is_fp())
+            .count();
+        assert_eq!(fp, 0, "adpcm must not execute floating-point instructions");
+    }
+
+    #[test]
+    fn decoder_structure() {
+        let (program, _) = decode();
+        assert_eq!(program.subroutine_count(), 2);
+        assert_eq!(program.loop_count(), 2);
+        assert_eq!(program.call_site_count(), 1);
+        assert!(program.subroutine_by_name("adpcm_decoder").is_some());
+    }
+
+    #[test]
+    fn encode_is_slightly_longer_than_decode() {
+        let (dp, di) = decode();
+        let (ep, ei) = encode();
+        let d = generate_trace(&dp, &di.training)
+            .iter()
+            .filter(|t| t.as_instr().is_some())
+            .count();
+        let e = generate_trace(&ep, &ei.training)
+            .iter()
+            .filter(|t| t.as_instr().is_some())
+            .count();
+        assert!(e > d, "encode ({e}) should be longer than decode ({d})");
+    }
+}

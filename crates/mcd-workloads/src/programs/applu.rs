@@ -1,0 +1,127 @@
+//! 173.applu from SPEC CPU2000 (floating point): SSOR solver for the
+//! Navier-Stokes equations.
+//!
+//! applu's subroutines (`jacld`, `blts`, `jacu`, `buts`, `rhs`) each contain
+//! more than one long-running loop nest. The paper uses applu to illustrate
+//! the cost/benefit of reconfiguring at loop boundaries: with loops included,
+//! the number of dynamic reconfigurations jumps from fewer than ten to about
+//! 8 000 in the simulation window, buying about 1% extra energy savings for
+//! about 2% extra slowdown. The model below gives every solver subroutine two
+//! loop nests that individually exceed the 10 000-instruction threshold so
+//! that L+F and F genuinely differ.
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+fn solver_mix() -> InstructionMix {
+    InstructionMix {
+        working_set_bytes: 1_536 * 1024,
+        stride_bytes: 40,
+        ..InstructionMix::fp_recurrence()
+    }
+    .normalized()
+}
+
+fn rhs_mix() -> InstructionMix {
+    InstructionMix {
+        working_set_bytes: 2 * 1024 * 1024,
+        stride_bytes: 64,
+        dep_distance_mean: 5.0,
+        ..InstructionMix::fp_streaming_memory()
+    }
+    .normalized()
+}
+
+/// Adds a solver subroutine with two long-running loop nests.
+fn solver_subroutine(
+    b: &mut ProgramBuilder,
+    name: &str,
+    first_rows: u32,
+    second_rows: u32,
+) -> mcd_sim::instruction::SubroutineId {
+    let mix = solver_mix();
+    b.subroutine(name, move |s| {
+        s.repeat(format!("{name}_lower"), TripCount::Fixed(first_rows), |l| {
+            l.block(900, mix.clone());
+        });
+        s.repeat(format!("{name}_upper"), TripCount::Fixed(second_rows), |l| {
+            l.block(850, mix.clone());
+        });
+    })
+}
+
+/// Builds the applu program and its inputs.
+pub fn applu() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("applu");
+    let jacld = solver_subroutine(&mut b, "jacld", 13, 12);
+    let blts = solver_subroutine(&mut b, "blts", 14, 12);
+    let jacu = solver_subroutine(&mut b, "jacu", 13, 12);
+    let buts = solver_subroutine(&mut b, "buts", 14, 12);
+    let rhs = b.subroutine("rhs", |s| {
+        s.repeat("flux_xi", TripCount::Fixed(13), |l| {
+            l.block(880, rhs_mix());
+        });
+        s.repeat("flux_eta", TripCount::Fixed(13), |l| {
+            l.block(880, rhs_mix());
+        });
+    });
+    let l2norm = b.subroutine("l2norm", |s| {
+        s.block(2_400, rhs_mix());
+    });
+    b.subroutine("main", |s| {
+        s.block(1_200, InstructionMix::streaming_int());
+        s.repeat(
+            "ssor_iteration",
+            TripCount::Scaled {
+                base: 1,
+                reference_factor: 2.0,
+            },
+            |l| {
+                l.call(jacld);
+                l.call(blts);
+                l.call(jacu);
+                l.call(buts);
+                l.call(rhs);
+                l.call(l2norm);
+            },
+        );
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(130_000, 260_000, false);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_solver_subroutine_has_two_long_running_loops() {
+        let (program, _) = applu();
+        for name in ["jacld", "blts", "jacu", "buts"] {
+            let sub = program.subroutine_by_name(name).expect("present");
+            let loops: Vec<_> = sub
+                .body
+                .iter()
+                .filter_map(|e| match e {
+                    crate::program::Element::Loop(l) => Some(l),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(loops.len(), 2, "{name} should have two loop nests");
+            for l in loops {
+                let trips = l.trips.trips(crate::program::InputKind::Training) as usize;
+                // 850-900 instructions per iteration: both nests exceed 10k.
+                assert!(trips * 850 > 10_000, "loop {} too small", l.name);
+            }
+        }
+    }
+
+    #[test]
+    fn applu_has_many_static_loops() {
+        let (program, _) = applu();
+        assert!(program.loop_count() >= 11);
+        assert!(program.subroutine_count() >= 7);
+    }
+}

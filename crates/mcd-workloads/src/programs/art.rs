@@ -1,0 +1,125 @@
+//! 179.art from SPEC CPU2000 (floating point): adaptive resonance theory
+//! neural network for image recognition.
+//!
+//! art's core is `match()`, a loop containing seven sub-loops that update the
+//! F1 layer neurons and compute winner-take-all matches. The paper points out
+//! that reconfiguring at these inner-loop boundaries costs about 2% extra
+//! slowdown but buys roughly 5% more energy savings compared to
+//! function-granularity reconfiguration. The model gives `simtest2.match` the
+//! same seven-sub-loop shape, each sub-loop below the long-running threshold
+//! but the enclosing loop well above it.
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+fn neuron_mix() -> InstructionMix {
+    InstructionMix {
+        working_set_bytes: 640 * 1024,
+        stride_bytes: 8,
+        dep_distance_mean: 4.0,
+        ..InstructionMix::fp_streaming_memory()
+    }
+    .normalized()
+}
+
+fn winner_mix() -> InstructionMix {
+    InstructionMix {
+        branch: 0.12,
+        branch_irregularity: 0.3,
+        ..InstructionMix::fp_kernel()
+    }
+    .normalized()
+}
+
+/// Builds the art program and its inputs.
+pub fn art() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("art");
+    let match_fn = b.subroutine("match", |s| {
+        s.repeat("f1_layer_pass", TripCount::Fixed(5), |l| {
+            // The seven sub-loops of the F1 layer update.
+            l.repeat("compute_w", TripCount::Fixed(4), |i| {
+                i.block(180, neuron_mix());
+            });
+            l.repeat("compute_x", TripCount::Fixed(4), |i| {
+                i.block(170, neuron_mix());
+            });
+            l.repeat("compute_u", TripCount::Fixed(4), |i| {
+                i.block(160, neuron_mix());
+            });
+            l.repeat("compute_v", TripCount::Fixed(4), |i| {
+                i.block(175, neuron_mix());
+            });
+            l.repeat("compute_p", TripCount::Fixed(4), |i| {
+                i.block(165, neuron_mix());
+            });
+            l.repeat("compute_q", TripCount::Fixed(4), |i| {
+                i.block(150, neuron_mix());
+            });
+            l.repeat("compute_y", TripCount::Fixed(4), |i| {
+                i.block(190, winner_mix());
+            });
+        });
+    });
+    let train_match = b.subroutine("train_match", |s| {
+        s.repeat("weight_update", TripCount::Fixed(12), |l| {
+            l.block(420, neuron_mix());
+        });
+    });
+    let scan_recognize = b.subroutine("scan_recognize", |s| {
+        s.repeat("window_loop", TripCount::Fixed(2), |l| {
+            l.call(match_fn);
+            l.block(500, InstructionMix::streaming_int());
+        });
+    });
+    b.subroutine("main", |s| {
+        s.block(1_000, InstructionMix::streaming_int());
+        s.repeat(
+            "learning_loop",
+            TripCount::Scaled {
+                base: 2,
+                reference_factor: 2.2,
+            },
+            |l| {
+                l.call(scan_recognize);
+                l.call(train_match);
+            },
+        );
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(120_000, 280_000, false);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_has_seven_sub_loops() {
+        let (program, _) = art();
+        let m = program.subroutine_by_name("match").expect("present");
+        let outer = m
+            .body
+            .iter()
+            .find_map(|e| match e {
+                crate::program::Element::Loop(l) => Some(l),
+                _ => None,
+            })
+            .expect("match has an outer loop");
+        let inner = outer
+            .body
+            .iter()
+            .filter(|e| matches!(e, crate::program::Element::Loop(_)))
+            .count();
+        assert_eq!(inner, 7, "the core loop should contain seven sub-loops");
+    }
+
+    #[test]
+    fn sub_loops_are_individually_short_but_the_outer_loop_is_long() {
+        // Each sub-loop: 4 iterations * <200 instructions < 10k.
+        assert!(4 * 190 < 10_000);
+        // The enclosing f1_layer_pass: 5 * 7 * ~4 * ~170 > 10k.
+        assert!(5 * 7 * 4 * 160 > 10_000);
+    }
+}

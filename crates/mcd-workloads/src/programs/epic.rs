@@ -1,0 +1,211 @@
+//! EPIC (efficient pyramid image coder) from MediaBench.
+//!
+//! The encoder builds a wavelet pyramid by repeatedly calling
+//! `internal_filter` from several distinct call sites inside `build_level` —
+//! each invocation filters a different pyramid level, so the amount of work
+//! differs per call site (the paper singles this structure out: tracking call
+//! sites lets the reconfiguration algorithm pick different frequencies for the
+//! different invocations). Quantization, run-length coding and Huffman coding
+//! follow. The decoder reverses the process: Huffman decode, then the inverse
+//! pyramid (`collapse_pyr`), which is floating-point heavy.
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+fn filter_mix() -> InstructionMix {
+    InstructionMix {
+        fp_add: 0.30,
+        fp_mul: 0.26,
+        load: 0.22,
+        store: 0.08,
+        int_alu: 0.10,
+        branch: 0.04,
+        dep_distance_mean: 4.5,
+        working_set_bytes: 192 * 1024,
+        stride_bytes: 8,
+        ..InstructionMix::fp_kernel()
+    }
+    .normalized()
+}
+
+fn huffman_mix() -> InstructionMix {
+    InstructionMix {
+        working_set_bytes: 24 * 1024,
+        ..InstructionMix::branchy_int()
+    }
+    .normalized()
+}
+
+/// `epic encode` (`epic`): pyramid construction, quantization and entropy coding.
+pub fn encode() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("epic_encode");
+    let internal_filter = b.subroutine("internal_filter", |s| {
+        s.repeat("row_loop", TripCount::Fixed(22), |l| {
+            l.block(330, filter_mix());
+        });
+    });
+    let build_level = b.subroutine("build_level", |s| {
+        // Six call sites with different filter extents: the same subroutine does
+        // a different amount of work depending on where it is called from.
+        s.block(220, InstructionMix::streaming_int());
+        s.call_scaled(internal_filter, 2.0);
+        s.call_scaled(internal_filter, 1.5);
+        s.block(160, InstructionMix::streaming_int());
+        s.call_scaled(internal_filter, 1.0);
+        s.call_scaled(internal_filter, 0.7);
+        s.block(160, InstructionMix::streaming_int());
+        s.call_scaled(internal_filter, 0.45);
+        s.call_scaled(internal_filter, 0.3);
+    });
+    let quantize = b.subroutine("quantize_image", |s| {
+        s.repeat("band_loop", TripCount::Fixed(10), |l| {
+            l.block(1_250, InstructionMix::streaming_int());
+        });
+    });
+    let rle = b.subroutine("run_length_encode", |s| {
+        s.repeat("symbol_loop", TripCount::Fixed(8), |l| {
+            l.block(1_000, huffman_mix());
+        });
+    });
+    let huffman = b.subroutine("huffman_encode", |s| {
+        s.repeat("code_loop", TripCount::Fixed(9), |l| {
+            l.block(1_150, huffman_mix());
+        });
+    });
+    b.subroutine("main", |s| {
+        s.block(600, InstructionMix::streaming_int());
+        s.repeat(
+            "level_loop",
+            TripCount::Scaled {
+                base: 4,
+                reference_factor: 1.05,
+            },
+            |l| {
+                l.call(build_level);
+            },
+        );
+        s.call(quantize);
+        s.call(rle);
+        s.call(huffman);
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(230_000, 250_000, true);
+    (program, inputs)
+}
+
+/// `epic decode` (`unepic`): Huffman decode followed by the inverse pyramid.
+pub fn decode() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("epic_decode");
+    let huffman_decode = b.subroutine("read_and_huffman_decode", |s| {
+        s.repeat("symbol_loop", TripCount::Fixed(12), |l| {
+            l.block(1_100, huffman_mix());
+        });
+    });
+    let unquantize = b.subroutine("unquantize_image", |s| {
+        s.repeat("band_loop", TripCount::Fixed(8), |l| {
+            l.block(900, InstructionMix::streaming_int());
+        });
+    });
+    let collapse = b.subroutine("collapse_pyr", |s| {
+        s.repeat("row_loop", TripCount::Fixed(24), |l| {
+            l.block(430, filter_mix());
+        });
+    });
+    let write_image = b.subroutine("write_pgm_image", |s| {
+        s.block(4_000, InstructionMix::streaming_int());
+    });
+    b.subroutine("main", |s| {
+        s.call(huffman_decode);
+        s.call(unquantize);
+        s.repeat(
+            "level_loop",
+            TripCount::Scaled {
+                base: 4,
+                reference_factor: 1.1,
+            },
+            |l| {
+                l.call(collapse);
+            },
+        );
+        s.call(write_image);
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(70_000, 80_000, true);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_trace;
+    use mcd_sim::instruction::{Marker, TraceItem};
+
+    #[test]
+    fn encode_has_six_internal_filter_call_sites() {
+        let (program, _) = encode();
+        let build = program.subroutine_by_name("build_level").expect("exists");
+        let calls = build
+            .body
+            .iter()
+            .filter(|e| matches!(e, crate::program::Element::Call(_)))
+            .count();
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn call_sites_produce_different_instance_sizes() {
+        let (program, inputs) = encode();
+        let trace = generate_trace(&program, &inputs.training);
+        // Count instructions per internal_filter invocation.
+        let filter_id = program
+            .subroutine_by_name("internal_filter")
+            .expect("exists")
+            .id;
+        let mut sizes = Vec::new();
+        let mut current: Option<u64> = None;
+        let mut depth = 0u32;
+        for item in &trace {
+            match item {
+                TraceItem::Marker(Marker::SubroutineEnter { subroutine, .. })
+                    if *subroutine == filter_id && depth == 0 =>
+                {
+                    current = Some(0);
+                    depth = 1;
+                }
+                TraceItem::Marker(Marker::SubroutineExit { subroutine })
+                    if *subroutine == filter_id && depth == 1 =>
+                {
+                    sizes.push(current.take().unwrap_or(0));
+                    depth = 0;
+                }
+                TraceItem::Instr(_) => {
+                    if let Some(c) = current.as_mut() {
+                        *c += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(sizes.len() >= 6, "expected several filter invocations");
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(
+            max as f64 > min as f64 * 3.0,
+            "call-site intensities should spread instance sizes (min {min}, max {max})"
+        );
+    }
+
+    #[test]
+    fn decoder_is_fp_heavy_in_collapse_phase() {
+        let (program, inputs) = decode();
+        let trace = generate_trace(&program, &inputs.reference);
+        let fp = trace
+            .iter()
+            .filter_map(|t| t.as_instr())
+            .filter(|i| i.class.is_fp())
+            .count();
+        let total = trace.iter().filter(|t| t.as_instr().is_some()).count();
+        assert!(fp * 4 > total, "expected > 25% FP instructions, got {fp}/{total}");
+    }
+}

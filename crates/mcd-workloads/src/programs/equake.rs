@@ -1,0 +1,102 @@
+//! 183.equake from SPEC CPU2000 (floating point): seismic wave propagation in
+//! an unstructured mesh.
+//!
+//! Each time step performs a sparse matrix-vector product (`smvp`) over the
+//! irregular mesh — floating point with scattered memory references — followed
+//! by the dense time-integration update. The irregular access pattern keeps
+//! the memory domain moderately busy while the integer domain idles, a
+//! profile the MCD algorithms exploit readily.
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+fn smvp_mix() -> InstructionMix {
+    InstructionMix {
+        load: 0.30,
+        store: 0.07,
+        fp_add: 0.24,
+        fp_mul: 0.20,
+        int_alu: 0.14,
+        branch: 0.05,
+        working_set_bytes: 2_560 * 1024,
+        stride_bytes: 0,
+        dep_distance_mean: 3.5,
+        ..InstructionMix::fp_streaming_memory()
+    }
+    .normalized()
+}
+
+fn integration_mix() -> InstructionMix {
+    InstructionMix {
+        working_set_bytes: 768 * 1024,
+        stride_bytes: 24,
+        ..InstructionMix::fp_kernel()
+    }
+    .normalized()
+}
+
+/// Builds the equake program and its inputs.
+pub fn equake() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("equake");
+    let read_mesh = b.subroutine("read_mesh", |s| {
+        s.repeat("element_loop", TripCount::Fixed(14), |l| {
+            l.block(600, InstructionMix::streaming_int());
+        });
+    });
+    let smvp = b.subroutine("smvp", |s| {
+        s.repeat("row_loop", TripCount::Fixed(18), |l| {
+            l.block(780, smvp_mix());
+        });
+    });
+    let time_integration = b.subroutine("time_integration", |s| {
+        s.repeat("node_loop", TripCount::Fixed(11), |l| {
+            l.block(580, integration_mix());
+        });
+    });
+    b.subroutine("main", |s| {
+        s.call(read_mesh);
+        s.repeat(
+            "timestep_loop",
+            TripCount::Scaled {
+                base: 4,
+                reference_factor: 2.2,
+            },
+            |l| {
+                l.call(smvp);
+                l.call(time_integration);
+                l.block(300, InstructionMix::streaming_int());
+            },
+        );
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(110_000, 230_000, false);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_trace;
+
+    #[test]
+    fn equake_structure() {
+        let (program, _) = equake();
+        assert!(program.subroutine_by_name("smvp").is_some());
+        assert!(program.subroutine_by_name("time_integration").is_some());
+        assert_eq!(program.call_site_count(), 3);
+    }
+
+    #[test]
+    fn smvp_dominates_the_run() {
+        let (program, inputs) = equake();
+        let trace = generate_trace(&program, &inputs.reference);
+        let instrs = trace.iter().filter(|t| t.as_instr().is_some()).count();
+        // smvp per timestep: 18 * ~781; about 9 timesteps in the reference run.
+        let smvp_estimate = 9 * 18 * 781;
+        assert!(
+            smvp_estimate as f64 > instrs as f64 * 0.3,
+            "smvp should account for a large share of the run"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! G.721 voice codec from MediaBench.
+//!
+//! G.721 is an ADPCM codec with a larger predictor than `adpcm`, but the
+//! paper's profiling found essentially a single reconfiguration node (Table 3
+//! lists one node for both encode and decode): the whole program is one big
+//! sample-processing routine. We model it accordingly — `main` contains the
+//! sample loop directly, with no interesting call structure — which makes G.721
+//! the degenerate case where profile-driven reconfiguration has exactly one
+//! decision to make.
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+fn predictor_mix(encode: bool) -> InstructionMix {
+    InstructionMix {
+        int_mul: if encode { 0.11 } else { 0.09 },
+        dep_distance_mean: 1.7,
+        branch: 0.12,
+        ..InstructionMix::dsp_int()
+    }
+    .normalized()
+}
+
+/// `g721 decode`: one long adaptive-predictor loop over the samples.
+pub fn decode() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("g721_decode");
+    b.subroutine("main", |s| {
+        s.block(300, InstructionMix::streaming_int());
+        s.repeat(
+            "sample_loop",
+            TripCount::Scaled {
+                base: 1_400,
+                reference_factor: 1.8,
+            },
+            |l| {
+                l.block(70, predictor_mix(false));
+            },
+        );
+    });
+    let program = b.build("main");
+    // Paper window: 0–200M for both inputs; ours is correspondingly scaled.
+    let inputs = InputPair::new(100_000, 180_000, false);
+    (program, inputs)
+}
+
+/// `g721 encode`: the same structure with the quantizer search folded in.
+pub fn encode() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("g721_encode");
+    b.subroutine("main", |s| {
+        s.block(300, InstructionMix::streaming_int());
+        s.repeat(
+            "sample_loop",
+            TripCount::Scaled {
+                base: 1_400,
+                reference_factor: 1.8,
+            },
+            |l| {
+                l.block(80, predictor_mix(true));
+            },
+        );
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(110_000, 200_000, false);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g721_is_a_single_subroutine() {
+        let (program, _) = decode();
+        assert_eq!(program.subroutine_count(), 1);
+        assert_eq!(program.call_site_count(), 0);
+        assert_eq!(program.loop_count(), 1);
+    }
+
+    #[test]
+    fn windows_are_truncated_not_entire() {
+        let (_, inputs) = encode();
+        assert!(!inputs.training.entire_program);
+        assert!(!inputs.reference.entire_program);
+        assert!(inputs.reference.max_instructions > inputs.training.max_instructions);
+    }
+}

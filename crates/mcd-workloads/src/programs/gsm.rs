@@ -1,0 +1,149 @@
+//! GSM 06.10 full-rate speech codec from MediaBench.
+//!
+//! The decoder is dominated by the short-term synthesis filter with a smaller
+//! long-term (pitch) contribution; the encoder adds LPC analysis (integer
+//! multiplies) and the long-term-prediction search, which is branchy and the
+//! most expensive part. Both are pure integer DSP workloads with small working
+//! sets, so — as with adpcm — the FP domain is idle throughout, while the
+//! integer domain carries the critical path.
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+fn filter_mix() -> InstructionMix {
+    InstructionMix {
+        int_mul: 0.12,
+        dep_distance_mean: 2.0,
+        ..InstructionMix::dsp_int()
+    }
+    .normalized()
+}
+
+fn search_mix() -> InstructionMix {
+    InstructionMix {
+        branch: 0.18,
+        branch_irregularity: 0.4,
+        dep_distance_mean: 2.8,
+        ..InstructionMix::dsp_int()
+    }
+    .normalized()
+}
+
+/// `gsm decode`: per-frame short-term + long-term synthesis.
+pub fn decode() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("gsm_decode");
+    let short_term = b.subroutine("Short_term_synthesis_filtering", |s| {
+        s.repeat("sample_loop", TripCount::Fixed(160), |l| {
+            l.block(45, filter_mix());
+        });
+    });
+    let long_term = b.subroutine("Gsm_Long_Term_Synthesis_Filtering", |s| {
+        s.repeat("lag_loop", TripCount::Fixed(40), |l| {
+            l.block(90, filter_mix());
+        });
+    });
+    let frame = b.subroutine("gsm_decode_frame", |s| {
+        s.block(350, InstructionMix::streaming_int());
+        s.call(long_term);
+        s.call(short_term);
+    });
+    b.subroutine("main", |s| {
+        s.block(500, InstructionMix::streaming_int());
+        s.repeat(
+            "frame_loop",
+            TripCount::Scaled {
+                base: 8,
+                reference_factor: 1.7,
+            },
+            |l| {
+                l.call(frame);
+            },
+        );
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(95_000, 170_000, true);
+    (program, inputs)
+}
+
+/// `gsm encode`: per-frame preprocessing, LPC analysis, short-term analysis and
+/// the long-term-prediction search.
+pub fn encode() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("gsm_encode");
+    let preprocess = b.subroutine("Gsm_Preprocess", |s| {
+        s.repeat("sample_loop", TripCount::Fixed(160), |l| {
+            l.block(16, InstructionMix::streaming_int());
+        });
+    });
+    let lpc = b.subroutine("Gsm_LPC_Analysis", |s| {
+        s.repeat("autocorrelation", TripCount::Fixed(9), |l| {
+            l.block(420, filter_mix());
+        });
+    });
+    let short_term = b.subroutine("Gsm_Short_Term_Analysis_Filter", |s| {
+        s.repeat("sample_loop", TripCount::Fixed(160), |l| {
+            l.block(42, filter_mix());
+        });
+    });
+    let ltp = b.subroutine("Gsm_Long_Term_Predictor", |s| {
+        s.repeat("lag_search", TripCount::Fixed(128), |l| {
+            l.block(55, search_mix());
+        });
+    });
+    let frame = b.subroutine("gsm_encode_frame", |s| {
+        s.call(preprocess);
+        s.call(lpc);
+        s.call(short_term);
+        s.call(ltp);
+        s.block(300, InstructionMix::streaming_int());
+    });
+    b.subroutine("main", |s| {
+        s.block(500, InstructionMix::streaming_int());
+        s.repeat(
+            "frame_loop",
+            TripCount::Scaled {
+                base: 6,
+                reference_factor: 1.8,
+            },
+            |l| {
+                l.call(frame);
+            },
+        );
+    });
+    let program = b.build("main");
+    // Paper window: 0–200M for the encoder.
+    let inputs = InputPair::new(115_000, 210_000, false);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_trace;
+
+    #[test]
+    fn encoder_has_richer_call_structure_than_decoder() {
+        let (dec, _) = decode();
+        let (enc, _) = encode();
+        assert!(enc.subroutine_count() > dec.subroutine_count());
+        assert!(enc.call_site_count() > dec.call_site_count());
+    }
+
+    #[test]
+    fn gsm_is_integer_only() {
+        let (program, inputs) = encode();
+        let trace = generate_trace(&program, &inputs.training);
+        assert!(trace
+            .iter()
+            .filter_map(|t| t.as_instr())
+            .all(|i| !i.class.is_fp()));
+    }
+
+    #[test]
+    fn per_frame_work_exceeds_reconfiguration_threshold() {
+        // One decoded frame (short-term 160*45 + long-term 40*90 + glue) is well
+        // above the 10 000-instruction long-running threshold.
+        let per_frame = 160 * 45 + 40 * 90 + 350;
+        assert!(per_frame > 10_000);
+    }
+}

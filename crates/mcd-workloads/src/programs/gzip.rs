@@ -1,0 +1,127 @@
+//! 164.gzip from SPEC CPU2000 (integer).
+//!
+//! LZ77 compression: `deflate` repeatedly slides the input window
+//! (`fill_window`, streaming memory), searches the hash chains for the longest
+//! match (`longest_match`, branchy and memory bound with unpredictable exits),
+//! and periodically emits a compressed block through the Huffman machinery
+//! (`build_tree` / `compress_block`). Purely integer; the FP domain is idle and
+//! the memory domain is moderately loaded, so there is plenty of slack for the
+//! reconfiguration algorithms without touching the integer core.
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+fn match_mix() -> InstructionMix {
+    InstructionMix {
+        load: 0.34,
+        int_alu: 0.36,
+        branch: 0.22,
+        store: 0.03,
+        working_set_bytes: 384 * 1024,
+        stride_bytes: 0,
+        branch_irregularity: 0.45,
+        dep_distance_mean: 2.2,
+        ..InstructionMix::branchy_int()
+    }
+    .normalized()
+}
+
+fn window_mix() -> InstructionMix {
+    InstructionMix {
+        working_set_bytes: 256 * 1024,
+        stride_bytes: 32,
+        ..InstructionMix::streaming_int()
+    }
+    .normalized()
+}
+
+/// Builds the gzip program and its inputs.
+pub fn gzip() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("gzip");
+    let longest_match = b.subroutine("longest_match", |s| {
+        s.repeat("chain_loop", TripCount::Fixed(20), |l| {
+            l.block(130, match_mix());
+        });
+    });
+    let fill_window = b.subroutine("fill_window", |s| {
+        s.repeat("copy_loop", TripCount::Fixed(12), |l| {
+            l.block(420, window_mix());
+        });
+    });
+    let build_tree = b.subroutine("build_tree", |s| {
+        s.repeat("heap_loop", TripCount::Fixed(10), |l| {
+            l.block(440, InstructionMix::branchy_int());
+        });
+    });
+    let compress_block = b.subroutine("compress_block", |s| {
+        s.repeat("emit_loop", TripCount::Fixed(14), |l| {
+            l.block(500, InstructionMix::branchy_int());
+        });
+    });
+    let flush_block = b.subroutine("flush_block", |s| {
+        s.call(build_tree);
+        s.call(compress_block);
+        s.block(400, InstructionMix::streaming_int());
+    });
+    let deflate = b.subroutine("deflate", |s| {
+        s.call(fill_window);
+        s.repeat("match_loop", TripCount::Fixed(5), |l| {
+            l.call(longest_match);
+            l.block(260, InstructionMix::branchy_int());
+        });
+    });
+    b.subroutine("main", |s| {
+        s.block(900, InstructionMix::streaming_int());
+        s.repeat(
+            "block_loop",
+            TripCount::Scaled {
+                base: 5,
+                reference_factor: 1.7,
+            },
+            |l| {
+                l.call(deflate);
+                l.call(flush_block);
+            },
+        );
+    });
+    let program = b.build("main");
+    // Paper windows: 200M slices taken mid-run; ours are scaled-down slices.
+    let inputs = InputPair::new(130_000, 230_000, false);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_trace;
+
+    #[test]
+    fn gzip_is_integer_and_branchy() {
+        let (program, inputs) = gzip();
+        let trace = generate_trace(&program, &inputs.training);
+        let instrs: Vec<_> = trace.iter().filter_map(|t| t.as_instr()).collect();
+        assert!(instrs.iter().all(|i| !i.class.is_fp()));
+        let branches = instrs
+            .iter()
+            .filter(|i| i.class == mcd_sim::instruction::InstrClass::Branch)
+            .count();
+        assert!(branches * 6 > instrs.len(), "gzip should be branch heavy");
+    }
+
+    #[test]
+    fn structure_has_the_deflate_pipeline() {
+        let (program, _) = gzip();
+        for name in [
+            "deflate",
+            "longest_match",
+            "fill_window",
+            "build_tree",
+            "compress_block",
+            "flush_block",
+        ] {
+            assert!(program.subroutine_by_name(name).is_some(), "missing {name}");
+        }
+        assert!(program.loop_count() >= 6);
+    }
+}

@@ -1,0 +1,157 @@
+//! JPEG compression / decompression (cjpeg, djpeg) from MediaBench.
+//!
+//! The compressor alternates three clearly distinct phases per MCU row: the
+//! forward DCT (floating-point kernel), quantization (streaming integer), and
+//! Huffman entropy coding (branchy integer). The decompressor mirrors this
+//! with Huffman decode, inverse DCT and colour conversion. The phase
+//! alternation at subroutine granularity is exactly the structure the paper's
+//! profile-driven mechanism exploits: each phase gets its own per-domain
+//! frequency choice.
+//!
+//! Per Table 2, both programs run to completion, and the reference input is
+//! roughly eight times the training input (a larger image).
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+fn dct_mix() -> InstructionMix {
+    InstructionMix {
+        working_set_bytes: 40 * 1024,
+        dep_distance_mean: 5.5,
+        ..InstructionMix::fp_kernel()
+    }
+    .normalized()
+}
+
+fn huffman_mix() -> InstructionMix {
+    InstructionMix {
+        working_set_bytes: 16 * 1024,
+        branch_irregularity: 0.6,
+        ..InstructionMix::branchy_int()
+    }
+    .normalized()
+}
+
+/// `jpeg compress` (cjpeg).
+pub fn compress() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("jpeg_compress");
+    let read_image = b.subroutine("read_ppm_row_group", |s| {
+        s.repeat("scanline_loop", TripCount::Fixed(16), |l| {
+            l.block(650, InstructionMix::streaming_int());
+        });
+    });
+    let forward_dct = b.subroutine("forward_DCT", |s| {
+        s.repeat("block_loop", TripCount::Fixed(48), |l| {
+            l.block(210, dct_mix());
+        });
+    });
+    let quantize = b.subroutine("quantize_coefficients", |s| {
+        s.repeat("block_loop", TripCount::Fixed(48), |l| {
+            l.block(70, InstructionMix::streaming_int());
+        });
+    });
+    let huffman = b.subroutine("encode_mcu_huff", |s| {
+        s.repeat("block_loop", TripCount::Fixed(48), |l| {
+            l.block(120, huffman_mix());
+        });
+    });
+    b.subroutine("main", |s| {
+        s.block(900, InstructionMix::streaming_int());
+        s.call(read_image);
+        s.repeat(
+            "mcu_row_loop",
+            TripCount::Scaled {
+                base: 4,
+                reference_factor: 4.5,
+            },
+            |l| {
+                l.call(forward_dct);
+                l.call(quantize);
+                l.call(huffman);
+            },
+        );
+        s.block(1_200, InstructionMix::streaming_int());
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(110_000, 380_000, true);
+    (program, inputs)
+}
+
+/// `jpeg decompress` (djpeg).
+pub fn decompress() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("jpeg_decompress");
+    let huffman_decode = b.subroutine("decode_mcu", |s| {
+        s.repeat("block_loop", TripCount::Fixed(48), |l| {
+            l.block(95, huffman_mix());
+        });
+    });
+    let idct = b.subroutine("jpeg_idct_islow", |s| {
+        s.repeat("block_loop", TripCount::Fixed(48), |l| {
+            l.block(170, dct_mix());
+        });
+    });
+    let color_convert = b.subroutine("ycc_rgb_convert", |s| {
+        s.repeat("pixel_loop", TripCount::Fixed(32), |l| {
+            l.block(160, InstructionMix::streaming_int());
+        });
+    });
+    b.subroutine("main", |s| {
+        s.block(700, InstructionMix::streaming_int());
+        s.repeat(
+            "mcu_row_loop",
+            TripCount::Scaled {
+                base: 3,
+                reference_factor: 6.0,
+            },
+            |l| {
+                l.call(huffman_decode);
+                l.call(idct);
+                l.call(color_convert);
+            },
+        );
+        s.block(800, InstructionMix::streaming_int());
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(60_000, 330_000, true);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_trace;
+
+    #[test]
+    fn compress_alternates_fp_and_int_phases() {
+        let (program, _) = compress();
+        assert!(program.subroutine_by_name("forward_DCT").is_some());
+        assert!(program.subroutine_by_name("encode_mcu_huff").is_some());
+        assert_eq!(program.call_site_count(), 4);
+    }
+
+    #[test]
+    fn reference_input_is_much_larger() {
+        let (program, inputs) = decompress();
+        let t = generate_trace(&program, &inputs.training)
+            .iter()
+            .filter(|i| i.as_instr().is_some())
+            .count();
+        let r = generate_trace(&program, &inputs.reference)
+            .iter()
+            .filter(|i| i.as_instr().is_some())
+            .count();
+        assert!(
+            r as f64 > t as f64 * 3.0,
+            "reference ({r}) should dwarf training ({t}) as in Table 2"
+        );
+    }
+
+    #[test]
+    fn dct_phase_is_long_enough_to_reconfigure() {
+        // One forward_DCT call: 48 blocks * 210 instructions > 10 000.
+        assert!(48 * 210 > 10_000);
+        // Quantization alone is not (48 * 70), so it merges with its caller.
+        assert!(48 * 70 < 10_000);
+    }
+}

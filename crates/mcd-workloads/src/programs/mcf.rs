@@ -1,0 +1,116 @@
+//! 181.mcf from SPEC CPU2000 (integer): single-depot vehicle scheduling via
+//! network simplex.
+//!
+//! mcf is the canonical memory-bound integer benchmark: the network simplex
+//! walks pointer-linked arc and node structures far larger than the L2, so the
+//! processor spends most of its time waiting on the memory hierarchy. The
+//! integer and front-end domains therefore have enormous slack — the paper's
+//! algorithms slow them aggressively for large energy savings at little cost.
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+fn simplex_mix() -> InstructionMix {
+    InstructionMix {
+        working_set_bytes: 12 * 1024 * 1024,
+        ..InstructionMix::pointer_chase()
+    }
+    .normalized()
+}
+
+fn pricing_mix() -> InstructionMix {
+    InstructionMix {
+        load: 0.36,
+        branch: 0.16,
+        working_set_bytes: 6 * 1024 * 1024,
+        stride_bytes: 128,
+        dep_distance_mean: 3.5,
+        ..InstructionMix::pointer_chase()
+    }
+    .normalized()
+}
+
+/// Builds the mcf program and its inputs.
+pub fn mcf() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("mcf");
+    let refresh_potential = b.subroutine("refresh_potential", |s| {
+        s.repeat("tree_walk", TripCount::Fixed(9), |l| {
+            l.block(700, simplex_mix());
+        });
+    });
+    let price_out = b.subroutine("price_out_impl", |s| {
+        s.repeat("arc_scan", TripCount::Fixed(10), |l| {
+            l.block(520, pricing_mix());
+        });
+    });
+    let bea = b.subroutine("primal_bea_mpp", |s| {
+        s.repeat("candidate_loop", TripCount::Fixed(8), |l| {
+            l.block(640, simplex_mix());
+        });
+    });
+    let update_tree = b.subroutine("update_tree", |s| {
+        s.repeat("basis_loop", TripCount::Fixed(6), |l| {
+            l.block(480, simplex_mix());
+        });
+    });
+    let flow_cost = b.subroutine("flow_cost", |s| {
+        s.block(2_200, pricing_mix());
+    });
+    b.subroutine("main", |s| {
+        s.block(1_000, InstructionMix::streaming_int());
+        s.repeat(
+            "simplex_iteration",
+            TripCount::Scaled {
+                base: 5,
+                reference_factor: 1.6,
+            },
+            |l| {
+                l.call(refresh_potential);
+                l.call(bea);
+                l.call(price_out);
+                l.call(update_tree);
+            },
+        );
+        s.call(flow_cost);
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(120_000, 220_000, false);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_trace;
+    use mcd_sim::config::MachineConfig;
+    use mcd_sim::simulator::{NullHooks, Simulator};
+
+    #[test]
+    fn mcf_misses_in_the_l2() {
+        let (program, inputs) = mcf();
+        let trace = generate_trace(&program, &inputs.training);
+        let sim = Simulator::new(MachineConfig::default());
+        let res = sim.run(trace, &mut NullHooks, false);
+        assert!(
+            res.stats.l2_misses > res.stats.l2_accesses / 8,
+            "mcf should have substantial L2 miss traffic ({} / {})",
+            res.stats.l2_misses,
+            res.stats.l2_accesses
+        );
+    }
+
+    #[test]
+    fn structure_matches_network_simplex() {
+        let (program, _) = mcf();
+        for name in [
+            "refresh_potential",
+            "primal_bea_mpp",
+            "price_out_impl",
+            "update_tree",
+        ] {
+            assert!(program.subroutine_by_name(name).is_some(), "missing {name}");
+        }
+        assert!(program.subroutine_count() >= 6);
+    }
+}

@@ -1,0 +1,225 @@
+//! MPEG-2 video decoder and encoder from MediaBench.
+//!
+//! The decoder's reference input contains picture types (B-frames with motion
+//! compensation and frame reordering) that the training clip never exercises.
+//! The paper highlights this: only 57% of the long-running nodes found with
+//! the training input also appear with the reference input (Table 3), and
+//! context-tracking schemes refuse to reconfigure on the unseen paths while
+//! L+F / F still do (Figures 8 and 9). The `InputDependent` region below
+//! reproduces exactly that structural divergence.
+//!
+//! The encoder is the heaviest MediaBench program: motion estimation (branchy,
+//! memory-intensive search), DCT + quantization (floating point), VLC coding
+//! and rate control, all inside the frame loop.
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+fn idct_mix() -> InstructionMix {
+    InstructionMix {
+        working_set_bytes: 64 * 1024,
+        ..InstructionMix::fp_kernel()
+    }
+    .normalized()
+}
+
+fn vlc_mix() -> InstructionMix {
+    InstructionMix {
+        branch_irregularity: 0.5,
+        ..InstructionMix::branchy_int()
+    }
+    .normalized()
+}
+
+fn motion_mix() -> InstructionMix {
+    InstructionMix {
+        load: 0.34,
+        store: 0.04,
+        int_alu: 0.40,
+        branch: 0.18,
+        working_set_bytes: 512 * 1024,
+        stride_bytes: 16,
+        dep_distance_mean: 4.0,
+        branch_irregularity: 0.3,
+        ..InstructionMix::streaming_int()
+    }
+    .normalized()
+}
+
+/// `mpeg2 decode` (mpeg2decode).
+pub fn decode() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("mpeg2_decode");
+    let vlc = b.subroutine("Decode_MPEG2_Block", |s| {
+        s.repeat("coef_loop", TripCount::Fixed(36), |l| {
+            l.block(240, vlc_mix());
+        });
+    });
+    let idct = b.subroutine("Fast_IDCT", |s| {
+        s.repeat("block_loop", TripCount::Fixed(40), |l| {
+            l.block(260, idct_mix());
+        });
+    });
+    let motion = b.subroutine("form_component_prediction", |s| {
+        s.repeat("mb_loop", TripCount::Fixed(30), |l| {
+            l.block(320, motion_mix());
+        });
+    });
+    let reorder = b.subroutine("frame_reorder", |s| {
+        s.repeat("copy_loop", TripCount::Fixed(6), |l| {
+            l.block(600, InstructionMix::streaming_int());
+        });
+    });
+    let add_block = b.subroutine("Add_Block", |s| {
+        s.repeat("pel_loop", TripCount::Fixed(24), |l| {
+            l.block(160, InstructionMix::streaming_int());
+        });
+    });
+    let picture = b.subroutine("Decode_Picture", |s| {
+        s.block(300, InstructionMix::streaming_int());
+        s.call(vlc);
+        s.call(idct);
+        s.call(add_block);
+        // B-frames (motion compensation + reordering) appear only in the
+        // reference clip; the training clip is I/P only.
+        s.input_dependent(
+            |_training| {},
+            |reference| {
+                reference.call(motion);
+                reference.call(reorder);
+            },
+        );
+    });
+    b.subroutine("main", |s| {
+        s.block(800, InstructionMix::streaming_int());
+        s.repeat(
+            "frame_loop",
+            TripCount::Scaled {
+                base: 5,
+                reference_factor: 1.6,
+            },
+            |l| {
+                l.call(picture);
+            },
+        );
+    });
+    let program = b.build("main");
+    // Training runs the whole (small) clip; the reference run uses a 200M-style
+    // truncated window in the paper — scaled down here.
+    let inputs = InputPair::new(140_000, 300_000, false);
+    (program, inputs)
+}
+
+/// `mpeg2 encode` (mpeg2encode).
+pub fn encode() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("mpeg2_encode");
+    let dist1 = b.subroutine("dist1", |s| {
+        s.repeat("row_loop", TripCount::Fixed(16), |l| {
+            l.block(110, motion_mix());
+        });
+    });
+    let motion_estimation = b.subroutine("motion_estimation", |s| {
+        s.repeat("macroblock_loop", TripCount::Fixed(6), |l| {
+            l.block(180, motion_mix());
+            l.call(dist1);
+        });
+    });
+    let fdct = b.subroutine("fdct", |s| {
+        s.repeat("block_loop", TripCount::Fixed(32), |l| {
+            l.block(230, idct_mix());
+        });
+    });
+    let quant = b.subroutine("quant_intra", |s| {
+        s.repeat("coef_loop", TripCount::Fixed(32), |l| {
+            l.block(90, InstructionMix::streaming_int());
+        });
+    });
+    let vlc = b.subroutine("putpict_vlc", |s| {
+        s.repeat("symbol_loop", TripCount::Fixed(30), |l| {
+            l.block(190, vlc_mix());
+        });
+    });
+    let reconstruct = b.subroutine("iquant_reconstruct", |s| {
+        s.repeat("block_loop", TripCount::Fixed(24), |l| {
+            l.block(140, InstructionMix::streaming_int());
+        });
+    });
+    let rate_control = b.subroutine("rc_update_pict", |s| {
+        s.block(1_600, InstructionMix::branchy_int());
+    });
+    b.subroutine("main", |s| {
+        s.block(900, InstructionMix::streaming_int());
+        s.repeat(
+            "frame_loop",
+            TripCount::Scaled {
+                base: 4,
+                reference_factor: 1.5,
+            },
+            |l| {
+                l.call(motion_estimation);
+                l.call(fdct);
+                l.call(quant);
+                l.call(vlc);
+                l.call(reconstruct);
+                l.call(rate_control);
+            },
+        );
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(150_000, 240_000, false);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_trace;
+    use mcd_sim::instruction::{Marker, TraceItem};
+
+    fn subroutines_entered(program: &Program, trace: &[TraceItem]) -> Vec<String> {
+        let mut names: Vec<String> = trace
+            .iter()
+            .filter_map(|t| t.as_marker())
+            .filter_map(|m| match m {
+                Marker::SubroutineEnter { subroutine, .. } => {
+                    Some(program.subroutines[subroutine.0 as usize].name.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    #[test]
+    fn decode_reference_exercises_paths_training_never_sees() {
+        let (program, inputs) = decode();
+        let train = generate_trace(&program, &inputs.training);
+        let reference = generate_trace(&program, &inputs.reference);
+        let train_subs = subroutines_entered(&program, &train);
+        let ref_subs = subroutines_entered(&program, &reference);
+        assert!(!train_subs.contains(&"form_component_prediction".to_string()));
+        assert!(ref_subs.contains(&"form_component_prediction".to_string()));
+        assert!(ref_subs.contains(&"frame_reorder".to_string()));
+        assert!(ref_subs.len() > train_subs.len());
+    }
+
+    #[test]
+    fn encode_has_the_largest_call_structure_in_mediabench() {
+        let (program, _) = encode();
+        assert!(program.subroutine_count() >= 8);
+        assert!(program.call_site_count() >= 7);
+    }
+
+    #[test]
+    fn encode_mixes_fp_and_memory_phases() {
+        let (program, inputs) = encode();
+        let trace = generate_trace(&program, &inputs.training);
+        let instrs: Vec<_> = trace.iter().filter_map(|t| t.as_instr()).collect();
+        let fp = instrs.iter().filter(|i| i.class.is_fp()).count();
+        let mem = instrs.iter().filter(|i| i.class.is_memory()).count();
+        assert!(fp > instrs.len() / 20);
+        assert!(mem > instrs.len() / 6);
+    }
+}

@@ -1,0 +1,124 @@
+//! 171.swim from SPEC CPU2000 (floating point): shallow-water modelling.
+//!
+//! swim is three stencil sweeps (`calc1`, `calc2`, `calc3`) over grids that
+//! exceed the L2, executed once per time step. It is floating-point and
+//! memory-bandwidth bound with almost no integer work. The paper notes that
+//! under the reference input some of swim's loops run for more iterations and
+//! therefore cross the 10 000-instruction threshold, creating reconfiguration
+//! points that the training input does not have (though every training-input
+//! point is also found with the reference input — unlike mpeg2 decode). The
+//! scaled trip counts below reproduce that: `calc1`'s sweep is just below the
+//! threshold when training and above it on the reference input.
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+fn stencil_mix() -> InstructionMix {
+    InstructionMix {
+        working_set_bytes: 3 * 1024 * 1024,
+        stride_bytes: 64,
+        ..InstructionMix::fp_streaming_memory()
+    }
+    .normalized()
+}
+
+/// Builds the swim program and its inputs.
+pub fn swim() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("swim");
+    let calc1 = b.subroutine("calc1", |s| {
+        s.repeat(
+            "row_sweep",
+            TripCount::Scaled {
+                base: 11,
+                reference_factor: 1.8,
+            },
+            |l| {
+                l.block(780, stencil_mix());
+            },
+        );
+    });
+    let calc2 = b.subroutine("calc2", |s| {
+        s.repeat(
+            "row_sweep",
+            TripCount::Scaled {
+                base: 16,
+                reference_factor: 1.6,
+            },
+            |l| {
+                l.block(820, stencil_mix());
+            },
+        );
+    });
+    let calc3 = b.subroutine("calc3", |s| {
+        s.repeat(
+            "row_sweep",
+            TripCount::Scaled {
+                base: 13,
+                reference_factor: 1.7,
+            },
+            |l| {
+                l.block(760, stencil_mix());
+            },
+        );
+    });
+    b.subroutine("main", |s| {
+        s.block(1_500, InstructionMix::streaming_int());
+        s.repeat(
+            "timestep_loop",
+            TripCount::Scaled {
+                base: 3,
+                reference_factor: 2.0,
+            },
+            |l| {
+                l.call(calc1);
+                l.call(calc2);
+                l.call(calc3);
+                l.block(400, InstructionMix::streaming_int());
+            },
+        );
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(130_000, 400_000, false);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_trace;
+    use crate::program::InputKind;
+
+    #[test]
+    fn calc1_crosses_the_threshold_only_on_reference_input() {
+        // calc1 sweep: 11 rows * ~780 instructions (+ loop branches) when
+        // training, ~20 rows on the reference input.
+        let train = 11 * 781;
+        let reference = (11.0f64 * 1.8).round() as usize * 781;
+        assert!(train < 10_000);
+        assert!(reference > 10_000);
+    }
+
+    #[test]
+    fn swim_is_fp_and_memory_dominated() {
+        let (program, inputs) = swim();
+        let trace = generate_trace(&program, &inputs.training);
+        let instrs: Vec<_> = trace.iter().filter_map(|t| t.as_instr()).collect();
+        let fp = instrs.iter().filter(|i| i.class.is_fp()).count();
+        let mem = instrs.iter().filter(|i| i.class.is_memory()).count();
+        assert!(fp * 3 > instrs.len());
+        assert!(mem * 4 > instrs.len());
+    }
+
+    #[test]
+    fn reference_runs_more_timesteps() {
+        let (program, _) = swim();
+        let main = program.subroutine_by_name("main").unwrap();
+        let timestep_loop = main.body.iter().find_map(|e| match e {
+            crate::program::Element::Loop(l) => Some(l),
+            _ => None,
+        });
+        let l = timestep_loop.expect("main has a timestep loop");
+        assert!(l.trips.trips(InputKind::Reference) > l.trips.trips(InputKind::Training));
+    }
+}

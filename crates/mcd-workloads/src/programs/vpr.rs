@@ -1,0 +1,161 @@
+//! 175.vpr from SPEC CPU2000 (integer): FPGA placement and routing.
+//!
+//! VPR has two nearly disjoint phases — simulated-annealing placement and
+//! maze routing — and the paper's training and reference windows land in
+//! different phases: Table 3 reports that only 7 of the 84 reference-input
+//! call-tree nodes (8%) were also seen during training, the worst coverage in
+//! the suite. We model this by making the training input exercise the placer
+//! and the reference input the router.
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+
+fn annealing_mix() -> InstructionMix {
+    InstructionMix {
+        branch: 0.16,
+        branch_irregularity: 0.4,
+        working_set_bytes: 128 * 1024,
+        stride_bytes: 0,
+        dep_distance_mean: 3.0,
+        ..InstructionMix::branchy_int()
+    }
+    .normalized()
+}
+
+fn maze_mix() -> InstructionMix {
+    InstructionMix {
+        load: 0.36,
+        working_set_bytes: 2 * 1024 * 1024,
+        stride_bytes: 0,
+        dep_distance_mean: 1.8,
+        ..InstructionMix::pointer_chase()
+    }
+    .normalized()
+}
+
+/// Builds the vpr program and its inputs.
+pub fn vpr() -> (Program, InputPair) {
+    let mut b = ProgramBuilder::new("vpr");
+    // Placement-phase subroutines.
+    let try_swap = b.subroutine("try_swap", |s| {
+        s.repeat("cost_loop", TripCount::Fixed(6), |l| {
+            l.block(230, annealing_mix());
+        });
+    });
+    let comp_delta_cost = b.subroutine("comp_delta_bb_cost", |s| {
+        s.repeat("net_loop", TripCount::Fixed(8), |l| {
+            l.block(180, annealing_mix());
+        });
+    });
+    let place = b.subroutine("try_place", |s| {
+        s.repeat("move_loop", TripCount::Fixed(30), |l| {
+            l.call(try_swap);
+            l.call(comp_delta_cost);
+            l.block(120, InstructionMix::streaming_int());
+        });
+    });
+    // Routing-phase subroutines.
+    let expand_neighbours = b.subroutine("expand_neighbours", |s| {
+        s.repeat("heap_loop", TripCount::Fixed(10), |l| {
+            l.block(200, maze_mix());
+        });
+    });
+    let route_net = b.subroutine("route_net", |s| {
+        s.repeat("wavefront_loop", TripCount::Fixed(7), |l| {
+            l.call(expand_neighbours);
+            l.block(150, maze_mix());
+        });
+    });
+    let update_occupancy = b.subroutine("update_rr_occupancy", |s| {
+        s.repeat("segment_loop", TripCount::Fixed(8), |l| {
+            l.block(300, InstructionMix::streaming_int());
+        });
+    });
+    let route = b.subroutine("try_route", |s| {
+        s.repeat("net_loop", TripCount::Fixed(14), |l| {
+            l.call(route_net);
+            l.call(update_occupancy);
+        });
+    });
+    let read_netlist = b.subroutine("read_netlist", |s| {
+        s.repeat("parse_loop", TripCount::Fixed(10), |l| {
+            l.block(550, InstructionMix::streaming_int());
+        });
+    });
+    b.subroutine("main", |s| {
+        s.call(read_netlist);
+        // The training window lands in the annealing placer; the reference
+        // window lands in the router.
+        s.input_dependent(
+            |training| {
+                training.repeat(
+                    "anneal_outer",
+                    TripCount::Fixed(8),
+                    |l| {
+                        l.call(place);
+                    },
+                );
+            },
+            |reference| {
+                reference.repeat(
+                    "route_outer",
+                    TripCount::Fixed(10),
+                    |l| {
+                        l.call(route);
+                    },
+                );
+            },
+        );
+    });
+    let program = b.build("main");
+    let inputs = InputPair::new(130_000, 300_000, false);
+    (program, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_trace;
+    use mcd_sim::instruction::{Marker, TraceItem};
+
+    fn entered(program: &Program, trace: &[TraceItem]) -> Vec<String> {
+        let mut v: Vec<String> = trace
+            .iter()
+            .filter_map(|t| t.as_marker())
+            .filter_map(|m| match m {
+                Marker::SubroutineEnter { subroutine, .. } => {
+                    Some(program.subroutines[subroutine.0 as usize].name.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn training_and_reference_exercise_disjoint_phases() {
+        let (program, inputs) = vpr();
+        let train = entered(&program, &generate_trace(&program, &inputs.training));
+        let reference = entered(&program, &generate_trace(&program, &inputs.reference));
+        assert!(train.contains(&"try_place".to_string()));
+        assert!(!train.contains(&"try_route".to_string()));
+        assert!(reference.contains(&"try_route".to_string()));
+        assert!(!reference.contains(&"try_place".to_string()));
+        // Only main and read_netlist are shared, i.e. very low coverage, as in
+        // Table 3.
+        let shared: Vec<_> = train.iter().filter(|n| reference.contains(n)).collect();
+        assert!(shared.len() <= 2, "expected tiny overlap, got {shared:?}");
+    }
+
+    #[test]
+    fn router_is_memory_hostile() {
+        let (program, inputs) = vpr();
+        let reference = generate_trace(&program, &inputs.reference);
+        let instrs: Vec<_> = reference.iter().filter_map(|t| t.as_instr()).collect();
+        let mem = instrs.iter().filter(|i| i.class.is_memory()).count();
+        assert!(mem * 3 > instrs.len(), "routing should be memory dominated");
+    }
+}

@@ -1,0 +1,140 @@
+//! The benchmark registry: the nineteen MediaBench and SPEC CPU2000 programs
+//! the paper evaluates, with their training and reference inputs.
+
+use crate::input::InputPair;
+use crate::program::Program;
+use crate::programs;
+
+/// Which suite a benchmark comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteKind {
+    /// MediaBench multimedia kernels.
+    MediaBench,
+    /// SPEC CPU2000 integer benchmarks.
+    SpecInt,
+    /// SPEC CPU2000 floating-point benchmarks.
+    SpecFp,
+}
+
+impl std::fmt::Display for SuiteKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteKind::MediaBench => f.write_str("MediaBench"),
+            SuiteKind::SpecInt => f.write_str("SPEC CINT2000"),
+            SuiteKind::SpecFp => f.write_str("SPEC CFP2000"),
+        }
+    }
+}
+
+/// One benchmark: its program model and input pair.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name as the paper spells it (e.g. `"adpcm decode"`).
+    pub name: &'static str,
+    /// The suite the benchmark belongs to.
+    pub suite: SuiteKind,
+    /// The structural program model.
+    pub program: Program,
+    /// Training and reference inputs.
+    pub inputs: InputPair,
+}
+
+impl Benchmark {
+    fn new(
+        name: &'static str,
+        suite: SuiteKind,
+        (program, inputs): (Program, InputPair),
+    ) -> Self {
+        Benchmark {
+            name,
+            suite,
+            program,
+            inputs,
+        }
+    }
+}
+
+/// All nineteen benchmarks, in the order the paper's tables list them.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new("adpcm decode", SuiteKind::MediaBench, programs::adpcm::decode()),
+        Benchmark::new("adpcm encode", SuiteKind::MediaBench, programs::adpcm::encode()),
+        Benchmark::new("epic decode", SuiteKind::MediaBench, programs::epic::decode()),
+        Benchmark::new("epic encode", SuiteKind::MediaBench, programs::epic::encode()),
+        Benchmark::new("g721 decode", SuiteKind::MediaBench, programs::g721::decode()),
+        Benchmark::new("g721 encode", SuiteKind::MediaBench, programs::g721::encode()),
+        Benchmark::new("gsm decode", SuiteKind::MediaBench, programs::gsm::decode()),
+        Benchmark::new("gsm encode", SuiteKind::MediaBench, programs::gsm::encode()),
+        Benchmark::new("jpeg compress", SuiteKind::MediaBench, programs::jpeg::compress()),
+        Benchmark::new(
+            "jpeg decompress",
+            SuiteKind::MediaBench,
+            programs::jpeg::decompress(),
+        ),
+        Benchmark::new("mpeg2 decode", SuiteKind::MediaBench, programs::mpeg2::decode()),
+        Benchmark::new("mpeg2 encode", SuiteKind::MediaBench, programs::mpeg2::encode()),
+        Benchmark::new("gzip", SuiteKind::SpecInt, programs::gzip::gzip()),
+        Benchmark::new("vpr", SuiteKind::SpecInt, programs::vpr::vpr()),
+        Benchmark::new("mcf", SuiteKind::SpecInt, programs::mcf::mcf()),
+        Benchmark::new("swim", SuiteKind::SpecFp, programs::swim::swim()),
+        Benchmark::new("applu", SuiteKind::SpecFp, programs::applu::applu()),
+        Benchmark::new("art", SuiteKind::SpecFp, programs::art::art()),
+        Benchmark::new("equake", SuiteKind::SpecFp, programs::equake::equake()),
+    ]
+}
+
+/// Looks up a single benchmark by its paper name (case-insensitive).
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    let lower = name.to_lowercase();
+    suite().into_iter().find(|b| b.name.to_lowercase() == lower)
+}
+
+/// The names of all benchmarks, in table order.
+pub fn benchmark_names() -> Vec<&'static str> {
+    suite().into_iter().map(|b| b.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_nineteen_benchmarks() {
+        let s = suite();
+        assert_eq!(s.len(), 19);
+        let media = s.iter().filter(|b| b.suite == SuiteKind::MediaBench).count();
+        let spec_int = s.iter().filter(|b| b.suite == SuiteKind::SpecInt).count();
+        let spec_fp = s.iter().filter(|b| b.suite == SuiteKind::SpecFp).count();
+        assert_eq!(media, 12);
+        assert_eq!(spec_int, 3);
+        assert_eq!(spec_fp, 4);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = benchmark_names();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("mcf").is_some());
+        assert!(benchmark("MCF").is_some());
+        assert!(benchmark("jpeg compress").is_some());
+        assert!(benchmark("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn every_benchmark_reference_window_at_least_training() {
+        for b in suite() {
+            assert!(
+                b.inputs.reference.max_instructions >= b.inputs.training.max_instructions,
+                "{}: reference window smaller than training",
+                b.name
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Context sensitivity: compare the six definitions of calling context
+//! (L+F+C+P … F) on a benchmark whose training and reference inputs exercise
+//! different code paths (mpeg2 decode), reproducing the effect behind
+//! Figures 8 and 9 for a single benchmark.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example context_sensitivity
+//! ```
+
+use mcd_dvfs::evaluation::{evaluate_profile, run_baseline, EvaluationConfig};
+use mcd_profiling::context::ContextPolicy;
+use mcd_sim::config::MachineConfig;
+use mcd_workloads::suite;
+
+fn main() {
+    let bench = suite::benchmark("mpeg2 decode").expect("mpeg2 decode is part of the suite");
+    let machine = MachineConfig::default();
+    let baseline = run_baseline(&bench, &machine);
+
+    println!("context sensitivity on `{}`", bench.name);
+    println!(
+        "(the reference clip contains B-frames the training clip never decodes, so \
+         path-tracking policies refuse to reconfigure on those unseen paths)"
+    );
+    println!();
+    println!(
+        "{:<10} {:>14} {:>16} {:>22} {:>14}",
+        "policy", "slowdown", "energy savings", "energy-delay improv.", "reconfigs"
+    );
+    println!("{}", "-".repeat(80));
+
+    for policy in ContextPolicy::ALL {
+        let config = EvaluationConfig::default().with_policy(policy);
+        let result = evaluate_profile(&bench, &config, &baseline);
+        println!(
+            "{:<10} {:>13.1}% {:>15.1}% {:>21.1}% {:>14}",
+            policy.abbreviation(),
+            result.metrics.degradation_percent(),
+            result.metrics.energy_savings_percent(),
+            result.metrics.energy_delay_percent(),
+            result.stats.reconfigurations,
+        );
+    }
+
+    println!();
+    println!(
+        "The L+F and F rows reconfigure whenever a long-running static structure is \
+         entered — even over paths unseen in training — which yields higher energy \
+         savings (and slightly higher slowdown) than the path-tracking policies, \
+         exactly the behaviour the paper reports for mpeg2 decode."
+    );
+}

@@ -1,0 +1,247 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction.
+
+use mcd_dvfs::dag::DependenceDag;
+use mcd_dvfs::histogram::DomainHistogram;
+use mcd_dvfs::shaker::{Shaker, MAX_STRETCH};
+use mcd_dvfs::threshold::SlowdownThreshold;
+use mcd_profiling::call_tree::CallTree;
+use mcd_profiling::candidates::LongRunningSet;
+use mcd_profiling::context::ContextPolicy;
+use mcd_sim::config::MachineConfig;
+use mcd_sim::domain::Domain;
+use mcd_sim::events::{EventKind, EventTrace, PrimitiveEvent};
+use mcd_sim::freq::{FrequencyGrid, VoltageMap};
+use mcd_sim::instruction::{CallSiteId, Instr, InstrClass, Marker, SubroutineId, TraceItem};
+use mcd_sim::resources::{OccupancyQueue, StagePacer, UnitPool};
+use mcd_sim::simulator::{NullHooks, Simulator};
+use mcd_sim::time::{MegaHertz, TimeNs};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantizing up never returns a frequency below the request (within the
+    /// grid) and always lands exactly on a grid step.
+    #[test]
+    fn grid_quantize_up_is_sound(mhz in 1.0f64..2000.0) {
+        let grid = FrequencyGrid::default();
+        let q = grid.quantize_up(MegaHertz::new(mhz));
+        prop_assert!(q.as_mhz() >= grid.min().as_mhz());
+        prop_assert!(q.as_mhz() <= grid.max().as_mhz());
+        if mhz >= grid.min().as_mhz() && mhz <= grid.max().as_mhz() {
+            prop_assert!(q.as_mhz() + 1e-9 >= mhz);
+        }
+        let steps = (q.as_mhz() - grid.min().as_mhz()) / grid.step().as_mhz();
+        prop_assert!((steps - steps.round()).abs() < 1e-9);
+    }
+
+    /// The voltage map is monotone in frequency and stays inside its range.
+    #[test]
+    fn voltage_map_is_monotone(a in 100.0f64..1500.0, b in 100.0f64..1500.0) {
+        let map = VoltageMap::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let v_lo = map.voltage_for(MegaHertz::new(lo));
+        let v_hi = map.voltage_for(MegaHertz::new(hi));
+        prop_assert!(v_lo.as_volts() <= v_hi.as_volts() + 1e-12);
+        prop_assert!(v_lo.as_volts() >= map.min_voltage().as_volts() - 1e-12);
+        prop_assert!(v_hi.as_volts() <= map.max_voltage().as_volts() + 1e-12);
+    }
+
+    /// A unit pool never starts a request before it is ready, and a pool of
+    /// size one serializes all requests.
+    #[test]
+    fn unit_pool_respects_readiness(
+        requests in prop::collection::vec((0.0f64..1000.0, 0.1f64..20.0), 1..50)
+    ) {
+        let mut pool = UnitPool::new(1);
+        let mut last_end = 0.0f64;
+        for (ready, busy) in requests {
+            let start = pool.acquire(TimeNs::new(ready), TimeNs::new(busy));
+            prop_assert!(start.as_ns() + 1e-9 >= ready);
+            prop_assert!(start.as_ns() + 1e-9 >= last_end);
+            last_end = start.as_ns() + busy;
+        }
+    }
+
+    /// An occupancy queue never admits earlier than requested and never holds
+    /// more than its capacity.
+    #[test]
+    fn occupancy_queue_invariants(
+        capacity in 1u32..16,
+        jobs in prop::collection::vec((0.0f64..100.0, 0.0f64..50.0), 1..80)
+    ) {
+        let mut q = OccupancyQueue::new(capacity);
+        let mut clock = 0.0;
+        for (gap, service) in jobs {
+            clock += gap;
+            let admitted = q.admit(TimeNs::new(clock));
+            prop_assert!(admitted.as_ns() + 1e-9 >= clock);
+            q.depart(TimeNs::new(admitted.as_ns() + service));
+            prop_assert!(q.occupancy() <= capacity as usize);
+        }
+        prop_assert!(q.average_utilization() >= 0.0 && q.average_utilization() <= 1.0);
+    }
+
+    /// A stage pacer admits at most `width` instructions per period and never
+    /// admits before the ready time.
+    #[test]
+    fn stage_pacer_never_exceeds_width(
+        width in 1u32..8,
+        arrivals in prop::collection::vec(0.0f64..0.4, 10..120)
+    ) {
+        let mut pacer = StagePacer::new(width);
+        let period = TimeNs::new(1.0);
+        let mut clock = 0.0;
+        let mut admissions: Vec<f64> = Vec::new();
+        for gap in arrivals {
+            clock += gap;
+            let t = pacer.admit(TimeNs::new(clock), period);
+            prop_assert!(t.as_ns() + 1e-9 >= clock);
+            admissions.push(t.as_ns());
+        }
+        // The pacer admits in groups aligned to group boundaries, so a sliding
+        // one-period window can straddle two groups: it may contain at most two
+        // groups' worth of admissions, never more.
+        for &start in &admissions {
+            let in_window = admissions
+                .iter()
+                .filter(|&&t| t >= start && t < start + 1.0 - 1e-9)
+                .count();
+            prop_assert!(
+                in_window <= 2 * width as usize,
+                "window at {start} holds {in_window} admissions for width {width}"
+            );
+        }
+    }
+
+    /// The shaker never shrinks an event, never stretches beyond the quarter
+    /// frequency limit, and never violates a recorded dependence edge.
+    #[test]
+    fn shaker_respects_edges_and_limits(
+        durations in prop::collection::vec(0.5f64..5.0, 2..40),
+        extra_gap in 0.0f64..10.0
+    ) {
+        // Build a random chain with gaps: event i depends on event i-1.
+        let mut trace = EventTrace::new();
+        let mut clock = 0.0;
+        let mut prev = None;
+        for (i, d) in durations.iter().enumerate() {
+            let start = clock + if i % 3 == 0 { extra_gap } else { 0.0 };
+            let end = start + d;
+            let id = trace.push_event(PrimitiveEvent {
+                instr_index: i as u32,
+                kind: EventKind::Execute,
+                domain: if i % 2 == 0 { Domain::Integer } else { Domain::Memory },
+                start: TimeNs::new(start),
+                end: TimeNs::new(end),
+                cycles: *d,
+                power_factor: 0.2 + 0.1 * (i % 3) as f64,
+                region: 0,
+            });
+            if let Some(p) = prev {
+                trace.push_edge(p, id);
+            }
+            prev = Some(id);
+            clock = end;
+        }
+        let mut dag = DependenceDag::from_trace(&trace);
+        Shaker::new().shake(&mut dag);
+        let events = dag.events();
+        for e in events {
+            prop_assert!(e.scale >= 1.0 - 1e-9);
+            prop_assert!(e.scale <= MAX_STRETCH + 1e-9);
+            prop_assert!(e.end.as_ns() + 1e-6 >= e.start.as_ns());
+        }
+        // Dependence order is preserved along the chain.
+        for i in 1..events.len() {
+            prop_assert!(
+                events[i].start.as_ns() + 1e-6 >= events[i - 1].end.as_ns() - 1e-6,
+                "edge {} -> {} violated",
+                i - 1,
+                i
+            );
+        }
+    }
+
+    /// The frequency chosen by slowdown thresholding is monotone: looser bounds
+    /// never pick a faster frequency.
+    #[test]
+    fn threshold_choice_is_monotone_in_slowdown(
+        cycles in prop::collection::vec(0.0f64..1000.0, 31),
+        d1 in 0.0f64..0.3,
+        d2 in 0.0f64..0.3
+    ) {
+        let grid = FrequencyGrid::default();
+        let mut hist = DomainHistogram::new(grid.clone());
+        for (i, c) in cycles.iter().enumerate() {
+            hist.add(grid.setting(i), *c);
+        }
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let f_lo = SlowdownThreshold::new(lo).choose_for_domain(&hist);
+        let f_hi = SlowdownThreshold::new(hi).choose_for_domain(&hist);
+        prop_assert!(f_hi.as_mhz() <= f_lo.as_mhz() + 1e-9);
+    }
+
+    /// Call trees built from arbitrary (well-nested) marker streams have
+    /// consistent instance counts and instruction attribution.
+    #[test]
+    fn call_tree_attribution_is_consistent(
+        calls in prop::collection::vec((0u32..4, 1u32..30), 1..40)
+    ) {
+        let mut trace = vec![TraceItem::Marker(Marker::SubroutineEnter {
+            subroutine: SubroutineId(99),
+            call_site: CallSiteId(u32::MAX),
+        })];
+        let mut total_instr = 0u64;
+        for (sub, len) in &calls {
+            trace.push(TraceItem::Marker(Marker::SubroutineEnter {
+                subroutine: SubroutineId(*sub),
+                call_site: CallSiteId(*sub),
+            }));
+            for i in 0..*len {
+                trace.push(TraceItem::Instr(Instr::op(i as u64 * 4, InstrClass::IntAlu)));
+                total_instr += 1;
+            }
+            trace.push(TraceItem::Marker(Marker::SubroutineExit {
+                subroutine: SubroutineId(*sub),
+            }));
+        }
+        trace.push(TraceItem::Marker(Marker::SubroutineExit {
+            subroutine: SubroutineId(99),
+        }));
+
+        let tree = CallTree::build(&trace, ContextPolicy::LoopFuncSitePath);
+        prop_assert_eq!(tree.total_instructions(tree.root()), total_instr);
+        // Instances of children sum to the number of calls made.
+        let child_instances: u64 = tree
+            .node(tree.root())
+            .children
+            .iter()
+            .map(|&c| tree.node(c).instances)
+            .sum();
+        prop_assert_eq!(child_instances, calls.len() as u64);
+        // Long-running selection never returns more nodes than exist.
+        let lr = LongRunningSet::identify_with_threshold(&tree, 10);
+        prop_assert!(lr.len() <= tree.len());
+    }
+
+    /// The simulator is monotone in work: appending instructions never reduces
+    /// run time or energy, and run time is always positive for non-empty traces.
+    #[test]
+    fn simulator_monotone_in_trace_length(n in 10usize..200, extra in 1usize..200) {
+        let build = |count: usize| -> Vec<TraceItem> {
+            (0..count)
+                .map(|i| {
+                    TraceItem::Instr(
+                        Instr::op(0x1000 + (i as u64 % 32) * 4, InstrClass::IntAlu).with_dep1(1),
+                    )
+                })
+                .collect()
+        };
+        let sim = Simulator::new(MachineConfig::default());
+        let short = sim.run(build(n), &mut NullHooks, false).stats;
+        let long = sim.run(build(n + extra), &mut NullHooks, false).stats;
+        prop_assert!(short.run_time.as_ns() > 0.0);
+        prop_assert!(long.run_time >= short.run_time);
+        prop_assert!(long.total_energy.as_units() >= short.total_energy.as_units());
+    }
+}
