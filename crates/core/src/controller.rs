@@ -77,7 +77,11 @@ impl SettingStack {
     /// Applies a reconfiguration event against `table`. Returns the setting to
     /// write to the register, or `None` when no register write is needed (the
     /// key had no table entry and the effective setting is unchanged).
-    pub fn apply(&mut self, event: ReconfigEvent, table: &FrequencyTable) -> Option<FrequencySetting> {
+    pub fn apply(
+        &mut self,
+        event: ReconfigEvent,
+        table: &FrequencyTable,
+    ) -> Option<FrequencySetting> {
         let before = self.current();
         match event {
             ReconfigEvent::Enter(key) => {
@@ -112,7 +116,6 @@ impl Default for SettingStack {
 mod tests {
     use super::*;
     use mcd_profiling::call_tree::NodeId;
-    use mcd_sim::domain::Domain;
     use mcd_sim::time::MegaHertz;
 
     fn key(i: u32) -> NodeKey {

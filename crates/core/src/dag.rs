@@ -276,7 +276,10 @@ mod tests {
         assert_eq!(dag.forward_order().len(), 3);
         assert_eq!(dag.backward_order().len(), 3);
         let first = dag.forward_order()[0];
-        assert!(first == 0 || first == 1, "an event starting at t=0 comes first");
+        assert!(
+            first == 0 || first == 1,
+            "an event starting at t=0 comes first"
+        );
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! The shared error type for user-facing operations.
+//!
+//! Library internals keep using panics for genuine invariant violations, but
+//! everything a binary or example can trigger from the command line — unknown
+//! benchmark names, mis-wired scheme registries, invalid machine
+//! configurations — surfaces as an [`McdError`] instead.
+
+use mcd_workloads::suite::Benchmark;
+use std::fmt;
+use std::process::ExitCode;
+
+/// Errors reported by the evaluation pipeline and its entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McdError {
+    /// A benchmark name did not match any suite entry.
+    UnknownBenchmark(String),
+    /// A scheme name did not match any registry entry.
+    UnknownScheme(String),
+    /// A scheme was looked up in an evaluation it was not part of (for
+    /// example `global` when `EvaluationConfig::include_global` was false).
+    SchemeNotEvaluated(String),
+    /// A scheme needed the result of another scheme that has not run.
+    MissingDependency {
+        /// The scheme that could not run.
+        scheme: String,
+        /// The scheme whose result it needed.
+        requires: String,
+    },
+    /// A configuration value was rejected.
+    InvalidConfig(String),
+    /// An internal pipeline invariant failed (reported, not panicked, so the
+    /// figure binaries exit cleanly).
+    Internal(String),
+}
+
+impl fmt::Display for McdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McdError::UnknownBenchmark(name) => {
+                write!(
+                    f,
+                    "unknown benchmark `{name}` (see `suite::benchmark_names()`)"
+                )
+            }
+            McdError::UnknownScheme(name) => write!(f, "unknown scheme `{name}`"),
+            McdError::SchemeNotEvaluated(name) => write!(
+                f,
+                "scheme `{name}` was not part of this evaluation (for `global`, set \
+                 `EvaluationConfig::include_global`; otherwise add it to the registry)"
+            ),
+            McdError::MissingDependency { scheme, requires } => write!(
+                f,
+                "scheme `{scheme}` requires the result of `{requires}`, which has not run; \
+                 order the registry so `{requires}` comes first"
+            ),
+            McdError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            McdError::Internal(msg) => write!(f, "internal evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for McdError {}
+
+impl From<mcd_sim::config::MachineConfigError> for McdError {
+    fn from(err: mcd_sim::config::MachineConfigError) -> Self {
+        McdError::InvalidConfig(err.to_string())
+    }
+}
+
+/// Looks up a benchmark by name, producing an [`McdError`] instead of an
+/// `Option` for use on user-facing paths.
+pub fn find_benchmark(name: &str) -> Result<Benchmark, McdError> {
+    mcd_workloads::suite::benchmark(name)
+        .ok_or_else(|| McdError::UnknownBenchmark(name.to_string()))
+}
+
+/// Runs `f` and reports any error on stderr, returning a non-zero exit code —
+/// the shared `main` wrapper for binaries and examples, keeping panics off
+/// user-facing paths.
+pub fn run_main(f: impl FnOnce() -> Result<(), McdError>) -> ExitCode {
+    match f() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_benchmark_reports_unknown_names() {
+        assert!(find_benchmark("adpcm decode").is_ok());
+        let err = find_benchmark("no-such-benchmark").unwrap_err();
+        assert_eq!(err, McdError::UnknownBenchmark("no-such-benchmark".into()));
+        assert!(err.to_string().contains("no-such-benchmark"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = McdError::MissingDependency {
+            scheme: "global".into(),
+            requires: "offline".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("global") && msg.contains("offline"));
+    }
+}

@@ -1,14 +1,22 @@
 //! The evaluation pipeline: everything needed to regenerate the paper's
-//! figures for one benchmark.
+//! figures for one benchmark or the whole suite.
 //!
 //! All metrics are reported relative to the *baseline MCD processor*: the same
 //! machine, synchronization penalties included, with every domain at full
 //! speed, running the reference input.
+//!
+//! The pipeline is scheme-agnostic: it drives a registry of
+//! [`DvfsScheme`](crate::scheme::DvfsScheme) trait objects (see
+//! [`crate::scheme`]) and records one [`SchemeOutcome`] per registry entry.
+//! Nothing here knows which schemes exist — adding a fifth scheme to the
+//! comparison means implementing the trait and extending the registry, not
+//! editing this module.
 
-use crate::global_dvs::{run_global_dvs, GlobalDvsResult};
-use crate::offline::{run_offline, OfflineConfig};
-use crate::online::{OnlineConfig, OnlineController};
-use crate::profile::{train, TrainingConfig};
+use crate::error::McdError;
+use crate::offline::OfflineConfig;
+use crate::online::OnlineConfig;
+use crate::profile::TrainingConfig;
+use crate::scheme::{configured_registry, DvfsScheme, SchemeContext, SchemeOutcome};
 use mcd_profiling::context::ContextPolicy;
 use mcd_sim::config::MachineConfig;
 use mcd_sim::instruction::TraceItem;
@@ -16,6 +24,8 @@ use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_sim::stats::{RelativeMetrics, SimStats};
 use mcd_workloads::generator::generate_trace;
 use mcd_workloads::suite::Benchmark;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Result of one reconfiguration scheme on one benchmark.
 #[derive(Debug, Clone)]
@@ -27,7 +37,8 @@ pub struct SchemeResult {
 }
 
 impl SchemeResult {
-    fn new(stats: SimStats, baseline: &SimStats) -> Self {
+    /// Computes the relative metrics of `stats` against `baseline`.
+    pub fn new(stats: SimStats, baseline: &SimStats) -> Self {
         let metrics = RelativeMetrics::relative_to(&stats, baseline);
         SchemeResult { stats, metrics }
     }
@@ -46,6 +57,11 @@ pub struct EvaluationConfig {
     pub online: OnlineConfig,
     /// Whether to also evaluate the global-DVS baseline (Figure 7).
     pub include_global: bool,
+    /// Worker threads used by [`evaluate_suite`]. `1` evaluates serially;
+    /// larger values spread benchmarks across threads. Results are identical
+    /// either way — each benchmark's evaluation is self-contained and
+    /// deterministic.
+    pub parallelism: usize,
 }
 
 impl Default for EvaluationConfig {
@@ -56,6 +72,7 @@ impl Default for EvaluationConfig {
             offline: OfflineConfig::default(),
             online: OnlineConfig::default(),
             include_global: false,
+            parallelism: 1,
         }
     }
 }
@@ -73,26 +90,54 @@ impl EvaluationConfig {
         self.training.policy = policy;
         self
     }
+
+    /// Sets the number of worker threads for suite evaluation.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
 }
 
 /// The complete evaluation of one benchmark (one group of bars in Figures
-/// 4–6, plus the global-DVS point of Figure 7).
+/// 4–6, plus the global-DVS point of Figure 7): the baseline plus one outcome
+/// per registered scheme, in registry order.
 #[derive(Debug, Clone)]
 pub struct BenchmarkEvaluation {
     /// Benchmark name.
     pub name: String,
     /// Full-speed MCD baseline statistics on the reference input.
     pub baseline: SimStats,
-    /// The off-line oracle.
-    pub offline: SchemeResult,
-    /// The on-line attack–decay controller.
-    pub online: SchemeResult,
-    /// Profile-driven reconfiguration (trained on the training input).
-    pub profile: SchemeResult,
-    /// Global (whole-chip) DVS matched to the off-line run time, if requested.
-    pub global: Option<SchemeResult>,
-    /// Number of reconfiguration-register writes in the profile-driven run.
-    pub profile_reconfigurations: u64,
+    /// One outcome per scheme, in the order the registry ran them.
+    pub schemes: Vec<SchemeOutcome>,
+}
+
+impl BenchmarkEvaluation {
+    /// The outcome of the named scheme, if it ran.
+    pub fn outcome(&self, name: &str) -> Option<&SchemeOutcome> {
+        self.schemes.iter().find(|o| o.name == name)
+    }
+
+    /// The result of the named scheme, if it ran.
+    pub fn result(&self, name: &str) -> Option<&SchemeResult> {
+        self.outcome(name).map(|o| &o.result)
+    }
+
+    /// The result of the named scheme, or an [`McdError`] explaining that the
+    /// scheme was not part of this evaluation.
+    pub fn require(&self, name: &str) -> Result<&SchemeResult, McdError> {
+        self.result(name)
+            .ok_or_else(|| McdError::SchemeNotEvaluated(name.to_string()))
+    }
+
+    /// The relative metrics of the named scheme, or an [`McdError`].
+    pub fn metrics(&self, name: &str) -> Result<&RelativeMetrics, McdError> {
+        Ok(&self.require(name)?.metrics)
+    }
+
+    /// Reconfiguration-register writes performed by the named scheme's run.
+    pub fn reconfigurations(&self, name: &str) -> Result<u64, McdError> {
+        Ok(self.require(name)?.stats.reconfigurations)
+    }
 }
 
 /// Runs the full-speed MCD baseline on the benchmark's reference input.
@@ -103,102 +148,150 @@ pub fn run_baseline(bench: &Benchmark, machine: &MachineConfig) -> SimStats {
         .stats
 }
 
-/// Evaluates all schemes on one benchmark.
-pub fn evaluate_benchmark(bench: &Benchmark, config: &EvaluationConfig) -> BenchmarkEvaluation {
-    let machine = &config.machine;
+/// Evaluates every scheme in `registry`, in order, on one benchmark.
+///
+/// The reference trace and the full-speed baseline are computed once and
+/// shared; each scheme sees the outcomes of the schemes before it through
+/// [`SchemeContext::prior`].
+pub fn evaluate_with_registry(
+    bench: &Benchmark,
+    machine: &MachineConfig,
+    registry: &[Box<dyn DvfsScheme>],
+) -> Result<BenchmarkEvaluation, McdError> {
     let reference_trace = generate_trace(&bench.program, &bench.inputs.reference);
-    let simulator = Simulator::new(machine.clone());
 
     // Baseline MCD at full speed.
-    let baseline = simulator
+    let baseline = Simulator::new(machine.clone())
         .run(reference_trace.iter().copied(), &mut NullHooks, false)
         .stats;
 
-    // Off-line oracle (perfect knowledge of the reference run).
-    let offline = run_offline(&reference_trace, machine, &config.offline);
-    let offline_result = SchemeResult::new(offline.stats.clone(), &baseline);
+    let mut outcomes: Vec<SchemeOutcome> = Vec::with_capacity(registry.len());
+    for scheme in registry {
+        let stats = {
+            let ctx = SchemeContext {
+                benchmark: bench,
+                machine,
+                reference_trace: &reference_trace,
+                baseline: &baseline,
+                prior: &outcomes,
+            };
+            scheme.run(&ctx)?
+        };
+        outcomes.push(SchemeOutcome {
+            name: scheme.name().to_string(),
+            label: scheme.label(),
+            result: SchemeResult::new(stats, &baseline),
+        });
+    }
 
-    // On-line attack–decay controller.
-    let mut online_controller = OnlineController::new(config.online);
-    let online_stats = simulator
-        .run(reference_trace.iter().copied(), &mut online_controller, false)
-        .stats;
-    let online_result = SchemeResult::new(online_stats, &baseline);
-
-    // Profile-driven reconfiguration, trained on the training input.
-    let plan = train(
-        &bench.program,
-        &bench.inputs.training,
-        machine,
-        &config.training,
-    );
-    let mut profile_hooks = plan.hooks();
-    let profile_stats = simulator
-        .run(reference_trace.iter().copied(), &mut profile_hooks, false)
-        .stats;
-    let profile_reconfigurations = profile_stats.reconfigurations;
-    let profile_result = SchemeResult::new(profile_stats, &baseline);
-
-    // Global DVS matched to the off-line run time.
-    let global = if config.include_global {
-        let g: GlobalDvsResult = run_global_dvs(
-            &reference_trace,
-            machine,
-            baseline.run_time.as_ns(),
-            offline_result.stats.run_time.as_ns(),
-        );
-        Some(SchemeResult::new(g.stats, &baseline))
-    } else {
-        None
-    };
-
-    BenchmarkEvaluation {
+    Ok(BenchmarkEvaluation {
         name: bench.name.to_string(),
         baseline,
-        offline: offline_result,
-        online: online_result,
-        profile: profile_result,
-        global,
-        profile_reconfigurations,
-    }
+        schemes: outcomes,
+    })
 }
 
-/// Evaluates only the profile-driven scheme (used by the context-sensitivity
-/// study of Figures 8 and 9, which sweeps the policy).
-pub fn evaluate_profile(
+/// Evaluates the standard scheme registry on one benchmark.
+pub fn evaluate_benchmark(
     bench: &Benchmark,
     config: &EvaluationConfig,
+) -> Result<BenchmarkEvaluation, McdError> {
+    let registry = configured_registry(config)?;
+    evaluate_with_registry(bench, &config.machine, &registry)
+}
+
+/// Evaluates the standard registry on a list of benchmarks, spreading the
+/// work over [`EvaluationConfig::parallelism`] threads.
+///
+/// Each benchmark's evaluation is independent and deterministic, so the
+/// parallel result is bit-for-bit identical to the serial one; only wall-clock
+/// time changes.
+pub fn evaluate_suite(
+    benches: &[Benchmark],
+    config: &EvaluationConfig,
+) -> Result<Vec<BenchmarkEvaluation>, McdError> {
+    let registry = configured_registry(config)?;
+    let workers = config.parallelism.max(1).min(benches.len().max(1));
+    if workers <= 1 {
+        return benches
+            .iter()
+            .map(|b| evaluate_with_registry(b, &config.machine, &registry))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<BenchmarkEvaluation, McdError>>>> =
+        benches.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= benches.len() {
+                    break;
+                }
+                let eval = evaluate_with_registry(&benches[i], &config.machine, &registry);
+                *slots[i]
+                    .lock()
+                    .expect("no panics while holding the slot lock") = Some(eval);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("worker threads have exited")
+                .unwrap_or_else(|| {
+                    Err(McdError::Internal(format!(
+                        "benchmark #{i} was never evaluated"
+                    )))
+                })
+        })
+        .collect()
+}
+
+/// Evaluates a single scheme on one benchmark against a precomputed baseline
+/// and reference trace (used by the context-sensitivity study of Figures 8
+/// and 9, which sweeps the profile scheme's policy over one shared trace —
+/// generate it once with [`generate_trace`] and pair it with
+/// [`run_trace_baseline`]).
+pub fn evaluate_scheme(
+    bench: &Benchmark,
+    machine: &MachineConfig,
+    reference_trace: &[TraceItem],
+    scheme: &dyn DvfsScheme,
     baseline: &SimStats,
-) -> SchemeResult {
-    let machine = &config.machine;
-    let plan = train(
-        &bench.program,
-        &bench.inputs.training,
+) -> Result<SchemeResult, McdError> {
+    let ctx = SchemeContext {
+        benchmark: bench,
         machine,
-        &config.training,
-    );
-    let trace = generate_trace(&bench.program, &bench.inputs.reference);
-    let mut hooks = plan.hooks();
-    let stats = Simulator::new(machine.clone())
-        .run(trace, &mut hooks, false)
-        .stats;
-    SchemeResult::new(stats, baseline)
+        reference_trace,
+        baseline,
+        prior: &[],
+    };
+    let stats = scheme.run(&ctx)?;
+    Ok(SchemeResult::new(stats, baseline))
 }
 
 /// The MCD processor's inherent penalty versus a globally synchronous design
 /// (both at full speed): `(performance_penalty, energy_penalty)` as fractions.
-pub fn mcd_baseline_penalty(bench: &Benchmark, machine: &MachineConfig) -> (f64, f64) {
+pub fn mcd_baseline_penalty(
+    bench: &Benchmark,
+    machine: &MachineConfig,
+) -> Result<(f64, f64), McdError> {
     let trace = generate_trace(&bench.program, &bench.inputs.reference);
     let mcd = Simulator::new(machine.clone())
         .run(trace.iter().copied(), &mut NullHooks, false)
         .stats;
-    let synchronous_machine = machine.to_builder().synchronization(false).build();
+    let synchronous_machine = machine.to_builder().synchronization(false).build()?;
     let synchronous = Simulator::new(synchronous_machine)
         .run(trace.iter().copied(), &mut NullHooks, false)
         .stats;
     let perf = mcd.run_time.as_ns() / synchronous.run_time.as_ns() - 1.0;
     let energy = mcd.total_energy.as_units() / synchronous.total_energy.as_units() - 1.0;
-    (perf, energy)
+    Ok((perf, energy))
 }
 
 /// Summary statistics (minimum, maximum, average) over a set of values —
@@ -245,6 +338,7 @@ pub fn run_trace_baseline(trace: &[TraceItem], machine: &MachineConfig) -> SimSt
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::names;
     use mcd_workloads::suite;
 
     /// A reduced evaluation of one small benchmark exercises every scheme.
@@ -255,44 +349,91 @@ mod tests {
             include_global: true,
             ..EvaluationConfig::default()
         };
-        let eval = evaluate_benchmark(&bench, &config);
+        let eval = evaluate_benchmark(&bench, &config).expect("evaluation succeeds");
 
         assert!(eval.baseline.instructions > 50_000);
+        let offline = eval.metrics(names::OFFLINE).unwrap();
+        let online = eval.metrics(names::ONLINE).unwrap();
+        let profile = eval.metrics(names::PROFILE).unwrap();
         // Every MCD scheme should save energy on this FP-idle benchmark.
-        assert!(eval.offline.metrics.energy_savings > 0.05);
-        assert!(eval.profile.metrics.energy_savings > 0.05);
-        assert!(eval.online.metrics.energy_savings > 0.0);
+        assert!(offline.energy_savings > 0.05);
+        assert!(profile.energy_savings > 0.05);
+        assert!(online.energy_savings > 0.0);
         // Profile-driven results should be in the vicinity of the oracle.
         assert!(
-            eval.profile.metrics.energy_savings > eval.offline.metrics.energy_savings * 0.5,
+            profile.energy_savings > offline.energy_savings * 0.5,
             "profile {:.1}% vs offline {:.1}%",
-            eval.profile.metrics.energy_savings_percent(),
-            eval.offline.metrics.energy_savings_percent()
+            profile.energy_savings_percent(),
+            offline.energy_savings_percent()
         );
         // Slowdowns stay bounded.
-        for m in [
-            &eval.offline.metrics,
-            &eval.profile.metrics,
-            &eval.online.metrics,
-        ] {
+        for m in [offline, profile, online] {
             assert!(m.performance_degradation < 0.3);
             assert!(m.performance_degradation > -0.05);
         }
-        assert!(eval.profile_reconfigurations > 0);
-        let global = eval.global.expect("global requested");
+        assert!(eval.reconfigurations(names::PROFILE).unwrap() > 0);
+        let global = eval.metrics(names::GLOBAL).expect("global requested");
         assert!(
-            global.metrics.energy_savings < eval.offline.metrics.energy_savings,
+            global.energy_savings < offline.energy_savings,
             "per-domain scaling should beat whole-chip scaling"
         );
     }
 
     #[test]
+    fn evaluation_without_global_omits_it() {
+        let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+        let config = EvaluationConfig::default();
+        let eval = evaluate_benchmark(&bench, &config).expect("evaluation succeeds");
+        assert_eq!(eval.schemes.len(), 3);
+        assert!(eval.result(names::GLOBAL).is_none());
+        assert!(matches!(
+            eval.require(names::GLOBAL),
+            Err(McdError::SchemeNotEvaluated(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_suite_evaluation_matches_serial_bit_for_bit() {
+        let names = ["adpcm decode", "adpcm encode", "gsm decode", "g721 decode"];
+        let benches: Vec<Benchmark> = names
+            .iter()
+            .map(|n| suite::benchmark(n).expect("known benchmark"))
+            .collect();
+        let serial_cfg = EvaluationConfig::default();
+        let parallel_cfg = EvaluationConfig::default().with_parallelism(4);
+        let serial = evaluate_suite(&benches, &serial_cfg).expect("serial evaluation");
+        let parallel = evaluate_suite(&benches, &parallel_cfg).expect("parallel evaluation");
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.baseline.run_time, p.baseline.run_time);
+            assert_eq!(s.schemes.len(), p.schemes.len());
+            for (so, po) in s.schemes.iter().zip(&p.schemes) {
+                assert_eq!(so.name, po.name);
+                assert_eq!(so.result.stats.run_time, po.result.stats.run_time);
+                assert_eq!(
+                    so.result.stats.total_energy.as_units(),
+                    po.result.stats.total_energy.as_units()
+                );
+                assert_eq!(so.result.metrics, po.result.metrics);
+            }
+        }
+    }
+
+    #[test]
     fn mcd_penalty_is_small_but_positive() {
         let bench = suite::benchmark("gsm decode").expect("known benchmark");
-        let (perf, energy) = mcd_baseline_penalty(&bench, &MachineConfig::default());
+        let (perf, energy) =
+            mcd_baseline_penalty(&bench, &MachineConfig::default()).expect("valid machine");
         assert!(perf > 0.0, "MCD must be slower than fully synchronous");
-        assert!(perf < 0.1, "MCD penalty should be a few percent, got {perf}");
-        assert!(energy > -0.02, "energy penalty should not be strongly negative");
+        assert!(
+            perf < 0.1,
+            "MCD penalty should be a few percent, got {perf}"
+        );
+        assert!(
+            energy > -0.02,
+            "energy penalty should not be strongly negative"
+        );
         assert!(energy < 0.1);
     }
 

@@ -184,15 +184,19 @@ mod tests {
     #[test]
     fn region_histograms_track_domains_independently() {
         let mut r = RegionHistograms::new(&grid());
-        r.domain_mut(Domain::Integer).add(MegaHertz::new(1000.0), 30.0);
-        r.domain_mut(Domain::Memory).add(MegaHertz::new(500.0), 20.0);
+        r.domain_mut(Domain::Integer)
+            .add(MegaHertz::new(1000.0), 30.0);
+        r.domain_mut(Domain::Memory)
+            .add(MegaHertz::new(500.0), 20.0);
         assert!((r.domain(Domain::Integer).total_cycles() - 30.0).abs() < 1e-9);
         assert!((r.domain(Domain::Memory).total_cycles() - 20.0).abs() < 1e-9);
         assert!(r.domain(Domain::FloatingPoint).is_empty());
         assert!((r.total_cycles() - 50.0).abs() < 1e-9);
 
         let mut other = RegionHistograms::new(&grid());
-        other.domain_mut(Domain::Integer).add(MegaHertz::new(250.0), 5.0);
+        other
+            .domain_mut(Domain::Integer)
+            .add(MegaHertz::new(250.0), 5.0);
         r.merge(&other);
         assert!((r.domain(Domain::Integer).total_cycles() - 35.0).abs() < 1e-9);
     }

@@ -14,9 +14,14 @@
 //! * [`offline`] — the off-line oracle with perfect future knowledge;
 //! * [`online`] — the hardware attack–decay controller;
 //! * [`global_dvs`] — the conventional whole-chip DVS baseline;
-//! * [`evaluation`] — the pipeline that compares all of the above per
-//!   benchmark, producing the paper's metrics (performance degradation, energy
-//!   savings, energy·delay improvement).
+//! * [`scheme`] — the [`DvfsScheme`](scheme::DvfsScheme) trait unifying all
+//!   four control schemes behind one interface, plus the standard registry;
+//! * [`evaluation`] — the registry-driven pipeline that compares the schemes
+//!   per benchmark (optionally in parallel across a suite), producing the
+//!   paper's metrics (performance degradation, energy savings, energy·delay
+//!   improvement);
+//! * [`error`] — the shared [`McdError`](error::McdError) type reported on
+//!   every user-facing path.
 //!
 //! ## Quick start
 //!
@@ -36,19 +41,29 @@
 
 pub mod controller;
 pub mod dag;
+pub mod error;
 pub mod evaluation;
 pub mod global_dvs;
 pub mod histogram;
 pub mod offline;
 pub mod online;
 pub mod profile;
+pub mod scheme;
 pub mod shaker;
 pub mod threshold;
 
 pub use controller::{FrequencyTable, SettingStack};
-pub use evaluation::{evaluate_benchmark, BenchmarkEvaluation, EvaluationConfig, SchemeResult};
+pub use error::{find_benchmark, run_main, McdError};
+pub use evaluation::{
+    evaluate_benchmark, evaluate_scheme, evaluate_suite, evaluate_with_registry,
+    BenchmarkEvaluation, EvaluationConfig, SchemeResult,
+};
 pub use offline::{run_offline, OfflineConfig, OfflineResult};
 pub use online::{OnlineConfig, OnlineController};
 pub use profile::{train, train_and_run, ProfileHooks, ProfilePlan, TrainingConfig};
+pub use scheme::{
+    configured_registry, standard_registry, DvfsScheme, GlobalDvsScheme, OfflineScheme,
+    OnlineScheme, ProfileScheme, SchemeContext, SchemeOutcome,
+};
 pub use shaker::{Shaker, ShakerConfig};
 pub use threshold::SlowdownThreshold;

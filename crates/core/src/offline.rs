@@ -98,8 +98,7 @@ pub fn run_offline(
     let grid = machine.grid.clone();
     let f_max = machine.grid.max();
     let window = config.window_instructions.max(1);
-    let window_count =
-        (recording.stats.instructions + window - 1) / window;
+    let window_count = recording.stats.instructions.div_ceil(window);
 
     let mut settings = Vec::with_capacity(window_count as usize);
     for w in 0..window_count {
@@ -158,7 +157,11 @@ impl SimHooks for OfflineHooks<'_> {
         Some(self.window)
     }
 
-    fn on_instruction_window(&mut self, window_index: u64, _now: TimeNs) -> Option<FrequencySetting> {
+    fn on_instruction_window(
+        &mut self,
+        window_index: u64,
+        _now: TimeNs,
+    ) -> Option<FrequencySetting> {
         self.schedule.setting(window_index)
     }
 }

@@ -92,8 +92,7 @@ impl OnlineController {
     }
 
     /// The domains the controller manages (the front end is excluded).
-    pub const CONTROLLED: [Domain; 3] =
-        [Domain::Integer, Domain::FloatingPoint, Domain::Memory];
+    pub const CONTROLLED: [Domain; 3] = [Domain::Integer, Domain::FloatingPoint, Domain::Memory];
 
     fn decide(&mut self, stats: &IntervalStats) -> FrequencySetting {
         self.intervals += 1;

@@ -1,0 +1,315 @@
+//! The [`DvfsScheme`] abstraction: every reconfiguration scheme the paper
+//! compares — profile-driven, off-line oracle, on-line attack–decay, and
+//! global DVS — implemented behind one trait so the evaluation pipeline can
+//! iterate a registry instead of hard-coding each comparison point.
+//!
+//! A scheme receives a [`SchemeContext`] describing one benchmark run: the
+//! benchmark itself, the machine model, the pre-generated reference trace, the
+//! full-speed MCD baseline statistics, and the outcomes of schemes that ran
+//! earlier in the registry (the global-DVS baseline uses this to match the
+//! off-line oracle's run time). Schemes drive the shared simulator through
+//! [`SimHooks`] — [`SchemeContext::simulate`] is the common path — and report
+//! the controlled run's [`SimStats`].
+
+use crate::error::McdError;
+use crate::evaluation::{EvaluationConfig, SchemeResult};
+use crate::global_dvs::run_global_dvs;
+use crate::offline::{run_offline, OfflineConfig};
+use crate::online::{OnlineConfig, OnlineController};
+use crate::profile::{train, TrainingConfig};
+use mcd_sim::config::MachineConfig;
+use mcd_sim::instruction::TraceItem;
+use mcd_sim::simulator::{SimHooks, Simulator};
+use mcd_sim::stats::SimStats;
+use mcd_workloads::suite::Benchmark;
+use std::fmt;
+
+/// Canonical scheme names used by the standard registry.
+pub mod names {
+    /// The off-line oracle with perfect future knowledge.
+    pub const OFFLINE: &str = "offline";
+    /// The on-line attack–decay hardware controller.
+    pub const ONLINE: &str = "online";
+    /// Profile-driven reconfiguration (the paper's contribution).
+    pub const PROFILE: &str = "profile";
+    /// The whole-chip dynamic voltage scaling baseline.
+    pub const GLOBAL: &str = "global";
+}
+
+/// Everything a scheme needs to evaluate one benchmark.
+#[derive(Debug)]
+pub struct SchemeContext<'a> {
+    /// The benchmark under evaluation (program model plus input pair).
+    pub benchmark: &'a Benchmark,
+    /// The machine model shared by every scheme in the comparison.
+    pub machine: &'a MachineConfig,
+    /// The reference-input trace, generated once per benchmark.
+    pub reference_trace: &'a [TraceItem],
+    /// Full-speed MCD baseline statistics on the reference trace.
+    pub baseline: &'a SimStats,
+    /// Outcomes of the schemes that ran earlier in the registry.
+    pub prior: &'a [SchemeOutcome],
+}
+
+impl SchemeContext<'_> {
+    /// The outcome of an earlier scheme by name, if it ran.
+    pub fn prior_outcome(&self, name: &str) -> Option<&SchemeOutcome> {
+        self.prior.iter().find(|o| o.name == name)
+    }
+
+    /// Runs the reference trace under `hooks` on the shared machine model —
+    /// the common controlled-simulation path every scheme uses.
+    pub fn simulate(&self, hooks: &mut dyn SimHooks) -> SimStats {
+        Simulator::new(self.machine.clone())
+            .run(self.reference_trace.iter().copied(), hooks, false)
+            .stats
+    }
+}
+
+/// The result of one scheme on one benchmark, tagged with the scheme identity.
+#[derive(Debug, Clone)]
+pub struct SchemeOutcome {
+    /// Canonical scheme name (see [`names`]).
+    pub name: String,
+    /// Human-readable label used in tables and figures.
+    pub label: String,
+    /// Controlled-run statistics and metrics relative to the MCD baseline.
+    pub result: SchemeResult,
+}
+
+/// One DVFS control scheme in the paper's comparison.
+///
+/// Implementations are registered in a `Vec<Box<dyn DvfsScheme>>` and run in
+/// order by [`crate::evaluation::evaluate_with_registry`]; schemes whose
+/// definition depends on another scheme's result (global DVS matches the
+/// off-line run time) read it from [`SchemeContext::prior`].
+pub trait DvfsScheme: fmt::Debug + Send + Sync {
+    /// Canonical machine-readable name, unique within a registry.
+    fn name(&self) -> &'static str;
+
+    /// Human-readable label for tables and figures.
+    fn label(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Absorbs the shared evaluation configuration (slowdown targets, context
+    /// policy, controller tuning) before any benchmark runs.
+    fn configure(&mut self, config: &EvaluationConfig) -> Result<(), McdError> {
+        let _ = config;
+        Ok(())
+    }
+
+    /// Evaluates the scheme on one benchmark, returning the controlled run's
+    /// statistics. Implementations normally build their [`SimHooks`] and call
+    /// [`SchemeContext::simulate`].
+    fn run(&self, ctx: &SchemeContext<'_>) -> Result<SimStats, McdError>;
+}
+
+/// The off-line oracle scheme (perfect knowledge of the reference run).
+#[derive(Debug, Clone, Default)]
+pub struct OfflineScheme {
+    /// Oracle parameters (slowdown target, window length, shaker tuning).
+    pub config: OfflineConfig,
+}
+
+impl DvfsScheme for OfflineScheme {
+    fn name(&self) -> &'static str {
+        names::OFFLINE
+    }
+
+    fn label(&self) -> String {
+        "off-line".to_string()
+    }
+
+    fn configure(&mut self, config: &EvaluationConfig) -> Result<(), McdError> {
+        self.config = config.offline;
+        Ok(())
+    }
+
+    fn run(&self, ctx: &SchemeContext<'_>) -> Result<SimStats, McdError> {
+        Ok(run_offline(ctx.reference_trace, ctx.machine, &self.config).stats)
+    }
+}
+
+/// The on-line attack–decay controller scheme.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineScheme {
+    /// Controller tuning parameters.
+    pub config: OnlineConfig,
+}
+
+impl DvfsScheme for OnlineScheme {
+    fn name(&self) -> &'static str {
+        names::ONLINE
+    }
+
+    fn label(&self) -> String {
+        "on-line".to_string()
+    }
+
+    fn configure(&mut self, config: &EvaluationConfig) -> Result<(), McdError> {
+        self.config = config.online;
+        Ok(())
+    }
+
+    fn run(&self, ctx: &SchemeContext<'_>) -> Result<SimStats, McdError> {
+        // A fresh controller per run keeps evaluations order-independent.
+        let mut controller = OnlineController::new(self.config);
+        Ok(ctx.simulate(&mut controller))
+    }
+}
+
+/// The profile-driven reconfiguration scheme (the paper's contribution).
+#[derive(Debug, Clone, Default)]
+pub struct ProfileScheme {
+    /// Training parameters (context policy, slowdown target, thresholds).
+    pub config: TrainingConfig,
+}
+
+impl DvfsScheme for ProfileScheme {
+    fn name(&self) -> &'static str {
+        names::PROFILE
+    }
+
+    fn label(&self) -> String {
+        format!("profile {}", self.config.policy.abbreviation())
+    }
+
+    fn configure(&mut self, config: &EvaluationConfig) -> Result<(), McdError> {
+        self.config = config.training;
+        Ok(())
+    }
+
+    fn run(&self, ctx: &SchemeContext<'_>) -> Result<SimStats, McdError> {
+        let plan = train(
+            &ctx.benchmark.program,
+            &ctx.benchmark.inputs.training,
+            ctx.machine,
+            &self.config,
+        );
+        let mut hooks = plan.hooks();
+        Ok(ctx.simulate(&mut hooks))
+    }
+}
+
+/// The global (whole-chip) DVS baseline, matched to another scheme's run time.
+#[derive(Debug, Clone)]
+pub struct GlobalDvsScheme {
+    /// The scheme whose run time the uniform frequency is chosen to match
+    /// (the paper matches the off-line oracle).
+    pub match_scheme: &'static str,
+}
+
+impl Default for GlobalDvsScheme {
+    fn default() -> Self {
+        GlobalDvsScheme {
+            match_scheme: names::OFFLINE,
+        }
+    }
+}
+
+impl DvfsScheme for GlobalDvsScheme {
+    fn name(&self) -> &'static str {
+        names::GLOBAL
+    }
+
+    fn label(&self) -> String {
+        "global".to_string()
+    }
+
+    fn run(&self, ctx: &SchemeContext<'_>) -> Result<SimStats, McdError> {
+        let matched =
+            ctx.prior_outcome(self.match_scheme)
+                .ok_or_else(|| McdError::MissingDependency {
+                    scheme: self.name().to_string(),
+                    requires: self.match_scheme.to_string(),
+                })?;
+        let result = run_global_dvs(
+            ctx.reference_trace,
+            ctx.machine,
+            ctx.baseline.run_time.as_ns(),
+            matched.result.stats.run_time.as_ns(),
+        );
+        Ok(result.stats)
+    }
+}
+
+/// The paper's standard comparison registry, in evaluation order: off-line
+/// oracle, on-line controller, profile-driven, and (optionally) global DVS.
+pub fn standard_registry(include_global: bool) -> Vec<Box<dyn DvfsScheme>> {
+    let mut registry: Vec<Box<dyn DvfsScheme>> = vec![
+        Box::new(OfflineScheme::default()),
+        Box::new(OnlineScheme::default()),
+        Box::new(ProfileScheme::default()),
+    ];
+    if include_global {
+        registry.push(Box::new(GlobalDvsScheme::default()));
+    }
+    registry
+}
+
+/// Builds the standard registry and configures every scheme from `config`.
+pub fn configured_registry(
+    config: &EvaluationConfig,
+) -> Result<Vec<Box<dyn DvfsScheme>>, McdError> {
+    let mut registry = standard_registry(config.include_global);
+    for scheme in &mut registry {
+        scheme.configure(config)?;
+    }
+    Ok(registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_contains_the_papers_schemes_in_order() {
+        let registry = standard_registry(true);
+        let names: Vec<&str> = registry.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![names::OFFLINE, names::ONLINE, names::PROFILE, names::GLOBAL]
+        );
+        let without_global = standard_registry(false);
+        assert_eq!(without_global.len(), 3);
+    }
+
+    #[test]
+    fn configure_propagates_the_shared_slowdown_target() {
+        let config = EvaluationConfig::default().with_slowdown(0.11);
+        let registry = configured_registry(&config).expect("standard registry configures");
+        // Downcast-free check: re-run configure on concrete types.
+        let mut offline = OfflineScheme::default();
+        offline.configure(&config).unwrap();
+        assert!((offline.config.slowdown - 0.11).abs() < 1e-12);
+        let mut profile = ProfileScheme::default();
+        profile.configure(&config).unwrap();
+        assert!((profile.config.slowdown - 0.11).abs() < 1e-12);
+        assert_eq!(registry.len(), 3);
+    }
+
+    #[test]
+    fn global_scheme_requires_its_matched_dependency() {
+        let bench = mcd_workloads::suite::benchmark("adpcm decode").expect("known benchmark");
+        let machine = MachineConfig::default();
+        let trace =
+            mcd_workloads::generator::generate_trace(&bench.program, &bench.inputs.training);
+        let baseline = Simulator::new(machine.clone())
+            .run(
+                trace.iter().copied(),
+                &mut mcd_sim::simulator::NullHooks,
+                false,
+            )
+            .stats;
+        let ctx = SchemeContext {
+            benchmark: &bench,
+            machine: &machine,
+            reference_trace: &trace,
+            baseline: &baseline,
+            prior: &[],
+        };
+        let err = GlobalDvsScheme::default().run(&ctx).unwrap_err();
+        assert!(matches!(err, McdError::MissingDependency { .. }));
+    }
+}

@@ -195,7 +195,12 @@ mod tests {
         let mut prev = None;
         // 10 back-to-back integer events filling [0, 20).
         for i in 0..10 {
-            let id = t.push_event(ev(Domain::Integer, i as f64 * 2.0, i as f64 * 2.0 + 2.0, 0.24));
+            let id = t.push_event(ev(
+                Domain::Integer,
+                i as f64 * 2.0,
+                i as f64 * 2.0 + 2.0,
+                0.24,
+            ));
             if let Some(p) = prev {
                 t.push_edge(p, id);
             }

@@ -137,8 +137,10 @@ mod tests {
     #[test]
     fn per_domain_choices_are_independent() {
         let mut r = RegionHistograms::new(&grid());
-        r.domain_mut(Domain::Integer).add(MegaHertz::new(1000.0), 50_000.0);
-        r.domain_mut(Domain::FloatingPoint).add(MegaHertz::new(250.0), 50_000.0);
+        r.domain_mut(Domain::Integer)
+            .add(MegaHertz::new(1000.0), 50_000.0);
+        r.domain_mut(Domain::FloatingPoint)
+            .add(MegaHertz::new(250.0), 50_000.0);
         let setting = SlowdownThreshold::new(0.05).choose(&r);
         assert!(setting.get(Domain::Integer).as_mhz() > 900.0);
         assert_eq!(setting.get(Domain::FloatingPoint).as_mhz(), 250.0);
@@ -154,7 +156,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         for d in [0.0, 0.02, 0.05, 0.1, 0.2, 0.4] {
             let f = SlowdownThreshold::new(d).choose_for_domain(&h).as_mhz();
-            assert!(f <= prev + 1e-9, "frequency should not increase with slowdown");
+            assert!(
+                f <= prev + 1e-9,
+                "frequency should not increase with slowdown"
+            );
             prev = f;
         }
     }

@@ -1,50 +1,43 @@
-//! Criterion benchmark: profiling-side costs — trace generation, call-tree
-//! construction under different context policies, long-running node selection
-//! and instrumentation planning.
+//! Benchmark: profiling-side costs — trace generation, call-tree construction
+//! under different context policies, long-running node selection and
+//! instrumentation planning.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mcd_bench::timing::{bb, Harness};
 use mcd_profiling::call_tree::CallTree;
 use mcd_profiling::candidates::LongRunningSet;
 use mcd_profiling::context::ContextPolicy;
 use mcd_profiling::edit::InstrumentationPlan;
 use mcd_workloads::generator::generate_trace;
 use mcd_workloads::programs;
-use std::hint::black_box;
 
-fn call_tree_benchmarks(c: &mut Criterion) {
+fn main() {
     let (program, inputs) = programs::gzip::gzip();
+    let mut harness = Harness::from_args(10);
 
-    c.bench_function("trace_generation_gzip_training", |b| {
-        b.iter(|| black_box(generate_trace(black_box(&program), &inputs.training).len()))
+    harness.bench_function("trace_generation_gzip_training", |b| {
+        b.iter(|| bb(generate_trace(bb(&program), &inputs.training).len()))
     });
 
     let trace = generate_trace(&program, &inputs.training);
 
-    let mut group = c.benchmark_group("call_tree_construction");
+    let mut group = harness.benchmark_group("call_tree_construction");
     for policy in [
         ContextPolicy::LoopFuncSitePath,
         ContextPolicy::FuncPath,
         ContextPolicy::LoopFunc,
     ] {
         group.bench_function(policy.abbreviation(), |b| {
-            b.iter(|| black_box(CallTree::build(black_box(&trace), policy).len()))
+            b.iter(|| bb(CallTree::build(bb(&trace), policy).len()))
         });
     }
     group.finish();
 
-    c.bench_function("candidate_selection_and_planning", |b| {
+    harness.bench_function("candidate_selection_and_planning", |b| {
         b.iter(|| {
             let tree = CallTree::build(&trace, ContextPolicy::LoopFuncSitePath);
             let lr = LongRunningSet::identify(&tree);
             let plan = InstrumentationPlan::new(tree, lr, ContextPolicy::LoopFuncSitePath);
-            black_box(plan.static_instrumentation_points())
+            bb(plan.static_instrumentation_points())
         })
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = call_tree_benchmarks
-}
-criterion_main!(benches);

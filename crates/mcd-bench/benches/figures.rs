@@ -1,18 +1,18 @@
-//! Criterion benchmark: end-to-end cost of regenerating one benchmark's group
-//! of bars in Figures 4–6 (baseline + off-line oracle + on-line controller +
+//! Benchmark: end-to-end cost of regenerating one benchmark's group of bars in
+//! Figures 4–6 (baseline + off-line oracle + on-line controller +
 //! profile-driven training and production run).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mcd_bench::timing::{bb, Harness};
 use mcd_dvfs::evaluation::{evaluate_benchmark, EvaluationConfig};
 use mcd_dvfs::profile::{train, TrainingConfig};
 use mcd_sim::config::MachineConfig;
 use mcd_workloads::suite;
-use std::hint::black_box;
 
-fn figure_benchmarks(c: &mut Criterion) {
+fn main() {
     let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+    let mut harness = Harness::from_args(10);
 
-    c.bench_function("profile_training_adpcm_decode", |b| {
+    harness.bench_function("profile_training_adpcm_decode", |b| {
         let machine = MachineConfig::default();
         b.iter(|| {
             let plan = train(
@@ -21,22 +21,17 @@ fn figure_benchmarks(c: &mut Criterion) {
                 &machine,
                 &TrainingConfig::default(),
             );
-            black_box(plan.table.len())
+            bb(plan.table.len())
         })
     });
 
-    c.bench_function("figure4_bar_group_adpcm_decode", |b| {
+    harness.bench_function("figure4_bar_group_adpcm_decode", |b| {
         let config = EvaluationConfig::default();
         b.iter(|| {
-            let eval = evaluate_benchmark(black_box(&bench), &config);
-            black_box(eval.profile.metrics.energy_savings)
+            let eval = evaluate_benchmark(bb(&bench), &config).expect("evaluation succeeds");
+            bb(eval
+                .result(mcd_dvfs::scheme::names::PROFILE)
+                .map(|r| r.metrics.energy_savings))
         })
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = figure_benchmarks
-}
-criterion_main!(benches);

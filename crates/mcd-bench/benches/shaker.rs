@@ -1,7 +1,7 @@
-//! Criterion benchmark: cost of the off-line analysis (event recording, DAG
+//! Benchmark: cost of the off-line analysis (event recording, DAG
 //! construction, shaker passes, slowdown thresholding) on a real region.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mcd_bench::timing::{bb, Harness};
 use mcd_dvfs::dag::DependenceDag;
 use mcd_dvfs::shaker::Shaker;
 use mcd_dvfs::threshold::SlowdownThreshold;
@@ -10,9 +10,8 @@ use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_sim::time::MegaHertz;
 use mcd_workloads::generator::generate_trace;
 use mcd_workloads::programs;
-use std::hint::black_box;
 
-fn shaker_benchmarks(c: &mut Criterion) {
+fn main() {
     let (program, inputs) = programs::gsm::decode();
     let trace: Vec<_> = generate_trace(&program, &inputs.training)
         .into_iter()
@@ -21,38 +20,32 @@ fn shaker_benchmarks(c: &mut Criterion) {
     let machine = MachineConfig::default();
     let recording = Simulator::new(machine.clone()).run(trace, &mut NullHooks, true);
     let events = recording.events.expect("events recorded");
+    let mut harness = Harness::from_args(10);
 
-    c.bench_function("dag_construction_30k_instr", |b| {
+    harness.bench_function("dag_construction_30k_instr", |b| {
         b.iter(|| {
-            let dag = DependenceDag::from_trace(black_box(&events));
-            black_box(dag.len())
+            let dag = DependenceDag::from_trace(bb(&events));
+            bb(dag.len())
         })
     });
 
-    c.bench_function("shaker_full_pass_30k_instr", |b| {
+    harness.bench_function("shaker_full_pass_30k_instr", |b| {
         b.iter(|| {
-            let mut dag = DependenceDag::from_trace(black_box(&events));
+            let mut dag = DependenceDag::from_trace(bb(&events));
             let hist = Shaker::new().shake_into_histograms(
                 &mut dag,
                 &machine.grid,
                 MegaHertz::new(1000.0),
             );
-            black_box(hist.total_cycles())
+            bb(hist.total_cycles())
         })
     });
 
-    c.bench_function("slowdown_thresholding", |b| {
+    harness.bench_function("slowdown_thresholding", |b| {
         let mut dag = DependenceDag::from_trace(&events);
         let hist =
             Shaker::new().shake_into_histograms(&mut dag, &machine.grid, MegaHertz::new(1000.0));
         let chooser = SlowdownThreshold::new(0.07);
-        b.iter(|| black_box(chooser.choose(black_box(&hist))))
+        b.iter(|| bb(chooser.choose(bb(&hist))))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = shaker_benchmarks
-}
-criterion_main!(benches);

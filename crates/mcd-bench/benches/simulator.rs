@@ -1,18 +1,18 @@
-//! Criterion benchmark: raw throughput of the MCD timing simulator, with and
-//! without event recording, on representative workloads.
+//! Benchmark: raw throughput of the MCD timing simulator, with and without
+//! event recording, on representative workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcd_bench::timing::{bb, Harness};
 use mcd_sim::config::MachineConfig;
 use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_workloads::generator::generate_trace;
 use mcd_workloads::programs;
-use std::hint::black_box;
 
-fn simulator_benchmarks(c: &mut Criterion) {
+fn main() {
     let machine = MachineConfig::default();
     let sim = Simulator::new(machine);
+    let mut harness = Harness::from_args(10);
 
-    let mut group = c.benchmark_group("simulator_throughput");
+    let mut group = harness.benchmark_group("simulator_throughput");
     for (name, (program, inputs)) in [
         ("jpeg_compress", programs::jpeg::compress()),
         ("mcf", programs::mcf::mcf()),
@@ -22,27 +22,18 @@ fn simulator_benchmarks(c: &mut Criterion) {
             .into_iter()
             .take(50_000)
             .collect();
-        let instrs = trace.iter().filter(|t| t.as_instr().is_some()).count() as u64;
-        group.throughput(Throughput::Elements(instrs));
-        group.bench_function(format!("{name}_timing_only"), |b| {
+        group.bench_function(&format!("{name}_timing_only"), |b| {
             b.iter(|| {
-                let res = sim.run(black_box(trace.iter().copied()), &mut NullHooks, false);
-                black_box(res.stats.run_time)
+                let res = sim.run(bb(trace.iter().copied()), &mut NullHooks, false);
+                bb(res.stats.run_time)
             })
         });
-        group.bench_function(format!("{name}_with_event_recording"), |b| {
+        group.bench_function(&format!("{name}_with_event_recording"), |b| {
             b.iter(|| {
-                let res = sim.run(black_box(trace.iter().copied()), &mut NullHooks, true);
-                black_box(res.events.map(|e| e.len()))
+                let res = sim.run(bb(trace.iter().copied()), &mut NullHooks, true);
+                bb(res.events.map(|e| e.len()))
             })
         });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = simulator_benchmarks
-}
-criterion_main!(benches);

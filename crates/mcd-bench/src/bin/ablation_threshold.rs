@@ -7,7 +7,7 @@
 //! are selected, how often the production run reconfigures, and what that does
 //! to the energy/performance trade-off.
 
-use mcd_bench::{format, quick_requested, selected_suite};
+use mcd_bench::{format, selected_suite};
 use mcd_dvfs::evaluation::{relative, run_baseline};
 use mcd_dvfs::profile::{train, TrainingConfig};
 use mcd_sim::config::MachineConfig;
@@ -15,7 +15,9 @@ use mcd_sim::simulator::Simulator;
 use mcd_workloads::generator::generate_trace;
 
 fn main() {
-    let benches = selected_suite(true || quick_requested());
+    // The sweep runs five thresholds over the suite, so it always uses the
+    // compact subset.
+    let benches = selected_suite(true);
     let machine = MachineConfig::default();
     let thresholds: [u64; 5] = [1_000, 5_000, 10_000, 50_000, 200_000];
 

@@ -3,88 +3,83 @@
 //! algorithms, produced by sweeping the slowdown threshold (off-line and
 //! profile) and the controller aggressiveness (on-line).
 
-use mcd_bench::{mean, quick_requested, selected_suite};
-use mcd_dvfs::evaluation::{evaluate_benchmark, EvaluationConfig};
+use mcd_bench::{evaluate_all, mean, parallelism, quick_requested, run_main, selected_suite};
+use mcd_dvfs::evaluation::{BenchmarkEvaluation, EvaluationConfig};
 use mcd_dvfs::online::OnlineConfig;
+use mcd_dvfs::scheme::names;
+use std::process::ExitCode;
 
-fn main() {
-    let quick = quick_requested();
-    // The sweep multiplies run time by the number of points, so it always uses
-    // a compact subset unless --full is given explicitly.
-    let full = std::env::args().any(|a| a == "--full");
-    let benches = selected_suite(!full || quick);
+fn scheme_means(evals: &[BenchmarkEvaluation], scheme: &str) -> (f64, f64, f64) {
+    let collect = |f: &dyn Fn(&BenchmarkEvaluation) -> Option<f64>| -> f64 {
+        mean(&evals.iter().filter_map(f).collect::<Vec<_>>())
+    };
+    (
+        collect(&|e| Some(e.result(scheme)?.metrics.performance_degradation)),
+        collect(&|e| Some(e.result(scheme)?.metrics.energy_savings)),
+        collect(&|e| Some(e.result(scheme)?.metrics.energy_delay_improvement)),
+    )
+}
 
-    let slowdown_targets = [0.02, 0.04, 0.07, 0.10, 0.14];
-    let online_decays = [2.0, 6.0, 12.0, 25.0, 50.0];
-
-    println!("Figures 10 and 11. Energy savings and energy-delay improvement vs. slowdown.");
-    println!();
+fn print_row(series: &str, parameter: &str, means: (f64, f64, f64)) {
     println!(
-        "{:<12} {:>12} {:>16} {:>16} {:>22}",
-        "series", "parameter", "slowdown (%)", "energy save (%)", "energy-delay impr (%)"
+        "{:<12} {:>12} {:>16.1} {:>16.1} {:>22.1}",
+        series,
+        parameter,
+        means.0 * 100.0,
+        means.1 * 100.0,
+        means.2 * 100.0
     );
-    println!("{}", "-".repeat(84));
+}
 
-    // Off-line and profile-based: sweep the slowdown threshold d.
-    for &d in &slowdown_targets {
-        let config = EvaluationConfig::default().with_slowdown(d);
-        let evals: Vec<_> = benches
-            .iter()
-            .map(|b| {
-                eprintln!("  d={d:.2} {}", b.name);
-                evaluate_benchmark(b, &config)
-            })
-            .collect();
-        let off_slow = mean(&evals.iter().map(|e| e.offline.metrics.performance_degradation).collect::<Vec<_>>());
-        let off_save = mean(&evals.iter().map(|e| e.offline.metrics.energy_savings).collect::<Vec<_>>());
-        let off_ed = mean(&evals.iter().map(|e| e.offline.metrics.energy_delay_improvement).collect::<Vec<_>>());
-        let prof_slow = mean(&evals.iter().map(|e| e.profile.metrics.performance_degradation).collect::<Vec<_>>());
-        let prof_save = mean(&evals.iter().map(|e| e.profile.metrics.energy_savings).collect::<Vec<_>>());
-        let prof_ed = mean(&evals.iter().map(|e| e.profile.metrics.energy_delay_improvement).collect::<Vec<_>>());
-        println!(
-            "{:<12} {:>12} {:>16.1} {:>16.1} {:>22.1}",
-            "off-line",
-            format!("d={:.0}%", d * 100.0),
-            off_slow * 100.0,
-            off_save * 100.0,
-            off_ed * 100.0
-        );
-        println!(
-            "{:<12} {:>12} {:>16.1} {:>16.1} {:>22.1}",
-            "L+F",
-            format!("d={:.0}%", d * 100.0),
-            prof_slow * 100.0,
-            prof_save * 100.0,
-            prof_ed * 100.0
-        );
-    }
+fn main() -> ExitCode {
+    run_main(|| {
+        let quick = quick_requested();
+        // The sweep multiplies run time by the number of points, so it always
+        // uses a compact subset unless --full is given explicitly.
+        let full = std::env::args().any(|a| a == "--full");
+        let benches = selected_suite(!full || quick);
 
-    // On-line: sweep the decay rate (more aggressive decay = more slowdown).
-    for &decay in &online_decays {
-        let config = EvaluationConfig {
-            online: OnlineConfig {
-                decay_mhz: decay,
-                ..OnlineConfig::default()
-            },
-            ..EvaluationConfig::default()
-        };
-        let evals: Vec<_> = benches
-            .iter()
-            .map(|b| {
-                eprintln!("  decay={decay} {}", b.name);
-                evaluate_benchmark(b, &config)
-            })
-            .collect();
-        let slow = mean(&evals.iter().map(|e| e.online.metrics.performance_degradation).collect::<Vec<_>>());
-        let save = mean(&evals.iter().map(|e| e.online.metrics.energy_savings).collect::<Vec<_>>());
-        let ed = mean(&evals.iter().map(|e| e.online.metrics.energy_delay_improvement).collect::<Vec<_>>());
+        let slowdown_targets = [0.02, 0.04, 0.07, 0.10, 0.14];
+        let online_decays = [2.0, 6.0, 12.0, 25.0, 50.0];
+
+        println!("Figures 10 and 11. Energy savings and energy-delay improvement vs. slowdown.");
+        println!();
         println!(
-            "{:<12} {:>12} {:>16.1} {:>16.1} {:>22.1}",
-            "on-line",
-            format!("decay={decay}"),
-            slow * 100.0,
-            save * 100.0,
-            ed * 100.0
+            "{:<12} {:>12} {:>16} {:>16} {:>22}",
+            "series", "parameter", "slowdown (%)", "energy save (%)", "energy-delay impr (%)"
         );
-    }
+        println!("{}", "-".repeat(84));
+
+        // Off-line and profile-based: sweep the slowdown threshold d.
+        for &d in &slowdown_targets {
+            eprintln!("  sweeping d={d:.2} ...");
+            let config = EvaluationConfig::default()
+                .with_slowdown(d)
+                .with_parallelism(parallelism());
+            let evals = evaluate_all(&benches, &config)?;
+            let label = format!("d={:.0}%", d * 100.0);
+            print_row("off-line", &label, scheme_means(&evals, names::OFFLINE));
+            print_row("L+F", &label, scheme_means(&evals, names::PROFILE));
+        }
+
+        // On-line: sweep the decay rate (more aggressive decay = more slowdown).
+        for &decay in &online_decays {
+            eprintln!("  sweeping decay={decay} ...");
+            let config = EvaluationConfig {
+                online: OnlineConfig {
+                    decay_mhz: decay,
+                    ..OnlineConfig::default()
+                },
+                ..EvaluationConfig::default()
+            }
+            .with_parallelism(parallelism());
+            let evals = evaluate_all(&benches, &config)?;
+            print_row(
+                "on-line",
+                &format!("decay={decay}"),
+                scheme_means(&evals, names::ONLINE),
+            );
+        }
+        Ok(())
+    })
 }

@@ -45,7 +45,11 @@ fn main() {
             }
             // Overhead fraction of the baseline run time (in 1 GHz cycles = ns).
             let baseline = Simulator::new(machine.clone())
-                .run(ref_trace.iter().copied(), &mut mcd_sim::simulator::NullHooks, false)
+                .run(
+                    ref_trace.iter().copied(),
+                    &mut mcd_sim::simulator::NullHooks,
+                    false,
+                )
                 .stats;
             overheads[pi].push(total_overhead / baseline.run_time.as_ns());
         }

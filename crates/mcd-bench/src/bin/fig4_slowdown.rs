@@ -1,40 +1,16 @@
-//! Figure 4: performance degradation of the off-line, on-line and profile-based
-//! (L+F) reconfiguration schemes relative to the baseline MCD processor.
+//! Figure 4: performance degradation of every registered reconfiguration
+//! scheme relative to the baseline MCD processor.
 //!
 //! Run with `--quick` to evaluate a six-benchmark subset.
 
-use mcd_bench::{default_config, evaluate_all, format, mean, quick_requested, selected_suite};
+use mcd_bench::{metric_figure, run_main, Metric};
+use std::process::ExitCode;
 
-fn main() {
-    let quick = quick_requested();
-    let benches = selected_suite(quick);
-    let config = default_config(false);
-    let evals = evaluate_all(&benches, &config);
-
-    println!("Figure 4. Performance degradation results (relative to the MCD baseline).");
-    println!();
-    format::header(&[("Benchmark", 16), ("off-line", 9), ("on-line", 9), ("profile L+F", 12)]);
-    let mut offline = Vec::new();
-    let mut online = Vec::new();
-    let mut profile = Vec::new();
-    for e in &evals {
-        println!(
-            "{:>16}  {:>9}  {:>9}  {:>12}",
-            e.name,
-            format::pct(e.offline.metrics.performance_degradation),
-            format::pct(e.online.metrics.performance_degradation),
-            format::pct(e.profile.metrics.performance_degradation),
-        );
-        offline.push(e.offline.metrics.performance_degradation);
-        online.push(e.online.metrics.performance_degradation);
-        profile.push(e.profile.metrics.performance_degradation);
-    }
-    println!();
-    println!(
-        "{:>16}  {:>9}  {:>9}  {:>12}",
-        "average",
-        format::pct(mean(&offline)),
-        format::pct(mean(&online)),
-        format::pct(mean(&profile)),
-    );
+fn main() -> ExitCode {
+    run_main(|| {
+        metric_figure(
+            "Figure 4. Performance degradation results (relative to the MCD baseline).",
+            Metric::Slowdown,
+        )
+    })
 }

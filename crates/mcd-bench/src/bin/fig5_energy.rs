@@ -1,38 +1,16 @@
-//! Figure 5: energy savings of the off-line, on-line and profile-based (L+F)
-//! reconfiguration schemes relative to the baseline MCD processor.
+//! Figure 5: energy savings of every registered reconfiguration scheme
+//! relative to the baseline MCD processor.
+//!
+//! Run with `--quick` to evaluate a six-benchmark subset.
 
-use mcd_bench::{default_config, evaluate_all, format, mean, quick_requested, selected_suite};
+use mcd_bench::{metric_figure, run_main, Metric};
+use std::process::ExitCode;
 
-fn main() {
-    let quick = quick_requested();
-    let benches = selected_suite(quick);
-    let config = default_config(false);
-    let evals = evaluate_all(&benches, &config);
-
-    println!("Figure 5. Energy savings results (relative to the MCD baseline).");
-    println!();
-    format::header(&[("Benchmark", 16), ("off-line", 9), ("on-line", 9), ("profile L+F", 12)]);
-    let mut offline = Vec::new();
-    let mut online = Vec::new();
-    let mut profile = Vec::new();
-    for e in &evals {
-        println!(
-            "{:>16}  {:>9}  {:>9}  {:>12}",
-            e.name,
-            format::pct(e.offline.metrics.energy_savings),
-            format::pct(e.online.metrics.energy_savings),
-            format::pct(e.profile.metrics.energy_savings),
-        );
-        offline.push(e.offline.metrics.energy_savings);
-        online.push(e.online.metrics.energy_savings);
-        profile.push(e.profile.metrics.energy_savings);
-    }
-    println!();
-    println!(
-        "{:>16}  {:>9}  {:>9}  {:>12}",
-        "average",
-        format::pct(mean(&offline)),
-        format::pct(mean(&online)),
-        format::pct(mean(&profile)),
-    );
+fn main() -> ExitCode {
+    run_main(|| {
+        metric_figure(
+            "Figure 5. Energy savings results (relative to the MCD baseline).",
+            Metric::EnergySavings,
+        )
+    })
 }

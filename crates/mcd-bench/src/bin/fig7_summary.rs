@@ -1,48 +1,53 @@
 //! Figure 7: minimum, maximum and average slowdown, energy savings and
-//! energy×delay improvement across the suite, for the global-DVS baseline and
-//! the three MCD reconfiguration schemes.
+//! energy×delay improvement across the suite, for every scheme in the
+//! registry (global DVS included).
 
-use mcd_bench::{default_config, evaluate_all, quick_requested, selected_suite};
+use mcd_bench::{default_config, evaluate_all, quick_requested, run_main, selected_suite, Metric};
 use mcd_dvfs::evaluation::Summary;
+use std::process::ExitCode;
 
-fn main() {
-    let quick = quick_requested();
-    let benches = selected_suite(quick);
-    let config = default_config(true);
-    let evals = evaluate_all(&benches, &config);
+fn main() -> ExitCode {
+    run_main(|| {
+        let benches = selected_suite(quick_requested());
+        let config = default_config(true);
+        let evals = evaluate_all(&benches, &config)?;
 
-    let collect = |f: &dyn Fn(&mcd_dvfs::evaluation::BenchmarkEvaluation) -> Option<f64>| {
-        let v: Vec<f64> = evals.iter().filter_map(f).collect();
-        Summary::of(&v)
-    };
+        println!("Figure 7. Minimum, maximum and average slowdown, energy savings and");
+        println!("energy-delay improvement (percent, relative to the MCD baseline).");
+        println!();
+        println!("{:<26} {:>8} {:>8} {:>8}", "series", "min", "avg", "max");
+        println!("{}", "-".repeat(54));
 
-    println!("Figure 7. Minimum, maximum and average slowdown, energy savings and");
-    println!("energy-delay improvement (percent, relative to the MCD baseline).");
-    println!();
-    println!("{:<22} {:>8} {:>8} {:>8}", "series", "min", "avg", "max");
-    println!("{}", "-".repeat(50));
+        let scheme_labels: Vec<(String, String)> = evals
+            .first()
+            .map(|e| {
+                e.schemes
+                    .iter()
+                    .map(|o| (o.name.clone(), o.label.clone()))
+                    .collect()
+            })
+            .unwrap_or_default();
 
-    let rows: Vec<(&str, Summary)> = vec![
-        ("slowdown: global", collect(&|e| e.global.as_ref().map(|g| g.metrics.performance_degradation))),
-        ("slowdown: on-line", collect(&|e| Some(e.online.metrics.performance_degradation))),
-        ("slowdown: off-line", collect(&|e| Some(e.offline.metrics.performance_degradation))),
-        ("slowdown: L+F", collect(&|e| Some(e.profile.metrics.performance_degradation))),
-        ("energy: global", collect(&|e| e.global.as_ref().map(|g| g.metrics.energy_savings))),
-        ("energy: on-line", collect(&|e| Some(e.online.metrics.energy_savings))),
-        ("energy: off-line", collect(&|e| Some(e.offline.metrics.energy_savings))),
-        ("energy: L+F", collect(&|e| Some(e.profile.metrics.energy_savings))),
-        ("energy-delay: global", collect(&|e| e.global.as_ref().map(|g| g.metrics.energy_delay_improvement))),
-        ("energy-delay: on-line", collect(&|e| Some(e.online.metrics.energy_delay_improvement))),
-        ("energy-delay: off-line", collect(&|e| Some(e.offline.metrics.energy_delay_improvement))),
-        ("energy-delay: L+F", collect(&|e| Some(e.profile.metrics.energy_delay_improvement))),
-    ];
-    for (name, s) in rows {
-        println!(
-            "{:<22} {:>7.1}% {:>7.1}% {:>7.1}%",
-            name,
-            s.min * 100.0,
-            s.mean * 100.0,
-            s.max * 100.0
-        );
-    }
+        for (series, metric) in [
+            ("slowdown", Metric::Slowdown),
+            ("energy", Metric::EnergySavings),
+            ("energy-delay", Metric::EnergyDelay),
+        ] {
+            for (name, label) in &scheme_labels {
+                let values: Vec<f64> = evals
+                    .iter()
+                    .filter_map(|e| e.result(name).map(|r| metric.of(&r.metrics)))
+                    .collect();
+                let s = Summary::of(&values);
+                println!(
+                    "{:<26} {:>7.1}% {:>7.1}% {:>7.1}%",
+                    format!("{series}: {label}"),
+                    s.min * 100.0,
+                    s.mean * 100.0,
+                    s.max * 100.0
+                );
+            }
+        }
+        Ok(())
+    })
 }

@@ -3,38 +3,54 @@
 //! makes a visible difference (mpeg2 decode, epic encode, plus the loop-heavy
 //! applu and art).
 
-use mcd_bench::{default_config, format};
-use mcd_dvfs::evaluation::{evaluate_profile, run_baseline};
+use mcd_bench::{default_config, format, run_main};
+use mcd_dvfs::error::find_benchmark;
+use mcd_dvfs::evaluation::{evaluate_scheme, run_trace_baseline};
+use mcd_dvfs::scheme::ProfileScheme;
+use mcd_dvfs::DvfsScheme;
 use mcd_profiling::context::ContextPolicy;
-use mcd_workloads::suite;
+use mcd_workloads::generator::generate_trace;
+use std::process::ExitCode;
 
-fn main() {
-    let names = ["mpeg2 decode", "epic encode", "applu", "art", "adpcm decode", "gsm decode"];
-    let policies = ContextPolicy::ALL;
+fn main() -> ExitCode {
+    run_main(|| {
+        let names = [
+            "mpeg2 decode",
+            "epic encode",
+            "applu",
+            "art",
+            "adpcm decode",
+            "gsm decode",
+        ];
+        let policies = ContextPolicy::ALL;
 
-    println!("Figures 8 and 9. Sensitivity to the definition of calling context.");
-    println!("(performance degradation / energy savings per policy)");
-    println!();
-    let mut cols: Vec<(&str, usize)> = vec![("Benchmark", 16)];
-    for p in &policies {
-        cols.push((p.abbreviation(), 15));
-    }
-    format::header(&cols);
-
-    for name in names {
-        let bench = suite::benchmark(name).expect("benchmark exists");
-        let machine = default_config(false).machine;
-        let baseline = run_baseline(&bench, &machine);
-        print!("{:>16}", bench.name);
-        for policy in policies {
-            let config = default_config(false).with_policy(policy);
-            let result = evaluate_profile(&bench, &config, &baseline);
-            print!(
-                "  {:>5.1}%/{:>5.1}%",
-                result.metrics.performance_degradation * 100.0,
-                result.metrics.energy_savings * 100.0
-            );
-        }
+        println!("Figures 8 and 9. Sensitivity to the definition of calling context.");
+        println!("(performance degradation / energy savings per policy)");
         println!();
-    }
+        let mut cols: Vec<(&str, usize)> = vec![("Benchmark", 16)];
+        for p in &policies {
+            cols.push((p.abbreviation(), 15));
+        }
+        format::header(&cols);
+
+        for name in names {
+            let bench = find_benchmark(name)?;
+            let machine = default_config(false).machine;
+            let reference = generate_trace(&bench.program, &bench.inputs.reference);
+            let baseline = run_trace_baseline(&reference, &machine);
+            print!("{:>16}", bench.name);
+            for policy in policies {
+                let mut scheme = ProfileScheme::default();
+                scheme.configure(&default_config(false).with_policy(policy))?;
+                let result = evaluate_scheme(&bench, &machine, &reference, &scheme, &baseline)?;
+                print!(
+                    "  {:>5.1}%/{:>5.1}%",
+                    result.metrics.performance_degradation * 100.0,
+                    result.metrics.energy_savings * 100.0
+                );
+            }
+            println!();
+        }
+        Ok(())
+    })
 }

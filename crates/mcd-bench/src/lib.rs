@@ -3,12 +3,17 @@
 //!
 //! Each binary in `src/bin/` reproduces one table or figure; this library
 //! provides the common pieces: the evaluation configuration, suite selection,
-//! result caching across schemes, and plain-text table formatting that mirrors
-//! the rows/series the paper reports.
+//! the registry-driven evaluation entry point (parallel across benchmarks),
+//! scheme-agnostic metric tables, error-reporting `main` plumbing, and
+//! plain-text formatting that mirrors the rows/series the paper reports.
 
 #![warn(missing_docs)]
 
-use mcd_dvfs::evaluation::{evaluate_benchmark, BenchmarkEvaluation, EvaluationConfig};
+pub mod timing;
+
+use mcd_dvfs::error::McdError;
+use mcd_dvfs::evaluation::{evaluate_suite, BenchmarkEvaluation, EvaluationConfig};
+use mcd_sim::stats::RelativeMetrics;
 use mcd_workloads::suite::{suite, Benchmark};
 
 /// The slowdown target used for the headline results (the paper's Figures 4–7
@@ -31,37 +36,140 @@ pub fn selected_suite(quick: bool) -> Vec<Benchmark> {
         "swim",
         "art",
     ];
-    all.into_iter()
-        .filter(|b| keep.contains(&b.name))
-        .collect()
+    all.into_iter().filter(|b| keep.contains(&b.name)).collect()
 }
 
 /// True if the process arguments request a quick (subset) run.
 pub fn quick_requested() -> bool {
     std::env::args().any(|a| a == "--quick" || a == "quick")
-        || std::env::var("MCD_QUICK").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("MCD_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+/// Worker threads used for suite evaluation: the `MCD_JOBS` environment
+/// variable when set, otherwise every available core.
+pub fn parallelism() -> usize {
+    std::env::var("MCD_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 /// The default evaluation configuration used by the figure binaries.
 pub fn default_config(include_global: bool) -> EvaluationConfig {
     EvaluationConfig {
         include_global,
+        parallelism: parallelism(),
         ..EvaluationConfig::default()
     }
     .with_slowdown(HEADLINE_SLOWDOWN)
 }
 
-/// Evaluates every benchmark in `benches` under `config`, printing progress to
-/// stderr as it goes (the full suite takes a minute or two).
-pub fn evaluate_all(benches: &[Benchmark], config: &EvaluationConfig) -> Vec<BenchmarkEvaluation> {
-    benches
-        .iter()
-        .map(|b| {
-            eprintln!("  evaluating {} ...", b.name);
-            evaluate_benchmark(b, config)
-        })
-        .collect()
+/// Evaluates every benchmark in `benches` under `config` through the scheme
+/// registry, spreading benchmarks across `config.parallelism` threads.
+pub fn evaluate_all(
+    benches: &[Benchmark],
+    config: &EvaluationConfig,
+) -> Result<Vec<BenchmarkEvaluation>, McdError> {
+    eprintln!(
+        "  evaluating {} benchmark(s) on {} thread(s) ...",
+        benches.len(),
+        config.parallelism.max(1)
+    );
+    evaluate_suite(benches, config)
 }
+
+/// One of the paper's three headline metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Performance degradation relative to the MCD baseline (Figure 4).
+    Slowdown,
+    /// Energy savings relative to the MCD baseline (Figure 5).
+    EnergySavings,
+    /// Energy·delay improvement relative to the MCD baseline (Figure 6).
+    EnergyDelay,
+}
+
+impl Metric {
+    /// Extracts this metric from a set of relative metrics.
+    pub fn of(self, m: &RelativeMetrics) -> f64 {
+        match self {
+            Metric::Slowdown => m.performance_degradation,
+            Metric::EnergySavings => m.energy_savings,
+            Metric::EnergyDelay => m.energy_delay_improvement,
+        }
+    }
+}
+
+/// Runs the standard per-benchmark, per-scheme figure: evaluates the selected
+/// suite and prints one row per benchmark with one column per registered
+/// scheme, plus a suite average (the shape of Figures 4–6).
+pub fn metric_figure(title: &str, metric: Metric) -> Result<(), McdError> {
+    let benches = selected_suite(quick_requested());
+    let config = default_config(false);
+    let evals = evaluate_all(&benches, &config)?;
+    print_metric_table(title, &evals, metric);
+    Ok(())
+}
+
+/// Prints one per-benchmark, per-scheme metric table with a closing average
+/// row. Columns come from the evaluation itself, so a new scheme in the
+/// registry shows up without touching the binaries.
+pub fn print_metric_table(title: &str, evals: &[BenchmarkEvaluation], metric: Metric) {
+    println!("{title}");
+    println!();
+    let Some(first) = evals.first() else {
+        println!("(no benchmarks selected)");
+        return;
+    };
+    // Columns come from the first evaluation; later rows look schemes up by
+    // name, so evaluations from a different registry print "-" instead of
+    // misaligning (extra schemes in later rows are simply not shown).
+    let schemes: Vec<(&str, &str)> = first
+        .schemes
+        .iter()
+        .map(|o| (o.name.as_str(), o.label.as_str()))
+        .collect();
+    let mut columns: Vec<(&str, usize)> = vec![("Benchmark", 16)];
+    for (_, label) in &schemes {
+        columns.push((label, label.len().max(9)));
+    }
+    format::header(&columns);
+    let mut sums = vec![Vec::new(); schemes.len()];
+    for eval in evals {
+        print!("{:>16}", eval.name);
+        for (i, (name, label)) in schemes.iter().enumerate() {
+            let width = label.len().max(9);
+            match eval.result(name) {
+                Some(result) => {
+                    let value = metric.of(&result.metrics);
+                    print!("  {:>width$}", format::pct(value));
+                    sums[i].push(value);
+                }
+                None => print!("  {:>width$}", "-"),
+            }
+        }
+        println!();
+    }
+    println!();
+    print!("{:>16}", "average");
+    for (i, (_, label)) in schemes.iter().enumerate() {
+        print!(
+            "  {:>width$}",
+            format::pct(mean(&sums[i])),
+            width = label.len().max(9)
+        );
+    }
+    println!();
+}
+
+pub use mcd_dvfs::error::run_main;
 
 /// Formatting helpers for the text tables the binaries print.
 pub mod format {
@@ -117,6 +225,7 @@ mod tests {
         assert!((cfg.training.slowdown - HEADLINE_SLOWDOWN).abs() < 1e-12);
         assert!((cfg.offline.slowdown - HEADLINE_SLOWDOWN).abs() < 1e-12);
         assert!(cfg.include_global);
+        assert!(cfg.parallelism >= 1);
     }
 
     #[test]
@@ -124,5 +233,17 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
         assert_eq!(format::pct(0.314).trim(), "31.4%");
+    }
+
+    #[test]
+    fn metric_extracts_the_right_field() {
+        let m = RelativeMetrics {
+            performance_degradation: 0.05,
+            energy_savings: 0.2,
+            energy_delay_improvement: 0.16,
+        };
+        assert_eq!(Metric::Slowdown.of(&m), 0.05);
+        assert_eq!(Metric::EnergySavings.of(&m), 0.2);
+        assert_eq!(Metric::EnergyDelay.of(&m), 0.16);
     }
 }

@@ -1,0 +1,151 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the harness binaries
+//! in `benches/` cannot use `criterion`. This module provides the small subset
+//! the suite needs — named benchmark functions, benchmark groups, per-sample
+//! wall-clock timing, and a smoke mode — behind a similar API shape.
+//!
+//! Behaviour mirrors criterion's integration with cargo:
+//!
+//! * `cargo bench` passes `--bench` to each harness, enabling full timing runs;
+//! * any other invocation (for example `cargo test --benches`) runs every
+//!   benchmark exactly once as a smoke test and reports no statistics.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box as bb;
+
+/// Top-level harness: collects and reports benchmark timings.
+#[derive(Debug)]
+pub struct Harness {
+    samples: usize,
+    timing_enabled: bool,
+}
+
+impl Harness {
+    /// Creates a harness, inspecting the process arguments the way criterion
+    /// does: full timing only when cargo passed `--bench`.
+    pub fn from_args(samples: usize) -> Self {
+        let timing_enabled = std::env::args().any(|a| a == "--bench");
+        Harness {
+            samples: samples.max(1),
+            timing_enabled,
+        }
+    }
+
+    /// Runs one named benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the code under test.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: if self.timing_enabled { self.samples } else { 1 },
+            durations: Vec::new(),
+        };
+        f(&mut bencher);
+        report(name, &bencher.durations, self.timing_enabled);
+    }
+
+    /// Starts a named group; group benchmarks are reported as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name);
+        self.harness.bench_function(&full, f);
+    }
+
+    /// Ends the group (kept for API symmetry; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` once per sample, preventing the result from being optimized
+    /// away.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One untimed warm-up to populate caches and lazy statics — pointless
+        // in smoke mode, where the single sample is not reported as a timing.
+        if self.samples > 1 {
+            black_box(f());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, durations: &[Duration], timing_enabled: bool) {
+    if durations.is_empty() {
+        println!("{name:<44} no samples (closure never called iter)");
+        return;
+    }
+    if !timing_enabled {
+        println!("{name:<44} ok (smoke run; pass --bench for timings)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = durations.to_vec();
+    sorted.sort();
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    println!(
+        "{name:<44} mean {:>12?}  median {:>12?}  min {:>12?}  ({} samples)",
+        mean,
+        median,
+        min,
+        sorted.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_one_sample_per_request() {
+        let mut b = Bencher {
+            samples: 5,
+            durations: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.durations.len(), 5);
+        // Five timed calls plus one warm-up.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn smoke_mode_skips_the_warm_up() {
+        let mut b = Bencher {
+            samples: 1,
+            durations: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.durations.len(), 1);
+        assert_eq!(calls, 1);
+    }
+}

@@ -103,7 +103,10 @@ mod tests {
 
     #[test]
     fn six_policies_with_unique_abbreviations() {
-        let mut abbrs: Vec<&str> = ContextPolicy::ALL.iter().map(|p| p.abbreviation()).collect();
+        let mut abbrs: Vec<&str> = ContextPolicy::ALL
+            .iter()
+            .map(|p| p.abbreviation())
+            .collect();
         abbrs.sort();
         abbrs.dedup();
         assert_eq!(abbrs.len(), 6);
@@ -131,7 +134,10 @@ mod tests {
             ContextPolicy::LoopFunc.identification_policy(),
             ContextPolicy::LoopFuncPath
         );
-        assert_eq!(ContextPolicy::Func.identification_policy(), ContextPolicy::FuncPath);
+        assert_eq!(
+            ContextPolicy::Func.identification_policy(),
+            ContextPolicy::FuncPath
+        );
         assert_eq!(
             ContextPolicy::FuncSitePath.identification_policy(),
             ContextPolicy::FuncSitePath

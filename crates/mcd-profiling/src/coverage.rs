@@ -96,7 +96,10 @@ mod tests {
     use mcd_workloads::programs;
 
     fn report_for(
-        (program, inputs): (mcd_workloads::program::Program, mcd_workloads::input::InputPair),
+        (program, inputs): (
+            mcd_workloads::program::Program,
+            mcd_workloads::input::InputPair,
+        ),
     ) -> CoverageReport {
         let train_trace = generate_trace(&program, &inputs.training);
         let ref_trace = generate_trace(&program, &inputs.reference);

@@ -591,7 +591,6 @@ impl RuntimeTracker<'_> {
             }) => MarkerOutcome::default(),
         }
     }
-
 }
 
 #[cfg(test)]
@@ -656,8 +655,14 @@ mod tests {
     #[test]
     fn simple_policy_keys_by_static_structure() {
         let plan = plan_for(ContextPolicy::Func);
-        assert_eq!(plan.reconfig_keys(), vec![NodeKey::Subroutine(SubroutineId(1))]);
-        assert_eq!(plan.static_instrumentation_points(), plan.static_reconfiguration_points());
+        assert_eq!(
+            plan.reconfig_keys(),
+            vec![NodeKey::Subroutine(SubroutineId(1))]
+        );
+        assert_eq!(
+            plan.static_instrumentation_points(),
+            plan.static_reconfiguration_points()
+        );
     }
 
     #[test]

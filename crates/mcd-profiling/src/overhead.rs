@@ -68,14 +68,18 @@ mod tests {
     fn constants_match_the_paper() {
         assert_eq!(PATH_INSTRUMENTATION_CYCLES, 9.0);
         assert_eq!(RECONFIG_POINT_CYCLES, 17.0);
-        assert!(LOOP_LABEL_CYCLES < PATH_INSTRUMENTATION_CYCLES);
-        assert!(SIMPLE_RECONFIG_CYCLES < LOOP_LABEL_CYCLES);
+        const {
+            assert!(LOOP_LABEL_CYCLES < PATH_INSTRUMENTATION_CYCLES);
+            assert!(SIMPLE_RECONFIG_CYCLES < LOOP_LABEL_CYCLES);
+        }
     }
 
     #[test]
     fn overhead_fraction_guards_zero() {
-        let mut r = OverheadReport::default();
-        r.overhead_cycles = 50.0;
+        let r = OverheadReport {
+            overhead_cycles: 50.0,
+            ..OverheadReport::default()
+        };
         assert_eq!(r.overhead_fraction(0.0), 0.0);
         assert!((r.overhead_fraction(10_000.0) - 0.005).abs() < 1e-12);
     }

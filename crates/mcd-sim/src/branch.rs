@@ -75,7 +75,10 @@ impl BranchPredictor {
             config.combining_entries,
             config.btb_sets,
         ] {
-            assert!(n > 0 && n.is_power_of_two(), "table sizes must be powers of two");
+            assert!(
+                n > 0 && n.is_power_of_two(),
+                "table sizes must be powers of two"
+            );
         }
         assert!(config.history_bits > 0 && config.history_bits <= 16);
         BranchPredictor {
@@ -223,7 +226,11 @@ mod tests {
         for _ in 0..100 {
             bp.predict_and_update(0x1000, true, 0x2000);
         }
-        assert_eq!(bp.mispredicts(), before, "steady-state biased branch should not mispredict");
+        assert_eq!(
+            bp.mispredicts(),
+            before,
+            "steady-state biased branch should not mispredict"
+        );
     }
 
     #[test]
@@ -241,7 +248,10 @@ mod tests {
             bp.predict_and_update(0x3000, taken, 0x4000);
         }
         let extra = bp.mispredicts() - before;
-        assert!(extra <= 5, "PAg should capture an alternating pattern, got {extra} mispredicts");
+        assert!(
+            extra <= 5,
+            "PAg should capture an alternating pattern, got {extra} mispredicts"
+        );
     }
 
     #[test]
@@ -255,7 +265,10 @@ mod tests {
             let taken = state & 1 == 1;
             bp.predict_and_update(0x5000 + (i % 7) * 4, taken, 0x6000);
         }
-        assert!(bp.mispredict_rate() > 0.2, "random branches should mispredict often");
+        assert!(
+            bp.mispredict_rate() > 0.2,
+            "random branches should mispredict often"
+        );
     }
 
     #[test]

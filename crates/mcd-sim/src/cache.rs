@@ -280,7 +280,10 @@ mod tests {
                 l2_hits += 1;
             }
         }
-        assert!(l2_hits > (lines as usize) / 2, "expected mostly L2 hits, got {l2_hits}");
+        assert!(
+            l2_hits > (lines as usize) / 2,
+            "expected mostly L2 hits, got {l2_hits}"
+        );
     }
 
     #[test]

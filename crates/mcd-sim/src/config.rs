@@ -143,7 +143,10 @@ impl MachineConfig {
                     self.branch.level1_entries, self.branch.history_bits
                 ),
             ),
-            ("Level2".into(), format!("{} entries", self.branch.level2_entries)),
+            (
+                "Level2".into(),
+                format!("{} entries", self.branch.level2_entries),
+            ),
             (
                 "Bimodal predictor size".into(),
                 format!("{}", self.branch.bimodal_entries),
@@ -154,7 +157,10 @@ impl MachineConfig {
             ),
             (
                 "BTB".into(),
-                format!("{} sets, {}-way", self.branch.btb_sets, self.branch.btb_ways),
+                format!(
+                    "{} sets, {}-way",
+                    self.branch.btb_sets, self.branch.btb_ways
+                ),
             ),
             (
                 "Branch Mispredict Penalty".into(),
@@ -162,7 +168,10 @@ impl MachineConfig {
             ),
             (
                 "Decode / Issue / Retire Width".into(),
-                format!("{} / {} / {}", self.decode_width, self.issue_width, self.retire_width),
+                format!(
+                    "{} / {} / {}",
+                    self.decode_width, self.issue_width, self.retire_width
+                ),
             ),
             (
                 "L1 Data Cache".into(),
@@ -205,7 +214,10 @@ impl MachineConfig {
             ),
             (
                 "Floating-Point ALUs".into(),
-                format!("{} + {} mult/div/sqrt unit", self.fp_alus, self.fp_mult_units),
+                format!(
+                    "{} + {} mult/div/sqrt unit",
+                    self.fp_alus, self.fp_mult_units
+                ),
             ),
             (
                 "Issue Queue Size".into(),
@@ -214,10 +226,16 @@ impl MachineConfig {
                     self.int_issue_queue, self.fp_issue_queue, self.ls_queue
                 ),
             ),
-            ("Reorder Buffer Size".into(), format!("{}", self.reorder_buffer)),
+            (
+                "Reorder Buffer Size".into(),
+                format!("{}", self.reorder_buffer),
+            ),
             (
                 "Physical Register File Size".into(),
-                format!("{} integer, {} floating-point", self.int_registers, self.fp_registers),
+                format!(
+                    "{} integer, {} floating-point",
+                    self.int_registers, self.fp_registers
+                ),
             ),
             (
                 "Domain Frequency Range".into(),
@@ -307,6 +325,41 @@ impl Default for MachineConfig {
     }
 }
 
+/// Error produced when a [`MachineConfigBuilder`] is finalized with an
+/// invalid configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineConfigError {
+    /// A pipeline width (decode/issue/retire) was zero.
+    ZeroWidth,
+    /// A queue or buffer (ROB, issue queues) had zero entries.
+    ZeroStructure,
+    /// A cache had degenerate geometry (zero size, line, or associativity).
+    DegenerateCache,
+    /// The main-memory latency was not positive.
+    NonPositiveMemoryLatency,
+}
+
+impl std::fmt::Display for MachineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineConfigError::ZeroWidth => {
+                f.write_str("decode, issue and retire widths must be positive")
+            }
+            MachineConfigError::ZeroStructure => {
+                f.write_str("reorder buffer and issue queues must have at least one entry")
+            }
+            MachineConfigError::DegenerateCache => {
+                f.write_str("cache size, line size and associativity must be positive")
+            }
+            MachineConfigError::NonPositiveMemoryLatency => {
+                f.write_str("main-memory latency must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineConfigError {}
+
 /// Builder for [`MachineConfig`], for the handful of parameters experiments vary.
 ///
 /// ```
@@ -315,7 +368,8 @@ impl Default for MachineConfig {
 ///     .to_builder()
 ///     .synchronization(false)
 ///     .seed(17)
-///     .build();
+///     .build()
+///     .expect("Table 1 defaults are valid");
 /// assert!(!cfg.synchronization_enabled);
 /// assert_eq!(cfg.seed, 17);
 /// ```
@@ -362,17 +416,29 @@ impl MachineConfigBuilder {
         self
     }
 
-    /// Finalizes the configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if widths or structure sizes are zero.
-    pub fn build(self) -> MachineConfig {
+    /// Finalizes the configuration, rejecting degenerate machines instead of
+    /// panicking.
+    pub fn build(self) -> Result<MachineConfig, MachineConfigError> {
         let c = &self.config;
-        assert!(c.decode_width > 0 && c.issue_width > 0 && c.retire_width > 0);
-        assert!(c.reorder_buffer > 0 && c.int_issue_queue > 0 && c.fp_issue_queue > 0);
-        assert!(c.memory_latency_ns > 0.0);
-        self.config
+        if c.decode_width == 0 || c.issue_width == 0 || c.retire_width == 0 {
+            return Err(MachineConfigError::ZeroWidth);
+        }
+        if c.reorder_buffer == 0
+            || c.int_issue_queue == 0
+            || c.fp_issue_queue == 0
+            || c.ls_queue == 0
+        {
+            return Err(MachineConfigError::ZeroStructure);
+        }
+        for cache in [&c.l1d, &c.l1i, &c.l2] {
+            if cache.size_bytes == 0 || cache.line_bytes == 0 || cache.associativity == 0 {
+                return Err(MachineConfigError::DegenerateCache);
+            }
+        }
+        if c.memory_latency_ns <= 0.0 {
+            return Err(MachineConfigError::NonPositiveMemoryLatency);
+        }
+        Ok(self.config)
     }
 }
 
@@ -423,15 +489,18 @@ mod tests {
             .reorder_buffer(128)
             .memory_latency_ns(120.0)
             .mispredict_penalty(10)
-            .build();
+            .build()
+            .expect("overridden config is valid");
         assert_eq!(cfg.reorder_buffer, 128);
         assert_eq!(cfg.memory_latency_ns, 120.0);
         assert_eq!(cfg.branch.mispredict_penalty, 10);
     }
 
     #[test]
-    #[should_panic]
-    fn builder_rejects_zero_rob() {
-        let _ = MachineConfigBuilder::new().reorder_buffer(0).build();
+    fn builder_rejects_degenerate_machines() {
+        let err = MachineConfigBuilder::new().reorder_buffer(0).build();
+        assert_eq!(err, Err(MachineConfigError::ZeroStructure));
+        let err = MachineConfigBuilder::new().memory_latency_ns(0.0).build();
+        assert_eq!(err, Err(MachineConfigError::NonPositiveMemoryLatency));
     }
 }

@@ -153,7 +153,9 @@ impl<T> PerDomain<T> {
 
     /// Iterates over `(Domain, &T)` pairs in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (Domain, &T)> {
-        Domain::ALL.iter().map(move |&d| (d, &self.values[d.index()]))
+        Domain::ALL
+            .iter()
+            .map(move |&d| (d, &self.values[d.index()]))
     }
 
     /// Iterates over `(Domain, &mut T)` pairs in canonical order.

@@ -106,7 +106,10 @@ impl EventTrace {
     /// an unknown event.
     pub fn push_edge(&mut self, from: EventId, to: EventId) {
         debug_assert!(from < to, "edges must point forward: {from} -> {to}");
-        debug_assert!((to as usize) < self.events.len(), "edge target out of range");
+        debug_assert!(
+            (to as usize) < self.events.len(),
+            "edge target out of range"
+        );
         self.edges.push(EventEdge { from, to });
     }
 

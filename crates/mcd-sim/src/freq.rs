@@ -155,8 +155,16 @@ impl VoltageMap {
     /// # Panics
     ///
     /// Panics if the frequency or voltage ranges are inverted or degenerate.
-    pub fn new(min_freq: MegaHertz, max_freq: MegaHertz, min_volts: Volts, max_volts: Volts) -> Self {
-        assert!(min_freq.as_mhz() < max_freq.as_mhz(), "frequency range inverted");
+    pub fn new(
+        min_freq: MegaHertz,
+        max_freq: MegaHertz,
+        min_volts: Volts,
+        max_volts: Volts,
+    ) -> Self {
+        assert!(
+            min_freq.as_mhz() < max_freq.as_mhz(),
+            "frequency range inverted"
+        );
         assert!(
             min_volts.as_volts() < max_volts.as_volts(),
             "voltage range inverted"
@@ -275,18 +283,39 @@ mod tests {
     #[test]
     fn grid_quantize_up() {
         let grid = FrequencyGrid::default();
-        assert_eq!(grid.quantize_up(MegaHertz::new(251.0)), MegaHertz::new(275.0));
-        assert_eq!(grid.quantize_up(MegaHertz::new(275.0)), MegaHertz::new(275.0));
-        assert_eq!(grid.quantize_up(MegaHertz::new(100.0)), MegaHertz::new(250.0));
-        assert_eq!(grid.quantize_up(MegaHertz::new(5000.0)), MegaHertz::new(1000.0));
+        assert_eq!(
+            grid.quantize_up(MegaHertz::new(251.0)),
+            MegaHertz::new(275.0)
+        );
+        assert_eq!(
+            grid.quantize_up(MegaHertz::new(275.0)),
+            MegaHertz::new(275.0)
+        );
+        assert_eq!(
+            grid.quantize_up(MegaHertz::new(100.0)),
+            MegaHertz::new(250.0)
+        );
+        assert_eq!(
+            grid.quantize_up(MegaHertz::new(5000.0)),
+            MegaHertz::new(1000.0)
+        );
     }
 
     #[test]
     fn grid_quantize_nearest() {
         let grid = FrequencyGrid::default();
-        assert_eq!(grid.quantize_nearest(MegaHertz::new(260.0)), MegaHertz::new(250.0));
-        assert_eq!(grid.quantize_nearest(MegaHertz::new(264.0)), MegaHertz::new(275.0));
-        assert_eq!(grid.quantize_nearest(MegaHertz::new(999.0)), MegaHertz::new(1000.0));
+        assert_eq!(
+            grid.quantize_nearest(MegaHertz::new(260.0)),
+            MegaHertz::new(250.0)
+        );
+        assert_eq!(
+            grid.quantize_nearest(MegaHertz::new(264.0)),
+            MegaHertz::new(275.0)
+        );
+        assert_eq!(
+            grid.quantize_nearest(MegaHertz::new(999.0)),
+            MegaHertz::new(1000.0)
+        );
     }
 
     #[test]

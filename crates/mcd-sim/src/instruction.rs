@@ -78,7 +78,10 @@ impl InstrClass {
 
     /// Whether this is a floating-point operation.
     pub fn is_fp(self) -> bool {
-        matches!(self, InstrClass::FpAdd | InstrClass::FpMul | InstrClass::FpDiv)
+        matches!(
+            self,
+            InstrClass::FpAdd | InstrClass::FpMul | InstrClass::FpDiv
+        )
     }
 }
 
@@ -307,9 +310,11 @@ mod tests {
 
         let br = Instr::branch(0x2000, true, 0x3000);
         assert_eq!(br.class, InstrClass::Branch);
-        assert_eq!(br.branch.unwrap().taken, true);
+        assert!(br.branch.unwrap().taken);
 
-        let fp = Instr::op(0x4000, InstrClass::FpMul).with_dep1(1).with_dep2(2);
+        let fp = Instr::op(0x4000, InstrClass::FpMul)
+            .with_dep1(1)
+            .with_dep2(2);
         assert_eq!(fp.dep2, Some(2));
     }
 

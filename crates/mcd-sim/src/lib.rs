@@ -62,7 +62,7 @@ pub mod stats;
 pub mod sync;
 pub mod time;
 
-pub use config::MachineConfig;
+pub use config::{MachineConfig, MachineConfigError};
 pub use domain::{Domain, PerDomain};
 pub use instruction::{Instr, InstrClass, Marker, TraceItem};
 pub use reconfig::FrequencySetting;

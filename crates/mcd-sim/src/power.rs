@@ -149,7 +149,10 @@ mod tests {
     fn default_weights_sum_to_one() {
         let pm = PowerModel::default();
         let sum: f64 = Domain::ALL.iter().map(|&d| pm.power_factor(d)).sum();
-        assert!((sum - 1.0).abs() < 1e-9, "active weights should sum to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "active weights should sum to 1, got {sum}"
+        );
     }
 
     #[test]
@@ -171,11 +174,25 @@ mod tests {
     #[test]
     fn idle_energy_scales_with_frequency_and_time() {
         let pm = PowerModel::default();
-        let slow = pm.idle_energy(Domain::FrontEnd, MegaHertz::new(250.0), TimeNs::new(1000.0), 1.0);
-        let fast = pm.idle_energy(Domain::FrontEnd, MegaHertz::new(1000.0), TimeNs::new(1000.0), 1.0);
+        let slow = pm.idle_energy(
+            Domain::FrontEnd,
+            MegaHertz::new(250.0),
+            TimeNs::new(1000.0),
+            1.0,
+        );
+        let fast = pm.idle_energy(
+            Domain::FrontEnd,
+            MegaHertz::new(1000.0),
+            TimeNs::new(1000.0),
+            1.0,
+        );
         assert!((fast.as_units() / slow.as_units() - 4.0).abs() < 1e-9);
-        let half_time =
-            pm.idle_energy(Domain::FrontEnd, MegaHertz::new(1000.0), TimeNs::new(500.0), 1.0);
+        let half_time = pm.idle_energy(
+            Domain::FrontEnd,
+            MegaHertz::new(1000.0),
+            TimeNs::new(500.0),
+            1.0,
+        );
         assert!((fast.as_units() / half_time.as_units() - 2.0).abs() < 1e-9);
     }
 
@@ -183,13 +200,29 @@ mod tests {
     fn account_accumulates_per_domain() {
         let pm = PowerModel::default();
         let mut acct = EnergyAccount::new();
-        acct.charge_active(Domain::Memory, pm.active_energy(Domain::Memory, 10.0, 1.0), 10.0);
+        acct.charge_active(
+            Domain::Memory,
+            pm.active_energy(Domain::Memory, 10.0, 1.0),
+            10.0,
+        );
         acct.charge_idle(
             Domain::Memory,
-            pm.idle_energy(Domain::Memory, MegaHertz::new(1000.0), TimeNs::new(10.0), 1.0),
+            pm.idle_energy(
+                Domain::Memory,
+                MegaHertz::new(1000.0),
+                TimeNs::new(10.0),
+                1.0,
+            ),
         );
-        acct.charge_active(Domain::Integer, pm.active_energy(Domain::Integer, 5.0, 1.0), 5.0);
-        assert!(acct.domain_total(Domain::Memory).as_units() > acct.domain_active(Domain::Memory).as_units());
+        acct.charge_active(
+            Domain::Integer,
+            pm.active_energy(Domain::Integer, 5.0, 1.0),
+            5.0,
+        );
+        assert!(
+            acct.domain_total(Domain::Memory).as_units()
+                > acct.domain_active(Domain::Memory).as_units()
+        );
         assert_eq!(acct.domain_active_cycles(Domain::Memory), 10.0);
         assert_eq!(acct.domain_idle(Domain::Integer).as_units(), 0.0);
         let total = acct.total().as_units();

@@ -218,8 +218,7 @@ impl DvfsEngine {
 
     /// The dynamic-energy scale factor `(V/Vmax)^2` of `domain` at time `now`.
     pub fn energy_scale(&self, domain: Domain, now: TimeNs) -> f64 {
-        self.voltage_map
-            .energy_scale(self.frequency(domain, now))
+        self.voltage_map.energy_scale(self.frequency(domain, now))
     }
 
     /// The target frequency the domain is ramping toward (or sitting at).
@@ -321,7 +320,10 @@ mod tests {
     #[test]
     fn engine_retarget_mid_ramp_starts_from_instantaneous_frequency() {
         let mut dvfs = DvfsEngine::default();
-        dvfs.write_register(FrequencySetting::uniform(MegaHertz::new(250.0)), TimeNs::ZERO);
+        dvfs.write_register(
+            FrequencySetting::uniform(MegaHertz::new(250.0)),
+            TimeNs::ZERO,
+        );
         // Halfway through the downward ramp, retarget back to full speed.
         let mid = TimeNs::from_us(27.0);
         let f_mid = dvfs.frequency(Domain::Integer, mid);
@@ -340,7 +342,10 @@ mod tests {
     #[test]
     fn voltage_follows_frequency() {
         let mut dvfs = DvfsEngine::default();
-        dvfs.write_register(FrequencySetting::uniform(MegaHertz::new(250.0)), TimeNs::ZERO);
+        dvfs.write_register(
+            FrequencySetting::uniform(MegaHertz::new(250.0)),
+            TimeNs::ZERO,
+        );
         let late = TimeNs::from_us(100.0);
         let v = dvfs.voltage(Domain::FloatingPoint, late);
         assert!((v.as_volts() - 0.65).abs() < 1e-9);
@@ -353,7 +358,10 @@ mod tests {
     #[test]
     fn reset_returns_to_full_speed() {
         let mut dvfs = DvfsEngine::default();
-        dvfs.write_register(FrequencySetting::uniform(MegaHertz::new(300.0)), TimeNs::ZERO);
+        dvfs.write_register(
+            FrequencySetting::uniform(MegaHertz::new(300.0)),
+            TimeNs::ZERO,
+        );
         dvfs.reset();
         assert_eq!(
             dvfs.frequency(Domain::Integer, TimeNs::from_us(500.0)),

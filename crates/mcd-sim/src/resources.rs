@@ -139,7 +139,10 @@ impl OccupancyQueue {
         }
         let start = if self.departures.len() >= self.capacity {
             // Wait for the oldest occupant to depart.
-            let oldest = self.departures.pop_front().expect("full queue is non-empty");
+            let oldest = self
+                .departures
+                .pop_front()
+                .expect("full queue is non-empty");
             ready.max(oldest)
         } else {
             ready
@@ -271,7 +274,10 @@ mod tests {
         let s = pool.acquire(TimeNs::new(4.0), TimeNs::new(1.0));
         assert_eq!(s.as_ns(), 10.0);
         pool.reset();
-        assert_eq!(pool.acquire(TimeNs::new(0.0), TimeNs::new(1.0)).as_ns(), 0.0);
+        assert_eq!(
+            pool.acquire(TimeNs::new(0.0), TimeNs::new(1.0)).as_ns(),
+            0.0
+        );
         assert_eq!(pool.len(), 4);
         assert!(!pool.is_empty());
     }

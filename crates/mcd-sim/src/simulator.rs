@@ -17,13 +17,13 @@
 //! (the on-line attack–decay controller), and may request reconfiguration
 //! register writes and charge instrumentation overhead.
 
+use crate::branch::BranchPredictor;
 use crate::cache::{AccessOutcome, CacheHierarchy};
 use crate::config::MachineConfig;
 use crate::domain::{Domain, PerDomain};
 use crate::events::{EventKind, EventTrace, PrimitiveEvent};
 use crate::instruction::{InstrClass, Marker, TraceItem};
 use crate::power::{EnergyAccount, PowerModel};
-use crate::branch::BranchPredictor;
 use crate::reconfig::{DvfsEngine, FrequencySetting};
 use crate::resources::{OccupancyQueue, StagePacer, UnitPool};
 use crate::stats::{IntervalStats, SimStats};
@@ -327,8 +327,7 @@ impl Simulator {
 
         st.stats.run_time = st.last_commit;
         st.stats.total_energy = st.power_acct.total();
-        st.stats.domain_energy =
-            PerDomain::from_fn(|d| st.power_acct.domain_total(d).as_units());
+        st.stats.domain_energy = PerDomain::from_fn(|d| st.power_acct.domain_total(d).as_units());
         st.stats.domain_active_cycles =
             PerDomain::from_fn(|d| st.power_acct.domain_active_cycles(d));
         st.stats.sync_crossings = st.sync.crossings();
@@ -409,9 +408,13 @@ impl Simulator {
         if icache_outcome.missed_l1() {
             // The L2 lives in the memory domain: cross, access, cross back.
             let mem_freq = st.dvfs.frequency(Domain::Memory, fetch_start);
-            let c1 = st
-                .sync
-                .crossing(Domain::FrontEnd, fe_freq, Domain::Memory, mem_freq, fetch_start);
+            let c1 = st.sync.crossing(
+                Domain::FrontEnd,
+                fe_freq,
+                Domain::Memory,
+                mem_freq,
+                fetch_start,
+            );
             let l2_time = mem_freq.cycles_to_time(cfg.l2.latency_cycles as f64);
             let c2 = st.sync.crossing(
                 Domain::Memory,
@@ -421,10 +424,20 @@ impl Simulator {
                 fetch_start + l2_time,
             );
             fetch_latency += c1.penalty + l2_time + c2.penalty;
-            self.charge_active(st, Domain::Memory, cfg.l2.latency_cycles as f64, fetch_start);
+            self.charge_active(
+                st,
+                Domain::Memory,
+                cfg.l2.latency_cycles as f64,
+                fetch_start,
+            );
             if icache_outcome.missed_l2() {
                 fetch_latency += TimeNs::new(cfg.memory_latency_ns);
-                self.charge_active(st, Domain::External, MEMORY_ACCESS_ACTIVE_CYCLES, fetch_start);
+                self.charge_active(
+                    st,
+                    Domain::External,
+                    MEMORY_ACCESS_ACTIVE_CYCLES,
+                    fetch_start,
+                );
             }
         }
         let fetch_end = fetch_start + fetch_latency;
@@ -479,9 +492,13 @@ impl Simulator {
                 let (prod_done, prod_domain) = st.dep_ring[producer_idx];
                 let mut ready = prod_done;
                 if prod_domain != exec_domain {
-                    let c = st
-                        .sync
-                        .crossing(prod_domain, st.dvfs.frequency(prod_domain, prod_done), exec_domain, exec_freq, prod_done);
+                    let c = st.sync.crossing(
+                        prod_domain,
+                        st.dvfs.frequency(prod_domain, prod_done),
+                        exec_domain,
+                        exec_freq,
+                        prod_done,
+                    );
                     ready += c.penalty;
                 }
                 issue_ready = issue_ready.max(ready);
@@ -542,16 +559,14 @@ impl Simulator {
                 taken: false,
                 target: instr.pc + 4,
             });
-            let outcome = st.branch.predict_and_update(instr.pc, info.taken, info.target);
+            let outcome = st
+                .branch
+                .predict_and_update(instr.pc, info.taken, info.target);
             if outcome.mispredicted {
                 was_mispredicted = true;
-                let c = st.sync.crossing(
-                    exec_domain,
-                    exec_freq,
-                    Domain::FrontEnd,
-                    fe_freq,
-                    complete,
-                );
+                let c =
+                    st.sync
+                        .crossing(exec_domain, exec_freq, Domain::FrontEnd, fe_freq, complete);
                 st.redirect_time = complete
                     + c.penalty
                     + fe_freq.cycles_to_time(cfg.branch.mispredict_penalty as f64);
@@ -561,7 +576,9 @@ impl Simulator {
         // ------------------------------------------------------------------
         // Commit (in order, in the front-end domain).
         // ------------------------------------------------------------------
-        let back = st.sync.crossing(exec_domain, exec_freq, Domain::FrontEnd, fe_freq, complete);
+        let back = st
+            .sync
+            .crossing(exec_domain, exec_freq, Domain::FrontEnd, fe_freq, complete);
         let commit_ready = (complete + back.penalty).max(st.last_commit);
         let commit_time = st.retire_pacer.admit(commit_ready, fe_period);
 
@@ -579,13 +596,13 @@ impl Simulator {
         // ------------------------------------------------------------------
         // Event recording for off-line analysis.
         // ------------------------------------------------------------------
-        if st.events.is_some() {
+        if let Some(mut events) = st.events.take() {
             let region = st.current_region;
             let fe_pf = self.power.power_factor(Domain::FrontEnd);
             let ex_pf = self.power.power_factor(exec_domain);
             let (fe_id, ex_id, cm_id);
             {
-                let events = st.events.as_mut().expect("checked above");
+                let events = &mut events;
                 fe_id = events.push_event(PrimitiveEvent {
                     instr_index: i as u32,
                     kind: EventKind::FrontEnd,
@@ -665,6 +682,7 @@ impl Simulator {
             st.prev_fe_event = Some(fe_id);
             st.prev_cm_event = Some(cm_id);
             st.dep_event_ring[(i as usize) % DEP_RING] = ex_id;
+            st.events = Some(events);
         }
 
         // ------------------------------------------------------------------
@@ -681,7 +699,7 @@ impl Simulator {
 
         // Instruction-window callback (used by the off-line oracle).
         if let Some(window) = hooks.instruction_window() {
-            if window > 0 && st.instr_index % window == 0 {
+            if window > 0 && st.instr_index.is_multiple_of(window) {
                 let idx = st.instr_index / window;
                 if let Some(setting) = hooks.on_instruction_window(idx, st.last_commit) {
                     st.dvfs.write_register(setting, st.last_commit);
@@ -715,7 +733,7 @@ impl Simulator {
                     st.stats.reconfigurations += 1;
                 }
                 st.interval_start = st.next_interval;
-                st.next_interval = st.next_interval + TimeNs::new(interval);
+                st.next_interval += TimeNs::new(interval);
                 st.interval_instrs = 0;
                 st.interval_active = PerDomain::default();
                 st.interval_queue_util = PerDomain::default();
@@ -726,8 +744,11 @@ impl Simulator {
 
     fn charge_active(&self, st: &mut RunState, domain: Domain, cycles: f64, at: TimeNs) {
         let scale = st.dvfs.energy_scale(domain, at);
-        st.power_acct
-            .charge_active(domain, self.power.active_energy(domain, cycles, scale), cycles);
+        st.power_acct.charge_active(
+            domain,
+            self.power.active_energy(domain, cycles, scale),
+            cycles,
+        );
     }
 }
 
@@ -786,7 +807,10 @@ mod tests {
         let a = sim.run(mixed_trace(2000), &mut NullHooks, false);
         let b = sim.run(mixed_trace(2000), &mut NullHooks, false);
         assert_eq!(a.stats.run_time, b.stats.run_time);
-        assert_eq!(a.stats.total_energy.as_units(), b.stats.total_energy.as_units());
+        assert_eq!(
+            a.stats.total_energy.as_units(),
+            b.stats.total_energy.as_units()
+        );
         assert_eq!(a.stats.sync_stalls, b.stats.sync_stalls);
     }
 
@@ -849,7 +873,8 @@ mod tests {
             MachineConfig::default()
                 .to_builder()
                 .synchronization(false)
-                .build(),
+                .build()
+                .expect("default config with sync disabled is valid"),
         );
         let mcd_run = mcd.run(mixed_trace(n), &mut NullHooks, false);
         let gs_run = gs.run(mixed_trace(n), &mut NullHooks, false);
@@ -858,7 +883,10 @@ mod tests {
         let penalty = (mcd_run.stats.run_time.as_ns() - gs_run.stats.run_time.as_ns())
             / gs_run.stats.run_time.as_ns();
         assert!(penalty > 0.0, "MCD must be slower than fully synchronous");
-        assert!(penalty < 0.15, "MCD penalty should be modest, got {penalty}");
+        assert!(
+            penalty < 0.15,
+            "MCD penalty should be modest, got {penalty}"
+        );
     }
 
     #[test]
@@ -917,7 +945,11 @@ mod tests {
             fn interval_ns(&self) -> Option<f64> {
                 Some(200.0)
             }
-            fn on_interval(&mut self, stats: &IntervalStats, _now: TimeNs) -> Option<FrequencySetting> {
+            fn on_interval(
+                &mut self,
+                stats: &IntervalStats,
+                _now: TimeNs,
+            ) -> Option<FrequencySetting> {
                 assert!(stats.elapsed.as_ns() > 0.0);
                 self.calls += 1;
                 None
@@ -926,7 +958,11 @@ mod tests {
         let sim = Simulator::new(MachineConfig::default());
         let mut hooks = CountIntervals { calls: 0 };
         let res = sim.run(mixed_trace(5000), &mut hooks, false);
-        assert!(hooks.calls > 2, "expected several intervals, got {}", hooks.calls);
+        assert!(
+            hooks.calls > 2,
+            "expected several intervals, got {}",
+            hooks.calls
+        );
         assert!(res.stats.run_time.as_ns() > 400.0);
     }
 
@@ -934,7 +970,7 @@ mod tests {
     fn memory_bound_code_uses_external_domain_energy() {
         // Loads with a huge working set will miss in L2 and touch main memory.
         let trace: Vec<TraceItem> = (0..3000)
-            .map(|i| TraceItem::Instr(Instr::load(0x100 + (i % 16) * 4, (i as u64) * 4096)))
+            .map(|i| TraceItem::Instr(Instr::load(0x100 + (i % 16) * 4, i * 4096)))
             .collect();
         let sim = Simulator::new(MachineConfig::default());
         let res = sim.run(trace, &mut NullHooks, false);

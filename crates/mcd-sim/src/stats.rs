@@ -85,7 +85,10 @@ impl RelativeMetrics {
     ///
     /// Panics if the baseline has zero run time or energy.
     pub fn relative_to(run: &SimStats, baseline: &SimStats) -> Self {
-        assert!(baseline.run_time.as_ns() > 0.0, "baseline run time must be positive");
+        assert!(
+            baseline.run_time.as_ns() > 0.0,
+            "baseline run time must be positive"
+        );
         assert!(
             baseline.total_energy.as_units() > 0.0,
             "baseline energy must be positive"

@@ -31,7 +31,11 @@ impl JitterRng {
     /// non-zero constant (xorshift cannot operate on an all-zero state).
     pub fn new(seed: u64) -> Self {
         JitterRng {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -288,7 +292,10 @@ mod tests {
         let rate = sync.stall_rate();
         // The stall region is the 300 ps window before each consumer edge out of
         // a 1000 ps period, so matched full-speed crossings stall ~30% of the time.
-        assert!(rate > 0.22 && rate < 0.38, "rate {rate} out of expected band");
+        assert!(
+            rate > 0.22 && rate < 0.38,
+            "rate {rate} out of expected band"
+        );
     }
 
     #[test]

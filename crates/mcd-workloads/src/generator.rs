@@ -15,9 +15,8 @@
 use crate::input::InputSet;
 use crate::mix::InstructionMix;
 use crate::program::{Element, InputKind, Program, Subroutine};
+use crate::rng::WorkloadRng;
 use mcd_sim::instruction::{CallSiteId, Instr, InstrClass, Marker, TraceItem};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Call-site value used for the program entry point (`main` has no caller).
 pub const ROOT_CALL_SITE: CallSiteId = CallSiteId(u32::MAX);
@@ -42,7 +41,7 @@ impl<'a> TraceGenerator<'a> {
             input_kind: input.kind,
             budget: input.max_instructions,
             emitted: 0,
-            rng: StdRng::seed_from_u64(input.seed ^ hash_name(&self.program.name)),
+            rng: WorkloadRng::seed_from_u64(input.seed ^ hash_name(&self.program.name)),
             trace: Vec::with_capacity(input.max_instructions.min(1 << 22) as usize),
             block_positions: 0,
         };
@@ -72,7 +71,7 @@ struct GenContext<'a> {
     input_kind: InputKind,
     budget: u64,
     emitted: u64,
-    rng: StdRng,
+    rng: WorkloadRng,
     trace: Vec<TraceItem>,
     /// Monotone counter giving each block execution a distinct phase for its
     /// strided address stream.
@@ -98,7 +97,13 @@ impl GenContext<'_> {
         }));
     }
 
-    fn emit_elements(&mut self, elements: &[Element], sub: &Subroutine, depth: u32, intensity: f64) {
+    fn emit_elements(
+        &mut self,
+        elements: &[Element],
+        sub: &Subroutine,
+        depth: u32,
+        intensity: f64,
+    ) {
         for (idx, element) in elements.iter().enumerate() {
             if self.exhausted() {
                 return;
@@ -162,7 +167,7 @@ impl GenContext<'_> {
                 return;
             }
             let pc = pc_base + (i as u64) * 4;
-            let draw: f64 = self.rng.gen();
+            let draw: f64 = self.rng.next_f64();
             let class = cumulative
                 .iter()
                 .find(|(_, c)| draw <= *c)
@@ -175,7 +180,7 @@ impl GenContext<'_> {
                     let offset = if mix.stride_bytes > 0 {
                         (position * mix.stride_bytes) % working_set
                     } else {
-                        (self.rng.gen::<u64>() % working_set) & !0x7
+                        (self.rng.next_u64() % working_set) & !0x7
                     };
                     if class == InstrClass::Load {
                         Instr::load(pc, data_base + offset)
@@ -184,12 +189,12 @@ impl GenContext<'_> {
                     }
                 }
                 InstrClass::Branch => {
-                    let irregular = self.rng.gen::<f64>() < mix.branch_irregularity;
+                    let irregular = self.rng.next_f64() < mix.branch_irregularity;
                     let taken = if irregular {
-                        self.rng.gen::<f64>() < mix.branch_taken_rate
+                        self.rng.next_f64() < mix.branch_taken_rate
                     } else {
                         // Biased branch: almost always taken.
-                        self.rng.gen::<f64>() < 0.97
+                        self.rng.next_f64() < 0.97
                     };
                     Instr::branch(pc, taken, pc + 32)
                 }
@@ -202,7 +207,7 @@ impl GenContext<'_> {
             if let Some(d) = d1 {
                 instr = instr.with_dep1(d);
             }
-            if self.rng.gen::<f64>() < 0.4 {
+            if self.rng.next_f64() < 0.4 {
                 if let Some(d) = self.sample_dependence(mix.dep_distance_mean * 2.0, i) {
                     instr = instr.with_dep2(d);
                 }
@@ -216,7 +221,7 @@ impl GenContext<'_> {
             return None;
         }
         // Geometric-ish sample: -mean * ln(U) rounded up, clamped to [1, 64].
-        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u: f64 = self.rng.next_f64().max(1e-12);
         let d = (-(mean.max(1.0)) * u.ln()).ceil();
         let d = d.clamp(1.0, 64.0) as u16;
         Some(d)
@@ -231,10 +236,7 @@ impl GenContext<'_> {
 fn block_pc_base(sub_id: u32, depth: u32, index: u32) -> u64 {
     // Deterministic, well-spread static code addresses: one 64 KB region per
     // subroutine, sub-regions per nesting depth and element index.
-    0x0040_0000u64
-        + (sub_id as u64) * 0x1_0000
-        + (depth as u64) * 0x2000
-        + (index as u64) * 0x400
+    0x0040_0000u64 + (sub_id as u64) * 0x1_0000 + (depth as u64) * 0x2000 + (index as u64) * 0x400
 }
 
 #[cfg(test)]
@@ -337,7 +339,10 @@ mod tests {
             .filter(|i| i.class.is_fp())
             .count();
         let total = instr_count(&trace) as usize;
-        assert!(fp > total / 10, "expected a noticeable FP fraction, got {fp}/{total}");
+        assert!(
+            fp > total / 10,
+            "expected a noticeable FP fraction, got {fp}/{total}"
+        );
     }
 
     #[test]

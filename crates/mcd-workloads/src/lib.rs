@@ -30,6 +30,7 @@ pub mod input;
 pub mod mix;
 pub mod program;
 pub mod programs;
+pub mod rng;
 pub mod suite;
 
 pub use generator::{generate_trace, TraceGenerator};

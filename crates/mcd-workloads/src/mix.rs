@@ -138,7 +138,6 @@ impl InstructionMix {
             stride_bytes: 0,
             branch_taken_rate: 0.52,
             branch_irregularity: 0.55,
-            ..InstructionMix::default()
         }
         .normalized()
     }
@@ -160,7 +159,6 @@ impl InstructionMix {
             stride_bytes: 8,
             branch_taken_rate: 0.85,
             branch_irregularity: 0.05,
-            ..InstructionMix::default()
         }
         .normalized()
     }
@@ -182,7 +180,6 @@ impl InstructionMix {
             stride_bytes: 8,
             branch_taken_rate: 0.92,
             branch_irregularity: 0.02,
-            ..InstructionMix::default()
         }
         .normalized()
     }
@@ -204,7 +201,6 @@ impl InstructionMix {
             stride_bytes: 8,
             branch_taken_rate: 0.9,
             branch_irregularity: 0.03,
-            ..InstructionMix::default()
         }
         .normalized()
     }
@@ -227,7 +223,6 @@ impl InstructionMix {
             stride_bytes: 0,
             branch_taken_rate: 0.5,
             branch_irregularity: 0.35,
-            ..InstructionMix::default()
         }
         .normalized()
     }
@@ -249,7 +244,6 @@ impl InstructionMix {
             stride_bytes: 64,
             branch_taken_rate: 0.93,
             branch_irregularity: 0.02,
-            ..InstructionMix::default()
         }
         .normalized()
     }
@@ -271,7 +265,6 @@ impl InstructionMix {
             stride_bytes: 4,
             branch_taken_rate: 0.6,
             branch_irregularity: 0.25,
-            ..InstructionMix::default()
         }
         .normalized()
     }

@@ -301,10 +301,8 @@ pub struct BodyBuilder<'a> {
 impl BodyBuilder<'_> {
     /// Appends a straight-line compute block of `instructions` instructions.
     pub fn block(&mut self, instructions: u32, mix: InstructionMix) -> &mut Self {
-        self.elements.push(Element::Block(BlockSpec {
-            instructions,
-            mix,
-        }));
+        self.elements
+            .push(Element::Block(BlockSpec { instructions, mix }));
         self
     }
 

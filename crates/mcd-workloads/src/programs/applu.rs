@@ -45,9 +45,13 @@ fn solver_subroutine(
         s.repeat(format!("{name}_lower"), TripCount::Fixed(first_rows), |l| {
             l.block(900, mix.clone());
         });
-        s.repeat(format!("{name}_upper"), TripCount::Fixed(second_rows), |l| {
-            l.block(850, mix.clone());
-        });
+        s.repeat(
+            format!("{name}_upper"),
+            TripCount::Fixed(second_rows),
+            |l| {
+                l.block(850, mix.clone());
+            },
+        );
     })
 }
 

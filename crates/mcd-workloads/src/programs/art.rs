@@ -115,11 +115,8 @@ mod tests {
         assert_eq!(inner, 7, "the core loop should contain seven sub-loops");
     }
 
-    #[test]
-    fn sub_loops_are_individually_short_but_the_outer_loop_is_long() {
-        // Each sub-loop: 4 iterations * <200 instructions < 10k.
-        assert!(4 * 190 < 10_000);
-        // The enclosing f1_layer_pass: 5 * 7 * ~4 * ~170 > 10k.
-        assert!(5 * 7 * 4 * 160 > 10_000);
-    }
+    // Sizing invariant (kept as arithmetic, not a runtime test): each
+    // sub-loop runs 4 iterations of <200 instructions — under the 10k
+    // long-running threshold — while the enclosing f1_layer_pass
+    // (5 * 7 * ~4 * ~170 instructions) clears it.
 }

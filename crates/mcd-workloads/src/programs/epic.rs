@@ -206,6 +206,9 @@ mod tests {
             .filter(|i| i.class.is_fp())
             .count();
         let total = trace.iter().filter(|t| t.as_instr().is_some()).count();
-        assert!(fp * 4 > total, "expected > 25% FP instructions, got {fp}/{total}");
+        assert!(
+            fp * 4 > total,
+            "expected > 25% FP instructions, got {fp}/{total}"
+        );
     }
 }

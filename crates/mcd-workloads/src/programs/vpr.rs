@@ -89,22 +89,14 @@ pub fn vpr() -> (Program, InputPair) {
         // window lands in the router.
         s.input_dependent(
             |training| {
-                training.repeat(
-                    "anneal_outer",
-                    TripCount::Fixed(8),
-                    |l| {
-                        l.call(place);
-                    },
-                );
+                training.repeat("anneal_outer", TripCount::Fixed(8), |l| {
+                    l.call(place);
+                });
             },
             |reference| {
-                reference.repeat(
-                    "route_outer",
-                    TripCount::Fixed(10),
-                    |l| {
-                        l.call(route);
-                    },
-                );
+                reference.repeat("route_outer", TripCount::Fixed(10), |l| {
+                    l.call(route);
+                });
             },
         );
     });

@@ -1,0 +1,101 @@
+//! A small, deterministic pseudo-random number generator for trace expansion.
+//!
+//! The workload generator only needs a seedable, reproducible stream of
+//! uniform draws; it does not need cryptographic quality. This xoshiro256++
+//! implementation keeps the crate dependency-free while giving a
+//! well-distributed stream (the same algorithm family `rand`'s small RNGs use).
+//!
+//! ```
+//! use mcd_workloads::rng::WorkloadRng;
+//! let mut a = WorkloadRng::seed_from_u64(7);
+//! let mut b = WorkloadRng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let u = a.next_f64();
+//! assert!((0.0..1.0).contains(&u));
+//! ```
+
+/// Deterministic xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadRng {
+    state: [u64; 4],
+}
+
+impl WorkloadRng {
+    /// Creates a generator from a 64-bit seed, expanding it with SplitMix64 as
+    /// the xoshiro authors recommend.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        WorkloadRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = WorkloadRng::seed_from_u64(123);
+        let mut b = WorkloadRng::seed_from_u64(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mut a = WorkloadRng::seed_from_u64(1);
+        let mut b = WorkloadRng::seed_from_u64(2);
+        let same = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_draws_cover_the_unit_interval() {
+        let mut rng = WorkloadRng::seed_from_u64(99);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut low = 0usize;
+        for _ in 0..n {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+            if u < 0.5 {
+                low += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+        let frac_low = low as f64 / n as f64;
+        assert!((frac_low - 0.5).abs() < 0.01);
+    }
+}

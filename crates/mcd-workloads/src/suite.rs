@@ -40,11 +40,7 @@ pub struct Benchmark {
 }
 
 impl Benchmark {
-    fn new(
-        name: &'static str,
-        suite: SuiteKind,
-        (program, inputs): (Program, InputPair),
-    ) -> Self {
+    fn new(name: &'static str, suite: SuiteKind, (program, inputs): (Program, InputPair)) -> Self {
         Benchmark {
             name,
             suite,
@@ -57,22 +53,58 @@ impl Benchmark {
 /// All nineteen benchmarks, in the order the paper's tables list them.
 pub fn suite() -> Vec<Benchmark> {
     vec![
-        Benchmark::new("adpcm decode", SuiteKind::MediaBench, programs::adpcm::decode()),
-        Benchmark::new("adpcm encode", SuiteKind::MediaBench, programs::adpcm::encode()),
-        Benchmark::new("epic decode", SuiteKind::MediaBench, programs::epic::decode()),
-        Benchmark::new("epic encode", SuiteKind::MediaBench, programs::epic::encode()),
-        Benchmark::new("g721 decode", SuiteKind::MediaBench, programs::g721::decode()),
-        Benchmark::new("g721 encode", SuiteKind::MediaBench, programs::g721::encode()),
+        Benchmark::new(
+            "adpcm decode",
+            SuiteKind::MediaBench,
+            programs::adpcm::decode(),
+        ),
+        Benchmark::new(
+            "adpcm encode",
+            SuiteKind::MediaBench,
+            programs::adpcm::encode(),
+        ),
+        Benchmark::new(
+            "epic decode",
+            SuiteKind::MediaBench,
+            programs::epic::decode(),
+        ),
+        Benchmark::new(
+            "epic encode",
+            SuiteKind::MediaBench,
+            programs::epic::encode(),
+        ),
+        Benchmark::new(
+            "g721 decode",
+            SuiteKind::MediaBench,
+            programs::g721::decode(),
+        ),
+        Benchmark::new(
+            "g721 encode",
+            SuiteKind::MediaBench,
+            programs::g721::encode(),
+        ),
         Benchmark::new("gsm decode", SuiteKind::MediaBench, programs::gsm::decode()),
         Benchmark::new("gsm encode", SuiteKind::MediaBench, programs::gsm::encode()),
-        Benchmark::new("jpeg compress", SuiteKind::MediaBench, programs::jpeg::compress()),
+        Benchmark::new(
+            "jpeg compress",
+            SuiteKind::MediaBench,
+            programs::jpeg::compress(),
+        ),
         Benchmark::new(
             "jpeg decompress",
             SuiteKind::MediaBench,
             programs::jpeg::decompress(),
         ),
-        Benchmark::new("mpeg2 decode", SuiteKind::MediaBench, programs::mpeg2::decode()),
-        Benchmark::new("mpeg2 encode", SuiteKind::MediaBench, programs::mpeg2::encode()),
+        Benchmark::new(
+            "mpeg2 decode",
+            SuiteKind::MediaBench,
+            programs::mpeg2::decode(),
+        ),
+        Benchmark::new(
+            "mpeg2 encode",
+            SuiteKind::MediaBench,
+            programs::mpeg2::encode(),
+        ),
         Benchmark::new("gzip", SuiteKind::SpecInt, programs::gzip::gzip()),
         Benchmark::new("vpr", SuiteKind::SpecInt, programs::vpr::vpr()),
         Benchmark::new("mcf", SuiteKind::SpecInt, programs::mcf::mcf()),
@@ -102,7 +134,10 @@ mod tests {
     fn suite_has_nineteen_benchmarks() {
         let s = suite();
         assert_eq!(s.len(), 19);
-        let media = s.iter().filter(|b| b.suite == SuiteKind::MediaBench).count();
+        let media = s
+            .iter()
+            .filter(|b| b.suite == SuiteKind::MediaBench)
+            .count();
         let spec_int = s.iter().filter(|b| b.suite == SuiteKind::SpecInt).count();
         let spec_fp = s.iter().filter(|b| b.suite == SuiteKind::SpecFp).count();
         assert_eq!(media, 12);

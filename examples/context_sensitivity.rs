@@ -9,15 +9,20 @@
 //! cargo run --release --example context_sensitivity
 //! ```
 
-use mcd_dvfs::evaluation::{evaluate_profile, run_baseline, EvaluationConfig};
+use mcd_dvfs::error::{find_benchmark, run_main, McdError};
+use mcd_dvfs::evaluation::{evaluate_scheme, run_trace_baseline, EvaluationConfig};
+use mcd_dvfs::scheme::ProfileScheme;
+use mcd_dvfs::DvfsScheme;
 use mcd_profiling::context::ContextPolicy;
 use mcd_sim::config::MachineConfig;
-use mcd_workloads::suite;
+use mcd_workloads::generator::generate_trace;
+use std::process::ExitCode;
 
-fn main() {
-    let bench = suite::benchmark("mpeg2 decode").expect("mpeg2 decode is part of the suite");
+fn run() -> Result<(), McdError> {
+    let bench = find_benchmark("mpeg2 decode")?;
     let machine = MachineConfig::default();
-    let baseline = run_baseline(&bench, &machine);
+    let reference = generate_trace(&bench.program, &bench.inputs.reference);
+    let baseline = run_trace_baseline(&reference, &machine);
 
     println!("context sensitivity on `{}`", bench.name);
     println!(
@@ -32,8 +37,9 @@ fn main() {
     println!("{}", "-".repeat(80));
 
     for policy in ContextPolicy::ALL {
-        let config = EvaluationConfig::default().with_policy(policy);
-        let result = evaluate_profile(&bench, &config, &baseline);
+        let mut scheme = ProfileScheme::default();
+        scheme.configure(&EvaluationConfig::default().with_policy(policy))?;
+        let result = evaluate_scheme(&bench, &machine, &reference, &scheme, &baseline)?;
         println!(
             "{:<10} {:>13.1}% {:>15.1}% {:>21.1}% {:>14}",
             policy.abbreviation(),
@@ -51,4 +57,9 @@ fn main() {
          savings (and slightly higher slowdown) than the path-tracking policies, \
          exactly the behaviour the paper reports for mpeg2 decode."
     );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    run_main(run)
 }

@@ -7,17 +7,18 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use mcd_dvfs::error::{find_benchmark, run_main, McdError};
 use mcd_dvfs::evaluation::relative;
 use mcd_dvfs::profile::{train, TrainingConfig};
 use mcd_sim::config::MachineConfig;
 use mcd_sim::domain::Domain;
 use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_workloads::generator::generate_trace;
-use mcd_workloads::suite;
+use std::process::ExitCode;
 
-fn main() {
+fn run() -> Result<(), McdError> {
     // 1. Pick a benchmark from the suite (the MediaBench ADPCM decoder).
-    let bench = suite::benchmark("adpcm decode").expect("adpcm decode is part of the suite");
+    let bench = find_benchmark("adpcm decode")?;
     let machine = MachineConfig::default();
 
     // 2. Train on the small training input: profile, build the call tree, pick
@@ -62,8 +63,25 @@ fn main() {
     let metrics = relative(&controlled, &baseline);
     println!();
     println!("reference run ({} instructions):", baseline.instructions);
-    println!("  performance degradation:  {:.1}%", metrics.degradation_percent());
-    println!("  energy savings:           {:.1}%", metrics.energy_savings_percent());
-    println!("  energy-delay improvement: {:.1}%", metrics.energy_delay_percent());
-    println!("  register writes:          {}", controlled.reconfigurations);
+    println!(
+        "  performance degradation:  {:.1}%",
+        metrics.degradation_percent()
+    );
+    println!(
+        "  energy savings:           {:.1}%",
+        metrics.energy_savings_percent()
+    );
+    println!(
+        "  energy-delay improvement: {:.1}%",
+        metrics.energy_delay_percent()
+    );
+    println!(
+        "  register writes:          {}",
+        controlled.reconfigurations
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    run_main(run)
 }

@@ -9,15 +9,16 @@
 //! cargo run --release --example slowdown_sweep [benchmark-name]
 //! ```
 
+use mcd_dvfs::error::{find_benchmark, run_main, McdError};
 use mcd_dvfs::evaluation::{evaluate_benchmark, EvaluationConfig};
-use mcd_workloads::suite;
+use mcd_dvfs::scheme::names;
+use std::process::ExitCode;
 
-fn main() {
+fn run() -> Result<(), McdError> {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "jpeg compress".to_string());
-    let bench = suite::benchmark(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}`; see `mcd_workloads::suite`"));
+    let bench = find_benchmark(&name)?;
 
     println!("slowdown sweep on `{}`", bench.name);
     println!();
@@ -29,16 +30,18 @@ fn main() {
 
     for d in [0.02, 0.04, 0.07, 0.10, 0.14] {
         let config = EvaluationConfig::default().with_slowdown(d);
-        let eval = evaluate_benchmark(&bench, &config);
+        let eval = evaluate_benchmark(&bench, &config)?;
+        let offline = eval.metrics(names::OFFLINE)?;
+        let profile = eval.metrics(names::PROFILE)?;
         println!(
             "{:>5.0}%  {:>7.1}%/{:>5.1}%/{:>5.1}%  {:>8.1}%/{:>5.1}%/{:>5.1}%",
             d * 100.0,
-            eval.offline.metrics.degradation_percent(),
-            eval.offline.metrics.energy_savings_percent(),
-            eval.offline.metrics.energy_delay_percent(),
-            eval.profile.metrics.degradation_percent(),
-            eval.profile.metrics.energy_savings_percent(),
-            eval.profile.metrics.energy_delay_percent(),
+            offline.degradation_percent(),
+            offline.energy_savings_percent(),
+            offline.energy_delay_percent(),
+            profile.degradation_percent(),
+            profile.energy_savings_percent(),
+            profile.energy_delay_percent(),
         );
     }
 
@@ -48,4 +51,9 @@ fn main() {
          slowdown target for both off-line and profile-based reconfiguration; the \
          profile-based series tracks the oracle closely."
     );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    run_main(run)
 }

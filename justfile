@@ -1,0 +1,51 @@
+# Task runner for the MCD DVFS reproduction.
+#
+# Install `just` (https://github.com/casey/just) or read the recipes as plain
+# shell — each one is a single cargo invocation.
+
+# Build every crate in release mode.
+build:
+    cargo build --release
+
+# Run the full test suite (unit, integration, doc tests).
+test:
+    cargo test -q
+
+# Lint: clippy with warnings denied, plus formatting check.
+lint:
+    cargo clippy --all-targets -- -D warnings
+    cargo fmt --check
+
+# Format the whole workspace in place.
+fmt:
+    cargo fmt
+
+# Run the timing benchmarks (the dependency-free harness in crates/mcd-bench).
+bench:
+    cargo bench
+
+# Regenerate every paper figure and table (quick six-benchmark subset).
+figures:
+    cargo run --release --bin table1_config
+    cargo run --release --bin table2_windows
+    cargo run --release --bin table3_coverage
+    cargo run --release --bin table4_overhead
+    cargo run --release --bin fig4_slowdown -- --quick
+    cargo run --release --bin fig5_energy -- --quick
+    cargo run --release --bin fig6_energy_delay -- --quick
+    cargo run --release --bin fig7_summary -- --quick
+    cargo run --release --bin fig8_9_context
+    cargo run --release --bin fig10_11_sweep -- --quick
+    cargo run --release --bin fig12_overhead -- --quick
+    cargo run --release --bin mcd_baseline_penalty -- --quick
+    cargo run --release --bin ablation_threshold
+
+# Regenerate every figure over the full nineteen-benchmark suite (slow).
+figures-full:
+    cargo run --release --bin fig4_slowdown
+    cargo run --release --bin fig5_energy
+    cargo run --release --bin fig6_energy_delay
+    cargo run --release --bin fig7_summary
+    cargo run --release --bin fig10_11_sweep -- --full
+    cargo run --release --bin fig12_overhead
+    cargo run --release --bin mcd_baseline_penalty

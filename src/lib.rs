@@ -1,0 +1,14 @@
+//! Workspace root crate: re-exports the four member crates so the top-level
+//! integration tests and examples can depend on one package.
+//!
+//! The actual implementation lives in the member crates:
+//!
+//! * [`mcd_sim`] — the MCD processor timing/energy simulator,
+//! * [`mcd_workloads`] — synthetic MediaBench / SPEC workload models,
+//! * [`mcd_profiling`] — call-tree profiling and binary-editing model,
+//! * [`mcd_dvfs`] — the four DVFS control schemes and the evaluation pipeline.
+
+pub use mcd_dvfs;
+pub use mcd_profiling;
+pub use mcd_sim;
+pub use mcd_workloads;

@@ -4,12 +4,55 @@
 
 use mcd_dvfs::evaluation::{evaluate_benchmark, mcd_baseline_penalty, EvaluationConfig};
 use mcd_dvfs::profile::{train, TrainingConfig};
+use mcd_dvfs::scheme::names;
 use mcd_profiling::context::ContextPolicy;
 use mcd_sim::config::MachineConfig;
 use mcd_sim::domain::Domain;
 use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_workloads::generator::generate_trace;
 use mcd_workloads::suite;
+
+/// All four schemes run through the `DvfsScheme` registry on one benchmark and
+/// produce finite, sane relative metrics.
+#[test]
+fn all_four_schemes_run_through_the_registry() {
+    let bench = suite::benchmark("adpcm decode").expect("benchmark exists");
+    let config = EvaluationConfig {
+        include_global: true,
+        ..EvaluationConfig::default()
+    };
+    let eval = evaluate_benchmark(&bench, &config).expect("evaluation succeeds");
+
+    let expected = [names::OFFLINE, names::ONLINE, names::PROFILE, names::GLOBAL];
+    assert_eq!(eval.schemes.len(), expected.len());
+    for (outcome, expected_name) in eval.schemes.iter().zip(expected) {
+        assert_eq!(outcome.name, expected_name);
+        let m = &outcome.result.metrics;
+        assert!(
+            m.performance_degradation.is_finite()
+                && m.energy_savings.is_finite()
+                && m.energy_delay_improvement.is_finite(),
+            "{expected_name}: metrics must be finite"
+        );
+        // Synchronization jitter can make a controlled run marginally faster
+        // than the baseline, so allow a hair of negative slack below zero.
+        assert!(
+            m.performance_degradation >= -0.01,
+            "{expected_name}: slowdown must be non-negative (within jitter), got {}",
+            m.performance_degradation
+        );
+        assert!(
+            (-1.0..=1.0).contains(&m.energy_savings),
+            "{expected_name}: energy savings must be a sane fraction, got {}",
+            m.energy_savings
+        );
+        assert!(outcome.result.stats.instructions > 0);
+    }
+}
+
+// The parallel-vs-serial determinism guard lives as a unit test next to the
+// thread pool it exercises: `parallel_suite_evaluation_matches_serial_bit_for_bit`
+// in `crates/core/src/evaluation.rs`.
 
 /// The headline qualitative claim of the paper: profile-driven reconfiguration
 /// achieves energy savings close to the off-line oracle, clearly better than
@@ -22,26 +65,28 @@ fn profile_tracks_the_oracle_and_beats_global_dvs() {
     };
     for name in ["adpcm decode", "gsm encode"] {
         let bench = suite::benchmark(name).expect("benchmark exists");
-        let eval = evaluate_benchmark(&bench, &config);
+        let eval = evaluate_benchmark(&bench, &config).expect("evaluation succeeds");
 
+        let offline = eval.metrics(names::OFFLINE).expect("offline ran");
+        let profile = eval.metrics(names::PROFILE).expect("profile ran");
+        let global = eval.metrics(names::GLOBAL).expect("global requested");
         assert!(
-            eval.offline.metrics.energy_savings > 0.05,
+            offline.energy_savings > 0.05,
             "{name}: oracle should save energy, got {:.1}%",
-            eval.offline.metrics.energy_savings_percent()
+            offline.energy_savings_percent()
         );
         assert!(
-            eval.profile.metrics.energy_savings > eval.offline.metrics.energy_savings * 0.5,
+            profile.energy_savings > offline.energy_savings * 0.5,
             "{name}: profile-based savings should be in the oracle's vicinity"
         );
-        let global = eval.global.as_ref().expect("global requested");
         assert!(
-            eval.profile.metrics.energy_savings > global.metrics.energy_savings,
+            profile.energy_savings > global.energy_savings,
             "{name}: per-domain scaling must beat whole-chip scaling ({:.1}% vs {:.1}%)",
-            eval.profile.metrics.energy_savings_percent(),
-            global.metrics.energy_savings_percent()
+            profile.energy_savings_percent(),
+            global.energy_savings_percent()
         );
         assert!(
-            eval.profile.metrics.performance_degradation < 0.30,
+            profile.performance_degradation < 0.30,
             "{name}: slowdown should stay bounded"
         );
     }
@@ -56,13 +101,19 @@ fn mcd_synchronization_penalty_is_a_few_percent() {
     let mut penalties = Vec::new();
     for name in ["adpcm encode", "jpeg decompress", "equake"] {
         let bench = suite::benchmark(name).expect("benchmark exists");
-        let (perf, _energy) = mcd_baseline_penalty(&bench, &machine);
-        assert!(perf > 0.0, "{name}: MCD must not be faster than synchronous");
+        let (perf, _energy) = mcd_baseline_penalty(&bench, &machine).expect("valid machine");
+        assert!(
+            perf > 0.0,
+            "{name}: MCD must not be faster than synchronous"
+        );
         assert!(perf < 0.12, "{name}: penalty too large: {perf}");
         penalties.push(perf);
     }
     let avg = penalties.iter().sum::<f64>() / penalties.len() as f64;
-    assert!(avg < 0.08, "average MCD penalty should be a few percent, got {avg}");
+    assert!(
+        avg < 0.08,
+        "average MCD penalty should be a few percent, got {avg}"
+    );
 }
 
 /// Training on integer-only media code must park the floating-point domain at
@@ -132,17 +183,22 @@ fn path_tracking_is_conservative_on_unseen_paths() {
 fn evaluation_is_deterministic() {
     let bench = suite::benchmark("g721 decode").expect("benchmark exists");
     let config = EvaluationConfig::default();
-    let a = evaluate_benchmark(&bench, &config);
-    let b = evaluate_benchmark(&bench, &config);
+    let a = evaluate_benchmark(&bench, &config).expect("evaluation succeeds");
+    let b = evaluate_benchmark(&bench, &config).expect("evaluation succeeds");
+    let a_profile = a.require(names::PROFILE).expect("profile ran");
+    let b_profile = b.require(names::PROFILE).expect("profile ran");
     assert_eq!(
-        a.profile.stats.run_time, b.profile.stats.run_time,
+        a_profile.stats.run_time, b_profile.stats.run_time,
         "controlled run times must be identical"
     );
     assert_eq!(
-        a.profile.stats.total_energy.as_units(),
-        b.profile.stats.total_energy.as_units()
+        a_profile.stats.total_energy.as_units(),
+        b_profile.stats.total_energy.as_units()
     );
-    assert_eq!(a.offline.stats.reconfigurations, b.offline.stats.reconfigurations);
+    assert_eq!(
+        a.require(names::OFFLINE).unwrap().stats.reconfigurations,
+        b.require(names::OFFLINE).unwrap().stats.reconfigurations
+    );
 }
 
 /// The baseline simulator reproduces the gross characteristics the workload
@@ -185,7 +241,10 @@ fn workload_character_survives_the_full_stack() {
             false,
         )
         .stats;
-    assert!(stats.mispredict_rate() > 0.02, "gzip should mispredict some branches");
+    assert!(
+        stats.mispredict_rate() > 0.02,
+        "gzip should mispredict some branches"
+    );
 
     let adpcm = suite::benchmark("adpcm decode").unwrap();
     let stats = sim
@@ -196,7 +255,8 @@ fn workload_character_survives_the_full_stack() {
         )
         .stats;
     assert_eq!(
-        stats.domain_active_cycles[Domain::FloatingPoint], 0.0,
+        stats.domain_active_cycles[Domain::FloatingPoint],
+        0.0,
         "adpcm must not execute FP work"
     );
 }

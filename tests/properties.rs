@@ -1,5 +1,11 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants of the reproduction.
+//! Randomized property tests over the core data structures and invariants of
+//! the reproduction.
+//!
+//! The container has no access to crates.io, so instead of `proptest` these
+//! tests drive each property with a deterministic in-repo PRNG
+//! ([`mcd_workloads::rng::WorkloadRng`]): every test enumerates a few hundred
+//! pseudo-random cases from a fixed seed, which keeps failures reproducible
+//! without an external shrinker.
 
 use mcd_dvfs::dag::DependenceDag;
 use mcd_dvfs::histogram::DomainHistogram;
@@ -16,86 +22,127 @@ use mcd_sim::instruction::{CallSiteId, Instr, InstrClass, Marker, SubroutineId, 
 use mcd_sim::resources::{OccupancyQueue, StagePacer, UnitPool};
 use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_sim::time::{MegaHertz, TimeNs};
-use proptest::prelude::*;
+use mcd_workloads::rng::WorkloadRng;
 
-proptest! {
-    /// Quantizing up never returns a frequency below the request (within the
-    /// grid) and always lands exactly on a grid step.
-    #[test]
-    fn grid_quantize_up_is_sound(mhz in 1.0f64..2000.0) {
-        let grid = FrequencyGrid::default();
-        let q = grid.quantize_up(MegaHertz::new(mhz));
-        prop_assert!(q.as_mhz() >= grid.min().as_mhz());
-        prop_assert!(q.as_mhz() <= grid.max().as_mhz());
-        if mhz >= grid.min().as_mhz() && mhz <= grid.max().as_mhz() {
-            prop_assert!(q.as_mhz() + 1e-9 >= mhz);
+/// Case generator: thin sugar over the deterministic workload RNG.
+struct Cases {
+    rng: WorkloadRng,
+}
+
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Cases {
+            rng: WorkloadRng::seed_from_u64(seed),
         }
-        let steps = (q.as_mhz() - grid.min().as_mhz()) / grid.step().as_mhz();
-        prop_assert!((steps - steps.round()).abs() < 1e-9);
     }
 
-    /// The voltage map is monotone in frequency and stays inside its range.
-    #[test]
-    fn voltage_map_is_monotone(a in 100.0f64..1500.0, b in 100.0f64..1500.0) {
-        let map = VoltageMap::default();
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.next_f64() * (hi - lo)
+    }
+
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.rng.next_u64() as usize) % (hi - lo)
+    }
+
+    fn u32(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + (self.rng.next_u64() as u32) % (hi - lo)
+    }
+}
+
+/// Quantizing up never returns a frequency below the request (within the
+/// grid) and always lands exactly on a grid step.
+#[test]
+fn grid_quantize_up_is_sound() {
+    let grid = FrequencyGrid::default();
+    let mut cases = Cases::new(0xA11CE);
+    for _ in 0..512 {
+        let mhz = cases.f64(1.0, 2000.0);
+        let q = grid.quantize_up(MegaHertz::new(mhz));
+        assert!(q.as_mhz() >= grid.min().as_mhz());
+        assert!(q.as_mhz() <= grid.max().as_mhz());
+        if mhz >= grid.min().as_mhz() && mhz <= grid.max().as_mhz() {
+            assert!(q.as_mhz() + 1e-9 >= mhz);
+        }
+        let steps = (q.as_mhz() - grid.min().as_mhz()) / grid.step().as_mhz();
+        assert!((steps - steps.round()).abs() < 1e-9);
+    }
+}
+
+/// The voltage map is monotone in frequency and stays inside its range.
+#[test]
+fn voltage_map_is_monotone() {
+    let map = VoltageMap::default();
+    let mut cases = Cases::new(0xB0B);
+    for _ in 0..512 {
+        let a = cases.f64(100.0, 1500.0);
+        let b = cases.f64(100.0, 1500.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let v_lo = map.voltage_for(MegaHertz::new(lo));
         let v_hi = map.voltage_for(MegaHertz::new(hi));
-        prop_assert!(v_lo.as_volts() <= v_hi.as_volts() + 1e-12);
-        prop_assert!(v_lo.as_volts() >= map.min_voltage().as_volts() - 1e-12);
-        prop_assert!(v_hi.as_volts() <= map.max_voltage().as_volts() + 1e-12);
+        assert!(v_lo.as_volts() <= v_hi.as_volts() + 1e-12);
+        assert!(v_lo.as_volts() >= map.min_voltage().as_volts() - 1e-12);
+        assert!(v_hi.as_volts() <= map.max_voltage().as_volts() + 1e-12);
     }
+}
 
-    /// A unit pool never starts a request before it is ready, and a pool of
-    /// size one serializes all requests.
-    #[test]
-    fn unit_pool_respects_readiness(
-        requests in prop::collection::vec((0.0f64..1000.0, 0.1f64..20.0), 1..50)
-    ) {
+/// A unit pool never starts a request before it is ready, and a pool of
+/// size one serializes all requests.
+#[test]
+fn unit_pool_respects_readiness() {
+    let mut cases = Cases::new(0xC0DE);
+    for _ in 0..128 {
+        let n = cases.usize(1, 50);
         let mut pool = UnitPool::new(1);
         let mut last_end = 0.0f64;
-        for (ready, busy) in requests {
+        for _ in 0..n {
+            let ready = cases.f64(0.0, 1000.0);
+            let busy = cases.f64(0.1, 20.0);
             let start = pool.acquire(TimeNs::new(ready), TimeNs::new(busy));
-            prop_assert!(start.as_ns() + 1e-9 >= ready);
-            prop_assert!(start.as_ns() + 1e-9 >= last_end);
+            assert!(start.as_ns() + 1e-9 >= ready);
+            assert!(start.as_ns() + 1e-9 >= last_end);
             last_end = start.as_ns() + busy;
         }
     }
+}
 
-    /// An occupancy queue never admits earlier than requested and never holds
-    /// more than its capacity.
-    #[test]
-    fn occupancy_queue_invariants(
-        capacity in 1u32..16,
-        jobs in prop::collection::vec((0.0f64..100.0, 0.0f64..50.0), 1..80)
-    ) {
+/// An occupancy queue never admits earlier than requested and never holds
+/// more than its capacity.
+#[test]
+fn occupancy_queue_invariants() {
+    let mut cases = Cases::new(0xD1CE);
+    for _ in 0..128 {
+        let capacity = cases.u32(1, 16);
+        let jobs = cases.usize(1, 80);
         let mut q = OccupancyQueue::new(capacity);
         let mut clock = 0.0;
-        for (gap, service) in jobs {
-            clock += gap;
+        for _ in 0..jobs {
+            clock += cases.f64(0.0, 100.0);
+            let service = cases.f64(0.0, 50.0);
             let admitted = q.admit(TimeNs::new(clock));
-            prop_assert!(admitted.as_ns() + 1e-9 >= clock);
+            assert!(admitted.as_ns() + 1e-9 >= clock);
             q.depart(TimeNs::new(admitted.as_ns() + service));
-            prop_assert!(q.occupancy() <= capacity as usize);
+            assert!(q.occupancy() <= capacity as usize);
         }
-        prop_assert!(q.average_utilization() >= 0.0 && q.average_utilization() <= 1.0);
+        assert!(q.average_utilization() >= 0.0 && q.average_utilization() <= 1.0);
     }
+}
 
-    /// A stage pacer admits at most `width` instructions per period and never
-    /// admits before the ready time.
-    #[test]
-    fn stage_pacer_never_exceeds_width(
-        width in 1u32..8,
-        arrivals in prop::collection::vec(0.0f64..0.4, 10..120)
-    ) {
+/// A stage pacer admits at most `width` instructions per period and never
+/// admits before the ready time.
+#[test]
+fn stage_pacer_never_exceeds_width() {
+    let mut cases = Cases::new(0xFACE);
+    for _ in 0..64 {
+        let width = cases.u32(1, 8);
+        let arrivals = cases.usize(10, 120);
         let mut pacer = StagePacer::new(width);
         let period = TimeNs::new(1.0);
         let mut clock = 0.0;
         let mut admissions: Vec<f64> = Vec::new();
-        for gap in arrivals {
-            clock += gap;
+        for _ in 0..arrivals {
+            clock += cases.f64(0.0, 0.4);
             let t = pacer.admit(TimeNs::new(clock), period);
-            prop_assert!(t.as_ns() + 1e-9 >= clock);
+            assert!(t.as_ns() + 1e-9 >= clock);
             admissions.push(t.as_ns());
         }
         // The pacer admits in groups aligned to group boundaries, so a sliding
@@ -106,34 +153,41 @@ proptest! {
                 .iter()
                 .filter(|&&t| t >= start && t < start + 1.0 - 1e-9)
                 .count();
-            prop_assert!(
+            assert!(
                 in_window <= 2 * width as usize,
                 "window at {start} holds {in_window} admissions for width {width}"
             );
         }
     }
+}
 
-    /// The shaker never shrinks an event, never stretches beyond the quarter
-    /// frequency limit, and never violates a recorded dependence edge.
-    #[test]
-    fn shaker_respects_edges_and_limits(
-        durations in prop::collection::vec(0.5f64..5.0, 2..40),
-        extra_gap in 0.0f64..10.0
-    ) {
+/// The shaker never shrinks an event, never stretches beyond the quarter
+/// frequency limit, and never violates a recorded dependence edge.
+#[test]
+fn shaker_respects_edges_and_limits() {
+    let mut cases = Cases::new(0x5EED);
+    for _ in 0..128 {
+        let n = cases.usize(2, 40);
+        let extra_gap = cases.f64(0.0, 10.0);
         // Build a random chain with gaps: event i depends on event i-1.
         let mut trace = EventTrace::new();
         let mut clock = 0.0;
         let mut prev = None;
-        for (i, d) in durations.iter().enumerate() {
+        for i in 0..n {
+            let d = cases.f64(0.5, 5.0);
             let start = clock + if i % 3 == 0 { extra_gap } else { 0.0 };
             let end = start + d;
             let id = trace.push_event(PrimitiveEvent {
                 instr_index: i as u32,
                 kind: EventKind::Execute,
-                domain: if i % 2 == 0 { Domain::Integer } else { Domain::Memory },
+                domain: if i % 2 == 0 {
+                    Domain::Integer
+                } else {
+                    Domain::Memory
+                },
                 start: TimeNs::new(start),
                 end: TimeNs::new(end),
-                cycles: *d,
+                cycles: d,
                 power_factor: 0.2 + 0.1 * (i % 3) as f64,
                 region: 0,
             });
@@ -147,13 +201,13 @@ proptest! {
         Shaker::new().shake(&mut dag);
         let events = dag.events();
         for e in events {
-            prop_assert!(e.scale >= 1.0 - 1e-9);
-            prop_assert!(e.scale <= MAX_STRETCH + 1e-9);
-            prop_assert!(e.end.as_ns() + 1e-6 >= e.start.as_ns());
+            assert!(e.scale >= 1.0 - 1e-9);
+            assert!(e.scale <= MAX_STRETCH + 1e-9);
+            assert!(e.end.as_ns() + 1e-6 >= e.start.as_ns());
         }
         // Dependence order is preserved along the chain.
         for i in 1..events.len() {
-            prop_assert!(
+            assert!(
                 events[i].start.as_ns() + 1e-6 >= events[i - 1].end.as_ns() - 1e-6,
                 "edge {} -> {} violated",
                 i - 1,
@@ -161,32 +215,38 @@ proptest! {
             );
         }
     }
+}
 
-    /// The frequency chosen by slowdown thresholding is monotone: looser bounds
-    /// never pick a faster frequency.
-    #[test]
-    fn threshold_choice_is_monotone_in_slowdown(
-        cycles in prop::collection::vec(0.0f64..1000.0, 31),
-        d1 in 0.0f64..0.3,
-        d2 in 0.0f64..0.3
-    ) {
+/// The frequency chosen by slowdown thresholding is monotone: looser bounds
+/// never pick a faster frequency.
+#[test]
+fn threshold_choice_is_monotone_in_slowdown() {
+    let mut cases = Cases::new(0xBEEF);
+    for _ in 0..256 {
         let grid = FrequencyGrid::default();
         let mut hist = DomainHistogram::new(grid.clone());
-        for (i, c) in cycles.iter().enumerate() {
-            hist.add(grid.setting(i), *c);
+        for i in 0..31 {
+            hist.add(grid.setting(i), cases.f64(0.0, 1000.0));
         }
+        let d1 = cases.f64(0.0, 0.3);
+        let d2 = cases.f64(0.0, 0.3);
         let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
         let f_lo = SlowdownThreshold::new(lo).choose_for_domain(&hist);
         let f_hi = SlowdownThreshold::new(hi).choose_for_domain(&hist);
-        prop_assert!(f_hi.as_mhz() <= f_lo.as_mhz() + 1e-9);
+        assert!(f_hi.as_mhz() <= f_lo.as_mhz() + 1e-9);
     }
+}
 
-    /// Call trees built from arbitrary (well-nested) marker streams have
-    /// consistent instance counts and instruction attribution.
-    #[test]
-    fn call_tree_attribution_is_consistent(
-        calls in prop::collection::vec((0u32..4, 1u32..30), 1..40)
-    ) {
+/// Call trees built from arbitrary (well-nested) marker streams have
+/// consistent instance counts and instruction attribution.
+#[test]
+fn call_tree_attribution_is_consistent() {
+    let mut cases = Cases::new(0x7EA);
+    for _ in 0..64 {
+        let call_count = cases.usize(1, 40);
+        let calls: Vec<(u32, u32)> = (0..call_count)
+            .map(|_| (cases.u32(0, 4), cases.u32(1, 30)))
+            .collect();
         let mut trace = vec![TraceItem::Marker(Marker::SubroutineEnter {
             subroutine: SubroutineId(99),
             call_site: CallSiteId(u32::MAX),
@@ -198,7 +258,10 @@ proptest! {
                 call_site: CallSiteId(*sub),
             }));
             for i in 0..*len {
-                trace.push(TraceItem::Instr(Instr::op(i as u64 * 4, InstrClass::IntAlu)));
+                trace.push(TraceItem::Instr(Instr::op(
+                    i as u64 * 4,
+                    InstrClass::IntAlu,
+                )));
                 total_instr += 1;
             }
             trace.push(TraceItem::Marker(Marker::SubroutineExit {
@@ -210,7 +273,7 @@ proptest! {
         }));
 
         let tree = CallTree::build(&trace, ContextPolicy::LoopFuncSitePath);
-        prop_assert_eq!(tree.total_instructions(tree.root()), total_instr);
+        assert_eq!(tree.total_instructions(tree.root()), total_instr);
         // Instances of children sum to the number of calls made.
         let child_instances: u64 = tree
             .node(tree.root())
@@ -218,30 +281,35 @@ proptest! {
             .iter()
             .map(|&c| tree.node(c).instances)
             .sum();
-        prop_assert_eq!(child_instances, calls.len() as u64);
+        assert_eq!(child_instances, calls.len() as u64);
         // Long-running selection never returns more nodes than exist.
         let lr = LongRunningSet::identify_with_threshold(&tree, 10);
-        prop_assert!(lr.len() <= tree.len());
+        assert!(lr.len() <= tree.len());
     }
+}
 
-    /// The simulator is monotone in work: appending instructions never reduces
-    /// run time or energy, and run time is always positive for non-empty traces.
-    #[test]
-    fn simulator_monotone_in_trace_length(n in 10usize..200, extra in 1usize..200) {
-        let build = |count: usize| -> Vec<TraceItem> {
-            (0..count)
-                .map(|i| {
-                    TraceItem::Instr(
-                        Instr::op(0x1000 + (i as u64 % 32) * 4, InstrClass::IntAlu).with_dep1(1),
-                    )
-                })
-                .collect()
-        };
-        let sim = Simulator::new(MachineConfig::default());
+/// The simulator is monotone in work: appending instructions never reduces
+/// run time or energy, and run time is always positive for non-empty traces.
+#[test]
+fn simulator_monotone_in_trace_length() {
+    let build = |count: usize| -> Vec<TraceItem> {
+        (0..count)
+            .map(|i| {
+                TraceItem::Instr(
+                    Instr::op(0x1000 + (i as u64 % 32) * 4, InstrClass::IntAlu).with_dep1(1),
+                )
+            })
+            .collect()
+    };
+    let sim = Simulator::new(MachineConfig::default());
+    let mut cases = Cases::new(0x1DEA);
+    for _ in 0..24 {
+        let n = cases.usize(10, 200);
+        let extra = cases.usize(1, 200);
         let short = sim.run(build(n), &mut NullHooks, false).stats;
         let long = sim.run(build(n + extra), &mut NullHooks, false).stats;
-        prop_assert!(short.run_time.as_ns() > 0.0);
-        prop_assert!(long.run_time >= short.run_time);
-        prop_assert!(long.total_energy.as_units() >= short.total_energy.as_units());
+        assert!(short.run_time.as_ns() > 0.0);
+        assert!(long.run_time >= short.run_time);
+        assert!(long.total_energy.as_units() >= short.total_energy.as_units());
     }
 }
