@@ -1,0 +1,465 @@
+//! The on-disk artifact store with hit/miss accounting.
+//!
+//! A cache is a directory of content-addressed files (`<kind>-<hash>.bin`).
+//! Reads and writes never fail an evaluation: any I/O or decode problem is
+//! counted and treated as a miss, falling back to recomputation. Writes go
+//! through a temporary file plus rename, so a concurrently reading process
+//! never observes a half-written artifact.
+//!
+//! Construction is explicit ([`ArtifactCache::new`]) or environment-driven
+//! ([`ArtifactCache::from_env`]): `MCD_CACHE_DIR` overrides the default
+//! `.mcd-cache` directory (an empty value, `0` or `off` disables caching) and
+//! `MCD_NO_CACHE=1` disables it outright.
+
+use crate::artifact::codec::{self, TrainingArtifact};
+use crate::artifact::key::ArtifactKey;
+use crate::offline::OfflineSchedule;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default cache directory, relative to the working directory (git-ignored).
+pub const DEFAULT_CACHE_DIR: &str = ".mcd-cache";
+
+/// Name of the append-only counter log inside the cache directory.
+pub const STATS_LOG: &str = "stats.log";
+
+/// Snapshot of a cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Artifacts found and successfully decoded.
+    pub hits: u64,
+    /// Lookups that found nothing usable (including decode failures).
+    pub misses: u64,
+    /// Artifacts written.
+    pub writes: u64,
+    /// I/O or decode errors encountered (each also counts as a miss).
+    pub errors: u64,
+}
+
+impl CacheStats {
+    /// Total lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// One artifact file in the cache directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// File name (`<kind>-<hash>.bin`).
+    pub name: String,
+    /// Artifact kind parsed from the file name.
+    pub kind: String,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// A content-addressed on-disk artifact cache.
+///
+/// Handles are shared through an `Arc` (the cache itself is not `Clone`, so
+/// the counters cannot silently fork); the counters are atomic so concurrent
+/// evaluation threads can use one cache.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Resolves the effective cache directory from environment-shaped inputs
+/// (factored out of [`ArtifactCache::from_env`] so it can be tested without
+/// mutating the process environment).
+fn dir_from_settings(cache_dir: Option<&str>, no_cache: Option<&str>) -> Option<PathBuf> {
+    if matches!(no_cache, Some("1")) {
+        return None;
+    }
+    match cache_dir {
+        Some(dir) if dir.is_empty() || dir == "0" || dir.eq_ignore_ascii_case("off") => None,
+        Some(dir) => Some(PathBuf::from(dir)),
+        None => Some(PathBuf::from(DEFAULT_CACHE_DIR)),
+    }
+}
+
+impl ArtifactCache {
+    /// Creates a cache rooted at `dir` (created lazily on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ArtifactCache {
+            dir: Some(dir.into()),
+            ..ArtifactCache::default()
+        }
+    }
+
+    /// Creates a disabled cache: every lookup misses, every store is a no-op,
+    /// and no counters move. This is the library default, so evaluations have
+    /// no filesystem side effects unless a cache is configured explicitly.
+    pub fn disabled() -> Self {
+        ArtifactCache::default()
+    }
+
+    /// Creates a cache from the environment: honours `MCD_NO_CACHE=1` and
+    /// `MCD_CACHE_DIR` (empty/`0`/`off` disables), defaulting to
+    /// [`DEFAULT_CACHE_DIR`].
+    pub fn from_env() -> Self {
+        let cache_dir = std::env::var("MCD_CACHE_DIR").ok();
+        let no_cache = std::env::var("MCD_NO_CACHE").ok();
+        match dir_from_settings(cache_dir.as_deref(), no_cache.as_deref()) {
+            Some(dir) => ArtifactCache::new(dir),
+            None => ArtifactCache::disabled(),
+        }
+    }
+
+    /// The cache directory, or `None` when the cache is disabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// True when lookups can ever hit.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The on-disk path an artifact with `key` would occupy.
+    pub fn path_of(&self, key: &ArtifactKey) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(key.file_name()))
+    }
+
+    /// A snapshot of the cache's counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads an artifact's raw bytes without touching the counters.
+    fn read_raw(&self, key: &ArtifactKey) -> Option<Vec<u8>> {
+        let path = self.path_of(key)?;
+        match fs::read(&path) {
+            Ok(bytes) => Some(bytes),
+            Err(err) => {
+                if err.kind() != io::ErrorKind::NotFound {
+                    self.error();
+                }
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under `key` atomically (write to a temporary file,
+    /// then rename). Errors are counted, never propagated.
+    fn store_raw(&self, key: &ArtifactKey, payload: &[u8]) {
+        let Some(path) = self.path_of(key) else {
+            return;
+        };
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        let tmp = dir.join(format!(".tmp-{}-{}", std::process::id(), key.file_name()));
+        let written = fs::create_dir_all(dir)
+            .and_then(|_| fs::write(&tmp, payload))
+            .and_then(|_| fs::rename(&tmp, &path));
+        match written {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                let _ = fs::remove_file(&tmp);
+                self.error();
+            }
+        }
+    }
+
+    /// Looks up an off-line schedule. A found-but-undecodable artifact counts
+    /// as an error plus a miss and falls back to recomputation.
+    pub fn load_schedule(&self, key: &ArtifactKey) -> Option<OfflineSchedule> {
+        let Some(bytes) = self.read_raw(key) else {
+            if self.is_enabled() {
+                self.miss();
+            }
+            return None;
+        };
+        match codec::decode_schedule(&bytes) {
+            Ok(schedule) => {
+                self.hit();
+                Some(schedule)
+            }
+            Err(_) => {
+                self.error();
+                self.miss();
+                None
+            }
+        }
+    }
+
+    /// Stores an off-line schedule under `key`.
+    pub fn store_schedule(&self, key: &ArtifactKey, schedule: &OfflineSchedule) {
+        if self.is_enabled() {
+            self.store_raw(key, &codec::encode_schedule(schedule));
+        }
+    }
+
+    /// Looks up a training artifact (see [`ArtifactCache::load_schedule`] for
+    /// the counting rules).
+    pub fn load_training(&self, key: &ArtifactKey) -> Option<TrainingArtifact> {
+        let Some(bytes) = self.read_raw(key) else {
+            if self.is_enabled() {
+                self.miss();
+            }
+            return None;
+        };
+        match codec::decode_training(&bytes) {
+            Ok(artifact) => {
+                self.hit();
+                Some(artifact)
+            }
+            Err(_) => {
+                self.error();
+                self.miss();
+                None
+            }
+        }
+    }
+
+    /// Stores a training artifact under `key`.
+    pub fn store_training(&self, key: &ArtifactKey, artifact: &TrainingArtifact) {
+        if self.is_enabled() {
+            self.store_raw(key, &codec::encode_training(artifact));
+        }
+    }
+
+    /// Lists the artifact files currently in the cache directory, sorted by
+    /// name. A disabled or not-yet-created cache lists as empty.
+    pub fn entries(&self) -> Vec<CacheEntry> {
+        let Some(dir) = self.dir.as_ref() else {
+            return Vec::new();
+        };
+        let Ok(read) = fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut entries: Vec<CacheEntry> = read
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                // Only finished artifacts: skip the stats log and any
+                // `.tmp-*` leftovers from interrupted writes.
+                if !name.ends_with(".bin") || name.starts_with('.') {
+                    return None;
+                }
+                let kind = name
+                    .rsplit_once('-')
+                    .map(|(kind, _)| kind.to_string())
+                    .unwrap_or_else(|| "unknown".to_string());
+                let bytes = e.metadata().ok()?.len();
+                Some(CacheEntry { name, kind, bytes })
+            })
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    /// Appends this process's counter snapshot to the cache directory's
+    /// `stats.log`, so `cache_stats` can report hit/miss behaviour across
+    /// processes. A no-op for disabled caches.
+    pub fn flush_stats_log(&self) {
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        let s = self.stats();
+        if s.lookups() == 0 && s.writes == 0 {
+            return;
+        }
+        let line = format!(
+            "hits={} misses={} writes={} errors={}\n",
+            s.hits, s.misses, s.writes, s.errors
+        );
+        let _ = fs::create_dir_all(dir).and_then(|_| {
+            use std::io::Write;
+            fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join(STATS_LOG))
+                .and_then(|mut f| f.write_all(line.as_bytes()))
+        });
+    }
+
+    /// Sums every counter snapshot recorded in `dir`'s `stats.log`.
+    pub fn aggregated_stats(dir: &Path) -> CacheStats {
+        let mut total = CacheStats::default();
+        let Ok(log) = fs::read_to_string(dir.join(STATS_LOG)) else {
+            return total;
+        };
+        for line in log.lines() {
+            for field in line.split_whitespace() {
+                let Some((name, value)) = field.split_once('=') else {
+                    continue;
+                };
+                let Ok(value) = value.parse::<u64>() else {
+                    continue;
+                };
+                match name {
+                    "hits" => total.hits += value,
+                    "misses" => total.misses += value,
+                    "writes" => total.writes += value,
+                    "errors" => total.errors += value,
+                    _ => {}
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::key::offline_schedule_key;
+    use crate::offline::OfflineConfig;
+    use mcd_sim::config::MachineConfig;
+    use mcd_sim::reconfig::FrequencySetting;
+    use mcd_sim::time::MegaHertz;
+    use mcd_workloads::input::InputSet;
+    use std::sync::atomic::AtomicU64;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("mcd-cache-test-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn sample_key() -> ArtifactKey {
+        offline_schedule_key(
+            "mcf",
+            &InputSet::reference(10_000),
+            10_000,
+            &MachineConfig::default(),
+            &OfflineConfig::default(),
+        )
+    }
+
+    fn sample_schedule() -> OfflineSchedule {
+        OfflineSchedule::from_settings(vec![
+            FrequencySetting::full_speed(),
+            FrequencySetting::full_speed()
+                .with(mcd_sim::domain::Domain::Memory, MegaHertz::new(475.0)),
+        ])
+    }
+
+    #[test]
+    fn store_then_load_round_trips_and_counts() {
+        let dir = unique_dir("roundtrip");
+        let cache = ArtifactCache::new(&dir);
+        let key = sample_key();
+        assert_eq!(cache.load_schedule(&key), None);
+        cache.store_schedule(&key, &sample_schedule());
+        assert_eq!(cache.load_schedule(&key), Some(sample_schedule()));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.writes, s.errors), (1, 1, 1, 0));
+        assert_eq!(s.lookups(), 2);
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].kind, "offline-schedule");
+        assert!(entries[0].bytes > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let cache = ArtifactCache::disabled();
+        let key = sample_key();
+        assert!(!cache.is_enabled());
+        assert_eq!(cache.path_of(&key), None);
+        cache.store_schedule(&key, &sample_schedule());
+        assert_eq!(cache.load_schedule(&key), None);
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!(cache.entries().is_empty());
+    }
+
+    #[test]
+    fn corrupted_artifact_counts_an_error_and_misses() {
+        let dir = unique_dir("corrupt");
+        let cache = ArtifactCache::new(&dir);
+        let key = sample_key();
+        cache.store_schedule(&key, &sample_schedule());
+        fs::write(cache.path_of(&key).unwrap(), b"garbage").unwrap();
+        assert_eq!(cache.load_schedule(&key), None);
+        let s = cache.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.errors, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_skip_temporary_and_log_files() {
+        let dir = unique_dir("tmpskip");
+        let cache = ArtifactCache::new(&dir);
+        let key = sample_key();
+        cache.store_schedule(&key, &sample_schedule());
+        // A leftover from an interrupted write and the stats log must not be
+        // reported as artifacts.
+        fs::write(
+            dir.join(format!(".tmp-999-{}", key.file_name())),
+            b"partial",
+        )
+        .unwrap();
+        let _ = cache.load_schedule(&key);
+        cache.flush_stats_log();
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, key.file_name());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn env_dir_resolution_rules() {
+        assert_eq!(
+            dir_from_settings(None, None),
+            Some(PathBuf::from(DEFAULT_CACHE_DIR))
+        );
+        assert_eq!(
+            dir_from_settings(Some("/tmp/x"), None),
+            Some(PathBuf::from("/tmp/x"))
+        );
+        assert_eq!(dir_from_settings(Some(""), None), None);
+        assert_eq!(dir_from_settings(Some("0"), None), None);
+        assert_eq!(dir_from_settings(Some("OFF"), None), None);
+        assert_eq!(dir_from_settings(Some("/tmp/x"), Some("1")), None);
+        assert_eq!(
+            dir_from_settings(None, Some("0")),
+            Some(PathBuf::from(DEFAULT_CACHE_DIR))
+        );
+    }
+
+    #[test]
+    fn stats_log_aggregates_across_flushes() {
+        let dir = unique_dir("statslog");
+        let cache = ArtifactCache::new(&dir);
+        let key = sample_key();
+        cache.store_schedule(&key, &sample_schedule());
+        let _ = cache.load_schedule(&key);
+        cache.flush_stats_log();
+        cache.flush_stats_log();
+        let total = ArtifactCache::aggregated_stats(&dir);
+        assert_eq!(total.hits, 2);
+        assert_eq!(total.writes, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,513 @@
+//! Versioned binary serialization for cached artifacts.
+//!
+//! The encoding is deliberately tiny and explicit: little-endian integers,
+//! IEEE-754 bit patterns for floats, fixed field order, a 4-byte magic, a
+//! format version, and a trailing FNV-1a checksum over everything before it.
+//! Decoding verifies all three before touching the payload, so a truncated,
+//! corrupted or version-mismatched file surfaces as a [`CodecError`] — which
+//! the cache treats as a miss — never as a wrong result.
+//!
+//! Frequency settings are serialized through the `f64` bit patterns of the
+//! four scalable domains and reconstructed with the non-scalable external
+//! domain at full speed — the canonical form every analysis-produced setting
+//! already has (see [`SlowdownThreshold::choose`](crate::threshold::SlowdownThreshold::choose)) —
+//! so a decoded [`OfflineSchedule`] is bit-identical to the one that was
+//! encoded.
+
+use crate::offline::OfflineSchedule;
+use mcd_profiling::call_tree::NodeId;
+use mcd_profiling::edit::NodeKey;
+use mcd_sim::domain::{Domain, PerDomain};
+use mcd_sim::fingerprint::Fnv1a;
+use mcd_sim::instruction::{LoopId, SubroutineId};
+use mcd_sim::reconfig::FrequencySetting;
+use mcd_sim::stats::SimStats;
+use mcd_sim::time::{Energy, MegaHertz, TimeNs};
+use std::fmt;
+
+/// Magic bytes at the head of every artifact file.
+pub const MAGIC: [u8; 4] = *b"MCDA";
+
+/// Version of the binary payload layout. Bump on any layout change; older
+/// files then decode to [`CodecError::UnsupportedVersion`] and are recomputed.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why an artifact failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before a field could be read.
+    Truncated,
+    /// The file does not start with the artifact magic.
+    BadMagic,
+    /// The file was written by a different (older or newer) format version.
+    UnsupportedVersion {
+        /// The version recorded in the file.
+        found: u32,
+    },
+    /// The file's kind tag does not match the requested artifact kind.
+    KindMismatch,
+    /// The trailing checksum does not match the content.
+    Corrupted,
+    /// A field held a value the current schema cannot represent.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => f.write_str("artifact is truncated"),
+            CodecError::BadMagic => f.write_str("artifact magic bytes are missing"),
+            CodecError::UnsupportedVersion { found } => {
+                write!(f, "artifact format version {found} is not supported")
+            }
+            CodecError::KindMismatch => f.write_str("artifact kind tag mismatch"),
+            CodecError::Corrupted => f.write_str("artifact checksum mismatch"),
+            CodecError::Invalid(what) => write!(f, "artifact field invalid: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// Primitive writers/readers.
+
+#[derive(Debug, Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+#[derive(Debug)]
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.data.len() {
+            return Err(CodecError::Truncated);
+        }
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("four bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("eight bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Wraps a payload with magic, version, a kind tag, and a trailing checksum.
+fn seal(kind: &str, payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.buf.extend_from_slice(&MAGIC);
+    w.put_u32(FORMAT_VERSION);
+    w.put_u64(checksum(kind.as_bytes()));
+    w.buf.extend_from_slice(payload);
+    let sum = checksum(&w.buf);
+    w.put_u64(sum);
+    w.buf
+}
+
+/// Verifies magic, version, kind tag and checksum, returning the payload.
+fn unseal<'a>(kind: &str, data: &'a [u8]) -> Result<&'a [u8], CodecError> {
+    const HEADER: usize = 4 + 4 + 8;
+    const TRAILER: usize = 8;
+    if data.len() < HEADER + TRAILER {
+        return Err(CodecError::Truncated);
+    }
+    let (content, trailer) = data.split_at(data.len() - TRAILER);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("eight bytes"));
+    if stored != checksum(content) {
+        return Err(CodecError::Corrupted);
+    }
+    let mut r = Reader::new(content);
+    if r.take(4)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion { found: version });
+    }
+    if r.u64()? != checksum(kind.as_bytes()) {
+        return Err(CodecError::KindMismatch);
+    }
+    Ok(&content[HEADER..])
+}
+
+// ---------------------------------------------------------------------------
+// Field codecs.
+
+fn put_setting(w: &mut Writer, setting: &FrequencySetting) {
+    for d in Domain::SCALABLE {
+        w.put_f64(setting.get(d).as_mhz());
+    }
+}
+
+fn get_setting(r: &mut Reader<'_>) -> Result<FrequencySetting, CodecError> {
+    let mut setting = FrequencySetting::full_speed();
+    for d in Domain::SCALABLE {
+        setting = setting.with(d, MegaHertz::new(r.f64()?));
+    }
+    Ok(setting)
+}
+
+fn put_per_domain(w: &mut Writer, values: &PerDomain<f64>) {
+    for d in Domain::ALL {
+        w.put_f64(*values.get(d));
+    }
+}
+
+fn get_per_domain(r: &mut Reader<'_>) -> Result<PerDomain<f64>, CodecError> {
+    let mut values = PerDomain::default();
+    for d in Domain::ALL {
+        *values.get_mut(d) = r.f64()?;
+    }
+    Ok(values)
+}
+
+fn put_stats(w: &mut Writer, stats: &SimStats) {
+    w.put_u64(stats.instructions);
+    w.put_f64(stats.run_time.as_ns());
+    w.put_f64(stats.total_energy.as_units());
+    put_per_domain(w, &stats.domain_energy);
+    put_per_domain(w, &stats.domain_active_cycles);
+    w.put_u64(stats.sync_crossings);
+    w.put_u64(stats.sync_stalls);
+    w.put_u64(stats.branches);
+    w.put_u64(stats.branch_mispredicts);
+    w.put_u64(stats.l1d_accesses);
+    w.put_u64(stats.l1d_misses);
+    w.put_u64(stats.l2_accesses);
+    w.put_u64(stats.l2_misses);
+    w.put_u64(stats.reconfigurations);
+    w.put_f64(stats.overhead_cycles);
+    w.put_u64(stats.markers);
+}
+
+fn get_stats(r: &mut Reader<'_>) -> Result<SimStats, CodecError> {
+    Ok(SimStats {
+        instructions: r.u64()?,
+        run_time: TimeNs::new(r.f64()?),
+        total_energy: Energy::new(r.f64()?),
+        domain_energy: get_per_domain(r)?,
+        domain_active_cycles: get_per_domain(r)?,
+        sync_crossings: r.u64()?,
+        sync_stalls: r.u64()?,
+        branches: r.u64()?,
+        branch_mispredicts: r.u64()?,
+        l1d_accesses: r.u64()?,
+        l1d_misses: r.u64()?,
+        l2_accesses: r.u64()?,
+        l2_misses: r.u64()?,
+        reconfigurations: r.u64()?,
+        overhead_cycles: r.f64()?,
+        markers: r.u64()?,
+    })
+}
+
+fn node_key_parts(key: NodeKey) -> (u8, u32) {
+    match key {
+        NodeKey::TreeNode(NodeId(id)) => (0, id),
+        NodeKey::Subroutine(SubroutineId(id)) => (1, id),
+        NodeKey::Loop(LoopId(id)) => (2, id),
+    }
+}
+
+fn node_key_from_parts(tag: u8, id: u32) -> Result<NodeKey, CodecError> {
+    match tag {
+        0 => Ok(NodeKey::TreeNode(NodeId(id))),
+        1 => Ok(NodeKey::Subroutine(SubroutineId(id))),
+        2 => Ok(NodeKey::Loop(LoopId(id))),
+        _ => Err(CodecError::Invalid("node-key tag")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact payloads.
+
+/// The cached product of profile training: the frequency table (as sorted
+/// entries, so encoding is deterministic) and the training-run statistics.
+/// The instrumentation plan itself is *not* cached — it is rebuilt from the
+/// (cheap, deterministic) profiling phase, which reassigns identical node
+/// keys for the same trace and policy.
+#[derive(Debug, Clone)]
+pub struct TrainingArtifact {
+    /// `(key, setting)` pairs, sorted by key for deterministic bytes.
+    pub entries: Vec<(NodeKey, FrequencySetting)>,
+    /// Statistics of the full-speed training (profiling) run.
+    pub training_stats: SimStats,
+}
+
+impl TrainingArtifact {
+    /// Collects a frequency table into deterministic sorted entries.
+    pub fn from_table(table: &crate::controller::FrequencyTable, training_stats: SimStats) -> Self {
+        let mut entries: Vec<(NodeKey, FrequencySetting)> =
+            table.iter().map(|(k, s)| (*k, *s)).collect();
+        entries.sort_by_key(|(k, _)| node_key_parts(*k));
+        TrainingArtifact {
+            entries,
+            training_stats,
+        }
+    }
+
+    /// Rebuilds the frequency table from the cached entries.
+    pub fn to_table(&self) -> crate::controller::FrequencyTable {
+        let mut table = crate::controller::FrequencyTable::new();
+        for (key, setting) in &self.entries {
+            table.insert(*key, *setting);
+        }
+        table
+    }
+}
+
+/// Serializes an off-line schedule (kind `"offline-schedule"`).
+pub fn encode_schedule(schedule: &OfflineSchedule) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.put_u64(schedule.len() as u64);
+    for setting in schedule.settings() {
+        put_setting(&mut w, setting);
+    }
+    seal("offline-schedule", &w.buf)
+}
+
+/// Deserializes an off-line schedule, verifying version and checksum.
+pub fn decode_schedule(data: &[u8]) -> Result<OfflineSchedule, CodecError> {
+    let payload = unseal("offline-schedule", data)?;
+    let mut r = Reader::new(payload);
+    let count = r.u64()? as usize;
+    let mut settings = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        settings.push(get_setting(&mut r)?);
+    }
+    if !r.finished() {
+        return Err(CodecError::Invalid("trailing schedule bytes"));
+    }
+    Ok(OfflineSchedule::from_settings(settings))
+}
+
+/// Serializes a training artifact (kind `"training-plan"`).
+pub fn encode_training(artifact: &TrainingArtifact) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.put_u64(artifact.entries.len() as u64);
+    for (key, setting) in &artifact.entries {
+        let (tag, id) = node_key_parts(*key);
+        w.put_u8(tag);
+        w.put_u32(id);
+        put_setting(&mut w, setting);
+    }
+    put_stats(&mut w, &artifact.training_stats);
+    seal("training-plan", &w.buf)
+}
+
+/// Deserializes a training artifact, verifying version and checksum.
+pub fn decode_training(data: &[u8]) -> Result<TrainingArtifact, CodecError> {
+    let payload = unseal("training-plan", data)?;
+    let mut r = Reader::new(payload);
+    let count = r.u64()? as usize;
+    let mut entries = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let tag = r.u8()?;
+        let id = r.u32()?;
+        let setting = get_setting(&mut r)?;
+        entries.push((node_key_from_parts(tag, id)?, setting));
+    }
+    let training_stats = get_stats(&mut r)?;
+    if !r.finished() {
+        return Err(CodecError::Invalid("trailing training bytes"));
+    }
+    Ok(TrainingArtifact {
+        entries,
+        training_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schedule() -> OfflineSchedule {
+        let settings = (0..5)
+            .map(|i| {
+                FrequencySetting::full_speed()
+                    .with(
+                        Domain::FloatingPoint,
+                        MegaHertz::new(250.0 + i as f64 * 33.3),
+                    )
+                    .with(Domain::Memory, MegaHertz::new(999.0 - i as f64))
+            })
+            .collect();
+        OfflineSchedule::from_settings(settings)
+    }
+
+    fn sample_stats() -> SimStats {
+        SimStats {
+            instructions: 123_456,
+            run_time: TimeNs::new(98_765.25),
+            total_energy: Energy::new(4_567.875),
+            sync_crossings: 17,
+            overhead_cycles: 12.5,
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn schedule_round_trip_is_bit_identical() {
+        let schedule = sample_schedule();
+        let bytes = encode_schedule(&schedule);
+        let decoded = decode_schedule(&bytes).expect("round trip");
+        assert_eq!(decoded.len(), schedule.len());
+        for (a, b) in schedule.settings().iter().zip(decoded.settings()) {
+            for d in Domain::SCALABLE {
+                assert_eq!(a.get(d).as_mhz().to_bits(), b.get(d).as_mhz().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn training_round_trip_preserves_table_and_stats() {
+        let artifact = TrainingArtifact {
+            entries: vec![
+                (NodeKey::TreeNode(NodeId(3)), FrequencySetting::full_speed()),
+                (
+                    NodeKey::Subroutine(SubroutineId(1)),
+                    FrequencySetting::full_speed().with(Domain::Integer, MegaHertz::new(500.0)),
+                ),
+                (
+                    NodeKey::Loop(LoopId(7)),
+                    FrequencySetting::full_speed()
+                        .with(Domain::FloatingPoint, MegaHertz::new(250.0)),
+                ),
+            ],
+            training_stats: sample_stats(),
+        };
+        let decoded = decode_training(&encode_training(&artifact)).expect("round trip");
+        assert_eq!(decoded.entries, artifact.entries);
+        assert_eq!(decoded.training_stats.instructions, 123_456);
+        assert_eq!(
+            decoded.training_stats.run_time.as_ns().to_bits(),
+            artifact.training_stats.run_time.as_ns().to_bits()
+        );
+        assert_eq!(decoded.training_stats.sync_crossings, 17);
+    }
+
+    #[test]
+    fn empty_schedule_round_trips() {
+        let decoded = decode_schedule(&encode_schedule(&OfflineSchedule::default())).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = encode_schedule(&sample_schedule());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert_eq!(decode_schedule(&bytes), Err(CodecError::Corrupted));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode_schedule(&sample_schedule());
+        assert_eq!(
+            decode_schedule(&bytes[..bytes.len() - 3]),
+            Err(CodecError::Corrupted)
+        );
+        assert_eq!(decode_schedule(&bytes[..5]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let mut bytes = encode_schedule(&sample_schedule());
+        // Rewrite the version field and re-seal the checksum so only the
+        // version check can fail.
+        bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let content_len = bytes.len() - 8;
+        let sum = checksum(&bytes[..content_len]);
+        bytes[content_len..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            decode_schedule(&bytes),
+            Err(CodecError::UnsupportedVersion {
+                found: FORMAT_VERSION + 1
+            })
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_is_detected() {
+        let schedule_bytes = encode_schedule(&sample_schedule());
+        assert_eq!(
+            decode_training(&schedule_bytes).unwrap_err(),
+            CodecError::KindMismatch
+        );
+    }
+
+    #[test]
+    fn table_sorting_makes_encoding_deterministic() {
+        let mut table = crate::controller::FrequencyTable::new();
+        // Insertion order differs; the encoded bytes must not.
+        table.insert(NodeKey::Loop(LoopId(9)), FrequencySetting::full_speed());
+        table.insert(NodeKey::TreeNode(NodeId(2)), FrequencySetting::full_speed());
+        table.insert(
+            NodeKey::Subroutine(SubroutineId(5)),
+            FrequencySetting::full_speed(),
+        );
+        let a = TrainingArtifact::from_table(&table, SimStats::default());
+
+        let mut reversed = crate::controller::FrequencyTable::new();
+        reversed.insert(
+            NodeKey::Subroutine(SubroutineId(5)),
+            FrequencySetting::full_speed(),
+        );
+        reversed.insert(NodeKey::Loop(LoopId(9)), FrequencySetting::full_speed());
+        reversed.insert(NodeKey::TreeNode(NodeId(2)), FrequencySetting::full_speed());
+        let b = TrainingArtifact::from_table(&reversed, SimStats::default());
+
+        assert_eq!(encode_training(&a), encode_training(&b));
+        assert_eq!(a.to_table().len(), 3);
+    }
+}

@@ -1,0 +1,230 @@
+//! Cache keys: stable hashes over everything that determines an artifact.
+//!
+//! A key folds together, in fixed order: the cache schema version, the
+//! artifact kind, the benchmark name, the input set that seeds its trace, the
+//! machine-model fingerprint, and the analysis configuration. Two evaluations
+//! produce the same key exactly when the cached artifact is valid for both.
+//!
+//! Benchmark *programs* are identified by name: the workload registry maps
+//! each name to one static program model, so the name plus the input set
+//! pins the generated trace.
+
+use crate::offline::OfflineConfig;
+use crate::profile::TrainingConfig;
+use crate::shaker::ShakerConfig;
+use mcd_profiling::context::ContextPolicy;
+use mcd_sim::config::MachineConfig;
+use mcd_sim::fingerprint::{Fingerprint, Fnv1a};
+use mcd_workloads::input::InputSet;
+use mcd_workloads::program::InputKind;
+
+/// Version of the key/payload schema. Bump whenever the key encoding or any
+/// artifact payload layout changes; old cache entries then simply miss.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// A content-addressed cache key: the artifact kind plus a stable 64-bit hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// Artifact kind (doubles as the file-name prefix).
+    pub kind: &'static str,
+    /// Stable hash of everything that determines the artifact's content.
+    pub hash: u64,
+}
+
+impl ArtifactKey {
+    /// The on-disk file name of this key's artifact.
+    pub fn file_name(&self) -> String {
+        format!("{}-{:016x}.bin", self.kind, self.hash)
+    }
+}
+
+fn write_input(h: &mut Fnv1a, input: &InputSet) {
+    h.write_u8(match input.kind {
+        InputKind::Training => 0,
+        InputKind::Reference => 1,
+    });
+    h.write_u64(input.max_instructions);
+    h.write_bool(input.entire_program);
+    h.write_u64(input.seed);
+}
+
+fn write_shaker(h: &mut Fnv1a, shaker: &ShakerConfig) {
+    h.write_f64(shaker.initial_threshold_fraction);
+    h.write_f64(shaker.threshold_decay);
+    h.write_u64(shaker.max_passes as u64);
+}
+
+/// Explicit, permanent per-variant tags: a policy's tag must never change
+/// (reordering `ContextPolicy::ALL` must not re-key existing artifacts), so
+/// positions in that array are deliberately not used here. New variants take
+/// the next unused number.
+fn policy_tag(policy: ContextPolicy) -> u8 {
+    match policy {
+        ContextPolicy::LoopFuncSitePath => 0,
+        ContextPolicy::LoopFuncPath => 1,
+        ContextPolicy::FuncSitePath => 2,
+        ContextPolicy::FuncPath => 3,
+        ContextPolicy::LoopFunc => 4,
+        ContextPolicy::Func => 5,
+    }
+}
+
+fn base_key(
+    kind: &'static str,
+    benchmark: &str,
+    input: &InputSet,
+    machine: &MachineConfig,
+) -> Fnv1a {
+    let mut h = Fnv1a::new();
+    h.write_u32(CACHE_SCHEMA_VERSION);
+    h.write_str(kind);
+    h.write_str(benchmark);
+    write_input(&mut h, input);
+    machine.fingerprint(&mut h);
+    h
+}
+
+/// The key of an off-line oracle schedule for one `(benchmark, input,
+/// machine, analysis-config)` combination.
+///
+/// `trace_len` is the length (in trace items) of the reference trace that was
+/// actually analysed. For canonical traces it is fully determined by the
+/// benchmark and input, so it never splits legitimate sharing; it exists to
+/// keep a caller who analyses a non-canonical trace (e.g. a truncated one)
+/// from aliasing the cache entry of the real reference trace.
+pub fn offline_schedule_key(
+    benchmark: &str,
+    input: &InputSet,
+    trace_len: u64,
+    machine: &MachineConfig,
+    config: &OfflineConfig,
+) -> ArtifactKey {
+    let kind = "offline-schedule";
+    let mut h = base_key(kind, benchmark, input, machine);
+    h.write_u64(trace_len);
+    h.write_f64(config.slowdown);
+    h.write_u64(config.window_instructions);
+    write_shaker(&mut h, &config.shaker);
+    ArtifactKey {
+        kind,
+        hash: h.finish(),
+    }
+}
+
+/// The key of a profile-training result for one `(benchmark, training-input,
+/// machine, training-config)` combination.
+pub fn training_plan_key(
+    benchmark: &str,
+    input: &InputSet,
+    machine: &MachineConfig,
+    config: &TrainingConfig,
+) -> ArtifactKey {
+    let kind = "training-plan";
+    let mut h = base_key(kind, benchmark, input, machine);
+    h.write_u8(policy_tag(config.policy));
+    h.write_f64(config.slowdown);
+    h.write_u64(config.long_running_threshold);
+    write_shaker(&mut h, &config.shaker);
+    ArtifactKey {
+        kind,
+        hash: h.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_input() -> InputSet {
+        InputSet::reference(200_000)
+    }
+
+    #[test]
+    fn keys_are_deterministic() {
+        let machine = MachineConfig::default();
+        let config = OfflineConfig::default();
+        let a = offline_schedule_key("mcf", &reference_input(), 200_000, &machine, &config);
+        let b = offline_schedule_key("mcf", &reference_input(), 200_000, &machine, &config);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.file_name(),
+            format!("offline-schedule-{:016x}.bin", a.hash)
+        );
+    }
+
+    #[test]
+    fn every_key_component_is_significant() {
+        let machine = MachineConfig::default();
+        let config = OfflineConfig::default();
+        let base = offline_schedule_key("mcf", &reference_input(), 200_000, &machine, &config);
+
+        let other_bench =
+            offline_schedule_key("swim", &reference_input(), 200_000, &machine, &config);
+        assert_ne!(base.hash, other_bench.hash);
+
+        let reseeded = reference_input().with_seed(123);
+        assert_ne!(
+            base.hash,
+            offline_schedule_key("mcf", &reseeded, 200_000, &machine, &config).hash
+        );
+
+        let other_machine = machine.to_builder().seed(9).build().expect("valid");
+        assert_ne!(
+            base.hash,
+            offline_schedule_key("mcf", &reference_input(), 200_000, &other_machine, &config).hash
+        );
+
+        let tighter = OfflineConfig {
+            slowdown: 0.02,
+            ..config
+        };
+        assert_ne!(
+            base.hash,
+            offline_schedule_key("mcf", &reference_input(), 200_000, &machine, &tighter).hash
+        );
+
+        // A truncated (non-canonical) trace must not alias the real one.
+        assert_ne!(
+            base.hash,
+            offline_schedule_key("mcf", &reference_input(), 60_000, &machine, &config).hash
+        );
+    }
+
+    #[test]
+    fn training_keys_cover_policy_and_threshold() {
+        let machine = MachineConfig::default();
+        let config = TrainingConfig::default();
+        let input = InputSet::training(50_000);
+        let base = training_plan_key("mcf", &input, &machine, &config);
+
+        let other_policy = TrainingConfig {
+            policy: ContextPolicy::Func,
+            ..config
+        };
+        assert_ne!(
+            base.hash,
+            training_plan_key("mcf", &input, &machine, &other_policy).hash
+        );
+
+        let other_threshold = TrainingConfig {
+            long_running_threshold: config.long_running_threshold + 1,
+            ..config
+        };
+        assert_ne!(
+            base.hash,
+            training_plan_key("mcf", &input, &machine, &other_threshold).hash
+        );
+    }
+
+    #[test]
+    fn kinds_never_collide() {
+        // Same inputs, different artifact kinds → different hashes, so the two
+        // artifact families can share one directory.
+        let machine = MachineConfig::default();
+        let input = reference_input();
+        let offline =
+            offline_schedule_key("mcf", &input, 200_000, &machine, &OfflineConfig::default());
+        let training = training_plan_key("mcf", &input, &machine, &TrainingConfig::default());
+        assert_ne!(offline.hash, training.hash);
+    }
+}

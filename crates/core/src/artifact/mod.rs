@@ -1,0 +1,32 @@
+//! The content-addressed on-disk artifact cache.
+//!
+//! Every figure binary re-runs the same off-line analysis: fig4/5/6/7 train
+//! the same benchmarks under the same configuration, and the slowdown sweeps
+//! revisit points other binaries already computed. This module caches the two
+//! expensive training products —
+//!
+//! * the off-line oracle's per-window [`OfflineSchedule`](crate::offline::OfflineSchedule), and
+//! * the profile-driven scheme's training result (frequency table plus
+//!   training-run statistics),
+//!
+//! — on disk, addressed by a stable FNV-1a hash over everything that
+//! determines their content: the benchmark name, the input set (seed, window,
+//! kind), the [`MachineConfig`](mcd_sim::config::MachineConfig) fingerprint,
+//! the analysis configuration, and a schema version ([`key`]). Payloads use a
+//! small versioned binary encoding with a trailing checksum ([`codec`]);
+//! a corrupted, truncated or version-mismatched artifact never fails an
+//! evaluation — it just falls back to recomputation ([`cache`]).
+//!
+//! The cache directory defaults to `.mcd-cache/` (git-ignored) and is
+//! overridden by the `MCD_CACHE_DIR` environment variable; `MCD_NO_CACHE=1`
+//! (or the figure binaries' `--no-cache` flag) disables caching entirely.
+//! Cached settings round-trip bit-identically, so warm-cache figures are
+//! byte-for-byte the figures a cold run prints.
+
+pub mod cache;
+pub mod codec;
+pub mod key;
+
+pub use cache::{ArtifactCache, CacheEntry, CacheStats};
+pub use codec::{CodecError, TrainingArtifact};
+pub use key::{offline_schedule_key, training_plan_key, ArtifactKey, CACHE_SCHEMA_VERSION};

@@ -12,6 +12,7 @@
 //! comparison means implementing the trait and extending the registry, not
 //! editing this module.
 
+use crate::artifact::ArtifactCache;
 use crate::error::McdError;
 use crate::offline::OfflineConfig;
 use crate::online::OnlineConfig;
@@ -24,8 +25,7 @@ use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_sim::stats::{RelativeMetrics, SimStats};
 use mcd_workloads::generator::generate_trace;
 use mcd_workloads::suite::Benchmark;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 
 /// Result of one reconfiguration scheme on one benchmark.
 #[derive(Debug, Clone)]
@@ -57,11 +57,19 @@ pub struct EvaluationConfig {
     pub online: OnlineConfig,
     /// Whether to also evaluate the global-DVS baseline (Figure 7).
     pub include_global: bool,
-    /// Worker threads used by [`evaluate_suite`]. `1` evaluates serially;
-    /// larger values spread benchmarks across threads. Results are identical
-    /// either way — each benchmark's evaluation is self-contained and
-    /// deterministic.
+    /// Worker-thread budget. One knob governs both parallel levels: suite
+    /// evaluation spreads *benchmarks* across threads, and the off-line
+    /// oracle's per-window analysis spreads *windows* across threads (see
+    /// [`EvaluationConfig::with_parallelism`] for how the budget is split).
+    /// Results are bit-identical for every value.
     pub parallelism: usize,
+    /// Artifact cache shared by every scheme the registry configures: the
+    /// off-line oracle reuses cached schedules and the profile scheme reuses
+    /// cached training results instead of re-training. Defaults to a disabled
+    /// cache (always recompute, no filesystem side effects); see
+    /// [`ArtifactCache::from_env`] for the environment-driven constructor the
+    /// figure binaries use.
+    pub cache: Arc<ArtifactCache>,
 }
 
 impl Default for EvaluationConfig {
@@ -73,6 +81,7 @@ impl Default for EvaluationConfig {
             online: OnlineConfig::default(),
             include_global: false,
             parallelism: 1,
+            cache: Arc::new(ArtifactCache::disabled()),
         }
     }
 }
@@ -91,9 +100,27 @@ impl EvaluationConfig {
         self
     }
 
-    /// Sets the number of worker threads for suite evaluation.
+    /// Sets the worker-thread budget for both parallel levels.
+    ///
+    /// One knob governs suite-level and intra-benchmark parallelism:
+    ///
+    /// * [`evaluate_suite`] spawns up to `parallelism` benchmark workers and
+    ///   hands each scheme the *remaining* budget
+    ///   (`parallelism / workers`, at least one) for its window-parallel
+    ///   analysis, so the two levels compose instead of multiplying.
+    /// * [`evaluate_benchmark`] has no suite level, so the full budget goes to
+    ///   the off-line oracle's per-window analysis stage.
+    ///
+    /// Every combination produces bit-identical results; the knob only trades
+    /// wall-clock time.
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Sets the shared artifact cache every configured scheme consults.
+    pub fn with_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = cache;
         self
     }
 }
@@ -210,46 +237,19 @@ pub fn evaluate_suite(
     benches: &[Benchmark],
     config: &EvaluationConfig,
 ) -> Result<Vec<BenchmarkEvaluation>, McdError> {
-    let registry = configured_registry(config)?;
     let workers = config.parallelism.max(1).min(benches.len().max(1));
-    if workers <= 1 {
-        return benches
-            .iter()
-            .map(|b| evaluate_with_registry(b, &config.machine, &registry))
-            .collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<BenchmarkEvaluation, McdError>>>> =
-        benches.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= benches.len() {
-                    break;
-                }
-                let eval = evaluate_with_registry(&benches[i], &config.machine, &registry);
-                *slots[i]
-                    .lock()
-                    .expect("no panics while holding the slot lock") = Some(eval);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| {
-            slot.into_inner()
-                .expect("worker threads have exited")
-                .unwrap_or_else(|| {
-                    Err(McdError::Internal(format!(
-                        "benchmark #{i} was never evaluated"
-                    )))
-                })
-        })
-        .collect()
+    // Split the thread budget between the two levels: `workers` benchmark
+    // threads, each with the leftover budget for window-parallel analysis.
+    let intra = (config.parallelism.max(1) / workers).max(1);
+    let registry = configured_registry(&EvaluationConfig {
+        parallelism: intra,
+        ..config.clone()
+    })?;
+    crate::parallel::parallel_map(benches.len(), workers, |i| {
+        evaluate_with_registry(&benches[i], &config.machine, &registry)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Evaluates a single scheme on one benchmark against a precomputed baseline

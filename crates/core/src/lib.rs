@@ -11,6 +11,12 @@
 //! * [`profile`] — profile-driven reconfiguration: train on a small input,
 //!   edit the binary (via `mcd-profiling`), choose per-node frequencies, and
 //!   reconfigure at subroutine/loop boundaries during production runs;
+//! * [`pipeline`] — the staged analysis pipeline behind the off-line oracle:
+//!   trace capture, window slicing, window-parallel shaker/threshold analysis
+//!   (bit-identical to the serial order), and schedule assembly/replay;
+//! * [`artifact`] — the content-addressed on-disk artifact cache that lets
+//!   evaluations and figure binaries reuse off-line schedules and training
+//!   plans instead of re-training;
 //! * [`offline`] — the off-line oracle with perfect future knowledge;
 //! * [`online`] — the hardware attack–decay controller;
 //! * [`global_dvs`] — the conventional whole-chip DVS baseline;
@@ -39,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod artifact;
 pub mod controller;
 pub mod dag;
 pub mod error;
@@ -47,19 +54,23 @@ pub mod global_dvs;
 pub mod histogram;
 pub mod offline;
 pub mod online;
+mod parallel;
+pub mod pipeline;
 pub mod profile;
 pub mod scheme;
 pub mod shaker;
 pub mod threshold;
 
+pub use artifact::{ArtifactCache, ArtifactKey, CacheStats};
 pub use controller::{FrequencyTable, SettingStack};
 pub use error::{find_benchmark, run_main, McdError};
 pub use evaluation::{
     evaluate_benchmark, evaluate_scheme, evaluate_suite, evaluate_with_registry,
     BenchmarkEvaluation, EvaluationConfig, SchemeResult,
 };
-pub use offline::{run_offline, OfflineConfig, OfflineResult};
+pub use offline::{run_offline, OfflineConfig, OfflineResult, OfflineSchedule};
 pub use online::{OnlineConfig, OnlineController};
+pub use pipeline::AnalysisPipeline;
 pub use profile::{train, train_and_run, ProfileHooks, ProfilePlan, TrainingConfig};
 pub use scheme::{
     configured_registry, standard_registry, DvfsScheme, GlobalDvsScheme, OfflineScheme,

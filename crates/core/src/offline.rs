@@ -8,16 +8,20 @@
 //! realizable controller can do, since it requires knowing the future. It is
 //! the upper bound the profile-driven and on-line mechanisms are measured
 //! against.
+//!
+//! The analysis itself lives in the staged [`crate::pipeline`] module
+//! (capture → slice → per-window analysis → schedule assembly);
+//! [`run_offline`] is the serial convenience wrapper. Use
+//! [`AnalysisPipeline`](crate::pipeline::AnalysisPipeline) directly for
+//! window-parallel analysis, and [`crate::artifact`] to cache the resulting
+//! schedules across processes.
 
-use crate::dag::DependenceDag;
-use crate::shaker::{Shaker, ShakerConfig};
-use crate::threshold::SlowdownThreshold;
+use crate::pipeline::AnalysisPipeline;
+use crate::shaker::ShakerConfig;
 use mcd_sim::config::MachineConfig;
 use mcd_sim::instruction::TraceItem;
 use mcd_sim::reconfig::FrequencySetting;
-use mcd_sim::simulator::{NullHooks, SimHooks, Simulator};
 use mcd_sim::stats::SimStats;
-use mcd_sim::time::TimeNs;
 
 /// Parameters of the off-line oracle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,12 +45,22 @@ impl Default for OfflineConfig {
 }
 
 /// The schedule the oracle computed: one frequency setting per window.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OfflineSchedule {
     settings: Vec<FrequencySetting>,
 }
 
 impl OfflineSchedule {
+    /// Creates a schedule from per-window settings, in window order.
+    pub fn from_settings(settings: Vec<FrequencySetting>) -> Self {
+        OfflineSchedule { settings }
+    }
+
+    /// The per-window settings, in window order.
+    pub fn settings(&self) -> &[FrequencySetting] {
+        &self.settings
+    }
+
     /// The setting for window `index` (the last setting persists past the end).
     pub fn setting(&self, index: u64) -> Option<FrequencySetting> {
         if self.settings.is_empty() {
@@ -77,99 +91,27 @@ pub struct OfflineResult {
     pub stats: SimStats,
 }
 
-/// Runs the off-line oracle on a reference trace.
+/// Runs the off-line oracle on a reference trace, serially.
 ///
 /// The same trace is first recorded at full speed (the "future knowledge"),
-/// then replayed under the computed schedule.
+/// then replayed under the computed schedule. This is a thin wrapper over the
+/// staged [`AnalysisPipeline`]; build the pipeline yourself to fan the
+/// per-window analysis out across worker threads.
 pub fn run_offline(
     trace: &[TraceItem],
     machine: &MachineConfig,
     config: &OfflineConfig,
 ) -> OfflineResult {
-    let simulator = Simulator::new(machine.clone());
-
-    // Recording pass: full speed, collect the event DAG.
-    let recording = simulator.run(trace.iter().copied(), &mut NullHooks, true);
-    let events = recording.events.expect("recording pass collects events");
-
-    // Slice by instruction window and analyse each window.
-    let shaker = Shaker::with_config(config.shaker);
-    let chooser = SlowdownThreshold::new(config.slowdown);
-    let grid = machine.grid.clone();
-    let f_max = machine.grid.max();
-    let window = config.window_instructions.max(1);
-    let window_count = recording.stats.instructions.div_ceil(window);
-
-    let mut settings = Vec::with_capacity(window_count as usize);
-    for w in 0..window_count {
-        let lo = (w * window) as u32;
-        let hi = ((w + 1) * window) as u32;
-        let mut slice = mcd_sim::events::EventTrace::new();
-        let mut id_map = vec![u32::MAX; events.len()];
-        for (i, ev) in events.events().iter().enumerate() {
-            if ev.instr_index >= lo && ev.instr_index < hi {
-                id_map[i] = slice.push_event(*ev);
-            }
-        }
-        for edge in events.edges() {
-            let f = id_map[edge.from as usize];
-            let t = id_map[edge.to as usize];
-            if f != u32::MAX && t != u32::MAX {
-                slice.push_edge(f, t);
-            }
-        }
-        if slice.is_empty() {
-            settings.push(FrequencySetting::full_speed());
-            continue;
-        }
-        let mut dag = DependenceDag::from_trace(&slice);
-        let histograms = shaker.shake_into_histograms(&mut dag, &grid, f_max);
-        settings.push(chooser.choose(&histograms).quantized(&grid));
-    }
-    let schedule = OfflineSchedule { settings };
-
-    // Controlled pass: apply each window's setting at its boundary.
-    let mut hooks = OfflineHooks {
-        schedule: &schedule,
-        window,
-    };
-    let controlled = simulator.run(trace.iter().copied(), &mut hooks, false);
-
-    OfflineResult {
-        schedule,
-        stats: controlled.stats,
-    }
-}
-
-/// Hooks that replay the oracle's schedule during the controlled run.
-#[derive(Debug)]
-struct OfflineHooks<'a> {
-    schedule: &'a OfflineSchedule,
-    window: u64,
-}
-
-impl SimHooks for OfflineHooks<'_> {
-    fn initial_setting(&self) -> Option<FrequencySetting> {
-        self.schedule.setting(0)
-    }
-
-    fn instruction_window(&self) -> Option<u64> {
-        Some(self.window)
-    }
-
-    fn on_instruction_window(
-        &mut self,
-        window_index: u64,
-        _now: TimeNs,
-    ) -> Option<FrequencySetting> {
-        self.schedule.setting(window_index)
-    }
+    AnalysisPipeline::new(*config).run(trace, machine)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcd_sim::simulator::NullHooks;
+    use mcd_sim::simulator::Simulator;
     use mcd_sim::stats::RelativeMetrics;
+    use mcd_sim::time::MegaHertz;
     use mcd_workloads::generator::generate_trace;
     use mcd_workloads::programs;
 
@@ -196,21 +138,58 @@ mod tests {
         );
     }
 
-    #[test]
-    fn schedule_indexing_clamps_to_last_window() {
-        let schedule = OfflineSchedule {
-            settings: vec![FrequencySetting::full_speed(); 3],
-        };
-        assert!(schedule.setting(0).is_some());
-        assert!(schedule.setting(99).is_some());
-        assert_eq!(schedule.len(), 3);
+    fn distinct_settings() -> Vec<FrequencySetting> {
+        vec![
+            FrequencySetting::uniform(MegaHertz::new(1000.0)),
+            FrequencySetting::uniform(MegaHertz::new(500.0)),
+            FrequencySetting::uniform(MegaHertz::new(250.0)),
+        ]
     }
 
     #[test]
-    fn empty_schedule_returns_none() {
+    fn schedule_indexing_returns_each_window_exactly() {
+        let settings = distinct_settings();
+        let schedule = OfflineSchedule::from_settings(settings.clone());
+        assert_eq!(schedule.len(), 3);
+        assert!(!schedule.is_empty());
+        assert_eq!(schedule.settings(), settings.as_slice());
+        for (i, expected) in settings.iter().enumerate() {
+            assert_eq!(schedule.setting(i as u64), Some(*expected));
+        }
+    }
+
+    #[test]
+    fn last_setting_persists_past_the_end_of_the_schedule() {
+        let settings = distinct_settings();
+        let last = *settings.last().unwrap();
+        let schedule = OfflineSchedule::from_settings(settings);
+        // Every index at or past the final window returns the *final* setting,
+        // not full speed and not None: the oracle's run keeps the last chosen
+        // operating point until the program ends.
+        for index in [3, 4, 99, u64::from(u32::MAX)] {
+            assert_eq!(schedule.setting(index), Some(last));
+        }
+        // The boundary case: the last in-range window is the same setting.
+        assert_eq!(schedule.setting(2), Some(last));
+    }
+
+    #[test]
+    fn empty_schedule_returns_none_for_every_index() {
         let schedule = OfflineSchedule::default();
-        assert!(schedule.setting(0).is_none());
         assert!(schedule.is_empty());
+        assert_eq!(schedule.len(), 0);
+        assert!(schedule.settings().is_empty());
+        for index in [0, 1, 1_000_000] {
+            assert_eq!(schedule.setting(index), None);
+        }
+    }
+
+    #[test]
+    fn single_window_schedule_serves_every_index() {
+        let only = FrequencySetting::uniform(MegaHertz::new(675.0));
+        let schedule = OfflineSchedule::from_settings(vec![only]);
+        assert_eq!(schedule.setting(0), Some(only));
+        assert_eq!(schedule.setting(u64::MAX), Some(only));
     }
 
     #[test]

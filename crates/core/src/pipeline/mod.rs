@@ -1,0 +1,167 @@
+//! The staged off-line analysis pipeline.
+//!
+//! The paper's off-line analysis — the hot path of every experiment — is an
+//! explicit four-stage pipeline here:
+//!
+//! 1. **Trace capture** ([`capture`]): run the input trace at full speed on
+//!    the simulator, recording the primitive-event dependence trace.
+//! 2. **Window slicing** ([`window::slice_windows`]): partition the recorded
+//!    events and edges into fixed instruction windows in a single pass.
+//! 3. **Per-window analysis** ([`window::analyze_windows`]): for every window,
+//!    build the dependence DAG, run the shaker, and apply slowdown
+//!    thresholding to pick a frequency setting. Windows are independent, so
+//!    this — the dominant cost — fans out across `std::thread::scope` workers;
+//!    the result is bit-identical to the serial order regardless of the worker
+//!    count.
+//! 4. **Schedule assembly and replay** ([`schedule`]): collect the per-window
+//!    settings into an [`OfflineSchedule`](crate::offline::OfflineSchedule)
+//!    and replay the trace applying each window's setting at its boundary.
+//!
+//! [`AnalysisPipeline`] composes the stages; [`run_offline`](crate::offline::run_offline)
+//! is a thin serial wrapper around it. Stage outputs are plain values, which is
+//! what lets the artifact cache ([`crate::artifact`]) persist a stage-3 result
+//! and skip stages 1–3 entirely on a warm run.
+
+pub mod capture;
+pub mod schedule;
+pub mod window;
+
+use crate::offline::{OfflineConfig, OfflineResult, OfflineSchedule};
+use crate::shaker::Shaker;
+use crate::threshold::SlowdownThreshold;
+use mcd_sim::config::MachineConfig;
+use mcd_sim::instruction::TraceItem;
+
+/// The staged off-line analysis pipeline: capture → slice → analyze → assemble.
+///
+/// ```
+/// use mcd_dvfs::offline::OfflineConfig;
+/// use mcd_dvfs::pipeline::AnalysisPipeline;
+/// use mcd_sim::config::MachineConfig;
+/// use mcd_workloads::{generator::generate_trace, programs};
+///
+/// let (program, inputs) = programs::adpcm::decode();
+/// let trace = generate_trace(&program, &inputs.training);
+/// let machine = MachineConfig::default();
+/// let pipeline = AnalysisPipeline::new(OfflineConfig::default()).with_parallelism(4);
+/// let schedule = pipeline.analyze(&trace, &machine);
+/// assert!(!schedule.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalysisPipeline {
+    config: OfflineConfig,
+    parallelism: usize,
+}
+
+impl AnalysisPipeline {
+    /// Creates a serial pipeline with the given analysis parameters.
+    pub fn new(config: OfflineConfig) -> Self {
+        AnalysisPipeline {
+            config,
+            parallelism: 1,
+        }
+    }
+
+    /// Sets the worker-thread count of the per-window analysis stage.
+    ///
+    /// Any value produces bit-identical schedules; only wall-clock time
+    /// changes. Values below one are clamped to one (serial).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// The analysis parameters.
+    pub fn config(&self) -> &OfflineConfig {
+        &self.config
+    }
+
+    /// The per-window worker-thread count.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Runs stages 1–3 and assembles the per-window frequency schedule
+    /// (without the controlled replay).
+    pub fn analyze(&self, trace: &[TraceItem], machine: &MachineConfig) -> OfflineSchedule {
+        let captured = capture::capture(trace, machine);
+        let plan = window::slice_windows(&captured, self.config.window_instructions);
+        let shaker = Shaker::with_config(self.config.shaker);
+        let chooser = SlowdownThreshold::new(self.config.slowdown);
+        let settings = window::analyze_windows(&plan, machine, &shaker, &chooser, self.parallelism);
+        schedule::assemble(settings)
+    }
+
+    /// Runs the full pipeline: analysis plus the controlled replay that
+    /// applies each window's setting at its boundary.
+    pub fn run(&self, trace: &[TraceItem], machine: &MachineConfig) -> OfflineResult {
+        let schedule = self.analyze(trace, machine);
+        let stats = schedule::replay(
+            trace,
+            machine,
+            &schedule,
+            self.config.window_instructions.max(1),
+        );
+        OfflineResult { schedule, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_workloads::generator::generate_trace;
+    use mcd_workloads::programs;
+
+    fn small_trace() -> Vec<mcd_sim::instruction::TraceItem> {
+        let (program, inputs) = programs::gsm::decode();
+        generate_trace(&program, &inputs.training)
+            .into_iter()
+            .take(50_000)
+            .collect()
+    }
+
+    #[test]
+    fn run_composes_analyze_and_replay() {
+        // `run` must be exactly `analyze` followed by `replay` with the same
+        // (clamped) window length — e.g. a drifting window between the two
+        // halves would silently shift every reconfiguration boundary.
+        let trace = small_trace();
+        let machine = MachineConfig::default();
+        let config = OfflineConfig::default();
+        let pipeline = AnalysisPipeline::new(config);
+        let composed_schedule = pipeline.analyze(&trace, &machine);
+        let composed_stats = schedule::replay(
+            &trace,
+            &machine,
+            &composed_schedule,
+            config.window_instructions,
+        );
+        let run = pipeline.run(&trace, &machine);
+        assert_eq!(run.schedule, composed_schedule);
+        assert_eq!(run.stats.run_time, composed_stats.run_time);
+        assert_eq!(
+            run.stats.total_energy.as_units(),
+            composed_stats.total_energy.as_units()
+        );
+    }
+
+    #[test]
+    fn parallel_analysis_is_bit_identical_to_serial() {
+        let trace = small_trace();
+        let machine = MachineConfig::default();
+        let config = OfflineConfig::default();
+        let serial = AnalysisPipeline::new(config).analyze(&trace, &machine);
+        for workers in [2, 3, 8] {
+            let parallel = AnalysisPipeline::new(config)
+                .with_parallelism(workers)
+                .analyze(&trace, &machine);
+            assert_eq!(serial, parallel, "parallelism={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn parallelism_clamps_to_at_least_one() {
+        let p = AnalysisPipeline::new(OfflineConfig::default()).with_parallelism(0);
+        assert_eq!(p.parallelism(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Pipeline stage 4: schedule assembly and controlled replay.
+//!
+//! The per-window settings from stage 3 are collected into an
+//! [`OfflineSchedule`]; replaying the trace under [`ScheduleHooks`] applies
+//! each window's setting at the window boundary (the oracle's controlled run).
+
+use crate::offline::OfflineSchedule;
+use mcd_sim::config::MachineConfig;
+use mcd_sim::instruction::TraceItem;
+use mcd_sim::reconfig::FrequencySetting;
+use mcd_sim::simulator::{SimHooks, Simulator};
+use mcd_sim::stats::SimStats;
+use mcd_sim::time::TimeNs;
+
+/// Collects per-window settings into a schedule (stage 4's assembly half).
+pub fn assemble(settings: Vec<FrequencySetting>) -> OfflineSchedule {
+    OfflineSchedule::from_settings(settings)
+}
+
+/// Hooks that replay a per-window schedule during a controlled run: at every
+/// window boundary the window's setting is written to the reconfiguration
+/// register (the last setting persists past the end of the schedule).
+#[derive(Debug)]
+pub struct ScheduleHooks<'a> {
+    schedule: &'a OfflineSchedule,
+    window_instructions: u64,
+}
+
+impl<'a> ScheduleHooks<'a> {
+    /// Creates replay hooks for `schedule` with the given window length.
+    pub fn new(schedule: &'a OfflineSchedule, window_instructions: u64) -> Self {
+        ScheduleHooks {
+            schedule,
+            window_instructions: window_instructions.max(1),
+        }
+    }
+}
+
+impl SimHooks for ScheduleHooks<'_> {
+    fn initial_setting(&self) -> Option<FrequencySetting> {
+        self.schedule.setting(0)
+    }
+
+    fn instruction_window(&self) -> Option<u64> {
+        Some(self.window_instructions)
+    }
+
+    fn on_instruction_window(
+        &mut self,
+        window_index: u64,
+        _now: TimeNs,
+    ) -> Option<FrequencySetting> {
+        self.schedule.setting(window_index)
+    }
+}
+
+/// Replays `trace` on `machine` under `schedule`, returning the controlled
+/// run's statistics.
+pub fn replay(
+    trace: &[TraceItem],
+    machine: &MachineConfig,
+    schedule: &OfflineSchedule,
+    window_instructions: u64,
+) -> SimStats {
+    let mut hooks = ScheduleHooks::new(schedule, window_instructions);
+    Simulator::new(machine.clone())
+        .run(trace.iter().copied(), &mut hooks, false)
+        .stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_sim::time::MegaHertz;
+
+    #[test]
+    fn assemble_preserves_window_order() {
+        let settings: Vec<FrequencySetting> = (0..4)
+            .map(|i| FrequencySetting::uniform(MegaHertz::new(250.0 + 25.0 * i as f64)))
+            .collect();
+        let schedule = assemble(settings.clone());
+        assert_eq!(schedule.len(), 4);
+        for (i, expected) in settings.iter().enumerate() {
+            assert_eq!(schedule.setting(i as u64), Some(*expected));
+        }
+    }
+
+    #[test]
+    fn hooks_replay_the_schedule_and_persist_the_last_setting() {
+        let slow = FrequencySetting::uniform(MegaHertz::new(250.0));
+        let schedule = assemble(vec![FrequencySetting::full_speed(), slow]);
+        let mut hooks = ScheduleHooks::new(&schedule, 1_000);
+        assert_eq!(
+            hooks.initial_setting(),
+            Some(FrequencySetting::full_speed())
+        );
+        assert_eq!(hooks.instruction_window(), Some(1_000));
+        assert_eq!(hooks.on_instruction_window(1, TimeNs::ZERO), Some(slow),);
+        // Past the end of the schedule the last window's setting persists.
+        assert_eq!(hooks.on_instruction_window(57, TimeNs::ZERO), Some(slow));
+    }
+
+    #[test]
+    fn hooks_clamp_a_zero_window() {
+        let schedule = assemble(vec![FrequencySetting::full_speed()]);
+        let hooks = ScheduleHooks::new(&schedule, 0);
+        assert_eq!(hooks.instruction_window(), Some(1));
+    }
+}

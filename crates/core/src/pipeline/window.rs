@@ -1,0 +1,187 @@
+//! Pipeline stages 2 and 3: window slicing and per-window analysis.
+//!
+//! Stage 2 partitions the captured event trace into fixed instruction windows
+//! in one pass over the events and one pass over the edges (the previous
+//! monolithic implementation rescanned the full trace once per window).
+//! Stage 3 analyses each window independently — dependence DAG, shaker,
+//! slowdown thresholding — and is embarrassingly parallel: windows share no
+//! state, so the analysis fans out across `std::thread::scope` workers and
+//! still produces bit-identical results to the serial order.
+
+use crate::dag::DependenceDag;
+use crate::pipeline::capture::CapturedTrace;
+use crate::shaker::Shaker;
+use crate::threshold::SlowdownThreshold;
+use mcd_sim::config::MachineConfig;
+use mcd_sim::events::EventTrace;
+use mcd_sim::reconfig::FrequencySetting;
+
+/// The output of the slicing stage: one event sub-trace per instruction
+/// window, ids remapped to be dense, edges restricted to pairs within the
+/// same window.
+#[derive(Debug, Clone)]
+pub struct WindowPlan {
+    /// Window length in instructions (at least one).
+    pub window_instructions: u64,
+    /// One slice per window, in window order.
+    pub slices: Vec<EventTrace>,
+}
+
+impl WindowPlan {
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// True if the capture produced no windows.
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+}
+
+/// Slices a captured trace into `window_instructions`-sized windows.
+///
+/// Events keep their recording order within each window; dependence edges that
+/// cross a window boundary are dropped, exactly as the per-window analysis of
+/// the paper requires (each window is analysed as a closed region).
+pub fn slice_windows(captured: &CapturedTrace, window_instructions: u64) -> WindowPlan {
+    let window = window_instructions.max(1);
+    let count = captured.stats.instructions.div_ceil(window) as usize;
+    let mut slices = vec![EventTrace::new(); count];
+    let events = captured.events.events();
+
+    // Remap each event id to its dense id within its window's slice.
+    let mut id_map = vec![u32::MAX; events.len()];
+    let window_of = |instr_index: u32| (instr_index as u64 / window) as usize;
+    for (i, ev) in events.iter().enumerate() {
+        let w = window_of(ev.instr_index);
+        if w < count {
+            id_map[i] = slices[w].push_event(*ev);
+        }
+    }
+    for edge in captured.events.edges() {
+        let (f, t) = (id_map[edge.from as usize], id_map[edge.to as usize]);
+        if f == u32::MAX || t == u32::MAX {
+            continue;
+        }
+        let w = window_of(events[edge.from as usize].instr_index);
+        if w == window_of(events[edge.to as usize].instr_index) {
+            slices[w].push_edge(f, t);
+        }
+    }
+
+    WindowPlan {
+        window_instructions: window,
+        slices,
+    }
+}
+
+/// Analyses one window slice: DAG build, shaker, slowdown thresholding.
+fn analyze_one(
+    slice: &EventTrace,
+    machine: &MachineConfig,
+    shaker: &Shaker,
+    chooser: &SlowdownThreshold,
+) -> FrequencySetting {
+    if slice.is_empty() {
+        return FrequencySetting::full_speed();
+    }
+    let mut dag = DependenceDag::from_trace(slice);
+    let histograms = shaker.shake_into_histograms(&mut dag, &machine.grid, machine.grid.max());
+    chooser.choose(&histograms).quantized(&machine.grid)
+}
+
+/// Runs stage 3 over every window of `plan`, spreading windows across up to
+/// `parallelism` scoped worker threads.
+///
+/// Each window's analysis is a pure function of its slice, so the returned
+/// settings are bit-identical for every worker count; only wall-clock time
+/// changes.
+pub fn analyze_windows(
+    plan: &WindowPlan,
+    machine: &MachineConfig,
+    shaker: &Shaker,
+    chooser: &SlowdownThreshold,
+    parallelism: usize,
+) -> Vec<FrequencySetting> {
+    crate::parallel::parallel_map(plan.slices.len(), parallelism, |i| {
+        analyze_one(&plan.slices[i], machine, shaker, chooser)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::capture::capture;
+    use mcd_workloads::generator::generate_trace;
+    use mcd_workloads::programs;
+
+    fn captured() -> CapturedTrace {
+        let (program, inputs) = programs::adpcm::decode();
+        let trace = generate_trace(&program, &inputs.training);
+        capture(&trace, &MachineConfig::default())
+    }
+
+    #[test]
+    fn slicing_partitions_every_in_range_event_exactly_once() {
+        let cap = captured();
+        let plan = slice_windows(&cap, 10_000);
+        assert_eq!(plan.len() as u64, cap.stats.instructions.div_ceil(10_000));
+        let sliced: usize = plan.slices.iter().map(|s| s.len()).sum();
+        let in_range = cap
+            .events
+            .events()
+            .iter()
+            .filter(|e| (e.instr_index as u64 / 10_000) < plan.len() as u64)
+            .count();
+        assert_eq!(sliced, in_range);
+        // Events stay in recording order inside each slice.
+        for slice in &plan.slices {
+            let indices: Vec<u32> = slice.events().iter().map(|e| e.instr_index).collect();
+            let mut sorted = indices.clone();
+            sorted.sort_unstable();
+            assert_eq!(indices, sorted);
+        }
+    }
+
+    #[test]
+    fn slicing_drops_cross_window_edges_only() {
+        let cap = captured();
+        let plan = slice_windows(&cap, 5_000);
+        let events = cap.events.events();
+        let intra = cap
+            .events
+            .edges()
+            .iter()
+            .filter(|e| {
+                let wf = events[e.from as usize].instr_index as u64 / 5_000;
+                let wt = events[e.to as usize].instr_index as u64 / 5_000;
+                wf == wt && wf < plan.len() as u64
+            })
+            .count();
+        let kept: usize = plan.slices.iter().map(|s| s.edges().len()).sum();
+        assert_eq!(kept, intra);
+    }
+
+    #[test]
+    fn degenerate_window_length_is_clamped() {
+        let cap = captured();
+        let plan = slice_windows(&cap, 0);
+        assert_eq!(plan.window_instructions, 1);
+        assert_eq!(plan.len() as u64, cap.stats.instructions);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_analysis() {
+        let cap = captured();
+        let plan = slice_windows(&cap, 10_000);
+        let machine = MachineConfig::default();
+        let shaker = Shaker::new();
+        let chooser = SlowdownThreshold::new(0.07);
+        let serial = analyze_windows(&plan, &machine, &shaker, &chooser, 1);
+        for workers in [2, 5] {
+            let parallel = analyze_windows(&plan, &machine, &shaker, &chooser, workers);
+            assert_eq!(serial, parallel);
+        }
+    }
+}

@@ -21,7 +21,7 @@ use mcd_profiling::candidates::LongRunningSet;
 use mcd_profiling::context::ContextPolicy;
 use mcd_profiling::edit::{InstrumentationPlan, NodeKey};
 use mcd_sim::config::MachineConfig;
-use mcd_sim::instruction::Marker;
+use mcd_sim::instruction::{Marker, TraceItem};
 use mcd_sim::simulator::{HookAction, SimHooks, Simulator};
 use mcd_sim::stats::SimStats;
 use mcd_sim::time::TimeNs;
@@ -75,27 +75,31 @@ impl ProfilePlan {
     }
 }
 
-/// Trains the profile-driven reconfiguration mechanism for one program.
+/// Phase 1 of training, on an already generated training trace: build the
+/// call tree, pick the long-running nodes, and lay out the instrumentation.
 ///
-/// `trace` generation, call-tree construction, the profiling simulation, the
-/// shaker and slowdown thresholding all run on the *training* input;
-/// production runs must use [`ProfilePlan::hooks`] on the reference input.
-pub fn train(
-    program: &Program,
-    training_input: &InputSet,
-    machine: &MachineConfig,
-    config: &TrainingConfig,
-) -> ProfilePlan {
-    let trace = mcd_workloads::generator::generate_trace(program, training_input);
-
-    // Phase 1: call tree and long-running nodes.
-    let tree = CallTree::build(&trace, config.policy);
+/// This phase is cheap (two passes over the trace, no simulation) and fully
+/// deterministic — the same trace and policy always produce the same node
+/// keys — which is what lets the artifact cache persist only the expensive
+/// phases' output (the frequency table) and rebuild the plan around it.
+pub fn instrumentation_plan(trace: &[TraceItem], config: &TrainingConfig) -> InstrumentationPlan {
+    let tree = CallTree::build(trace, config.policy);
     let long_running =
         LongRunningSet::identify_with_threshold(&tree, config.long_running_threshold);
-    let instrumentation = InstrumentationPlan::new(tree, long_running, config.policy);
+    InstrumentationPlan::new(tree, long_running, config.policy)
+}
 
-    // Phase 2 prerequisite: run the training input at full speed, recording
-    // primitive events tagged with the innermost active reconfiguration key.
+/// Phases 2 and 3 of training: the full-speed recording run of the training
+/// input, then shaker plus slowdown thresholding per reconfiguration key.
+/// This is the dominant cost of training — the part the artifact cache skips.
+fn analyze_training_run(
+    trace: Vec<TraceItem>,
+    instrumentation: &InstrumentationPlan,
+    machine: &MachineConfig,
+    config: &TrainingConfig,
+) -> (FrequencyTable, SimStats) {
+    // Run the training input at full speed, recording primitive events tagged
+    // with the innermost active reconfiguration key.
     let mut region_of_key: HashMap<NodeKey, u32> = HashMap::new();
     for (i, key) in instrumentation.reconfig_keys().into_iter().enumerate() {
         region_of_key.insert(key, (i + 1) as u32);
@@ -108,7 +112,7 @@ pub fn train(
     let result = simulator.run(trace, &mut trainer_hooks, true);
     let events = result.events.expect("training run records events");
 
-    // Phases 2 and 3: shaker + slowdown thresholding per reconfiguration key.
+    // Shaker + slowdown thresholding per reconfiguration key.
     let shaker = Shaker::with_config(config.shaker);
     let chooser = SlowdownThreshold::new(config.slowdown);
     let grid = machine.grid.clone();
@@ -126,11 +130,27 @@ pub fn train(
         }
         table.insert(*key, chooser.choose(&histograms).quantized(&grid));
     }
+    (table, result.stats)
+}
 
+/// Trains the profile-driven reconfiguration mechanism for one program.
+///
+/// `trace` generation, call-tree construction, the profiling simulation, the
+/// shaker and slowdown thresholding all run on the *training* input;
+/// production runs must use [`ProfilePlan::hooks`] on the reference input.
+pub fn train(
+    program: &Program,
+    training_input: &InputSet,
+    machine: &MachineConfig,
+    config: &TrainingConfig,
+) -> ProfilePlan {
+    let trace = mcd_workloads::generator::generate_trace(program, training_input);
+    let instrumentation = instrumentation_plan(&trace, config);
+    let (table, training_stats) = analyze_training_run(trace, &instrumentation, machine, config);
     ProfilePlan {
         instrumentation,
         table,
-        training_stats: result.stats,
+        training_stats,
     }
 }
 

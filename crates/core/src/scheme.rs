@@ -11,18 +11,21 @@
 //! [`SimHooks`] — [`SchemeContext::simulate`] is the common path — and report
 //! the controlled run's [`SimStats`].
 
+use crate::artifact::{self, ArtifactCache, TrainingArtifact};
 use crate::error::McdError;
 use crate::evaluation::{EvaluationConfig, SchemeResult};
 use crate::global_dvs::run_global_dvs;
-use crate::offline::{run_offline, OfflineConfig};
+use crate::offline::OfflineConfig;
 use crate::online::{OnlineConfig, OnlineController};
-use crate::profile::{train, TrainingConfig};
+use crate::pipeline::{schedule, AnalysisPipeline};
+use crate::profile::{instrumentation_plan, train, ProfilePlan, TrainingConfig};
 use mcd_sim::config::MachineConfig;
 use mcd_sim::instruction::TraceItem;
 use mcd_sim::simulator::{SimHooks, Simulator};
 use mcd_sim::stats::SimStats;
 use mcd_workloads::suite::Benchmark;
 use std::fmt;
+use std::sync::Arc;
 
 /// Canonical scheme names used by the standard registry.
 pub mod names {
@@ -43,7 +46,11 @@ pub struct SchemeContext<'a> {
     pub benchmark: &'a Benchmark,
     /// The machine model shared by every scheme in the comparison.
     pub machine: &'a MachineConfig,
-    /// The reference-input trace, generated once per benchmark.
+    /// The reference-input trace, generated once per benchmark. Callers that
+    /// build a context by hand must pass the canonical
+    /// `generate_trace(&benchmark.program, &benchmark.inputs.reference)`
+    /// output; cache keys assume the trace is determined by the benchmark and
+    /// input (plus the trace length, which guards against truncation).
     pub reference_trace: &'a [TraceItem],
     /// Full-speed MCD baseline statistics on the reference trace.
     pub baseline: &'a SimStats,
@@ -106,10 +113,32 @@ pub trait DvfsScheme: fmt::Debug + Send + Sync {
 }
 
 /// The off-line oracle scheme (perfect knowledge of the reference run).
-#[derive(Debug, Clone, Default)]
+///
+/// The expensive analysis runs through the staged
+/// [`AnalysisPipeline`](crate::pipeline::AnalysisPipeline): the per-window
+/// shaker/threshold stage fans out across `parallelism` worker threads, and
+/// the resulting schedule is stored in (and transparently reused from) the
+/// artifact cache, keyed by `(benchmark, input, machine, config)`.
+#[derive(Debug, Clone)]
 pub struct OfflineScheme {
     /// Oracle parameters (slowdown target, window length, shaker tuning).
     pub config: OfflineConfig,
+    /// Worker threads for the per-window analysis stage (results are
+    /// bit-identical for any value; see the pipeline docs).
+    pub parallelism: usize,
+    /// Artifact cache consulted before analysing and updated after. The
+    /// default is a disabled cache (always recompute).
+    pub cache: Arc<ArtifactCache>,
+}
+
+impl Default for OfflineScheme {
+    fn default() -> Self {
+        OfflineScheme {
+            config: OfflineConfig::default(),
+            parallelism: 1,
+            cache: Arc::new(ArtifactCache::disabled()),
+        }
+    }
 }
 
 impl DvfsScheme for OfflineScheme {
@@ -123,11 +152,35 @@ impl DvfsScheme for OfflineScheme {
 
     fn configure(&mut self, config: &EvaluationConfig) -> Result<(), McdError> {
         self.config = config.offline;
+        self.parallelism = config.parallelism.max(1);
+        self.cache = config.cache.clone();
         Ok(())
     }
 
     fn run(&self, ctx: &SchemeContext<'_>) -> Result<SimStats, McdError> {
-        Ok(run_offline(ctx.reference_trace, ctx.machine, &self.config).stats)
+        let key = artifact::offline_schedule_key(
+            ctx.benchmark.name,
+            &ctx.benchmark.inputs.reference,
+            ctx.reference_trace.len() as u64,
+            ctx.machine,
+            &self.config,
+        );
+        let schedule = match self.cache.load_schedule(&key) {
+            Some(schedule) => schedule,
+            None => {
+                let schedule = AnalysisPipeline::new(self.config)
+                    .with_parallelism(self.parallelism)
+                    .analyze(ctx.reference_trace, ctx.machine);
+                self.cache.store_schedule(&key, &schedule);
+                schedule
+            }
+        };
+        Ok(schedule::replay(
+            ctx.reference_trace,
+            ctx.machine,
+            &schedule,
+            self.config.window_instructions.max(1),
+        ))
     }
 }
 
@@ -160,10 +213,64 @@ impl DvfsScheme for OnlineScheme {
 }
 
 /// The profile-driven reconfiguration scheme (the paper's contribution).
-#[derive(Debug, Clone, Default)]
+///
+/// The expensive training phases (the full-speed recording run plus the
+/// per-region shaker) are stored in the artifact cache; on a warm hit only
+/// the cheap, deterministic instrumentation phase is rebuilt around the
+/// cached frequency table.
+#[derive(Debug, Clone)]
 pub struct ProfileScheme {
     /// Training parameters (context policy, slowdown target, thresholds).
     pub config: TrainingConfig,
+    /// Artifact cache consulted before training and updated after. The
+    /// default is a disabled cache (always retrain).
+    pub cache: Arc<ArtifactCache>,
+}
+
+impl Default for ProfileScheme {
+    fn default() -> Self {
+        ProfileScheme {
+            config: TrainingConfig::default(),
+            cache: Arc::new(ArtifactCache::disabled()),
+        }
+    }
+}
+
+impl ProfileScheme {
+    /// Obtains the training plan: from the cache when possible, by training
+    /// (and then caching the result) otherwise.
+    fn plan_for(&self, ctx: &SchemeContext<'_>) -> ProfilePlan {
+        let key = artifact::training_plan_key(
+            ctx.benchmark.name,
+            &ctx.benchmark.inputs.training,
+            ctx.machine,
+            &self.config,
+        );
+        if let Some(cached) = self.cache.load_training(&key) {
+            // Rebuild the cheap, deterministic phase-1 plan; the node keys it
+            // assigns match the ones the cached table was recorded under.
+            let trace = mcd_workloads::generator::generate_trace(
+                &ctx.benchmark.program,
+                &ctx.benchmark.inputs.training,
+            );
+            return ProfilePlan {
+                instrumentation: instrumentation_plan(&trace, &self.config),
+                table: cached.to_table(),
+                training_stats: cached.training_stats,
+            };
+        }
+        let plan = train(
+            &ctx.benchmark.program,
+            &ctx.benchmark.inputs.training,
+            ctx.machine,
+            &self.config,
+        );
+        self.cache.store_training(
+            &key,
+            &TrainingArtifact::from_table(&plan.table, plan.training_stats.clone()),
+        );
+        plan
+    }
 }
 
 impl DvfsScheme for ProfileScheme {
@@ -177,16 +284,12 @@ impl DvfsScheme for ProfileScheme {
 
     fn configure(&mut self, config: &EvaluationConfig) -> Result<(), McdError> {
         self.config = config.training;
+        self.cache = config.cache.clone();
         Ok(())
     }
 
     fn run(&self, ctx: &SchemeContext<'_>) -> Result<SimStats, McdError> {
-        let plan = train(
-            &ctx.benchmark.program,
-            &ctx.benchmark.inputs.training,
-            ctx.machine,
-            &self.config,
-        );
+        let plan = self.plan_for(ctx);
         let mut hooks = plan.hooks();
         Ok(ctx.simulate(&mut hooks))
     }

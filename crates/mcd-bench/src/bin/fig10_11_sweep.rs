@@ -3,7 +3,10 @@
 //! algorithms, produced by sweeping the slowdown threshold (off-line and
 //! profile) and the controller aggressiveness (on-line).
 
-use mcd_bench::{evaluate_all, mean, parallelism, quick_requested, run_main, selected_suite};
+use mcd_bench::{
+    evaluate_all, mean, parallelism, quick_requested, report_cache, run_main, selected_suite,
+    shared_cache,
+};
 use mcd_dvfs::evaluation::{BenchmarkEvaluation, EvaluationConfig};
 use mcd_dvfs::online::OnlineConfig;
 use mcd_dvfs::scheme::names;
@@ -55,7 +58,8 @@ fn main() -> ExitCode {
             eprintln!("  sweeping d={d:.2} ...");
             let config = EvaluationConfig::default()
                 .with_slowdown(d)
-                .with_parallelism(parallelism());
+                .with_parallelism(parallelism())
+                .with_cache(shared_cache());
             let evals = evaluate_all(&benches, &config)?;
             let label = format!("d={:.0}%", d * 100.0);
             print_row("off-line", &label, scheme_means(&evals, names::OFFLINE));
@@ -72,7 +76,8 @@ fn main() -> ExitCode {
                 },
                 ..EvaluationConfig::default()
             }
-            .with_parallelism(parallelism());
+            .with_parallelism(parallelism())
+            .with_cache(shared_cache());
             let evals = evaluate_all(&benches, &config)?;
             print_row(
                 "on-line",
@@ -80,6 +85,7 @@ fn main() -> ExitCode {
                 scheme_means(&evals, names::ONLINE),
             );
         }
+        report_cache();
         Ok(())
     })
 }

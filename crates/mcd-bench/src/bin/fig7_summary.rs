@@ -2,7 +2,9 @@
 //! energy×delay improvement across the suite, for every scheme in the
 //! registry (global DVS included).
 
-use mcd_bench::{default_config, evaluate_all, quick_requested, run_main, selected_suite, Metric};
+use mcd_bench::{
+    default_config, evaluate_all, quick_requested, report_cache, run_main, selected_suite, Metric,
+};
 use mcd_dvfs::evaluation::Summary;
 use std::process::ExitCode;
 
@@ -48,6 +50,7 @@ fn main() -> ExitCode {
                 );
             }
         }
+        report_cache();
         Ok(())
     })
 }

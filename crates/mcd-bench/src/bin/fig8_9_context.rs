@@ -3,7 +3,7 @@
 //! makes a visible difference (mpeg2 decode, epic encode, plus the loop-heavy
 //! applu and art).
 
-use mcd_bench::{default_config, format, run_main};
+use mcd_bench::{default_config, format, report_cache, run_main};
 use mcd_dvfs::error::find_benchmark;
 use mcd_dvfs::evaluation::{evaluate_scheme, run_trace_baseline};
 use mcd_dvfs::scheme::ProfileScheme;
@@ -51,6 +51,7 @@ fn main() -> ExitCode {
             }
             println!();
         }
+        report_cache();
         Ok(())
     })
 }

@@ -11,10 +11,12 @@
 
 pub mod timing;
 
+use mcd_dvfs::artifact::ArtifactCache;
 use mcd_dvfs::error::McdError;
 use mcd_dvfs::evaluation::{evaluate_suite, BenchmarkEvaluation, EvaluationConfig};
 use mcd_sim::stats::RelativeMetrics;
 use mcd_workloads::suite::{suite, Benchmark};
+use std::sync::{Arc, OnceLock};
 
 /// The slowdown target used for the headline results (the paper's Figures 4–7
 /// use a dilation target of roughly 7%).
@@ -61,6 +63,57 @@ pub fn parallelism() -> usize {
         })
 }
 
+/// True if the process arguments or environment ask to bypass the artifact
+/// cache (`--no-cache`, or `MCD_NO_CACHE=1`).
+pub fn no_cache_requested() -> bool {
+    std::env::args().any(|a| a == "--no-cache")
+        || std::env::var("MCD_NO_CACHE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+/// The artifact cache shared by every evaluation this process runs: resolved
+/// once from `--no-cache` / `MCD_NO_CACHE` / `MCD_CACHE_DIR` (defaulting to
+/// `.mcd-cache/`), so hit/miss counters accumulate across a binary's sweeps.
+pub fn shared_cache() -> Arc<ArtifactCache> {
+    static CACHE: OnceLock<Arc<ArtifactCache>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            if no_cache_requested() {
+                Arc::new(ArtifactCache::disabled())
+            } else {
+                Arc::new(ArtifactCache::from_env())
+            }
+        })
+        .clone()
+}
+
+/// Reports the shared cache's counters on stderr (machine-greppable, used by
+/// the CI cold/warm smoke test) and appends them to the cache directory's
+/// stats log so `cache_stats` can aggregate across processes.
+pub fn report_cache() {
+    let cache = shared_cache();
+    if !cache.is_enabled() {
+        return;
+    }
+    let s = cache.stats();
+    if s.lookups() == 0 && s.writes == 0 {
+        return;
+    }
+    eprintln!(
+        "mcd-cache: hits={} misses={} writes={} errors={} dir={}",
+        s.hits,
+        s.misses,
+        s.writes,
+        s.errors,
+        cache
+            .dir()
+            .expect("enabled cache has a directory")
+            .display()
+    );
+    cache.flush_stats_log();
+}
+
 /// The default evaluation configuration used by the figure binaries.
 pub fn default_config(include_global: bool) -> EvaluationConfig {
     EvaluationConfig {
@@ -69,6 +122,7 @@ pub fn default_config(include_global: bool) -> EvaluationConfig {
         ..EvaluationConfig::default()
     }
     .with_slowdown(HEADLINE_SLOWDOWN)
+    .with_cache(shared_cache())
 }
 
 /// Evaluates every benchmark in `benches` under `config` through the scheme
@@ -115,6 +169,7 @@ pub fn metric_figure(title: &str, metric: Metric) -> Result<(), McdError> {
     let config = default_config(false);
     let evals = evaluate_all(&benches, &config)?;
     print_metric_table(title, &evals, metric);
+    report_cache();
     Ok(())
 }
 

@@ -1,0 +1,266 @@
+//! Stable content fingerprinting for cache keys.
+//!
+//! The artifact cache (in the `mcd-dvfs` crate) addresses on-disk artifacts by
+//! a hash of everything that determines the artifact's content: the benchmark
+//! identity, its input seed, the machine model, and the analysis parameters.
+//! `std::hash::Hash` is unsuitable for that purpose — its output is allowed to
+//! change between compiler releases and library versions — so this module
+//! provides a tiny, dependency-free [FNV-1a] hasher whose byte-level encoding
+//! we control, plus the [`Fingerprint`] trait implemented for the
+//! configuration types that enter cache keys.
+//!
+//! Fingerprints are *stable*: the same logical value always produces the same
+//! 64-bit hash, across processes, platforms and releases of this workspace
+//! (bumping the cache schema version is the escape hatch when an encoding has
+//! to change).
+//!
+//! [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+
+use crate::config::{BranchPredictorConfig, CacheConfig, MachineConfig};
+use crate::freq::{FrequencyGrid, RampModel, VoltageMap};
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a hasher with an explicit, stable input encoding.
+///
+/// Multi-byte values are fed in little-endian order; floating-point values are
+/// hashed through their IEEE-754 bit patterns; strings are length-prefixed so
+/// adjacent fields cannot alias each other.
+///
+/// ```
+/// use mcd_sim::fingerprint::Fnv1a;
+/// let mut h = Fnv1a::new();
+/// h.write_str("adpcm decode");
+/// h.write_u64(42);
+/// let first = h.finish();
+/// let mut again = Fnv1a::new();
+/// again.write_str("adpcm decode");
+/// again.write_u64(42);
+/// assert_eq!(first, again.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a {
+            state: FNV_OFFSET_BASIS,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Feeds a `u32` in little-endian byte order.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` through its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a boolean as a single byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Feeds a string, length-prefixed so field boundaries are unambiguous.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// A type whose identity can be folded into a stable cache-key hash.
+///
+/// Implementations must feed every field that affects simulation or analysis
+/// results, in a fixed order, using the explicit `write_*` encoders.
+pub trait Fingerprint {
+    /// Folds this value into the hasher.
+    fn fingerprint(&self, h: &mut Fnv1a);
+
+    /// Convenience: the stable hash of this value alone.
+    fn fingerprint_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.fingerprint(&mut h);
+        h.finish()
+    }
+}
+
+impl Fingerprint for CacheConfig {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_u64(self.size_bytes);
+        h.write_u32(self.associativity);
+        h.write_u32(self.line_bytes);
+        h.write_u32(self.latency_cycles);
+    }
+}
+
+impl Fingerprint for BranchPredictorConfig {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_u32(self.level1_entries);
+        h.write_u32(self.history_bits);
+        h.write_u32(self.level2_entries);
+        h.write_u32(self.bimodal_entries);
+        h.write_u32(self.combining_entries);
+        h.write_u32(self.btb_sets);
+        h.write_u32(self.btb_ways);
+        h.write_u32(self.mispredict_penalty);
+    }
+}
+
+impl Fingerprint for FrequencyGrid {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_f64(self.min().as_mhz());
+        h.write_f64(self.max().as_mhz());
+        h.write_f64(self.step().as_mhz());
+    }
+}
+
+impl Fingerprint for VoltageMap {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_f64(self.min_frequency().as_mhz());
+        h.write_f64(self.max_frequency().as_mhz());
+        h.write_f64(self.min_voltage().as_volts());
+        h.write_f64(self.max_voltage().as_volts());
+    }
+}
+
+impl Fingerprint for RampModel {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_f64(self.ns_per_mhz());
+    }
+}
+
+impl Fingerprint for MachineConfig {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_u32(self.decode_width);
+        h.write_u32(self.issue_width);
+        h.write_u32(self.retire_width);
+        self.l1d.fingerprint(h);
+        self.l1i.fingerprint(h);
+        self.l2.fingerprint(h);
+        h.write_f64(self.memory_latency_ns);
+        h.write_u32(self.int_alus);
+        h.write_u32(self.int_mult_units);
+        h.write_u32(self.fp_alus);
+        h.write_u32(self.fp_mult_units);
+        h.write_u32(self.int_issue_queue);
+        h.write_u32(self.fp_issue_queue);
+        h.write_u32(self.ls_queue);
+        h.write_u32(self.reorder_buffer);
+        h.write_u32(self.int_registers);
+        h.write_u32(self.fp_registers);
+        self.branch.fingerprint(h);
+        self.grid.fingerprint(h);
+        self.voltage_map.fingerprint(h);
+        self.ramp.fingerprint(h);
+        h.write_f64(self.sync_window_ps);
+        h.write_f64(self.jitter_sigma_ps);
+        h.write_bool(self.synchronization_enabled);
+        h.write_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn string_encoding_is_unambiguous() {
+        // ("ab", "c") must not collide with ("a", "bc").
+        let mut h1 = Fnv1a::new();
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = Fnv1a::new();
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn machine_config_fingerprint_is_stable_and_sensitive() {
+        let base = MachineConfig::default();
+        assert_eq!(base.fingerprint_hash(), base.fingerprint_hash());
+        assert_eq!(
+            base.fingerprint_hash(),
+            MachineConfig::default().fingerprint_hash()
+        );
+
+        let reseeded = base.to_builder().seed(999).build().expect("valid");
+        assert_ne!(base.fingerprint_hash(), reseeded.fingerprint_hash());
+
+        let synchronous = base
+            .to_builder()
+            .synchronization(false)
+            .build()
+            .expect("valid");
+        assert_ne!(base.fingerprint_hash(), synchronous.fingerprint_hash());
+
+        let bigger_rob = base
+            .to_builder()
+            .reorder_buffer(128)
+            .build()
+            .expect("valid");
+        assert_ne!(base.fingerprint_hash(), bigger_rob.fingerprint_hash());
+    }
+
+    #[test]
+    fn component_fingerprints_cover_their_fields() {
+        let grid = FrequencyGrid::default();
+        let coarser = FrequencyGrid::new(grid.min(), grid.max(), crate::time::MegaHertz::new(50.0));
+        assert_ne!(grid.fingerprint_hash(), coarser.fingerprint_hash());
+
+        let ramp = RampModel::default();
+        assert_ne!(
+            ramp.fingerprint_hash(),
+            RampModel::new(10.0).fingerprint_hash()
+        );
+    }
+}

@@ -184,6 +184,16 @@ impl VoltageMap {
         Volts::new(self.min_volts + t * (self.max_volts - self.min_volts))
     }
 
+    /// The lowest frequency operating point of the map.
+    pub fn min_frequency(&self) -> MegaHertz {
+        MegaHertz::new(self.min_freq_mhz)
+    }
+
+    /// The highest frequency operating point of the map.
+    pub fn max_frequency(&self) -> MegaHertz {
+        MegaHertz::new(self.max_freq_mhz)
+    }
+
     /// The maximum (reference) voltage of the map.
     pub fn max_voltage(&self) -> Volts {
         Volts::new(self.max_volts)

@@ -52,6 +52,7 @@ pub mod cache;
 pub mod config;
 pub mod domain;
 pub mod events;
+pub mod fingerprint;
 pub mod freq;
 pub mod instruction;
 pub mod power;
@@ -64,6 +65,7 @@ pub mod time;
 
 pub use config::{MachineConfig, MachineConfigError};
 pub use domain::{Domain, PerDomain};
+pub use fingerprint::{Fingerprint, Fnv1a};
 pub use instruction::{Instr, InstrClass, Marker, TraceItem};
 pub use reconfig::FrequencySetting;
 pub use simulator::{HookAction, NullHooks, SimHooks, SimResult, Simulator};

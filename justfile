@@ -24,6 +24,14 @@ fmt:
 bench:
     cargo bench
 
+# Print artifact-cache entries, sizes, and accumulated hit/miss counters.
+cache-stats:
+    cargo run --release --bin cache_stats
+
+# Delete the artifact cache (respects MCD_CACHE_DIR, defaults to .mcd-cache).
+cache-clean:
+    rm -rf "${MCD_CACHE_DIR:-.mcd-cache}"
+
 # Regenerate every paper figure and table (quick six-benchmark subset).
 figures:
     cargo run --release --bin table1_config

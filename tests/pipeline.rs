@@ -1,0 +1,264 @@
+//! Integration tests for the staged analysis pipeline and the
+//! content-addressed artifact cache: window-parallel determinism, cache
+//! round-trips, corruption/version fallback, and transparent reuse through
+//! the registry-driven evaluation path.
+
+use mcd_dvfs::artifact::{self, codec, ArtifactCache};
+use mcd_dvfs::evaluation::{evaluate_benchmark, BenchmarkEvaluation, EvaluationConfig};
+use mcd_dvfs::offline::OfflineConfig;
+use mcd_dvfs::pipeline::AnalysisPipeline;
+use mcd_sim::config::MachineConfig;
+use mcd_sim::instruction::TraceItem;
+use mcd_workloads::generator::generate_trace;
+use mcd_workloads::suite;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A unique, disposable cache directory under the system temp dir.
+struct TempCacheDir {
+    path: PathBuf,
+}
+
+impl TempCacheDir {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "mcd-pipeline-test-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        TempCacheDir { path }
+    }
+
+    fn cache(&self) -> Arc<ArtifactCache> {
+        Arc::new(ArtifactCache::new(&self.path))
+    }
+}
+
+impl Drop for TempCacheDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+fn small_trace() -> Vec<TraceItem> {
+    let bench = suite::benchmark("gsm decode").expect("known benchmark");
+    generate_trace(&bench.program, &bench.inputs.training)
+        .into_iter()
+        .take(60_000)
+        .collect()
+}
+
+fn assert_evaluations_bit_identical(a: &BenchmarkEvaluation, b: &BenchmarkEvaluation) {
+    assert_eq!(a.name, b.name);
+    assert_eq!(a.baseline.run_time, b.baseline.run_time);
+    assert_eq!(a.schemes.len(), b.schemes.len());
+    for (x, y) in a.schemes.iter().zip(&b.schemes) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(
+            x.result.stats.run_time.as_ns().to_bits(),
+            y.result.stats.run_time.as_ns().to_bits(),
+            "scheme {} diverged in run time",
+            x.name
+        );
+        assert_eq!(
+            x.result.stats.total_energy.as_units().to_bits(),
+            y.result.stats.total_energy.as_units().to_bits(),
+            "scheme {} diverged in energy",
+            x.name
+        );
+        assert_eq!(x.result.metrics, y.result.metrics);
+    }
+}
+
+#[test]
+fn window_parallel_analysis_is_deterministic_across_parallelism_levels() {
+    let trace = small_trace();
+    let machine = MachineConfig::default();
+    let config = OfflineConfig::default();
+    let serial = AnalysisPipeline::new(config).run(&trace, &machine);
+    assert!(!serial.schedule.is_empty());
+    // At least three distinct parallelism levels, including counts that do
+    // not divide the window count evenly.
+    for workers in [2, 3, 5, 16] {
+        let parallel = AnalysisPipeline::new(config)
+            .with_parallelism(workers)
+            .run(&trace, &machine);
+        assert_eq!(
+            serial.schedule, parallel.schedule,
+            "schedule diverged at parallelism={workers}"
+        );
+        assert_eq!(
+            serial.stats.run_time.as_ns().to_bits(),
+            parallel.stats.run_time.as_ns().to_bits(),
+            "replay diverged at parallelism={workers}"
+        );
+    }
+}
+
+#[test]
+fn offline_schedule_cache_round_trip_is_bit_identical() {
+    let dir = TempCacheDir::new("schedule-roundtrip");
+    let cache = dir.cache();
+    let trace = small_trace();
+    let machine = MachineConfig::default();
+    let config = OfflineConfig::default();
+    let schedule = AnalysisPipeline::new(config).analyze(&trace, &machine);
+
+    let bench = suite::benchmark("gsm decode").unwrap();
+    let key = artifact::offline_schedule_key(
+        bench.name,
+        &bench.inputs.reference,
+        trace.len() as u64,
+        &machine,
+        &config,
+    );
+    cache.store_schedule(&key, &schedule);
+    let loaded = cache.load_schedule(&key).expect("artifact present");
+    assert_eq!(loaded.len(), schedule.len());
+    for (a, b) in schedule.settings().iter().zip(loaded.settings()) {
+        for d in mcd_sim::domain::Domain::SCALABLE {
+            assert_eq!(a.get(d).as_mhz().to_bits(), b.get(d).as_mhz().to_bits());
+        }
+        assert_eq!(a, b);
+    }
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.writes, stats.errors), (1, 1, 0));
+}
+
+#[test]
+fn corrupted_artifact_falls_back_to_recompute() {
+    let dir = TempCacheDir::new("corrupted");
+    let cache = dir.cache();
+    let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+    let config = EvaluationConfig::default().with_cache(cache.clone());
+
+    let cold = evaluate_benchmark(&bench, &config).expect("cold evaluation");
+    assert_eq!(cache.stats().writes, 2, "schedule + training plan written");
+
+    // Trash both artifacts in place.
+    for entry in cache.entries() {
+        std::fs::write(dir.path.join(&entry.name), b"not an artifact").unwrap();
+    }
+    let recomputed = evaluate_benchmark(&bench, &config).expect("fallback evaluation");
+    assert_evaluations_bit_identical(&cold, &recomputed);
+    let stats = cache.stats();
+    assert!(
+        stats.errors >= 2,
+        "corruption should be counted, got {stats:?}"
+    );
+    assert_eq!(stats.hits, 0);
+}
+
+#[test]
+fn version_mismatched_artifact_falls_back_to_recompute() {
+    let dir = TempCacheDir::new("version");
+    let cache = dir.cache();
+    let trace = small_trace();
+    let machine = MachineConfig::default();
+    let config = OfflineConfig::default();
+    let schedule = AnalysisPipeline::new(config).analyze(&trace, &machine);
+    let bench = suite::benchmark("gsm decode").unwrap();
+    let key = artifact::offline_schedule_key(
+        bench.name,
+        &bench.inputs.reference,
+        trace.len() as u64,
+        &machine,
+        &config,
+    );
+    cache.store_schedule(&key, &schedule);
+
+    // Rewrite the format version in place and fix the trailing checksum, so
+    // the version check (not the corruption check) must reject the file.
+    let path = cache.path_of(&key).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4..8].copy_from_slice(&(codec::FORMAT_VERSION + 1).to_le_bytes());
+    let content_len = bytes.len() - 8;
+    let mut h = mcd_sim::fingerprint::Fnv1a::new();
+    h.write_bytes(&bytes[..content_len]);
+    let sum = h.finish();
+    bytes[content_len..].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    assert_eq!(
+        codec::decode_schedule(&bytes),
+        Err(codec::CodecError::UnsupportedVersion {
+            found: codec::FORMAT_VERSION + 1
+        })
+    );
+    assert_eq!(cache.load_schedule(&key), None, "mismatch must miss");
+    let stats = cache.stats();
+    assert_eq!(stats.errors, 1);
+
+    // The evaluation path recomputes and produces the same schedule.
+    let recomputed = AnalysisPipeline::new(config).analyze(&trace, &machine);
+    assert_eq!(recomputed, schedule);
+}
+
+#[test]
+fn registry_evaluation_transparently_reuses_artifacts() {
+    let dir = TempCacheDir::new("transparent");
+    let cache = dir.cache();
+    let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+    let config = EvaluationConfig {
+        include_global: true,
+        ..EvaluationConfig::default()
+    }
+    .with_cache(cache.clone());
+
+    let cold = evaluate_benchmark(&bench, &config).expect("cold evaluation");
+    let after_cold = cache.stats();
+    assert_eq!(after_cold.hits, 0);
+    assert_eq!(after_cold.misses, 2);
+    assert_eq!(after_cold.writes, 2);
+
+    let warm = evaluate_benchmark(&bench, &config).expect("warm evaluation");
+    let after_warm = cache.stats();
+    assert_eq!(
+        after_warm.hits, 2,
+        "offline schedule + training plan reused"
+    );
+    assert_eq!(after_warm.misses, 2, "no new misses on the warm run");
+    assert_eq!(
+        after_warm.writes, 2,
+        "nothing recomputed, nothing rewritten"
+    );
+    assert_evaluations_bit_identical(&cold, &warm);
+
+    // A different analysis configuration must not reuse the artifacts.
+    let other = evaluate_benchmark(&bench, &config.clone().with_slowdown(0.14))
+        .expect("different-config evaluation");
+    let after_other = cache.stats();
+    assert_eq!(after_other.hits, 2);
+    assert_eq!(after_other.misses, 4);
+    assert_eq!(after_other.writes, 4);
+    assert_ne!(
+        other.require("offline").unwrap().stats.run_time,
+        warm.require("offline").unwrap().stats.run_time
+    );
+}
+
+#[test]
+fn cached_and_uncached_evaluations_agree() {
+    let dir = TempCacheDir::new("agree");
+    let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+    let uncached = evaluate_benchmark(&bench, &EvaluationConfig::default()).unwrap();
+
+    let cached_config = EvaluationConfig::default().with_cache(dir.cache());
+    let first = evaluate_benchmark(&bench, &cached_config).unwrap();
+    let second = evaluate_benchmark(&bench, &cached_config).unwrap();
+    assert_evaluations_bit_identical(&uncached, &first);
+    assert_evaluations_bit_identical(&uncached, &second);
+}
+
+#[test]
+fn full_parallelism_budget_flows_to_windows_for_single_benchmarks() {
+    // A single-benchmark evaluation with a large thread budget must produce
+    // exactly the serial result (the budget goes to the window stage).
+    let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+    let serial = evaluate_benchmark(&bench, &EvaluationConfig::default()).unwrap();
+    let parallel =
+        evaluate_benchmark(&bench, &EvaluationConfig::default().with_parallelism(8)).unwrap();
+    assert_evaluations_bit_identical(&serial, &parallel);
+}
