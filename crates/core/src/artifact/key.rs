@@ -38,7 +38,10 @@ impl ArtifactKey {
     }
 }
 
-fn write_input(h: &mut Fnv1a, input: &InputSet) {
+/// Folds an input set into a key hash. Shared with the
+/// [`Evaluator`](crate::service::Evaluator)'s in-memory baseline memo so both
+/// layers key traces by the same identity.
+pub(crate) fn write_input(h: &mut Fnv1a, input: &InputSet) {
     h.write_u8(match input.kind {
         InputKind::Training => 0,
         InputKind::Reference => 1,

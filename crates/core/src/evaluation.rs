@@ -11,13 +11,21 @@
 //! Nothing here knows which schemes exist — adding a fifth scheme to the
 //! comparison means implementing the trait and extending the registry, not
 //! editing this module.
+//!
+//! Batch evaluation now lives in the job-oriented
+//! [`Evaluator`](crate::service::Evaluator) service ([`crate::service`]):
+//! build it once, submit `(benchmark, overrides)` jobs, and receive results
+//! as a stream of events. The blocking free functions [`evaluate_benchmark`]
+//! and [`evaluate_suite`] remain as deprecated shims over that service; the
+//! types here ([`EvaluationConfig`], [`BenchmarkEvaluation`], [`Summary`],
+//! …) are shared by both entry points.
 
 use crate::artifact::ArtifactCache;
 use crate::error::McdError;
 use crate::offline::OfflineConfig;
 use crate::online::OnlineConfig;
 use crate::profile::TrainingConfig;
-use crate::scheme::{configured_registry, DvfsScheme, SchemeContext, SchemeOutcome};
+use crate::scheme::{DvfsScheme, SchemeContext, SchemeOutcome};
 use mcd_profiling::context::ContextPolicy;
 use mcd_sim::config::MachineConfig;
 use mcd_sim::instruction::TraceItem;
@@ -192,39 +200,76 @@ pub fn evaluate_with_registry(
         .run(reference_trace.iter().copied(), &mut NullHooks, false)
         .stats;
 
+    let schemes = run_schemes(
+        bench,
+        machine,
+        registry,
+        &reference_trace,
+        &baseline,
+        |_| {},
+    )?;
+    Ok(BenchmarkEvaluation {
+        name: bench.name.to_string(),
+        baseline,
+        schemes,
+    })
+}
+
+/// Runs every scheme in `registry` against a precomputed reference trace and
+/// baseline, invoking `on_outcome` after each scheme finishes — the streaming
+/// core shared by [`evaluate_with_registry`] and the
+/// [`Evaluator`](crate::service::Evaluator) service (which turns the callback
+/// into `SchemeFinished` events).
+pub(crate) fn run_schemes(
+    bench: &Benchmark,
+    machine: &MachineConfig,
+    registry: &[Box<dyn DvfsScheme>],
+    reference_trace: &[TraceItem],
+    baseline: &SimStats,
+    mut on_outcome: impl FnMut(&SchemeOutcome),
+) -> Result<Vec<SchemeOutcome>, McdError> {
     let mut outcomes: Vec<SchemeOutcome> = Vec::with_capacity(registry.len());
     for scheme in registry {
         let stats = {
             let ctx = SchemeContext {
                 benchmark: bench,
                 machine,
-                reference_trace: &reference_trace,
-                baseline: &baseline,
+                reference_trace,
+                baseline,
                 prior: &outcomes,
             };
             scheme.run(&ctx)?
         };
-        outcomes.push(SchemeOutcome {
+        let outcome = SchemeOutcome {
             name: scheme.name().to_string(),
             label: scheme.label(),
-            result: SchemeResult::new(stats, &baseline),
-        });
+            result: SchemeResult::new(stats, baseline),
+        };
+        on_outcome(&outcome);
+        outcomes.push(outcome);
     }
-
-    Ok(BenchmarkEvaluation {
-        name: bench.name.to_string(),
-        baseline,
-        schemes: outcomes,
-    })
+    Ok(outcomes)
 }
 
 /// Evaluates the standard scheme registry on one benchmark.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `service::Evaluator` once and submit an `EvalJob` instead; \
+            this shim constructs a single-use service per call"
+)]
 pub fn evaluate_benchmark(
     bench: &Benchmark,
     config: &EvaluationConfig,
 ) -> Result<BenchmarkEvaluation, McdError> {
-    let registry = configured_registry(config)?;
-    evaluate_with_registry(bench, &config.machine, &registry)
+    // No suite level, so the whole thread budget flows to window analysis.
+    let evaluator = crate::service::Evaluator::builder()
+        .config(config.clone())
+        .workers(1)
+        .build();
+    let mut evals = evaluator
+        .submit(crate::service::EvalJob::new(bench.clone()))
+        .collect()?;
+    Ok(evals.remove(0))
 }
 
 /// Evaluates the standard registry on a list of benchmarks, spreading the
@@ -233,23 +278,29 @@ pub fn evaluate_benchmark(
 /// Each benchmark's evaluation is independent and deterministic, so the
 /// parallel result is bit-for-bit identical to the serial one; only wall-clock
 /// time changes.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `service::Evaluator` once and submit the benchmarks as \
+            `EvalJob`s instead; this shim constructs a single-use service per \
+            call, so baselines cannot be shared across calls"
+)]
 pub fn evaluate_suite(
     benches: &[Benchmark],
     config: &EvaluationConfig,
 ) -> Result<Vec<BenchmarkEvaluation>, McdError> {
+    // Split the thread budget between the two levels exactly as before:
+    // `workers` benchmark threads, each with the leftover budget for
+    // window-parallel analysis (the builder computes `parallelism / workers`).
     let workers = config.parallelism.max(1).min(benches.len().max(1));
-    // Split the thread budget between the two levels: `workers` benchmark
-    // threads, each with the leftover budget for window-parallel analysis.
-    let intra = (config.parallelism.max(1) / workers).max(1);
-    let registry = configured_registry(&EvaluationConfig {
-        parallelism: intra,
-        ..config.clone()
-    })?;
-    crate::parallel::parallel_map(benches.len(), workers, |i| {
-        evaluate_with_registry(&benches[i], &config.machine, &registry)
-    })
-    .into_iter()
-    .collect()
+    let evaluator = crate::service::Evaluator::builder()
+        .config(config.clone())
+        .workers(workers)
+        .build();
+    let jobs = benches
+        .iter()
+        .map(|b| crate::service::EvalJob::new(b.clone()))
+        .collect();
+    evaluator.submit_all(jobs).collect()
 }
 
 /// Evaluates a single scheme on one benchmark against a precomputed baseline
@@ -335,6 +386,9 @@ pub fn run_trace_baseline(trace: &[TraceItem], machine: &MachineConfig) -> SimSt
         .stats
 }
 
+// The deprecated shims must keep their historical behaviour until they are
+// removed, so the tests here exercise them on purpose.
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;

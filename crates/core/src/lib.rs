@@ -23,9 +23,12 @@
 //! * [`scheme`] — the [`DvfsScheme`](scheme::DvfsScheme) trait unifying all
 //!   four control schemes behind one interface, plus the standard registry;
 //! * [`evaluation`] — the registry-driven pipeline that compares the schemes
-//!   per benchmark (optionally in parallel across a suite), producing the
-//!   paper's metrics (performance degradation, energy savings, energy·delay
-//!   improvement);
+//!   per benchmark, producing the paper's metrics (performance degradation,
+//!   energy savings, energy·delay improvement);
+//! * [`service`] — the job-oriented [`Evaluator`](service::Evaluator)
+//!   service: build it once, submit `(benchmark, overrides)` jobs, share
+//!   memoized baselines across configurations, and stream per-scheme results
+//!   as events;
 //! * [`error`] — the shared [`McdError`](error::McdError) type reported on
 //!   every user-facing path.
 //!
@@ -58,15 +61,17 @@ mod parallel;
 pub mod pipeline;
 pub mod profile;
 pub mod scheme;
+pub mod service;
 pub mod shaker;
 pub mod threshold;
 
 pub use artifact::{ArtifactCache, ArtifactKey, CacheStats};
 pub use controller::{FrequencyTable, SettingStack};
 pub use error::{find_benchmark, run_main, McdError};
+#[allow(deprecated)]
+pub use evaluation::{evaluate_benchmark, evaluate_suite};
 pub use evaluation::{
-    evaluate_benchmark, evaluate_scheme, evaluate_suite, evaluate_with_registry,
-    BenchmarkEvaluation, EvaluationConfig, SchemeResult,
+    evaluate_scheme, evaluate_with_registry, BenchmarkEvaluation, EvaluationConfig, SchemeResult,
 };
 pub use offline::{run_offline, OfflineConfig, OfflineResult, OfflineSchedule};
 pub use online::{OnlineConfig, OnlineController};
@@ -75,6 +80,9 @@ pub use profile::{train, train_and_run, ProfileHooks, ProfilePlan, TrainingConfi
 pub use scheme::{
     configured_registry, standard_registry, DvfsScheme, GlobalDvsScheme, OfflineScheme,
     OnlineScheme, ProfileScheme, SchemeContext, SchemeOutcome,
+};
+pub use service::{
+    EvalEvent, EvalJob, Evaluator, EvaluatorBuilder, JobId, MemoStats, ResultStream,
 };
 pub use shaker::{Shaker, ShakerConfig};
 pub use threshold::SlowdownThreshold;

@@ -362,6 +362,35 @@ pub fn configured_registry(
     Ok(registry)
 }
 
+/// Builds a configured registry restricted to the named schemes, preserving
+/// the standard registry order (the [`Evaluator`](crate::service::Evaluator)
+/// uses this for jobs that evaluate a subset of the comparison — a sweep that
+/// only reads the on-line series does not have to pay for the off-line
+/// analysis).
+///
+/// Naming [`names::GLOBAL`] implies `include_global` regardless of the
+/// config; an unrecognised name is an [`McdError::UnknownScheme`]. Note that
+/// `global` matches the off-line oracle's run time, so a subset containing
+/// `global` but not `offline` fails at run time with
+/// [`McdError::MissingDependency`].
+pub fn subset_registry(
+    config: &EvaluationConfig,
+    subset: &[String],
+) -> Result<Vec<Box<dyn DvfsScheme>>, McdError> {
+    let mut config = config.clone();
+    config.include_global = config.include_global || subset.iter().any(|n| n == names::GLOBAL);
+    let full = configured_registry(&config)?;
+    for name in subset {
+        if !full.iter().any(|s| s.name() == name) {
+            return Err(McdError::UnknownScheme(name.clone()));
+        }
+    }
+    Ok(full
+        .into_iter()
+        .filter(|s| subset.iter().any(|n| n == s.name()))
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +419,28 @@ mod tests {
         profile.configure(&config).unwrap();
         assert!((profile.config.slowdown - 0.11).abs() < 1e-12);
         assert_eq!(registry.len(), 3);
+    }
+
+    #[test]
+    fn subset_registry_preserves_order_and_rejects_unknown_names() {
+        let config = EvaluationConfig::default();
+        let subset = subset_registry(
+            &config,
+            &[names::PROFILE.to_string(), names::OFFLINE.to_string()],
+        )
+        .expect("known schemes");
+        // Standard registry order, not request order.
+        let picked: Vec<&str> = subset.iter().map(|s| s.name()).collect();
+        assert_eq!(picked, vec![names::OFFLINE, names::PROFILE]);
+
+        // Naming `global` implies include_global even when the config says no.
+        let with_global = subset_registry(&config, &[names::GLOBAL.to_string()])
+            .expect("global implied by the subset");
+        assert_eq!(with_global.len(), 1);
+        assert_eq!(with_global[0].name(), names::GLOBAL);
+
+        let err = subset_registry(&config, &["bogus".to_string()]).unwrap_err();
+        assert!(matches!(err, McdError::UnknownScheme(name) if name == "bogus"));
     }
 
     #[test]

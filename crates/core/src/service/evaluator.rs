@@ -1,0 +1,435 @@
+//! The long-lived evaluation service: worker pool, baseline memo, submission.
+
+use crate::evaluation::{BenchmarkEvaluation, EvaluationConfig};
+use crate::parallel::WorkQueue;
+use crate::service::job::{EvalJob, JobId};
+use crate::service::stream::{EvalEvent, ResultStream};
+use mcd_sim::config::MachineConfig;
+use mcd_sim::fingerprint::{Fingerprint, Fnv1a};
+use mcd_sim::instruction::TraceItem;
+use mcd_sim::simulator::{NullHooks, Simulator};
+use mcd_sim::stats::SimStats;
+use mcd_workloads::generator::generate_trace;
+use mcd_workloads::suite::Benchmark;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Counters of the evaluator's baseline memo.
+///
+/// A *miss* is a `(benchmark, machine)` pair whose reference trace and
+/// full-speed baseline had to be computed; a *hit* is a job that reused them.
+/// After a sweep of `n` configurations over `b` benchmarks, `misses == b` and
+/// `hits == (n - 1) * b` — each pair was computed exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Jobs served from the memo.
+    pub hits: u64,
+    /// Jobs that computed (and memoized) their baseline.
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Total baseline lookups (one per processed job).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// The memoized per-`(benchmark, machine)` artifacts every job on that pair
+/// shares: the reference trace and the full-speed MCD baseline statistics.
+#[derive(Debug)]
+struct BaselineArtifacts {
+    trace: Vec<TraceItem>,
+    baseline: SimStats,
+}
+
+/// One queued unit of work: the job plus the event channel of its submission.
+#[derive(Debug)]
+struct QueuedJob {
+    id: JobId,
+    job: EvalJob,
+    events: mpsc::Sender<EvalEvent>,
+}
+
+/// State shared between the evaluator handle and its worker threads.
+#[derive(Debug)]
+struct Shared {
+    config: EvaluationConfig,
+    window_parallelism: usize,
+    queue: WorkQueue<QueuedJob>,
+    baselines: Mutex<HashMap<u64, Arc<OnceLock<Arc<BaselineArtifacts>>>>>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+}
+
+impl Shared {
+    /// The memoized reference trace and baseline for one benchmark, computing
+    /// them exactly once per `(benchmark, machine)` pair — concurrent jobs on
+    /// the same pair block on the initializing job instead of recomputing.
+    /// Returns the artifacts and whether they came out of the memo.
+    fn baseline_for(
+        &self,
+        bench: &Benchmark,
+        machine: &MachineConfig,
+    ) -> (Arc<BaselineArtifacts>, bool) {
+        let key = baseline_key(bench, machine);
+        let slot = {
+            let mut map = self.baselines.lock().expect("memo lock never poisoned");
+            map.entry(key)
+                .or_insert_with(|| Arc::new(OnceLock::new()))
+                .clone()
+        };
+        let mut computed = false;
+        let artifacts = slot
+            .get_or_init(|| {
+                computed = true;
+                let trace = generate_trace(&bench.program, &bench.inputs.reference);
+                let baseline = Simulator::new(machine.clone())
+                    .run(trace.iter().copied(), &mut NullHooks, false)
+                    .stats;
+                Arc::new(BaselineArtifacts { trace, baseline })
+            })
+            .clone();
+        if computed {
+            self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (artifacts, !computed)
+    }
+}
+
+/// The stable identity of a `(benchmark, machine)` baseline: the same
+/// encoding discipline as the artifact-cache keys, so two jobs share a memo
+/// entry exactly when their reference traces and baselines are
+/// interchangeable.
+fn baseline_key(bench: &Benchmark, machine: &MachineConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str("baseline");
+    h.write_str(bench.name);
+    crate::artifact::key::write_input(&mut h, &bench.inputs.reference);
+    machine.fingerprint(&mut h);
+    h.finish()
+}
+
+/// Builds an [`Evaluator`]: machine and analysis parameters (via an
+/// [`EvaluationConfig`]), the shared artifact cache, and the thread budget.
+///
+/// The budget follows the documented [`EvaluationConfig::with_parallelism`]
+/// split: `parallelism` is the total; [`workers`](EvaluatorBuilder::workers)
+/// job-level threads (default: the whole budget, clamped to it) each hand
+/// their jobs the leftover `parallelism / workers` (floor 1) for
+/// window-parallel off-line analysis.
+#[derive(Debug, Clone, Default)]
+pub struct EvaluatorBuilder {
+    config: EvaluationConfig,
+    workers: Option<usize>,
+}
+
+impl EvaluatorBuilder {
+    /// Starts from the default [`EvaluationConfig`].
+    pub fn new() -> Self {
+        EvaluatorBuilder::default()
+    }
+
+    /// Replaces the whole base configuration.
+    pub fn config(mut self, config: EvaluationConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the machine model (fixed for the evaluator's lifetime — it is
+    /// part of the baseline-memo identity).
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.config.machine = machine;
+        self
+    }
+
+    /// Sets the shared artifact cache.
+    pub fn cache(mut self, cache: Arc<crate::artifact::ArtifactCache>) -> Self {
+        self.config.cache = cache;
+        self
+    }
+
+    /// Sets the total worker-thread budget (floor 1).
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.config = self.config.with_parallelism(parallelism);
+        self
+    }
+
+    /// Pins the number of job-level worker threads (clamped to `1..=`
+    /// the total budget). Without this the whole budget goes to job-level
+    /// workers, which is right when jobs outnumber threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Spawns the worker pool and returns the ready service.
+    pub fn build(self) -> Evaluator {
+        let total = self.config.parallelism.max(1);
+        let workers = self.workers.unwrap_or(total).clamp(1, total);
+        let window_parallelism = (total / workers).max(1);
+        let shared = Arc::new(Shared {
+            config: self.config,
+            window_parallelism,
+            queue: WorkQueue::new(),
+            baselines: Mutex::new(HashMap::new()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("mcd-eval-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        Evaluator {
+            shared,
+            worker_handles: handles,
+            worker_count: workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The job-oriented evaluation service (see the [module docs](crate::service)
+/// for the lifecycle).
+///
+/// Build one with [`Evaluator::builder`], keep it for as long as evaluations
+/// are needed, and [`submit`](Evaluator::submit) jobs from any thread; every
+/// submission gets its own [`ResultStream`]. Dropping the evaluator drains
+/// the queued jobs and joins the workers.
+#[derive(Debug)]
+pub struct Evaluator {
+    shared: Arc<Shared>,
+    worker_handles: Vec<JoinHandle<()>>,
+    worker_count: usize,
+    next_id: AtomicU64,
+}
+
+impl Evaluator {
+    /// Starts building an evaluator.
+    pub fn builder() -> EvaluatorBuilder {
+        EvaluatorBuilder::new()
+    }
+
+    /// The number of job-level worker threads.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// The worker-thread budget each job gets for window-parallel off-line
+    /// analysis (`parallelism / workers`, floor 1).
+    pub fn window_parallelism(&self) -> usize {
+        self.shared.window_parallelism
+    }
+
+    /// The base configuration jobs inherit.
+    pub fn config(&self) -> &EvaluationConfig {
+        &self.shared.config
+    }
+
+    /// Snapshot of the baseline-memo counters.
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.shared.memo_hits.load(Ordering::Relaxed),
+            misses: self.shared.memo_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Releases the memoized reference traces and baselines; the counters
+    /// are preserved.
+    ///
+    /// The memo holds every `(benchmark, machine)` pair's reference trace —
+    /// the large part — for the evaluator's lifetime, which is exactly what a
+    /// sweep wants but grows unboundedly in a service that cycles through
+    /// many distinct benchmarks. Call this between batches to cap resident
+    /// memory; later jobs recompute (and re-memoize) on demand.
+    pub fn clear_baselines(&self) {
+        self.shared
+            .baselines
+            .lock()
+            .expect("memo lock never poisoned")
+            .clear();
+    }
+
+    /// Submits one job; sugar for a one-element [`submit_all`](Evaluator::submit_all).
+    pub fn submit(&self, job: EvalJob) -> ResultStream {
+        self.submit_all(vec![job])
+    }
+
+    /// Submits a batch of jobs sharing one event stream. Jobs start in
+    /// submission order as workers free up; their events interleave on the
+    /// returned stream. An empty batch returns a stream that is already
+    /// finished.
+    pub fn submit_all(&self, jobs: Vec<EvalJob>) -> ResultStream {
+        let (sender, receiver) = mpsc::channel();
+        let mut ids = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+            ids.push(id);
+            let _ = sender.send(EvalEvent::JobQueued {
+                job: id,
+                benchmark: job.benchmark.name.to_string(),
+            });
+            self.shared.queue.push(QueuedJob {
+                id,
+                job,
+                events: sender.clone(),
+            });
+        }
+        // Dropping the submission's sender leaves one sender clone per queued
+        // job; the stream therefore ends exactly when the last job finishes.
+        drop(sender);
+        ResultStream {
+            receiver,
+            jobs: ids,
+        }
+    }
+}
+
+impl Drop for Evaluator {
+    /// Graceful shutdown: queued jobs are drained (their streams complete),
+    /// then the workers exit and are joined.
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A worker: pop jobs until the queue closes and drains.
+fn worker_loop(shared: &Shared) {
+    while let Some(queued) = shared.queue.pop() {
+        process_job(shared, queued);
+    }
+}
+
+/// Runs one job end to end, emitting its lifecycle events. Event sends are
+/// allowed to fail silently: a caller that dropped its [`ResultStream`] has
+/// said it no longer cares about the results.
+fn process_job(shared: &Shared, queued: QueuedJob) {
+    let QueuedJob { id, job, events } = queued;
+    let benchmark_name = job.benchmark().name.to_string();
+    let config = job.effective_config(&shared.config, shared.window_parallelism);
+
+    // Validate the registry before paying for the baseline: a job with an
+    // unknown scheme fails fast and never touches the memo.
+    let registry = match job.build_registry(&config) {
+        Ok(registry) => registry,
+        Err(error) => {
+            let _ = events.send(EvalEvent::JobFailed {
+                job: id,
+                benchmark: benchmark_name,
+                error,
+            });
+            return;
+        }
+    };
+
+    let (artifacts, memo_hit) = shared.baseline_for(job.benchmark(), &config.machine);
+    let _ = events.send(EvalEvent::BaselineReady {
+        job: id,
+        benchmark: benchmark_name.clone(),
+        memo_hit,
+    });
+
+    let outcome = crate::evaluation::run_schemes(
+        job.benchmark(),
+        &config.machine,
+        &registry,
+        &artifacts.trace,
+        &artifacts.baseline,
+        |outcome| {
+            let _ = events.send(EvalEvent::SchemeFinished {
+                job: id,
+                benchmark: benchmark_name.clone(),
+                outcome: outcome.clone(),
+            });
+        },
+    );
+    match outcome {
+        Ok(schemes) => {
+            let _ = events.send(EvalEvent::JobCompleted {
+                job: id,
+                evaluation: BenchmarkEvaluation {
+                    name: benchmark_name,
+                    baseline: artifacts.baseline.clone(),
+                    schemes,
+                },
+            });
+        }
+        Err(error) => {
+            let _ = events.send(EvalEvent::JobFailed {
+                job: id,
+                benchmark: benchmark_name,
+                error,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_applies_the_documented_budget_split() {
+        // parallelism / workers, floor 1, workers clamped into 1..=total.
+        let evaluator = Evaluator::builder().parallelism(8).workers(3).build();
+        assert_eq!(evaluator.workers(), 3);
+        assert_eq!(evaluator.window_parallelism(), 2); // 8 / 3 = 2
+
+        let evaluator = Evaluator::builder().parallelism(4).build();
+        assert_eq!(evaluator.workers(), 4);
+        assert_eq!(evaluator.window_parallelism(), 1);
+
+        let evaluator = Evaluator::builder().parallelism(6).workers(2).build();
+        assert_eq!(evaluator.workers(), 2);
+        assert_eq!(evaluator.window_parallelism(), 3);
+    }
+
+    #[test]
+    fn builder_enforces_the_floors_and_clamps() {
+        // A zero budget floors to one; workers can neither be zero nor exceed
+        // the total budget.
+        let evaluator = Evaluator::builder().parallelism(0).build();
+        assert_eq!(evaluator.workers(), 1);
+        assert_eq!(evaluator.window_parallelism(), 1);
+
+        let evaluator = Evaluator::builder().parallelism(2).workers(0).build();
+        assert_eq!(evaluator.workers(), 1);
+        assert_eq!(evaluator.window_parallelism(), 2);
+
+        let evaluator = Evaluator::builder().parallelism(2).workers(99).build();
+        assert_eq!(evaluator.workers(), 2);
+        assert_eq!(evaluator.window_parallelism(), 1);
+    }
+
+    #[test]
+    fn empty_submission_finishes_immediately() {
+        let evaluator = Evaluator::builder().build();
+        let stream = evaluator.submit_all(Vec::new());
+        assert!(stream.jobs().is_empty());
+        let evals = stream.collect().expect("empty batch succeeds");
+        assert!(evals.is_empty());
+    }
+
+    #[test]
+    fn baseline_keys_separate_benchmarks_and_machines() {
+        let a = mcd_workloads::suite::benchmark("adpcm decode").unwrap();
+        let b = mcd_workloads::suite::benchmark("gsm decode").unwrap();
+        let machine = MachineConfig::default();
+        assert_eq!(baseline_key(&a, &machine), baseline_key(&a, &machine));
+        assert_ne!(baseline_key(&a, &machine), baseline_key(&b, &machine));
+        let reseeded = machine.to_builder().seed(7).build().expect("valid");
+        assert_ne!(baseline_key(&a, &machine), baseline_key(&a, &reseeded));
+    }
+}

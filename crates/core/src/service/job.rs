@@ -1,0 +1,174 @@
+//! Jobs: one benchmark plus the per-job overrides of the shared base config.
+
+use crate::error::McdError;
+use crate::evaluation::EvaluationConfig;
+use crate::online::OnlineConfig;
+use crate::scheme::{configured_registry, subset_registry, DvfsScheme};
+use mcd_profiling::context::ContextPolicy;
+use mcd_workloads::suite::Benchmark;
+
+/// Identity of one submitted job, unique within an
+/// [`Evaluator`](crate::service::Evaluator) and monotonically increasing in
+/// submission order (so the smallest id in a batch is the first-submitted
+/// job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// One unit of evaluation work: a benchmark plus optional overrides of the
+/// evaluator's base configuration.
+///
+/// A job without overrides evaluates the standard registry exactly as the
+/// base [`EvaluationConfig`] describes. Overrides change the slowdown target,
+/// the calling-context policy, the on-line controller tuning, or restrict the
+/// run to a subset of schemes — everything the paper's sweeps vary — while
+/// the machine model stays fixed per evaluator, which is what lets jobs share
+/// memoized reference traces and baselines.
+#[derive(Debug, Clone)]
+pub struct EvalJob {
+    pub(crate) benchmark: Benchmark,
+    pub(crate) slowdown: Option<f64>,
+    pub(crate) policy: Option<ContextPolicy>,
+    pub(crate) online: Option<OnlineConfig>,
+    pub(crate) include_global: Option<bool>,
+    pub(crate) schemes: Option<Vec<String>>,
+}
+
+impl EvalJob {
+    /// A job evaluating `benchmark` under the evaluator's base configuration.
+    pub fn new(benchmark: Benchmark) -> Self {
+        EvalJob {
+            benchmark,
+            slowdown: None,
+            policy: None,
+            online: None,
+            include_global: None,
+            schemes: None,
+        }
+    }
+
+    /// The benchmark this job evaluates.
+    pub fn benchmark(&self) -> &Benchmark {
+        &self.benchmark
+    }
+
+    /// Overrides the slowdown target of the off-line and profile analyses.
+    pub fn with_slowdown(mut self, slowdown: f64) -> Self {
+        self.slowdown = Some(slowdown);
+        self
+    }
+
+    /// Overrides the calling-context policy of the profile-driven scheme.
+    pub fn with_policy(mut self, policy: ContextPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Overrides the on-line controller tuning.
+    pub fn with_online(mut self, online: OnlineConfig) -> Self {
+        self.online = Some(online);
+        self
+    }
+
+    /// Overrides whether the global-DVS baseline is part of the comparison.
+    pub fn with_global(mut self, include_global: bool) -> Self {
+        self.include_global = Some(include_global);
+        self
+    }
+
+    /// Restricts the job to the named schemes (standard registry order is
+    /// preserved; see [`subset_registry`] for the `global` caveats).
+    pub fn with_schemes<I, S>(mut self, schemes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.schemes = Some(schemes.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// The job's effective configuration: the evaluator's base config with
+    /// this job's overrides applied and the per-job window-analysis budget
+    /// installed.
+    pub(crate) fn effective_config(
+        &self,
+        base: &EvaluationConfig,
+        window_parallelism: usize,
+    ) -> EvaluationConfig {
+        let mut config = base.clone();
+        config.parallelism = window_parallelism.max(1);
+        if let Some(slowdown) = self.slowdown {
+            config = config.with_slowdown(slowdown);
+        }
+        if let Some(policy) = self.policy {
+            config = config.with_policy(policy);
+        }
+        if let Some(online) = self.online {
+            config.online = online;
+        }
+        if let Some(include_global) = self.include_global {
+            config.include_global = include_global;
+        }
+        config
+    }
+
+    /// Builds the configured registry this job runs: the standard registry,
+    /// or the requested subset of it.
+    pub(crate) fn build_registry(
+        &self,
+        config: &EvaluationConfig,
+    ) -> Result<Vec<Box<dyn DvfsScheme>>, McdError> {
+        match &self.schemes {
+            Some(subset) => subset_registry(config, subset),
+            None => configured_registry(config),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_workloads::suite;
+
+    #[test]
+    fn overrides_apply_on_top_of_the_base_config() {
+        let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+        let base = EvaluationConfig::default().with_slowdown(0.07);
+        let job = EvalJob::new(bench)
+            .with_slowdown(0.14)
+            .with_policy(ContextPolicy::Func)
+            .with_global(true);
+        let config = job.effective_config(&base, 3);
+        assert!((config.training.slowdown - 0.14).abs() < 1e-12);
+        assert!((config.offline.slowdown - 0.14).abs() < 1e-12);
+        assert_eq!(config.training.policy, ContextPolicy::Func);
+        assert!(config.include_global);
+        assert_eq!(config.parallelism, 3);
+    }
+
+    #[test]
+    fn plain_job_inherits_the_base_config() {
+        let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+        let base = EvaluationConfig::default().with_slowdown(0.07);
+        let config = EvalJob::new(bench).effective_config(&base, 1);
+        assert!((config.training.slowdown - 0.07).abs() < 1e-12);
+        assert!(!config.include_global);
+        assert_eq!(config.parallelism, 1);
+    }
+
+    #[test]
+    fn subset_jobs_build_a_restricted_registry() {
+        let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+        let base = EvaluationConfig::default();
+        let job = EvalJob::new(bench).with_schemes([crate::scheme::names::ONLINE]);
+        let config = job.effective_config(&base, 1);
+        let registry = job.build_registry(&config).expect("known scheme subset");
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry[0].name(), crate::scheme::names::ONLINE);
+    }
+}

@@ -1,0 +1,89 @@
+//! The job-oriented evaluation service: build an [`Evaluator`] once, submit
+//! [`EvalJob`]s, receive [`EvalEvent`]s as they happen.
+//!
+//! The paper's comparison is a batch of (benchmark × configuration × scheme)
+//! runs. The old entry points — the now-deprecated free functions
+//! [`evaluate_benchmark`](crate::evaluation::evaluate_benchmark) and
+//! [`evaluate_suite`](crate::evaluation::evaluate_suite) — treated every call
+//! as an island: they regenerated the reference trace and the full-speed MCD
+//! baseline per call and returned nothing until the whole batch was done.
+//! This module replaces them with a long-lived service:
+//!
+//! * **Build once** ([`Evaluator::builder`]): machine model, analysis
+//!   parameters, artifact cache and thread budget are fixed up front; a pool
+//!   of worker threads (the [`WorkQueue`](crate::parallel) scaffolding) waits
+//!   for jobs.
+//! * **Submit jobs** ([`Evaluator::submit`], [`Evaluator::submit_all`]): an
+//!   [`EvalJob`] is a benchmark plus overrides — slowdown target, context
+//!   policy, on-line tuning, scheme subset. Submission never blocks on
+//!   evaluation work.
+//! * **Share baselines**: the service memoizes reference traces and
+//!   full-speed baselines per `(benchmark, machine)` fingerprint, so a sweep
+//!   submitting many configurations of the same benchmarks computes each
+//!   trace and baseline exactly once — across *different* configurations,
+//!   which `evaluate_suite` could never do. [`Evaluator::memo_stats`] exposes
+//!   the hit/miss counters.
+//! * **Stream results** ([`ResultStream`]): results arrive incrementally as
+//!   events instead of all at once at the end.
+//!
+//! # Event lifecycle
+//!
+//! Per job, events always arrive in this order on the submission's stream:
+//!
+//! ```text
+//! JobQueued ──▶ BaselineReady ──▶ SchemeFinished (0..n) ──▶ JobCompleted
+//!                                                      └──▶ JobFailed
+//!                                               (exactly one terminal event)
+//! ```
+//!
+//! * [`EvalEvent::JobQueued`] — sent at submission time.
+//! * [`EvalEvent::BaselineReady`] — the job's reference trace and baseline
+//!   exist (`memo_hit` says whether another job already paid for them).
+//! * [`EvalEvent::SchemeFinished`] — one per scheme in the job's registry, in
+//!   registry order, each carrying the scheme's [`SchemeOutcome`]
+//!   (see [`crate::scheme`]).
+//! * [`EvalEvent::JobCompleted`] / [`EvalEvent::JobFailed`] — terminal; a
+//!   completed job carries the full
+//!   [`BenchmarkEvaluation`](crate::evaluation::BenchmarkEvaluation). A failed
+//!   job never poisons the rest of its batch. A job rejected at
+//!   registry-construction time (unknown scheme name) fails straight from
+//!   `JobQueued`, before any baseline work.
+//!
+//! Events of different jobs interleave arbitrarily; the stream ends after the
+//! last job's terminal event. [`ResultStream::collect`] recovers the old
+//! blocking `Vec<BenchmarkEvaluation>` shape (submission order, first error
+//! wins), and [`ResultStream::collect_with`] does the same while letting the
+//! caller observe every event on the way — progress reporting costs nothing
+//! extra.
+//!
+//! # Example
+//!
+//! ```
+//! use mcd_dvfs::service::{EvalJob, Evaluator};
+//! use mcd_dvfs::scheme::names;
+//!
+//! let evaluator = Evaluator::builder().parallelism(2).build();
+//! let bench = mcd_workloads::suite::benchmark("adpcm decode").expect("known");
+//!
+//! // A two-point slowdown sweep over one benchmark: the reference trace and
+//! // baseline are computed once and shared across both jobs.
+//! let stream = evaluator.submit_all(vec![
+//!     EvalJob::new(bench.clone()).with_slowdown(0.04),
+//!     EvalJob::new(bench).with_slowdown(0.10),
+//! ]);
+//! let evals = stream.collect().expect("both jobs succeed");
+//! assert_eq!(evals.len(), 2);
+//! assert_eq!(evaluator.memo_stats().misses, 1); // one baseline computed...
+//! assert_eq!(evaluator.memo_stats().hits, 1); // ...and reused once
+//! let sparing = evals[0].metrics(names::OFFLINE).expect("offline ran");
+//! let aggressive = evals[1].metrics(names::OFFLINE).expect("offline ran");
+//! assert!(aggressive.energy_savings >= sparing.energy_savings);
+//! ```
+
+mod evaluator;
+mod job;
+mod stream;
+
+pub use evaluator::{Evaluator, EvaluatorBuilder, MemoStats};
+pub use job::{EvalJob, JobId};
+pub use stream::{EvalEvent, ResultStream};

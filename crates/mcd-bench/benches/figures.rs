@@ -3,8 +3,9 @@
 //! profile-driven training and production run).
 
 use mcd_bench::timing::{bb, Harness};
-use mcd_dvfs::evaluation::{evaluate_benchmark, EvaluationConfig};
+use mcd_dvfs::evaluation::EvaluationConfig;
 use mcd_dvfs::profile::{train, TrainingConfig};
+use mcd_dvfs::service::{EvalJob, Evaluator};
 use mcd_sim::config::MachineConfig;
 use mcd_workloads::suite;
 
@@ -26,9 +27,18 @@ fn main() {
     });
 
     harness.bench_function("figure4_bar_group_adpcm_decode", |b| {
-        let config = EvaluationConfig::default();
         b.iter(|| {
-            let eval = evaluate_benchmark(bb(&bench), &config).expect("evaluation succeeds");
+            // A fresh single-use service per iteration, so every iteration
+            // pays the full end-to-end cost (the baseline memo of a shared
+            // service would make iterations after the first cheaper).
+            let evaluator = Evaluator::builder()
+                .config(EvaluationConfig::default())
+                .build();
+            let eval = evaluator
+                .submit(EvalJob::new(bb(&bench).clone()))
+                .collect()
+                .expect("evaluation succeeds")
+                .remove(0);
             bb(eval
                 .result(mcd_dvfs::scheme::names::PROFILE)
                 .map(|r| r.metrics.energy_savings))

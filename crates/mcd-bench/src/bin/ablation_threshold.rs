@@ -8,6 +8,7 @@
 //! to the energy/performance trade-off.
 
 use mcd_bench::{format, selected_suite};
+use mcd_dvfs::evaluation::Summary;
 use mcd_dvfs::evaluation::{relative, run_baseline};
 use mcd_dvfs::profile::{train, TrainingConfig};
 use mcd_sim::config::MachineConfig;
@@ -54,15 +55,14 @@ fn main() {
             slowdowns.push(m.performance_degradation);
             savings.push(m.energy_savings);
         }
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         println!(
             "{:<12} {:>14} {:>14} {:>12.0} {:>14} {:>14}",
             threshold,
             points,
             writes,
             overhead,
-            format::pct(mean(&slowdowns)),
-            format::pct(mean(&savings)),
+            format::pct(Summary::of(&slowdowns).mean),
+            format::pct(Summary::of(&savings).mean),
         );
     }
     println!();

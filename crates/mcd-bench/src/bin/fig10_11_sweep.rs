@@ -2,19 +2,24 @@
 //! achieved slowdown for the on-line, off-line and profile-based (L+F)
 //! algorithms, produced by sweeping the slowdown threshold (off-line and
 //! profile) and the controller aggressiveness (on-line).
+//!
+//! This sweep is the evaluation service's showcase: one [`Evaluator`] takes
+//! every (configuration × benchmark) job up front, so each benchmark's
+//! reference trace and full-speed baseline are computed exactly once across
+//! all ten configuration points, and each point's jobs run only the schemes
+//! its series reads (the decay sweep does not re-run the off-line oracle).
 
-use mcd_bench::{
-    evaluate_all, mean, parallelism, quick_requested, report_cache, run_main, selected_suite,
-    shared_cache,
-};
-use mcd_dvfs::evaluation::{BenchmarkEvaluation, EvaluationConfig};
+use mcd_bench::{default_config, report_cache, run_main, selected_suite, Options};
+use mcd_dvfs::evaluation::{BenchmarkEvaluation, Summary};
 use mcd_dvfs::online::OnlineConfig;
 use mcd_dvfs::scheme::names;
+use mcd_dvfs::service::{EvalJob, Evaluator, ResultStream};
+use mcd_workloads::suite::Benchmark;
 use std::process::ExitCode;
 
 fn scheme_means(evals: &[BenchmarkEvaluation], scheme: &str) -> (f64, f64, f64) {
     let collect = |f: &dyn Fn(&BenchmarkEvaluation) -> Option<f64>| -> f64 {
-        mean(&evals.iter().filter_map(f).collect::<Vec<_>>())
+        Summary::of(&evals.iter().filter_map(f).collect::<Vec<_>>()).mean
     };
     (
         collect(&|e| Some(e.result(scheme)?.metrics.performance_degradation)),
@@ -36,14 +41,55 @@ fn print_row(series: &str, parameter: &str, means: (f64, f64, f64)) {
 
 fn main() -> ExitCode {
     run_main(|| {
-        let quick = quick_requested();
+        let options = Options::parse();
         // The sweep multiplies run time by the number of points, so it always
         // uses a compact subset unless --full is given explicitly.
-        let full = std::env::args().any(|a| a == "--full");
-        let benches = selected_suite(!full || quick);
+        let benches = selected_suite(!options.full || options.quick);
 
         let slowdown_targets = [0.02, 0.04, 0.07, 0.10, 0.14];
         let online_decays = [2.0, 6.0, 12.0, 25.0, 50.0];
+
+        // One service for the whole sweep: shared baselines, shared cache
+        // (installed by default_config), one worker pool. The base config's
+        // slowdown/online values are irrelevant — every job overrides the
+        // parameter its series sweeps.
+        let evaluator = Evaluator::builder()
+            .config(default_config(&options, false))
+            .build();
+
+        // Submit everything up front; streams are drained in print order
+        // while the workers keep chewing through later points.
+        let threshold_batches: Vec<(f64, ResultStream)> = slowdown_targets
+            .iter()
+            .map(|&d| {
+                let jobs = benches
+                    .iter()
+                    .map(|b: &Benchmark| {
+                        EvalJob::new(b.clone())
+                            .with_slowdown(d)
+                            .with_schemes([names::OFFLINE, names::PROFILE])
+                    })
+                    .collect();
+                (d, evaluator.submit_all(jobs))
+            })
+            .collect();
+        let decay_batches: Vec<(f64, ResultStream)> = online_decays
+            .iter()
+            .map(|&decay| {
+                let jobs = benches
+                    .iter()
+                    .map(|b: &Benchmark| {
+                        EvalJob::new(b.clone())
+                            .with_online(OnlineConfig {
+                                decay_mhz: decay,
+                                ..OnlineConfig::default()
+                            })
+                            .with_schemes([names::ONLINE])
+                    })
+                    .collect();
+                (decay, evaluator.submit_all(jobs))
+            })
+            .collect();
 
         println!("Figures 10 and 11. Energy savings and energy-delay improvement vs. slowdown.");
         println!();
@@ -54,37 +100,32 @@ fn main() -> ExitCode {
         println!("{}", "-".repeat(84));
 
         // Off-line and profile-based: sweep the slowdown threshold d.
-        for &d in &slowdown_targets {
-            eprintln!("  sweeping d={d:.2} ...");
-            let config = EvaluationConfig::default()
-                .with_slowdown(d)
-                .with_parallelism(parallelism())
-                .with_cache(shared_cache());
-            let evals = evaluate_all(&benches, &config)?;
+        for (d, stream) in threshold_batches {
+            eprintln!("  collecting d={d:.2} ...");
+            let evals = stream.collect()?;
             let label = format!("d={:.0}%", d * 100.0);
             print_row("off-line", &label, scheme_means(&evals, names::OFFLINE));
             print_row("L+F", &label, scheme_means(&evals, names::PROFILE));
         }
 
         // On-line: sweep the decay rate (more aggressive decay = more slowdown).
-        for &decay in &online_decays {
-            eprintln!("  sweeping decay={decay} ...");
-            let config = EvaluationConfig {
-                online: OnlineConfig {
-                    decay_mhz: decay,
-                    ..OnlineConfig::default()
-                },
-                ..EvaluationConfig::default()
-            }
-            .with_parallelism(parallelism())
-            .with_cache(shared_cache());
-            let evals = evaluate_all(&benches, &config)?;
+        for (decay, stream) in decay_batches {
+            eprintln!("  collecting decay={decay} ...");
+            let evals = stream.collect()?;
             print_row(
                 "on-line",
                 &format!("decay={decay}"),
                 scheme_means(&evals, names::ONLINE),
             );
         }
+
+        let memo = evaluator.memo_stats();
+        eprintln!(
+            "  baselines: {} computed, {} reused across {} jobs",
+            memo.misses,
+            memo.hits,
+            memo.lookups()
+        );
         report_cache();
         Ok(())
     })

@@ -2,7 +2,8 @@
 //! run-time instrumentation overhead, for each context policy, normalized to
 //! L+F+C+P (averaged across the suite).
 
-use mcd_bench::{mean, quick_requested, selected_suite};
+use mcd_bench::{selected_suite, Options};
+use mcd_dvfs::evaluation::Summary;
 use mcd_profiling::call_tree::CallTree;
 use mcd_profiling::candidates::LongRunningSet;
 use mcd_profiling::context::ContextPolicy;
@@ -12,7 +13,7 @@ use mcd_sim::simulator::Simulator;
 use mcd_workloads::generator::generate_trace;
 
 fn main() {
-    let benches = selected_suite(quick_requested());
+    let benches = selected_suite(Options::parse().quick);
     let machine = MachineConfig::default();
     let policies = ContextPolicy::ALL;
 
@@ -63,6 +64,7 @@ fn main() {
         "policy", "reconfig points", "instrum. points", "overhead (%)", "norm overhead"
     );
     println!("{}", "-".repeat(80));
+    let mean = |values: &[f64]| Summary::of(values).mean;
     let base_overhead = mean(&overheads[0]).max(1e-12);
     for (pi, policy) in policies.iter().enumerate() {
         println!(

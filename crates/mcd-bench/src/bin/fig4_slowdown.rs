@@ -3,7 +3,7 @@
 //!
 //! Run with `--quick` to evaluate a six-benchmark subset.
 
-use mcd_bench::{metric_figure, run_main, Metric};
+use mcd_bench::{metric_figure, run_main, Metric, Options};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -11,6 +11,7 @@ fn main() -> ExitCode {
         metric_figure(
             "Figure 4. Performance degradation results (relative to the MCD baseline).",
             Metric::Slowdown,
+            &Options::parse(),
         )
     })
 }

@@ -3,15 +3,16 @@
 //! registry (global DVS included).
 
 use mcd_bench::{
-    default_config, evaluate_all, quick_requested, report_cache, run_main, selected_suite, Metric,
+    default_config, evaluate_all, report_cache, run_main, selected_suite, Metric, Options,
 };
 use mcd_dvfs::evaluation::Summary;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     run_main(|| {
-        let benches = selected_suite(quick_requested());
-        let config = default_config(true);
+        let options = Options::parse();
+        let benches = selected_suite(options.quick);
+        let config = default_config(&options, true);
         let evals = evaluate_all(&benches, &config)?;
 
         println!("Figure 7. Minimum, maximum and average slowdown, energy savings and");

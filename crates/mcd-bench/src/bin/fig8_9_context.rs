@@ -2,19 +2,22 @@
 //! to the definition of calling context, for the benchmarks where the choice
 //! makes a visible difference (mpeg2 decode, epic encode, plus the loop-heavy
 //! applu and art).
+//!
+//! One [`Evaluator`] serves the whole study: each (benchmark, policy) point
+//! is a job restricted to the profile scheme, and the per-benchmark reference
+//! trace and baseline are memoized across the six policies.
 
-use mcd_bench::{default_config, format, report_cache, run_main};
+use mcd_bench::{default_config, format, report_cache, run_main, Options};
 use mcd_dvfs::error::find_benchmark;
-use mcd_dvfs::evaluation::{evaluate_scheme, run_trace_baseline};
-use mcd_dvfs::scheme::ProfileScheme;
-use mcd_dvfs::DvfsScheme;
+use mcd_dvfs::scheme::names;
+use mcd_dvfs::service::{EvalJob, Evaluator};
 use mcd_profiling::context::ContextPolicy;
-use mcd_workloads::generator::generate_trace;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     run_main(|| {
-        let names = [
+        let options = Options::parse();
+        let bench_names = [
             "mpeg2 decode",
             "epic encode",
             "applu",
@@ -23,6 +26,24 @@ fn main() -> ExitCode {
             "gsm decode",
         ];
         let policies = ContextPolicy::ALL;
+
+        let evaluator = Evaluator::builder()
+            .config(default_config(&options, false))
+            .build();
+        // One batch per benchmark (a printed row), all submitted up front.
+        let mut rows = Vec::new();
+        for name in bench_names {
+            let bench = find_benchmark(name)?;
+            let jobs = policies
+                .iter()
+                .map(|&policy| {
+                    EvalJob::new(bench.clone())
+                        .with_policy(policy)
+                        .with_schemes([names::PROFILE])
+                })
+                .collect();
+            rows.push((bench.name, evaluator.submit_all(jobs)));
+        }
 
         println!("Figures 8 and 9. Sensitivity to the definition of calling context.");
         println!("(performance degradation / energy savings per policy)");
@@ -33,24 +54,26 @@ fn main() -> ExitCode {
         }
         format::header(&cols);
 
-        for name in names {
-            let bench = find_benchmark(name)?;
-            let machine = default_config(false).machine;
-            let reference = generate_trace(&bench.program, &bench.inputs.reference);
-            let baseline = run_trace_baseline(&reference, &machine);
-            print!("{:>16}", bench.name);
-            for policy in policies {
-                let mut scheme = ProfileScheme::default();
-                scheme.configure(&default_config(false).with_policy(policy))?;
-                let result = evaluate_scheme(&bench, &machine, &reference, &scheme, &baseline)?;
+        for (name, stream) in rows {
+            let evals = stream.collect()?;
+            print!("{name:>16}");
+            for eval in &evals {
+                let metrics = eval.metrics(names::PROFILE)?;
                 print!(
                     "  {:>5.1}%/{:>5.1}%",
-                    result.metrics.performance_degradation * 100.0,
-                    result.metrics.energy_savings * 100.0
+                    metrics.performance_degradation * 100.0,
+                    metrics.energy_savings * 100.0
                 );
             }
             println!();
         }
+        let memo = evaluator.memo_stats();
+        eprintln!(
+            "  baselines: {} computed, {} reused across {} jobs",
+            memo.misses,
+            memo.hits,
+            memo.lookups()
+        );
         report_cache();
         Ok(())
     })

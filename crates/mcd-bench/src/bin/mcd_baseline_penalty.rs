@@ -2,14 +2,15 @@
 //! processor (Section 4.1 of the paper reports approximately 1.3% performance
 //! and 0.8% energy, with maxima of 3.6% / 2.1%).
 
-use mcd_bench::{mean, quick_requested, run_main, selected_suite};
+use mcd_bench::{run_main, selected_suite, Options};
 use mcd_dvfs::evaluation::mcd_baseline_penalty;
+use mcd_dvfs::evaluation::Summary;
 use mcd_sim::config::MachineConfig;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     run_main(|| {
-        let benches = selected_suite(quick_requested());
+        let benches = selected_suite(Options::parse().quick);
         let machine = MachineConfig::default();
 
         println!(
@@ -38,8 +39,8 @@ fn main() -> ExitCode {
         println!(
             "{:<16} {:>15.2}% {:>13.2}%",
             "average",
-            mean(&perf) * 100.0,
-            mean(&energy) * 100.0
+            Summary::of(&perf).mean * 100.0,
+            Summary::of(&energy).mean * 100.0
         );
         println!(
             "{:<16} {:>15.2}% {:>13.2}%",

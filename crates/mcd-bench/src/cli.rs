@@ -1,0 +1,148 @@
+//! One flag parser for every figure binary.
+//!
+//! Each binary used to hand-roll its own checks for `--quick`, `--no-cache`,
+//! `--full` and the `MCD_*` environment variables; this module consolidates
+//! them into [`Options::parse`], so a flag means the same thing everywhere
+//! and new flags have exactly one place to live.
+
+/// The flags and environment switches shared by the figure binaries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Options {
+    /// `--quick` / bare `quick` / `MCD_QUICK=1`: evaluate the representative
+    /// six-benchmark subset instead of the full nineteen.
+    pub quick: bool,
+    /// `--full`: force the full suite in binaries (the sweeps) that default
+    /// to the subset.
+    pub full: bool,
+    /// `--no-cache` / `MCD_NO_CACHE=1`: bypass the artifact cache.
+    pub no_cache: bool,
+    /// `--jobs N` / `MCD_JOBS=N`: worker-thread budget. `None` means "every
+    /// available core" (see [`Options::parallelism`]).
+    pub jobs: Option<usize>,
+    /// Positional arguments that are not flags (e.g. a benchmark name).
+    pub free: Vec<String>,
+}
+
+impl Options {
+    /// Parses the process arguments and environment.
+    pub fn parse() -> Options {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Options::from_args(&args, |key| std::env::var(key).ok())
+    }
+
+    /// Parses explicit arguments with an explicit environment lookup —
+    /// the testable core of [`Options::parse`]. Flags win over environment
+    /// variables; unknown arguments land in [`Options::free`].
+    pub fn from_args(args: &[String], env: impl Fn(&str) -> Option<String>) -> Options {
+        let mut options = Options::default();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" | "quick" => options.quick = true,
+                "--full" => options.full = true,
+                "--no-cache" => options.no_cache = true,
+                "--jobs" => {
+                    // Only consume the next argument when it really is a
+                    // count, so `--jobs --quick` does not swallow the flag.
+                    options.jobs = iter
+                        .peek()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n > 0);
+                    if options.jobs.is_some() {
+                        iter.next();
+                    }
+                }
+                _ => options.free.push(arg.clone()),
+            }
+        }
+        let env_flag = |key: &str| env(key).map(|v| v == "1").unwrap_or(false);
+        options.quick = options.quick || env_flag("MCD_QUICK");
+        options.no_cache = options.no_cache || env_flag("MCD_NO_CACHE");
+        if options.jobs.is_none() {
+            options.jobs = env("MCD_JOBS")
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0);
+        }
+        options
+    }
+
+    /// The worker-thread budget: `--jobs` / `MCD_JOBS` when given, otherwise
+    /// every available core.
+    pub fn parallelism(&self) -> usize {
+        self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_env(_: &str) -> Option<String> {
+        None
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_and_leftovers_stay_free() {
+        let parsed = Options::from_args(
+            &args(&["--quick", "--no-cache", "mpeg2 decode", "--full"]),
+            no_env,
+        );
+        assert!(parsed.quick && parsed.no_cache && parsed.full);
+        assert_eq!(parsed.free, vec!["mpeg2 decode".to_string()]);
+        assert_eq!(parsed.jobs, None);
+    }
+
+    #[test]
+    fn bare_quick_keyword_is_accepted() {
+        let parsed = Options::from_args(&args(&["quick"]), no_env);
+        assert!(parsed.quick);
+        assert!(parsed.free.is_empty());
+    }
+
+    #[test]
+    fn environment_backs_up_the_flags() {
+        let env = |key: &str| match key {
+            "MCD_QUICK" => Some("1".to_string()),
+            "MCD_NO_CACHE" => Some("0".to_string()),
+            "MCD_JOBS" => Some("3".to_string()),
+            _ => None,
+        };
+        let parsed = Options::from_args(&[], env);
+        assert!(parsed.quick);
+        assert!(!parsed.no_cache);
+        assert_eq!(parsed.jobs, Some(3));
+        assert_eq!(parsed.parallelism(), 3);
+    }
+
+    #[test]
+    fn explicit_jobs_flag_beats_the_environment() {
+        let env = |key: &str| (key == "MCD_JOBS").then(|| "7".to_string());
+        let parsed = Options::from_args(&args(&["--jobs", "2"]), env);
+        assert_eq!(parsed.jobs, Some(2));
+    }
+
+    #[test]
+    fn jobs_does_not_swallow_a_following_flag() {
+        let parsed = Options::from_args(&args(&["--jobs", "--quick"]), no_env);
+        assert_eq!(parsed.jobs, None);
+        assert!(parsed.quick, "--quick must survive a valueless --jobs");
+    }
+
+    #[test]
+    fn invalid_jobs_values_fall_back_to_auto() {
+        let parsed = Options::from_args(&args(&["--jobs", "zero"]), no_env);
+        assert_eq!(parsed.jobs, None);
+        let env = |key: &str| (key == "MCD_JOBS").then(|| "0".to_string());
+        let parsed = Options::from_args(&[], env);
+        assert_eq!(parsed.jobs, None);
+        assert!(parsed.parallelism() >= 1);
+    }
+}

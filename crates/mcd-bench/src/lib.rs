@@ -2,21 +2,26 @@
 //! table and figure of the paper.
 //!
 //! Each binary in `src/bin/` reproduces one table or figure; this library
-//! provides the common pieces: the evaluation configuration, suite selection,
-//! the registry-driven evaluation entry point (parallel across benchmarks),
-//! scheme-agnostic metric tables, error-reporting `main` plumbing, and
-//! plain-text formatting that mirrors the rows/series the paper reports.
+//! provides the common pieces: one flag parser ([`cli::Options`]), the
+//! evaluation configuration, suite selection, the [`Evaluator`]-backed batch
+//! entry point with streamed progress, scheme-agnostic metric tables,
+//! error-reporting `main` plumbing, and plain-text formatting that mirrors
+//! the rows/series the paper reports.
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod timing;
 
 use mcd_dvfs::artifact::ArtifactCache;
 use mcd_dvfs::error::McdError;
-use mcd_dvfs::evaluation::{evaluate_suite, BenchmarkEvaluation, EvaluationConfig};
+use mcd_dvfs::evaluation::{BenchmarkEvaluation, EvaluationConfig, Summary};
+use mcd_dvfs::service::{EvalEvent, EvalJob, Evaluator, ResultStream};
 use mcd_sim::stats::RelativeMetrics;
 use mcd_workloads::suite::{suite, Benchmark};
 use std::sync::{Arc, OnceLock};
+
+pub use cli::Options;
 
 /// The slowdown target used for the headline results (the paper's Figures 4–7
 /// use a dilation target of roughly 7%).
@@ -41,45 +46,18 @@ pub fn selected_suite(quick: bool) -> Vec<Benchmark> {
     all.into_iter().filter(|b| keep.contains(&b.name)).collect()
 }
 
-/// True if the process arguments request a quick (subset) run.
-pub fn quick_requested() -> bool {
-    std::env::args().any(|a| a == "--quick" || a == "quick")
-        || std::env::var("MCD_QUICK")
-            .map(|v| v == "1")
-            .unwrap_or(false)
-}
-
-/// Worker threads used for suite evaluation: the `MCD_JOBS` environment
-/// variable when set, otherwise every available core.
-pub fn parallelism() -> usize {
-    std::env::var("MCD_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-}
-
-/// True if the process arguments or environment ask to bypass the artifact
-/// cache (`--no-cache`, or `MCD_NO_CACHE=1`).
-pub fn no_cache_requested() -> bool {
-    std::env::args().any(|a| a == "--no-cache")
-        || std::env::var("MCD_NO_CACHE")
-            .map(|v| v == "1")
-            .unwrap_or(false)
-}
+/// The cache shared by every evaluation this process runs, resolved once from
+/// the first caller's [`Options`] (so hit/miss counters accumulate across a
+/// binary's sweeps).
+static SHARED_CACHE: OnceLock<Arc<ArtifactCache>> = OnceLock::new();
 
 /// The artifact cache shared by every evaluation this process runs: resolved
 /// once from `--no-cache` / `MCD_NO_CACHE` / `MCD_CACHE_DIR` (defaulting to
-/// `.mcd-cache/`), so hit/miss counters accumulate across a binary's sweeps.
-pub fn shared_cache() -> Arc<ArtifactCache> {
-    static CACHE: OnceLock<Arc<ArtifactCache>> = OnceLock::new();
-    CACHE
+/// `.mcd-cache/`).
+pub fn shared_cache(options: &Options) -> Arc<ArtifactCache> {
+    SHARED_CACHE
         .get_or_init(|| {
-            if no_cache_requested() {
+            if options.no_cache {
                 Arc::new(ArtifactCache::disabled())
             } else {
                 Arc::new(ArtifactCache::from_env())
@@ -90,9 +68,12 @@ pub fn shared_cache() -> Arc<ArtifactCache> {
 
 /// Reports the shared cache's counters on stderr (machine-greppable, used by
 /// the CI cold/warm smoke test) and appends them to the cache directory's
-/// stats log so `cache_stats` can aggregate across processes.
+/// stats log so `cache_stats` can aggregate across processes. A process that
+/// never touched the shared cache reports nothing.
 pub fn report_cache() {
-    let cache = shared_cache();
+    let Some(cache) = SHARED_CACHE.get() else {
+        return;
+    };
     if !cache.is_enabled() {
         return;
     }
@@ -115,18 +96,39 @@ pub fn report_cache() {
 }
 
 /// The default evaluation configuration used by the figure binaries.
-pub fn default_config(include_global: bool) -> EvaluationConfig {
+pub fn default_config(options: &Options, include_global: bool) -> EvaluationConfig {
     EvaluationConfig {
         include_global,
-        parallelism: parallelism(),
+        parallelism: options.parallelism(),
         ..EvaluationConfig::default()
     }
     .with_slowdown(HEADLINE_SLOWDOWN)
-    .with_cache(shared_cache())
+    .with_cache(shared_cache(options))
 }
 
-/// Evaluates every benchmark in `benches` under `config` through the scheme
-/// registry, spreading benchmarks across `config.parallelism` threads.
+/// Drains a [`ResultStream`], narrating per-job progress on stderr as events
+/// arrive, and returns the evaluations in submission order — the harness's
+/// standard way of consuming a submission.
+pub fn collect_streaming(stream: ResultStream) -> Result<Vec<BenchmarkEvaluation>, McdError> {
+    stream.collect_with(|event| match event {
+        EvalEvent::JobCompleted { evaluation, .. } => {
+            eprintln!("    {}: done", evaluation.name);
+        }
+        EvalEvent::JobFailed {
+            benchmark, error, ..
+        } => {
+            eprintln!("    {benchmark}: FAILED: {error}");
+        }
+        _ => {}
+    })
+}
+
+/// Evaluates every benchmark in `benches` under `config` through one
+/// single-batch [`Evaluator`], streaming per-benchmark progress to stderr.
+///
+/// Sweeps that evaluate many configurations should build one [`Evaluator`]
+/// themselves and submit every configuration's jobs to it, so reference
+/// traces and baselines are shared across the whole sweep.
 pub fn evaluate_all(
     benches: &[Benchmark],
     config: &EvaluationConfig,
@@ -136,7 +138,13 @@ pub fn evaluate_all(
         benches.len(),
         config.parallelism.max(1)
     );
-    evaluate_suite(benches, config)
+    let workers = config.parallelism.max(1).min(benches.len().max(1));
+    let evaluator = Evaluator::builder()
+        .config(config.clone())
+        .workers(workers)
+        .build();
+    let jobs = benches.iter().cloned().map(EvalJob::new).collect();
+    collect_streaming(evaluator.submit_all(jobs))
 }
 
 /// One of the paper's three headline metrics.
@@ -164,33 +172,43 @@ impl Metric {
 /// Runs the standard per-benchmark, per-scheme figure: evaluates the selected
 /// suite and prints one row per benchmark with one column per registered
 /// scheme, plus a suite average (the shape of Figures 4–6).
-pub fn metric_figure(title: &str, metric: Metric) -> Result<(), McdError> {
-    let benches = selected_suite(quick_requested());
-    let config = default_config(false);
+pub fn metric_figure(title: &str, metric: Metric, options: &Options) -> Result<(), McdError> {
+    let benches = selected_suite(options.quick);
+    let config = default_config(options, false);
     let evals = evaluate_all(&benches, &config)?;
     print_metric_table(title, &evals, metric);
     report_cache();
     Ok(())
 }
 
+/// The table's columns: the union of scheme `(name, label)` pairs across all
+/// evaluations, in first-appearance order (evaluations from one registry keep
+/// its order; schemes that only appear in later rows are appended rather than
+/// dropped).
+fn scheme_columns(evals: &[BenchmarkEvaluation]) -> Vec<(String, String)> {
+    let mut columns: Vec<(String, String)> = Vec::new();
+    for eval in evals {
+        for outcome in &eval.schemes {
+            if !columns.iter().any(|(name, _)| *name == outcome.name) {
+                columns.push((outcome.name.clone(), outcome.label.clone()));
+            }
+        }
+    }
+    columns
+}
+
 /// Prints one per-benchmark, per-scheme metric table with a closing average
-/// row. Columns come from the evaluation itself, so a new scheme in the
-/// registry shows up without touching the binaries.
+/// row. Columns are the union of schemes over all evaluations, so rows from
+/// different registries align by name and every scheme is shown; a row that
+/// lacks a column's scheme prints "-".
 pub fn print_metric_table(title: &str, evals: &[BenchmarkEvaluation], metric: Metric) {
     println!("{title}");
     println!();
-    let Some(first) = evals.first() else {
+    if evals.is_empty() {
         println!("(no benchmarks selected)");
         return;
-    };
-    // Columns come from the first evaluation; later rows look schemes up by
-    // name, so evaluations from a different registry print "-" instead of
-    // misaligning (extra schemes in later rows are simply not shown).
-    let schemes: Vec<(&str, &str)> = first
-        .schemes
-        .iter()
-        .map(|o| (o.name.as_str(), o.label.as_str()))
-        .collect();
+    }
+    let schemes = scheme_columns(evals);
     let mut columns: Vec<(&str, usize)> = vec![("Benchmark", 16)];
     for (_, label) in &schemes {
         columns.push((label, label.len().max(9)));
@@ -217,7 +235,7 @@ pub fn print_metric_table(title: &str, evals: &[BenchmarkEvaluation], metric: Me
     for (i, (_, label)) in schemes.iter().enumerate() {
         print!(
             "  {:>width$}",
-            format::pct(mean(&sums[i])),
+            format::pct(Summary::of(&sums[i]).mean),
             width = label.len().max(9)
         );
     }
@@ -249,18 +267,12 @@ pub mod format {
     }
 }
 
-/// Simple arithmetic mean (returns zero for an empty slice).
-pub fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        0.0
-    } else {
-        values.iter().sum::<f64>() / values.len() as f64
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcd_dvfs::evaluation::SchemeResult;
+    use mcd_dvfs::scheme::SchemeOutcome;
+    use mcd_sim::stats::SimStats;
 
     #[test]
     fn quick_suite_is_a_subset() {
@@ -276,7 +288,11 @@ mod tests {
 
     #[test]
     fn default_config_uses_headline_slowdown() {
-        let cfg = default_config(true);
+        let options = Options {
+            no_cache: true,
+            ..Options::default()
+        };
+        let cfg = default_config(&options, true);
         assert!((cfg.training.slowdown - HEADLINE_SLOWDOWN).abs() < 1e-12);
         assert!((cfg.offline.slowdown - HEADLINE_SLOWDOWN).abs() < 1e-12);
         assert!(cfg.include_global);
@@ -284,9 +300,7 @@ mod tests {
     }
 
     #[test]
-    fn mean_and_pct() {
-        assert_eq!(mean(&[]), 0.0);
-        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    fn pct_formats_one_decimal() {
         assert_eq!(format::pct(0.314).trim(), "31.4%");
     }
 
@@ -300,5 +314,60 @@ mod tests {
         assert_eq!(Metric::Slowdown.of(&m), 0.05);
         assert_eq!(Metric::EnergySavings.of(&m), 0.2);
         assert_eq!(Metric::EnergyDelay.of(&m), 0.16);
+    }
+
+    fn fake_eval(bench: &str, schemes: &[(&str, &str)]) -> BenchmarkEvaluation {
+        BenchmarkEvaluation {
+            name: bench.to_string(),
+            schemes: schemes
+                .iter()
+                .map(|(name, label)| SchemeOutcome {
+                    name: name.to_string(),
+                    label: label.to_string(),
+                    result: SchemeResult {
+                        stats: SimStats::default(),
+                        metrics: RelativeMetrics::default(),
+                    },
+                })
+                .collect(),
+            baseline: SimStats::default(),
+        }
+    }
+
+    #[test]
+    fn scheme_columns_take_the_union_across_rows_in_first_appearance_order() {
+        // The second row carries a scheme the first row lacks (`global`), and
+        // the third carries one nothing else has (`pid`): both must appear,
+        // after the schemes the first row established.
+        let evals = vec![
+            fake_eval(
+                "adpcm decode",
+                &[("offline", "off-line"), ("online", "on-line")],
+            ),
+            fake_eval(
+                "gsm decode",
+                &[
+                    ("offline", "off-line"),
+                    ("online", "on-line"),
+                    ("global", "global"),
+                ],
+            ),
+            fake_eval("art", &[("offline", "off-line"), ("pid", "pid")]),
+        ];
+        let columns = scheme_columns(&evals);
+        let names: Vec<&str> = columns.iter().map(|(name, _)| name.as_str()).collect();
+        assert_eq!(names, vec!["offline", "online", "global", "pid"]);
+    }
+
+    #[test]
+    fn scheme_columns_of_a_uniform_registry_keep_registry_order() {
+        let evals = vec![
+            fake_eval("a", &[("offline", "off-line"), ("profile", "profile L+F")]),
+            fake_eval("b", &[("offline", "off-line"), ("profile", "profile L+F")]),
+        ];
+        let columns = scheme_columns(&evals);
+        let names: Vec<&str> = columns.iter().map(|(name, _)| name.as_str()).collect();
+        assert_eq!(names, vec!["offline", "profile"]);
+        assert_eq!(columns[1].1, "profile L+F");
     }
 }

@@ -3,6 +3,10 @@
 //! different code paths (mpeg2 decode), reproducing the effect behind
 //! Figures 8 and 9 for a single benchmark.
 //!
+//! The six policies are six jobs on one [`Evaluator`], each restricted to the
+//! profile scheme; the reference trace and baseline are computed once and
+//! shared by all six.
+//!
 //! Run with:
 //!
 //! ```text
@@ -10,19 +14,25 @@
 //! ```
 
 use mcd_dvfs::error::{find_benchmark, run_main, McdError};
-use mcd_dvfs::evaluation::{evaluate_scheme, run_trace_baseline, EvaluationConfig};
-use mcd_dvfs::scheme::ProfileScheme;
-use mcd_dvfs::DvfsScheme;
+use mcd_dvfs::scheme::names;
+use mcd_dvfs::service::{EvalJob, Evaluator};
 use mcd_profiling::context::ContextPolicy;
-use mcd_sim::config::MachineConfig;
-use mcd_workloads::generator::generate_trace;
 use std::process::ExitCode;
 
 fn run() -> Result<(), McdError> {
     let bench = find_benchmark("mpeg2 decode")?;
-    let machine = MachineConfig::default();
-    let reference = generate_trace(&bench.program, &bench.inputs.reference);
-    let baseline = run_trace_baseline(&reference, &machine);
+
+    let evaluator = Evaluator::builder().parallelism(2).build();
+    let stream = evaluator.submit_all(
+        ContextPolicy::ALL
+            .iter()
+            .map(|&policy| {
+                EvalJob::new(bench.clone())
+                    .with_policy(policy)
+                    .with_schemes([names::PROFILE])
+            })
+            .collect(),
+    );
 
     println!("context sensitivity on `{}`", bench.name);
     println!(
@@ -36,10 +46,8 @@ fn run() -> Result<(), McdError> {
     );
     println!("{}", "-".repeat(80));
 
-    for policy in ContextPolicy::ALL {
-        let mut scheme = ProfileScheme::default();
-        scheme.configure(&EvaluationConfig::default().with_policy(policy))?;
-        let result = evaluate_scheme(&bench, &machine, &reference, &scheme, &baseline)?;
+    for (policy, eval) in ContextPolicy::ALL.iter().zip(stream.collect()?) {
+        let result = eval.require(names::PROFILE)?;
         println!(
             "{:<10} {:>13.1}% {:>15.1}% {:>21.1}% {:>14}",
             policy.abbreviation(),
@@ -50,7 +58,12 @@ fn run() -> Result<(), McdError> {
         );
     }
 
+    let memo = evaluator.memo_stats();
     println!();
+    println!(
+        "baseline memo: computed {} time(s), reused {} time(s)",
+        memo.misses, memo.hits
+    );
     println!(
         "The L+F and F rows reconfigure whenever a long-running static structure is \
          entered — even over paths unseen in training — which yields higher energy \

@@ -3,6 +3,10 @@
 //! the (achieved slowdown, energy savings, energy-delay improvement) series of
 //! Figures 10 and 11.
 //!
+//! One [`Evaluator`] serves every sweep point: the benchmark's reference
+//! trace and full-speed baseline are computed for the first job and reused by
+//! the other four (watch the memo line the example prints).
+//!
 //! Run with:
 //!
 //! ```text
@@ -10,8 +14,8 @@
 //! ```
 
 use mcd_dvfs::error::{find_benchmark, run_main, McdError};
-use mcd_dvfs::evaluation::{evaluate_benchmark, EvaluationConfig};
 use mcd_dvfs::scheme::names;
+use mcd_dvfs::service::{EvalJob, Evaluator};
 use std::process::ExitCode;
 
 fn run() -> Result<(), McdError> {
@@ -19,6 +23,21 @@ fn run() -> Result<(), McdError> {
         .nth(1)
         .unwrap_or_else(|| "jpeg compress".to_string());
     let bench = find_benchmark(&name)?;
+    let targets = [0.02, 0.04, 0.07, 0.10, 0.14];
+
+    // Build the service once, then submit one job per sweep point. The jobs
+    // only run the two schemes this table reads.
+    let evaluator = Evaluator::builder().parallelism(2).build();
+    let stream = evaluator.submit_all(
+        targets
+            .iter()
+            .map(|&d| {
+                EvalJob::new(bench.clone())
+                    .with_slowdown(d)
+                    .with_schemes([names::OFFLINE, names::PROFILE])
+            })
+            .collect(),
+    );
 
     println!("slowdown sweep on `{}`", bench.name);
     println!();
@@ -28,9 +47,7 @@ fn run() -> Result<(), McdError> {
     );
     println!("{}", "-".repeat(62));
 
-    for d in [0.02, 0.04, 0.07, 0.10, 0.14] {
-        let config = EvaluationConfig::default().with_slowdown(d);
-        let eval = evaluate_benchmark(&bench, &config)?;
+    for (&d, eval) in targets.iter().zip(stream.collect()?) {
         let offline = eval.metrics(names::OFFLINE)?;
         let profile = eval.metrics(names::PROFILE)?;
         println!(
@@ -45,7 +62,14 @@ fn run() -> Result<(), McdError> {
         );
     }
 
+    let memo = evaluator.memo_stats();
     println!();
+    println!(
+        "baseline memo: computed {} time(s), reused {} time(s) across {} jobs",
+        memo.misses,
+        memo.hits,
+        memo.lookups()
+    );
     println!(
         "Energy savings and energy-delay improvement grow roughly linearly with the \
          slowdown target for both off-line and profile-based reconfiguration; the \

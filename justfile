@@ -24,6 +24,11 @@ fmt:
 bench:
     cargo bench
 
+# Streaming-evaluation smoke test: three jobs on one Evaluator, asserting
+# per-job event delivery before the batch completes (the CI step).
+stream-smoke:
+    cargo run --release --example streaming_eval
+
 # Print artifact-cache entries, sizes, and accumulated hit/miss counters.
 cache-stats:
     cargo run --release --bin cache_stats

@@ -2,15 +2,29 @@
 //! generation through profiling, off-line analysis and controlled simulation,
 //! checked against the qualitative shape of the paper's results.
 
-use mcd_dvfs::evaluation::{evaluate_benchmark, mcd_baseline_penalty, EvaluationConfig};
+use mcd_dvfs::evaluation::{mcd_baseline_penalty, BenchmarkEvaluation, EvaluationConfig};
 use mcd_dvfs::profile::{train, TrainingConfig};
 use mcd_dvfs::scheme::names;
+use mcd_dvfs::service::{EvalJob, Evaluator};
 use mcd_profiling::context::ContextPolicy;
 use mcd_sim::config::MachineConfig;
 use mcd_sim::domain::Domain;
 use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_workloads::generator::generate_trace;
 use mcd_workloads::suite;
+
+/// Evaluates one benchmark through a single-use [`Evaluator`] service (the
+/// canonical replacement for the deprecated `evaluate_benchmark` shim).
+fn evaluate(bench: &suite::Benchmark, config: &EvaluationConfig) -> BenchmarkEvaluation {
+    Evaluator::builder()
+        .config(config.clone())
+        .workers(1)
+        .build()
+        .submit(EvalJob::new(bench.clone()))
+        .collect()
+        .expect("evaluation succeeds")
+        .remove(0)
+}
 
 /// All four schemes run through the `DvfsScheme` registry on one benchmark and
 /// produce finite, sane relative metrics.
@@ -21,7 +35,7 @@ fn all_four_schemes_run_through_the_registry() {
         include_global: true,
         ..EvaluationConfig::default()
     };
-    let eval = evaluate_benchmark(&bench, &config).expect("evaluation succeeds");
+    let eval = evaluate(&bench, &config);
 
     let expected = [names::OFFLINE, names::ONLINE, names::PROFILE, names::GLOBAL];
     assert_eq!(eval.schemes.len(), expected.len());
@@ -65,7 +79,7 @@ fn profile_tracks_the_oracle_and_beats_global_dvs() {
     };
     for name in ["adpcm decode", "gsm encode"] {
         let bench = suite::benchmark(name).expect("benchmark exists");
-        let eval = evaluate_benchmark(&bench, &config).expect("evaluation succeeds");
+        let eval = evaluate(&bench, &config);
 
         let offline = eval.metrics(names::OFFLINE).expect("offline ran");
         let profile = eval.metrics(names::PROFILE).expect("profile ran");
@@ -183,8 +197,8 @@ fn path_tracking_is_conservative_on_unseen_paths() {
 fn evaluation_is_deterministic() {
     let bench = suite::benchmark("g721 decode").expect("benchmark exists");
     let config = EvaluationConfig::default();
-    let a = evaluate_benchmark(&bench, &config).expect("evaluation succeeds");
-    let b = evaluate_benchmark(&bench, &config).expect("evaluation succeeds");
+    let a = evaluate(&bench, &config);
+    let b = evaluate(&bench, &config);
     let a_profile = a.require(names::PROFILE).expect("profile ran");
     let b_profile = b.require(names::PROFILE).expect("profile ran");
     assert_eq!(

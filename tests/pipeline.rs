@@ -4,9 +4,10 @@
 //! the registry-driven evaluation path.
 
 use mcd_dvfs::artifact::{self, codec, ArtifactCache};
-use mcd_dvfs::evaluation::{evaluate_benchmark, BenchmarkEvaluation, EvaluationConfig};
+use mcd_dvfs::evaluation::{BenchmarkEvaluation, EvaluationConfig};
 use mcd_dvfs::offline::OfflineConfig;
 use mcd_dvfs::pipeline::AnalysisPipeline;
+use mcd_dvfs::service::{EvalJob, Evaluator};
 use mcd_sim::config::MachineConfig;
 use mcd_sim::instruction::TraceItem;
 use mcd_workloads::generator::generate_trace;
@@ -40,6 +41,23 @@ impl Drop for TempCacheDir {
     fn drop(&mut self) {
         let _ = std::fs::remove_dir_all(&self.path);
     }
+}
+
+/// Evaluates one benchmark through a single-use [`Evaluator`] service —
+/// the canonical replacement for the deprecated `evaluate_benchmark` — so
+/// these tests also cover the service threading the artifact cache through.
+fn evaluate(
+    bench: &mcd_workloads::suite::Benchmark,
+    config: &EvaluationConfig,
+) -> BenchmarkEvaluation {
+    Evaluator::builder()
+        .config(config.clone())
+        .workers(1)
+        .build()
+        .submit(EvalJob::new(bench.clone()))
+        .collect()
+        .expect("evaluation succeeds")
+        .remove(0)
 }
 
 fn small_trace() -> Vec<TraceItem> {
@@ -134,14 +152,14 @@ fn corrupted_artifact_falls_back_to_recompute() {
     let bench = suite::benchmark("adpcm decode").expect("known benchmark");
     let config = EvaluationConfig::default().with_cache(cache.clone());
 
-    let cold = evaluate_benchmark(&bench, &config).expect("cold evaluation");
+    let cold = evaluate(&bench, &config);
     assert_eq!(cache.stats().writes, 2, "schedule + training plan written");
 
     // Trash both artifacts in place.
     for entry in cache.entries() {
         std::fs::write(dir.path.join(&entry.name), b"not an artifact").unwrap();
     }
-    let recomputed = evaluate_benchmark(&bench, &config).expect("fallback evaluation");
+    let recomputed = evaluate(&bench, &config);
     assert_evaluations_bit_identical(&cold, &recomputed);
     let stats = cache.stats();
     assert!(
@@ -207,13 +225,13 @@ fn registry_evaluation_transparently_reuses_artifacts() {
     }
     .with_cache(cache.clone());
 
-    let cold = evaluate_benchmark(&bench, &config).expect("cold evaluation");
+    let cold = evaluate(&bench, &config);
     let after_cold = cache.stats();
     assert_eq!(after_cold.hits, 0);
     assert_eq!(after_cold.misses, 2);
     assert_eq!(after_cold.writes, 2);
 
-    let warm = evaluate_benchmark(&bench, &config).expect("warm evaluation");
+    let warm = evaluate(&bench, &config);
     let after_warm = cache.stats();
     assert_eq!(
         after_warm.hits, 2,
@@ -227,8 +245,7 @@ fn registry_evaluation_transparently_reuses_artifacts() {
     assert_evaluations_bit_identical(&cold, &warm);
 
     // A different analysis configuration must not reuse the artifacts.
-    let other = evaluate_benchmark(&bench, &config.clone().with_slowdown(0.14))
-        .expect("different-config evaluation");
+    let other = evaluate(&bench, &config.clone().with_slowdown(0.14));
     let after_other = cache.stats();
     assert_eq!(after_other.hits, 2);
     assert_eq!(after_other.misses, 4);
@@ -243,11 +260,11 @@ fn registry_evaluation_transparently_reuses_artifacts() {
 fn cached_and_uncached_evaluations_agree() {
     let dir = TempCacheDir::new("agree");
     let bench = suite::benchmark("adpcm decode").expect("known benchmark");
-    let uncached = evaluate_benchmark(&bench, &EvaluationConfig::default()).unwrap();
+    let uncached = evaluate(&bench, &EvaluationConfig::default());
 
     let cached_config = EvaluationConfig::default().with_cache(dir.cache());
-    let first = evaluate_benchmark(&bench, &cached_config).unwrap();
-    let second = evaluate_benchmark(&bench, &cached_config).unwrap();
+    let first = evaluate(&bench, &cached_config);
+    let second = evaluate(&bench, &cached_config);
     assert_evaluations_bit_identical(&uncached, &first);
     assert_evaluations_bit_identical(&uncached, &second);
 }
@@ -257,8 +274,7 @@ fn full_parallelism_budget_flows_to_windows_for_single_benchmarks() {
     // A single-benchmark evaluation with a large thread budget must produce
     // exactly the serial result (the budget goes to the window stage).
     let bench = suite::benchmark("adpcm decode").expect("known benchmark");
-    let serial = evaluate_benchmark(&bench, &EvaluationConfig::default()).unwrap();
-    let parallel =
-        evaluate_benchmark(&bench, &EvaluationConfig::default().with_parallelism(8)).unwrap();
+    let serial = evaluate(&bench, &EvaluationConfig::default());
+    let parallel = evaluate(&bench, &EvaluationConfig::default().with_parallelism(8));
     assert_evaluations_bit_identical(&serial, &parallel);
 }

@@ -1,0 +1,269 @@
+//! Integration tests for the job-oriented `Evaluator` service: shared
+//! baselines across configurations, streaming delivery, parity with the old
+//! blocking entry points, the thread-budget split, and failure isolation.
+
+use mcd_dvfs::error::McdError;
+use mcd_dvfs::evaluation::{BenchmarkEvaluation, EvaluationConfig};
+use mcd_dvfs::scheme::names;
+use mcd_dvfs::service::{EvalEvent, EvalJob, Evaluator, JobId};
+use mcd_workloads::suite;
+use mcd_workloads::suite::Benchmark;
+
+fn benches(names: &[&str]) -> Vec<Benchmark> {
+    names
+        .iter()
+        .map(|n| suite::benchmark(n).expect("known benchmark"))
+        .collect()
+}
+
+fn assert_evaluations_bit_identical(a: &BenchmarkEvaluation, b: &BenchmarkEvaluation) {
+    assert_eq!(a.name, b.name);
+    assert_eq!(
+        a.baseline.run_time.as_ns().to_bits(),
+        b.baseline.run_time.as_ns().to_bits()
+    );
+    assert_eq!(a.schemes.len(), b.schemes.len());
+    for (x, y) in a.schemes.iter().zip(&b.schemes) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(
+            x.result.stats.run_time.as_ns().to_bits(),
+            y.result.stats.run_time.as_ns().to_bits(),
+            "scheme {} diverged in run time",
+            x.name
+        );
+        assert_eq!(
+            x.result.stats.total_energy.as_units().to_bits(),
+            y.result.stats.total_energy.as_units().to_bits(),
+            "scheme {} diverged in energy",
+            x.name
+        );
+        assert_eq!(x.result.metrics, y.result.metrics);
+    }
+}
+
+/// The acceptance scenario: one `Evaluator` serving a fig10/11-style sweep —
+/// several slowdown targets over the same benchmarks — computes each
+/// `(benchmark, machine)` reference trace and baseline exactly once across
+/// all submitted configurations, streams `SchemeFinished` events before the
+/// last job completes, and `collect()` output is bit-identical to the old
+/// `evaluate_suite` results for the standard registry.
+#[test]
+fn sweep_shares_baselines_streams_and_matches_the_old_suite() {
+    let suite_benches = benches(&["adpcm decode", "gsm decode"]);
+    let targets = [0.04, 0.07, 0.14];
+    let base = EvaluationConfig::default().with_parallelism(2);
+
+    let evaluator = Evaluator::builder().config(base.clone()).build();
+    // Submit the whole sweep up front: one batch per target, sharing the
+    // service (and therefore the baseline memo).
+    let batches: Vec<_> = targets
+        .iter()
+        .map(|&d| {
+            let jobs = suite_benches
+                .iter()
+                .map(|b| EvalJob::new(b.clone()).with_slowdown(d))
+                .collect();
+            evaluator.submit_all(jobs)
+        })
+        .collect();
+
+    let mut swept: Vec<Vec<BenchmarkEvaluation>> = Vec::new();
+    let mut scheme_events_before_last_completion = 0usize;
+    let mut completions_seen = 0usize;
+    let total_jobs = targets.len() * suite_benches.len();
+    for stream in batches {
+        let evals = stream
+            .collect_with(|event| match event {
+                EvalEvent::SchemeFinished { .. } if completions_seen + 1 < total_jobs => {
+                    scheme_events_before_last_completion += 1;
+                }
+                EvalEvent::JobCompleted { .. } => completions_seen += 1,
+                _ => {}
+            })
+            .expect("sweep succeeds");
+        swept.push(evals);
+    }
+    assert_eq!(completions_seen, total_jobs);
+    assert!(
+        scheme_events_before_last_completion >= total_jobs,
+        "scheme results must stream before the sweep completes, saw {scheme_events_before_last_completion}"
+    );
+
+    // Exactly one baseline computation per (benchmark, machine) pair; every
+    // other job hit the memo.
+    let memo = evaluator.memo_stats();
+    assert_eq!(memo.misses, suite_benches.len() as u64);
+    assert_eq!(
+        memo.hits,
+        ((targets.len() - 1) * suite_benches.len()) as u64
+    );
+
+    // Parity: each sweep point is bit-identical to the old blocking API.
+    for (&d, evals) in targets.iter().zip(&swept) {
+        #[allow(deprecated)]
+        let old =
+            mcd_dvfs::evaluation::evaluate_suite(&suite_benches, &base.clone().with_slowdown(d))
+                .expect("old suite evaluation succeeds");
+        assert_eq!(old.len(), evals.len());
+        for (o, n) in old.iter().zip(evals) {
+            assert_evaluations_bit_identical(o, n);
+        }
+    }
+}
+
+/// Satellite requirement: two jobs with different slowdowns on the same
+/// benchmark hit the baseline memo exactly once.
+#[test]
+fn different_slowdowns_on_one_benchmark_share_one_baseline() {
+    let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+    let evaluator = Evaluator::builder().build();
+    let stream = evaluator.submit_all(vec![
+        EvalJob::new(bench.clone()).with_slowdown(0.04),
+        EvalJob::new(bench).with_slowdown(0.10),
+    ]);
+    let evals = stream.collect().expect("both jobs succeed");
+    assert_eq!(evals.len(), 2);
+    let memo = evaluator.memo_stats();
+    assert_eq!(memo.misses, 1, "one baseline computed");
+    assert_eq!(memo.hits, 1, "the second job reused it");
+    // The jobs really did run different configurations.
+    assert_ne!(
+        evals[0].require(names::OFFLINE).unwrap().stats.run_time,
+        evals[1].require(names::OFFLINE).unwrap().stats.run_time
+    );
+    // Both jobs share the memoized baseline bit-for-bit.
+    assert_eq!(
+        evals[0].baseline.run_time.as_ns().to_bits(),
+        evals[1].baseline.run_time.as_ns().to_bits()
+    );
+
+    // Releasing the memo keeps the counters but forces a recompute — the
+    // memory-cap escape hatch for long-lived services.
+    evaluator.clear_baselines();
+    let again = evaluator
+        .submit(EvalJob::new(suite::benchmark("adpcm decode").unwrap()).with_slowdown(0.04))
+        .collect()
+        .expect("job succeeds after clearing");
+    assert_eq!(
+        again[0].baseline.run_time.as_ns().to_bits(),
+        evals[0].baseline.run_time.as_ns().to_bits(),
+        "recomputed baseline is bit-identical"
+    );
+    let memo = evaluator.memo_stats();
+    assert_eq!((memo.misses, memo.hits), (2, 1));
+}
+
+/// Per-job events arrive in lifecycle order and job ids are monotonically
+/// assigned in submission order.
+#[test]
+fn events_follow_the_documented_lifecycle() {
+    let suite_benches = benches(&["adpcm decode", "adpcm encode"]);
+    let evaluator = Evaluator::builder().parallelism(2).build();
+    let stream = evaluator.submit_all(suite_benches.iter().cloned().map(EvalJob::new).collect());
+    let ids = stream.jobs().to_vec();
+    assert_eq!(ids.len(), 2);
+    assert!(ids[0] < ids[1], "ids increase in submission order");
+
+    let mut per_job: std::collections::HashMap<JobId, Vec<u8>> = Default::default();
+    for event in stream {
+        let stage = match &event {
+            EvalEvent::JobQueued { .. } => 0,
+            EvalEvent::BaselineReady { .. } => 1,
+            EvalEvent::SchemeFinished { .. } => 2,
+            EvalEvent::JobCompleted { .. } => 3,
+            EvalEvent::JobFailed { .. } => panic!("no job should fail"),
+        };
+        per_job.entry(event.job()).or_default().push(stage);
+    }
+    for id in ids {
+        let stages = per_job.get(&id).expect("every job emitted events");
+        assert_eq!(stages.first(), Some(&0));
+        assert_eq!(stages.get(1), Some(&1));
+        assert_eq!(stages.last(), Some(&3));
+        assert_eq!(stages.iter().filter(|&&s| s == 2).count(), 3);
+        assert!(stages.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
+
+/// A failing job reports `JobFailed` without poisoning the rest of its batch;
+/// `collect` surfaces the earliest-submitted failure.
+#[test]
+fn failed_jobs_do_not_poison_the_batch() {
+    let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+    let evaluator = Evaluator::builder().build();
+    // `global` without `offline` fails at run time (missing dependency).
+    let stream = evaluator.submit_all(vec![
+        EvalJob::new(bench.clone()).with_schemes([names::GLOBAL]),
+        EvalJob::new(bench.clone()).with_schemes([names::ONLINE]),
+    ]);
+    let mut failed = Vec::new();
+    let mut completed = Vec::new();
+    let error = stream
+        .collect_with(|event| match event {
+            EvalEvent::JobFailed { job, .. } => failed.push(*job),
+            EvalEvent::JobCompleted { job, .. } => completed.push(*job),
+            _ => {}
+        })
+        .expect_err("the global-only job must fail");
+    assert!(matches!(error, McdError::MissingDependency { .. }));
+    assert_eq!(failed.len(), 1);
+    assert_eq!(completed.len(), 1, "the healthy job still completed");
+
+    // An unknown scheme name fails at registry-construction time.
+    let stream = evaluator.submit(EvalJob::new(bench).with_schemes(["bogus"]));
+    let error = stream.collect().expect_err("unknown scheme");
+    assert!(matches!(error, McdError::UnknownScheme(name) if name == "bogus"));
+}
+
+/// The deprecated shims and the service agree for the single-benchmark path
+/// (including the rule that a lone benchmark's whole budget flows to window
+/// analysis).
+#[test]
+fn shim_parity_for_single_benchmark_evaluations() {
+    let bench = suite::benchmark("gsm decode").expect("known benchmark");
+    let config = EvaluationConfig::default().with_parallelism(4);
+    #[allow(deprecated)]
+    let old = mcd_dvfs::evaluation::evaluate_benchmark(&bench, &config).expect("old API");
+    let new = Evaluator::builder()
+        .config(config)
+        .workers(1)
+        .build()
+        .submit(EvalJob::new(bench))
+        .collect()
+        .expect("service evaluation")
+        .remove(0);
+    assert_evaluations_bit_identical(&old, &new);
+}
+
+/// The documented `parallelism / workers` budget split, observable on the
+/// service: workers × window budget never exceeds the total, both floors are
+/// one, and `evaluate_suite`'s historical clamp (workers ≤ benchmarks) is the
+/// shim's responsibility, not the builder's.
+#[test]
+fn builder_budget_split_honours_the_documentation() {
+    for (parallelism, workers, want_workers, want_window) in [
+        (8, Some(2), 2, 4),
+        (8, Some(3), 3, 2),
+        (8, None, 8, 1),
+        (1, Some(5), 1, 1),
+        (0, None, 1, 1),
+        (5, Some(0), 1, 5),
+    ] {
+        let mut builder = Evaluator::builder().parallelism(parallelism);
+        if let Some(w) = workers {
+            builder = builder.workers(w);
+        }
+        let evaluator = builder.build();
+        assert_eq!(
+            evaluator.workers(),
+            want_workers,
+            "workers for p={parallelism}"
+        );
+        assert_eq!(
+            evaluator.window_parallelism(),
+            want_window,
+            "window budget for p={parallelism}"
+        );
+        assert!(evaluator.workers() * evaluator.window_parallelism() <= parallelism.max(1));
+    }
+}
