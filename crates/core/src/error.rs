@@ -14,6 +14,8 @@ use std::process::ExitCode;
 pub enum McdError {
     /// A benchmark name did not match any suite entry.
     UnknownBenchmark(String),
+    /// A benchmark name was registered more than once across suite tiers.
+    DuplicateBenchmark(String),
     /// A scheme name did not match any registry entry.
     UnknownScheme(String),
     /// A scheme was looked up in an evaluation it was not part of (for
@@ -42,6 +44,13 @@ impl fmt::Display for McdError {
                     "unknown benchmark `{name}` (see `suite::benchmark_names()`)"
                 )
             }
+            McdError::DuplicateBenchmark(name) => {
+                write!(
+                    f,
+                    "benchmark `{name}` is registered more than once (names must be \
+                     unique across all suite tiers)"
+                )
+            }
             McdError::UnknownScheme(name) => write!(f, "unknown scheme `{name}`"),
             McdError::SchemeNotEvaluated(name) => write!(
                 f,
@@ -64,6 +73,16 @@ impl std::error::Error for McdError {}
 impl From<mcd_sim::config::MachineConfigError> for McdError {
     fn from(err: mcd_sim::config::MachineConfigError) -> Self {
         McdError::InvalidConfig(err.to_string())
+    }
+}
+
+impl From<mcd_workloads::suite::SuiteError> for McdError {
+    fn from(err: mcd_workloads::suite::SuiteError) -> Self {
+        match err {
+            mcd_workloads::suite::SuiteError::DuplicateName(name) => {
+                McdError::DuplicateBenchmark(name)
+            }
+        }
     }
 }
 
@@ -97,6 +116,20 @@ mod tests {
         let err = find_benchmark("no-such-benchmark").unwrap_err();
         assert_eq!(err, McdError::UnknownBenchmark("no-such-benchmark".into()));
         assert!(err.to_string().contains("no-such-benchmark"));
+    }
+
+    #[test]
+    fn find_benchmark_is_tier_aware() {
+        // Second-tier benchmarks resolve through the same user-facing path.
+        let bench = find_benchmark("web serve").expect("server tier visible");
+        assert_eq!(bench.suite, mcd_workloads::suite::SuiteKind::Server);
+    }
+
+    #[test]
+    fn suite_errors_convert_to_mcd_errors() {
+        let err: McdError = mcd_workloads::suite::SuiteError::DuplicateName("mcf".into()).into();
+        assert_eq!(err, McdError::DuplicateBenchmark("mcf".into()));
+        assert!(err.to_string().contains("mcf"));
     }
 
     #[test]

@@ -52,6 +52,13 @@ impl EvalJob {
         }
     }
 
+    /// A job for the named benchmark, looked up across every suite tier
+    /// (batch, server, interactive) — the user-facing way a binary turns a
+    /// `--suite`/name selection into submittable work.
+    pub fn named(name: &str) -> Result<Self, McdError> {
+        Ok(EvalJob::new(crate::error::find_benchmark(name)?))
+    }
+
     /// The benchmark this job evaluates.
     pub fn benchmark(&self) -> &Benchmark {
         &self.benchmark
@@ -159,6 +166,21 @@ mod tests {
         assert!((config.training.slowdown - 0.07).abs() < 1e-12);
         assert!(!config.include_global);
         assert_eq!(config.parallelism, 1);
+    }
+
+    #[test]
+    fn named_jobs_resolve_across_tiers() {
+        let job = EvalJob::named("sensor hub").expect("interactive tier visible");
+        assert_eq!(job.benchmark().name, "sensor hub");
+        assert_eq!(
+            job.benchmark().suite,
+            mcd_workloads::suite::SuiteKind::Interactive
+        );
+        let err = EvalJob::named("no-such-benchmark").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::McdError::UnknownBenchmark(name) if name == "no-such-benchmark"
+        ));
     }
 
     #[test]

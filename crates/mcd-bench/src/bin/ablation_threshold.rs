@@ -7,18 +7,27 @@
 //! are selected, how often the production run reconfigures, and what that does
 //! to the energy/performance trade-off.
 
-use mcd_bench::{format, selected_suite};
+use mcd_bench::{format, run_main, selected_benchmarks, Options, SuiteSelection};
 use mcd_dvfs::evaluation::Summary;
 use mcd_dvfs::evaluation::{relative, run_baseline};
 use mcd_dvfs::profile::{train, TrainingConfig};
 use mcd_sim::config::MachineConfig;
 use mcd_sim::simulator::Simulator;
 use mcd_workloads::generator::generate_trace;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_main(run)
+}
+
+fn run() -> Result<(), mcd_dvfs::error::McdError> {
     // The sweep runs five thresholds over the suite, so it always uses the
-    // compact subset.
-    let benches = selected_suite(true);
+    // compact subset of the selected tier (--suite picks the tier).
+    let options = Options {
+        quick: true,
+        ..Options::parse()
+    };
+    let benches = selected_benchmarks(&options, SuiteSelection::Paper)?;
     let machine = MachineConfig::default();
     let thresholds: [u64; 5] = [1_000, 5_000, 10_000, 50_000, 200_000];
 
@@ -72,4 +81,5 @@ fn main() {
          into single settings and give up energy savings — the paper's 10 000-instruction \
          choice sits on the flat part of the curve."
     );
+    Ok(())
 }

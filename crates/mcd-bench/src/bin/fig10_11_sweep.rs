@@ -9,7 +9,9 @@
 //! all ten configuration points, and each point's jobs run only the schemes
 //! its series reads (the decay sweep does not re-run the off-line oracle).
 
-use mcd_bench::{default_config, report_cache, run_main, selected_suite, Options};
+use mcd_bench::{
+    default_config, report_cache, run_main, selected_benchmarks, Options, SuiteSelection,
+};
 use mcd_dvfs::evaluation::{BenchmarkEvaluation, Summary};
 use mcd_dvfs::online::OnlineConfig;
 use mcd_dvfs::scheme::names;
@@ -43,8 +45,13 @@ fn main() -> ExitCode {
     run_main(|| {
         let options = Options::parse();
         // The sweep multiplies run time by the number of points, so it always
-        // uses a compact subset unless --full is given explicitly.
-        let benches = selected_suite(!options.full || options.quick);
+        // uses a compact subset unless --full is given explicitly; --suite
+        // picks the tier the sweep (and its subset rule) applies to.
+        let subset = Options {
+            quick: !options.full || options.quick,
+            ..options.clone()
+        };
+        let benches = selected_benchmarks(&subset, SuiteSelection::Paper)?;
 
         let slowdown_targets = [0.02, 0.04, 0.07, 0.10, 0.14];
         let online_decays = [2.0, 6.0, 12.0, 25.0, 50.0];

@@ -2,7 +2,7 @@
 //! run-time instrumentation overhead, for each context policy, normalized to
 //! L+F+C+P (averaged across the suite).
 
-use mcd_bench::{selected_suite, Options};
+use mcd_bench::{run_main, selected_benchmarks, Options, SuiteSelection};
 use mcd_dvfs::evaluation::Summary;
 use mcd_profiling::call_tree::CallTree;
 use mcd_profiling::candidates::LongRunningSet;
@@ -11,9 +11,14 @@ use mcd_profiling::edit::InstrumentationPlan;
 use mcd_sim::config::MachineConfig;
 use mcd_sim::simulator::Simulator;
 use mcd_workloads::generator::generate_trace;
+use std::process::ExitCode;
 
-fn main() {
-    let benches = selected_suite(Options::parse().quick);
+fn main() -> ExitCode {
+    run_main(run)
+}
+
+fn run() -> Result<(), mcd_dvfs::error::McdError> {
+    let benches = selected_benchmarks(&Options::parse(), SuiteSelection::Paper)?;
     let machine = MachineConfig::default();
     let policies = ContextPolicy::ALL;
 
@@ -76,4 +81,5 @@ fn main() {
             mean(&overheads[pi]) / base_overhead
         );
     }
+    Ok(())
 }

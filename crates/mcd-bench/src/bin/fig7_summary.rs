@@ -3,7 +3,8 @@
 //! registry (global DVS included).
 
 use mcd_bench::{
-    default_config, evaluate_all, report_cache, run_main, selected_suite, Metric, Options,
+    default_config, evaluate_all, report_cache, run_main, selected_benchmarks, Metric, Options,
+    SuiteSelection,
 };
 use mcd_dvfs::evaluation::Summary;
 use std::process::ExitCode;
@@ -11,7 +12,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     run_main(|| {
         let options = Options::parse();
-        let benches = selected_suite(options.quick);
+        let benches = selected_benchmarks(&options, SuiteSelection::Paper)?;
         let config = default_config(&options, true);
         let evals = evaluate_all(&benches, &config)?;
 

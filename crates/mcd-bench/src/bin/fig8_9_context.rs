@@ -7,7 +7,7 @@
 //! is a job restricted to the profile scheme, and the per-benchmark reference
 //! trace and baseline are memoized across the six policies.
 
-use mcd_bench::{default_config, format, report_cache, run_main, Options};
+use mcd_bench::{default_config, format, report_cache, run_main, Options, SuiteSelection};
 use mcd_dvfs::error::find_benchmark;
 use mcd_dvfs::scheme::names;
 use mcd_dvfs::service::{EvalJob, Evaluator};
@@ -17,6 +17,13 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     run_main(|| {
         let options = Options::parse();
+        // This study runs a fixed benchmark list (the programs where the
+        // context policy visibly matters), so a tier selection cannot apply;
+        // still validate the value, and say so instead of silently ignoring.
+        options.suite_selection(SuiteSelection::Paper)?;
+        if options.suite.is_some() {
+            eprintln!("  note: --suite/MCD_SUITE ignored — this study uses a fixed benchmark list");
+        }
         let bench_names = [
             "mpeg2 decode",
             "epic encode",

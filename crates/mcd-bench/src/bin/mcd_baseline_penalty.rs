@@ -2,7 +2,7 @@
 //! processor (Section 4.1 of the paper reports approximately 1.3% performance
 //! and 0.8% energy, with maxima of 3.6% / 2.1%).
 
-use mcd_bench::{run_main, selected_suite, Options};
+use mcd_bench::{run_main, selected_benchmarks, Options, SuiteSelection};
 use mcd_dvfs::evaluation::mcd_baseline_penalty;
 use mcd_dvfs::evaluation::Summary;
 use mcd_sim::config::MachineConfig;
@@ -10,7 +10,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     run_main(|| {
-        let benches = selected_suite(Options::parse().quick);
+        let benches = selected_benchmarks(&Options::parse(), SuiteSelection::Paper)?;
         let machine = MachineConfig::default();
 
         println!(

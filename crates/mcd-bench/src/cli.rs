@@ -5,6 +5,45 @@
 //! them into [`Options::parse`], so a flag means the same thing everywhere
 //! and new flags have exactly one place to live.
 
+use mcd_dvfs::error::McdError;
+
+/// Which workload tier(s) a binary evaluates (`--suite` / `MCD_SUITE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuiteSelection {
+    /// The paper's nineteen batch benchmarks (the default; `--quick` selects
+    /// its representative six-benchmark subset).
+    #[default]
+    Paper,
+    /// The three server-style request-loop benchmarks.
+    Server,
+    /// The three bursty/interactive benchmarks.
+    Interactive,
+    /// The whole second tier: server + interactive (six benchmarks).
+    Tier2,
+    /// Every tier (the paper's nineteen plus the second tier's six;
+    /// `--quick` pairs the paper subset with the full second tier).
+    All,
+}
+
+impl SuiteSelection {
+    /// Parses a `--suite` value. Accepted (case-insensitive): `paper`
+    /// (aliases `batch`, `spec`), `server`, `interactive`, `tier2` (aliases
+    /// `second`, `server+interactive`), `all`.
+    pub fn parse(value: &str) -> Result<SuiteSelection, McdError> {
+        match value.to_lowercase().as_str() {
+            "paper" | "batch" | "spec" => Ok(SuiteSelection::Paper),
+            "server" => Ok(SuiteSelection::Server),
+            "interactive" => Ok(SuiteSelection::Interactive),
+            "tier2" | "second" | "server+interactive" => Ok(SuiteSelection::Tier2),
+            "all" => Ok(SuiteSelection::All),
+            other => Err(McdError::InvalidConfig(format!(
+                "unknown --suite value `{other}` (expected paper, server, interactive, \
+                 tier2 or all)"
+            ))),
+        }
+    }
+}
+
 /// The flags and environment switches shared by the figure binaries.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Options {
@@ -19,6 +58,10 @@ pub struct Options {
     /// `--jobs N` / `MCD_JOBS=N`: worker-thread budget. `None` means "every
     /// available core" (see [`Options::parallelism`]).
     pub jobs: Option<usize>,
+    /// `--suite <tier>` / `MCD_SUITE=<tier>`: raw workload-tier selection
+    /// (validated by [`Options::suite_selection`]). `None` means the
+    /// binary's default tier.
+    pub suite: Option<String>,
     /// Positional arguments that are not flags (e.g. a benchmark name).
     pub free: Vec<String>,
 }
@@ -52,6 +95,17 @@ impl Options {
                         iter.next();
                     }
                 }
+                "--suite" => {
+                    // Only consume the next argument when it is a value, so
+                    // `--suite --quick` does not swallow the flag.
+                    options.suite = iter
+                        .peek()
+                        .filter(|v| !v.starts_with("--"))
+                        .map(|v| v.to_string());
+                    if options.suite.is_some() {
+                        iter.next();
+                    }
+                }
                 _ => options.free.push(arg.clone()),
             }
         }
@@ -63,7 +117,19 @@ impl Options {
                 .and_then(|v| v.parse::<usize>().ok())
                 .filter(|&n| n > 0);
         }
+        if options.suite.is_none() {
+            options.suite = env("MCD_SUITE").filter(|v| !v.is_empty());
+        }
         options
+    }
+
+    /// The validated workload-tier selection, defaulting to `default` when
+    /// neither `--suite` nor `MCD_SUITE` was given.
+    pub fn suite_selection(&self, default: SuiteSelection) -> Result<SuiteSelection, McdError> {
+        match &self.suite {
+            Some(value) => SuiteSelection::parse(value),
+            None => Ok(default),
+        }
     }
 
     /// The worker-thread budget: `--jobs` / `MCD_JOBS` when given, otherwise
@@ -134,6 +200,47 @@ mod tests {
         let parsed = Options::from_args(&args(&["--jobs", "--quick"]), no_env);
         assert_eq!(parsed.jobs, None);
         assert!(parsed.quick, "--quick must survive a valueless --jobs");
+    }
+
+    #[test]
+    fn suite_flag_parses_and_validates() {
+        let parsed = Options::from_args(&args(&["--suite", "server", "--quick"]), no_env);
+        assert_eq!(parsed.suite.as_deref(), Some("server"));
+        assert_eq!(
+            parsed.suite_selection(SuiteSelection::Paper).unwrap(),
+            SuiteSelection::Server
+        );
+        // Aliases and case-insensitivity.
+        for (value, want) in [
+            ("Paper", SuiteSelection::Paper),
+            ("batch", SuiteSelection::Paper),
+            ("tier2", SuiteSelection::Tier2),
+            ("second", SuiteSelection::Tier2),
+            ("INTERACTIVE", SuiteSelection::Interactive),
+            ("all", SuiteSelection::All),
+        ] {
+            assert_eq!(SuiteSelection::parse(value).unwrap(), want, "{value}");
+        }
+        // Unknown values surface as configuration errors.
+        assert!(SuiteSelection::parse("bogus").is_err());
+        // Default applies when the flag is absent.
+        let parsed = Options::from_args(&[], no_env);
+        assert_eq!(
+            parsed.suite_selection(SuiteSelection::Tier2).unwrap(),
+            SuiteSelection::Tier2
+        );
+    }
+
+    #[test]
+    fn suite_does_not_swallow_a_following_flag_and_env_backs_it_up() {
+        let parsed = Options::from_args(&args(&["--suite", "--quick"]), no_env);
+        assert_eq!(parsed.suite, None);
+        assert!(parsed.quick, "--quick must survive a valueless --suite");
+        let env = |key: &str| (key == "MCD_SUITE").then(|| "interactive".to_string());
+        let parsed = Options::from_args(&[], env);
+        assert_eq!(parsed.suite.as_deref(), Some("interactive"));
+        let parsed = Options::from_args(&args(&["--suite", "server"]), env);
+        assert_eq!(parsed.suite.as_deref(), Some("server"), "flag beats env");
     }
 
     #[test]

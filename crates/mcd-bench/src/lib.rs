@@ -18,18 +18,18 @@ use mcd_dvfs::error::McdError;
 use mcd_dvfs::evaluation::{BenchmarkEvaluation, EvaluationConfig, Summary};
 use mcd_dvfs::service::{EvalEvent, EvalJob, Evaluator, ResultStream};
 use mcd_sim::stats::RelativeMetrics;
-use mcd_workloads::suite::{suite, Benchmark};
+use mcd_workloads::suite::{self, suite, Benchmark, SuiteKind};
 use std::sync::{Arc, OnceLock};
 
-pub use cli::Options;
+pub use cli::{Options, SuiteSelection};
 
 /// The slowdown target used for the headline results (the paper's Figures 4–7
 /// use a dilation target of roughly 7%).
 pub const HEADLINE_SLOWDOWN: f64 = 0.07;
 
-/// Returns the benchmarks to evaluate. `quick` restricts the run to a
-/// representative six-benchmark subset (useful while iterating); the full
-/// suite is all nineteen programs.
+/// Returns the paper-tier benchmarks to evaluate. `quick` restricts the run
+/// to a representative six-benchmark subset (useful while iterating); the
+/// full suite is all nineteen programs.
 pub fn selected_suite(quick: bool) -> Vec<Benchmark> {
     let all = suite();
     if !quick {
@@ -44,6 +44,30 @@ pub fn selected_suite(quick: bool) -> Vec<Benchmark> {
         "art",
     ];
     all.into_iter().filter(|b| keep.contains(&b.name)).collect()
+}
+
+/// Returns the benchmarks selected by `--suite` / `MCD_SUITE` (falling back
+/// to `default` when absent), honouring `--quick`.
+///
+/// The second-tier selections are already small (three or six benchmarks),
+/// so `--quick` only subsets the paper tier: `paper` quick is the
+/// representative six, `all` quick pairs that subset with the whole second
+/// tier, and `server` / `interactive` / `tier2` are unaffected.
+pub fn selected_benchmarks(
+    options: &Options,
+    default: SuiteSelection,
+) -> Result<Vec<Benchmark>, McdError> {
+    Ok(match options.suite_selection(default)? {
+        SuiteSelection::Paper => selected_suite(options.quick),
+        SuiteSelection::Server => suite::tier(SuiteKind::Server),
+        SuiteSelection::Interactive => suite::tier(SuiteKind::Interactive),
+        SuiteSelection::Tier2 => suite::server_suite(),
+        SuiteSelection::All => {
+            let mut benches = selected_suite(options.quick);
+            benches.extend(suite::server_suite());
+            benches
+        }
+    })
 }
 
 /// The cache shared by every evaluation this process runs, resolved once from
@@ -170,10 +194,11 @@ impl Metric {
 }
 
 /// Runs the standard per-benchmark, per-scheme figure: evaluates the selected
-/// suite and prints one row per benchmark with one column per registered
-/// scheme, plus a suite average (the shape of Figures 4–6).
+/// suite (tier selection via `--suite`, paper tier by default) and prints one
+/// row per benchmark with one column per registered scheme, plus a suite
+/// average (the shape of Figures 4–6).
 pub fn metric_figure(title: &str, metric: Metric, options: &Options) -> Result<(), McdError> {
-    let benches = selected_suite(options.quick);
+    let benches = selected_benchmarks(options, SuiteSelection::Paper)?;
     let config = default_config(options, false);
     let evals = evaluate_all(&benches, &config)?;
     print_metric_table(title, &evals, metric);
@@ -284,6 +309,38 @@ mod tests {
         for b in &quick {
             assert!(full.iter().any(|f| f.name == b.name));
         }
+    }
+
+    #[test]
+    fn suite_selection_picks_the_right_tier() {
+        let with_suite = |suite: Option<&str>, quick: bool| Options {
+            suite: suite.map(|s| s.to_string()),
+            quick,
+            ..Options::default()
+        };
+        let paper = selected_benchmarks(&with_suite(None, false), SuiteSelection::Paper).unwrap();
+        assert_eq!(paper.len(), 19);
+        let tier2 =
+            selected_benchmarks(&with_suite(Some("tier2"), false), SuiteSelection::Paper).unwrap();
+        assert_eq!(tier2.len(), 6);
+        // The default argument applies when no flag is given.
+        let defaulted =
+            selected_benchmarks(&with_suite(None, false), SuiteSelection::Tier2).unwrap();
+        assert_eq!(defaulted.len(), 6);
+        // --quick subsets only the paper tier.
+        let tier2_quick =
+            selected_benchmarks(&with_suite(Some("tier2"), true), SuiteSelection::Paper).unwrap();
+        assert_eq!(tier2_quick.len(), 6);
+        let all_quick =
+            selected_benchmarks(&with_suite(Some("all"), true), SuiteSelection::Paper).unwrap();
+        assert_eq!(all_quick.len(), 12); // 6 paper subset + 6 second tier
+        let server =
+            selected_benchmarks(&with_suite(Some("server"), false), SuiteSelection::Paper).unwrap();
+        assert_eq!(server.len(), 3);
+        assert!(server.iter().all(|b| b.suite == SuiteKind::Server));
+        assert!(
+            selected_benchmarks(&with_suite(Some("bogus"), false), SuiteSelection::Paper).is_err()
+        );
     }
 
     #[test]

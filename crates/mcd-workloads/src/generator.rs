@@ -111,7 +111,17 @@ impl GenContext<'_> {
             match element {
                 Element::Block(block) => {
                     let pc_base = block_pc_base(sub.id.0, depth, idx as u32);
-                    let scaled = ((block.instructions as f64) * intensity).round().max(1.0) as u32;
+                    // Jitter draws only happen for jittered blocks, so programs
+                    // built entirely from fixed-size blocks keep their
+                    // historical traces bit-for-bit.
+                    let jitter_factor = if block.jitter > 0.0 {
+                        1.0 + block.jitter * (2.0 * self.rng.next_f64() - 1.0)
+                    } else {
+                        1.0
+                    };
+                    let scaled = ((block.instructions as f64) * intensity * jitter_factor)
+                        .round()
+                        .max(1.0) as u32;
                     self.emit_block(scaled, &block.mix, pc_base, sub.id.0);
                 }
                 Element::Loop(spec) => {
@@ -366,6 +376,33 @@ mod tests {
         }
         assert!(loads > 0);
         assert!(branches > 0);
+    }
+
+    #[test]
+    fn jittered_blocks_vary_with_the_seed_but_stay_bounded() {
+        let mut b = ProgramBuilder::new("jittery");
+        b.subroutine("main", |s| {
+            s.repeat("cycle", TripCount::Fixed(40), |l| {
+                l.block_jittered(100, InstructionMix::streaming_int(), 0.25);
+            });
+        });
+        let p = b.build("main");
+        let a = generate_trace(&p, &InputSet::training(1_000_000));
+        let b2 = generate_trace(&p, &InputSet::training(1_000_000).with_seed(42));
+        // Same program, same seed: deterministic. Different seed: different
+        // burst lengths, hence a different trace length.
+        let again = generate_trace(&p, &InputSet::training(1_000_000));
+        assert_eq!(a, again);
+        assert_ne!(instr_count(&a), instr_count(&b2));
+        // Each execution stays within the jitter bounds (plus the per-trip
+        // loop-closing branch).
+        let total = instr_count(&a);
+        let per_trip = total as f64 / 40.0;
+        assert!(per_trip >= 100.0 * 0.75, "per-trip {per_trip} below bound");
+        assert!(
+            per_trip <= 100.0 * 1.25 + 1.0,
+            "per-trip {per_trip} above bound"
+        );
     }
 
     #[test]

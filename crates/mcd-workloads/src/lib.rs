@@ -11,6 +11,13 @@
 //! instruction/marker trace the `mcd-sim` simulator consumes and the
 //! `mcd-profiling` crate builds call trees from.
 //!
+//! Beyond the paper's nineteen batch programs, the [`server`] module
+//! composes a second workload tier — server-style request loops
+//! ([`server::ServerWorkload`]) and bursty/interactive duty cycles
+//! ([`server::BurstProfile`]) — registered under
+//! [`suite::SuiteKind::Server`] / [`suite::SuiteKind::Interactive`] and
+//! returned by [`suite::server_suite`].
+//!
 //! ## Example
 //!
 //! ```
@@ -31,10 +38,12 @@ pub mod mix;
 pub mod program;
 pub mod programs;
 pub mod rng;
+pub mod server;
 pub mod suite;
 
 pub use generator::{generate_trace, TraceGenerator};
 pub use input::{InputPair, InputSet};
 pub use mix::InstructionMix;
 pub use program::{InputKind, Program, ProgramBuilder, TripCount};
-pub use suite::{benchmark, suite, Benchmark, SuiteKind};
+pub use server::{BurstProfile, RequestClass, ServerWorkload};
+pub use suite::{benchmark, full_suite, server_suite, suite, Benchmark, SuiteKind};

@@ -248,6 +248,52 @@ impl InstructionMix {
         .normalized()
     }
 
+    /// Event-loop polling between bursts of real work (interactive programs
+    /// waiting on input, servers between requests): branch- and load-heavy
+    /// checks over a tiny footprint, short dependence chains, almost always
+    /// the not-ready path — every domain is nearly idle, which is exactly the
+    /// slack a DVFS controller should harvest during an idle phase.
+    pub fn idle_poll() -> Self {
+        InstructionMix {
+            int_alu: 0.36,
+            int_mul: 0.0,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.30,
+            store: 0.04,
+            branch: 0.30,
+            dep_distance_mean: 1.6,
+            working_set_bytes: 4 * 1024,
+            stride_bytes: 4,
+            branch_taken_rate: 0.9,
+            branch_irregularity: 0.06,
+        }
+        .normalized()
+    }
+
+    /// Scalar integer cryptography and checksumming (TLS record processing,
+    /// content hashing in a request handler): multiply-rich integer code with
+    /// a small working set and predictable control flow.
+    pub fn scalar_crypto() -> Self {
+        InstructionMix {
+            int_alu: 0.42,
+            int_mul: 0.20,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.20,
+            store: 0.08,
+            branch: 0.10,
+            dep_distance_mean: 3.2,
+            working_set_bytes: 16 * 1024,
+            stride_bytes: 8,
+            branch_taken_rate: 0.88,
+            branch_irregularity: 0.05,
+        }
+        .normalized()
+    }
+
     /// Table-driven integer DSP (ADPCM/GSM codecs): small working set, mostly
     /// integer ALU with some multiplies, moderately predictable branches.
     pub fn dsp_int() -> Self {
@@ -316,6 +362,8 @@ mod tests {
             InstructionMix::pointer_chase(),
             InstructionMix::fp_streaming_memory(),
             InstructionMix::dsp_int(),
+            InstructionMix::idle_poll(),
+            InstructionMix::scalar_crypto(),
             InstructionMix::default().normalized(),
         ] {
             assert_normalized(&mix);
@@ -344,6 +392,9 @@ mod tests {
             InstructionMix::branchy_int().branch_irregularity
                 > InstructionMix::fp_kernel().branch_irregularity
         );
+        assert!(InstructionMix::idle_poll().fp_fraction() < 1e-9);
+        assert!(InstructionMix::idle_poll().working_set_bytes <= 8 * 1024);
+        assert!(InstructionMix::scalar_crypto().int_mul > InstructionMix::dsp_int().int_mul);
     }
 
     #[test]

@@ -61,6 +61,13 @@ pub struct BlockSpec {
     pub instructions: u32,
     /// Statistical character of those instructions.
     pub mix: InstructionMix,
+    /// Fractional size jitter: each execution of the block draws a scale
+    /// factor uniformly from `[1 - jitter, 1 + jitter]` out of the input
+    /// set's seeded stream, so burst lengths vary between executions (and
+    /// between seeds) while staying inside configured bounds. Zero — the
+    /// default, and the value every `block` call produces — keeps the
+    /// historical fixed-size expansion bit-for-bit.
+    pub jitter: f64,
 }
 
 /// A loop within a subroutine (a strongly connected component of its CFG).
@@ -301,8 +308,23 @@ pub struct BodyBuilder<'a> {
 impl BodyBuilder<'_> {
     /// Appends a straight-line compute block of `instructions` instructions.
     pub fn block(&mut self, instructions: u32, mix: InstructionMix) -> &mut Self {
-        self.elements
-            .push(Element::Block(BlockSpec { instructions, mix }));
+        self.block_jittered(instructions, mix, 0.0)
+    }
+
+    /// Appends a compute block whose dynamic size varies per execution: each
+    /// expansion scales `instructions` by a seeded uniform draw from
+    /// `[1 - jitter, 1 + jitter]`. `jitter` is clamped to `[0, 0.95]`.
+    pub fn block_jittered(
+        &mut self,
+        instructions: u32,
+        mix: InstructionMix,
+        jitter: f64,
+    ) -> &mut Self {
+        self.elements.push(Element::Block(BlockSpec {
+            instructions,
+            mix,
+            jitter: jitter.clamp(0.0, 0.95),
+        }));
         self
     }
 
@@ -467,6 +489,26 @@ mod tests {
         });
         let p = b.build("main");
         assert_eq!(p.loop_count(), 1);
+    }
+
+    #[test]
+    fn jittered_blocks_record_their_clamped_jitter() {
+        let mut b = ProgramBuilder::new("t");
+        b.subroutine("main", |s| {
+            s.block(10, InstructionMix::default().normalized());
+            s.block_jittered(10, InstructionMix::default().normalized(), 0.3);
+            s.block_jittered(10, InstructionMix::default().normalized(), 7.0);
+        });
+        let p = b.build("main");
+        let jitters: Vec<f64> = p.subroutines[0]
+            .body
+            .iter()
+            .map(|e| match e {
+                Element::Block(spec) => spec.jitter,
+                _ => panic!("only blocks expected"),
+            })
+            .collect();
+        assert_eq!(jitters, vec![0.0, 0.3, 0.95]);
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! Structural models of the nineteen benchmarks the paper evaluates.
+//! Structural models of the nineteen benchmarks the paper evaluates, plus
+//! the second-tier server ([`server`]) and interactive ([`interactive`])
+//! workloads that extend the evaluation beyond the paper's batch programs.
 //!
 //! Each module builds a [`Program`](crate::program::Program) whose subroutine /
 //! loop / call-site structure and per-phase instruction mixes follow the real
@@ -21,9 +23,11 @@ pub mod equake;
 pub mod g721;
 pub mod gsm;
 pub mod gzip;
+pub mod interactive;
 pub mod jpeg;
 pub mod mcf;
 pub mod mpeg2;
+pub mod server;
 pub mod swim;
 pub mod vpr;
 
@@ -73,5 +77,17 @@ mod structure_tests {
         check("applu", super::applu::applu());
         check("art", super::art::art());
         check("equake", super::equake::equake());
+    }
+
+    /// The second-tier (server + interactive) benchmarks must satisfy the
+    /// same trace-health invariants as the paper's nineteen.
+    #[test]
+    fn all_second_tier_benchmarks_generate_sane_traces() {
+        check("web_serve", super::server::web_serve());
+        check("kv_store", super::server::kv_store());
+        check("media_relay", super::server::media_relay());
+        check("photo_edit", super::interactive::photo_edit());
+        check("sensor_hub", super::interactive::sensor_hub());
+        check("speech_wake", super::interactive::speech_wake());
     }
 }

@@ -1,0 +1,599 @@
+//! Second-tier workload composers: server-style request loops and
+//! bursty/interactive duty cycles.
+//!
+//! The paper's nineteen benchmarks are batch programs — one long computation
+//! with phase changes driven by the algorithm. Server and interactive
+//! programs stress a DVFS controller differently: a request loop interleaves
+//! short, heterogeneous per-request phases at a steady arrival rate, and an
+//! interactive program alternates compute bursts with long idle stretches.
+//! The composers here build such programs on top of the
+//! [`ProgramBuilder`] DSL, so they flow through the trace generator, the
+//! profiling crate, and every DVFS control scheme unchanged.
+//!
+//! * [`ServerWorkload`]: a steady request loop. Each batch iteration
+//!   dispatches a fixed number of requests; each request runs one of several
+//!   [`RequestClass`] handlers, assigned by a seeded weighted draw at build
+//!   time, with per-request intensity jitter.
+//! * [`BurstProfile`]: an idle–burst duty cycle. Each cycle runs a compute
+//!   burst (size jittered per execution out of the input set's seeded
+//!   stream) followed by an idle polling phase sized to hit a configured
+//!   duty cycle.
+//!
+//! Both are deterministic: the same builder configuration and seed always
+//! produce the identical program, and the same `(program, input)` pair
+//! always produces the identical trace.
+
+use crate::input::InputPair;
+use crate::mix::InstructionMix;
+use crate::program::{Program, ProgramBuilder, TripCount};
+use crate::rng::WorkloadRng;
+
+/// One kind of request a [`ServerWorkload`] serves: a named handler with its
+/// instruction mix, nominal per-request size, and arrival weight.
+#[derive(Debug, Clone)]
+pub struct RequestClass {
+    /// Handler name (becomes the subroutine name `handle_<name>`).
+    pub name: String,
+    /// Statistical character of the handler's instructions.
+    pub mix: InstructionMix,
+    /// Nominal dynamic instructions per request of this class.
+    pub instructions: u32,
+    /// Relative arrival weight; shares are normalized over all classes.
+    pub weight: f64,
+}
+
+/// Composes a server-style request-loop program: a steady arrival loop whose
+/// iterations dispatch a fixed number of requests, each handled by one of
+/// several weighted [`RequestClass`]es.
+///
+/// ```
+/// use mcd_workloads::server::ServerWorkload;
+/// use mcd_workloads::mix::InstructionMix;
+/// use mcd_workloads::program::TripCount;
+///
+/// let (program, inputs) = ServerWorkload::new("tiny_server")
+///     .class("get", InstructionMix::streaming_int(), 400, 0.7)
+///     .class("put", InstructionMix::branchy_int(), 600, 0.3)
+///     .requests(16, TripCount::Scaled { base: 3, reference_factor: 2.0 })
+///     .windows(30_000, 70_000)
+///     .build();
+/// assert!(program.subroutine_count() >= 4); // handlers + dispatch + main
+/// assert!(inputs.reference.max_instructions > inputs.training.max_instructions);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerWorkload {
+    name: String,
+    classes: Vec<RequestClass>,
+    requests_per_batch: u32,
+    batches: TripCount,
+    dispatch_instructions: u32,
+    intensity_jitter: f64,
+    seed: u64,
+    training_window: u64,
+    reference_window: u64,
+}
+
+impl ServerWorkload {
+    /// Starts composing a server workload with the given program name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ServerWorkload {
+            name: name.into(),
+            classes: Vec::new(),
+            requests_per_batch: 24,
+            batches: TripCount::Scaled {
+                base: 4,
+                reference_factor: 2.0,
+            },
+            dispatch_instructions: 140,
+            intensity_jitter: 0.2,
+            seed: 0x5e72_7665, // "serve"
+            training_window: 80_000,
+            reference_window: 170_000,
+        }
+    }
+
+    /// Adds a request class with the given handler mix, nominal per-request
+    /// size, and arrival weight.
+    pub fn class(
+        mut self,
+        name: impl Into<String>,
+        mix: InstructionMix,
+        instructions: u32,
+        weight: f64,
+    ) -> Self {
+        self.classes.push(RequestClass {
+            name: name.into(),
+            mix,
+            instructions,
+            weight,
+        });
+        self
+    }
+
+    /// Sets the request-loop shape: `per_batch` request slots unrolled in the
+    /// loop body, repeated `batches` times (input-scaled, so the reference
+    /// input serves more traffic than the training input).
+    pub fn requests(mut self, per_batch: u32, batches: TripCount) -> Self {
+        self.requests_per_batch = per_batch.max(1);
+        self.batches = batches;
+        self
+    }
+
+    /// Sets the per-request dispatch overhead (accept + parse + route),
+    /// always run with the control-heavy [`InstructionMix::branchy_int`] mix.
+    pub fn dispatch(mut self, instructions: u32) -> Self {
+        self.dispatch_instructions = instructions.max(1);
+        self
+    }
+
+    /// Sets the per-request intensity jitter: each slot scales its handler's
+    /// work by a seeded draw from `[1 - jitter, 1 + jitter]`. Clamped to
+    /// `[0, 0.9]`.
+    pub fn intensity_jitter(mut self, jitter: f64) -> Self {
+        self.intensity_jitter = jitter.clamp(0.0, 0.9);
+        self
+    }
+
+    /// Sets the seed of the class-assignment and intensity draws. Distinct
+    /// seeds produce distinct request sequences (and therefore distinct
+    /// traces); the same seed always reproduces the same program.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the training and reference simulation windows (in instructions).
+    pub fn windows(mut self, training: u64, reference: u64) -> Self {
+        self.training_window = training;
+        self.reference_window = reference;
+        self
+    }
+
+    /// The normalized arrival shares of the configured classes, in class
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no class has been added or the weights sum to zero.
+    pub fn shares(&self) -> Vec<f64> {
+        let sum: f64 = self.classes.iter().map(|c| c.weight).sum();
+        assert!(
+            !self.classes.is_empty() && sum > 0.0,
+            "a server workload needs at least one positively weighted class"
+        );
+        self.classes.iter().map(|c| c.weight / sum).collect()
+    }
+
+    /// The class index assigned to each request slot of one batch — the
+    /// seeded weighted draw the built program bakes in. Exposed so property
+    /// tests can check empirical shares against the configured weights.
+    pub fn slot_plan(&self) -> Vec<usize> {
+        let shares = self.shares();
+        let mut rng = WorkloadRng::seed_from_u64(self.seed);
+        (0..self.requests_per_batch)
+            .map(|_| {
+                let draw = rng.next_f64();
+                let mut acc = 0.0;
+                for (i, share) in shares.iter().enumerate() {
+                    acc += share;
+                    if draw <= acc {
+                        return i;
+                    }
+                }
+                shares.len() - 1
+            })
+            .collect()
+    }
+
+    /// The per-slot handler intensities (the jitter draws following the slot
+    /// plan on the same seeded stream).
+    fn slot_intensities(&self) -> Vec<f64> {
+        let mut rng = WorkloadRng::seed_from_u64(self.seed ^ 0x9e37_79b9);
+        (0..self.requests_per_batch)
+            .map(|_| 1.0 + self.intensity_jitter * (2.0 * rng.next_f64() - 1.0))
+            .collect()
+    }
+
+    /// Builds the program and its input pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no class has been added or the weights sum to zero.
+    pub fn build(&self) -> (Program, InputPair) {
+        let plan = self.slot_plan();
+        let intensities = self.slot_intensities();
+        let mut b = ProgramBuilder::new(self.name.clone());
+        let handlers: Vec<_> = self
+            .classes
+            .iter()
+            .map(|class| {
+                // A small inner loop per handler so the profiling layer sees a
+                // long-running node per request class, as it would in a real
+                // server's per-request service routine.
+                let chunk = (class.instructions / 4).max(1);
+                let mix = class.mix.clone();
+                let loop_name = format!("{}_work", class.name);
+                b.subroutine(format!("handle_{}", class.name), move |s| {
+                    s.repeat(loop_name, TripCount::Fixed(4), |l| {
+                        l.block(chunk, mix.clone());
+                    });
+                })
+            })
+            .collect();
+        let dispatch_instructions = self.dispatch_instructions;
+        let dispatch = b.subroutine("dispatch", move |s| {
+            s.block(dispatch_instructions, InstructionMix::branchy_int());
+        });
+        b.subroutine("main", |s| {
+            // Server start-up: configuration parsing and socket setup.
+            s.block(600, InstructionMix::streaming_int());
+            s.repeat("request_loop", self.batches, |l| {
+                for (slot, &class) in plan.iter().enumerate() {
+                    l.call(dispatch);
+                    l.call_scaled(handlers[class], intensities[slot]);
+                }
+            });
+        });
+        let program = b.build("main");
+        let inputs = InputPair::new(self.training_window, self.reference_window, false);
+        (program, inputs)
+    }
+}
+
+/// Composes a bursty/interactive program: a duty-cycle loop whose iterations
+/// run a compute burst followed by an idle polling phase.
+///
+/// The burst's dynamic size is jittered per execution out of the input set's
+/// seeded stream (via [`BlockSpec::jitter`](crate::program::BlockSpec)), and
+/// the static per-cycle burst scales are additionally jittered by the
+/// profile's own seed — so both the program structure and the generated
+/// trace vary with their respective seeds while the duty cycle stays inside
+/// [`BurstProfile::duty_bounds`].
+///
+/// ```
+/// use mcd_workloads::server::BurstProfile;
+/// use mcd_workloads::mix::InstructionMix;
+///
+/// let profile = BurstProfile::new("tiny_burst")
+///     .burst(InstructionMix::fp_kernel(), 1200)
+///     .duty_cycle(0.3)
+///     .jitter(0.2);
+/// let (lo, hi) = profile.duty_bounds();
+/// assert!(lo > 0.2 && hi < 0.45);
+/// let (program, _inputs) = profile.build();
+/// assert!(program.subroutine_by_name("burst").is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BurstProfile {
+    name: String,
+    burst_mix: InstructionMix,
+    idle_mix: InstructionMix,
+    burst_instructions: u32,
+    duty_cycle: f64,
+    jitter: f64,
+    static_jitter: f64,
+    cycles_per_period: u32,
+    periods: TripCount,
+    seed: u64,
+    training_window: u64,
+    reference_window: u64,
+}
+
+impl BurstProfile {
+    /// Starts composing a bursty profile with the given program name.
+    pub fn new(name: impl Into<String>) -> Self {
+        BurstProfile {
+            name: name.into(),
+            burst_mix: InstructionMix::fp_kernel(),
+            idle_mix: InstructionMix::idle_poll(),
+            burst_instructions: 1500,
+            duty_cycle: 0.3,
+            jitter: 0.2,
+            static_jitter: 0.1,
+            cycles_per_period: 6,
+            periods: TripCount::Scaled {
+                base: 4,
+                reference_factor: 2.0,
+            },
+            seed: 0x6275_7273, // "burs"
+            training_window: 80_000,
+            reference_window: 170_000,
+        }
+    }
+
+    /// Sets the burst phase's mix and nominal size (instructions per burst).
+    pub fn burst(mut self, mix: InstructionMix, instructions: u32) -> Self {
+        self.burst_mix = mix;
+        self.burst_instructions = instructions.max(4);
+        self
+    }
+
+    /// Sets the idle phase's mix (defaults to [`InstructionMix::idle_poll`]).
+    pub fn idle(mut self, mix: InstructionMix) -> Self {
+        self.idle_mix = mix;
+        self
+    }
+
+    /// Sets the nominal duty cycle: the fraction of each cycle's instructions
+    /// spent in the burst phase. Clamped to `[0.02, 0.95]`.
+    pub fn duty_cycle(mut self, duty: f64) -> Self {
+        self.duty_cycle = duty.clamp(0.02, 0.95);
+        self
+    }
+
+    /// Sets the dynamic burst-length jitter (per execution, drawn from the
+    /// input set's seeded stream). Clamped to `[0, 0.6]`.
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 0.6);
+        self
+    }
+
+    /// Sets the static per-cycle burst-scale jitter (baked into the program
+    /// from the profile's seed). Clamped to `[0, 0.6]`.
+    pub fn static_jitter(mut self, jitter: f64) -> Self {
+        self.static_jitter = jitter.clamp(0.0, 0.6);
+        self
+    }
+
+    /// Sets the duty-cycle loop shape: `per_period` distinct cycle slots
+    /// unrolled in the loop body, repeated `periods` times (input-scaled).
+    pub fn cycles(mut self, per_period: u32, periods: TripCount) -> Self {
+        self.cycles_per_period = per_period.max(1);
+        self.periods = periods;
+        self
+    }
+
+    /// Sets the seed of the static per-cycle scale draws.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the training and reference simulation windows (in instructions).
+    pub fn windows(mut self, training: u64, reference: u64) -> Self {
+        self.training_window = training;
+        self.reference_window = reference;
+        self
+    }
+
+    /// The nominal idle-phase size implied by the duty cycle.
+    fn idle_instructions(&self) -> u32 {
+        let idle = (self.burst_instructions as f64) * (1.0 - self.duty_cycle) / self.duty_cycle;
+        (idle.round() as u32).max(1)
+    }
+
+    /// The idle phase's poll-loop shape, `(polls, chunk)`: the nominal idle
+    /// size split into ~200-instruction polling chunks, with the chunk
+    /// re-sized so `polls × chunk` tracks the nominal size to within half a
+    /// poll — small or non-multiple-of-200 idle phases quantize to their
+    /// actual size instead of the nearest 200.
+    fn idle_plan(&self) -> (u32, u32) {
+        let total = self.idle_instructions();
+        let polls = ((total + 100) / 200).max(1);
+        let chunk = (((total as f64) / (polls as f64)).round() as u32).max(1);
+        (polls, chunk)
+    }
+
+    /// The number of burst instructions a cycle nominally emits (the burst
+    /// kernel's three executions of its chunk).
+    fn burst_emitted(&self) -> u32 {
+        3 * (self.burst_instructions / 3).max(1)
+    }
+
+    /// The guaranteed bounds of the realized per-cycle duty cycle, combining
+    /// the dynamic and static jitters over the *emitted* burst and idle
+    /// sizes (the same quantization [`BurstProfile::build`] applies).
+    /// Generated traces measure within these bounds, up to the one
+    /// loop-closing branch per loop iteration — a sub-percent effect.
+    pub fn duty_bounds(&self) -> (f64, f64) {
+        let (polls, chunk) = self.idle_plan();
+        let idle = (polls * chunk) as f64;
+        let burst = self.burst_emitted() as f64;
+        let lo = burst * (1.0 - self.jitter) * (1.0 - self.static_jitter);
+        let hi = burst * (1.0 + self.jitter) * (1.0 + self.static_jitter);
+        (lo / (lo + idle), hi / (hi + idle))
+    }
+
+    /// The static burst scale of each cycle slot (the profile-seeded draws).
+    fn slot_scales(&self) -> Vec<f64> {
+        let mut rng = WorkloadRng::seed_from_u64(self.seed);
+        (0..self.cycles_per_period)
+            .map(|_| 1.0 + self.static_jitter * (2.0 * rng.next_f64() - 1.0))
+            .collect()
+    }
+
+    /// Builds the program and its input pair.
+    pub fn build(&self) -> (Program, InputPair) {
+        let scales = self.slot_scales();
+        let mut b = ProgramBuilder::new(self.name.clone());
+        let burst_chunk = (self.burst_instructions / 3).max(1);
+        let burst_mix = self.burst_mix.clone();
+        let jitter = self.jitter;
+        let burst = b.subroutine("burst", move |s| {
+            s.repeat("burst_kernel", TripCount::Fixed(3), |l| {
+                l.block_jittered(burst_chunk, burst_mix.clone(), jitter);
+            });
+        });
+        let (polls, idle_chunk) = self.idle_plan();
+        let idle_mix = self.idle_mix.clone();
+        let idle = b.subroutine("idle_wait", move |s| {
+            s.repeat("poll_loop", TripCount::Fixed(polls), |l| {
+                l.block(idle_chunk, idle_mix.clone());
+            });
+        });
+        b.subroutine("main", |s| {
+            // Interactive start-up: load state, draw the first frame.
+            s.block(500, InstructionMix::streaming_int());
+            s.repeat("duty_loop", self.periods, |l| {
+                for &scale in &scales {
+                    l.call_scaled(burst, scale);
+                    l.call(idle);
+                }
+            });
+        });
+        let program = b.build("main");
+        let inputs = InputPair::new(self.training_window, self.reference_window, false);
+        (program, inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_trace;
+    use crate::input::InputSet;
+
+    fn instr_count(trace: &[mcd_sim::instruction::TraceItem]) -> usize {
+        trace.iter().filter(|t| t.as_instr().is_some()).count()
+    }
+
+    fn tiny_server() -> ServerWorkload {
+        ServerWorkload::new("tiny_server")
+            .class("get", InstructionMix::streaming_int(), 400, 0.6)
+            .class("put", InstructionMix::branchy_int(), 600, 0.4)
+            .requests(
+                12,
+                TripCount::Scaled {
+                    base: 2,
+                    reference_factor: 2.0,
+                },
+            )
+            .windows(15_000, 40_000)
+    }
+
+    #[test]
+    fn server_build_is_deterministic() {
+        let a = tiny_server().build();
+        let b = tiny_server().build();
+        assert_eq!(a.0, b.0);
+        let ta = generate_trace(&a.0, &a.1.training);
+        let tb = generate_trace(&b.0, &b.1.training);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn server_seeds_change_the_slot_plan() {
+        let a = tiny_server().seed(1);
+        let b = tiny_server().seed(2);
+        assert_ne!(a.slot_plan(), b.slot_plan());
+        let (pa, ia) = a.build();
+        let (pb, _) = b.build();
+        assert_ne!(
+            generate_trace(&pa, &ia.training),
+            generate_trace(&pb, &ia.training)
+        );
+    }
+
+    #[test]
+    fn server_shares_normalize_and_plan_covers_all_classes() {
+        let w = tiny_server();
+        let shares = w.shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let plan = w.slot_plan();
+        assert_eq!(plan.len(), 12);
+        assert!(plan.iter().all(|&c| c < 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn server_without_classes_is_rejected() {
+        let _ = ServerWorkload::new("empty").build();
+    }
+
+    #[test]
+    fn burst_duty_bounds_bracket_the_nominal_duty() {
+        let p = BurstProfile::new("t")
+            .duty_cycle(0.3)
+            .jitter(0.2)
+            .static_jitter(0.1);
+        let (lo, hi) = p.duty_bounds();
+        assert!(lo < 0.3 && 0.3 < hi, "bounds ({lo}, {hi}) must bracket 0.3");
+    }
+
+    /// Idle phases smaller than (or not a multiple of) the 200-instruction
+    /// poll chunk must not fall outside the documented bounds: the bounds
+    /// and `build()` share the same quantization.
+    #[test]
+    fn burst_duty_bounds_hold_under_idle_quantization() {
+        for (burst, duty) in [(100u32, 0.5), (1500, 0.95), (900, 0.13), (250, 0.7)] {
+            let profile = BurstProfile::new("quant")
+                .burst(InstructionMix::dsp_int(), burst)
+                .duty_cycle(duty)
+                .jitter(0.0)
+                .static_jitter(0.0)
+                .cycles(2, TripCount::Fixed(6))
+                .windows(1_000_000, 1_000_000);
+            let (lo, hi) = profile.duty_bounds();
+            let (program, inputs) = profile.build();
+            let trace = generate_trace(&program, &inputs.training);
+            let burst_id = program.subroutine_by_name("burst").unwrap().id;
+            let idle_id = program.subroutine_by_name("idle_wait").unwrap().id;
+            let mut stack = Vec::new();
+            let (mut in_burst, mut in_idle) = (0u64, 0u64);
+            for item in &trace {
+                use mcd_sim::instruction::{Marker, TraceItem};
+                match item {
+                    TraceItem::Marker(Marker::SubroutineEnter { subroutine, .. }) => {
+                        stack.push(*subroutine)
+                    }
+                    TraceItem::Marker(Marker::SubroutineExit { .. }) => {
+                        stack.pop();
+                    }
+                    TraceItem::Instr(_) => match stack.last() {
+                        Some(&s) if s == burst_id => in_burst += 1,
+                        Some(&s) if s == idle_id => in_idle += 1,
+                        _ => {}
+                    },
+                    TraceItem::Marker(_) => {}
+                }
+            }
+            let measured = in_burst as f64 / (in_burst + in_idle) as f64;
+            assert!(
+                measured >= lo - 0.02 && measured <= hi + 0.02,
+                "burst {burst} duty {duty}: measured {measured:.3} outside ({lo:.3}, {hi:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_build_generates_a_trace_with_both_phases() {
+        let profile = BurstProfile::new("tiny_burst")
+            .burst(InstructionMix::fp_kernel(), 900)
+            .duty_cycle(0.25)
+            .cycles(
+                3,
+                TripCount::Scaled {
+                    base: 3,
+                    reference_factor: 2.0,
+                },
+            )
+            .windows(15_000, 40_000);
+        let (program, inputs) = profile.build();
+        assert!(program.subroutine_by_name("burst").is_some());
+        assert!(program.subroutine_by_name("idle_wait").is_some());
+        let trace = generate_trace(&program, &inputs.training);
+        assert!(instr_count(&trace) >= 10_000);
+        let fp = trace
+            .iter()
+            .filter_map(|t| t.as_instr())
+            .filter(|i| i.class.is_fp())
+            .count();
+        assert!(fp > 0, "bursts must contribute FP work");
+    }
+
+    #[test]
+    fn burst_input_seed_changes_the_trace() {
+        let (program, inputs) = BurstProfile::new("tiny_burst")
+            .windows(15_000, 40_000)
+            .build();
+        let a = generate_trace(&program, &inputs.training);
+        let b = generate_trace(
+            &program,
+            &InputSet {
+                seed: inputs.training.seed ^ 1,
+                ..inputs.training.clone()
+            },
+        );
+        assert_ne!(a, b);
+    }
+}

@@ -1,5 +1,13 @@
 //! The benchmark registry: the nineteen MediaBench and SPEC CPU2000 programs
-//! the paper evaluates, with their training and reference inputs.
+//! the paper evaluates (the *batch* tier), plus the second-tier server and
+//! interactive workloads, with their training and reference inputs.
+//!
+//! Benchmarks are organized in tiers by [`SuiteKind`]. [`suite`] keeps
+//! returning exactly the paper's nineteen batch programs (every figure
+//! binary's default); [`server_suite`] returns the second tier, and
+//! [`full_suite`] both. All tiers share one namespace: assembly goes through
+//! a checked [`Registry`] that rejects duplicate names across tiers, and
+//! [`benchmark`] looks names up across every tier.
 
 use crate::input::InputPair;
 use crate::program::Program;
@@ -14,6 +22,30 @@ pub enum SuiteKind {
     SpecInt,
     /// SPEC CPU2000 floating-point benchmarks.
     SpecFp,
+    /// Second tier: server-style request-loop programs.
+    Server,
+    /// Second tier: bursty/interactive duty-cycle programs.
+    Interactive,
+}
+
+impl SuiteKind {
+    /// Every tier, in registry order.
+    pub const ALL: [SuiteKind; 5] = [
+        SuiteKind::MediaBench,
+        SuiteKind::SpecInt,
+        SuiteKind::SpecFp,
+        SuiteKind::Server,
+        SuiteKind::Interactive,
+    ];
+
+    /// Whether this tier is part of the paper's original nineteen-benchmark
+    /// batch evaluation.
+    pub fn is_batch(self) -> bool {
+        matches!(
+            self,
+            SuiteKind::MediaBench | SuiteKind::SpecInt | SuiteKind::SpecFp
+        )
+    }
 }
 
 impl std::fmt::Display for SuiteKind {
@@ -22,9 +54,36 @@ impl std::fmt::Display for SuiteKind {
             SuiteKind::MediaBench => f.write_str("MediaBench"),
             SuiteKind::SpecInt => f.write_str("SPEC CINT2000"),
             SuiteKind::SpecFp => f.write_str("SPEC CFP2000"),
+            SuiteKind::Server => f.write_str("Server"),
+            SuiteKind::Interactive => f.write_str("Interactive"),
         }
     }
 }
+
+/// Errors raised while assembling a benchmark registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteError {
+    /// Two benchmarks (possibly in different tiers) share a name. Names are
+    /// compared case-insensitively because [`benchmark`] looks them up that
+    /// way.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::DuplicateName(name) => {
+                write!(
+                    f,
+                    "benchmark `{name}` is registered more than once (benchmark names \
+                     must be unique across all suite tiers)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
 
 /// One benchmark: its program model and input pair.
 #[derive(Debug, Clone)]
@@ -50,7 +109,53 @@ impl Benchmark {
     }
 }
 
-/// All nineteen benchmarks, in the order the paper's tables list them.
+/// A checked collection of benchmarks: registration fails on duplicate names
+/// instead of silently shadowing an existing entry, so a lookup by name can
+/// never be ambiguous across tiers.
+#[derive(Debug, Default)]
+pub struct Registry {
+    benchmarks: Vec<Benchmark>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers one benchmark, rejecting names (case-insensitively) already
+    /// present in any tier.
+    pub fn register(&mut self, benchmark: Benchmark) -> Result<(), SuiteError> {
+        let lower = benchmark.name.to_lowercase();
+        if self
+            .benchmarks
+            .iter()
+            .any(|b| b.name.to_lowercase() == lower)
+        {
+            return Err(SuiteError::DuplicateName(benchmark.name.to_string()));
+        }
+        self.benchmarks.push(benchmark);
+        Ok(())
+    }
+
+    /// Registers a batch of benchmarks; the first duplicate aborts.
+    pub fn register_all(
+        &mut self,
+        benchmarks: impl IntoIterator<Item = Benchmark>,
+    ) -> Result<(), SuiteError> {
+        for b in benchmarks {
+            self.register(b)?;
+        }
+        Ok(())
+    }
+
+    /// The registered benchmarks, in registration order.
+    pub fn into_benchmarks(self) -> Vec<Benchmark> {
+        self.benchmarks
+    }
+}
+
+/// The paper's nineteen batch benchmarks, in the order its tables list them.
 pub fn suite() -> Vec<Benchmark> {
     vec![
         Benchmark::new(
@@ -115,15 +220,84 @@ pub fn suite() -> Vec<Benchmark> {
     ]
 }
 
-/// Looks up a single benchmark by its paper name (case-insensitive).
-pub fn benchmark(name: &str) -> Option<Benchmark> {
-    let lower = name.to_lowercase();
-    suite().into_iter().find(|b| b.name.to_lowercase() == lower)
+/// The second workload tier: three server-style and three bursty/interactive
+/// benchmarks beyond the paper's nineteen.
+pub fn server_suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new(
+            "web serve",
+            SuiteKind::Server,
+            programs::server::web_serve(),
+        ),
+        Benchmark::new("kv store", SuiteKind::Server, programs::server::kv_store()),
+        Benchmark::new(
+            "media relay",
+            SuiteKind::Server,
+            programs::server::media_relay(),
+        ),
+        Benchmark::new(
+            "photo edit",
+            SuiteKind::Interactive,
+            programs::interactive::photo_edit(),
+        ),
+        Benchmark::new(
+            "sensor hub",
+            SuiteKind::Interactive,
+            programs::interactive::sensor_hub(),
+        ),
+        Benchmark::new(
+            "speech wake",
+            SuiteKind::Interactive,
+            programs::interactive::speech_wake(),
+        ),
+    ]
 }
 
-/// The names of all benchmarks, in table order.
+/// Every benchmark of every tier, assembled through the duplicate-checked
+/// [`Registry`].
+pub fn try_full_suite() -> Result<Vec<Benchmark>, SuiteError> {
+    let mut registry = Registry::new();
+    registry.register_all(suite())?;
+    registry.register_all(server_suite())?;
+    Ok(registry.into_benchmarks())
+}
+
+/// Every benchmark of every tier: the paper's nineteen followed by the
+/// second tier.
+///
+/// # Panics
+///
+/// Panics if the static benchmark definitions register a duplicate name —
+/// a programming error that the suite's unit tests catch.
+pub fn full_suite() -> Vec<Benchmark> {
+    try_full_suite().expect("static benchmark registry has no duplicate names")
+}
+
+/// The benchmarks of one tier, in registry order.
+pub fn tier(kind: SuiteKind) -> Vec<Benchmark> {
+    full_suite()
+        .into_iter()
+        .filter(|b| b.suite == kind)
+        .collect()
+}
+
+/// Looks up a single benchmark by name (case-insensitive), across all tiers.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    let lower = name.to_lowercase();
+    full_suite()
+        .into_iter()
+        .find(|b| b.name.to_lowercase() == lower)
+}
+
+/// The names of all benchmarks across all tiers, in registry order (the
+/// paper's table order first, then the second tier).
 pub fn benchmark_names() -> Vec<&'static str> {
-    suite().into_iter().map(|b| b.name).collect()
+    full_suite().into_iter().map(|b| b.name).collect()
+}
+
+/// The benchmark names of one tier, in registry order.
+pub fn benchmark_names_for(kind: SuiteKind) -> Vec<&'static str> {
+    tier(kind).into_iter().map(|b| b.name).collect()
 }
 
 #[cfg(test)]
@@ -143,28 +317,75 @@ mod tests {
         assert_eq!(media, 12);
         assert_eq!(spec_int, 3);
         assert_eq!(spec_fp, 4);
+        assert!(s.iter().all(|b| b.suite.is_batch()));
     }
 
     #[test]
-    fn names_are_unique() {
+    fn second_tier_has_six_benchmarks() {
+        let s = server_suite();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.iter().filter(|b| b.suite == SuiteKind::Server).count(), 3);
+        assert_eq!(
+            s.iter()
+                .filter(|b| b.suite == SuiteKind::Interactive)
+                .count(),
+            3
+        );
+        assert!(s.iter().all(|b| !b.suite.is_batch()));
+        assert_eq!(full_suite().len(), 25);
+    }
+
+    #[test]
+    fn names_are_unique_across_tiers() {
         let mut names = benchmark_names();
-        names.sort();
         let before = names.len();
+        names.sort();
         names.dedup();
         assert_eq!(names.len(), before);
+        assert!(try_full_suite().is_ok());
     }
 
     #[test]
-    fn lookup_by_name() {
+    fn registry_rejects_duplicates_across_tiers() {
+        let mut registry = Registry::new();
+        registry.register_all(suite()).expect("paper tier is clean");
+        let mut clash = server_suite().remove(0);
+        clash.name = "MCF"; // case-insensitively collides with the SPEC tier
+        assert_eq!(
+            registry.register(clash),
+            Err(SuiteError::DuplicateName("MCF".to_string()))
+        );
+        // The failed registration did not corrupt the registry.
+        assert_eq!(registry.into_benchmarks().len(), 19);
+    }
+
+    #[test]
+    fn lookup_by_name_is_tier_aware() {
         assert!(benchmark("mcf").is_some());
         assert!(benchmark("MCF").is_some());
         assert!(benchmark("jpeg compress").is_some());
+        assert_eq!(
+            benchmark("web serve").map(|b| b.suite),
+            Some(SuiteKind::Server)
+        );
+        assert_eq!(
+            benchmark("Sensor Hub").map(|b| b.suite),
+            Some(SuiteKind::Interactive)
+        );
         assert!(benchmark("does-not-exist").is_none());
     }
 
     #[test]
+    fn tier_selection_partitions_the_full_suite() {
+        let total: usize = SuiteKind::ALL.iter().map(|&k| tier(k).len()).sum();
+        assert_eq!(total, full_suite().len());
+        assert_eq!(benchmark_names_for(SuiteKind::Server).len(), 3);
+        assert_eq!(benchmark_names_for(SuiteKind::Interactive).len(), 3);
+    }
+
+    #[test]
     fn every_benchmark_reference_window_at_least_training() {
-        for b in suite() {
+        for b in full_suite() {
             assert!(
                 b.inputs.reference.max_instructions >= b.inputs.training.max_instructions,
                 "{}: reference window smaller than training",

@@ -11,6 +11,11 @@ build:
 test:
     cargo test -q
 
+# Run only the golden-metrics regression harness (also part of `just test`):
+# per-scheme headline metrics on a fixed benchmark panel vs. checked-in values.
+golden:
+    cargo test --test golden
+
 # Lint: clippy with warnings denied, plus formatting check.
 lint:
     cargo clippy --all-targets -- -D warnings
@@ -50,6 +55,7 @@ figures:
     cargo run --release --bin fig8_9_context
     cargo run --release --bin fig10_11_sweep -- --quick
     cargo run --release --bin fig12_overhead -- --quick
+    cargo run --release --bin fig13_server_suite -- --quick
     cargo run --release --bin mcd_baseline_penalty -- --quick
     cargo run --release --bin ablation_threshold
 
@@ -61,4 +67,5 @@ figures-full:
     cargo run --release --bin fig7_summary
     cargo run --release --bin fig10_11_sweep -- --full
     cargo run --release --bin fig12_overhead
+    cargo run --release --bin fig13_server_suite
     cargo run --release --bin mcd_baseline_penalty

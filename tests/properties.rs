@@ -22,7 +22,11 @@ use mcd_sim::instruction::{CallSiteId, Instr, InstrClass, Marker, SubroutineId, 
 use mcd_sim::resources::{OccupancyQueue, StagePacer, UnitPool};
 use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_sim::time::{MegaHertz, TimeNs};
+use mcd_workloads::generator::generate_trace;
+use mcd_workloads::mix::InstructionMix;
+use mcd_workloads::program::TripCount;
 use mcd_workloads::rng::WorkloadRng;
+use mcd_workloads::server::{BurstProfile, ServerWorkload};
 
 /// Case generator: thin sugar over the deterministic workload RNG.
 struct Cases {
@@ -285,6 +289,211 @@ fn call_tree_attribution_is_consistent() {
         // Long-running selection never returns more nodes than exist.
         let lr = LongRunningSet::identify_with_threshold(&tree, 10);
         assert!(lr.len() <= tree.len());
+    }
+}
+
+/// A pseudo-random server workload built twice from the same configuration
+/// generates bit-identical traces; distinct workload seeds or distinct input
+/// seeds give distinct traces.
+#[test]
+fn server_generator_seed_determinism() {
+    let mut cases = Cases::new(0x5EB0);
+    for _ in 0..12 {
+        let seed = cases.rng.next_u64();
+        let per_batch = cases.u32(8, 40);
+        let make = |seed: u64| {
+            ServerWorkload::new("prop_server")
+                .seed(seed)
+                .class("a", InstructionMix::streaming_int(), 400, 0.5)
+                .class("b", InstructionMix::branchy_int(), 700, 0.5)
+                .requests(per_batch, TripCount::Fixed(3))
+                .windows(20_000, 40_000)
+        };
+        let (pa, ia) = make(seed).build();
+        let (pb, ib) = make(seed).build();
+        assert_eq!(pa, pb, "same configuration must build the same program");
+        let ta = generate_trace(&pa, &ia.training);
+        assert_eq!(
+            ta,
+            generate_trace(&pb, &ib.training),
+            "same seed must generate a bit-identical trace"
+        );
+        // A different workload seed reorders the request plan.
+        let (pc, _) = make(seed ^ 0x1).build();
+        assert_ne!(
+            ta,
+            generate_trace(&pc, &ia.training),
+            "distinct workload seeds must generate distinct traces"
+        );
+        // A different input seed redraws the per-instruction behaviour.
+        assert_ne!(
+            ta,
+            generate_trace(&pa, &ia.training.clone().with_seed(ia.training.seed ^ 0x1)),
+            "distinct input seeds must generate distinct traces"
+        );
+    }
+}
+
+/// The same holds for bursty profiles, whose jittered blocks draw burst
+/// lengths from the input set's seeded stream.
+#[test]
+fn burst_generator_seed_determinism() {
+    let mut cases = Cases::new(0xB5B0);
+    for _ in 0..12 {
+        let seed = cases.rng.next_u64();
+        let duty = cases.f64(0.1, 0.6);
+        let make = |seed: u64| {
+            BurstProfile::new("prop_burst")
+                .seed(seed)
+                .burst(InstructionMix::fp_kernel(), 1200)
+                .duty_cycle(duty)
+                .jitter(0.25)
+                .cycles(3, TripCount::Fixed(4))
+                .windows(20_000, 40_000)
+        };
+        let (pa, ia) = make(seed).build();
+        let (pb, _) = make(seed).build();
+        assert_eq!(pa, pb);
+        let ta = generate_trace(&pa, &ia.training);
+        assert_eq!(ta, generate_trace(&pb, &ia.training));
+        let (pc, _) = make(seed ^ 0x1).build();
+        assert_ne!(ta, generate_trace(&pc, &ia.training));
+        assert_ne!(
+            ta,
+            generate_trace(&pa, &ia.training.clone().with_seed(ia.training.seed ^ 0x1))
+        );
+    }
+}
+
+/// The realized burst duty cycle of a generated trace stays within the
+/// profile's configured bounds (up to the loop-closing branches, covered by
+/// a small absolute tolerance).
+#[test]
+fn burst_duty_cycle_stays_within_configured_bounds() {
+    let mut cases = Cases::new(0xD077);
+    for _ in 0..10 {
+        let duty = cases.f64(0.1, 0.5);
+        let jitter = cases.f64(0.0, 0.4);
+        let profile = BurstProfile::new("prop_duty")
+            .seed(cases.rng.next_u64())
+            .burst(InstructionMix::dsp_int(), 1500)
+            .duty_cycle(duty)
+            .jitter(jitter)
+            .static_jitter(0.1)
+            .cycles(4, TripCount::Fixed(8))
+            .windows(200_000, 200_000);
+        let (lo, hi) = profile.duty_bounds();
+        let (program, inputs) = profile.build();
+        let trace = generate_trace(&program, &inputs.training);
+        let burst_id = program.subroutine_by_name("burst").unwrap().id;
+        let idle_id = program.subroutine_by_name("idle_wait").unwrap().id;
+        let mut stack = Vec::new();
+        let (mut burst, mut idle) = (0u64, 0u64);
+        for item in &trace {
+            match item {
+                TraceItem::Marker(Marker::SubroutineEnter { subroutine, .. }) => {
+                    stack.push(*subroutine)
+                }
+                TraceItem::Marker(Marker::SubroutineExit { .. }) => {
+                    stack.pop();
+                }
+                TraceItem::Instr(_) => match stack.last() {
+                    Some(&s) if s == burst_id => burst += 1,
+                    Some(&s) if s == idle_id => idle += 1,
+                    _ => {}
+                },
+                TraceItem::Marker(_) => {}
+            }
+        }
+        let measured = burst as f64 / (burst + idle) as f64;
+        assert!(
+            measured >= lo - 0.03 && measured <= hi + 0.03,
+            "duty {measured:.3} outside bounds ({lo:.3}, {hi:.3}) for nominal {duty:.2}"
+        );
+    }
+}
+
+/// Empirical request-class shares of the baked slot plan stay within
+/// statistical bounds of the configured weights.
+#[test]
+fn request_class_shares_match_configured_weights() {
+    let mut cases = Cases::new(0x30AD);
+    for _ in 0..10 {
+        let weights = [
+            cases.f64(0.1, 1.0),
+            cases.f64(0.1, 1.0),
+            cases.f64(0.1, 1.0),
+        ];
+        let slots = 512;
+        let workload = ServerWorkload::new("prop_shares")
+            .seed(cases.rng.next_u64())
+            .class("a", InstructionMix::streaming_int(), 300, weights[0])
+            .class("b", InstructionMix::branchy_int(), 300, weights[1])
+            .class("c", InstructionMix::dsp_int(), 300, weights[2])
+            .requests(slots, TripCount::Fixed(1));
+        let shares = workload.shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let plan = workload.slot_plan();
+        assert_eq!(plan.len(), slots as usize);
+        for (class, &share) in shares.iter().enumerate() {
+            let hits = plan.iter().filter(|&&c| c == class).count();
+            let empirical = hits as f64 / slots as f64;
+            // 4σ of a binomial share over 512 draws, floored for tiny shares.
+            let bound = (4.0 * (share * (1.0 - share) / slots as f64).sqrt()).max(0.02);
+            assert!(
+                (empirical - share).abs() <= bound,
+                "class {class}: empirical {empirical:.3} vs configured {share:.3} \
+                 (bound {bound:.3})"
+            );
+        }
+    }
+}
+
+/// Evaluating the second tier is deterministic across
+/// `EvaluationConfig::parallelism` levels, exactly like the paper tier.
+#[test]
+fn server_tier_is_deterministic_across_parallelism() {
+    use mcd_dvfs::evaluation::EvaluationConfig;
+    use mcd_dvfs::service::{EvalJob, Evaluator};
+
+    let benches = ["web serve", "sensor hub"];
+    let evaluate = |parallelism: usize| {
+        let evaluator = Evaluator::builder()
+            .config(EvaluationConfig::default().with_parallelism(parallelism))
+            .build();
+        let jobs = benches
+            .iter()
+            .map(|n| EvalJob::named(n).expect("known second-tier benchmark"))
+            .collect();
+        evaluator
+            .submit_all(jobs)
+            .collect()
+            .expect("tier evaluates")
+    };
+    let serial = evaluate(1);
+    let parallel = evaluate(4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name);
+        assert_eq!(
+            s.baseline.run_time.as_ns().to_bits(),
+            p.baseline.run_time.as_ns().to_bits()
+        );
+        assert_eq!(s.schemes.len(), p.schemes.len());
+        for (so, po) in s.schemes.iter().zip(&p.schemes) {
+            assert_eq!(so.name, po.name);
+            assert_eq!(
+                so.result.stats.run_time.as_ns().to_bits(),
+                po.result.stats.run_time.as_ns().to_bits(),
+                "{}: {} diverged across parallelism levels",
+                s.name,
+                so.name
+            );
+            assert_eq!(
+                so.result.stats.total_energy.as_units().to_bits(),
+                po.result.stats.total_energy.as_units().to_bits()
+            );
+        }
     }
 }
 

@@ -215,6 +215,97 @@ fn failed_jobs_do_not_poison_the_batch() {
     assert!(matches!(error, McdError::UnknownScheme(name) if name == "bogus"));
 }
 
+/// The second workload tier flows through the service layer untouched: the
+/// baseline memo keys `(benchmark, machine)` pairs exactly as for the paper
+/// tier, the on-disk artifact cache round-trips server/interactive artifacts
+/// (`misses == 0` on the warm run) with bit-identical results, and
+/// `with_schemes` subsets work on server benchmarks.
+#[test]
+fn server_tier_flows_through_memo_and_artifact_cache() {
+    use mcd_dvfs::artifact::ArtifactCache;
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("mcd-tier2-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let tier = benches(&["web serve", "sensor hub"]);
+    assert!(
+        tier.iter().all(|b| !b.suite.is_batch()),
+        "both benchmarks are second tier"
+    );
+
+    let run = |cache: Arc<ArtifactCache>| {
+        let evaluator = Evaluator::builder()
+            .config(EvaluationConfig::default().with_cache(cache))
+            .build();
+        let jobs = tier.iter().cloned().map(EvalJob::new).collect();
+        let evals = evaluator
+            .submit_all(jobs)
+            .collect()
+            .expect("second tier evaluates");
+        (evals, evaluator.memo_stats())
+    };
+
+    // Cold run: every artifact is computed and written.
+    let cold_cache = Arc::new(ArtifactCache::new(&dir));
+    let (cold, memo) = run(cold_cache.clone());
+    assert_eq!(cold.len(), 2);
+    assert_eq!(memo.misses, 2, "one baseline per (benchmark, machine) pair");
+    let stats = cold_cache.stats();
+    assert_eq!(stats.hits, 0);
+    assert!(stats.misses > 0 && stats.writes > 0);
+    assert_eq!(stats.errors, 0);
+
+    // Warm run through a fresh cache handle at the same directory: nothing
+    // recomputed, results bit-identical.
+    let warm_cache = Arc::new(ArtifactCache::new(&dir));
+    let (warm, _) = run(warm_cache.clone());
+    let stats = warm_cache.stats();
+    assert_eq!(stats.misses, 0, "warm run must serve everything from disk");
+    assert!(stats.hits > 0);
+    assert_eq!(stats.writes, 0);
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_evaluations_bit_identical(c, w);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Scheme subsets work on server benchmarks too.
+    let evaluator = Evaluator::builder().build();
+    let subset = evaluator
+        .submit(
+            EvalJob::named("web serve")
+                .expect("tier-aware lookup")
+                .with_schemes([names::ONLINE, names::PROFILE]),
+        )
+        .collect()
+        .expect("subset job succeeds")
+        .remove(0);
+    assert_eq!(subset.schemes.len(), 2);
+    assert!(subset.result(names::ONLINE).is_some());
+    assert!(subset.result(names::PROFILE).is_some());
+    assert!(subset.result(names::OFFLINE).is_none());
+    // The subset's outcomes match the full run's bit for bit.
+    let full = cold.iter().find(|e| e.name == "web serve").unwrap();
+    for scheme in [names::ONLINE, names::PROFILE] {
+        assert_eq!(
+            subset
+                .require(scheme)
+                .unwrap()
+                .stats
+                .run_time
+                .as_ns()
+                .to_bits(),
+            full.require(scheme)
+                .unwrap()
+                .stats
+                .run_time
+                .as_ns()
+                .to_bits(),
+            "{scheme} subset run diverged from the full registry run"
+        );
+    }
+}
+
 /// The deprecated shims and the service agree for the single-benchmark path
 /// (including the rule that a lone benchmark's whole budget flows to window
 /// analysis).
