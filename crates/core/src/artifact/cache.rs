@@ -216,6 +216,35 @@ impl ArtifactCache {
         }
     }
 
+    /// Looks up a cached packed trace (see [`ArtifactCache::load_schedule`]
+    /// for the counting rules).
+    pub fn load_trace(&self, key: &ArtifactKey) -> Option<mcd_sim::trace::PackedTrace> {
+        let Some(bytes) = self.read_raw(key) else {
+            if self.is_enabled() {
+                self.miss();
+            }
+            return None;
+        };
+        match codec::decode_trace(&bytes) {
+            Ok(trace) => {
+                self.hit();
+                Some(trace)
+            }
+            Err(_) => {
+                self.error();
+                self.miss();
+                None
+            }
+        }
+    }
+
+    /// Stores a packed trace under `key`.
+    pub fn store_trace(&self, key: &ArtifactKey, trace: &mcd_sim::trace::PackedTrace) {
+        if self.is_enabled() {
+            self.store_raw(key, &codec::encode_trace(trace));
+        }
+    }
+
     /// Looks up a training artifact (see [`ArtifactCache::load_schedule`] for
     /// the counting rules).
     pub fn load_training(&self, key: &ArtifactKey) -> Option<TrainingArtifact> {

@@ -23,6 +23,7 @@ use mcd_sim::instruction::{LoopId, SubroutineId};
 use mcd_sim::reconfig::FrequencySetting;
 use mcd_sim::stats::SimStats;
 use mcd_sim::time::{Energy, MegaHertz, TimeNs};
+use mcd_sim::trace::{PackedTrace, PackedWord};
 use std::fmt;
 
 /// Magic bytes at the head of every artifact file.
@@ -331,6 +332,62 @@ pub fn decode_schedule(data: &[u8]) -> Result<OfflineSchedule, CodecError> {
     Ok(OfflineSchedule::from_settings(settings))
 }
 
+/// Serializes a packed trace (kind `"packed-trace"`): the word array in its
+/// two-u64 flattened form plus the two side tables. Traces are the largest
+/// artifacts the cache holds (16 bytes per item plus payload tables), so the
+/// encoding is a flat dump behind the shared seal — decode cost is one
+/// sequential pass.
+pub fn encode_trace(trace: &PackedTrace) -> Vec<u8> {
+    let (words, mem_addrs, branch_targets) = trace.raw_parts();
+    let mut w = Writer::default();
+    w.put_u64(words.len() as u64);
+    w.put_u64(mem_addrs.len() as u64);
+    w.put_u64(branch_targets.len() as u64);
+    for word in words {
+        let (a, b) = word.encode();
+        w.put_u64(a);
+        w.put_u64(b);
+    }
+    for addr in mem_addrs {
+        w.put_u64(*addr);
+    }
+    for target in branch_targets {
+        w.put_u64(*target);
+    }
+    seal("packed-trace", &w.buf)
+}
+
+/// Deserializes a packed trace, verifying version, checksum and the
+/// word/side-table consistency invariants.
+pub fn decode_trace(data: &[u8]) -> Result<PackedTrace, CodecError> {
+    let payload = unseal("packed-trace", data)?;
+    let mut r = Reader::new(payload);
+    let n_words = r.u64()? as usize;
+    let n_mem = r.u64()? as usize;
+    let n_branch = r.u64()? as usize;
+    // Guard the pre-allocation against absurd counts in damaged headers.
+    let cap = |n: usize| n.min(1 << 27);
+    let mut words = Vec::with_capacity(cap(n_words));
+    for _ in 0..n_words {
+        let a = r.u64()?;
+        let b = r.u64()?;
+        words.push(PackedWord::decode(a, b).ok_or(CodecError::Invalid("packed word"))?);
+    }
+    let mut mem_addrs = Vec::with_capacity(cap(n_mem));
+    for _ in 0..n_mem {
+        mem_addrs.push(r.u64()?);
+    }
+    let mut branch_targets = Vec::with_capacity(cap(n_branch));
+    for _ in 0..n_branch {
+        branch_targets.push(r.u64()?);
+    }
+    if !r.finished() {
+        return Err(CodecError::Invalid("trailing trace bytes"));
+    }
+    PackedTrace::from_raw_parts(words, mem_addrs, branch_targets)
+        .ok_or(CodecError::Invalid("trace side tables"))
+}
+
 /// Serializes a training artifact (kind `"training-plan"`).
 pub fn encode_training(artifact: &TrainingArtifact) -> Vec<u8> {
     let mut w = Writer::default();
@@ -475,6 +532,38 @@ mod tests {
                 found: FORMAT_VERSION + 1
             })
         );
+    }
+
+    #[test]
+    fn packed_trace_round_trip_is_bit_identical() {
+        use mcd_sim::instruction::{Instr, InstrClass, LoopId, Marker, TraceItem};
+        let items = vec![
+            TraceItem::Marker(Marker::LoopEnter { loop_id: LoopId(9) }),
+            TraceItem::Instr(Instr::load(0x4000, u64::MAX).with_dep1(7)),
+            TraceItem::Instr(Instr::branch(0x4004, true, 0x9000).with_dep2(u16::MAX)),
+            TraceItem::Instr(Instr::op(0x4008, InstrClass::FpDiv)),
+            TraceItem::Marker(Marker::LoopExit { loop_id: LoopId(9) }),
+        ];
+        let trace = PackedTrace::from_items(&items);
+        let decoded = decode_trace(&encode_trace(&trace)).expect("round trip");
+        assert_eq!(decoded, trace);
+        assert_eq!(decoded.to_items(), items);
+        assert_eq!(decoded.instructions(), trace.instructions());
+    }
+
+    #[test]
+    fn packed_trace_corruption_and_truncation_are_detected() {
+        let trace = PackedTrace::from_items(&[mcd_sim::instruction::TraceItem::Instr(
+            mcd_sim::instruction::Instr::load(1, 2),
+        )]);
+        let mut bytes = encode_trace(&trace);
+        assert_eq!(
+            decode_trace(&bytes[..bytes.len() - 2]),
+            Err(CodecError::Corrupted)
+        );
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert_eq!(decode_trace(&bytes), Err(CodecError::Corrupted));
     }
 
     #[test]

@@ -114,6 +114,25 @@ pub fn offline_schedule_key(
     }
 }
 
+/// The key of a generated packed trace for one `(benchmark, input)` pair.
+///
+/// Traces are machine-independent — the generator consumes only the program
+/// model and the input set — so (unlike every other artifact kind) the
+/// machine fingerprint is deliberately absent: every machine configuration
+/// shares one cached trace per benchmark/input.
+pub fn packed_trace_key(benchmark: &str, input: &InputSet) -> ArtifactKey {
+    let kind = "packed-trace";
+    let mut h = Fnv1a::new();
+    h.write_u32(CACHE_SCHEMA_VERSION);
+    h.write_str(kind);
+    h.write_str(benchmark);
+    write_input(&mut h, input);
+    ArtifactKey {
+        kind,
+        hash: h.finish(),
+    }
+}
+
 /// The key of a profile-training result for one `(benchmark, training-input,
 /// machine, training-config)` combination.
 pub fn training_plan_key(
@@ -216,6 +235,21 @@ mod tests {
         assert_ne!(
             base.hash,
             training_plan_key("mcf", &input, &machine, &other_threshold).hash
+        );
+    }
+
+    #[test]
+    fn trace_keys_ignore_the_machine_but_track_the_input() {
+        let base = packed_trace_key("mcf", &reference_input());
+        assert_eq!(base, packed_trace_key("mcf", &reference_input()));
+        assert_ne!(base.hash, packed_trace_key("swim", &reference_input()).hash);
+        assert_ne!(
+            base.hash,
+            packed_trace_key("mcf", &reference_input().with_seed(3)).hash
+        );
+        assert_ne!(
+            base.hash,
+            packed_trace_key("mcf", &InputSet::training(200_000)).hash
         );
     }
 

@@ -29,4 +29,6 @@ pub mod key;
 
 pub use cache::{ArtifactCache, CacheEntry, CacheStats};
 pub use codec::{CodecError, TrainingArtifact};
-pub use key::{offline_schedule_key, training_plan_key, ArtifactKey, CACHE_SCHEMA_VERSION};
+pub use key::{
+    offline_schedule_key, packed_trace_key, training_plan_key, ArtifactKey, CACHE_SCHEMA_VERSION,
+};

@@ -5,12 +5,22 @@
 //! those events: each event can be *stretched* (run at a lower event-specific
 //! frequency) and repositioned within the window bounded by its producers and
 //! consumers.
+//!
+//! The DAG is stored column-wise (struct-of-arrays) with compressed-sparse-row
+//! adjacency. The shaker reads every event's bounds — its producers' end
+//! times and its consumers' start times — on every pass, so the layout keeps
+//! each queried column dense: a cache line of the `ends` array serves eight
+//! producers. The former `Vec<DagEvent>` / `Vec<Vec<u32>>` layout paid two
+//! heap allocations and a pointer chase per event for the same queries and
+//! dominated the analysis stage's cache misses.
 
 use mcd_sim::domain::Domain;
 use mcd_sim::events::{EventTrace, PrimitiveEvent};
 use mcd_sim::time::TimeNs;
 
-/// One event of the analysis DAG, carrying its mutable schedule.
+/// A materialized snapshot of one DAG event's schedule (assembled on demand
+/// from the column layout; handy for tests and reporting, not used on the hot
+/// path).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DagEvent {
     /// Clock domain that performs the work.
@@ -51,11 +61,27 @@ impl DagEvent {
 /// fixed interval).
 #[derive(Debug, Clone, Default)]
 pub struct DependenceDag {
-    events: Vec<DagEvent>,
-    /// Outgoing adjacency: for each event, the events that consume it.
-    successors: Vec<Vec<u32>>,
-    /// Incoming adjacency: for each event, the events it depends on.
-    predecessors: Vec<Vec<u32>>,
+    // Hot columns (read and written every shaker pass).
+    starts: Vec<TimeNs>,
+    ends: Vec<TimeNs>,
+    nominal_durations: Vec<TimeNs>,
+    scales: Vec<f64>,
+    nominal_powers: Vec<f64>,
+    /// Cached `nominal_power / scale`, refreshed by [`DependenceDag::set_scale`]
+    /// — the shaker reads every event's power factor on every pass, and the
+    /// division showed up as real time.
+    power_factors: Vec<f64>,
+    // Cold columns (histogram summary only).
+    cycles: Vec<f64>,
+    domains: Vec<Domain>,
+    /// CSR offsets into `succ_adj`; `succ_adj[succ_off[i]..succ_off[i + 1]]`
+    /// are the events that consume event `i`.
+    succ_off: Vec<u32>,
+    succ_adj: Vec<u32>,
+    /// CSR offsets into `pred_adj`; `pred_adj[pred_off[i]..pred_off[i + 1]]`
+    /// are the events that event `i` depends on.
+    pred_off: Vec<u32>,
+    pred_adj: Vec<u32>,
     region_start: TimeNs,
     region_end: TimeNs,
 }
@@ -63,26 +89,73 @@ pub struct DependenceDag {
 impl DependenceDag {
     /// Builds the DAG from a recorded event trace (typically a region slice).
     pub fn from_trace(trace: &EventTrace) -> Self {
-        let events: Vec<DagEvent> = trace.events().iter().map(DagEvent::from).collect();
+        let events: &[PrimitiveEvent] = trace.events();
         let n = events.len();
-        let mut successors = vec![Vec::new(); n];
-        let mut predecessors = vec![Vec::new(); n];
-        for edge in trace.edges() {
-            successors[edge.from as usize].push(edge.to);
-            predecessors[edge.to as usize].push(edge.from);
+        let edges = trace.edges();
+
+        let mut starts = Vec::with_capacity(n);
+        let mut ends = Vec::with_capacity(n);
+        let mut nominal_durations = Vec::with_capacity(n);
+        let mut cycles = Vec::with_capacity(n);
+        let mut nominal_powers = Vec::with_capacity(n);
+        let mut domains = Vec::with_capacity(n);
+        for e in events {
+            starts.push(e.start);
+            ends.push(e.end);
+            nominal_durations.push(e.end.saturating_sub(e.start));
+            cycles.push(e.cycles);
+            nominal_powers.push(e.power_factor);
+            domains.push(e.domain);
         }
-        let region_start = events
+
+        // Counting pass: per-event degrees become CSR offsets; the running
+        // cursors of the filling pass preserve edge order within each bucket
+        // (a stable counting sort), so traversals see exactly the order the
+        // former nested layout produced.
+        let mut succ_off = vec![0u32; n + 1];
+        let mut pred_off = vec![0u32; n + 1];
+        for edge in edges {
+            succ_off[edge.from as usize + 1] += 1;
+            pred_off[edge.to as usize + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut succ_adj = vec![0u32; edges.len()];
+        let mut pred_adj = vec![0u32; edges.len()];
+        let mut succ_cursor = succ_off.clone();
+        let mut pred_cursor = pred_off.clone();
+        for edge in edges {
+            let s = &mut succ_cursor[edge.from as usize];
+            succ_adj[*s as usize] = edge.to;
+            *s += 1;
+            let p = &mut pred_cursor[edge.to as usize];
+            pred_adj[*p as usize] = edge.from;
+            *p += 1;
+        }
+
+        let region_start = starts
             .iter()
-            .map(|e| e.start.as_ns())
+            .map(|t| t.as_ns())
             .fold(f64::INFINITY, f64::min);
-        let region_end = events
+        let region_end = ends
             .iter()
-            .map(|e| e.end.as_ns())
+            .map(|t| t.as_ns())
             .fold(f64::NEG_INFINITY, f64::max);
         DependenceDag {
-            events,
-            successors,
-            predecessors,
+            starts,
+            ends,
+            nominal_durations,
+            scales: vec![1.0; n],
+            power_factors: nominal_powers.clone(),
+            nominal_powers,
+            cycles,
+            domains,
+            succ_off,
+            succ_adj,
+            pred_off,
+            pred_adj,
             region_start: if n == 0 {
                 TimeNs::ZERO
             } else {
@@ -98,22 +171,111 @@ impl DependenceDag {
 
     /// Number of events in the DAG.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.starts.len()
     }
 
     /// True if the DAG has no events.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.starts.is_empty()
     }
 
-    /// The events (current schedule).
-    pub fn events(&self) -> &[DagEvent] {
-        &self.events
+    /// A materialized view of event `idx`'s current schedule.
+    pub fn event(&self, idx: usize) -> DagEvent {
+        DagEvent {
+            domain: self.domains[idx],
+            start: self.starts[idx],
+            end: self.ends[idx],
+            nominal_duration: self.nominal_durations[idx],
+            cycles: self.cycles[idx],
+            nominal_power: self.nominal_powers[idx],
+            scale: self.scales[idx],
+        }
     }
 
-    /// Mutable access to one event.
-    pub(crate) fn event_mut(&mut self, idx: usize) -> &mut DagEvent {
-        &mut self.events[idx]
+    /// Materialized views of every event, in id order (test/report helper;
+    /// hot paths use the column accessors).
+    pub fn snapshot(&self) -> Vec<DagEvent> {
+        (0..self.len()).map(|i| self.event(i)).collect()
+    }
+
+    /// Event `idx`'s current scheduled start time.
+    #[inline]
+    pub fn start(&self, idx: usize) -> TimeNs {
+        self.starts[idx]
+    }
+
+    /// Event `idx`'s current scheduled end time.
+    #[inline]
+    pub fn end(&self, idx: usize) -> TimeNs {
+        self.ends[idx]
+    }
+
+    /// Event `idx`'s full-speed duration.
+    #[inline]
+    pub fn nominal_duration(&self, idx: usize) -> TimeNs {
+        self.nominal_durations[idx]
+    }
+
+    /// Event `idx`'s unscaled power factor.
+    #[inline]
+    pub fn nominal_power(&self, idx: usize) -> f64 {
+        self.nominal_powers[idx]
+    }
+
+    /// Event `idx`'s current stretch factor.
+    #[inline]
+    pub fn scale(&self, idx: usize) -> f64 {
+        self.scales[idx]
+    }
+
+    /// Event `idx`'s work in full-speed domain cycles.
+    #[inline]
+    pub fn cycles(&self, idx: usize) -> f64 {
+        self.cycles[idx]
+    }
+
+    /// The clock domain event `idx` executes in.
+    #[inline]
+    pub fn domain(&self, idx: usize) -> Domain {
+        self.domains[idx]
+    }
+
+    /// Event `idx`'s current power factor (scaled down as it is stretched).
+    #[inline]
+    pub fn power_factor(&self, idx: usize) -> f64 {
+        self.power_factors[idx]
+    }
+
+    /// Event `idx`'s current (stretched) duration.
+    #[inline]
+    pub fn duration(&self, idx: usize) -> TimeNs {
+        self.nominal_durations[idx] * self.scales[idx]
+    }
+
+    /// Repositions event `idx` to `[start, end)` (the shaker's slack moves).
+    #[inline]
+    pub fn set_schedule(&mut self, idx: usize, start: TimeNs, end: TimeNs) {
+        self.starts[idx] = start;
+        self.ends[idx] = end;
+    }
+
+    /// Sets event `idx`'s stretch factor.
+    #[inline]
+    pub fn set_scale(&mut self, idx: usize, scale: f64) {
+        self.scales[idx] = scale;
+        self.power_factors[idx] = self.nominal_powers[idx] / scale;
+    }
+
+    /// The events that consume event `idx`, in edge-insertion order.
+    #[inline]
+    pub fn successors(&self, idx: usize) -> &[u32] {
+        &self.succ_adj[self.succ_off[idx] as usize..self.succ_off[idx + 1] as usize]
+    }
+
+    /// The events that event `idx` depends on, in edge-insertion order.
+    #[inline]
+    pub fn predecessors(&self, idx: usize) -> &[u32] {
+        &self.pred_adj[self.pred_off[idx] as usize..self.pred_off[idx + 1] as usize]
     }
 
     /// The region's start time (earliest event start in the original schedule).
@@ -128,19 +290,21 @@ impl DependenceDag {
 
     /// Lower bound for event `idx`'s start time: the latest end of its
     /// producers (or the region start if it has none).
+    #[inline]
     pub fn lower_bound(&self, idx: usize) -> TimeNs {
-        self.predecessors[idx]
+        self.predecessors(idx)
             .iter()
-            .map(|&p| self.events[p as usize].end)
+            .map(|&p| self.ends[p as usize])
             .fold(self.region_start, TimeNs::max)
     }
 
     /// Upper bound for event `idx`'s end time: the earliest start of its
     /// consumers (or the region end if it has none).
+    #[inline]
     pub fn upper_bound(&self, idx: usize) -> TimeNs {
-        self.successors[idx]
+        self.successors(idx)
             .iter()
-            .map(|&s| self.events[s as usize].start)
+            .map(|&s| self.starts[s as usize])
             .fold(self.region_end, TimeNs::min)
     }
 
@@ -148,32 +312,38 @@ impl DependenceDag {
     /// bounds minus its current duration (never negative).
     pub fn slack(&self, idx: usize) -> TimeNs {
         let span = self.upper_bound(idx).saturating_sub(self.lower_bound(idx));
-        span.saturating_sub(self.events[idx].duration())
+        span.saturating_sub(self.duration(idx))
     }
 
     /// Total slack across all events (a convergence measure for the shaker).
     pub fn total_slack(&self) -> TimeNs {
         let mut total = TimeNs::ZERO;
-        for i in 0..self.events.len() {
+        for i in 0..self.len() {
             total += self.slack(i);
         }
         total
     }
 
     /// Event indices sorted by original start time (forward pass order).
-    pub fn forward_order(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.events.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.events[a]
-                .start
-                .partial_cmp(&self.events[b].start)
-                .expect("times are not NaN")
-        });
-        idx
+    ///
+    /// Start times are non-negative and NaN-free, so their IEEE-754 bit
+    /// patterns sort exactly like the values; keying an unstable sort on
+    /// `(bits, index)` reproduces the stable by-start order (ties resolve by
+    /// index, which is what a stable sort of distinct indices yields) at
+    /// branchless integer-compare speed.
+    pub fn forward_order(&self) -> Vec<u32> {
+        let mut keyed: Vec<(u64, u32)> = self
+            .starts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.as_ns().to_bits(), i as u32))
+            .collect();
+        keyed.sort_unstable();
+        keyed.into_iter().map(|(_, i)| i).collect()
     }
 
     /// Event indices sorted by original end time, descending (backward pass).
-    pub fn backward_order(&self) -> Vec<usize> {
+    pub fn backward_order(&self) -> Vec<u32> {
         let mut idx = self.forward_order();
         idx.reverse();
         idx
@@ -182,32 +352,15 @@ impl DependenceDag {
     /// The maximum nominal power factor over all events (the shaker's starting
     /// threshold is set just below this).
     pub fn max_power_factor(&self) -> f64 {
-        self.events
-            .iter()
-            .map(|e| e.nominal_power)
-            .fold(0.0, f64::max)
+        self.nominal_powers.iter().copied().fold(0.0, f64::max)
     }
 
     /// The minimum nominal power factor over all events.
     pub fn min_power_factor(&self) -> f64 {
-        self.events
+        self.nominal_powers
             .iter()
-            .map(|e| e.nominal_power)
+            .copied()
             .fold(f64::INFINITY, f64::min)
-    }
-}
-
-impl From<&PrimitiveEvent> for DagEvent {
-    fn from(e: &PrimitiveEvent) -> Self {
-        DagEvent {
-            domain: e.domain,
-            start: e.start,
-            end: e.end,
-            nominal_duration: e.end.saturating_sub(e.start),
-            cycles: e.cycles,
-            nominal_power: e.power_factor,
-            scale: 1.0,
-        }
     }
 }
 
@@ -257,17 +410,26 @@ mod tests {
     }
 
     #[test]
+    fn adjacency_is_preserved_in_edge_order() {
+        let dag = DependenceDag::from_trace(&small_trace());
+        assert_eq!(dag.successors(0), &[2]);
+        assert_eq!(dag.successors(1), &[2]);
+        assert_eq!(dag.predecessors(2), &[0, 1]);
+        assert!(dag.predecessors(0).is_empty());
+        assert!(dag.successors(2).is_empty());
+    }
+
+    #[test]
     fn stretching_consumes_slack_and_reduces_power() {
         let mut dag = DependenceDag::from_trace(&small_trace());
         let before = dag.slack(1);
-        {
-            let e = dag.event_mut(1);
-            e.scale = 4.0;
-            e.end = e.start + e.duration();
-        }
+        dag.set_scale(1, 4.0);
+        let start = dag.start(1);
+        let end = start + dag.duration(1);
+        dag.set_schedule(1, start, end);
         assert!(dag.slack(1) < before);
-        assert!((dag.events()[1].power_factor() - 0.14 / 4.0).abs() < 1e-12);
-        assert!((dag.events()[1].effective_frequency_mhz(1000.0) - 250.0).abs() < 1e-9);
+        assert!((dag.power_factor(1) - 0.14 / 4.0).abs() < 1e-12);
+        assert!((dag.event(1).effective_frequency_mhz(1000.0) - 250.0).abs() < 1e-9);
     }
 
     #[test]
@@ -287,6 +449,7 @@ mod tests {
         let dag = DependenceDag::from_trace(&EventTrace::new());
         assert!(dag.is_empty());
         assert_eq!(dag.total_slack(), TimeNs::ZERO);
+        assert!(dag.snapshot().is_empty());
     }
 
     #[test]
@@ -294,5 +457,20 @@ mod tests {
         let dag = DependenceDag::from_trace(&small_trace());
         assert!((dag.max_power_factor() - 0.24).abs() < 1e-12);
         assert!((dag.min_power_factor() - 0.14).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_matches_columns() {
+        let dag = DependenceDag::from_trace(&small_trace());
+        let snap = dag.snapshot();
+        assert_eq!(snap.len(), 3);
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.start, dag.start(i));
+            assert_eq!(e.end, dag.end(i));
+            assert_eq!(e.domain, dag.domain(i));
+            assert_eq!(e.scale, dag.scale(i));
+            assert_eq!(e.power_factor(), dag.power_factor(i));
+            assert_eq!(e.duration(), dag.duration(i));
+        }
     }
 }

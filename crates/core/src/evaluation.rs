@@ -28,10 +28,10 @@ use crate::profile::TrainingConfig;
 use crate::scheme::{DvfsScheme, SchemeContext, SchemeOutcome};
 use mcd_profiling::context::ContextPolicy;
 use mcd_sim::config::MachineConfig;
-use mcd_sim::instruction::TraceItem;
 use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_sim::stats::{RelativeMetrics, SimStats};
-use mcd_workloads::generator::generate_trace;
+use mcd_sim::trace::PackedTrace;
+use mcd_workloads::generator::generate_packed;
 use mcd_workloads::suite::Benchmark;
 use std::sync::Arc;
 
@@ -177,9 +177,9 @@ impl BenchmarkEvaluation {
 
 /// Runs the full-speed MCD baseline on the benchmark's reference input.
 pub fn run_baseline(bench: &Benchmark, machine: &MachineConfig) -> SimStats {
-    let trace = generate_trace(&bench.program, &bench.inputs.reference);
+    let trace = generate_packed(&bench.program, &bench.inputs.reference);
     Simulator::new(machine.clone())
-        .run(trace, &mut NullHooks, false)
+        .run(trace.iter(), &mut NullHooks, false)
         .stats
 }
 
@@ -193,11 +193,11 @@ pub fn evaluate_with_registry(
     machine: &MachineConfig,
     registry: &[Box<dyn DvfsScheme>],
 ) -> Result<BenchmarkEvaluation, McdError> {
-    let reference_trace = generate_trace(&bench.program, &bench.inputs.reference);
+    let reference_trace = generate_packed(&bench.program, &bench.inputs.reference);
 
     // Baseline MCD at full speed.
     let baseline = Simulator::new(machine.clone())
-        .run(reference_trace.iter().copied(), &mut NullHooks, false)
+        .run(reference_trace.iter(), &mut NullHooks, false)
         .stats;
 
     let schemes = run_schemes(
@@ -224,7 +224,7 @@ pub(crate) fn run_schemes(
     bench: &Benchmark,
     machine: &MachineConfig,
     registry: &[Box<dyn DvfsScheme>],
-    reference_trace: &[TraceItem],
+    reference_trace: &PackedTrace,
     baseline: &SimStats,
     mut on_outcome: impl FnMut(&SchemeOutcome),
 ) -> Result<Vec<SchemeOutcome>, McdError> {
@@ -306,12 +306,12 @@ pub fn evaluate_suite(
 /// Evaluates a single scheme on one benchmark against a precomputed baseline
 /// and reference trace (used by the context-sensitivity study of Figures 8
 /// and 9, which sweeps the profile scheme's policy over one shared trace —
-/// generate it once with [`generate_trace`] and pair it with
+/// generate it once with [`generate_packed`] and pair it with
 /// [`run_trace_baseline`]).
 pub fn evaluate_scheme(
     bench: &Benchmark,
     machine: &MachineConfig,
-    reference_trace: &[TraceItem],
+    reference_trace: &PackedTrace,
     scheme: &dyn DvfsScheme,
     baseline: &SimStats,
 ) -> Result<SchemeResult, McdError> {
@@ -332,13 +332,13 @@ pub fn mcd_baseline_penalty(
     bench: &Benchmark,
     machine: &MachineConfig,
 ) -> Result<(f64, f64), McdError> {
-    let trace = generate_trace(&bench.program, &bench.inputs.reference);
+    let trace = generate_packed(&bench.program, &bench.inputs.reference);
     let mcd = Simulator::new(machine.clone())
-        .run(trace.iter().copied(), &mut NullHooks, false)
+        .run(trace.iter(), &mut NullHooks, false)
         .stats;
     let synchronous_machine = machine.to_builder().synchronization(false).build()?;
     let synchronous = Simulator::new(synchronous_machine)
-        .run(trace.iter().copied(), &mut NullHooks, false)
+        .run(trace.iter(), &mut NullHooks, false)
         .stats;
     let perf = mcd.run_time.as_ns() / synchronous.run_time.as_ns() - 1.0;
     let energy = mcd.total_energy.as_units() / synchronous.total_energy.as_units() - 1.0;
@@ -380,9 +380,9 @@ pub fn relative(stats: &SimStats, baseline: &SimStats) -> RelativeMetrics {
 
 /// Runs an arbitrary trace at full speed on the given machine (helper for the
 /// harness and the examples).
-pub fn run_trace_baseline(trace: &[TraceItem], machine: &MachineConfig) -> SimStats {
+pub fn run_trace_baseline(trace: &PackedTrace, machine: &MachineConfig) -> SimStats {
     Simulator::new(machine.clone())
-        .run(trace.iter().copied(), &mut NullHooks, false)
+        .run(trace.iter(), &mut NullHooks, false)
         .stats
 }
 

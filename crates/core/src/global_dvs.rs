@@ -10,11 +10,11 @@
 //! all.
 
 use mcd_sim::config::MachineConfig;
-use mcd_sim::instruction::TraceItem;
 use mcd_sim::reconfig::FrequencySetting;
 use mcd_sim::simulator::{SimHooks, Simulator};
 use mcd_sim::stats::SimStats;
 use mcd_sim::time::MegaHertz;
+use mcd_sim::trace::PackedTrace;
 
 /// Hooks that pin every domain to a single, uniform frequency for the whole
 /// run (whole-chip DVS).
@@ -60,7 +60,7 @@ pub struct GlobalDvsResult {
 /// range and refined with one corrective iteration to account for the portions
 /// of run time (main memory) that do not scale with the core clock.
 pub fn run_global_dvs(
-    trace: &[TraceItem],
+    trace: &PackedTrace,
     machine: &MachineConfig,
     fullspeed_run_time_ns: f64,
     target_run_time_ns: f64,
@@ -70,11 +70,7 @@ pub fn run_global_dvs(
 
     let fraction = (fullspeed_run_time_ns / target_run_time_ns).clamp(0.25, 1.0);
     let mut frequency = grid.quantize_up(MegaHertz::new(grid.max().as_mhz() * fraction));
-    let mut result = simulator.run(
-        trace.iter().copied(),
-        &mut GlobalDvsHooks::new(frequency),
-        false,
-    );
+    let mut result = simulator.run(trace.iter(), &mut GlobalDvsHooks::new(frequency), false);
 
     // One refinement step: if we overshot the target run time (memory-bound
     // code does not slow down linearly), nudge the frequency accordingly.
@@ -85,11 +81,7 @@ pub fn run_global_dvs(
         frequency = grid.quantize_up(MegaHertz::new(
             (frequency.as_mhz() * correction).min(grid.max().as_mhz()),
         ));
-        result = simulator.run(
-            trace.iter().copied(),
-            &mut GlobalDvsHooks::new(frequency),
-            false,
-        );
+        result = simulator.run(trace.iter(), &mut GlobalDvsHooks::new(frequency), false);
     }
 
     GlobalDvsResult {
@@ -102,19 +94,16 @@ pub fn run_global_dvs(
 mod tests {
     use super::*;
     use mcd_sim::simulator::NullHooks;
-    use mcd_workloads::generator::generate_trace;
+    use mcd_workloads::generator::generate_packed;
     use mcd_workloads::programs;
 
     #[test]
     fn global_dvs_matches_target_run_time_roughly() {
         let (program, inputs) = programs::gsm::decode();
-        let trace: Vec<_> = generate_trace(&program, &inputs.training)
-            .into_iter()
-            .take(80_000)
-            .collect();
+        let trace = generate_packed(&program, &inputs.training).truncated(80_000);
         let machine = MachineConfig::default();
         let baseline = Simulator::new(machine.clone())
-            .run(trace.iter().copied(), &mut NullHooks, false)
+            .run(trace.iter(), &mut NullHooks, false)
             .stats;
         // Pretend the off-line algorithm was 7% slower than full speed.
         let target = baseline.run_time.as_ns() * 1.07;
@@ -134,13 +123,10 @@ mod tests {
     #[test]
     fn full_speed_target_keeps_full_frequency() {
         let (program, inputs) = programs::adpcm::encode();
-        let trace: Vec<_> = generate_trace(&program, &inputs.training)
-            .into_iter()
-            .take(40_000)
-            .collect();
+        let trace = generate_packed(&program, &inputs.training).truncated(40_000);
         let machine = MachineConfig::default();
         let baseline = Simulator::new(machine.clone())
-            .run(trace.iter().copied(), &mut NullHooks, false)
+            .run(trace.iter(), &mut NullHooks, false)
             .stats;
         let result = run_global_dvs(
             &trace,

@@ -19,9 +19,9 @@
 use crate::pipeline::AnalysisPipeline;
 use crate::shaker::ShakerConfig;
 use mcd_sim::config::MachineConfig;
-use mcd_sim::instruction::TraceItem;
 use mcd_sim::reconfig::FrequencySetting;
 use mcd_sim::stats::SimStats;
+use mcd_sim::trace::PackedTrace;
 
 /// Parameters of the off-line oracle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,7 +98,7 @@ pub struct OfflineResult {
 /// staged [`AnalysisPipeline`]; build the pipeline yourself to fan the
 /// per-window analysis out across worker threads.
 pub fn run_offline(
-    trace: &[TraceItem],
+    trace: &PackedTrace,
     machine: &MachineConfig,
     config: &OfflineConfig,
 ) -> OfflineResult {
@@ -112,16 +112,16 @@ mod tests {
     use mcd_sim::simulator::Simulator;
     use mcd_sim::stats::RelativeMetrics;
     use mcd_sim::time::MegaHertz;
-    use mcd_workloads::generator::generate_trace;
+    use mcd_workloads::generator::generate_packed;
     use mcd_workloads::programs;
 
     #[test]
     fn oracle_saves_energy_on_integer_code() {
         let (program, inputs) = programs::adpcm::decode();
-        let trace = generate_trace(&program, &inputs.training);
+        let trace = generate_packed(&program, &inputs.training);
         let machine = MachineConfig::default();
         let baseline = Simulator::new(machine.clone())
-            .run(trace.iter().copied(), &mut NullHooks, false)
+            .run(trace.iter(), &mut NullHooks, false)
             .stats;
         let result = run_offline(&trace, &machine, &OfflineConfig::default());
         assert!(!result.schedule.is_empty());
@@ -195,10 +195,7 @@ mod tests {
     #[test]
     fn tighter_slowdown_bound_costs_less_performance() {
         let (program, inputs) = programs::gsm::decode();
-        let trace: Vec<_> = generate_trace(&program, &inputs.training)
-            .into_iter()
-            .take(60_000)
-            .collect();
+        let trace = generate_packed(&program, &inputs.training).truncated(60_000);
         let machine = MachineConfig::default();
         let tight = run_offline(
             &trace,

@@ -28,9 +28,23 @@ impl CapturedTrace {
 }
 
 /// Runs `trace` at full speed on `machine`, recording primitive events.
+///
+/// Convenience wrapper that builds the simulator itself; hot paths share one
+/// simulator per pipeline run through [`capture_with`] (or skip whole-run
+/// capture entirely via the streaming
+/// [`analyze_streaming`](crate::pipeline::window::analyze_streaming) stage).
 pub fn capture(trace: &[TraceItem], machine: &MachineConfig) -> CapturedTrace {
-    let simulator = Simulator::new(machine.clone());
-    let result = simulator.run(trace.iter().copied(), &mut NullHooks, true);
+    capture_with(&Simulator::new(machine.clone()), trace.iter().copied())
+}
+
+/// Runs the item stream at full speed on a caller-provided simulator,
+/// recording primitive events. Accepts any item source (legacy slices via
+/// `iter().copied()`, packed traces via `PackedTrace::iter`).
+pub fn capture_with<I>(simulator: &Simulator, trace: I) -> CapturedTrace
+where
+    I: IntoIterator<Item = TraceItem>,
+{
+    let result = simulator.run(trace, &mut NullHooks, true);
     CapturedTrace {
         events: result.events.expect("recording run collects events"),
         stats: result.stats,

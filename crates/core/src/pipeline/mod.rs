@@ -3,24 +3,30 @@
 //! The paper's off-line analysis — the hot path of every experiment — is an
 //! explicit four-stage pipeline here:
 //!
-//! 1. **Trace capture** ([`capture`]): run the input trace at full speed on
-//!    the simulator, recording the primitive-event dependence trace.
-//! 2. **Window slicing** ([`window::slice_windows`]): partition the recorded
-//!    events and edges into fixed instruction windows in a single pass.
-//! 3. **Per-window analysis** ([`window::analyze_windows`]): for every window,
-//!    build the dependence DAG, run the shaker, and apply slowdown
-//!    thresholding to pick a frequency setting. Windows are independent, so
-//!    this — the dominant cost — fans out across `std::thread::scope` workers;
-//!    the result is bit-identical to the serial order regardless of the worker
-//!    count.
-//! 4. **Schedule assembly and replay** ([`schedule`]): collect the per-window
+//! 1. **Streaming windowed capture** ([`window::analyze_streaming`]): run the
+//!    packed input trace at full speed, recording primitive events; every
+//!    time a fixed instruction window closes, the recorded window streams
+//!    straight into stage 2 and its buffer is reused, so capture memory is
+//!    O(window) rather than O(trace).
+//! 2. **Per-window analysis**: for every window, build the dependence DAG
+//!    (CSR adjacency), run the shaker, and apply slowdown thresholding to
+//!    pick a frequency setting. Windows are independent: serially they are
+//!    analysed in place; with a thread budget they flow through a bounded
+//!    channel to `std::thread::scope` workers, overlapping capture — either
+//!    way the settings are bit-identical.
+//! 3. **Schedule assembly and replay** ([`schedule`]): collect the per-window
 //!    settings into an [`OfflineSchedule`](crate::offline::OfflineSchedule)
-//!    and replay the trace applying each window's setting at its boundary.
+//!    and replay the trace applying each window's setting at its boundary,
+//!    on the same simulator that performed the capture.
+//!
+//! The batch equivalents ([`capture::capture`], [`window::slice_windows`],
+//! [`window::analyze_windows`]) remain for callers that already hold a
+//! recorded [`EventTrace`](mcd_sim::events::EventTrace).
 //!
 //! [`AnalysisPipeline`] composes the stages; [`run_offline`](crate::offline::run_offline)
 //! is a thin serial wrapper around it. Stage outputs are plain values, which is
-//! what lets the artifact cache ([`crate::artifact`]) persist a stage-3 result
-//! and skip stages 1–3 entirely on a warm run.
+//! what lets the artifact cache ([`crate::artifact`]) persist a per-window
+//! schedule and skip stages 1–2 entirely on a warm run.
 
 pub mod capture;
 pub mod schedule;
@@ -30,18 +36,21 @@ use crate::offline::{OfflineConfig, OfflineResult, OfflineSchedule};
 use crate::shaker::Shaker;
 use crate::threshold::SlowdownThreshold;
 use mcd_sim::config::MachineConfig;
-use mcd_sim::instruction::TraceItem;
+use mcd_sim::simulator::Simulator;
+use mcd_sim::trace::PackedTrace;
+pub use window::StreamReport;
 
-/// The staged off-line analysis pipeline: capture → slice → analyze → assemble.
+/// The staged off-line analysis pipeline: streaming capture → per-window
+/// analysis → schedule assembly.
 ///
 /// ```
 /// use mcd_dvfs::offline::OfflineConfig;
 /// use mcd_dvfs::pipeline::AnalysisPipeline;
 /// use mcd_sim::config::MachineConfig;
-/// use mcd_workloads::{generator::generate_trace, programs};
+/// use mcd_workloads::{generator::generate_packed, programs};
 ///
 /// let (program, inputs) = programs::adpcm::decode();
-/// let trace = generate_trace(&program, &inputs.training);
+/// let trace = generate_packed(&program, &inputs.training);
 /// let machine = MachineConfig::default();
 /// let pipeline = AnalysisPipeline::new(OfflineConfig::default()).with_parallelism(4);
 /// let schedule = pipeline.analyze(&trace, &machine);
@@ -82,23 +91,47 @@ impl AnalysisPipeline {
     }
 
     /// Runs stages 1–3 and assembles the per-window frequency schedule
-    /// (without the controlled replay).
-    pub fn analyze(&self, trace: &[TraceItem], machine: &MachineConfig) -> OfflineSchedule {
-        let captured = capture::capture(trace, machine);
-        let plan = window::slice_windows(&captured, self.config.window_instructions);
+    /// (without the controlled replay). Builds one simulator for the run; use
+    /// [`AnalysisPipeline::analyze_with`] to share an existing one.
+    pub fn analyze(&self, trace: &PackedTrace, machine: &MachineConfig) -> OfflineSchedule {
+        self.analyze_with(&Simulator::new(machine.clone()), trace)
+    }
+
+    /// [`AnalysisPipeline::analyze`] against a caller-provided simulator
+    /// (avoiding a machine-config clone per stage).
+    pub fn analyze_with(&self, simulator: &Simulator, trace: &PackedTrace) -> OfflineSchedule {
+        self.analyze_with_report(simulator, trace).0
+    }
+
+    /// [`AnalysisPipeline::analyze_with`], also returning the streaming
+    /// capture's [`StreamReport`] (window count and peak resident events).
+    pub fn analyze_with_report(
+        &self,
+        simulator: &Simulator,
+        trace: &PackedTrace,
+    ) -> (OfflineSchedule, StreamReport) {
         let shaker = Shaker::with_config(self.config.shaker);
         let chooser = SlowdownThreshold::new(self.config.slowdown);
-        let settings = window::analyze_windows(&plan, machine, &shaker, &chooser, self.parallelism);
-        schedule::assemble(settings)
+        let (settings, report) = window::analyze_streaming(
+            trace,
+            simulator,
+            self.config.window_instructions,
+            &shaker,
+            &chooser,
+            self.parallelism,
+        );
+        (schedule::assemble(settings), report)
     }
 
     /// Runs the full pipeline: analysis plus the controlled replay that
-    /// applies each window's setting at its boundary.
-    pub fn run(&self, trace: &[TraceItem], machine: &MachineConfig) -> OfflineResult {
-        let schedule = self.analyze(trace, machine);
-        let stats = schedule::replay(
+    /// applies each window's setting at its boundary. One simulator serves
+    /// both the capture and the replay run.
+    pub fn run(&self, trace: &PackedTrace, machine: &MachineConfig) -> OfflineResult {
+        let simulator = Simulator::new(machine.clone());
+        let schedule = self.analyze_with(&simulator, trace);
+        let stats = schedule::replay_with(
+            &simulator,
             trace,
-            machine,
             &schedule,
             self.config.window_instructions.max(1),
         );
@@ -109,15 +142,12 @@ impl AnalysisPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcd_workloads::generator::generate_trace;
+    use mcd_workloads::generator::generate_packed;
     use mcd_workloads::programs;
 
-    fn small_trace() -> Vec<mcd_sim::instruction::TraceItem> {
+    fn small_trace() -> PackedTrace {
         let (program, inputs) = programs::gsm::decode();
-        generate_trace(&program, &inputs.training)
-            .into_iter()
-            .take(50_000)
-            .collect()
+        generate_packed(&program, &inputs.training).truncated(50_000)
     }
 
     #[test]

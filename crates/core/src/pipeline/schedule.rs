@@ -6,11 +6,11 @@
 
 use crate::offline::OfflineSchedule;
 use mcd_sim::config::MachineConfig;
-use mcd_sim::instruction::TraceItem;
 use mcd_sim::reconfig::FrequencySetting;
 use mcd_sim::simulator::{SimHooks, Simulator};
 use mcd_sim::stats::SimStats;
 use mcd_sim::time::TimeNs;
+use mcd_sim::trace::PackedTrace;
 
 /// Collects per-window settings into a schedule (stage 4's assembly half).
 pub fn assemble(settings: Vec<FrequencySetting>) -> OfflineSchedule {
@@ -57,15 +57,29 @@ impl SimHooks for ScheduleHooks<'_> {
 /// Replays `trace` on `machine` under `schedule`, returning the controlled
 /// run's statistics.
 pub fn replay(
-    trace: &[TraceItem],
+    trace: &PackedTrace,
     machine: &MachineConfig,
     schedule: &OfflineSchedule,
     window_instructions: u64,
 ) -> SimStats {
+    replay_with(
+        &Simulator::new(machine.clone()),
+        trace,
+        schedule,
+        window_instructions,
+    )
+}
+
+/// [`replay`] on a caller-provided simulator (shared with the capture stage
+/// by [`AnalysisPipeline::run`](crate::pipeline::AnalysisPipeline::run)).
+pub fn replay_with(
+    simulator: &Simulator,
+    trace: &PackedTrace,
+    schedule: &OfflineSchedule,
+    window_instructions: u64,
+) -> SimStats {
     let mut hooks = ScheduleHooks::new(schedule, window_instructions);
-    Simulator::new(machine.clone())
-        .run(trace.iter().copied(), &mut hooks, false)
-        .stats
+    simulator.run(trace.iter(), &mut hooks, false).stats
 }
 
 #[cfg(test)]

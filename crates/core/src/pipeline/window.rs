@@ -1,12 +1,20 @@
-//! Pipeline stages 2 and 3: window slicing and per-window analysis.
+//! Pipeline stages 2 and 3: windowed capture and per-window analysis.
 //!
-//! Stage 2 partitions the captured event trace into fixed instruction windows
-//! in one pass over the events and one pass over the edges (the previous
-//! monolithic implementation rescanned the full trace once per window).
-//! Stage 3 analyses each window independently — dependence DAG, shaker,
-//! slowdown thresholding — and is embarrassingly parallel: windows share no
-//! state, so the analysis fans out across `std::thread::scope` workers and
-//! still produces bit-identical results to the serial order.
+//! The hot entry point is [`analyze_streaming`]: the recording run streams
+//! each completed fixed-instruction window straight out of the simulator
+//! ([`Simulator::run_windowed`]) into the shaker stage, so the whole-run
+//! `EventTrace` — two hundred bytes per instruction — is never materialized;
+//! peak capture memory is O(window). Serially the same window buffer is
+//! reused for every window (arena reuse); with `parallelism > 1` closed
+//! windows flow through a bounded channel to scoped worker threads, so
+//! analysis overlaps capture and at most a few windows are ever resident.
+//! Either way the per-window settings are bit-identical to the legacy
+//! capture-then-slice path.
+//!
+//! The legacy batch stages remain for callers that already hold a recorded
+//! trace: [`slice_windows`] partitions a [`CapturedTrace`] in one pass over
+//! events and edges, and [`analyze_windows`] fans a [`WindowPlan`] out across
+//! workers.
 
 use crate::dag::DependenceDag;
 use crate::pipeline::capture::CapturedTrace;
@@ -15,6 +23,111 @@ use crate::threshold::SlowdownThreshold;
 use mcd_sim::config::MachineConfig;
 use mcd_sim::events::EventTrace;
 use mcd_sim::reconfig::FrequencySetting;
+use mcd_sim::simulator::{NullHooks, Simulator};
+use mcd_sim::trace::PackedTrace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// What the streaming capture stage observed: how many windows closed and the
+/// peak number of primitive events resident at once (current recording buffer
+/// plus any windows queued for analysis). For a healthy stream the peak is a
+/// small multiple of one window's events, independent of trace length.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Windows handed to the analysis stage.
+    pub windows: u64,
+    /// Peak resident primitive events across capture buffer and queue.
+    pub peak_resident_events: usize,
+}
+
+/// Runs capture and per-window analysis as one streaming stage: the
+/// full-speed recording run hands each closed window to the shaker/threshold
+/// analysis as soon as it completes, returning the per-window settings (in
+/// window order) plus a [`StreamReport`].
+///
+/// `simulator` is shared by the caller (one per pipeline run); the settings
+/// are bit-identical for every `parallelism` value.
+pub fn analyze_streaming(
+    trace: &PackedTrace,
+    simulator: &Simulator,
+    window_instructions: u64,
+    shaker: &Shaker,
+    chooser: &SlowdownThreshold,
+    parallelism: usize,
+) -> (Vec<FrequencySetting>, StreamReport) {
+    let machine = simulator.config();
+    if parallelism <= 1 {
+        // Serial: analyse in place, reusing one window buffer for the whole
+        // run.
+        let mut settings = Vec::new();
+        let mut peak = 0usize;
+        simulator.run_windowed(
+            trace.iter(),
+            &mut NullHooks,
+            window_instructions,
+            |index, buf| {
+                debug_assert_eq!(index as usize, settings.len());
+                peak = peak.max(buf.len());
+                settings.push(analyze_one(buf, machine, shaker, chooser));
+            },
+        );
+        let report = StreamReport {
+            windows: settings.len() as u64,
+            peak_resident_events: peak,
+        };
+        return (settings, report);
+    }
+
+    // Parallel: closed windows travel through a bounded channel to scoped
+    // workers, so capture overlaps analysis while total resident memory stays
+    // at O(parallelism × window).
+    let slots: Mutex<Vec<Option<FrequencySetting>>> = Mutex::new(Vec::new());
+    let resident = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::sync_channel::<(u64, EventTrace)>(parallelism * 2);
+    let rx = Mutex::new(rx);
+    std::thread::scope(|scope| {
+        for _ in 0..parallelism {
+            scope.spawn(|| loop {
+                let received = rx.lock().expect("receiver lock").recv();
+                let Ok((index, window)) = received else {
+                    break;
+                };
+                let setting = analyze_one(&window, machine, shaker, chooser);
+                resident.fetch_sub(window.len(), Ordering::Relaxed);
+                let mut slots = slots.lock().expect("slot lock");
+                if slots.len() <= index as usize {
+                    slots.resize(index as usize + 1, None);
+                }
+                slots[index as usize] = Some(setting);
+            });
+        }
+        simulator.run_windowed(
+            trace.iter(),
+            &mut NullHooks,
+            window_instructions,
+            |index, buf| {
+                let mut window = std::mem::take(buf);
+                window.shrink_to_fit();
+                let now = resident.fetch_add(window.len(), Ordering::Relaxed) + window.len();
+                peak.fetch_max(now, Ordering::Relaxed);
+                tx.send((index, window)).expect("workers outlive capture");
+            },
+        );
+        drop(tx);
+    });
+    let settings: Vec<FrequencySetting> = slots
+        .into_inner()
+        .expect("workers exited")
+        .into_iter()
+        .map(|slot| slot.expect("every window was analysed"))
+        .collect();
+    let report = StreamReport {
+        windows: settings.len() as u64,
+        peak_resident_events: peak.load(Ordering::Relaxed),
+    };
+    (settings, report)
+}
 
 /// The output of the slicing stage: one event sub-trace per instruction
 /// window, ids remapped to be dense, edges restricted to pairs within the

@@ -21,10 +21,11 @@ use mcd_profiling::candidates::LongRunningSet;
 use mcd_profiling::context::ContextPolicy;
 use mcd_profiling::edit::{InstrumentationPlan, NodeKey};
 use mcd_sim::config::MachineConfig;
-use mcd_sim::instruction::{Marker, TraceItem};
+use mcd_sim::instruction::Marker;
 use mcd_sim::simulator::{HookAction, SimHooks, Simulator};
 use mcd_sim::stats::SimStats;
 use mcd_sim::time::TimeNs;
+use mcd_sim::trace::PackedTrace;
 use mcd_workloads::input::InputSet;
 use mcd_workloads::program::Program;
 use std::collections::HashMap;
@@ -82,8 +83,8 @@ impl ProfilePlan {
 /// deterministic — the same trace and policy always produce the same node
 /// keys — which is what lets the artifact cache persist only the expensive
 /// phases' output (the frequency table) and rebuild the plan around it.
-pub fn instrumentation_plan(trace: &[TraceItem], config: &TrainingConfig) -> InstrumentationPlan {
-    let tree = CallTree::build(trace, config.policy);
+pub fn instrumentation_plan(trace: &PackedTrace, config: &TrainingConfig) -> InstrumentationPlan {
+    let tree = CallTree::build_items(trace.iter(), config.policy);
     let long_running =
         LongRunningSet::identify_with_threshold(&tree, config.long_running_threshold);
     InstrumentationPlan::new(tree, long_running, config.policy)
@@ -93,7 +94,7 @@ pub fn instrumentation_plan(trace: &[TraceItem], config: &TrainingConfig) -> Ins
 /// input, then shaker plus slowdown thresholding per reconfiguration key.
 /// This is the dominant cost of training — the part the artifact cache skips.
 fn analyze_training_run(
-    trace: Vec<TraceItem>,
+    trace: &PackedTrace,
     instrumentation: &InstrumentationPlan,
     machine: &MachineConfig,
     config: &TrainingConfig,
@@ -101,25 +102,32 @@ fn analyze_training_run(
     // Run the training input at full speed, recording primitive events tagged
     // with the innermost active reconfiguration key.
     let mut region_of_key: HashMap<NodeKey, u32> = HashMap::new();
+    let mut key_of_region: HashMap<u32, NodeKey> = HashMap::new();
     for (i, key) in instrumentation.reconfig_keys().into_iter().enumerate() {
         region_of_key.insert(key, (i + 1) as u32);
+        key_of_region.insert((i + 1) as u32, key);
     }
     let simulator = Simulator::new(machine.clone());
     let mut trainer_hooks = TrainerHooks {
         tracker: instrumentation.tracker(),
         region_of_key: &region_of_key,
     };
-    let result = simulator.run(trace, &mut trainer_hooks, true);
+    let result = simulator.run(trace.iter(), &mut trainer_hooks, true);
     let events = result.events.expect("training run records events");
 
-    // Shaker + slowdown thresholding per reconfiguration key.
+    // Shaker + slowdown thresholding per reconfiguration key. The recorded
+    // trace is partitioned into every region's slice in one pass (the
+    // previous per-key `region_slice` rescanned all events and edges once per
+    // reconfiguration key).
     let shaker = Shaker::with_config(config.shaker);
     let chooser = SlowdownThreshold::new(config.slowdown);
     let grid = machine.grid.clone();
     let f_max = machine.grid.max();
     let mut table = FrequencyTable::new();
-    for (key, region) in &region_of_key {
-        let slice = events.region_slice(*region);
+    for (region, slice) in events.partition_regions() {
+        let Some(key) = key_of_region.get(&region) else {
+            continue; // region 0: events outside every reconfiguration key
+        };
         if slice.is_empty() {
             continue;
         }
@@ -144,9 +152,9 @@ pub fn train(
     machine: &MachineConfig,
     config: &TrainingConfig,
 ) -> ProfilePlan {
-    let trace = mcd_workloads::generator::generate_trace(program, training_input);
+    let trace = mcd_workloads::generator::generate_packed(program, training_input);
     let instrumentation = instrumentation_plan(&trace, config);
-    let (table, training_stats) = analyze_training_run(trace, &instrumentation, machine, config);
+    let (table, training_stats) = analyze_training_run(&trace, &instrumentation, machine, config);
     ProfilePlan {
         instrumentation,
         table,
@@ -229,10 +237,10 @@ pub fn train_and_run(
     config: &TrainingConfig,
 ) -> (ProfilePlan, SimStats) {
     let plan = train(program, training_input, machine, config);
-    let trace = mcd_workloads::generator::generate_trace(program, reference_input);
+    let trace = mcd_workloads::generator::generate_packed(program, reference_input);
     let simulator = Simulator::new(machine.clone());
     let mut hooks = plan.hooks();
-    let result = simulator.run(trace, &mut hooks, false);
+    let result = simulator.run(trace.iter(), &mut hooks, false);
     (plan, result.stats)
 }
 
@@ -308,8 +316,10 @@ mod tests {
         assert!(!plan.table.is_empty());
 
         // Baseline: the same reference trace at full speed.
-        let trace = mcd_workloads::generator::generate_trace(&program, &inputs.reference);
-        let baseline = Simulator::new(mcfg).run(trace, &mut NullHooks, false).stats;
+        let trace = mcd_workloads::generator::generate_packed(&program, &inputs.reference);
+        let baseline = Simulator::new(mcfg)
+            .run(trace.iter(), &mut NullHooks, false)
+            .stats;
         let metrics = RelativeMetrics::relative_to(&stats, &baseline);
         assert!(
             metrics.energy_savings > 0.05,

@@ -20,9 +20,9 @@ use crate::online::{OnlineConfig, OnlineController};
 use crate::pipeline::{schedule, AnalysisPipeline};
 use crate::profile::{instrumentation_plan, train, ProfilePlan, TrainingConfig};
 use mcd_sim::config::MachineConfig;
-use mcd_sim::instruction::TraceItem;
 use mcd_sim::simulator::{SimHooks, Simulator};
 use mcd_sim::stats::SimStats;
+use mcd_sim::trace::PackedTrace;
 use mcd_workloads::suite::Benchmark;
 use std::fmt;
 use std::sync::Arc;
@@ -46,12 +46,12 @@ pub struct SchemeContext<'a> {
     pub benchmark: &'a Benchmark,
     /// The machine model shared by every scheme in the comparison.
     pub machine: &'a MachineConfig,
-    /// The reference-input trace, generated once per benchmark. Callers that
-    /// build a context by hand must pass the canonical
-    /// `generate_trace(&benchmark.program, &benchmark.inputs.reference)`
+    /// The reference-input trace, generated once per benchmark in the packed
+    /// encoding. Callers that build a context by hand must pass the canonical
+    /// `generate_packed(&benchmark.program, &benchmark.inputs.reference)`
     /// output; cache keys assume the trace is determined by the benchmark and
     /// input (plus the trace length, which guards against truncation).
-    pub reference_trace: &'a [TraceItem],
+    pub reference_trace: &'a PackedTrace,
     /// Full-speed MCD baseline statistics on the reference trace.
     pub baseline: &'a SimStats,
     /// Outcomes of the schemes that ran earlier in the registry.
@@ -68,7 +68,7 @@ impl SchemeContext<'_> {
     /// the common controlled-simulation path every scheme uses.
     pub fn simulate(&self, hooks: &mut dyn SimHooks) -> SimStats {
         Simulator::new(self.machine.clone())
-            .run(self.reference_trace.iter().copied(), hooks, false)
+            .run(self.reference_trace.iter(), hooks, false)
             .stats
     }
 }
@@ -165,19 +165,21 @@ impl DvfsScheme for OfflineScheme {
             ctx.machine,
             &self.config,
         );
+        // One simulator serves the capture (on a cache miss) and the replay.
+        let simulator = Simulator::new(ctx.machine.clone());
         let schedule = match self.cache.load_schedule(&key) {
             Some(schedule) => schedule,
             None => {
                 let schedule = AnalysisPipeline::new(self.config)
                     .with_parallelism(self.parallelism)
-                    .analyze(ctx.reference_trace, ctx.machine);
+                    .analyze_with(&simulator, ctx.reference_trace);
                 self.cache.store_schedule(&key, &schedule);
                 schedule
             }
         };
-        Ok(schedule::replay(
+        Ok(schedule::replay_with(
+            &simulator,
             ctx.reference_trace,
-            ctx.machine,
             &schedule,
             self.config.window_instructions.max(1),
         ))
@@ -249,7 +251,7 @@ impl ProfileScheme {
         if let Some(cached) = self.cache.load_training(&key) {
             // Rebuild the cheap, deterministic phase-1 plan; the node keys it
             // assigns match the ones the cached table was recorded under.
-            let trace = mcd_workloads::generator::generate_trace(
+            let trace = mcd_workloads::generator::generate_packed(
                 &ctx.benchmark.program,
                 &ctx.benchmark.inputs.training,
             );
@@ -448,13 +450,9 @@ mod tests {
         let bench = mcd_workloads::suite::benchmark("adpcm decode").expect("known benchmark");
         let machine = MachineConfig::default();
         let trace =
-            mcd_workloads::generator::generate_trace(&bench.program, &bench.inputs.training);
+            mcd_workloads::generator::generate_packed(&bench.program, &bench.inputs.training);
         let baseline = Simulator::new(machine.clone())
-            .run(
-                trace.iter().copied(),
-                &mut mcd_sim::simulator::NullHooks,
-                false,
-            )
+            .run(trace.iter(), &mut mcd_sim::simulator::NullHooks, false)
             .stats;
         let ctx = SchemeContext {
             benchmark: &bench,

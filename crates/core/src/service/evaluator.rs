@@ -6,10 +6,10 @@ use crate::service::job::{EvalJob, JobId};
 use crate::service::stream::{EvalEvent, ResultStream};
 use mcd_sim::config::MachineConfig;
 use mcd_sim::fingerprint::{Fingerprint, Fnv1a};
-use mcd_sim::instruction::TraceItem;
 use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_sim::stats::SimStats;
-use mcd_workloads::generator::generate_trace;
+use mcd_sim::trace::PackedTrace;
+use mcd_workloads::generator::generate_packed;
 use mcd_workloads::suite::Benchmark;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,7 +41,7 @@ impl MemoStats {
 /// shares: the reference trace and the full-speed MCD baseline statistics.
 #[derive(Debug)]
 struct BaselineArtifacts {
-    trace: Vec<TraceItem>,
+    trace: PackedTrace,
     baseline: SimStats,
 }
 
@@ -85,9 +85,19 @@ impl Shared {
         let artifacts = slot
             .get_or_init(|| {
                 computed = true;
-                let trace = generate_trace(&bench.program, &bench.inputs.reference);
+                // The packed trace itself is an artifact: warm caches load it
+                // from disk and skip re-generation entirely (the codec's
+                // checksum guards bit-identity; any decode problem falls back
+                // to regenerating).
+                let cache = &self.config.cache;
+                let key = crate::artifact::packed_trace_key(bench.name, &bench.inputs.reference);
+                let trace = cache.load_trace(&key).unwrap_or_else(|| {
+                    let trace = generate_packed(&bench.program, &bench.inputs.reference);
+                    cache.store_trace(&key, &trace);
+                    trace
+                });
                 let baseline = Simulator::new(machine.clone())
-                    .run(trace.iter().copied(), &mut NullHooks, false)
+                    .run(trace.iter(), &mut NullHooks, false)
                     .stats;
                 Arc::new(BaselineArtifacts { trace, baseline })
             })

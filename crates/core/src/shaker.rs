@@ -90,7 +90,7 @@ impl Shaker {
             let order = if pass % 2 == 0 { &backward } else { &forward };
             let push_late = pass % 2 == 0;
             for &idx in order {
-                self.try_stretch(dag, idx, threshold, push_late);
+                self.try_stretch(dag, idx as usize, threshold, push_late);
             }
             threshold *= self.config.threshold_decay;
             pass += 1;
@@ -101,47 +101,42 @@ impl Shaker {
     /// backward passes (`push_late`), the event is anchored to its upper bound
     /// so remaining slack moves to its incoming edges; on forward passes it is
     /// anchored to its lower bound.
+    #[inline]
     fn try_stretch(&self, dag: &mut DependenceDag, idx: usize, threshold: f64, push_late: bool) {
         let lower = dag.lower_bound(idx);
         let upper = dag.upper_bound(idx);
         let span = upper.saturating_sub(lower);
-        let event = dag.events()[idx].clone();
-        if event.power_factor() <= threshold {
+        if dag.power_factor(idx) <= threshold {
             // Not a high-power event at this threshold; just reposition it so
             // slack accumulates on the requested side.
-            let duration = event.duration();
+            let duration = dag.duration(idx);
             if span > duration {
-                let e = dag.event_mut(idx);
                 if push_late {
-                    e.end = upper;
-                    e.start = upper.saturating_sub(duration);
+                    dag.set_schedule(idx, upper.saturating_sub(duration), upper);
                 } else {
-                    e.start = lower;
-                    e.end = lower + duration;
+                    dag.set_schedule(idx, lower, lower + duration);
                 }
             }
             return;
         }
-        if event.nominal_duration.is_zero() || span.is_zero() {
+        let nominal_duration = dag.nominal_duration(idx);
+        if nominal_duration.is_zero() || span.is_zero() {
             return;
         }
         // Stretch until the power factor falls below the threshold, the slack
         // is exhausted, or the quarter-frequency limit is reached.
-        let stretch_for_threshold = event.nominal_power / threshold;
-        let stretch_for_slack = span.as_ns() / event.nominal_duration.as_ns();
+        let stretch_for_threshold = dag.nominal_power(idx) / threshold;
+        let stretch_for_slack = span.as_ns() / nominal_duration.as_ns();
         let new_scale = stretch_for_threshold
             .min(stretch_for_slack)
             .min(MAX_STRETCH)
-            .max(event.scale);
-        let e = dag.event_mut(idx);
-        e.scale = new_scale;
-        let duration = e.duration();
+            .max(dag.scale(idx));
+        dag.set_scale(idx, new_scale);
+        let duration = dag.duration(idx);
         if push_late {
-            e.end = upper;
-            e.start = upper.saturating_sub(duration);
+            dag.set_schedule(idx, upper.saturating_sub(duration), upper);
         } else {
-            e.start = lower;
-            e.end = lower + duration;
+            dag.set_schedule(idx, lower, lower + duration);
         }
     }
 
@@ -155,14 +150,15 @@ impl Shaker {
     ) -> RegionHistograms {
         self.shake(dag);
         let mut histograms = RegionHistograms::new(grid);
-        for event in dag.events() {
-            if event.cycles <= 0.0 {
+        for idx in 0..dag.len() {
+            let cycles = dag.cycles(idx);
+            if cycles <= 0.0 {
                 continue;
             }
-            let freq = MegaHertz::new(event.effective_frequency_mhz(f_max.as_mhz()).max(1.0));
+            let freq = MegaHertz::new((f_max.as_mhz() / dag.scale(idx)).max(1.0));
             histograms
-                .domain_mut(event.domain)
-                .add(grid.quantize_nearest(freq), event.cycles);
+                .domain_mut(dag.domain(idx))
+                .add(grid.quantize_nearest(freq), cycles);
         }
         histograms
     }
@@ -217,8 +213,8 @@ mod tests {
         let mut dag = DependenceDag::from_trace(&trace_with_fp_slack());
         Shaker::new().shake(&mut dag);
         let fp_event = dag
-            .events()
-            .iter()
+            .snapshot()
+            .into_iter()
             .find(|e| e.domain == Domain::FloatingPoint)
             .unwrap();
         assert!(
@@ -234,7 +230,11 @@ mod tests {
         Shaker::new().shake(&mut dag);
         // The integer chain is back to back: no event can stretch beyond a tiny
         // numerical tolerance.
-        for e in dag.events().iter().filter(|e| e.domain == Domain::Integer) {
+        for e in dag
+            .snapshot()
+            .iter()
+            .filter(|e| e.domain == Domain::Integer)
+        {
             assert!(
                 e.scale < 1.3,
                 "critical-chain events must stay near full speed, got {}",
@@ -288,7 +288,7 @@ mod tests {
         t.push_event(ev(Domain::Memory, 1000.0, 1001.0, 0.32));
         let mut dag = DependenceDag::from_trace(&t);
         Shaker::new().shake(&mut dag);
-        for e in dag.events() {
+        for e in dag.snapshot() {
             assert!(e.scale <= MAX_STRETCH + 1e-9);
         }
     }
@@ -306,8 +306,8 @@ mod tests {
         // With a single high-threshold pass, the low-power FP event is not yet
         // eligible for stretching.
         let fp_event = dag
-            .events()
-            .iter()
+            .snapshot()
+            .into_iter()
             .find(|e| e.domain == Domain::FloatingPoint)
             .unwrap();
         assert!(fp_event.scale < MAX_STRETCH);

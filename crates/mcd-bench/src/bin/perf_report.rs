@@ -1,0 +1,294 @@
+//! `perf_report` — the dependency-free macro-benchmark harness behind the
+//! repository's tracked performance trajectory (`BENCH_*.json`).
+//!
+//! The harness times four stages of the simulator's hot data path, each in a
+//! fresh child process (re-executing this binary with `--child --stage X`) so
+//! per-stage peak RSS is meaningful and every measurement is cold:
+//!
+//! * `trace_gen`     — packed trace generation for the quick suite,
+//! * `baseline_sim`  — full-speed baseline simulation of those traces,
+//! * `capture`       — the streaming windowed capture + shaker analysis
+//!   (off-line pipeline stages 1–2),
+//! * `fig4_quick`    — a complete cold `fig4 --quick` evaluation (baseline +
+//!   off-line + on-line + profile on the six-benchmark subset, cache
+//!   disabled).
+//!
+//! The parent runs each stage `--iters` times (default 3), reports
+//! median wall-clock and peak RSS, and writes the JSON report (default
+//! `BENCH_5.json`, see the README's "Performance" section for the schema).
+//! `--check <file>` compares the measured `fig4_quick` median against a
+//! previously committed report and exits non-zero on a regression beyond
+//! `--tolerance` (default 0.25, i.e. 25%) — the CI bench smoke gate.
+
+use mcd_dvfs::evaluation::EvaluationConfig;
+use mcd_dvfs::offline::OfflineConfig;
+use mcd_dvfs::pipeline::AnalysisPipeline;
+use mcd_dvfs::service::{EvalJob, Evaluator};
+use mcd_sim::config::MachineConfig;
+use mcd_sim::simulator::{NullHooks, Simulator};
+use mcd_sim::trace::PackedTrace;
+use mcd_workloads::generator::generate_packed;
+use mcd_workloads::suite::Benchmark;
+use std::hint::black_box;
+use std::io::Write;
+use std::process::{Command, ExitCode, Stdio};
+use std::time::Instant;
+
+/// Report schema version (bump on layout changes).
+const SCHEMA: u32 = 1;
+
+const STAGES: [&str; 4] = ["trace_gen", "baseline_sim", "capture", "fig4_quick"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    if flag("--child") {
+        let stage = value("--stage").unwrap_or_default();
+        return run_child(&stage);
+    }
+
+    let iters: usize = value("--iters")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+    let out = value("--out").unwrap_or_else(|| "BENCH_5.json".to_string());
+    let check = value("--check");
+    let tolerance: f64 = value("--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+
+    // Read the committed baseline *before* measuring (the fresh report may
+    // overwrite the same file).
+    let committed_fig4 = match &check {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(json) => json_stage_field(&json, "fig4_quick", "median_wall_ms"),
+            Err(err) => {
+                eprintln!("perf_report: cannot read {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(err) => {
+            eprintln!("perf_report: cannot locate own executable: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut stages_json = Vec::new();
+    let mut fig4_median = f64::NAN;
+    for stage in STAGES {
+        let mut walls = Vec::new();
+        let mut rss = Vec::new();
+        for iter in 0..iters {
+            eprintln!("perf_report: {stage} iteration {}/{iters} ...", iter + 1);
+            match run_stage_in_child(&exe, stage) {
+                Ok((wall_ms, rss_kb)) => {
+                    walls.push(wall_ms);
+                    rss.push(rss_kb);
+                }
+                Err(err) => {
+                    eprintln!("perf_report: stage {stage} failed: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let wall_median = median(&mut walls.clone());
+        let rss_median = median(&mut rss.clone());
+        if stage == "fig4_quick" {
+            fig4_median = wall_median;
+        }
+        eprintln!(
+            "perf_report: {stage:<13} median {:>9.1} ms  peak-rss {:>8.0} KB",
+            wall_median, rss_median
+        );
+        stages_json.push(format!(
+            "    \"{stage}\": {{\n      \"median_wall_ms\": {wall_median:.3},\n      \
+             \"peak_rss_kb\": {rss_median:.0},\n      \"runs_wall_ms\": [{}],\n      \
+             \"runs_peak_rss_kb\": [{}]\n    }}",
+            walls
+                .iter()
+                .map(|w| format!("{w:.3}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            rss.iter()
+                .map(|r| format!("{r:.0}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": {SCHEMA},\n  \"bench\": \"mcd perf_report\",\n  \"mode\": \"quick\",\n  \
+         \"iterations\": {iters},\n  \"stages\": {{\n{}\n  }}\n}}\n",
+        stages_json.join(",\n")
+    );
+    if let Err(err) = std::fs::write(&out, &json) {
+        eprintln!("perf_report: cannot write {out}: {err}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("perf_report: wrote {out}");
+
+    if let Some(path) = check {
+        let Some(committed) = committed_fig4 else {
+            eprintln!("perf_report: {path} has no fig4_quick median to check against");
+            return ExitCode::FAILURE;
+        };
+        let limit = committed * (1.0 + tolerance);
+        if fig4_median > limit {
+            eprintln!(
+                "perf_report: REGRESSION — fig4_quick median {fig4_median:.1} ms exceeds \
+                 committed {committed:.1} ms by more than {:.0}% (limit {limit:.1} ms)",
+                tolerance * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "perf_report: fig4_quick median {fig4_median:.1} ms within {:.0}% of committed \
+             {committed:.1} ms",
+            tolerance * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The quick six-benchmark subset every stage works on.
+fn quick_suite() -> Vec<Benchmark> {
+    mcd_bench::selected_suite(true)
+}
+
+fn quick_traces(benches: &[Benchmark]) -> Vec<PackedTrace> {
+    benches
+        .iter()
+        .map(|b| generate_packed(&b.program, &b.inputs.reference))
+        .collect()
+}
+
+/// Runs one stage inside this (child) process and prints the measurement as a
+/// single JSON line on stdout.
+fn run_child(stage: &str) -> ExitCode {
+    let start = Instant::now();
+    match stage {
+        "trace_gen" => {
+            black_box(quick_traces(&quick_suite()));
+        }
+        "baseline_sim" => {
+            let benches = quick_suite();
+            let traces = quick_traces(&benches);
+            let machine = MachineConfig::default();
+            let start = Instant::now(); // exclude generation from the timing
+            for trace in &traces {
+                let sim = Simulator::new(machine.clone());
+                black_box(sim.run(trace.iter(), &mut NullHooks, false).stats);
+            }
+            return emit_measurement(start);
+        }
+        "capture" => {
+            let benches = quick_suite();
+            let traces = quick_traces(&benches);
+            let machine = MachineConfig::default();
+            let pipeline = AnalysisPipeline::new(OfflineConfig::default());
+            let start = Instant::now(); // exclude generation from the timing
+            for trace in &traces {
+                black_box(pipeline.analyze(trace, &machine));
+            }
+            return emit_measurement(start);
+        }
+        "fig4_quick" => {
+            // A cold fig4 --quick: disabled cache, all three schemes.
+            let config = EvaluationConfig {
+                parallelism: 1,
+                ..EvaluationConfig::default()
+            }
+            .with_slowdown(mcd_bench::HEADLINE_SLOWDOWN);
+            let evaluator = Evaluator::builder().config(config).workers(1).build();
+            let jobs = quick_suite().into_iter().map(EvalJob::new).collect();
+            match evaluator.submit_all(jobs).collect() {
+                Ok(evals) => {
+                    black_box(evals);
+                }
+                Err(err) => {
+                    eprintln!("perf_report: fig4_quick evaluation failed: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        other => {
+            eprintln!("perf_report: unknown stage `{other}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    emit_measurement(start)
+}
+
+fn emit_measurement(start: Instant) -> ExitCode {
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let rss_kb = peak_rss_kb().unwrap_or(0.0);
+    println!("{{\"wall_ms\": {wall_ms:.3}, \"peak_rss_kb\": {rss_kb:.0}}}");
+    let _ = std::io::stdout().flush();
+    ExitCode::SUCCESS
+}
+
+/// Peak resident set size of this process in KB (Linux `VmHWM`; `None` where
+/// procfs is unavailable).
+fn peak_rss_kb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn run_stage_in_child(exe: &std::path::Path, stage: &str) -> Result<(f64, f64), String> {
+    let output = Command::new(exe)
+        .args(["--child", "--stage", stage])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .output()
+        .map_err(|e| format!("spawn failed: {e}"))?;
+    if !output.status.success() {
+        return Err(format!("child exited with {}", output.status));
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.trim_start().starts_with('{'))
+        .ok_or_else(|| "child produced no measurement".to_string())?;
+    let wall = json_number(line, "wall_ms").ok_or("missing wall_ms")?;
+    let rss = json_number(line, "peak_rss_kb").ok_or("missing peak_rss_kb")?;
+    Ok((wall, rss))
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    values[values.len() / 2]
+}
+
+/// Minimal extraction of `"field": <number>` from a flat JSON object line.
+fn json_number(json: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extraction of `stages.<stage>.<field>` from a committed report.
+fn json_stage_field(json: &str, stage: &str, field: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{stage}\""))?;
+    json_number(&json[at..], field)
+}

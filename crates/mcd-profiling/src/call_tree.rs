@@ -61,6 +61,16 @@ impl CallTree {
     where
         I: IntoIterator<Item = &'a TraceItem>,
     {
+        Self::build_items(trace.into_iter().copied(), policy)
+    }
+
+    /// [`CallTree::build`] over owned items — the entry point for streamed
+    /// decoders such as `PackedTrace` cursors, which yield `TraceItem` by
+    /// value without materializing the trace.
+    pub fn build_items<I>(trace: I, policy: ContextPolicy) -> Self
+    where
+        I: IntoIterator<Item = TraceItem>,
+    {
         let tree_policy = policy.identification_policy();
         let mut nodes: Vec<CallTreeNode> = Vec::new();
         // The root is created lazily from the first subroutine marker; until
@@ -81,21 +91,21 @@ impl CallTree {
                         call_site,
                     } => {
                         let site = if tree_policy.tracks_call_sites() && !stack.is_empty() {
-                            Some(*call_site)
+                            Some(call_site)
                         } else {
                             None
                         };
-                        let kind = NodeKind::Subroutine(*subroutine);
+                        let kind = NodeKind::Subroutine(subroutine);
                         let id = Self::find_or_create(&mut nodes, &stack, kind, site, &mut root);
                         nodes[id.0 as usize].instances += 1;
                         stack.push(id);
                     }
                     Marker::SubroutineExit { subroutine } => {
-                        Self::pop_until(&mut stack, &nodes, NodeKind::Subroutine(*subroutine));
+                        Self::pop_until(&mut stack, &nodes, NodeKind::Subroutine(subroutine));
                     }
                     Marker::LoopEnter { loop_id } => {
                         if tree_policy.tracks_loops() {
-                            let kind = NodeKind::Loop(*loop_id);
+                            let kind = NodeKind::Loop(loop_id);
                             let id =
                                 Self::find_or_create(&mut nodes, &stack, kind, None, &mut root);
                             nodes[id.0 as usize].instances += 1;
@@ -104,7 +114,7 @@ impl CallTree {
                     }
                     Marker::LoopExit { loop_id } => {
                         if tree_policy.tracks_loops() {
-                            Self::pop_until(&mut stack, &nodes, NodeKind::Loop(*loop_id));
+                            Self::pop_until(&mut stack, &nodes, NodeKind::Loop(loop_id));
                         }
                     }
                 },

@@ -25,6 +25,16 @@ pub enum EventKind {
 /// Identifier of a primitive event within one recorded window.
 pub type EventId = u32;
 
+/// Primitive events the simulator records per committed instruction (front
+/// end, execute, commit).
+pub const EVENTS_PER_INSTRUCTION: usize = 3;
+
+/// Upper bound on dependence edges the simulator records per committed
+/// instruction: front-end chain, dispatch, two data dependences, completion,
+/// commit chain, branch redirect, ROB occupancy and the functional-unit
+/// structural hazard.
+pub const MAX_EDGES_PER_INSTRUCTION: usize = 9;
+
 /// A primitive event recorded during a full-speed profiling run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrimitiveEvent {
@@ -89,6 +99,36 @@ impl EventTrace {
             events: Vec::with_capacity(events),
             edges: Vec::with_capacity(events * 2),
         }
+    }
+
+    /// Creates an empty trace sized for a window of `instructions` committed
+    /// instructions: exactly [`EVENTS_PER_INSTRUCTION`] events and at most
+    /// [`MAX_EDGES_PER_INSTRUCTION`] edges per instruction, so a recording of
+    /// that window never reallocates.
+    pub fn for_instructions(instructions: usize) -> Self {
+        EventTrace {
+            events: Vec::with_capacity(instructions * EVENTS_PER_INSTRUCTION),
+            edges: Vec::with_capacity(instructions * MAX_EDGES_PER_INSTRUCTION),
+        }
+    }
+
+    /// Grows the buffers (if needed) to the [`EventTrace::for_instructions`]
+    /// sizing without discarding recorded content.
+    pub fn reserve_for_instructions(&mut self, instructions: usize) {
+        let want_events = instructions * EVENTS_PER_INSTRUCTION;
+        let want_edges = instructions * MAX_EDGES_PER_INSTRUCTION;
+        self.events
+            .reserve(want_events.saturating_sub(self.events.len()));
+        self.edges
+            .reserve(want_edges.saturating_sub(self.edges.len()));
+    }
+
+    /// Drops excess capacity on both arrays (called when a closed window is
+    /// handed off for storage or across a channel, so the receiver holds only
+    /// what the window actually used).
+    pub fn shrink_to_fit(&mut self) {
+        self.events.shrink_to_fit();
+        self.edges.shrink_to_fit();
     }
 
     /// Appends an event, returning its id.
@@ -157,6 +197,41 @@ impl EventTrace {
             }
         }
         out
+    }
+
+    /// Partitions the trace into one sub-trace per distinct region in a single
+    /// pass over the events and a single pass over the edges, returning
+    /// `(region, slice)` pairs in ascending region order.
+    ///
+    /// Each slice is identical to the corresponding
+    /// [`EventTrace::region_slice`] output (events in recording order, ids
+    /// remapped dense, edges restricted to same-region pairs in recording
+    /// order) — but where `region_slice` costs `O(events + edges)` *per
+    /// region*, this costs it once for all regions together, which is what the
+    /// profile-training analysis wants.
+    pub fn partition_regions(&self) -> Vec<(u32, EventTrace)> {
+        use std::collections::HashMap;
+        let mut slot_of_region: HashMap<u32, u32> = HashMap::new();
+        let mut slices: Vec<(u32, EventTrace)> = Vec::new();
+        // Per-event (slot, local id), so the edge pass is two array reads.
+        let mut placed: Vec<(u32, u32)> = Vec::with_capacity(self.events.len());
+        for ev in &self.events {
+            let slot = *slot_of_region.entry(ev.region).or_insert_with(|| {
+                slices.push((ev.region, EventTrace::new()));
+                (slices.len() - 1) as u32
+            });
+            let local = slices[slot as usize].1.push_event(*ev);
+            placed.push((slot, local));
+        }
+        for edge in &self.edges {
+            let (fs, fl) = placed[edge.from as usize];
+            let (ts, tl) = placed[edge.to as usize];
+            if fs == ts {
+                slices[fs as usize].1.push_edge(fl, tl);
+            }
+        }
+        slices.sort_by_key(|(region, _)| *region);
+        slices
     }
 
     /// The set of distinct regions present in the trace, in ascending order.
@@ -233,6 +308,53 @@ mod tests {
         assert_eq!(slice.edges().len(), 1);
         assert_eq!(slice.edges()[0], EventEdge { from: 0, to: 1 });
         assert_eq!(t.regions(), vec![7, 8]);
+    }
+
+    #[test]
+    fn partition_matches_per_region_slices() {
+        let mut t = EventTrace::new();
+        let ids: Vec<EventId> = [7u32, 8, 7, 0, 8, 7]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| t.push_event(ev(i as u32, Domain::Integer, i as f64, i as f64 + 1.0, *r)))
+            .collect();
+        t.push_edge(ids[0], ids[2]);
+        t.push_edge(ids[0], ids[1]);
+        t.push_edge(ids[1], ids[4]);
+        t.push_edge(ids[2], ids[5]);
+        t.push_edge(ids[3], ids[5]);
+
+        let partition = t.partition_regions();
+        let regions: Vec<u32> = partition.iter().map(|(r, _)| *r).collect();
+        assert_eq!(regions, t.regions());
+        for (region, slice) in &partition {
+            let expected = t.region_slice(*region);
+            assert_eq!(slice.events(), expected.events(), "region {region}");
+            assert_eq!(slice.edges(), expected.edges(), "region {region}");
+        }
+        assert!(EventTrace::new().partition_regions().is_empty());
+    }
+
+    #[test]
+    fn instruction_sizing_never_reallocates_within_budget() {
+        let mut t = EventTrace::for_instructions(4);
+        for i in 0..4u32 {
+            for _ in 0..EVENTS_PER_INSTRUCTION {
+                t.push_event(ev(i, Domain::Integer, 0.0, 1.0, 0));
+            }
+        }
+        let before = t.events.capacity();
+        assert_eq!(before, 4 * EVENTS_PER_INSTRUCTION);
+        assert!(t.edges.capacity() >= 4 * MAX_EDGES_PER_INSTRUCTION);
+        t.clear();
+        t.reserve_for_instructions(4);
+        assert_eq!(
+            t.events.capacity(),
+            before,
+            "clear + reserve keeps the arena"
+        );
+        t.shrink_to_fit();
+        assert_eq!(t.events.capacity(), 0);
     }
 
     #[test]

@@ -57,11 +57,13 @@ pub mod freq;
 pub mod instruction;
 pub mod power;
 pub mod reconfig;
+pub mod recorder;
 pub mod resources;
 pub mod simulator;
 pub mod stats;
 pub mod sync;
 pub mod time;
+pub mod trace;
 
 pub use config::{MachineConfig, MachineConfigError};
 pub use domain::{Domain, PerDomain};
@@ -71,3 +73,4 @@ pub use reconfig::FrequencySetting;
 pub use simulator::{HookAction, NullHooks, SimHooks, SimResult, Simulator};
 pub use stats::{RelativeMetrics, SimStats};
 pub use time::{Energy, MegaHertz, TimeNs, Volts};
+pub use trace::{PackedCursor, PackedTrace, PackedWord};

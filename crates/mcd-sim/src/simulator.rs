@@ -25,6 +25,7 @@ use crate::events::{EventKind, EventTrace, PrimitiveEvent};
 use crate::instruction::{InstrClass, Marker, TraceItem};
 use crate::power::{EnergyAccount, PowerModel};
 use crate::reconfig::{DvfsEngine, FrequencySetting};
+use crate::recorder::{FullRecord, NoRecord, Recorder, WindowedRecord};
 use crate::resources::{OccupancyQueue, StagePacer, UnitPool};
 use crate::stats::{IntervalStats, SimStats};
 use crate::sync::Synchronizer;
@@ -186,26 +187,26 @@ struct RunState {
     /// Completion time and execution domain of recent instructions.
     dep_ring: Vec<(TimeNs, Domain)>,
     /// Execute-event id of recent instructions (only meaningful when recording).
-    dep_event_ring: Vec<u32>,
+    dep_event_ring: Vec<u64>,
     /// Commit times of the last `reorder_buffer` instructions.
     commit_ring: Vec<TimeNs>,
     /// Commit-event ids of the last `reorder_buffer` instructions (recording only).
-    commit_event_ring: Vec<u32>,
+    commit_event_ring: Vec<u64>,
     /// Per-pool recent execute-event ids, used to record structural-hazard
     /// edges (an instruction cannot start before the one `pool-size` issues
     /// earlier on the same units has started).
-    pool_event_rings: [std::collections::VecDeque<u32>; 5],
+    pool_event_rings: [std::collections::VecDeque<u64>; 5],
     /// Execute-event id of the most recent mispredicted branch whose redirect
     /// is still pending (recording only).
-    redirect_event: Option<u32>,
+    redirect_event: Option<u64>,
     last_commit: TimeNs,
     redirect_time: TimeNs,
     pending_overhead: TimeNs,
 
     instr_index: u64,
     current_region: u32,
-    prev_fe_event: Option<u32>,
-    prev_cm_event: Option<u32>,
+    prev_fe_event: Option<u64>,
+    prev_cm_event: Option<u64>,
 
     // Interval accounting.
     interval_len: Option<f64>,
@@ -217,7 +218,6 @@ struct RunState {
     interval_queue_admits: PerDomain<u64>,
 
     stats: SimStats,
-    events: Option<EventTrace>,
 }
 
 impl Simulator {
@@ -252,6 +252,71 @@ impl Simulator {
         I: IntoIterator<Item = TraceItem>,
         H: SimHooks + ?Sized,
     {
+        if record_events {
+            let iter = trace.into_iter();
+            // Pre-size from the iterator's hint (exact for slices and packed
+            // cursors); a zero hint falls back to a modest starting size.
+            let hint = iter.size_hint().0;
+            let mut recorder = FullRecord {
+                trace: EventTrace::for_instructions(if hint > 0 { hint } else { 4096 }),
+            };
+            let stats = self.run_inner(iter, hooks, &mut recorder);
+            SimResult {
+                stats,
+                events: Some(recorder.trace),
+            }
+        } else {
+            let stats = self.run_inner(trace.into_iter(), hooks, &mut NoRecord);
+            SimResult {
+                stats,
+                events: None,
+            }
+        }
+    }
+
+    /// Runs the trace under `hooks` with *streaming windowed* event capture:
+    /// whenever `window_instructions` instructions have committed, the
+    /// recorded window (events in recording order, ids dense within the
+    /// window, edges restricted to pairs inside it) is handed to `sink` along
+    /// with its zero-based window index, and the buffer is reused for the
+    /// next window. The final partial window is flushed at the end of the
+    /// trace.
+    ///
+    /// The sink may `std::mem::take` the buffer to keep it (e.g. to send it
+    /// to a worker thread); otherwise the same allocation serves every
+    /// window, keeping peak recording memory at O(window) instead of
+    /// O(trace). The streamed windows are bit-identical to slicing a full
+    /// recording of the same run into `window_instructions` windows.
+    ///
+    /// The result's `events` field is `None`; every event was delivered
+    /// through the sink.
+    pub fn run_windowed<I, H, F>(
+        &self,
+        trace: I,
+        hooks: &mut H,
+        window_instructions: u64,
+        sink: F,
+    ) -> SimResult
+    where
+        I: IntoIterator<Item = TraceItem>,
+        H: SimHooks + ?Sized,
+        F: FnMut(u64, &mut EventTrace),
+    {
+        let mut recorder = WindowedRecord::new(window_instructions, sink);
+        let stats = self.run_inner(trace.into_iter(), hooks, &mut recorder);
+        recorder.finish();
+        SimResult {
+            stats,
+            events: None,
+        }
+    }
+
+    fn run_inner<I, H, R>(&self, trace: I, hooks: &mut H, recorder: &mut R) -> SimStats
+    where
+        I: Iterator<Item = TraceItem>,
+        H: SimHooks + ?Sized,
+        R: Recorder,
+    {
         let cfg = &self.config;
         let sync = if cfg.synchronization_enabled {
             let mut s = Synchronizer::new(cfg.sync_window_ps, cfg.jitter_sigma_ps, cfg.seed);
@@ -278,9 +343,9 @@ impl Simulator {
             fp_muls: UnitPool::new(cfg.fp_mult_units),
             mem_ports: UnitPool::new(DCACHE_PORTS),
             dep_ring: vec![(TimeNs::ZERO, Domain::Integer); DEP_RING],
-            dep_event_ring: vec![u32::MAX; DEP_RING],
+            dep_event_ring: vec![u64::MAX; DEP_RING],
             commit_ring: vec![TimeNs::ZERO; cfg.reorder_buffer as usize],
-            commit_event_ring: vec![u32::MAX; cfg.reorder_buffer as usize],
+            commit_event_ring: vec![u64::MAX; cfg.reorder_buffer as usize],
             pool_event_rings: Default::default(),
             redirect_event: None,
             last_commit: TimeNs::ZERO,
@@ -298,11 +363,6 @@ impl Simulator {
             interval_queue_util: PerDomain::default(),
             interval_queue_admits: PerDomain::default(),
             stats: SimStats::default(),
-            events: if record_events {
-                Some(EventTrace::with_capacity(4096))
-            } else {
-                None
-            },
         };
 
         if let Some(setting) = hooks.initial_setting() {
@@ -320,7 +380,7 @@ impl Simulator {
                     self.apply_action(&mut st, action);
                 }
                 TraceItem::Instr(instr) => {
-                    self.execute_instruction(&mut st, &instr, hooks);
+                    self.execute_instruction(&mut st, &instr, hooks, recorder);
                 }
             }
         }
@@ -339,10 +399,7 @@ impl Simulator {
         st.stats.l2_accesses = st.caches.l2().accesses();
         st.stats.l2_misses = st.caches.l2().misses();
 
-        SimResult {
-            stats: st.stats,
-            events: st.events,
-        }
+        st.stats
     }
 
     fn apply_action(&self, st: &mut RunState, action: HookAction) {
@@ -378,11 +435,12 @@ impl Simulator {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn execute_instruction<H: SimHooks + ?Sized>(
+    fn execute_instruction<H: SimHooks + ?Sized, R: Recorder>(
         &self,
         st: &mut RunState,
         instr: &crate::instruction::Instr,
         hooks: &mut H,
+        recorder: &mut R,
     ) {
         let cfg = &self.config;
         let i = st.instr_index;
@@ -481,7 +539,7 @@ impl Simulator {
         st.interval_queue_admits[exec_domain] += 1;
 
         // Operand readiness (data dependences), with cross-domain penalties.
-        let mut dep_event_ids: [u32; 2] = [u32::MAX; 2];
+        let mut dep_event_ids: [u64; 2] = [u64::MAX; 2];
         for (slot, dep) in [instr.dep1, instr.dep2].iter().enumerate() {
             if let Some(distance) = dep {
                 let d = *distance as u64;
@@ -596,13 +654,14 @@ impl Simulator {
         // ------------------------------------------------------------------
         // Event recording for off-line analysis.
         // ------------------------------------------------------------------
-        if let Some(mut events) = st.events.take() {
+        if R::ACTIVE {
             let region = st.current_region;
             let fe_pf = self.power.power_factor(Domain::FrontEnd);
             let ex_pf = self.power.power_factor(exec_domain);
             let (fe_id, ex_id, cm_id);
             {
-                let events = &mut events;
+                let events = &mut *recorder;
+                events.begin_instruction(i);
                 fe_id = events.push_event(PrimitiveEvent {
                     instr_index: i as u32,
                     kind: EventKind::FrontEnd,
@@ -637,7 +696,7 @@ impl Simulator {
                     events.push_edge(prev, fe_id);
                 }
                 events.push_edge(fe_id, ex_id);
-                for dep_id in dep_event_ids.iter().filter(|&&d| d != u32::MAX) {
+                for dep_id in dep_event_ids.iter().filter(|&&d| d != u64::MAX) {
                     events.push_edge(*dep_id, ex_id);
                 }
                 events.push_edge(ex_id, cm_id);
@@ -654,7 +713,7 @@ impl Simulator {
                 let rob_size = cfg.reorder_buffer as usize;
                 if i as usize >= rob_size {
                     let cid = st.commit_event_ring[(i as usize - rob_size) % rob_size];
-                    if cid != u32::MAX {
+                    if cid != u64::MAX {
                         events.push_edge(cid, fe_id);
                     }
                 }
@@ -682,7 +741,6 @@ impl Simulator {
             st.prev_fe_event = Some(fe_id);
             st.prev_cm_event = Some(cm_id);
             st.dep_event_ring[(i as usize) % DEP_RING] = ex_id;
-            st.events = Some(events);
         }
 
         // ------------------------------------------------------------------
@@ -900,6 +958,63 @@ mod tests {
         for e in events.edges() {
             assert!(e.from < e.to);
         }
+    }
+
+    #[test]
+    fn windowed_capture_matches_sliced_full_recording() {
+        let sim = Simulator::new(MachineConfig::default());
+        let n = 2500;
+        let window = 400u64;
+        let full = sim
+            .run(mixed_trace(n), &mut NullHooks, true)
+            .events
+            .expect("full recording");
+
+        let mut windows: Vec<EventTrace> = Vec::new();
+        let windowed = sim.run_windowed(mixed_trace(n), &mut NullHooks, window, |idx, buf| {
+            assert_eq!(idx as usize, windows.len(), "windows arrive in order");
+            windows.push(std::mem::take(buf));
+        });
+        assert!(windowed.events.is_none());
+        assert_eq!(windows.len() as u64, (n as u64).div_ceil(window));
+
+        // Reference: slice the full recording by instruction window.
+        let window_of = |instr: u32| instr as u64 / window;
+        let mut expected = vec![EventTrace::new(); windows.len()];
+        let mut id_map = vec![u32::MAX; full.len()];
+        for (id, ev) in full.events().iter().enumerate() {
+            let w = window_of(ev.instr_index) as usize;
+            id_map[id] = expected[w].push_event(*ev);
+        }
+        for edge in full.edges() {
+            let (wf, wt) = (
+                window_of(full.events()[edge.from as usize].instr_index),
+                window_of(full.events()[edge.to as usize].instr_index),
+            );
+            if wf == wt {
+                expected[wf as usize]
+                    .push_edge(id_map[edge.from as usize], id_map[edge.to as usize]);
+            }
+        }
+        for (i, (got, want)) in windows.iter().zip(&expected).enumerate() {
+            assert_eq!(got.events(), want.events(), "window {i} events diverged");
+            assert_eq!(got.edges(), want.edges(), "window {i} edges diverged");
+        }
+    }
+
+    #[test]
+    fn windowed_capture_stats_match_full_run() {
+        let sim = Simulator::new(MachineConfig::default());
+        let plain = sim.run(mixed_trace(1500), &mut NullHooks, false);
+        let windowed = sim.run_windowed(mixed_trace(1500), &mut NullHooks, 250, |_, _| {});
+        assert_eq!(
+            plain.stats.run_time.as_ns().to_bits(),
+            windowed.stats.run_time.as_ns().to_bits()
+        );
+        assert_eq!(
+            plain.stats.total_energy.as_units().to_bits(),
+            windowed.stats.total_energy.as_units().to_bits()
+        );
     }
 
     #[test]

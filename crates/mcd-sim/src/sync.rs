@@ -65,6 +65,73 @@ impl JitterRng {
     }
 }
 
+/// Splits `a * b` into an exact double-double `(hi, lo)` pair
+/// (`hi + lo == a * b` exactly) using Dekker's algorithm — no FMA required.
+#[inline]
+fn two_product(a: f64, b: f64) -> (f64, f64) {
+    const SPLIT: f64 = 134_217_729.0; // 2^27 + 1
+    let p = a * b;
+    let t = SPLIT * a;
+    let ah = t - (t - a);
+    let al = a - ah;
+    let t = SPLIT * b;
+    let bh = t - (t - b);
+    let bl = b - bh;
+    let err = ((ah * bh - p) + ah * bl + al * bh) + al * bl;
+    (p, err)
+}
+
+/// `x.rem_euclid(y)` for finite `x` and finite `y > 0`, bit-identical to the
+/// standard library, without the libm `fmod` call.
+///
+/// glibc's `fmod` reduces the exponent gap iteratively, so its cost grows
+/// with `x / y` — and the synchronizer calls it per crossing with `x` the
+/// wall-clock time in picoseconds and `y` one clock period, a quotient in the
+/// millions. This showed up as roughly 40% of every simulation pass.
+///
+/// The replacement exploits that IEEE remainders are *exact* (the result is
+/// always representable, no rounding happens), so any algorithm that computes
+/// the same real number agrees bit-for-bit:
+///
+/// * `q = floor(x / y)` is within one of the true quotient because
+///   `x / y` stays far below 2^53 here (guarded below; larger quotients fall
+///   back to `rem_euclid`).
+/// * `q * y` is computed exactly as a `hi + lo` double-double
+///   ([`two_product`]), and `x - hi` is exact by Sterbenz's lemma (`hi` is
+///   within a factor of two of `x`), so `(x - hi) - lo` is the correctly
+///   rounded value of the real number `x - q * y`.
+/// * If `q` was off by one, the result's sign/range says so and the loop
+///   re-reduces with the corrected `q`; once `q` is the true floor the real
+///   result is `x` mod `y`, exactly the value `rem_euclid` produces (for
+///   negative `x`, both round the same real `fmod(x, y) + y`).
+#[inline]
+fn exact_rem_euclid(x: f64, y: f64) -> f64 {
+    let quotient = x / y;
+    // The negated form keeps NaN quotients on the fallback path.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(quotient.abs() < 9.0e15) || !y.is_finite() {
+        // Out of the exactness envelope (or NaN/inf operands): libm path.
+        return x.rem_euclid(y);
+    }
+    let mut q = quotient.floor();
+    for _ in 0..4 {
+        let (hi, lo) = two_product(q, y);
+        let r = (x - hi) - lo;
+        if r < 0.0 {
+            q -= 1.0;
+        } else if r >= y {
+            q += 1.0;
+        } else if r == 0.0 && x.is_sign_negative() {
+            // `rem_euclid` inherits fmod's zero sign: a negative multiple of
+            // `y` yields -0.0 (`-0.0 % y` is -0.0, which is not `< 0.0`).
+            return -0.0;
+        } else {
+            return r;
+        }
+    }
+    x.rem_euclid(y)
+}
+
 /// Outcome of one domain-crossing query.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossingOutcome {
@@ -190,7 +257,7 @@ impl Synchronizer {
         let now_ps = now.as_ns() * 1000.0;
         let jitter = self.rng.next_normal() * self.jitter_sigma_ps
             - self.rng.next_normal() * self.jitter_sigma_ps;
-        let phase = (now_ps + jitter).rem_euclid(t_cons);
+        let phase = exact_rem_euclid(now_ps + jitter, t_cons);
         let distance_to_next_edge = t_cons - phase;
 
         if distance_to_next_edge < window {
@@ -230,6 +297,45 @@ mod tests {
         let mut b = JitterRng::new(42);
         for _ in 0..100 {
             assert_eq!(a.next_uniform(), b.next_uniform());
+        }
+    }
+
+    #[test]
+    fn exact_rem_euclid_matches_std_bit_for_bit() {
+        let mut rng = JitterRng::new(0xFEED);
+        for i in 0..200_000 {
+            // Representative crossing inputs: periods in [250, 4000] ps,
+            // times from sub-period up to ~1e10 ps, jitter can push x negative.
+            let y = 250.0 + rng.next_uniform() * 3750.0;
+            let scale = 10f64.powf(rng.next_uniform() * 10.0);
+            let mut x = rng.next_uniform() * scale;
+            if i % 7 == 0 {
+                x = -rng.next_uniform() * 1500.0;
+            }
+            if i % 11 == 0 {
+                x = (x / y).round() * y; // near-multiple edge cases
+            }
+            let got = exact_rem_euclid(x, y);
+            let want = x.rem_euclid(y);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "x={x:?} y={y:?} got={got:?} want={want:?}"
+            );
+        }
+        // Out-of-envelope and special inputs fall back to the std result.
+        for (x, y) in [
+            (1.0e18, 3.0),
+            (f64::INFINITY, 2.0),
+            (5.0, f64::INFINITY),
+            (0.0, 7.5),
+            (-0.0, 7.5),
+        ] {
+            assert_eq!(
+                exact_rem_euclid(x, y).to_bits(),
+                x.rem_euclid(y).to_bits(),
+                "x={x:?} y={y:?}"
+            );
         }
     }
 

@@ -17,6 +17,7 @@ use crate::mix::InstructionMix;
 use crate::program::{Element, InputKind, Program, Subroutine};
 use crate::rng::WorkloadRng;
 use mcd_sim::instruction::{CallSiteId, Instr, InstrClass, Marker, TraceItem};
+use mcd_sim::trace::PackedTrace;
 
 /// Call-site value used for the program entry point (`main` has no caller).
 pub const ROOT_CALL_SITE: CallSiteId = CallSiteId(u32::MAX);
@@ -33,25 +34,41 @@ impl<'a> TraceGenerator<'a> {
         TraceGenerator { program }
     }
 
-    /// Generates the dynamic trace of the program under `input`, truncated to
-    /// the input's instruction window.
-    pub fn generate(&self, input: &InputSet) -> Vec<TraceItem> {
+    /// Generates the dynamic trace of the program under `input` directly into
+    /// the compact [`PackedTrace`] encoding, truncated to the input's
+    /// instruction window. This is the primary entry point of the hot path:
+    /// no `Vec<TraceItem>` is ever materialized.
+    pub fn generate_packed(&self, input: &InputSet) -> PackedTrace {
         let mut ctx = GenContext {
             program: self.program,
             input_kind: input.kind,
             budget: input.max_instructions,
             emitted: 0,
             rng: WorkloadRng::seed_from_u64(input.seed ^ hash_name(&self.program.name)),
-            trace: Vec::with_capacity(input.max_instructions.min(1 << 22) as usize),
+            trace: PackedTrace::with_capacity(input.max_instructions.min(1 << 22) as usize),
             block_positions: 0,
         };
         let entry = self.program.subroutine(self.program.entry);
         ctx.emit_subroutine(entry, ROOT_CALL_SITE, 1.0);
         ctx.trace
     }
+
+    /// Generates the dynamic trace in the legacy item representation
+    /// (a decode of [`TraceGenerator::generate_packed`], bit-identical to the
+    /// historical output).
+    pub fn generate(&self, input: &InputSet) -> Vec<TraceItem> {
+        self.generate_packed(input).to_items()
+    }
 }
 
-/// Convenience wrapper: generate the trace of `program` under `input`.
+/// Convenience wrapper: generate the packed trace of `program` under `input`.
+pub fn generate_packed(program: &Program, input: &InputSet) -> PackedTrace {
+    TraceGenerator::new(program).generate_packed(input)
+}
+
+/// Convenience wrapper: generate the trace of `program` under `input` as
+/// legacy items (decoded from the packed encoding; prefer [`generate_packed`]
+/// on hot paths).
 pub fn generate_trace(program: &Program, input: &InputSet) -> Vec<TraceItem> {
     TraceGenerator::new(program).generate(input)
 }
@@ -72,7 +89,7 @@ struct GenContext<'a> {
     budget: u64,
     emitted: u64,
     rng: WorkloadRng,
-    trace: Vec<TraceItem>,
+    trace: PackedTrace,
     /// Monotone counter giving each block execution a distinct phase for its
     /// strided address stream.
     block_positions: u64,
@@ -87,14 +104,13 @@ impl GenContext<'_> {
         if self.exhausted() {
             return;
         }
-        self.trace.push(TraceItem::Marker(Marker::SubroutineEnter {
+        self.trace.push_marker(&Marker::SubroutineEnter {
             subroutine: sub.id,
             call_site: site,
-        }));
+        });
         self.emit_elements(&sub.body, sub, 0, intensity);
-        self.trace.push(TraceItem::Marker(Marker::SubroutineExit {
-            subroutine: sub.id,
-        }));
+        self.trace
+            .push_marker(&Marker::SubroutineExit { subroutine: sub.id });
     }
 
     fn emit_elements(
@@ -130,7 +146,7 @@ impl GenContext<'_> {
                         continue;
                     }
                     self.trace
-                        .push(TraceItem::Marker(Marker::LoopEnter { loop_id: spec.id }));
+                        .push_marker(&Marker::LoopEnter { loop_id: spec.id });
                     let back_edge_pc = block_pc_base(sub.id.0, depth, idx as u32) | 0xF00;
                     for trip in 0..trips {
                         if self.exhausted() {
@@ -145,7 +161,7 @@ impl GenContext<'_> {
                         self.push_instr(Instr::branch(back_edge_pc, taken, back_edge_pc & !0xFFF));
                     }
                     self.trace
-                        .push(TraceItem::Marker(Marker::LoopExit { loop_id: spec.id }));
+                        .push_marker(&Marker::LoopExit { loop_id: spec.id });
                 }
                 Element::Call(call) => {
                     let callee = self.program.subroutine(call.callee);
@@ -238,7 +254,7 @@ impl GenContext<'_> {
     }
 
     fn push_instr(&mut self, instr: Instr) {
-        self.trace.push(TraceItem::Instr(instr));
+        self.trace.push_instr(&instr);
         self.emitted += 1;
     }
 }

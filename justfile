@@ -25,8 +25,20 @@ lint:
 fmt:
     cargo fmt
 
-# Run the timing benchmarks (the dependency-free harness in crates/mcd-bench).
+# Run the tracked macro-benchmark harness: times trace generation, baseline
+# simulation, streaming capture+analysis and a cold fig4 --quick evaluation
+# (each stage in a fresh child process, median of 3), and writes BENCH_5.json.
+# See README "Performance" for the schema and the committed trajectory.
 bench:
+    cargo run --release --bin perf_report
+
+# Compare a fresh bench run against the committed BENCH_5.json and fail on a
+# >25% fig4-quick regression (the CI gate).
+bench-check:
+    cargo run --release --bin perf_report -- --check BENCH_5.json --out /tmp/bench-check.json
+
+# Run the micro-benchmarks (the criterion-style harness in crates/mcd-bench).
+microbench:
     cargo bench
 
 # Streaming-evaluation smoke test: three jobs on one Evaluator, asserting

@@ -9,8 +9,8 @@ use mcd_dvfs::offline::OfflineConfig;
 use mcd_dvfs::pipeline::AnalysisPipeline;
 use mcd_dvfs::service::{EvalJob, Evaluator};
 use mcd_sim::config::MachineConfig;
-use mcd_sim::instruction::TraceItem;
-use mcd_workloads::generator::generate_trace;
+use mcd_sim::trace::PackedTrace;
+use mcd_workloads::generator::generate_packed;
 use mcd_workloads::suite;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,12 +60,9 @@ fn evaluate(
         .remove(0)
 }
 
-fn small_trace() -> Vec<TraceItem> {
+fn small_trace() -> PackedTrace {
     let bench = suite::benchmark("gsm decode").expect("known benchmark");
-    generate_trace(&bench.program, &bench.inputs.training)
-        .into_iter()
-        .take(60_000)
-        .collect()
+    generate_packed(&bench.program, &bench.inputs.training).truncated(60_000)
 }
 
 fn assert_evaluations_bit_identical(a: &BenchmarkEvaluation, b: &BenchmarkEvaluation) {
@@ -115,6 +112,50 @@ fn window_parallel_analysis_is_deterministic_across_parallelism_levels() {
     }
 }
 
+/// The streaming capture stage holds O(window) events, not O(trace): a long
+/// trace analysed with a small window budget must never have more than a few
+/// windows' worth of primitive events resident, serially (one reused buffer)
+/// or in the bounded-channel parallel path.
+#[test]
+fn streaming_capture_memory_is_bounded_by_the_window() {
+    let trace = small_trace();
+    let machine = MachineConfig::default();
+    let config = OfflineConfig {
+        window_instructions: 1_000,
+        ..OfflineConfig::default()
+    };
+    let simulator = mcd_sim::simulator::Simulator::new(machine.clone());
+    let window_events = 1_000 * mcd_sim::events::EVENTS_PER_INSTRUCTION;
+    let total_events = trace.instructions() as usize * mcd_sim::events::EVENTS_PER_INSTRUCTION;
+
+    let (schedule, report) = AnalysisPipeline::new(config).analyze_with_report(&simulator, &trace);
+    assert_eq!(report.windows as usize, schedule.len());
+    assert!(report.windows > 40, "the trace spans many windows");
+    assert!(
+        report.peak_resident_events <= 2 * window_events,
+        "serial capture must reuse one window buffer: peak {} vs window {}",
+        report.peak_resident_events,
+        window_events
+    );
+    assert!(report.peak_resident_events * 10 < total_events);
+
+    // The parallel path buffers at most the channel bound plus in-flight
+    // windows — still independent of the trace length — and the schedule is
+    // bit-identical.
+    let workers = 4;
+    let (parallel_schedule, parallel_report) = AnalysisPipeline::new(config)
+        .with_parallelism(workers)
+        .analyze_with_report(&simulator, &trace);
+    assert_eq!(parallel_schedule, schedule);
+    assert!(
+        parallel_report.peak_resident_events <= (3 * workers + 2) * window_events,
+        "parallel capture must stay bounded: peak {} vs window {}",
+        parallel_report.peak_resident_events,
+        window_events
+    );
+    assert!(parallel_report.peak_resident_events * 4 < total_events);
+}
+
 #[test]
 fn offline_schedule_cache_round_trip_is_bit_identical() {
     let dir = TempCacheDir::new("schedule-roundtrip");
@@ -153,7 +194,11 @@ fn corrupted_artifact_falls_back_to_recompute() {
     let config = EvaluationConfig::default().with_cache(cache.clone());
 
     let cold = evaluate(&bench, &config);
-    assert_eq!(cache.stats().writes, 2, "schedule + training plan written");
+    assert_eq!(
+        cache.stats().writes,
+        3,
+        "reference trace + schedule + training plan written"
+    );
 
     // Trash both artifacts in place.
     for entry in cache.entries() {
@@ -228,28 +273,29 @@ fn registry_evaluation_transparently_reuses_artifacts() {
     let cold = evaluate(&bench, &config);
     let after_cold = cache.stats();
     assert_eq!(after_cold.hits, 0);
-    assert_eq!(after_cold.misses, 2);
-    assert_eq!(after_cold.writes, 2);
+    assert_eq!(after_cold.misses, 3);
+    assert_eq!(after_cold.writes, 3);
 
     let warm = evaluate(&bench, &config);
     let after_warm = cache.stats();
     assert_eq!(
-        after_warm.hits, 2,
-        "offline schedule + training plan reused"
+        after_warm.hits, 3,
+        "reference trace + offline schedule + training plan reused"
     );
-    assert_eq!(after_warm.misses, 2, "no new misses on the warm run");
+    assert_eq!(after_warm.misses, 3, "no new misses on the warm run");
     assert_eq!(
-        after_warm.writes, 2,
+        after_warm.writes, 3,
         "nothing recomputed, nothing rewritten"
     );
     assert_evaluations_bit_identical(&cold, &warm);
 
-    // A different analysis configuration must not reuse the artifacts.
+    // A different analysis configuration must not reuse the analysis
+    // artifacts; the machine-independent reference trace is still shared.
     let other = evaluate(&bench, &config.clone().with_slowdown(0.14));
     let after_other = cache.stats();
-    assert_eq!(after_other.hits, 2);
-    assert_eq!(after_other.misses, 4);
-    assert_eq!(after_other.writes, 4);
+    assert_eq!(after_other.hits, 4, "the trace artifact is config-agnostic");
+    assert_eq!(after_other.misses, 5);
+    assert_eq!(after_other.writes, 5);
     assert_ne!(
         other.require("offline").unwrap().stats.run_time,
         warm.require("offline").unwrap().stats.run_time

@@ -22,7 +22,8 @@ use mcd_sim::instruction::{CallSiteId, Instr, InstrClass, Marker, SubroutineId, 
 use mcd_sim::resources::{OccupancyQueue, StagePacer, UnitPool};
 use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_sim::time::{MegaHertz, TimeNs};
-use mcd_workloads::generator::generate_trace;
+use mcd_sim::trace::PackedTrace;
+use mcd_workloads::generator::{generate_packed, generate_trace};
 use mcd_workloads::mix::InstructionMix;
 use mcd_workloads::program::TripCount;
 use mcd_workloads::rng::WorkloadRng;
@@ -165,6 +166,114 @@ fn stage_pacer_never_exceeds_width() {
     }
 }
 
+/// Generates one pseudo-random trace item, covering every instruction class,
+/// every marker kind, optional dependences, memory payloads and branch
+/// payloads with extreme values mixed in.
+fn arbitrary_item(cases: &mut Cases) -> TraceItem {
+    use mcd_sim::instruction::LoopId;
+    let pick = cases.usize(0, 12);
+    if pick < 8 {
+        let class = InstrClass::ALL[pick];
+        let pc = if cases.usize(0, 16) == 0 {
+            u64::MAX - cases.u32(0, 1000) as u64
+        } else {
+            0x40_0000 + cases.u32(0, 1 << 20) as u64
+        };
+        let mut instr = Instr::op(pc, class);
+        if cases.usize(0, 2) == 0 {
+            instr = instr.with_dep1(cases.u32(1, u16::MAX as u32 + 1) as u16);
+        }
+        if cases.usize(0, 3) == 0 {
+            instr = instr.with_dep2(cases.u32(1, u16::MAX as u32 + 1) as u16);
+        }
+        // Payloads are attached independently of the class: the encoding must
+        // round-trip whatever the `Instr` struct can hold.
+        if class.is_memory() || cases.usize(0, 8) == 0 {
+            instr.mem_addr = Some(if cases.usize(0, 16) == 0 {
+                u64::MAX
+            } else {
+                cases.u32(0, u32::MAX) as u64
+            });
+        }
+        if class == InstrClass::Branch || cases.usize(0, 8) == 0 {
+            instr.branch = Some(mcd_sim::instruction::BranchInfo {
+                taken: cases.usize(0, 2) == 0,
+                target: cases.u32(0, u32::MAX) as u64,
+            });
+        }
+        TraceItem::Instr(instr)
+    } else {
+        TraceItem::Marker(match pick {
+            8 => Marker::SubroutineEnter {
+                subroutine: SubroutineId(cases.u32(0, u32::MAX)),
+                call_site: CallSiteId(cases.u32(0, u32::MAX)),
+            },
+            9 => Marker::SubroutineExit {
+                subroutine: SubroutineId(cases.u32(0, u32::MAX)),
+            },
+            10 => Marker::LoopEnter {
+                loop_id: LoopId(cases.u32(0, u32::MAX)),
+            },
+            _ => Marker::LoopExit {
+                loop_id: LoopId(cases.u32(0, u32::MAX)),
+            },
+        })
+    }
+}
+
+/// The packed encoding round-trips arbitrary trace items bit-for-bit: encode,
+/// decode (via cursor and via the codec's raw parts) and compare, across all
+/// instruction classes, marker kinds and payload combinations.
+#[test]
+fn packed_trace_round_trips_arbitrary_items() {
+    let mut cases = Cases::new(0x9AC7ED);
+    for _ in 0..200 {
+        let n = cases.usize(0, 400);
+        let items: Vec<TraceItem> = (0..n).map(|_| arbitrary_item(&mut cases)).collect();
+        let packed = PackedTrace::from_items(&items);
+        assert_eq!(packed.len(), items.len());
+        assert_eq!(
+            packed.instructions() as usize,
+            items.iter().filter(|i| i.as_instr().is_some()).count()
+        );
+        assert_eq!(packed.to_items(), items, "cursor decode diverged");
+
+        // A second encode of the decode is byte-equal (stable fixed point).
+        assert_eq!(PackedTrace::from_items(&packed.to_items()), packed);
+
+        // Truncation at an arbitrary point matches item-level truncation.
+        let cut = cases.usize(0, n + 1);
+        let truncated = packed.truncated(cut);
+        assert_eq!(truncated.to_items(), items[..cut].to_vec());
+    }
+}
+
+/// The generator's packed output decodes to exactly the legacy item trace,
+/// and simulating either representation produces bit-identical statistics —
+/// the golden-harness guarantee, asserted directly at the encoding seam.
+#[test]
+fn packed_and_item_traces_simulate_identically() {
+    let bench = mcd_workloads::suite::benchmark("gsm decode").expect("known benchmark");
+    let packed = generate_packed(&bench.program, &bench.inputs.training);
+    let items = generate_trace(&bench.program, &bench.inputs.training);
+    assert_eq!(packed.to_items(), items);
+    assert_eq!(packed.len(), items.len());
+
+    let sim = Simulator::new(MachineConfig::default());
+    let from_packed = sim.run(packed.iter(), &mut NullHooks, false).stats;
+    let from_items = sim.run(items.iter().copied(), &mut NullHooks, false).stats;
+    assert_eq!(
+        from_packed.run_time.as_ns().to_bits(),
+        from_items.run_time.as_ns().to_bits()
+    );
+    assert_eq!(
+        from_packed.total_energy.as_units().to_bits(),
+        from_items.total_energy.as_units().to_bits()
+    );
+    assert_eq!(from_packed.sync_stalls, from_items.sync_stalls);
+    assert_eq!(from_packed.instructions, from_items.instructions);
+}
+
 /// The shaker never shrinks an event, never stretches beyond the quarter
 /// frequency limit, and never violates a recorded dependence edge.
 #[test]
@@ -203,8 +312,8 @@ fn shaker_respects_edges_and_limits() {
         }
         let mut dag = DependenceDag::from_trace(&trace);
         Shaker::new().shake(&mut dag);
-        let events = dag.events();
-        for e in events {
+        let events = dag.snapshot();
+        for e in &events {
             assert!(e.scale >= 1.0 - 1e-9);
             assert!(e.scale <= MAX_STRETCH + 1e-9);
             assert!(e.end.as_ns() + 1e-6 >= e.start.as_ns());
