@@ -11,13 +11,17 @@
 //! `.mcd-cache` directory (an empty value, `0` or `off` disables caching) and
 //! `MCD_NO_CACHE=1` disables it outright.
 
-use crate::artifact::codec::{self, TrainingArtifact};
+use crate::artifact::codec::{self, TrainingArtifact, TrainingHistogramsArtifact};
 use crate::artifact::key::ArtifactKey;
+use crate::histogram::RegionHistograms;
 use crate::offline::OfflineSchedule;
+use mcd_sim::freq::FrequencyGrid;
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Default cache directory, relative to the working directory (git-ignored).
 pub const DEFAULT_CACHE_DIR: &str = ".mcd-cache";
@@ -68,6 +72,10 @@ pub struct ArtifactCache {
     misses: AtomicU64,
     writes: AtomicU64,
     errors: AtomicU64,
+    /// Per-kind counter snapshots, keyed by the artifact kind. The incremental
+    /// re-analysis tests (and the CI smoke steps) assert on *which* kinds
+    /// missed, not just how many lookups did.
+    by_kind: Mutex<HashMap<&'static str, CacheStats>>,
 }
 
 /// Resolves the effective cache directory from environment-shaped inputs
@@ -137,16 +145,42 @@ impl ArtifactCache {
         }
     }
 
-    fn hit(&self) {
+    /// The counters of one artifact kind (zeros for a kind never looked up).
+    pub fn kind_stats(&self, kind: &str) -> CacheStats {
+        self.by_kind
+            .lock()
+            .expect("kind-stats lock never poisoned")
+            .get(kind)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Counters of every kind this cache has touched, sorted by kind name.
+    pub fn kind_stats_all(&self) -> Vec<(&'static str, CacheStats)> {
+        let map = self.by_kind.lock().expect("kind-stats lock never poisoned");
+        let mut all: Vec<_> = map.iter().map(|(k, s)| (*k, *s)).collect();
+        all.sort_by_key(|(k, _)| *k);
+        all
+    }
+
+    fn for_kind(&self, kind: &'static str, update: impl FnOnce(&mut CacheStats)) {
+        let mut map = self.by_kind.lock().expect("kind-stats lock never poisoned");
+        update(map.entry(kind).or_default());
+    }
+
+    fn hit(&self, kind: &'static str) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        self.for_kind(kind, |s| s.hits += 1);
     }
 
-    fn miss(&self) {
+    fn miss(&self, kind: &'static str) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.for_kind(kind, |s| s.misses += 1);
     }
 
-    fn error(&self) {
+    fn error(&self, kind: &'static str) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+        self.for_kind(kind, |s| s.errors += 1);
     }
 
     /// Reads an artifact's raw bytes without touching the counters.
@@ -156,8 +190,35 @@ impl ArtifactCache {
             Ok(bytes) => Some(bytes),
             Err(err) => {
                 if err.kind() != io::ErrorKind::NotFound {
-                    self.error();
+                    self.error(key.kind);
                 }
+                None
+            }
+        }
+    }
+
+    /// The shared lookup path: read, decode, count. A found-but-undecodable
+    /// artifact counts as an error plus a miss and falls back to
+    /// recomputation.
+    fn load_with<T>(
+        &self,
+        key: &ArtifactKey,
+        decode: impl FnOnce(&[u8]) -> Result<T, codec::CodecError>,
+    ) -> Option<T> {
+        let Some(bytes) = self.read_raw(key) else {
+            if self.is_enabled() {
+                self.miss(key.kind);
+            }
+            return None;
+        };
+        match decode(&bytes) {
+            Ok(value) => {
+                self.hit(key.kind);
+                Some(value)
+            }
+            Err(_) => {
+                self.error(key.kind);
+                self.miss(key.kind);
                 None
             }
         }
@@ -179,34 +240,19 @@ impl ArtifactCache {
         match written {
             Ok(()) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
+                self.for_kind(key.kind, |s| s.writes += 1);
             }
             Err(_) => {
                 let _ = fs::remove_file(&tmp);
-                self.error();
+                self.error(key.kind);
             }
         }
     }
 
-    /// Looks up an off-line schedule. A found-but-undecodable artifact counts
-    /// as an error plus a miss and falls back to recomputation.
+    /// Looks up an off-line schedule (see [`ArtifactCache::load_with`] for
+    /// the counting rules).
     pub fn load_schedule(&self, key: &ArtifactKey) -> Option<OfflineSchedule> {
-        let Some(bytes) = self.read_raw(key) else {
-            if self.is_enabled() {
-                self.miss();
-            }
-            return None;
-        };
-        match codec::decode_schedule(&bytes) {
-            Ok(schedule) => {
-                self.hit();
-                Some(schedule)
-            }
-            Err(_) => {
-                self.error();
-                self.miss();
-                None
-            }
-        }
+        self.load_with(key, codec::decode_schedule)
     }
 
     /// Stores an off-line schedule under `key`.
@@ -216,26 +262,10 @@ impl ArtifactCache {
         }
     }
 
-    /// Looks up a cached packed trace (see [`ArtifactCache::load_schedule`]
-    /// for the counting rules).
+    /// Looks up a cached packed trace (see [`ArtifactCache::load_with`] for
+    /// the counting rules).
     pub fn load_trace(&self, key: &ArtifactKey) -> Option<mcd_sim::trace::PackedTrace> {
-        let Some(bytes) = self.read_raw(key) else {
-            if self.is_enabled() {
-                self.miss();
-            }
-            return None;
-        };
-        match codec::decode_trace(&bytes) {
-            Ok(trace) => {
-                self.hit();
-                Some(trace)
-            }
-            Err(_) => {
-                self.error();
-                self.miss();
-                None
-            }
-        }
+        self.load_with(key, codec::decode_trace)
     }
 
     /// Stores a packed trace under `key`.
@@ -245,32 +275,64 @@ impl ArtifactCache {
         }
     }
 
-    /// Looks up a training artifact (see [`ArtifactCache::load_schedule`] for
+    /// Looks up a training artifact (see [`ArtifactCache::load_with`] for
     /// the counting rules).
     pub fn load_training(&self, key: &ArtifactKey) -> Option<TrainingArtifact> {
-        let Some(bytes) = self.read_raw(key) else {
-            if self.is_enabled() {
-                self.miss();
-            }
-            return None;
-        };
-        match codec::decode_training(&bytes) {
-            Ok(artifact) => {
-                self.hit();
-                Some(artifact)
-            }
-            Err(_) => {
-                self.error();
-                self.miss();
-                None
-            }
-        }
+        self.load_with(key, codec::decode_training)
     }
 
     /// Stores a training artifact under `key`.
     pub fn store_training(&self, key: &ArtifactKey, artifact: &TrainingArtifact) {
         if self.is_enabled() {
             self.store_raw(key, &codec::encode_training(artifact));
+        }
+    }
+
+    /// Looks up the per-window shaker histograms of an off-line analysis —
+    /// the slowdown-independent half of the pipeline. The grid must be the
+    /// machine's frequency grid (a mismatch decodes as an error).
+    pub fn load_window_histograms(
+        &self,
+        key: &ArtifactKey,
+        grid: &FrequencyGrid,
+    ) -> Option<Vec<Option<RegionHistograms>>> {
+        self.load_with(key, |bytes| codec::decode_window_histograms(bytes, grid))
+    }
+
+    /// Stores per-window shaker histograms under `key`.
+    pub fn store_window_histograms(
+        &self,
+        key: &ArtifactKey,
+        windows: &[Option<RegionHistograms>],
+        grid: &FrequencyGrid,
+    ) {
+        if self.is_enabled() {
+            self.store_raw(key, &codec::encode_window_histograms(windows, grid.len()));
+        }
+    }
+
+    /// Looks up the per-region training histograms — the slowdown-independent
+    /// half of profile training.
+    pub fn load_training_histograms(
+        &self,
+        key: &ArtifactKey,
+        grid: &FrequencyGrid,
+    ) -> Option<TrainingHistogramsArtifact> {
+        self.load_with(key, |bytes| codec::decode_training_histograms(bytes, grid))
+    }
+
+    /// Stores per-region training histograms under `key`.
+    pub fn store_training_histograms(
+        &self,
+        key: &ArtifactKey,
+        artifact: &TrainingHistogramsArtifact,
+        grid: &FrequencyGrid,
+    ) {
+        if self.is_enabled() {
+            self.store_raw(
+                key,
+                &codec::encode_training_histograms(artifact, grid.len()),
+            );
         }
     }
 
@@ -454,6 +516,43 @@ mod tests {
         let entries = cache.entries();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].name, key.file_name());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn per_kind_counters_separate_artifact_families() {
+        let dir = unique_dir("kinds");
+        let cache = ArtifactCache::new(&dir);
+        let key = sample_key();
+        assert_eq!(cache.load_schedule(&key), None);
+        cache.store_schedule(&key, &sample_schedule());
+        assert_eq!(cache.load_schedule(&key), Some(sample_schedule()));
+
+        let grid = mcd_sim::freq::FrequencyGrid::default();
+        let hist_key = crate::artifact::key::window_histograms_key(
+            "mcf",
+            &InputSet::reference(10_000),
+            10_000,
+            &MachineConfig::default(),
+            &OfflineConfig::default(),
+        );
+        let windows = vec![None, Some(crate::histogram::RegionHistograms::new(&grid))];
+        assert!(cache.load_window_histograms(&hist_key, &grid).is_none());
+        cache.store_window_histograms(&hist_key, &windows, &grid);
+        let loaded = cache
+            .load_window_histograms(&hist_key, &grid)
+            .expect("round trip");
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded[0].is_none());
+
+        let sched = cache.kind_stats("offline-schedule");
+        assert_eq!((sched.hits, sched.misses, sched.writes), (1, 1, 1));
+        let hist = cache.kind_stats("window-histograms");
+        assert_eq!((hist.hits, hist.misses, hist.writes), (1, 1, 1));
+        assert_eq!(cache.kind_stats("training-plan"), CacheStats::default());
+        // The global counters are the per-kind sums.
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.writes), (2, 2, 2));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -14,11 +14,13 @@
 //! so a decoded [`OfflineSchedule`] is bit-identical to the one that was
 //! encoded.
 
+use crate::histogram::{DomainHistogram, RegionHistograms};
 use crate::offline::OfflineSchedule;
 use mcd_profiling::call_tree::NodeId;
 use mcd_profiling::edit::NodeKey;
 use mcd_sim::domain::{Domain, PerDomain};
 use mcd_sim::fingerprint::Fnv1a;
+use mcd_sim::freq::FrequencyGrid;
 use mcd_sim::instruction::{LoopId, SubroutineId};
 use mcd_sim::reconfig::FrequencySetting;
 use mcd_sim::stats::SimStats;
@@ -424,6 +426,158 @@ pub fn decode_training(data: &[u8]) -> Result<TrainingArtifact, CodecError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Histogram payloads (the slowdown-independent halves of the two analyses).
+
+/// Writes one region's histograms: every domain's raw bins, lowest frequency
+/// first. The bin count is written once per artifact (all histograms share
+/// the machine's grid), so the per-region payload is the bins alone.
+fn put_histograms(w: &mut Writer, histograms: &RegionHistograms) {
+    for d in Domain::ALL {
+        for &bin in histograms.domain(d).bins() {
+            w.put_f64(bin);
+        }
+    }
+}
+
+fn get_histograms(
+    r: &mut Reader<'_>,
+    grid: &FrequencyGrid,
+    bins: usize,
+) -> Result<RegionHistograms, CodecError> {
+    let mut histograms = RegionHistograms::new(grid);
+    for d in Domain::ALL {
+        let mut raw = Vec::with_capacity(bins);
+        for _ in 0..bins {
+            raw.push(r.f64()?);
+        }
+        *histograms.domain_mut(d) = DomainHistogram::from_bins(grid.clone(), raw)
+            .ok_or(CodecError::Invalid("histogram bins"))?;
+    }
+    Ok(histograms)
+}
+
+/// Serializes per-window shaker histograms (kind `"window-histograms"`): one
+/// entry per instruction window, `None` for windows whose slice was empty
+/// (those bypass analysis entirely and replay at full speed, which is *not*
+/// what thresholding an empty histogram yields — the flag keeps re-derived
+/// schedules bit-identical to freshly computed ones).
+pub fn encode_window_histograms(windows: &[Option<RegionHistograms>], bins: usize) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.put_u64(windows.len() as u64);
+    w.put_u32(bins as u32);
+    for window in windows {
+        match window {
+            None => w.put_u8(0),
+            Some(histograms) => {
+                w.put_u8(1);
+                put_histograms(&mut w, histograms);
+            }
+        }
+    }
+    seal("window-histograms", &w.buf)
+}
+
+/// Deserializes per-window shaker histograms against the machine's grid.
+/// A grid whose bin count differs from the recorded one is a mismatch (the
+/// key should have prevented this; treat it as corruption).
+pub fn decode_window_histograms(
+    data: &[u8],
+    grid: &FrequencyGrid,
+) -> Result<Vec<Option<RegionHistograms>>, CodecError> {
+    let payload = unseal("window-histograms", data)?;
+    let mut r = Reader::new(payload);
+    let count = r.u64()? as usize;
+    let bins = r.u32()? as usize;
+    if bins != grid.len() {
+        return Err(CodecError::Invalid("histogram grid size"));
+    }
+    let mut windows = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        windows.push(match r.u8()? {
+            0 => None,
+            1 => Some(get_histograms(&mut r, grid, bins)?),
+            _ => return Err(CodecError::Invalid("window flag")),
+        });
+    }
+    if !r.finished() {
+        return Err(CodecError::Invalid("trailing histogram bytes"));
+    }
+    Ok(windows)
+}
+
+/// The slowdown-independent half of profile training (kind
+/// `"training-histograms"`): the merged per-region shaker histograms plus the
+/// training-run statistics. Re-thresholding these under any slowdown target
+/// reproduces the corresponding [`TrainingArtifact`] bit-identically.
+#[derive(Debug, Clone)]
+pub struct TrainingHistogramsArtifact {
+    /// `(key, histograms)` pairs, sorted by key for deterministic bytes.
+    /// Only regions with non-empty histograms appear (empty ones never enter
+    /// the frequency table).
+    pub entries: Vec<(NodeKey, RegionHistograms)>,
+    /// Statistics of the full-speed training (profiling) run.
+    pub training_stats: SimStats,
+}
+
+impl TrainingHistogramsArtifact {
+    /// Sorts the entries into the canonical deterministic order.
+    pub fn from_entries(
+        mut entries: Vec<(NodeKey, RegionHistograms)>,
+        training_stats: SimStats,
+    ) -> Self {
+        entries.sort_by_key(|(k, _)| node_key_parts(*k));
+        TrainingHistogramsArtifact {
+            entries,
+            training_stats,
+        }
+    }
+}
+
+/// Serializes a training-histograms artifact (kind `"training-histograms"`).
+pub fn encode_training_histograms(artifact: &TrainingHistogramsArtifact, bins: usize) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.put_u64(artifact.entries.len() as u64);
+    w.put_u32(bins as u32);
+    for (key, histograms) in &artifact.entries {
+        let (tag, id) = node_key_parts(*key);
+        w.put_u8(tag);
+        w.put_u32(id);
+        put_histograms(&mut w, histograms);
+    }
+    put_stats(&mut w, &artifact.training_stats);
+    seal("training-histograms", &w.buf)
+}
+
+/// Deserializes a training-histograms artifact against the machine's grid.
+pub fn decode_training_histograms(
+    data: &[u8],
+    grid: &FrequencyGrid,
+) -> Result<TrainingHistogramsArtifact, CodecError> {
+    let payload = unseal("training-histograms", data)?;
+    let mut r = Reader::new(payload);
+    let count = r.u64()? as usize;
+    let bins = r.u32()? as usize;
+    if bins != grid.len() {
+        return Err(CodecError::Invalid("histogram grid size"));
+    }
+    let mut entries = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let tag = r.u8()?;
+        let id = r.u32()?;
+        let histograms = get_histograms(&mut r, grid, bins)?;
+        entries.push((node_key_from_parts(tag, id)?, histograms));
+    }
+    let training_stats = get_stats(&mut r)?;
+    if !r.finished() {
+        return Err(CodecError::Invalid("trailing training-histogram bytes"));
+    }
+    Ok(TrainingHistogramsArtifact {
+        entries,
+        training_stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,6 +727,83 @@ mod tests {
             decode_training(&schedule_bytes).unwrap_err(),
             CodecError::KindMismatch
         );
+    }
+
+    fn sample_histograms(grid: &FrequencyGrid, scale: f64) -> RegionHistograms {
+        let mut h = RegionHistograms::new(grid);
+        h.domain_mut(Domain::Integer)
+            .add(MegaHertz::new(500.0), 10.5 * scale);
+        h.domain_mut(Domain::Memory)
+            .add(MegaHertz::new(333.3), 3.25 * scale);
+        h.domain_mut(Domain::FrontEnd)
+            .add(MegaHertz::new(1000.0), 0.125 * scale);
+        h
+    }
+
+    #[test]
+    fn window_histograms_round_trip_bit_identically() {
+        let grid = FrequencyGrid::default();
+        let windows = vec![
+            Some(sample_histograms(&grid, 1.0)),
+            None,
+            Some(sample_histograms(&grid, 7.75)),
+        ];
+        let bytes = encode_window_histograms(&windows, grid.len());
+        let decoded = decode_window_histograms(&bytes, &grid).expect("round trip");
+        assert_eq!(decoded.len(), windows.len());
+        assert!(decoded[1].is_none());
+        for (a, b) in windows.iter().zip(&decoded) {
+            let (Some(a), Some(b)) = (a, b) else { continue };
+            for d in Domain::ALL {
+                for (x, y) in a.domain(d).bins().iter().zip(b.domain(d).bins()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+
+        // A mismatched grid is rejected, never silently rebinned.
+        let other = FrequencyGrid::new(
+            MegaHertz::new(250.0),
+            MegaHertz::new(1000.0),
+            MegaHertz::new(50.0),
+        );
+        assert_eq!(
+            decode_window_histograms(&bytes, &other),
+            Err(CodecError::Invalid("histogram grid size"))
+        );
+    }
+
+    #[test]
+    fn training_histograms_round_trip_and_sort_deterministically() {
+        let grid = FrequencyGrid::default();
+        let a = TrainingHistogramsArtifact::from_entries(
+            vec![
+                (NodeKey::Loop(LoopId(9)), sample_histograms(&grid, 2.0)),
+                (NodeKey::TreeNode(NodeId(2)), sample_histograms(&grid, 1.0)),
+            ],
+            sample_stats(),
+        );
+        let b = TrainingHistogramsArtifact::from_entries(
+            vec![
+                (NodeKey::TreeNode(NodeId(2)), sample_histograms(&grid, 1.0)),
+                (NodeKey::Loop(LoopId(9)), sample_histograms(&grid, 2.0)),
+            ],
+            sample_stats(),
+        );
+        let bytes = encode_training_histograms(&a, grid.len());
+        assert_eq!(bytes, encode_training_histograms(&b, grid.len()));
+        let decoded = decode_training_histograms(&bytes, &grid).expect("round trip");
+        assert_eq!(decoded.entries.len(), 2);
+        assert_eq!(decoded.entries[0].0, NodeKey::TreeNode(NodeId(2)));
+        assert_eq!(decoded.training_stats.instructions, 123_456);
+        for ((ka, ha), (kb, hb)) in a.entries.iter().zip(&decoded.entries) {
+            assert_eq!(ka, kb);
+            for d in Domain::ALL {
+                for (x, y) in ha.domain(d).bins().iter().zip(hb.domain(d).bins()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -114,6 +114,34 @@ pub fn offline_schedule_key(
     }
 }
 
+/// The key of the slowdown-independent half of the off-line analysis: the
+/// per-window shaker histograms produced by capture, DAG construction, and
+/// shaking.
+///
+/// The expensive stages of the pipeline (recording run, dependence DAG,
+/// shaker) never read the slowdown target — only the final, cheap
+/// thresholding step does — so the histograms are keyed on everything the
+/// schedule key covers *except* `config.slowdown`. A slowdown-only
+/// configuration change therefore reuses the cached histograms and pays only
+/// for re-thresholding.
+pub fn window_histograms_key(
+    benchmark: &str,
+    input: &InputSet,
+    trace_len: u64,
+    machine: &MachineConfig,
+    config: &OfflineConfig,
+) -> ArtifactKey {
+    let kind = "window-histograms";
+    let mut h = base_key(kind, benchmark, input, machine);
+    h.write_u64(trace_len);
+    h.write_u64(config.window_instructions);
+    write_shaker(&mut h, &config.shaker);
+    ArtifactKey {
+        kind,
+        hash: h.finish(),
+    }
+}
+
 /// The key of a generated packed trace for one `(benchmark, input)` pair.
 ///
 /// Traces are machine-independent — the generator consumes only the program
@@ -145,6 +173,30 @@ pub fn training_plan_key(
     let mut h = base_key(kind, benchmark, input, machine);
     h.write_u8(policy_tag(config.policy));
     h.write_f64(config.slowdown);
+    h.write_u64(config.long_running_threshold);
+    write_shaker(&mut h, &config.shaker);
+    ArtifactKey {
+        kind,
+        hash: h.finish(),
+    }
+}
+
+/// The key of the slowdown-independent half of profile training: the
+/// per-region shaker histograms of the training run.
+///
+/// Mirrors [`window_histograms_key`]: everything in
+/// [`training_plan_key`] except `config.slowdown`, so a slowdown-only change
+/// re-thresholds cached histograms instead of re-running the training
+/// simulation and the per-region shaker.
+pub fn training_histograms_key(
+    benchmark: &str,
+    input: &InputSet,
+    machine: &MachineConfig,
+    config: &TrainingConfig,
+) -> ArtifactKey {
+    let kind = "training-histograms";
+    let mut h = base_key(kind, benchmark, input, machine);
+    h.write_u8(policy_tag(config.policy));
     h.write_u64(config.long_running_threshold);
     write_shaker(&mut h, &config.shaker);
     ArtifactKey {
@@ -250,6 +302,56 @@ mod tests {
         assert_ne!(
             base.hash,
             packed_trace_key("mcf", &InputSet::training(200_000)).hash
+        );
+    }
+
+    #[test]
+    fn histogram_keys_ignore_the_slowdown_target_but_track_everything_else() {
+        let machine = MachineConfig::default();
+        let input = reference_input();
+        let config = OfflineConfig::default();
+        let base = window_histograms_key("mcf", &input, 200_000, &machine, &config);
+
+        // A slowdown-only change shares the histograms...
+        let tighter = OfflineConfig {
+            slowdown: 0.02,
+            ..config
+        };
+        assert_eq!(
+            base,
+            window_histograms_key("mcf", &input, 200_000, &machine, &tighter)
+        );
+        // ...but anything the capture/shaker stages read still re-keys.
+        let wider = OfflineConfig {
+            window_instructions: config.window_instructions * 2,
+            ..config
+        };
+        assert_ne!(
+            base.hash,
+            window_histograms_key("mcf", &input, 200_000, &machine, &wider).hash
+        );
+        assert_ne!(
+            base.hash,
+            window_histograms_key("mcf", &input, 60_000, &machine, &config).hash
+        );
+
+        let training = TrainingConfig::default();
+        let t_base = training_histograms_key("mcf", &input, &machine, &training);
+        let t_tighter = TrainingConfig {
+            slowdown: 0.02,
+            ..training
+        };
+        assert_eq!(
+            t_base,
+            training_histograms_key("mcf", &input, &machine, &t_tighter)
+        );
+        let t_policy = TrainingConfig {
+            policy: ContextPolicy::Func,
+            ..training
+        };
+        assert_ne!(
+            t_base.hash,
+            training_histograms_key("mcf", &input, &machine, &t_policy).hash
         );
     }
 

@@ -28,7 +28,8 @@ pub mod codec;
 pub mod key;
 
 pub use cache::{ArtifactCache, CacheEntry, CacheStats};
-pub use codec::{CodecError, TrainingArtifact};
+pub use codec::{CodecError, TrainingArtifact, TrainingHistogramsArtifact};
 pub use key::{
-    offline_schedule_key, packed_trace_key, training_plan_key, ArtifactKey, CACHE_SCHEMA_VERSION,
+    offline_schedule_key, packed_trace_key, training_histograms_key, training_plan_key,
+    window_histograms_key, ArtifactKey, CACHE_SCHEMA_VERSION,
 };

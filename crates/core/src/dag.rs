@@ -57,31 +57,43 @@ impl DagEvent {
     }
 }
 
+/// The per-event scalars the shaker's stretch rule reads together, packed
+/// into half a cache line so one visit costs one line fill instead of four
+/// (one per former column).
+#[derive(Debug, Clone, Copy)]
+struct EventKinetics {
+    /// Current stretch factor (1.0 = full speed).
+    scale: f64,
+    /// Cached `nominal_power / scale`, refreshed by
+    /// [`DependenceDag::set_scale`] — the shaker reads every event's power
+    /// factor on every pass, and the division showed up as real time.
+    power_factor: f64,
+    /// Original duration at full speed.
+    nominal_duration: TimeNs,
+    /// Original (unscaled) power factor.
+    nominal_power: f64,
+}
+
 /// The dependence DAG for one analysis region (call-tree node instance set or
 /// fixed interval).
 #[derive(Debug, Clone, Default)]
 pub struct DependenceDag {
-    // Hot columns (read and written every shaker pass).
+    // Hot columns (read and written every shaker pass). Starts and ends stay
+    // separate plain columns: the bound scans gather neighbors' ends/starts,
+    // and a dense column serves eight neighbors per cache line.
     starts: Vec<TimeNs>,
     ends: Vec<TimeNs>,
-    nominal_durations: Vec<TimeNs>,
-    scales: Vec<f64>,
-    nominal_powers: Vec<f64>,
-    /// Cached `nominal_power / scale`, refreshed by [`DependenceDag::set_scale`]
-    /// — the shaker reads every event's power factor on every pass, and the
-    /// division showed up as real time.
-    power_factors: Vec<f64>,
+    kinetics: Vec<EventKinetics>,
     // Cold columns (histogram summary only).
     cycles: Vec<f64>,
     domains: Vec<Domain>,
-    /// CSR offsets into `succ_adj`; `succ_adj[succ_off[i]..succ_off[i + 1]]`
-    /// are the events that consume event `i`.
-    succ_off: Vec<u32>,
-    succ_adj: Vec<u32>,
-    /// CSR offsets into `pred_adj`; `pred_adj[pred_off[i]..pred_off[i + 1]]`
-    /// are the events that event `i` depends on.
-    pred_off: Vec<u32>,
-    pred_adj: Vec<u32>,
+    /// Fused CSR offsets into `adj`: event `i`'s producers are
+    /// `adj[adj_off[2 * i]..adj_off[2 * i + 1]]` and its consumers
+    /// `adj[adj_off[2 * i + 1]..adj_off[2 * i + 2]]`. One contiguous
+    /// neighborhood per event keeps both bound scans on the same stream;
+    /// the former split pred/succ arrays cost a second one.
+    adj_off: Vec<u32>,
+    adj: Vec<u32>,
     region_start: TimeNs,
     region_end: TimeNs,
 }
@@ -95,43 +107,43 @@ impl DependenceDag {
 
         let mut starts = Vec::with_capacity(n);
         let mut ends = Vec::with_capacity(n);
-        let mut nominal_durations = Vec::with_capacity(n);
+        let mut kinetics = Vec::with_capacity(n);
         let mut cycles = Vec::with_capacity(n);
-        let mut nominal_powers = Vec::with_capacity(n);
         let mut domains = Vec::with_capacity(n);
         for e in events {
             starts.push(e.start);
             ends.push(e.end);
-            nominal_durations.push(e.end.saturating_sub(e.start));
+            kinetics.push(EventKinetics {
+                scale: 1.0,
+                power_factor: e.power_factor,
+                nominal_duration: e.end.saturating_sub(e.start),
+                nominal_power: e.power_factor,
+            });
             cycles.push(e.cycles);
-            nominal_powers.push(e.power_factor);
             domains.push(e.domain);
         }
 
-        // Counting pass: per-event degrees become CSR offsets; the running
-        // cursors of the filling pass preserve edge order within each bucket
-        // (a stable counting sort), so traversals see exactly the order the
-        // former nested layout produced.
-        let mut succ_off = vec![0u32; n + 1];
-        let mut pred_off = vec![0u32; n + 1];
+        // Counting pass: per-event degrees become fused CSR offsets (event
+        // `i`'s producers land at `adj_off[2 * i]`, its consumers at
+        // `adj_off[2 * i + 1]`); the running cursors of the filling pass
+        // preserve edge order within each bucket (a stable counting sort), so
+        // traversals see exactly the order the former nested layout produced.
+        let mut adj_off = vec![0u32; 2 * n + 1];
         for edge in edges {
-            succ_off[edge.from as usize + 1] += 1;
-            pred_off[edge.to as usize + 1] += 1;
+            adj_off[2 * edge.to as usize + 1] += 1; // pred bucket of `to`
+            adj_off[2 * edge.from as usize + 2] += 1; // succ bucket of `from`
         }
-        for i in 0..n {
-            succ_off[i + 1] += succ_off[i];
-            pred_off[i + 1] += pred_off[i];
+        for i in 0..2 * n {
+            adj_off[i + 1] += adj_off[i];
         }
-        let mut succ_adj = vec![0u32; edges.len()];
-        let mut pred_adj = vec![0u32; edges.len()];
-        let mut succ_cursor = succ_off.clone();
-        let mut pred_cursor = pred_off.clone();
+        let mut adj = vec![0u32; 2 * edges.len()];
+        let mut cursor = adj_off.clone();
         for edge in edges {
-            let s = &mut succ_cursor[edge.from as usize];
-            succ_adj[*s as usize] = edge.to;
+            let s = &mut cursor[2 * edge.from as usize + 1];
+            adj[*s as usize] = edge.to;
             *s += 1;
-            let p = &mut pred_cursor[edge.to as usize];
-            pred_adj[*p as usize] = edge.from;
+            let p = &mut cursor[2 * edge.to as usize];
+            adj[*p as usize] = edge.from;
             *p += 1;
         }
 
@@ -146,16 +158,11 @@ impl DependenceDag {
         DependenceDag {
             starts,
             ends,
-            nominal_durations,
-            scales: vec![1.0; n],
-            power_factors: nominal_powers.clone(),
-            nominal_powers,
+            kinetics,
             cycles,
             domains,
-            succ_off,
-            succ_adj,
-            pred_off,
-            pred_adj,
+            adj_off,
+            adj,
             region_start: if n == 0 {
                 TimeNs::ZERO
             } else {
@@ -181,14 +188,15 @@ impl DependenceDag {
 
     /// A materialized view of event `idx`'s current schedule.
     pub fn event(&self, idx: usize) -> DagEvent {
+        let k = self.kinetics[idx];
         DagEvent {
             domain: self.domains[idx],
             start: self.starts[idx],
             end: self.ends[idx],
-            nominal_duration: self.nominal_durations[idx],
+            nominal_duration: k.nominal_duration,
             cycles: self.cycles[idx],
-            nominal_power: self.nominal_powers[idx],
-            scale: self.scales[idx],
+            nominal_power: k.nominal_power,
+            scale: k.scale,
         }
     }
 
@@ -213,19 +221,19 @@ impl DependenceDag {
     /// Event `idx`'s full-speed duration.
     #[inline]
     pub fn nominal_duration(&self, idx: usize) -> TimeNs {
-        self.nominal_durations[idx]
+        self.kinetics[idx].nominal_duration
     }
 
     /// Event `idx`'s unscaled power factor.
     #[inline]
     pub fn nominal_power(&self, idx: usize) -> f64 {
-        self.nominal_powers[idx]
+        self.kinetics[idx].nominal_power
     }
 
     /// Event `idx`'s current stretch factor.
     #[inline]
     pub fn scale(&self, idx: usize) -> f64 {
-        self.scales[idx]
+        self.kinetics[idx].scale
     }
 
     /// Event `idx`'s work in full-speed domain cycles.
@@ -243,13 +251,14 @@ impl DependenceDag {
     /// Event `idx`'s current power factor (scaled down as it is stretched).
     #[inline]
     pub fn power_factor(&self, idx: usize) -> f64 {
-        self.power_factors[idx]
+        self.kinetics[idx].power_factor
     }
 
     /// Event `idx`'s current (stretched) duration.
     #[inline]
     pub fn duration(&self, idx: usize) -> TimeNs {
-        self.nominal_durations[idx] * self.scales[idx]
+        let k = self.kinetics[idx];
+        k.nominal_duration * k.scale
     }
 
     /// Repositions event `idx` to `[start, end)` (the shaker's slack moves).
@@ -262,20 +271,122 @@ impl DependenceDag {
     /// Sets event `idx`'s stretch factor.
     #[inline]
     pub fn set_scale(&mut self, idx: usize, scale: f64) {
-        self.scales[idx] = scale;
-        self.power_factors[idx] = self.nominal_powers[idx] / scale;
+        let k = &mut self.kinetics[idx];
+        k.scale = scale;
+        k.power_factor = k.nominal_power / scale;
+    }
+
+    /// One shaker pass over `order`: the inner loop of
+    /// [`Shaker::shake`](crate::shaker::Shaker::shake), kept next to the
+    /// columns it reads so the whole pass runs on raw slices — per-event
+    /// accessor calls made this loop the analysis stage's hot spot. The
+    /// semantics (branch order, comparison directions, min/max chains) must
+    /// match the shaker's documented algorithm exactly; the scheme caches key
+    /// on its bit-identical output.
+    ///
+    /// On backward passes (`push_late`) events are anchored to their upper
+    /// bound so remaining slack moves to their incoming edges; on forward
+    /// passes to their lower bound. An event whose power factor exceeds
+    /// `threshold` is stretched until its power factor falls below the
+    /// threshold, its slack is exhausted, or it reaches `max_stretch`.
+    pub(crate) fn stretch_pass(
+        &mut self,
+        order: &[u32],
+        threshold: f64,
+        max_stretch: f64,
+        push_late: bool,
+    ) {
+        let region_start = self.region_start.as_ns();
+        let region_end = self.region_end.as_ns();
+        // Destructure into plain local slices: the borrows are provably
+        // disjoint, so the stores to `starts`/`ends` can't force reloads of
+        // the other columns' pointers inside the loop.
+        let DependenceDag {
+            starts,
+            ends,
+            kinetics,
+            adj_off,
+            adj,
+            ..
+        } = self;
+        let starts = starts.as_mut_slice();
+        let ends = ends.as_mut_slice();
+        let kinetics = kinetics.as_mut_slice();
+        let adj_off = adj_off.as_slice();
+        let adj = adj.as_slice();
+        for &idx in order {
+            let i = idx as usize;
+            // Bounds: latest producer end / earliest consumer start, exactly
+            // as `lower_bound`/`upper_bound` fold them (update on strict
+            // improvement, so ties keep the accumulator). The fused CSR puts
+            // both neighbor lists back to back in one slice.
+            let o0 = adj_off[2 * i] as usize;
+            let o1 = adj_off[2 * i + 1] as usize;
+            let o2 = adj_off[2 * i + 2] as usize;
+            let mut lower = region_start;
+            for &p in &adj[o0..o1] {
+                let e = ends[p as usize].as_ns();
+                if e > lower {
+                    lower = e;
+                }
+            }
+            let mut upper = region_end;
+            for &s in &adj[o1..o2] {
+                let t = starts[s as usize].as_ns();
+                if t < upper {
+                    upper = t;
+                }
+            }
+            let span = (upper - lower).max(0.0);
+            let k = kinetics[i];
+            if k.power_factor <= threshold {
+                // Not a high-power event at this threshold; just reposition
+                // it so slack accumulates on the requested side.
+                let duration = k.nominal_duration.as_ns() * k.scale;
+                if span > duration {
+                    if push_late {
+                        starts[i] = TimeNs::new((upper - duration).max(0.0));
+                        ends[i] = TimeNs::new(upper);
+                    } else {
+                        starts[i] = TimeNs::new(lower);
+                        ends[i] = TimeNs::new(lower + duration);
+                    }
+                }
+                continue;
+            }
+            let nominal = k.nominal_duration.as_ns();
+            if nominal <= 0.0 || span <= 0.0 {
+                continue;
+            }
+            // Stretch until the power factor falls below the threshold, the
+            // slack is exhausted, or the frequency limit is reached.
+            let new_scale = (k.nominal_power / threshold)
+                .min(span / nominal)
+                .min(max_stretch)
+                .max(k.scale);
+            kinetics[i].scale = new_scale;
+            kinetics[i].power_factor = k.nominal_power / new_scale;
+            let duration = nominal * new_scale;
+            if push_late {
+                starts[i] = TimeNs::new((upper - duration).max(0.0));
+                ends[i] = TimeNs::new(upper);
+            } else {
+                starts[i] = TimeNs::new(lower);
+                ends[i] = TimeNs::new(lower + duration);
+            }
+        }
     }
 
     /// The events that consume event `idx`, in edge-insertion order.
     #[inline]
     pub fn successors(&self, idx: usize) -> &[u32] {
-        &self.succ_adj[self.succ_off[idx] as usize..self.succ_off[idx + 1] as usize]
+        &self.adj[self.adj_off[2 * idx + 1] as usize..self.adj_off[2 * idx + 2] as usize]
     }
 
     /// The events that event `idx` depends on, in edge-insertion order.
     #[inline]
     pub fn predecessors(&self, idx: usize) -> &[u32] {
-        &self.pred_adj[self.pred_off[idx] as usize..self.pred_off[idx + 1] as usize]
+        &self.adj[self.adj_off[2 * idx] as usize..self.adj_off[2 * idx + 1] as usize]
     }
 
     /// The region's start time (earliest event start in the original schedule).
@@ -352,14 +463,17 @@ impl DependenceDag {
     /// The maximum nominal power factor over all events (the shaker's starting
     /// threshold is set just below this).
     pub fn max_power_factor(&self) -> f64 {
-        self.nominal_powers.iter().copied().fold(0.0, f64::max)
+        self.kinetics
+            .iter()
+            .map(|k| k.nominal_power)
+            .fold(0.0, f64::max)
     }
 
     /// The minimum nominal power factor over all events.
     pub fn min_power_factor(&self) -> f64 {
-        self.nominal_powers
+        self.kinetics
             .iter()
-            .copied()
+            .map(|k| k.nominal_power)
             .fold(f64::INFINITY, f64::min)
     }
 }

@@ -47,6 +47,18 @@ impl DomainHistogram {
         self.bins[i]
     }
 
+    /// The raw bins, lowest frequency first (one per grid setting).
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Rebuilds a histogram from raw bins — the artifact codec's round-trip
+    /// path, bit-identical by construction. Returns `None` if the bin count
+    /// does not match the grid.
+    pub fn from_bins(grid: FrequencyGrid, bins: Vec<f64>) -> Option<Self> {
+        (bins.len() == grid.len()).then_some(DomainHistogram { grid, bins })
+    }
+
     /// Total cycles recorded.
     pub fn total_cycles(&self) -> f64 {
         self.bins.iter().sum()

@@ -32,13 +32,35 @@ pub mod capture;
 pub mod schedule;
 pub mod window;
 
+use crate::histogram::RegionHistograms;
 use crate::offline::{OfflineConfig, OfflineResult, OfflineSchedule};
 use crate::shaker::Shaker;
 use crate::threshold::SlowdownThreshold;
 use mcd_sim::config::MachineConfig;
+use mcd_sim::freq::FrequencyGrid;
 use mcd_sim::simulator::Simulator;
 use mcd_sim::trace::PackedTrace;
 pub use window::StreamReport;
+
+/// Re-derives a per-window schedule from cached histograms: pure slowdown
+/// thresholding, no simulation, DAG construction, or shaking. `None` entries
+/// (empty windows) become full-speed settings, exactly as on the capture
+/// path, so the result is bit-identical to what a full
+/// [`AnalysisPipeline::analyze_with_histograms`] run at `slowdown` would
+/// assemble.
+pub fn threshold_windows(
+    windows: &[Option<RegionHistograms>],
+    slowdown: f64,
+    grid: &FrequencyGrid,
+) -> OfflineSchedule {
+    let chooser = SlowdownThreshold::new(slowdown);
+    schedule::assemble(
+        windows
+            .iter()
+            .map(|h| window::threshold_one(h.as_ref(), &chooser, grid))
+            .collect(),
+    )
+}
 
 /// The staged off-line analysis pipeline: streaming capture → per-window
 /// analysis → schedule assembly.
@@ -123,6 +145,29 @@ impl AnalysisPipeline {
         (schedule::assemble(settings), report)
     }
 
+    /// [`AnalysisPipeline::analyze_with_report`], additionally returning the
+    /// per-window histograms the slowdown thresholding consumed (`None` for
+    /// empty windows). Persisting those lets a later run with a *different*
+    /// slowdown target re-derive its schedule via [`threshold_windows`]
+    /// without repeating stages 1–2.
+    pub fn analyze_with_histograms(
+        &self,
+        simulator: &Simulator,
+        trace: &PackedTrace,
+    ) -> (OfflineSchedule, Vec<Option<RegionHistograms>>, StreamReport) {
+        let shaker = Shaker::with_config(self.config.shaker);
+        let chooser = SlowdownThreshold::new(self.config.slowdown);
+        let (settings, histograms, report) = window::analyze_streaming_with_histograms(
+            trace,
+            simulator,
+            self.config.window_instructions,
+            &shaker,
+            &chooser,
+            self.parallelism,
+        );
+        (schedule::assemble(settings), histograms, report)
+    }
+
     /// Runs the full pipeline: analysis plus the controlled replay that
     /// applies each window's setting at its boundary. One simulator serves
     /// both the capture and the replay run.
@@ -187,6 +232,30 @@ mod tests {
                 .analyze(&trace, &machine);
             assert_eq!(serial, parallel, "parallelism={workers} diverged");
         }
+    }
+
+    #[test]
+    fn rethresholding_histograms_matches_a_full_analysis() {
+        let trace = small_trace();
+        let machine = MachineConfig::default();
+        let config = OfflineConfig::default();
+        let simulator = Simulator::new(machine.clone());
+        let pipeline = AnalysisPipeline::new(config);
+        let (schedule, histograms, _) = pipeline.analyze_with_histograms(&simulator, &trace);
+        assert_eq!(schedule, pipeline.analyze_with(&simulator, &trace));
+        assert_eq!(
+            threshold_windows(&histograms, config.slowdown, &machine.grid),
+            schedule
+        );
+        // Re-deriving a *different* slowdown target from the same histograms
+        // matches a from-scratch analysis at that target.
+        let mut other = config;
+        other.slowdown = config.slowdown * 2.0;
+        let full = AnalysisPipeline::new(other).analyze_with(&simulator, &trace);
+        assert_eq!(
+            threshold_windows(&histograms, other.slowdown, &machine.grid),
+            full
+        );
     }
 
     #[test]

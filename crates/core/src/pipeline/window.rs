@@ -17,11 +17,13 @@
 //! workers.
 
 use crate::dag::DependenceDag;
+use crate::histogram::RegionHistograms;
 use crate::pipeline::capture::CapturedTrace;
 use crate::shaker::Shaker;
 use crate::threshold::SlowdownThreshold;
 use mcd_sim::config::MachineConfig;
 use mcd_sim::events::EventTrace;
+use mcd_sim::freq::FrequencyGrid;
 use mcd_sim::reconfig::FrequencySetting;
 use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_sim::trace::PackedTrace;
@@ -56,32 +58,88 @@ pub fn analyze_streaming(
     parallelism: usize,
 ) -> (Vec<FrequencySetting>, StreamReport) {
     let machine = simulator.config();
+    stream_windows(trace, simulator, window_instructions, parallelism, |buf| {
+        analyze_one(buf, machine, shaker, chooser)
+    })
+}
+
+/// [`analyze_streaming`], additionally returning each window's shaken
+/// histograms (`None` for empty windows, which skip analysis entirely).
+///
+/// The histograms are everything the slowdown-thresholding stage reads, so a
+/// caller can persist them and later re-derive the schedule for a *different*
+/// slowdown target via [`crate::pipeline::threshold_windows`] without
+/// repeating capture, DAG construction, or shaking. The settings returned
+/// here are bit-identical to [`analyze_streaming`]'s.
+pub fn analyze_streaming_with_histograms(
+    trace: &PackedTrace,
+    simulator: &Simulator,
+    window_instructions: u64,
+    shaker: &Shaker,
+    chooser: &SlowdownThreshold,
+    parallelism: usize,
+) -> (
+    Vec<FrequencySetting>,
+    Vec<Option<RegionHistograms>>,
+    StreamReport,
+) {
+    let machine = simulator.config();
+    let (pairs, report) =
+        stream_windows(trace, simulator, window_instructions, parallelism, |buf| {
+            let histograms = window_histograms(buf, machine, shaker);
+            let setting = threshold_one(histograms.as_ref(), chooser, &machine.grid);
+            (setting, histograms)
+        });
+    let mut settings = Vec::with_capacity(pairs.len());
+    let mut histograms = Vec::with_capacity(pairs.len());
+    for (setting, h) in pairs {
+        settings.push(setting);
+        histograms.push(h);
+    }
+    (settings, histograms, report)
+}
+
+/// The streaming skeleton shared by [`analyze_streaming`] and
+/// [`analyze_streaming_with_histograms`]: runs the capture, applies `analyze`
+/// to every closed window (serially in place, or on scoped workers fed by a
+/// bounded channel), and returns the per-window results in window order.
+fn stream_windows<T, F>(
+    trace: &PackedTrace,
+    simulator: &Simulator,
+    window_instructions: u64,
+    parallelism: usize,
+    analyze: F,
+) -> (Vec<T>, StreamReport)
+where
+    T: Send,
+    F: Fn(&EventTrace) -> T + Sync,
+{
     if parallelism <= 1 {
         // Serial: analyse in place, reusing one window buffer for the whole
         // run.
-        let mut settings = Vec::new();
+        let mut results = Vec::new();
         let mut peak = 0usize;
         simulator.run_windowed(
             trace.iter(),
             &mut NullHooks,
             window_instructions,
             |index, buf| {
-                debug_assert_eq!(index as usize, settings.len());
+                debug_assert_eq!(index as usize, results.len());
                 peak = peak.max(buf.len());
-                settings.push(analyze_one(buf, machine, shaker, chooser));
+                results.push(analyze(buf));
             },
         );
         let report = StreamReport {
-            windows: settings.len() as u64,
+            windows: results.len() as u64,
             peak_resident_events: peak,
         };
-        return (settings, report);
+        return (results, report);
     }
 
     // Parallel: closed windows travel through a bounded channel to scoped
     // workers, so capture overlaps analysis while total resident memory stays
     // at O(parallelism × window).
-    let slots: Mutex<Vec<Option<FrequencySetting>>> = Mutex::new(Vec::new());
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new(Vec::new());
     let resident = AtomicUsize::new(0);
     let peak = AtomicUsize::new(0);
     let (tx, rx) = mpsc::sync_channel::<(u64, EventTrace)>(parallelism * 2);
@@ -93,13 +151,13 @@ pub fn analyze_streaming(
                 let Ok((index, window)) = received else {
                     break;
                 };
-                let setting = analyze_one(&window, machine, shaker, chooser);
+                let result = analyze(&window);
                 resident.fetch_sub(window.len(), Ordering::Relaxed);
                 let mut slots = slots.lock().expect("slot lock");
                 if slots.len() <= index as usize {
-                    slots.resize(index as usize + 1, None);
+                    slots.resize_with(index as usize + 1, || None);
                 }
-                slots[index as usize] = Some(setting);
+                slots[index as usize] = Some(result);
             });
         }
         simulator.run_windowed(
@@ -116,17 +174,17 @@ pub fn analyze_streaming(
         );
         drop(tx);
     });
-    let settings: Vec<FrequencySetting> = slots
+    let results: Vec<T> = slots
         .into_inner()
         .expect("workers exited")
         .into_iter()
         .map(|slot| slot.expect("every window was analysed"))
         .collect();
     let report = StreamReport {
-        windows: settings.len() as u64,
+        windows: results.len() as u64,
         peak_resident_events: peak.load(Ordering::Relaxed),
     };
-    (settings, report)
+    (results, report)
 }
 
 /// The output of the slicing stage: one event sub-trace per instruction
@@ -196,12 +254,38 @@ fn analyze_one(
     shaker: &Shaker,
     chooser: &SlowdownThreshold,
 ) -> FrequencySetting {
+    let histograms = window_histograms(slice, machine, shaker);
+    threshold_one(histograms.as_ref(), chooser, &machine.grid)
+}
+
+/// The expensive, slowdown-independent half of one window's analysis: DAG
+/// build plus shaking. `None` marks an empty window — it skips analysis, and
+/// [`threshold_one`] maps it straight to full speed (which is *not* what
+/// thresholding an all-zero histogram would produce, so the distinction must
+/// survive a cache round trip).
+pub(crate) fn window_histograms(
+    slice: &EventTrace,
+    machine: &MachineConfig,
+    shaker: &Shaker,
+) -> Option<RegionHistograms> {
     if slice.is_empty() {
-        return FrequencySetting::full_speed();
+        return None;
     }
     let mut dag = DependenceDag::from_trace(slice);
-    let histograms = shaker.shake_into_histograms(&mut dag, &machine.grid, machine.grid.max());
-    chooser.choose(&histograms).quantized(&machine.grid)
+    Some(shaker.shake_into_histograms(&mut dag, &machine.grid, machine.grid.max()))
+}
+
+/// The cheap, slowdown-dependent half: thresholds one window's histograms
+/// into a quantized frequency setting.
+pub(crate) fn threshold_one(
+    histograms: Option<&RegionHistograms>,
+    chooser: &SlowdownThreshold,
+    grid: &FrequencyGrid,
+) -> FrequencySetting {
+    match histograms {
+        None => FrequencySetting::full_speed(),
+        Some(h) => chooser.choose(h).quantized(grid),
+    }
 }
 
 /// Runs stage 3 over every window of `plan`, spreading windows across up to

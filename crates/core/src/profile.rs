@@ -14,6 +14,7 @@
 
 use crate::controller::{FrequencyTable, SettingStack};
 use crate::dag::DependenceDag;
+use crate::histogram::RegionHistograms;
 use crate::shaker::{Shaker, ShakerConfig};
 use crate::threshold::SlowdownThreshold;
 use mcd_profiling::call_tree::CallTree;
@@ -21,6 +22,7 @@ use mcd_profiling::candidates::LongRunningSet;
 use mcd_profiling::context::ContextPolicy;
 use mcd_profiling::edit::{InstrumentationPlan, NodeKey};
 use mcd_sim::config::MachineConfig;
+use mcd_sim::freq::FrequencyGrid;
 use mcd_sim::instruction::Marker;
 use mcd_sim::simulator::{HookAction, SimHooks, Simulator};
 use mcd_sim::stats::SimStats;
@@ -99,6 +101,24 @@ fn analyze_training_run(
     machine: &MachineConfig,
     config: &TrainingConfig,
 ) -> (FrequencyTable, SimStats) {
+    let (entries, stats) = training_histograms(trace, instrumentation, machine, config);
+    (
+        threshold_table(&entries, config.slowdown, &machine.grid),
+        stats,
+    )
+}
+
+/// The slowdown-independent bulk of training (phases 2 and 3a): the
+/// full-speed recording run plus per-region DAG construction and shaking.
+/// Returns the non-empty `(key, histograms)` pairs in region-partition order
+/// (empty regions never enter the frequency table, so they are dropped here)
+/// alongside the training-run statistics.
+pub(crate) fn training_histograms(
+    trace: &PackedTrace,
+    instrumentation: &InstrumentationPlan,
+    machine: &MachineConfig,
+    config: &TrainingConfig,
+) -> (Vec<(NodeKey, RegionHistograms)>, SimStats) {
     // Run the training input at full speed, recording primitive events tagged
     // with the innermost active reconfiguration key.
     let mut region_of_key: HashMap<NodeKey, u32> = HashMap::new();
@@ -115,15 +135,13 @@ fn analyze_training_run(
     let result = simulator.run(trace.iter(), &mut trainer_hooks, true);
     let events = result.events.expect("training run records events");
 
-    // Shaker + slowdown thresholding per reconfiguration key. The recorded
-    // trace is partitioned into every region's slice in one pass (the
-    // previous per-key `region_slice` rescanned all events and edges once per
-    // reconfiguration key).
+    // Shaker per reconfiguration key. The recorded trace is partitioned into
+    // every region's slice in one pass (the previous per-key `region_slice`
+    // rescanned all events and edges once per reconfiguration key).
     let shaker = Shaker::with_config(config.shaker);
-    let chooser = SlowdownThreshold::new(config.slowdown);
     let grid = machine.grid.clone();
     let f_max = machine.grid.max();
-    let mut table = FrequencyTable::new();
+    let mut entries = Vec::new();
     for (region, slice) in events.partition_regions() {
         let Some(key) = key_of_region.get(&region) else {
             continue; // region 0: events outside every reconfiguration key
@@ -136,9 +154,26 @@ fn analyze_training_run(
         if histograms.is_empty() {
             continue;
         }
-        table.insert(*key, chooser.choose(&histograms).quantized(&grid));
+        entries.push((*key, histograms));
     }
-    (table, result.stats)
+    (entries, result.stats)
+}
+
+/// Phase 3b: slowdown-thresholds per-key histograms into a frequency table.
+/// Pure and cheap — re-running it under a different `slowdown` is how a
+/// cached [`TrainingHistogramsArtifact`](crate::artifact::TrainingHistogramsArtifact)
+/// skips the recording run and the shaker entirely.
+pub(crate) fn threshold_table(
+    entries: &[(NodeKey, RegionHistograms)],
+    slowdown: f64,
+    grid: &FrequencyGrid,
+) -> FrequencyTable {
+    let chooser = SlowdownThreshold::new(slowdown);
+    let mut table = FrequencyTable::new();
+    for (key, histograms) in entries {
+        table.insert(*key, chooser.choose(histograms).quantized(grid));
+    }
+    table
 }
 
 /// Trains the profile-driven reconfiguration mechanism for one program.
@@ -160,6 +195,29 @@ pub fn train(
         table,
         training_stats,
     }
+}
+
+/// [`train`], additionally returning the per-key shaken histograms the
+/// thresholding consumed — the payload of the `"training-histograms"`
+/// artifact, from which any slowdown target's table can be re-derived.
+pub(crate) fn train_with_histograms(
+    program: &Program,
+    training_input: &InputSet,
+    machine: &MachineConfig,
+    config: &TrainingConfig,
+) -> (ProfilePlan, Vec<(NodeKey, RegionHistograms)>) {
+    let trace = mcd_workloads::generator::generate_packed(program, training_input);
+    let instrumentation = instrumentation_plan(&trace, config);
+    let (entries, training_stats) = training_histograms(&trace, &instrumentation, machine, config);
+    let table = threshold_table(&entries, config.slowdown, &machine.grid);
+    (
+        ProfilePlan {
+            instrumentation,
+            table,
+            training_stats,
+        },
+        entries,
+    )
 }
 
 /// Hooks used during the profiling (training) run: follow the instrumentation

@@ -11,19 +11,26 @@
 //! [`SimHooks`] — [`SchemeContext::simulate`] is the common path — and report
 //! the controlled run's [`SimStats`].
 
-use crate::artifact::{self, ArtifactCache, TrainingArtifact};
+use crate::artifact::{
+    self, ArtifactCache, ArtifactKey, TrainingArtifact, TrainingHistogramsArtifact,
+};
 use crate::error::McdError;
 use crate::evaluation::{EvaluationConfig, SchemeResult};
 use crate::global_dvs::run_global_dvs;
-use crate::offline::OfflineConfig;
+use crate::histogram::RegionHistograms;
+use crate::offline::{OfflineConfig, OfflineSchedule};
 use crate::online::{OnlineConfig, OnlineController};
-use crate::pipeline::{schedule, AnalysisPipeline};
-use crate::profile::{instrumentation_plan, train, ProfilePlan, TrainingConfig};
+use crate::pipeline::{schedule, threshold_windows, AnalysisPipeline};
+use crate::profile::{
+    self, instrumentation_plan, train, train_with_histograms, ProfilePlan, TrainingConfig,
+};
 use mcd_sim::config::MachineConfig;
 use mcd_sim::simulator::{SimHooks, Simulator};
 use mcd_sim::stats::SimStats;
 use mcd_sim::trace::PackedTrace;
 use mcd_workloads::suite::Benchmark;
+use std::any::Any;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -110,6 +117,16 @@ pub trait DvfsScheme: fmt::Debug + Send + Sync {
     /// statistics. Implementations normally build their [`SimHooks`] and call
     /// [`SchemeContext::simulate`].
     fn run(&self, ctx: &SchemeContext<'_>) -> Result<SimStats, McdError>;
+
+    /// The scheme as [`Any`], for schemes that support batched (multi-lane)
+    /// execution in the [`Evaluator`](crate::service::Evaluator): the batch
+    /// worker downcasts to the concrete type to prepare one simulation lane
+    /// per batch member. The default (`None`) makes the scheme run serially
+    /// inside a batch, which is always correct — batching is purely a
+    /// wall-clock optimization.
+    fn as_any(&self) -> Option<&dyn Any> {
+        None
+    }
 }
 
 /// The off-line oracle scheme (perfect knowledge of the reference run).
@@ -158,6 +175,31 @@ impl DvfsScheme for OfflineScheme {
     }
 
     fn run(&self, ctx: &SchemeContext<'_>) -> Result<SimStats, McdError> {
+        // One simulator serves the capture (on a cache miss) and the replay.
+        let simulator = Simulator::new(ctx.machine.clone());
+        let schedule = self.schedule_for(ctx, &simulator);
+        Ok(schedule::replay_with(
+            &simulator,
+            ctx.reference_trace,
+            &schedule,
+            self.config.window_instructions.max(1),
+        ))
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl OfflineScheme {
+    /// Obtains the per-window schedule with a three-level fallback:
+    ///
+    /// 1. a cached schedule for this exact config replays directly;
+    /// 2. cached per-window histograms (keyed *without* the slowdown target)
+    ///    re-threshold in microseconds — a slowdown-only sweep point skips
+    ///    capture, DAG construction, and shaking entirely;
+    /// 3. otherwise the full pipeline runs, persisting both artifacts.
+    fn schedule_for(&self, ctx: &SchemeContext<'_>, simulator: &Simulator) -> OfflineSchedule {
         let key = artifact::offline_schedule_key(
             ctx.benchmark.name,
             &ctx.benchmark.inputs.reference,
@@ -165,24 +207,85 @@ impl DvfsScheme for OfflineScheme {
             ctx.machine,
             &self.config,
         );
-        // One simulator serves the capture (on a cache miss) and the replay.
-        let simulator = Simulator::new(ctx.machine.clone());
-        let schedule = match self.cache.load_schedule(&key) {
-            Some(schedule) => schedule,
-            None => {
-                let schedule = AnalysisPipeline::new(self.config)
-                    .with_parallelism(self.parallelism)
-                    .analyze_with(&simulator, ctx.reference_trace);
-                self.cache.store_schedule(&key, &schedule);
-                schedule
-            }
-        };
-        Ok(schedule::replay_with(
-            &simulator,
-            ctx.reference_trace,
-            &schedule,
-            self.config.window_instructions.max(1),
-        ))
+        if let Some(schedule) = self.cache.load_schedule(&key) {
+            return schedule;
+        }
+        if !self.cache.is_enabled() {
+            // No cache to feed: skip histogram collection on the capture path.
+            return AnalysisPipeline::new(self.config)
+                .with_parallelism(self.parallelism)
+                .analyze_with(simulator, ctx.reference_trace);
+        }
+        let grid = &ctx.machine.grid;
+        let histograms_key = artifact::window_histograms_key(
+            ctx.benchmark.name,
+            &ctx.benchmark.inputs.reference,
+            ctx.reference_trace.len() as u64,
+            ctx.machine,
+            &self.config,
+        );
+        if let Some(windows) = self.cache.load_window_histograms(&histograms_key, grid) {
+            let schedule = threshold_windows(&windows, self.config.slowdown, grid);
+            self.cache.store_schedule(&key, &schedule);
+            return schedule;
+        }
+        let (schedule, windows, _) = AnalysisPipeline::new(self.config)
+            .with_parallelism(self.parallelism)
+            .analyze_with_histograms(simulator, ctx.reference_trace);
+        self.cache
+            .store_window_histograms(&histograms_key, &windows, grid);
+        self.cache.store_schedule(&key, &schedule);
+        schedule
+    }
+
+    /// [`OfflineScheme::schedule_for`] with an additional in-memory histogram
+    /// pool shared across the members of one batch: members whose configs
+    /// differ only in the slowdown target share one capture/DAG/shaker pass
+    /// even when the on-disk cache is disabled. The resulting schedules are
+    /// bit-identical to [`OfflineScheme::schedule_for`]'s.
+    pub(crate) fn schedule_for_batched(
+        &self,
+        ctx: &SchemeContext<'_>,
+        simulator: &Simulator,
+        pool: &mut HashMap<ArtifactKey, Arc<Vec<Option<RegionHistograms>>>>,
+    ) -> OfflineSchedule {
+        let key = artifact::offline_schedule_key(
+            ctx.benchmark.name,
+            &ctx.benchmark.inputs.reference,
+            ctx.reference_trace.len() as u64,
+            ctx.machine,
+            &self.config,
+        );
+        if let Some(schedule) = self.cache.load_schedule(&key) {
+            return schedule;
+        }
+        let grid = &ctx.machine.grid;
+        let histograms_key = artifact::window_histograms_key(
+            ctx.benchmark.name,
+            &ctx.benchmark.inputs.reference,
+            ctx.reference_trace.len() as u64,
+            ctx.machine,
+            &self.config,
+        );
+        if let Some(windows) = pool.get(&histograms_key) {
+            let schedule = threshold_windows(windows, self.config.slowdown, grid);
+            self.cache.store_schedule(&key, &schedule);
+            return schedule;
+        }
+        if let Some(windows) = self.cache.load_window_histograms(&histograms_key, grid) {
+            let schedule = threshold_windows(&windows, self.config.slowdown, grid);
+            pool.insert(histograms_key, Arc::new(windows));
+            self.cache.store_schedule(&key, &schedule);
+            return schedule;
+        }
+        let (schedule, windows, _) = AnalysisPipeline::new(self.config)
+            .with_parallelism(self.parallelism)
+            .analyze_with_histograms(simulator, ctx.reference_trace);
+        self.cache
+            .store_window_histograms(&histograms_key, &windows, grid);
+        self.cache.store_schedule(&key, &schedule);
+        pool.insert(histograms_key, Arc::new(windows));
+        schedule
     }
 }
 
@@ -212,6 +315,10 @@ impl DvfsScheme for OnlineScheme {
         let mut controller = OnlineController::new(self.config);
         Ok(ctx.simulate(&mut controller))
     }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
 }
 
 /// The profile-driven reconfiguration scheme (the paper's contribution).
@@ -239,8 +346,14 @@ impl Default for ProfileScheme {
 }
 
 impl ProfileScheme {
-    /// Obtains the training plan: from the cache when possible, by training
-    /// (and then caching the result) otherwise.
+    /// Obtains the training plan with a three-level fallback:
+    ///
+    /// 1. a cached frequency table for this exact config rebuilds the cheap
+    ///    instrumentation plan around it;
+    /// 2. cached per-key training histograms (keyed *without* the slowdown
+    ///    target) re-threshold the table in microseconds — a slowdown-only
+    ///    sweep point skips the recording run and the shaker;
+    /// 3. otherwise training runs in full, persisting both artifacts.
     fn plan_for(&self, ctx: &SchemeContext<'_>) -> ProfilePlan {
         let key = artifact::training_plan_key(
             ctx.benchmark.name,
@@ -261,6 +374,47 @@ impl ProfileScheme {
                 training_stats: cached.training_stats,
             };
         }
+        if self.cache.is_enabled() {
+            let grid = &ctx.machine.grid;
+            let histograms_key = artifact::training_histograms_key(
+                ctx.benchmark.name,
+                &ctx.benchmark.inputs.training,
+                ctx.machine,
+                &self.config,
+            );
+            if let Some(cached) = self.cache.load_training_histograms(&histograms_key, grid) {
+                let trace = mcd_workloads::generator::generate_packed(
+                    &ctx.benchmark.program,
+                    &ctx.benchmark.inputs.training,
+                );
+                let plan = ProfilePlan {
+                    instrumentation: instrumentation_plan(&trace, &self.config),
+                    table: profile::threshold_table(&cached.entries, self.config.slowdown, grid),
+                    training_stats: cached.training_stats,
+                };
+                self.cache.store_training(
+                    &key,
+                    &TrainingArtifact::from_table(&plan.table, plan.training_stats.clone()),
+                );
+                return plan;
+            }
+            let (plan, entries) = train_with_histograms(
+                &ctx.benchmark.program,
+                &ctx.benchmark.inputs.training,
+                ctx.machine,
+                &self.config,
+            );
+            self.cache.store_training_histograms(
+                &histograms_key,
+                &TrainingHistogramsArtifact::from_entries(entries, plan.training_stats.clone()),
+                grid,
+            );
+            self.cache.store_training(
+                &key,
+                &TrainingArtifact::from_table(&plan.table, plan.training_stats.clone()),
+            );
+            return plan;
+        }
         let plan = train(
             &ctx.benchmark.program,
             &ctx.benchmark.inputs.training,
@@ -273,6 +427,112 @@ impl ProfileScheme {
         );
         plan
     }
+
+    /// [`ProfileScheme::plan_for`] with an additional in-memory pool shared
+    /// across the members of one batch: members whose configs differ only in
+    /// the slowdown target share one recording run, shaker pass, and
+    /// instrumentation plan even when the on-disk cache is disabled. The
+    /// resulting plans are bit-identical to [`ProfileScheme::plan_for`]'s.
+    pub(crate) fn plan_for_batched(
+        &self,
+        ctx: &SchemeContext<'_>,
+        pool: &mut HashMap<ArtifactKey, SharedTraining>,
+    ) -> ProfilePlan {
+        let key = artifact::training_plan_key(
+            ctx.benchmark.name,
+            &ctx.benchmark.inputs.training,
+            ctx.machine,
+            &self.config,
+        );
+        if let Some(cached) = self.cache.load_training(&key) {
+            let trace = mcd_workloads::generator::generate_packed(
+                &ctx.benchmark.program,
+                &ctx.benchmark.inputs.training,
+            );
+            return ProfilePlan {
+                instrumentation: instrumentation_plan(&trace, &self.config),
+                table: cached.to_table(),
+                training_stats: cached.training_stats,
+            };
+        }
+        let grid = &ctx.machine.grid;
+        let histograms_key = artifact::training_histograms_key(
+            ctx.benchmark.name,
+            &ctx.benchmark.inputs.training,
+            ctx.machine,
+            &self.config,
+        );
+        if let Some(shared) = pool.get(&histograms_key) {
+            let plan = ProfilePlan {
+                instrumentation: shared.instrumentation.clone(),
+                table: profile::threshold_table(
+                    &shared.artifact.entries,
+                    self.config.slowdown,
+                    grid,
+                ),
+                training_stats: shared.artifact.training_stats.clone(),
+            };
+            self.cache.store_training(
+                &key,
+                &TrainingArtifact::from_table(&plan.table, plan.training_stats.clone()),
+            );
+            return plan;
+        }
+        if let Some(artifact) = self.cache.load_training_histograms(&histograms_key, grid) {
+            let trace = mcd_workloads::generator::generate_packed(
+                &ctx.benchmark.program,
+                &ctx.benchmark.inputs.training,
+            );
+            let plan = ProfilePlan {
+                instrumentation: instrumentation_plan(&trace, &self.config),
+                table: profile::threshold_table(&artifact.entries, self.config.slowdown, grid),
+                training_stats: artifact.training_stats.clone(),
+            };
+            pool.insert(
+                histograms_key,
+                SharedTraining {
+                    instrumentation: plan.instrumentation.clone(),
+                    artifact: Arc::new(artifact),
+                },
+            );
+            self.cache.store_training(
+                &key,
+                &TrainingArtifact::from_table(&plan.table, plan.training_stats.clone()),
+            );
+            return plan;
+        }
+        let (plan, entries) = train_with_histograms(
+            &ctx.benchmark.program,
+            &ctx.benchmark.inputs.training,
+            ctx.machine,
+            &self.config,
+        );
+        let artifact =
+            TrainingHistogramsArtifact::from_entries(entries, plan.training_stats.clone());
+        self.cache
+            .store_training_histograms(&histograms_key, &artifact, grid);
+        self.cache.store_training(
+            &key,
+            &TrainingArtifact::from_table(&plan.table, plan.training_stats.clone()),
+        );
+        pool.insert(
+            histograms_key,
+            SharedTraining {
+                instrumentation: plan.instrumentation.clone(),
+                artifact: Arc::new(artifact),
+            },
+        );
+        plan
+    }
+}
+
+/// One batch's in-memory share of profile training: the (slowdown-free)
+/// histograms artifact plus the instrumentation plan, both identical for
+/// every batch member whose `training_histograms_key` matches.
+#[derive(Debug, Clone)]
+pub(crate) struct SharedTraining {
+    pub(crate) instrumentation: mcd_profiling::edit::InstrumentationPlan,
+    pub(crate) artifact: Arc<TrainingHistogramsArtifact>,
 }
 
 impl DvfsScheme for ProfileScheme {
@@ -294,6 +554,10 @@ impl DvfsScheme for ProfileScheme {
         let plan = self.plan_for(ctx);
         let mut hooks = plan.hooks();
         Ok(ctx.simulate(&mut hooks))
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
     }
 }
 

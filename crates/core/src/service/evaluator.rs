@@ -1,14 +1,26 @@
 //! The long-lived evaluation service: worker pool, baseline memo, submission.
 
-use crate::evaluation::{BenchmarkEvaluation, EvaluationConfig};
+use crate::artifact::ArtifactKey;
+use crate::error::McdError;
+use crate::evaluation::{BenchmarkEvaluation, EvaluationConfig, SchemeResult};
+use crate::histogram::RegionHistograms;
+use crate::offline::OfflineSchedule;
+use crate::online::OnlineController;
 use crate::parallel::WorkQueue;
-use crate::service::job::{EvalJob, JobId};
+use crate::pipeline::schedule::ScheduleHooks;
+use crate::profile::{ProfileHooks, ProfilePlan};
+use crate::scheme::{
+    names, DvfsScheme, OfflineScheme, OnlineScheme, ProfileScheme, SchemeContext, SchemeOutcome,
+    SharedTraining,
+};
+use crate::service::job::{EvalBatch, EvalJob, JobId};
 use crate::service::stream::{EvalEvent, ResultStream};
 use mcd_sim::config::MachineConfig;
 use mcd_sim::fingerprint::{Fingerprint, Fnv1a};
-use mcd_sim::simulator::{NullHooks, Simulator};
+use mcd_sim::simulator::{NullHooks, SimHooks, Simulator};
 use mcd_sim::stats::SimStats;
 use mcd_sim::trace::PackedTrace;
+use mcd_sim::BatchedSimulator;
 use mcd_workloads::generator::generate_packed;
 use mcd_workloads::suite::Benchmark;
 use std::collections::HashMap;
@@ -45,6 +57,40 @@ struct BaselineArtifacts {
     baseline: SimStats,
 }
 
+/// Counters of batched execution, populated by
+/// [`Evaluator::submit_batch`](crate::service::Evaluator::submit_batch).
+///
+/// After a cold 10-point batch over one benchmark running offline + profile,
+/// expect `groups == 1`, `members == 10`, `baselines_computed == 1`,
+/// `baselines_reused == 9`, `passes == 2` (one per scheme family) and
+/// `lanes == 20` — every number a `submit_all` sweep would have paid per job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Batch groups processed.
+    pub groups: u64,
+    /// Member jobs across those groups.
+    pub members: u64,
+    /// Batches whose first member computed the shared baseline.
+    pub baselines_computed: u64,
+    /// Members served by a baseline another job (or batch member) computed.
+    pub baselines_reused: u64,
+    /// Batched simulation passes (one per scheme family with ≥ 1 lane).
+    pub passes: u64,
+    /// Configuration lanes across those passes.
+    pub lanes: u64,
+}
+
+impl BatchStats {
+    /// Mean lanes per batched pass (zero when no pass ran).
+    pub fn lanes_per_pass(&self) -> f64 {
+        if self.passes == 0 {
+            0.0
+        } else {
+            self.lanes as f64 / self.passes as f64
+        }
+    }
+}
+
 /// One queued unit of work: the job plus the event channel of its submission.
 #[derive(Debug)]
 struct QueuedJob {
@@ -53,15 +99,30 @@ struct QueuedJob {
     events: mpsc::Sender<EvalEvent>,
 }
 
+/// What a worker pops off the queue: a lone job, or a whole batch processed
+/// by one worker so its members can share baseline, capture, and trace
+/// passes.
+#[derive(Debug)]
+enum QueuedWork {
+    Single(Box<QueuedJob>),
+    Batch(Vec<QueuedJob>),
+}
+
 /// State shared between the evaluator handle and its worker threads.
 #[derive(Debug)]
 struct Shared {
     config: EvaluationConfig,
     window_parallelism: usize,
-    queue: WorkQueue<QueuedJob>,
+    queue: WorkQueue<QueuedWork>,
     baselines: Mutex<HashMap<u64, Arc<OnceLock<Arc<BaselineArtifacts>>>>>,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
+    batch_groups: AtomicU64,
+    batch_members: AtomicU64,
+    batch_baselines_computed: AtomicU64,
+    batch_baselines_reused: AtomicU64,
+    batch_passes: AtomicU64,
+    batch_lanes: AtomicU64,
 }
 
 impl Shared {
@@ -189,6 +250,12 @@ impl EvaluatorBuilder {
             baselines: Mutex::new(HashMap::new()),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
+            batch_groups: AtomicU64::new(0),
+            batch_members: AtomicU64::new(0),
+            batch_baselines_computed: AtomicU64::new(0),
+            batch_baselines_reused: AtomicU64::new(0),
+            batch_passes: AtomicU64::new(0),
+            batch_lanes: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -253,6 +320,18 @@ impl Evaluator {
         }
     }
 
+    /// Snapshot of the batched-execution counters.
+    pub fn batch_stats(&self) -> BatchStats {
+        BatchStats {
+            groups: self.shared.batch_groups.load(Ordering::Relaxed),
+            members: self.shared.batch_members.load(Ordering::Relaxed),
+            baselines_computed: self.shared.batch_baselines_computed.load(Ordering::Relaxed),
+            baselines_reused: self.shared.batch_baselines_reused.load(Ordering::Relaxed),
+            passes: self.shared.batch_passes.load(Ordering::Relaxed),
+            lanes: self.shared.batch_lanes.load(Ordering::Relaxed),
+        }
+    }
+
     /// Releases the memoized reference traces and baselines; the counters
     /// are preserved.
     ///
@@ -288,15 +367,49 @@ impl Evaluator {
                 job: id,
                 benchmark: job.benchmark.name.to_string(),
             });
-            self.shared.queue.push(QueuedJob {
+            self.shared
+                .queue
+                .push(QueuedWork::Single(Box::new(QueuedJob {
+                    id,
+                    job,
+                    events: sender.clone(),
+                })));
+        }
+        // Dropping the submission's sender leaves one sender clone per queued
+        // job; the stream therefore ends exactly when the last job finishes.
+        drop(sender);
+        ResultStream {
+            receiver,
+            jobs: ids,
+        }
+    }
+
+    /// Submits a validated [`EvalBatch`]: the whole group goes to one worker,
+    /// which pays for the shared baseline once and runs the members as
+    /// parallel configuration lanes of batched simulation passes (one trace
+    /// pass per scheme family). Events, ordering guarantees, and per-member
+    /// results are exactly those of [`submit_all`](Evaluator::submit_all)
+    /// with the same jobs — batching only changes wall-clock time, counted in
+    /// [`batch_stats`](Evaluator::batch_stats).
+    pub fn submit_batch(&self, batch: EvalBatch) -> ResultStream {
+        let (sender, receiver) = mpsc::channel();
+        let mut ids = Vec::with_capacity(batch.jobs.len());
+        let mut members = Vec::with_capacity(batch.jobs.len());
+        for job in batch.jobs {
+            let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+            ids.push(id);
+            let _ = sender.send(EvalEvent::JobQueued {
+                job: id,
+                benchmark: job.benchmark.name.to_string(),
+            });
+            members.push(QueuedJob {
                 id,
                 job,
                 events: sender.clone(),
             });
         }
-        // Dropping the submission's sender leaves one sender clone per queued
-        // job; the stream therefore ends exactly when the last job finishes.
         drop(sender);
+        self.shared.queue.push(QueuedWork::Batch(members));
         ResultStream {
             receiver,
             jobs: ids,
@@ -315,10 +428,13 @@ impl Drop for Evaluator {
     }
 }
 
-/// A worker: pop jobs until the queue closes and drains.
+/// A worker: pop work until the queue closes and drains.
 fn worker_loop(shared: &Shared) {
-    while let Some(queued) = shared.queue.pop() {
-        process_job(shared, queued);
+    while let Some(work) = shared.queue.pop() {
+        match work {
+            QueuedWork::Single(queued) => process_job(shared, *queued),
+            QueuedWork::Batch(members) => process_batch(shared, members),
+        }
     }
 }
 
@@ -386,6 +502,331 @@ fn process_job(shared: &Shared, queued: QueuedJob) {
     }
 }
 
+/// One member of a batch while the batch is being processed: its registry,
+/// the outcomes accumulated so far (in registry order, exactly as
+/// [`process_job`] would produce them), and whether it has already failed.
+struct BatchMember {
+    id: JobId,
+    benchmark_name: String,
+    events: mpsc::Sender<EvalEvent>,
+    job: EvalJob,
+    registry: Vec<Box<dyn DvfsScheme>>,
+    outcomes: Vec<SchemeOutcome>,
+    failed: bool,
+}
+
+impl BatchMember {
+    fn fail(&mut self, error: McdError) {
+        self.failed = true;
+        let _ = self.events.send(EvalEvent::JobFailed {
+            job: self.id,
+            benchmark: self.benchmark_name.clone(),
+            error,
+        });
+    }
+
+    fn record(&mut self, outcome: SchemeOutcome) {
+        let _ = self.events.send(EvalEvent::SchemeFinished {
+            job: self.id,
+            benchmark: self.benchmark_name.clone(),
+            outcome: outcome.clone(),
+        });
+        self.outcomes.push(outcome);
+    }
+
+    fn context<'a>(
+        &'a self,
+        machine: &'a MachineConfig,
+        artifacts: &'a BaselineArtifacts,
+    ) -> SchemeContext<'a> {
+        SchemeContext {
+            benchmark: self.job.benchmark(),
+            machine,
+            reference_trace: &artifacts.trace,
+            baseline: &artifacts.baseline,
+            prior: &self.outcomes,
+        }
+    }
+}
+
+/// Runs one batch end to end on this worker. Per member the event sequence,
+/// registry order, and statistics are exactly those of [`process_job`]; the
+/// batch differs only in *how* the work is executed — one baseline lookup,
+/// one capture/training pass per shared histogram key, and one batched
+/// multi-lane simulation pass per scheme family. Failures are isolated: a
+/// member whose scheme errors emits its `JobFailed` and drops out; the rest
+/// of the batch continues.
+fn process_batch(shared: &Shared, queued: Vec<QueuedJob>) {
+    if queued.is_empty() {
+        return;
+    }
+    shared.batch_groups.fetch_add(1, Ordering::Relaxed);
+    shared
+        .batch_members
+        .fetch_add(queued.len() as u64, Ordering::Relaxed);
+
+    // Validate every member's registry before paying for the baseline.
+    let mut members: Vec<BatchMember> = Vec::with_capacity(queued.len());
+    for QueuedJob { id, job, events } in queued {
+        let benchmark_name = job.benchmark().name.to_string();
+        let config = job.effective_config(&shared.config, shared.window_parallelism);
+        match job.build_registry(&config) {
+            Ok(registry) => members.push(BatchMember {
+                id,
+                benchmark_name,
+                events,
+                job,
+                registry,
+                outcomes: Vec::new(),
+                failed: false,
+            }),
+            Err(error) => {
+                let _ = events.send(EvalEvent::JobFailed {
+                    job: id,
+                    benchmark: benchmark_name,
+                    error,
+                });
+            }
+        }
+    }
+    if members.is_empty() {
+        return;
+    }
+
+    // One baseline serves the whole batch: jobs cannot override the machine,
+    // and EvalJob::batch guaranteed a single benchmark.
+    let machine = shared.config.machine.clone();
+    let (artifacts, memo_hit) = shared.baseline_for(members[0].job.benchmark(), &machine);
+    if memo_hit {
+        shared
+            .batch_baselines_reused
+            .fetch_add(members.len() as u64, Ordering::Relaxed);
+    } else {
+        shared
+            .batch_baselines_computed
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .batch_baselines_reused
+            .fetch_add(members.len() as u64 - 1, Ordering::Relaxed);
+    }
+    for (i, member) in members.iter().enumerate() {
+        let _ = member.events.send(EvalEvent::BaselineReady {
+            job: member.id,
+            benchmark: member.benchmark_name.clone(),
+            // Members after the first share the baseline the batch obtained.
+            memo_hit: memo_hit || i > 0,
+        });
+    }
+
+    // Scheme families run in standard registry order so a member's `global`
+    // finds its matched scheme among the member's prior outcomes, exactly as
+    // in a serial run. (Subset registries preserve that order too.)
+    for family in [names::OFFLINE, names::ONLINE, names::PROFILE, names::GLOBAL] {
+        run_batch_family(shared, &mut members, family, &machine, &artifacts);
+    }
+
+    for member in members {
+        if member.failed {
+            continue;
+        }
+        let _ = member.events.send(EvalEvent::JobCompleted {
+            job: member.id,
+            evaluation: BenchmarkEvaluation {
+                name: member.benchmark_name,
+                baseline: artifacts.baseline.clone(),
+                schemes: member.outcomes,
+            },
+        });
+    }
+}
+
+/// Runs one scheme family across the batch: members running the family
+/// become lanes of a single batched simulation pass where the concrete
+/// scheme supports it, and fall back to their own serial run otherwise.
+fn run_batch_family(
+    shared: &Shared,
+    members: &mut [BatchMember],
+    family: &'static str,
+    machine: &MachineConfig,
+    artifacts: &BaselineArtifacts,
+) {
+    let participating: Vec<usize> = members
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| !m.failed && m.registry.iter().any(|s| s.name() == family))
+        .map(|(i, _)| i)
+        .collect();
+    if participating.is_empty() {
+        return;
+    }
+
+    match family {
+        names::OFFLINE => {
+            // Per member: obtain the schedule (sharing capture/DAG/shaker
+            // work through the pool), then replay all schedules as lanes of
+            // one batched trace pass.
+            let simulator = Simulator::new(machine.clone());
+            let mut pool: HashMap<ArtifactKey, Arc<Vec<Option<RegionHistograms>>>> = HashMap::new();
+            let mut prepared: Vec<(usize, String, OfflineSchedule, u64)> = Vec::new();
+            for i in participating {
+                let Some(offline) = downcast_family::<OfflineScheme>(&members[i], family) else {
+                    run_member_serially(members, i, family, machine, artifacts);
+                    continue;
+                };
+                let offline = offline.clone();
+                let ctx = members[i].context(machine, artifacts);
+                let schedule = offline.schedule_for_batched(&ctx, &simulator, &mut pool);
+                let label = offline.label();
+                prepared.push((
+                    i,
+                    label,
+                    schedule,
+                    offline.config.window_instructions.max(1),
+                ));
+            }
+            if prepared.is_empty() {
+                return;
+            }
+            let mut hooks: Vec<ScheduleHooks<'_>> = prepared
+                .iter()
+                .map(|(_, _, schedule, window)| ScheduleHooks::new(schedule, *window))
+                .collect();
+            let stats = run_lanes(shared, machine, artifacts, &mut hooks);
+            let labeled = prepared
+                .iter()
+                .map(|(i, label, _, _)| (*i, label.clone()))
+                .collect();
+            finish_lanes(members, family, artifacts, labeled, stats);
+        }
+        names::ONLINE => {
+            let mut labeled: Vec<(usize, String)> = Vec::new();
+            let mut controllers: Vec<OnlineController> = Vec::new();
+            for i in participating {
+                let Some(online) = downcast_family::<OnlineScheme>(&members[i], family) else {
+                    run_member_serially(members, i, family, machine, artifacts);
+                    continue;
+                };
+                // A fresh controller per lane, as in OnlineScheme::run.
+                controllers.push(OnlineController::new(online.config));
+                labeled.push((i, online.label()));
+            }
+            if controllers.is_empty() {
+                return;
+            }
+            let stats = run_lanes(shared, machine, artifacts, &mut controllers);
+            finish_lanes(members, family, artifacts, labeled, stats);
+        }
+        names::PROFILE => {
+            let mut pool: HashMap<ArtifactKey, SharedTraining> = HashMap::new();
+            let mut prepared: Vec<(usize, String, ProfilePlan)> = Vec::new();
+            for i in participating {
+                let Some(profile) = downcast_family::<ProfileScheme>(&members[i], family) else {
+                    run_member_serially(members, i, family, machine, artifacts);
+                    continue;
+                };
+                let profile = profile.clone();
+                let ctx = members[i].context(machine, artifacts);
+                let plan = profile.plan_for_batched(&ctx, &mut pool);
+                prepared.push((i, profile.label(), plan));
+            }
+            if prepared.is_empty() {
+                return;
+            }
+            let mut hooks: Vec<ProfileHooks<'_>> =
+                prepared.iter().map(|(_, _, plan)| plan.hooks()).collect();
+            let stats = run_lanes(shared, machine, artifacts, &mut hooks);
+            let labeled = prepared
+                .iter()
+                .map(|(i, label, _)| (*i, label.clone()))
+                .collect();
+            finish_lanes(members, family, artifacts, labeled, stats);
+        }
+        // Global DVS (and any future family without a batched form) depends
+        // on per-member prior outcomes; it runs serially per member.
+        _ => {
+            for i in participating {
+                run_member_serially(members, i, family, machine, artifacts);
+            }
+        }
+    }
+}
+
+/// Downcasts a member's instance of `family` to its concrete scheme type;
+/// `None` sends the member down the serial fallback.
+fn downcast_family<'a, S: 'static>(member: &'a BatchMember, family: &str) -> Option<&'a S> {
+    member
+        .registry
+        .iter()
+        .find(|s| s.name() == family)?
+        .as_any()?
+        .downcast_ref::<S>()
+}
+
+/// One batched multi-lane simulation pass over the shared reference trace.
+fn run_lanes<H: SimHooks>(
+    shared: &Shared,
+    machine: &MachineConfig,
+    artifacts: &BaselineArtifacts,
+    hooks: &mut [H],
+) -> Vec<SimStats> {
+    shared.batch_passes.fetch_add(1, Ordering::Relaxed);
+    shared
+        .batch_lanes
+        .fetch_add(hooks.len() as u64, Ordering::Relaxed);
+    let batched = BatchedSimulator::new(machine.clone());
+    let mut lanes: Vec<&mut dyn SimHooks> =
+        hooks.iter_mut().map(|h| h as &mut dyn SimHooks).collect();
+    batched.run(artifacts.trace.iter(), &mut lanes)
+}
+
+/// Turns each lane's stats into the member's `SchemeOutcome`, emitting
+/// `SchemeFinished` per member in lane order.
+fn finish_lanes(
+    members: &mut [BatchMember],
+    family: &'static str,
+    artifacts: &BaselineArtifacts,
+    labeled: Vec<(usize, String)>,
+    stats: Vec<SimStats>,
+) {
+    for ((i, label), stats) in labeled.into_iter().zip(stats) {
+        members[i].record(SchemeOutcome {
+            name: family.to_string(),
+            label,
+            result: SchemeResult::new(stats, &artifacts.baseline),
+        });
+    }
+}
+
+/// The always-correct fallback: the member runs this family exactly as
+/// [`process_job`] would, against its own context. A scheme error fails the
+/// member (and only the member).
+fn run_member_serially(
+    members: &mut [BatchMember],
+    i: usize,
+    family: &str,
+    machine: &MachineConfig,
+    artifacts: &BaselineArtifacts,
+) {
+    let result = {
+        let member = &members[i];
+        let scheme = member
+            .registry
+            .iter()
+            .find(|s| s.name() == family)
+            .expect("participating member has the scheme");
+        let ctx = member.context(machine, artifacts);
+        scheme.run(&ctx).map(|stats| SchemeOutcome {
+            name: scheme.name().to_string(),
+            label: scheme.label(),
+            result: SchemeResult::new(stats, &artifacts.baseline),
+        })
+    };
+    match result {
+        Ok(outcome) => members[i].record(outcome),
+        Err(error) => members[i].fail(error),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +871,101 @@ mod tests {
         assert!(stream.jobs().is_empty());
         let evals = stream.collect().expect("empty batch succeeds");
         assert!(evals.is_empty());
+    }
+
+    #[test]
+    fn batched_submission_matches_serial_submission_bit_for_bit() {
+        use crate::scheme::names;
+
+        let bench = mcd_workloads::suite::benchmark("adpcm decode").unwrap();
+        let jobs = || {
+            vec![
+                EvalJob::new(bench.clone())
+                    .with_slowdown(0.02)
+                    .with_schemes([names::OFFLINE, names::PROFILE]),
+                EvalJob::new(bench.clone())
+                    .with_slowdown(0.10)
+                    .with_schemes([names::OFFLINE, names::PROFILE]),
+                EvalJob::new(bench.clone()).with_global(true),
+            ]
+        };
+        let serial = Evaluator::builder()
+            .build()
+            .submit_all(jobs())
+            .collect()
+            .expect("serial sweep succeeds");
+
+        let evaluator = Evaluator::builder().build();
+        let batched = evaluator
+            .submit_batch(EvalJob::batch(jobs()).expect("one benchmark"))
+            .collect()
+            .expect("batched sweep succeeds");
+
+        assert_eq!(serial.len(), batched.len());
+        for (s, b) in serial.iter().zip(&batched) {
+            assert_eq!(s.name, b.name);
+            assert_eq!(s.schemes.len(), b.schemes.len());
+            for (so, bo) in s.schemes.iter().zip(&b.schemes) {
+                assert_eq!(so.name, bo.name);
+                assert_eq!(so.label, bo.label);
+                assert_eq!(so.result.stats.run_time, bo.result.stats.run_time);
+                assert_eq!(
+                    so.result.stats.total_energy.as_units(),
+                    bo.result.stats.total_energy.as_units()
+                );
+                assert_eq!(
+                    so.result.stats.reconfigurations,
+                    bo.result.stats.reconfigurations
+                );
+            }
+        }
+
+        let stats = evaluator.batch_stats();
+        assert_eq!(stats.groups, 1);
+        assert_eq!(stats.members, 3);
+        assert_eq!(stats.baselines_computed, 1);
+        assert_eq!(stats.baselines_reused, 2);
+        // offline (3 lanes), online (1), profile (3) batch; global is serial.
+        assert_eq!(stats.passes, 3);
+        assert_eq!(stats.lanes, 7);
+        assert!((stats.lanes_per_pass() - 7.0 / 3.0).abs() < 1e-12);
+        // One member computed the memoized baseline, two reused it.
+        let memo = evaluator.memo_stats();
+        assert_eq!(memo.misses, 1);
+        assert_eq!(memo.hits, 0);
+    }
+
+    #[test]
+    fn batch_members_fail_in_isolation() {
+        use crate::scheme::names;
+
+        let bench = mcd_workloads::suite::benchmark("adpcm decode").unwrap();
+        let evaluator = Evaluator::builder().build();
+        // `global` without its matched scheme fails that member alone.
+        let batch = EvalJob::batch(vec![
+            EvalJob::new(bench.clone()).with_schemes([names::ONLINE]),
+            EvalJob::new(bench.clone()).with_schemes([names::GLOBAL]),
+        ])
+        .expect("one benchmark");
+        let err = evaluator.submit_batch(batch).collect().unwrap_err();
+        assert!(matches!(err, McdError::MissingDependency { .. }));
+
+        // Per-member streaming still delivered the healthy member's result.
+        let batch = EvalJob::batch(vec![
+            EvalJob::new(bench.clone()).with_schemes([names::ONLINE]),
+            EvalJob::new(bench.clone()).with_schemes([names::GLOBAL]),
+        ])
+        .expect("one benchmark");
+        let mut completed = 0;
+        let mut failed = 0;
+        for event in evaluator.submit_batch(batch) {
+            match event {
+                EvalEvent::JobCompleted { .. } => completed += 1,
+                EvalEvent::JobFailed { .. } => failed += 1,
+                _ => {}
+            }
+        }
+        assert_eq!((completed, failed), (1, 1));
     }
 
     #[test]

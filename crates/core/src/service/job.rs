@@ -135,6 +135,64 @@ impl EvalJob {
             None => configured_registry(config),
         }
     }
+
+    /// Groups several jobs over the *same* benchmark into an [`EvalBatch`]
+    /// for [`Evaluator::submit_batch`](crate::service::Evaluator::submit_batch):
+    /// the whole group is processed by one worker in batched simulation
+    /// passes (one baseline lookup, N configuration lanes per trace pass)
+    /// instead of N independent jobs. Results are bit-identical either way.
+    ///
+    /// Fails with [`McdError::InvalidConfig`] if `jobs` is empty or the jobs
+    /// name different benchmarks (a batch shares one reference trace).
+    pub fn batch(jobs: Vec<EvalJob>) -> Result<EvalBatch, McdError> {
+        let first = jobs
+            .first()
+            .ok_or_else(|| McdError::InvalidConfig("a batch needs at least one job".to_string()))?;
+        let name = first.benchmark.name;
+        if let Some(other) = jobs.iter().find(|j| j.benchmark.name != name) {
+            return Err(McdError::InvalidConfig(format!(
+                "batched jobs must share one benchmark, got `{name}` and `{}`",
+                other.benchmark.name
+            )));
+        }
+        Ok(EvalBatch { jobs })
+    }
+}
+
+/// A validated group of jobs over one benchmark, built by [`EvalJob::batch`]
+/// and submitted via
+/// [`Evaluator::submit_batch`](crate::service::Evaluator::submit_batch).
+///
+/// All members share the batch's single reference trace and baseline; per
+/// scheme family the members run as parallel lanes of one batched simulation
+/// pass (see [`mcd_sim::batch::BatchedSimulator`]), and members whose configs
+/// differ only in the slowdown target additionally share one
+/// capture/DAG/shaker pass through the incremental histogram artifacts.
+#[derive(Debug, Clone)]
+pub struct EvalBatch {
+    pub(crate) jobs: Vec<EvalJob>,
+}
+
+impl EvalBatch {
+    /// The member jobs, in submission order.
+    pub fn jobs(&self) -> &[EvalJob] {
+        &self.jobs
+    }
+
+    /// The benchmark every member evaluates.
+    pub fn benchmark(&self) -> &Benchmark {
+        &self.jobs[0].benchmark
+    }
+
+    /// Number of member jobs (at least one).
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Always false — [`EvalJob::batch`] rejects empty batches.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +239,27 @@ mod tests {
             err,
             crate::error::McdError::UnknownBenchmark(name) if name == "no-such-benchmark"
         ));
+    }
+
+    #[test]
+    fn batches_validate_membership() {
+        let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+        let other = suite::benchmark("gsm decode").expect("known benchmark");
+        let batch = EvalJob::batch(vec![
+            EvalJob::new(bench.clone()).with_slowdown(0.02),
+            EvalJob::new(bench.clone()).with_slowdown(0.10),
+        ])
+        .expect("same benchmark batches");
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.benchmark().name, "adpcm decode");
+
+        assert!(matches!(
+            EvalJob::batch(Vec::new()),
+            Err(McdError::InvalidConfig(_))
+        ));
+        let err = EvalJob::batch(vec![EvalJob::new(bench), EvalJob::new(other)]).unwrap_err();
+        assert!(matches!(err, McdError::InvalidConfig(_)));
     }
 
     #[test]

@@ -84,6 +84,6 @@ mod evaluator;
 mod job;
 mod stream;
 
-pub use evaluator::{Evaluator, EvaluatorBuilder, MemoStats};
-pub use job::{EvalJob, JobId};
+pub use evaluator::{BatchStats, Evaluator, EvaluatorBuilder, MemoStats};
+pub use job::{EvalBatch, EvalJob, JobId};
 pub use stream::{EvalEvent, ResultStream};

@@ -87,56 +87,15 @@ impl Shaker {
 
         let mut pass = 0;
         while pass < self.config.max_passes && threshold > floor {
+            // Backward passes anchor events to their upper bound (slack moves
+            // to incoming edges), forward passes to their lower bound. The
+            // per-event stretch rule lives with the DAG's columns
+            // ([`DependenceDag::stretch_pass`]) so the inner loop runs on raw
+            // slices instead of per-event accessor calls.
             let order = if pass % 2 == 0 { &backward } else { &forward };
-            let push_late = pass % 2 == 0;
-            for &idx in order {
-                self.try_stretch(dag, idx as usize, threshold, push_late);
-            }
+            dag.stretch_pass(order, threshold, MAX_STRETCH, pass % 2 == 0);
             threshold *= self.config.threshold_decay;
             pass += 1;
-        }
-    }
-
-    /// Attempts to stretch event `idx` under the current `threshold`. On
-    /// backward passes (`push_late`), the event is anchored to its upper bound
-    /// so remaining slack moves to its incoming edges; on forward passes it is
-    /// anchored to its lower bound.
-    #[inline]
-    fn try_stretch(&self, dag: &mut DependenceDag, idx: usize, threshold: f64, push_late: bool) {
-        let lower = dag.lower_bound(idx);
-        let upper = dag.upper_bound(idx);
-        let span = upper.saturating_sub(lower);
-        if dag.power_factor(idx) <= threshold {
-            // Not a high-power event at this threshold; just reposition it so
-            // slack accumulates on the requested side.
-            let duration = dag.duration(idx);
-            if span > duration {
-                if push_late {
-                    dag.set_schedule(idx, upper.saturating_sub(duration), upper);
-                } else {
-                    dag.set_schedule(idx, lower, lower + duration);
-                }
-            }
-            return;
-        }
-        let nominal_duration = dag.nominal_duration(idx);
-        if nominal_duration.is_zero() || span.is_zero() {
-            return;
-        }
-        // Stretch until the power factor falls below the threshold, the slack
-        // is exhausted, or the quarter-frequency limit is reached.
-        let stretch_for_threshold = dag.nominal_power(idx) / threshold;
-        let stretch_for_slack = span.as_ns() / nominal_duration.as_ns();
-        let new_scale = stretch_for_threshold
-            .min(stretch_for_slack)
-            .min(MAX_STRETCH)
-            .max(dag.scale(idx));
-        dag.set_scale(idx, new_scale);
-        let duration = dag.duration(idx);
-        if push_late {
-            dag.set_schedule(idx, upper.saturating_sub(duration), upper);
-        } else {
-            dag.set_schedule(idx, lower, lower + duration);
         }
     }
 

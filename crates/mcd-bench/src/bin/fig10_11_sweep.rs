@@ -3,11 +3,14 @@
 //! algorithms, produced by sweeping the slowdown threshold (off-line and
 //! profile) and the controller aggressiveness (on-line).
 //!
-//! This sweep is the evaluation service's showcase: one [`Evaluator`] takes
-//! every (configuration × benchmark) job up front, so each benchmark's
-//! reference trace and full-speed baseline are computed exactly once across
-//! all ten configuration points, and each point's jobs run only the schemes
-//! its series reads (the decay sweep does not re-run the off-line oracle).
+//! This sweep is the evaluation service's showcase: per benchmark the whole
+//! parameter series is submitted as one *batched job group*
+//! ([`EvalJob::batch`]), so the benchmark's reference trace and full-speed
+//! baseline are paid for once per batch, the threshold series re-derives
+//! every slowdown point from a single capture/shaker pass, and each scheme
+//! family replays all points as parallel lanes of one batched trace pass.
+//! The printed figures are bit-identical to submitting every job
+//! independently — only the wall clock (and the stderr statistics) differ.
 
 use mcd_bench::{
     default_config, report_cache, run_main, selected_benchmarks, Options, SuiteSelection,
@@ -19,9 +22,9 @@ use mcd_dvfs::service::{EvalJob, Evaluator, ResultStream};
 use mcd_workloads::suite::Benchmark;
 use std::process::ExitCode;
 
-fn scheme_means(evals: &[BenchmarkEvaluation], scheme: &str) -> (f64, f64, f64) {
+fn scheme_means(evals: &[&BenchmarkEvaluation], scheme: &str) -> (f64, f64, f64) {
     let collect = |f: &dyn Fn(&BenchmarkEvaluation) -> Option<f64>| -> f64 {
-        Summary::of(&evals.iter().filter_map(f).collect::<Vec<_>>()).mean
+        Summary::of(&evals.iter().filter_map(|e| f(e)).collect::<Vec<_>>()).mean
     };
     (
         collect(&|e| Some(e.result(scheme)?.metrics.performance_degradation)),
@@ -64,28 +67,31 @@ fn main() -> ExitCode {
             .config(default_config(&options, false))
             .build();
 
-        // Submit everything up front; streams are drained in print order
-        // while the workers keep chewing through later points.
-        let threshold_batches: Vec<(f64, ResultStream)> = slowdown_targets
+        // One batched group per (benchmark, series): a batch spans one
+        // benchmark, so the series axis runs *inside* the batch — five
+        // slowdown (or decay) points as lanes of shared trace passes. All
+        // groups are submitted up front; workers chew through them in
+        // parallel.
+        let threshold_groups: Vec<ResultStream> = benches
             .iter()
-            .map(|&d| {
-                let jobs = benches
+            .map(|b: &Benchmark| {
+                let jobs = slowdown_targets
                     .iter()
-                    .map(|b: &Benchmark| {
+                    .map(|&d| {
                         EvalJob::new(b.clone())
                             .with_slowdown(d)
                             .with_schemes([names::OFFLINE, names::PROFILE])
                     })
                     .collect();
-                (d, evaluator.submit_all(jobs))
+                Ok(evaluator.submit_batch(EvalJob::batch(jobs)?))
             })
-            .collect();
-        let decay_batches: Vec<(f64, ResultStream)> = online_decays
+            .collect::<Result<_, mcd_dvfs::error::McdError>>()?;
+        let decay_groups: Vec<ResultStream> = benches
             .iter()
-            .map(|&decay| {
-                let jobs = benches
+            .map(|b: &Benchmark| {
+                let jobs = online_decays
                     .iter()
-                    .map(|b: &Benchmark| {
+                    .map(|&decay| {
                         EvalJob::new(b.clone())
                             .with_online(OnlineConfig {
                                 decay_mhz: decay,
@@ -94,9 +100,9 @@ fn main() -> ExitCode {
                             .with_schemes([names::ONLINE])
                     })
                     .collect();
-                (decay, evaluator.submit_all(jobs))
+                Ok(evaluator.submit_batch(EvalJob::batch(jobs)?))
             })
-            .collect();
+            .collect::<Result<_, mcd_dvfs::error::McdError>>()?;
 
         println!("Figures 10 and 11. Energy savings and energy-delay improvement vs. slowdown.");
         println!();
@@ -106,19 +112,36 @@ fn main() -> ExitCode {
         );
         println!("{}", "-".repeat(84));
 
+        // Each group's stream yields its benchmark's evaluations in point
+        // order; regroup by point to print the same per-point suite means as
+        // ever.
+        let collect_groups = |groups: Vec<ResultStream>| -> Result<
+            Vec<Vec<BenchmarkEvaluation>>,
+            mcd_dvfs::error::McdError,
+        > {
+            groups
+                .into_iter()
+                .zip(&benches)
+                .map(|(stream, b)| {
+                    eprintln!("  collecting {} ...", b.name);
+                    stream.collect()
+                })
+                .collect()
+        };
+
         // Off-line and profile-based: sweep the slowdown threshold d.
-        for (d, stream) in threshold_batches {
-            eprintln!("  collecting d={d:.2} ...");
-            let evals = stream.collect()?;
+        let per_bench = collect_groups(threshold_groups)?;
+        for (pi, &d) in slowdown_targets.iter().enumerate() {
+            let evals: Vec<&BenchmarkEvaluation> = per_bench.iter().map(|e| &e[pi]).collect();
             let label = format!("d={:.0}%", d * 100.0);
             print_row("off-line", &label, scheme_means(&evals, names::OFFLINE));
             print_row("L+F", &label, scheme_means(&evals, names::PROFILE));
         }
 
         // On-line: sweep the decay rate (more aggressive decay = more slowdown).
-        for (decay, stream) in decay_batches {
-            eprintln!("  collecting decay={decay} ...");
-            let evals = stream.collect()?;
+        let per_bench = collect_groups(decay_groups)?;
+        for (pi, &decay) in online_decays.iter().enumerate() {
+            let evals: Vec<&BenchmarkEvaluation> = per_bench.iter().map(|e| &e[pi]).collect();
             print_row(
                 "on-line",
                 &format!("decay={decay}"),
@@ -128,10 +151,22 @@ fn main() -> ExitCode {
 
         let memo = evaluator.memo_stats();
         eprintln!(
-            "  baselines: {} computed, {} reused across {} jobs",
+            "  baselines: {} computed, {} reused across {} lookups",
             memo.misses,
             memo.hits,
             memo.lookups()
+        );
+        let batch = evaluator.batch_stats();
+        eprintln!(
+            "  batches: {} groups, {} members; baselines {} computed, {} reused; \
+             {} batched passes, {} lanes ({:.1} lanes/pass)",
+            batch.groups,
+            batch.members,
+            batch.baselines_computed,
+            batch.baselines_reused,
+            batch.passes,
+            batch.lanes,
+            batch.lanes_per_pass()
         );
         report_cache();
         Ok(())

@@ -1,7 +1,7 @@
 //! `perf_report` — the dependency-free macro-benchmark harness behind the
 //! repository's tracked performance trajectory (`BENCH_*.json`).
 //!
-//! The harness times four stages of the simulator's hot data path, each in a
+//! The harness times six stages of the simulator's hot data path, each in a
 //! fresh child process (re-executing this binary with `--child --stage X`) so
 //! per-stage peak RSS is meaningful and every measurement is cold:
 //!
@@ -11,18 +11,26 @@
 //!   (off-line pipeline stages 1–2),
 //! * `fig4_quick`    — a complete cold `fig4 --quick` evaluation (baseline +
 //!   off-line + on-line + profile on the six-benchmark subset, cache
-//!   disabled).
+//!   disabled),
+//! * `sweep_point`   — one cold batched evaluation of a single slowdown
+//!   point (off-line + profile, cache disabled),
+//! * `sweep`         — the same evaluation over ten slowdown points as *one*
+//!   batched job group: one capture/training pass, ten re-thresholded
+//!   configuration lanes per trace pass.
 //!
 //! The parent runs each stage `--iters` times (default 3), reports
 //! median wall-clock and peak RSS, and writes the JSON report (default
-//! `BENCH_5.json`, see the README's "Performance" section for the schema).
-//! `--check <file>` compares the measured `fig4_quick` median against a
-//! previously committed report and exits non-zero on a regression beyond
-//! `--tolerance` (default 0.25, i.e. 25%) — the CI bench smoke gate.
+//! `BENCH_6.json`, see the README's "Performance" section for the schema).
+//! `--check <file>` compares the measured `fig4_quick` and `sweep` medians
+//! against a previously committed report and exits non-zero on a regression
+//! beyond `--tolerance` (default 0.25, i.e. 25%); it also asserts the sweep's
+//! sublinear scaling (ten batched points under 4× the one-point cost) — the
+//! CI bench smoke gates.
 
 use mcd_dvfs::evaluation::EvaluationConfig;
 use mcd_dvfs::offline::OfflineConfig;
 use mcd_dvfs::pipeline::AnalysisPipeline;
+use mcd_dvfs::scheme::names;
 use mcd_dvfs::service::{EvalJob, Evaluator};
 use mcd_sim::config::MachineConfig;
 use mcd_sim::simulator::{NullHooks, Simulator};
@@ -35,9 +43,24 @@ use std::process::{Command, ExitCode, Stdio};
 use std::time::Instant;
 
 /// Report schema version (bump on layout changes).
-const SCHEMA: u32 = 1;
+const SCHEMA: u32 = 2;
 
-const STAGES: [&str; 4] = ["trace_gen", "baseline_sim", "capture", "fig4_quick"];
+const STAGES: [&str; 6] = [
+    "trace_gen",
+    "baseline_sim",
+    "capture",
+    "fig4_quick",
+    "sweep_point",
+    "sweep",
+];
+
+/// The sweep stages' slowdown points: `SWEEP_POINTS` evenly spaced targets
+/// (`sweep_point` times only the first).
+const SWEEP_POINTS: usize = 10;
+
+/// The sublinearity gate: the ten-point batched sweep must cost less than
+/// this multiple of the one-point run.
+const SWEEP_SCALING_LIMIT: f64 = 4.0;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,23 +81,27 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(3);
-    let out = value("--out").unwrap_or_else(|| "BENCH_5.json".to_string());
+    let out = value("--out").unwrap_or_else(|| "BENCH_6.json".to_string());
     let check = value("--check");
     let tolerance: f64 = value("--tolerance")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.25);
 
-    // Read the committed baseline *before* measuring (the fresh report may
-    // overwrite the same file).
-    let committed_fig4 = match &check {
+    // Read the committed baselines *before* measuring (the fresh report may
+    // overwrite the same file). A committed report predating the sweep stage
+    // simply skips that comparison.
+    let (committed_fig4, committed_sweep) = match &check {
         Some(path) => match std::fs::read_to_string(path) {
-            Ok(json) => json_stage_field(&json, "fig4_quick", "median_wall_ms"),
+            Ok(json) => (
+                json_stage_field(&json, "fig4_quick", "median_wall_ms"),
+                json_stage_field(&json, "sweep", "median_wall_ms"),
+            ),
             Err(err) => {
                 eprintln!("perf_report: cannot read {path}: {err}");
                 return ExitCode::FAILURE;
             }
         },
-        None => None,
+        None => (None, None),
     };
 
     let exe = match std::env::current_exe() {
@@ -87,6 +114,8 @@ fn main() -> ExitCode {
 
     let mut stages_json = Vec::new();
     let mut fig4_median = f64::NAN;
+    let mut sweep_median = f64::NAN;
+    let mut sweep_point_median = f64::NAN;
     for stage in STAGES {
         let mut walls = Vec::new();
         let mut rss = Vec::new();
@@ -105,8 +134,11 @@ fn main() -> ExitCode {
         }
         let wall_median = median(&mut walls.clone());
         let rss_median = median(&mut rss.clone());
-        if stage == "fig4_quick" {
-            fig4_median = wall_median;
+        match stage {
+            "fig4_quick" => fig4_median = wall_median,
+            "sweep" => sweep_median = wall_median,
+            "sweep_point" => sweep_point_median = wall_median,
+            _ => {}
         }
         eprintln!(
             "perf_report: {stage:<13} median {:>9.1} ms  peak-rss {:>8.0} KB",
@@ -144,19 +176,47 @@ fn main() -> ExitCode {
             eprintln!("perf_report: {path} has no fig4_quick median to check against");
             return ExitCode::FAILURE;
         };
-        let limit = committed * (1.0 + tolerance);
-        if fig4_median > limit {
+        let gate = |stage: &str, measured: f64, committed: f64| -> bool {
+            let limit = committed * (1.0 + tolerance);
+            if measured > limit {
+                eprintln!(
+                    "perf_report: REGRESSION — {stage} median {measured:.1} ms exceeds \
+                     committed {committed:.1} ms by more than {:.0}% (limit {limit:.1} ms)",
+                    tolerance * 100.0
+                );
+                return false;
+            }
             eprintln!(
-                "perf_report: REGRESSION — fig4_quick median {fig4_median:.1} ms exceeds \
-                 committed {committed:.1} ms by more than {:.0}% (limit {limit:.1} ms)",
+                "perf_report: {stage} median {measured:.1} ms within {:.0}% of committed \
+                 {committed:.1} ms",
                 tolerance * 100.0
+            );
+            true
+        };
+        if !gate("fig4_quick", fig4_median, committed) {
+            return ExitCode::FAILURE;
+        }
+        match committed_sweep {
+            Some(committed) => {
+                if !gate("sweep", sweep_median, committed) {
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => eprintln!("perf_report: {path} predates the sweep stage; skipping its gate"),
+        }
+        // The batched sweep's reason to exist: N points must stay well under
+        // N independent runs. Gate the measured scaling directly.
+        let scaling = sweep_median / sweep_point_median;
+        if !scaling.is_finite() || scaling > SWEEP_SCALING_LIMIT {
+            eprintln!(
+                "perf_report: REGRESSION — {SWEEP_POINTS}-point sweep costs {scaling:.2}x a \
+                 single point (limit {SWEEP_SCALING_LIMIT:.1}x): batching has stopped paying off"
             );
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "perf_report: fig4_quick median {fig4_median:.1} ms within {:.0}% of committed \
-             {committed:.1} ms",
-            tolerance * 100.0
+            "perf_report: sweep scaling {scaling:.2}x for {SWEEP_POINTS} points \
+             (limit {SWEEP_SCALING_LIMIT:.1}x)"
         );
     }
     ExitCode::SUCCESS
@@ -223,8 +283,48 @@ fn run_child(stage: &str) -> ExitCode {
                 }
             }
         }
+        "sweep" => return run_sweep(SWEEP_POINTS),
+        "sweep_point" => return run_sweep(1),
         other => {
             eprintln!("perf_report: unknown stage `{other}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    emit_measurement(start)
+}
+
+/// A cold batched slowdown sweep over one benchmark: `points` evenly spaced
+/// targets submitted as one [`EvalJob::batch`] group (off-line + profile,
+/// cache disabled). With one point this is the per-configuration unit cost
+/// the `sweep` stage's sublinearity is measured against.
+fn run_sweep(points: usize) -> ExitCode {
+    let bench = match mcd_dvfs::error::find_benchmark("adpcm decode") {
+        Ok(bench) => bench,
+        Err(err) => {
+            eprintln!("perf_report: sweep benchmark unavailable: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = EvaluationConfig {
+        parallelism: 1,
+        ..EvaluationConfig::default()
+    };
+    let evaluator = Evaluator::builder().config(config).workers(1).build();
+    let jobs: Vec<EvalJob> = (0..points)
+        .map(|i| {
+            EvalJob::new(bench.clone())
+                .with_slowdown(0.02 + 0.012 * i as f64)
+                .with_schemes([names::OFFLINE, names::PROFILE])
+        })
+        .collect();
+    let batch = EvalJob::batch(jobs).expect("one benchmark, at least one point");
+    let start = Instant::now();
+    match evaluator.submit_batch(batch).collect() {
+        Ok(evals) => {
+            black_box(evals);
+        }
+        Err(err) => {
+            eprintln!("perf_report: sweep evaluation failed: {err}");
             return ExitCode::FAILURE;
         }
     }

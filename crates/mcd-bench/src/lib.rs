@@ -116,6 +116,15 @@ pub fn report_cache() {
             .expect("enabled cache has a directory")
             .display()
     );
+    // Per-kind breakdown: the CI sweep smoke asserts `misses=0` on the
+    // expensive slowdown-independent kinds specifically (packed-trace,
+    // window-histograms), not just on the aggregate.
+    for (kind, k) in cache.kind_stats_all() {
+        eprintln!(
+            "mcd-cache[{kind}]: hits={} misses={} writes={} errors={}",
+            k.hits, k.misses, k.writes, k.errors
+        );
+    }
     cache.flush_stats_log();
 }
 

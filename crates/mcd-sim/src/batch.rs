@@ -1,0 +1,200 @@
+//! Batched multi-configuration simulation: one trace pass, many state lanes.
+//!
+//! A sweep evaluates the same instruction stream under many control
+//! configurations. Run serially, every configuration point pays the full
+//! trace decode and iteration cost again even though the items are identical.
+//! [`BatchedSimulator`] instead carries N completely independent per-lane
+//! machine states (domain clocks, issue queues, caches, branch predictor,
+//! synchronizer, energy accounts) over a *single* pass of the trace: each
+//! decoded item is fed to every lane in lane order.
+//!
+//! Because a lane's state never observes anything but the shared item stream
+//! and its own hooks, lane `i`'s statistics are **bit-identical** to running
+//! the trace alone under hooks `i` (see the batched-vs-serial property test
+//! in `tests/properties.rs`). Event recording is not supported in batch mode;
+//! batched lanes always run with recording off, exactly like
+//! [`Simulator::run`] with `record_events == false`.
+
+use crate::config::MachineConfig;
+use crate::instruction::TraceItem;
+use crate::power::PowerModel;
+use crate::simulator::{SimHooks, Simulator};
+use crate::stats::SimStats;
+
+/// Runs one trace under many control configurations in a single pass.
+///
+/// All lanes share one machine configuration and power model — a batch varies
+/// the *control policy* (hooks), not the hardware. Configuration points that
+/// change the machine itself need separate runs.
+///
+/// ```
+/// use mcd_sim::batch::BatchedSimulator;
+/// use mcd_sim::config::MachineConfig;
+/// use mcd_sim::instruction::{Instr, InstrClass, TraceItem};
+/// use mcd_sim::simulator::{NullHooks, SimHooks};
+///
+/// let sim = BatchedSimulator::new(MachineConfig::default());
+/// let trace: Vec<TraceItem> = (0..100)
+///     .map(|i| TraceItem::Instr(Instr::op(0x1000 + i * 4, InstrClass::IntAlu)))
+///     .collect();
+/// let mut a = NullHooks;
+/// let mut b = NullHooks;
+/// let mut lanes: Vec<&mut dyn SimHooks> = vec![&mut a, &mut b];
+/// let stats = sim.run(trace, &mut lanes);
+/// assert_eq!(stats.len(), 2);
+/// assert_eq!(stats[0].instructions, 100);
+/// assert_eq!(
+///     stats[0].run_time.as_ns().to_bits(),
+///     stats[1].run_time.as_ns().to_bits()
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedSimulator {
+    inner: Simulator,
+}
+
+impl BatchedSimulator {
+    /// Creates a batched simulator for the given machine configuration, using
+    /// the default power model.
+    pub fn new(config: MachineConfig) -> Self {
+        BatchedSimulator {
+            inner: Simulator::new(config),
+        }
+    }
+
+    /// Creates a batched simulator with an explicit power model.
+    pub fn with_power_model(config: MachineConfig, power: PowerModel) -> Self {
+        BatchedSimulator {
+            inner: Simulator::with_power_model(config, power),
+        }
+    }
+
+    /// Wraps an existing simulator (sharing its machine and power model).
+    pub fn from_simulator(inner: Simulator) -> Self {
+        BatchedSimulator { inner }
+    }
+
+    /// The underlying single-lane simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.inner
+    }
+
+    /// The shared machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        self.inner.config()
+    }
+
+    /// Runs `trace` once, carrying one independent state lane per entry of
+    /// `lanes`; returns each lane's statistics in lane order. An empty lane
+    /// set returns an empty vector without touching the trace.
+    pub fn run<I>(&self, trace: I, lanes: &mut [&mut dyn SimHooks]) -> Vec<SimStats>
+    where
+        I: IntoIterator<Item = TraceItem>,
+    {
+        if lanes.is_empty() {
+            return Vec::new();
+        }
+        self.inner.run_lanes(trace.into_iter(), lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::{Instr, InstrClass, LoopId, Marker};
+    use crate::reconfig::FrequencySetting;
+    use crate::simulator::NullHooks;
+    use crate::time::MegaHertz;
+
+    fn mixed_trace() -> Vec<TraceItem> {
+        let mut items = Vec::new();
+        items.push(TraceItem::Marker(Marker::LoopEnter { loop_id: LoopId(1) }));
+        for i in 0..400u64 {
+            let class = match i % 4 {
+                0 => InstrClass::IntAlu,
+                1 => InstrClass::FpAdd,
+                2 => InstrClass::Load,
+                _ => InstrClass::IntMul,
+            };
+            items.push(TraceItem::Instr(
+                Instr::op(0x1000 + i * 4, class).with_dep1(3),
+            ));
+        }
+        items.push(TraceItem::Marker(Marker::LoopExit { loop_id: LoopId(1) }));
+        items
+    }
+
+    /// A hook that pins every scalable domain to one frequency from the start.
+    #[derive(Debug)]
+    struct Pinned(FrequencySetting);
+
+    impl SimHooks for Pinned {
+        fn initial_setting(&self) -> Option<FrequencySetting> {
+            Some(self.0)
+        }
+    }
+
+    #[test]
+    fn lanes_match_independent_serial_runs_bit_for_bit() {
+        let machine = MachineConfig::default();
+        let trace = mixed_trace();
+        let settings: Vec<FrequencySetting> = [1000.0, 750.0, 500.0]
+            .iter()
+            .map(|f| FrequencySetting::uniform(MegaHertz::new(*f)).quantized(&machine.grid))
+            .collect();
+
+        let serial: Vec<SimStats> = settings
+            .iter()
+            .map(|s| {
+                Simulator::new(machine.clone())
+                    .run(trace.iter().copied(), &mut Pinned(*s), false)
+                    .stats
+            })
+            .collect();
+
+        let mut hooks: Vec<Pinned> = settings.iter().map(|s| Pinned(*s)).collect();
+        let mut lanes: Vec<&mut dyn SimHooks> =
+            hooks.iter_mut().map(|h| h as &mut dyn SimHooks).collect();
+        let batched = BatchedSimulator::new(machine).run(trace.iter().copied(), &mut lanes);
+
+        assert_eq!(batched.len(), serial.len());
+        for (b, s) in batched.iter().zip(&serial) {
+            assert_eq!(b.instructions, s.instructions);
+            assert_eq!(b.run_time.as_ns().to_bits(), s.run_time.as_ns().to_bits());
+            assert_eq!(
+                b.total_energy.as_units().to_bits(),
+                s.total_energy.as_units().to_bits()
+            );
+            assert_eq!(b.sync_crossings, s.sync_crossings);
+            assert_eq!(b.sync_stalls, s.sync_stalls);
+        }
+    }
+
+    #[test]
+    fn empty_lane_set_is_a_no_op() {
+        let sim = BatchedSimulator::new(MachineConfig::default());
+        let mut lanes: Vec<&mut dyn SimHooks> = Vec::new();
+        assert!(sim.run(mixed_trace(), &mut lanes).is_empty());
+    }
+
+    #[test]
+    fn single_lane_matches_the_plain_simulator() {
+        let machine = MachineConfig::default();
+        let trace = mixed_trace();
+        let solo = Simulator::new(machine.clone())
+            .run(trace.iter().copied(), &mut NullHooks, false)
+            .stats;
+        let mut hooks = NullHooks;
+        let mut lanes: Vec<&mut dyn SimHooks> = vec![&mut hooks];
+        let batched = BatchedSimulator::new(machine).run(trace.iter().copied(), &mut lanes);
+        assert_eq!(batched.len(), 1);
+        assert_eq!(
+            batched[0].run_time.as_ns().to_bits(),
+            solo.run_time.as_ns().to_bits()
+        );
+        assert_eq!(
+            batched[0].total_energy.as_units().to_bits(),
+            solo.total_energy.as_units().to_bits()
+        );
+    }
+}

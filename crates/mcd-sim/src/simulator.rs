@@ -220,6 +220,23 @@ struct RunState {
     stats: SimStats,
 }
 
+/// Folds a finished run's model-held counters into its statistics.
+fn finalize_stats(mut st: RunState) -> SimStats {
+    st.stats.run_time = st.last_commit;
+    st.stats.total_energy = st.power_acct.total();
+    st.stats.domain_energy = PerDomain::from_fn(|d| st.power_acct.domain_total(d).as_units());
+    st.stats.domain_active_cycles = PerDomain::from_fn(|d| st.power_acct.domain_active_cycles(d));
+    st.stats.sync_crossings = st.sync.crossings();
+    st.stats.sync_stalls = st.sync.stalls();
+    st.stats.branches = st.branch.lookups();
+    st.stats.branch_mispredicts = st.branch.mispredicts();
+    st.stats.l1d_accesses = st.caches.l1d().accesses();
+    st.stats.l1d_misses = st.caches.l1d().misses();
+    st.stats.l2_accesses = st.caches.l2().accesses();
+    st.stats.l2_misses = st.caches.l2().misses();
+    st.stats
+}
+
 impl Simulator {
     /// Creates a simulator for the given machine configuration, using the
     /// default power model.
@@ -311,12 +328,50 @@ impl Simulator {
         }
     }
 
-    fn run_inner<I, H, R>(&self, trace: I, hooks: &mut H, recorder: &mut R) -> SimStats
+    /// Runs `trace` once while carrying one fully independent state lane per
+    /// entry of `lanes`: every trace item is fed to every lane's state in
+    /// lane order, so each lane's evolution is a pure function of the shared
+    /// item stream and its own hooks — bit-identical to running the trace
+    /// once per lane with [`Simulator::run`] and `record_events == false`.
+    /// The win is paying the trace decode (and iteration) cost once for N
+    /// configurations. Event recording is not supported in batch mode.
+    pub(crate) fn run_lanes<I>(&self, trace: I, lanes: &mut [&mut dyn SimHooks]) -> Vec<SimStats>
     where
         I: Iterator<Item = TraceItem>,
-        H: SimHooks + ?Sized,
-        R: Recorder,
     {
+        let mut states: Vec<RunState> = lanes
+            .iter()
+            .map(|hooks| {
+                let mut st = self.fresh_state(hooks.interval_ns());
+                if let Some(setting) = hooks.initial_setting() {
+                    st.dvfs.set_immediate(setting);
+                }
+                st
+            })
+            .collect();
+        let mut recorder = NoRecord;
+        for item in trace {
+            match item {
+                TraceItem::Marker(marker) => {
+                    for (st, hooks) in states.iter_mut().zip(lanes.iter_mut()) {
+                        st.stats.markers += 1;
+                        let action = hooks.on_marker(&marker, st.last_commit, st.instr_index);
+                        self.apply_action(st, action);
+                    }
+                }
+                TraceItem::Instr(instr) => {
+                    for (st, hooks) in states.iter_mut().zip(lanes.iter_mut()) {
+                        self.execute_instruction(st, &instr, &mut **hooks, &mut recorder);
+                    }
+                }
+            }
+        }
+        states.into_iter().map(finalize_stats).collect()
+    }
+
+    /// A pristine per-run state for this simulator's machine configuration.
+    /// `interval_len` is the controlling hooks' [`SimHooks::interval_ns`].
+    fn fresh_state(&self, interval_len: Option<f64>) -> RunState {
         let cfg = &self.config;
         let sync = if cfg.synchronization_enabled {
             let mut s = Synchronizer::new(cfg.sync_window_ps, cfg.jitter_sigma_ps, cfg.seed);
@@ -326,7 +381,7 @@ impl Simulator {
             Synchronizer::disabled(cfg.seed)
         };
 
-        let mut st = RunState {
+        RunState {
             dvfs: DvfsEngine::new(cfg.grid.clone(), cfg.voltage_map.clone(), cfg.ramp),
             sync,
             caches: CacheHierarchy::new(cfg),
@@ -355,15 +410,24 @@ impl Simulator {
             current_region: 0,
             prev_fe_event: None,
             prev_cm_event: None,
-            interval_len: hooks.interval_ns(),
-            next_interval: TimeNs::new(hooks.interval_ns().unwrap_or(f64::INFINITY)),
+            interval_len,
+            next_interval: TimeNs::new(interval_len.unwrap_or(f64::INFINITY)),
             interval_start: TimeNs::ZERO,
             interval_instrs: 0,
             interval_active: PerDomain::default(),
             interval_queue_util: PerDomain::default(),
             interval_queue_admits: PerDomain::default(),
             stats: SimStats::default(),
-        };
+        }
+    }
+
+    fn run_inner<I, H, R>(&self, trace: I, hooks: &mut H, recorder: &mut R) -> SimStats
+    where
+        I: Iterator<Item = TraceItem>,
+        H: SimHooks + ?Sized,
+        R: Recorder,
+    {
+        let mut st = self.fresh_state(hooks.interval_ns());
 
         if let Some(setting) = hooks.initial_setting() {
             // The run begins with the domains already at the requested operating
@@ -385,21 +449,7 @@ impl Simulator {
             }
         }
 
-        st.stats.run_time = st.last_commit;
-        st.stats.total_energy = st.power_acct.total();
-        st.stats.domain_energy = PerDomain::from_fn(|d| st.power_acct.domain_total(d).as_units());
-        st.stats.domain_active_cycles =
-            PerDomain::from_fn(|d| st.power_acct.domain_active_cycles(d));
-        st.stats.sync_crossings = st.sync.crossings();
-        st.stats.sync_stalls = st.sync.stalls();
-        st.stats.branches = st.branch.lookups();
-        st.stats.branch_mispredicts = st.branch.mispredicts();
-        st.stats.l1d_accesses = st.caches.l1d().accesses();
-        st.stats.l1d_misses = st.caches.l1d().misses();
-        st.stats.l2_accesses = st.caches.l2().accesses();
-        st.stats.l2_misses = st.caches.l2().misses();
-
-        st.stats
+        finalize_stats(st)
     }
 
     fn apply_action(&self, st: &mut RunState, action: HookAction) {

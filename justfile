@@ -26,16 +26,18 @@ fmt:
     cargo fmt
 
 # Run the tracked macro-benchmark harness: times trace generation, baseline
-# simulation, streaming capture+analysis and a cold fig4 --quick evaluation
-# (each stage in a fresh child process, median of 3), and writes BENCH_5.json.
-# See README "Performance" for the schema and the committed trajectory.
+# simulation, streaming capture+analysis, a cold fig4 --quick evaluation, and
+# the batched slowdown sweep (one point vs. ten points in a single batch);
+# each stage runs in a fresh child process (median of 3) and the report goes
+# to BENCH_6.json. See README "Performance" for the schema and trajectory.
 bench:
     cargo run --release --bin perf_report
 
-# Compare a fresh bench run against the committed BENCH_5.json and fail on a
-# >25% fig4-quick regression (the CI gate).
+# Compare a fresh bench run against the committed BENCH_6.json: fails on a
+# >25% fig4-quick or sweep regression, or when the ten-point batched sweep
+# costs 4x or more the one-point cost (the CI gates).
 bench-check:
-    cargo run --release --bin perf_report -- --check BENCH_5.json --out /tmp/bench-check.json
+    cargo run --release --bin perf_report -- --check BENCH_6.json --out /tmp/bench-check.json
 
 # Run the micro-benchmarks (the criterion-style harness in crates/mcd-bench).
 microbench:

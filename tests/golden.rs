@@ -12,6 +12,15 @@
 //!
 //! When a drift is intentional (a deliberate modelling change), the failure
 //! message prints the full replacement table to paste over `GOLDEN`.
+//!
+//! Coverage note: this harness also backstops the incremental-artifact and
+//! batched-evaluation paths. The slowdown-independent artifact keys (packed
+//! trace, window/training histograms) and the batched multi-lane simulator
+//! are both required to be bit-identical to the cold, serial path —
+//! `tests/service.rs::slowdown_only_changes_reuse_capture_and_dag_artifacts`
+//! and `tests/properties.rs::batched_lanes_match_serial_submission_bitwise`
+//! assert that directly, so any reuse bug that slipped past them would still
+//! surface here as a golden drift.
 
 use mcd_dvfs::evaluation::{BenchmarkEvaluation, EvaluationConfig};
 use mcd_dvfs::service::{EvalJob, Evaluator};

@@ -196,8 +196,8 @@ fn corrupted_artifact_falls_back_to_recompute() {
     let cold = evaluate(&bench, &config);
     assert_eq!(
         cache.stats().writes,
-        3,
-        "reference trace + schedule + training plan written"
+        5,
+        "reference trace + window/training histograms + schedule + training plan written"
     );
 
     // Trash both artifacts in place.
@@ -273,29 +273,36 @@ fn registry_evaluation_transparently_reuses_artifacts() {
     let cold = evaluate(&bench, &config);
     let after_cold = cache.stats();
     assert_eq!(after_cold.hits, 0);
-    assert_eq!(after_cold.misses, 3);
-    assert_eq!(after_cold.writes, 3);
+    assert_eq!(after_cold.misses, 5);
+    assert_eq!(after_cold.writes, 5);
 
     let warm = evaluate(&bench, &config);
     let after_warm = cache.stats();
     assert_eq!(
         after_warm.hits, 3,
-        "reference trace + offline schedule + training plan reused"
+        "reference trace + offline schedule + training plan reused (the \
+         histogram artifacts are not even consulted when the thresholded \
+         outputs hit)"
     );
-    assert_eq!(after_warm.misses, 3, "no new misses on the warm run");
+    assert_eq!(after_warm.misses, 5, "no new misses on the warm run");
     assert_eq!(
-        after_warm.writes, 3,
+        after_warm.writes, 5,
         "nothing recomputed, nothing rewritten"
     );
     assert_evaluations_bit_identical(&cold, &warm);
 
-    // A different analysis configuration must not reuse the analysis
-    // artifacts; the machine-independent reference trace is still shared.
+    // A different slowdown target must not reuse the thresholded outputs
+    // (schedule, training plan) — but the machine-independent reference
+    // trace and the slowdown-independent histogram artifacts are shared, so
+    // only the cheap re-thresholding is recomputed.
     let other = evaluate(&bench, &config.clone().with_slowdown(0.14));
     let after_other = cache.stats();
-    assert_eq!(after_other.hits, 4, "the trace artifact is config-agnostic");
-    assert_eq!(after_other.misses, 5);
-    assert_eq!(after_other.writes, 5);
+    assert_eq!(
+        after_other.hits, 6,
+        "trace + window histograms + training histograms reused"
+    );
+    assert_eq!(after_other.misses, 7, "schedule + training plan re-keyed");
+    assert_eq!(after_other.writes, 7);
     assert_ne!(
         other.require("offline").unwrap().stats.run_time,
         warm.require("offline").unwrap().stats.run_time

@@ -606,6 +606,85 @@ fn server_tier_is_deterministic_across_parallelism() {
     }
 }
 
+/// Batched multi-config evaluation is bit-identical to serial submission:
+/// for lane counts 1, 3 and 8, every scheme family (off-line, on-line,
+/// profile-driven L+F and the global-DVS baseline) produces exactly the
+/// statistics N independent jobs produce, on both workload tiers.
+///
+/// The serial reference is computed once per benchmark for all eight
+/// configurations; each batch must reproduce the matching prefix bit for bit
+/// — lanes share one trace pass per family and (for the analysis schemes)
+/// one capture/shaker pass, so any divergence in lane state isolation shows
+/// up here.
+#[test]
+fn batched_lanes_match_serial_submission_bitwise() {
+    use mcd_dvfs::online::OnlineConfig;
+    use mcd_dvfs::service::{EvalJob, Evaluator};
+
+    // One paper-tier and one server-tier benchmark.
+    for bench_name in ["adpcm decode", "web serve"] {
+        let configure = |i: usize| {
+            EvalJob::named(bench_name)
+                .expect("known benchmark")
+                .with_slowdown(0.02 + 0.015 * i as f64)
+                .with_online(OnlineConfig {
+                    decay_mhz: 2.0 + 3.0 * i as f64,
+                    ..OnlineConfig::default()
+                })
+                .with_global(true)
+        };
+        let serial: Vec<_> = {
+            let evaluator = Evaluator::builder().workers(1).build();
+            let jobs = (0..8).map(configure).collect();
+            evaluator
+                .submit_all(jobs)
+                .collect()
+                .expect("serial jobs evaluate")
+        };
+        for lanes in [1usize, 3, 8] {
+            let evaluator = Evaluator::builder().workers(1).build();
+            let batch = EvalJob::batch((0..lanes).map(configure).collect())
+                .expect("one benchmark per batch");
+            let batched = evaluator
+                .submit_batch(batch)
+                .collect()
+                .expect("batched jobs evaluate");
+            assert_eq!(batched.len(), lanes);
+            let stats = evaluator.batch_stats();
+            assert_eq!(stats.groups, 1);
+            assert_eq!(stats.members, lanes as u64);
+            for (b, s) in batched.iter().zip(&serial) {
+                assert_eq!(b.name, s.name);
+                assert_eq!(
+                    b.baseline.run_time.as_ns().to_bits(),
+                    s.baseline.run_time.as_ns().to_bits()
+                );
+                assert_eq!(b.schemes.len(), s.schemes.len());
+                for (bo, so) in b.schemes.iter().zip(&s.schemes) {
+                    assert_eq!(bo.name, so.name);
+                    assert_eq!(bo.label, so.label);
+                    let (bs, ss) = (&bo.result.stats, &so.result.stats);
+                    assert_eq!(
+                        bs.run_time.as_ns().to_bits(),
+                        ss.run_time.as_ns().to_bits(),
+                        "{bench_name}/{}: run time diverged at {lanes} lanes",
+                        bo.name
+                    );
+                    assert_eq!(
+                        bs.total_energy.as_units().to_bits(),
+                        ss.total_energy.as_units().to_bits(),
+                        "{bench_name}/{}: energy diverged at {lanes} lanes",
+                        bo.name
+                    );
+                    assert_eq!(bs.reconfigurations, ss.reconfigurations);
+                    assert_eq!(bs.sync_stalls, ss.sync_stalls);
+                    assert_eq!(bs.instructions, ss.instructions);
+                }
+            }
+        }
+    }
+}
+
 /// The simulator is monotone in work: appending instructions never reduces
 /// run time or energy, and run time is always positive for non-empty traces.
 #[test]

@@ -306,6 +306,71 @@ fn server_tier_flows_through_memo_and_artifact_cache() {
     }
 }
 
+/// Incremental sweep reuse at the artifact level: a slowdown-only
+/// configuration change must not recompute the expensive artifacts. The
+/// packed trace and the capture/DAG/shaker histograms (window and training)
+/// are keyed without the slowdown target, so a warm run at a *different*
+/// slowdown serves all three kinds from disk (`misses == 0`) and pays only
+/// for the cheap re-thresholding artifacts — and its results are still
+/// bit-identical to a cold evaluation of the new configuration.
+#[test]
+fn slowdown_only_changes_reuse_capture_and_dag_artifacts() {
+    use mcd_dvfs::artifact::ArtifactCache;
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("mcd-incr-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+
+    let run = |cache: Arc<ArtifactCache>, slowdown: f64| {
+        let evaluator = Evaluator::builder()
+            .config(EvaluationConfig::default().with_cache(cache))
+            .build();
+        evaluator
+            .submit(EvalJob::new(bench.clone()).with_slowdown(slowdown))
+            .collect()
+            .expect("job evaluates")
+            .remove(0)
+    };
+
+    // Cold run at the headline slowdown populates every artifact kind.
+    let cold_cache = Arc::new(ArtifactCache::new(&dir));
+    run(cold_cache.clone(), 0.07);
+    assert!(cold_cache.stats().writes > 0);
+    assert!(cold_cache.kind_stats("window-histograms").writes > 0);
+    assert!(cold_cache.kind_stats("training-histograms").writes > 0);
+
+    // Warm run at a different slowdown: the trace and both histogram kinds
+    // are slowdown-independent and must come from disk untouched.
+    let warm_cache = Arc::new(ArtifactCache::new(&dir));
+    let warm = run(warm_cache.clone(), 0.04);
+    for kind in ["packed-trace", "window-histograms", "training-histograms"] {
+        let stats = warm_cache.kind_stats(kind);
+        assert_eq!(
+            stats.misses, 0,
+            "{kind} is keyed without the slowdown and must be reused"
+        );
+        assert!(stats.hits > 0, "{kind} must actually be consulted");
+    }
+    // The thresholded outputs depend on the slowdown, so they re-derive (a
+    // cache miss each) — from the reused histograms, not from a re-capture.
+    assert!(warm_cache.kind_stats("offline-schedule").misses > 0);
+    assert!(warm_cache.kind_stats("training-plan").misses > 0);
+
+    // Reuse must not change results: bit-identical to an uncached cold
+    // evaluation of the new slowdown.
+    let _ = std::fs::remove_dir_all(&dir);
+    let fresh = {
+        let evaluator = Evaluator::builder().build();
+        evaluator
+            .submit(EvalJob::new(bench.clone()).with_slowdown(0.04))
+            .collect()
+            .expect("uncached job evaluates")
+            .remove(0)
+    };
+    assert_evaluations_bit_identical(&warm, &fresh);
+}
+
 /// The deprecated shims and the service agree for the single-benchmark path
 /// (including the rule that a lone benchmark's whole budget flows to window
 /// analysis).
