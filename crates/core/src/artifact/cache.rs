@@ -10,6 +10,20 @@
 //! ([`ArtifactCache::from_env`]): `MCD_CACHE_DIR` overrides the default
 //! `.mcd-cache` directory (an empty value, `0` or `off` disables caching) and
 //! `MCD_NO_CACHE=1` disables it outright.
+//!
+//! # Cross-process publication locking
+//!
+//! N evaluator *processes* may share one cache directory. Readers stay
+//! lock-free (the tmp+rename protocol guarantees they only ever see complete
+//! artifacts); what needs coordination is *publication*, so the same missing
+//! key is not recomputed by every cold process at once. The protocol is
+//! single-writer advisory locking: a would-be publisher takes the key's lock
+//! file ([`ArtifactCache::lock_publication`]), re-checks the cache under the
+//! lock (another process may have published while it waited), computes and
+//! publishes only on a confirmed miss, and releases by dropping the
+//! [`PublishGuard`]. Lock files left behind by a crashed process are stolen
+//! after [`ArtifactCache::lock_stale`]. Waits are counted per kind in
+//! [`CacheStats::lock_waits`], the store's contention gauge.
 
 use crate::artifact::codec::{self, TrainingArtifact, TrainingHistogramsArtifact};
 use crate::artifact::key::ArtifactKey;
@@ -22,6 +36,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime};
 
 /// Default cache directory, relative to the working directory (git-ignored).
 pub const DEFAULT_CACHE_DIR: &str = ".mcd-cache";
@@ -40,6 +55,9 @@ pub struct CacheStats {
     pub writes: u64,
     /// I/O or decode errors encountered (each also counts as a miss).
     pub errors: u64,
+    /// Publication-lock acquisitions that had to wait for (or steal from)
+    /// another holder — the shared store's contention gauge.
+    pub lock_waits: u64,
 }
 
 impl CacheStats {
@@ -72,10 +90,34 @@ pub struct ArtifactCache {
     misses: AtomicU64,
     writes: AtomicU64,
     errors: AtomicU64,
+    lock_waits: AtomicU64,
+    /// Age after which another process's publication lock is presumed
+    /// abandoned (crashed holder) and stolen; `None` means
+    /// [`DEFAULT_LOCK_STALE`].
+    lock_stale: Option<Duration>,
     /// Per-kind counter snapshots, keyed by the artifact kind. The incremental
     /// re-analysis tests (and the CI smoke steps) assert on *which* kinds
     /// missed, not just how many lookups did.
     by_kind: Mutex<HashMap<&'static str, CacheStats>>,
+}
+
+/// Default age after which a publication lock is presumed abandoned. Long
+/// enough for the heaviest single-key computation (a full capture/DAG/shaker
+/// pass) by a wide margin, short enough that a crashed holder does not stall
+/// a shared cache for long.
+pub const DEFAULT_LOCK_STALE: Duration = Duration::from_secs(120);
+
+/// Holds one key's publication lock; dropping it releases the lock (removes
+/// the lock file). See the [module docs](self) for the protocol.
+#[derive(Debug)]
+pub struct PublishGuard {
+    path: PathBuf,
+}
+
+impl Drop for PublishGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
 }
 
 /// Resolves the effective cache directory from environment-shaped inputs
@@ -120,6 +162,20 @@ impl ArtifactCache {
         }
     }
 
+    /// Overrides the staleness age of publication locks (see
+    /// [`ArtifactCache::lock_stale`]); mainly for tests, which cannot wait
+    /// out the production default.
+    pub fn with_lock_stale(mut self, age: Duration) -> Self {
+        self.lock_stale = Some(age);
+        self
+    }
+
+    /// Age after which another process's publication lock is presumed
+    /// abandoned and stolen (default [`DEFAULT_LOCK_STALE`]).
+    pub fn lock_stale(&self) -> Duration {
+        self.lock_stale.unwrap_or(DEFAULT_LOCK_STALE)
+    }
+
     /// The cache directory, or `None` when the cache is disabled.
     pub fn dir(&self) -> Option<&Path> {
         self.dir.as_deref()
@@ -142,6 +198,7 @@ impl ArtifactCache {
             misses: self.misses.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
         }
     }
 
@@ -183,6 +240,73 @@ impl ArtifactCache {
         self.for_kind(kind, |s| s.errors += 1);
     }
 
+    /// Takes the single-writer publication lock of `key`, blocking while
+    /// another thread or process holds it. Returns `None` for a disabled
+    /// cache — there is nothing to publish to, so the caller just computes.
+    ///
+    /// On contention the wait is counted once per acquisition in
+    /// [`CacheStats::lock_waits`] (under the key's kind) and the lock file's
+    /// age is checked each poll: one older than
+    /// [`lock_stale`](ArtifactCache::lock_stale) is presumed abandoned by a
+    /// crashed process and stolen. The caller MUST re-check the cache after
+    /// acquiring — the previous holder usually published exactly the artifact
+    /// this caller wanted to compute.
+    pub fn lock_publication(&self, key: &ArtifactKey) -> Option<PublishGuard> {
+        let dir = self.dir.as_ref()?;
+        let path = dir.join(format!(".lock-{}", key.file_name()));
+        let mut waited = false;
+        let mut backoff_ms = 1u64;
+        let started = Instant::now();
+        loop {
+            let created = fs::create_dir_all(dir).and_then(|_| {
+                fs::OpenOptions::new()
+                    .write(true)
+                    .create_new(true)
+                    .open(&path)
+            });
+            match created {
+                Ok(mut file) => {
+                    use std::io::Write;
+                    let _ = write!(file, "{}", std::process::id());
+                    return Some(PublishGuard { path });
+                }
+                Err(err) if err.kind() == io::ErrorKind::AlreadyExists => {
+                    if !waited {
+                        waited = true;
+                        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+                        self.for_kind(key.kind, |s| s.lock_waits += 1);
+                    }
+                    // Steal locks whose holder is gone: age from mtime, with
+                    // a wall-clock fallback bound in case mtimes are
+                    // unreadable (the lock file may vanish between the
+                    // create attempt and this check — that is just release).
+                    let age = fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|mtime| SystemTime::now().duration_since(mtime).ok());
+                    let stale = match age {
+                        Some(age) => age >= self.lock_stale(),
+                        None => started.elapsed() >= self.lock_stale(),
+                    };
+                    if stale {
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    std::thread::sleep(Duration::from_millis(backoff_ms));
+                    backoff_ms = (backoff_ms * 2).min(50);
+                }
+                Err(_) => {
+                    // Cannot create the lock file at all (permissions, read-
+                    // only store). Proceed unlocked: correctness is kept by
+                    // tmp+rename; only the no-duplicate-compute economy is
+                    // lost.
+                    self.error(key.kind);
+                    return None;
+                }
+            }
+        }
+    }
+
     /// Reads an artifact's raw bytes without touching the counters.
     fn read_raw(&self, key: &ArtifactKey) -> Option<Vec<u8>> {
         let path = self.path_of(key)?;
@@ -222,6 +346,52 @@ impl ArtifactCache {
                 None
             }
         }
+    }
+
+    /// The quiet lookup path of the publication protocol: the caller already
+    /// counted its miss before taking the lock, so the mandatory under-lock
+    /// re-check must not distort the counters. Decode failures are silent too
+    /// (the caller recomputes, and the counted path already reported them).
+    fn recheck_with<T>(
+        &self,
+        key: &ArtifactKey,
+        decode: impl FnOnce(&[u8]) -> Result<T, codec::CodecError>,
+    ) -> Option<T> {
+        decode(&self.read_raw(key)?).ok()
+    }
+
+    /// Quiet re-check of an off-line schedule (see
+    /// [`recheck_with`](Self::recheck_with)).
+    pub fn recheck_schedule(&self, key: &ArtifactKey) -> Option<OfflineSchedule> {
+        self.recheck_with(key, codec::decode_schedule)
+    }
+
+    /// Quiet re-check of a packed trace.
+    pub fn recheck_trace(&self, key: &ArtifactKey) -> Option<mcd_sim::trace::PackedTrace> {
+        self.recheck_with(key, codec::decode_trace)
+    }
+
+    /// Quiet re-check of a training artifact.
+    pub fn recheck_training(&self, key: &ArtifactKey) -> Option<TrainingArtifact> {
+        self.recheck_with(key, codec::decode_training)
+    }
+
+    /// Quiet re-check of per-window shaker histograms.
+    pub fn recheck_window_histograms(
+        &self,
+        key: &ArtifactKey,
+        grid: &FrequencyGrid,
+    ) -> Option<Vec<Option<RegionHistograms>>> {
+        self.recheck_with(key, |bytes| codec::decode_window_histograms(bytes, grid))
+    }
+
+    /// Quiet re-check of per-region training histograms.
+    pub fn recheck_training_histograms(
+        &self,
+        key: &ArtifactKey,
+        grid: &FrequencyGrid,
+    ) -> Option<TrainingHistogramsArtifact> {
+        self.recheck_with(key, |bytes| codec::decode_training_histograms(bytes, grid))
     }
 
     /// Stores `payload` under `key` atomically (write to a temporary file,
@@ -368,7 +538,8 @@ impl ArtifactCache {
 
     /// Appends this process's counter snapshot to the cache directory's
     /// `stats.log`, so `cache_stats` can report hit/miss behaviour across
-    /// processes. A no-op for disabled caches.
+    /// processes: one aggregate line, then one `kind=<kind>` line per kind
+    /// this process touched. A no-op for disabled caches.
     pub fn flush_stats_log(&self) {
         let Some(dir) = self.dir.as_ref() else {
             return;
@@ -377,44 +548,80 @@ impl ArtifactCache {
         if s.lookups() == 0 && s.writes == 0 {
             return;
         }
-        let line = format!(
-            "hits={} misses={} writes={} errors={}\n",
-            s.hits, s.misses, s.writes, s.errors
+        let mut log = format!(
+            "hits={} misses={} writes={} errors={} lock_waits={}\n",
+            s.hits, s.misses, s.writes, s.errors, s.lock_waits
         );
+        for (kind, k) in self.kind_stats_all() {
+            log.push_str(&format!(
+                "kind={kind} hits={} misses={} writes={} errors={} lock_waits={}\n",
+                k.hits, k.misses, k.writes, k.errors, k.lock_waits
+            ));
+        }
         let _ = fs::create_dir_all(dir).and_then(|_| {
             use std::io::Write;
             fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(dir.join(STATS_LOG))
-                .and_then(|mut f| f.write_all(line.as_bytes()))
+                .and_then(|mut f| f.write_all(log.as_bytes()))
         });
     }
 
-    /// Sums every counter snapshot recorded in `dir`'s `stats.log`.
+    /// Parses one `stats.log` counter line into `into`.
+    fn parse_stats_line(line: &str, into: &mut CacheStats) {
+        for field in line.split_whitespace() {
+            let Some((name, value)) = field.split_once('=') else {
+                continue;
+            };
+            let Ok(value) = value.parse::<u64>() else {
+                continue;
+            };
+            match name {
+                "hits" => into.hits += value,
+                "misses" => into.misses += value,
+                "writes" => into.writes += value,
+                "errors" => into.errors += value,
+                "lock_waits" => into.lock_waits += value,
+                _ => {}
+            }
+        }
+    }
+
+    /// Sums every aggregate counter snapshot recorded in `dir`'s `stats.log`
+    /// (the per-kind `kind=` lines are skipped — they re-state the aggregate
+    /// lines and would double-count).
     pub fn aggregated_stats(dir: &Path) -> CacheStats {
         let mut total = CacheStats::default();
         let Ok(log) = fs::read_to_string(dir.join(STATS_LOG)) else {
             return total;
         };
         for line in log.lines() {
-            for field in line.split_whitespace() {
-                let Some((name, value)) = field.split_once('=') else {
-                    continue;
-                };
-                let Ok(value) = value.parse::<u64>() else {
-                    continue;
-                };
-                match name {
-                    "hits" => total.hits += value,
-                    "misses" => total.misses += value,
-                    "writes" => total.writes += value,
-                    "errors" => total.errors += value,
-                    _ => {}
-                }
+            if !line.starts_with("kind=") {
+                Self::parse_stats_line(line, &mut total);
             }
         }
         total
+    }
+
+    /// Sums the per-kind counter snapshots recorded in `dir`'s `stats.log`
+    /// across every process that flushed there, sorted by kind name.
+    pub fn aggregated_kind_stats(dir: &Path) -> Vec<(String, CacheStats)> {
+        let mut by_kind: HashMap<String, CacheStats> = HashMap::new();
+        if let Ok(log) = fs::read_to_string(dir.join(STATS_LOG)) {
+            for line in log.lines() {
+                let Some(rest) = line.strip_prefix("kind=") else {
+                    continue;
+                };
+                let Some((kind, fields)) = rest.split_once(' ') else {
+                    continue;
+                };
+                Self::parse_stats_line(fields, by_kind.entry(kind.to_string()).or_default());
+            }
+        }
+        let mut all: Vec<_> = by_kind.into_iter().collect();
+        all.sort_by(|(a, _), (b, _)| a.cmp(b));
+        all
     }
 }
 

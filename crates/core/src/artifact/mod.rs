@@ -27,7 +27,7 @@ pub mod cache;
 pub mod codec;
 pub mod key;
 
-pub use cache::{ArtifactCache, CacheEntry, CacheStats};
+pub use cache::{ArtifactCache, CacheEntry, CacheStats, PublishGuard, DEFAULT_LOCK_STALE};
 pub use codec::{CodecError, TrainingArtifact, TrainingHistogramsArtifact};
 pub use key::{
     offline_schedule_key, packed_trace_key, training_histograms_key, training_plan_key,

@@ -30,6 +30,13 @@ pub enum McdError {
     },
     /// A configuration value was rejected.
     InvalidConfig(String),
+    /// A submission was turned away by the evaluator's admission control
+    /// (bounded queue or rate limiter); the message names the reason. The
+    /// producer should back off and retry — nothing was evaluated.
+    Rejected(String),
+    /// The evaluator shut down (its drop drained past the shutdown timeout)
+    /// before this queued job reached a worker.
+    Shutdown,
     /// An internal pipeline invariant failed (reported, not panicked, so the
     /// figure binaries exit cleanly).
     Internal(String),
@@ -63,6 +70,11 @@ impl fmt::Display for McdError {
                  order the registry so `{requires}` comes first"
             ),
             McdError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            McdError::Rejected(reason) => write!(f, "submission rejected: {reason}"),
+            McdError::Shutdown => write!(
+                f,
+                "the evaluator shut down before this queued job could run"
+            ),
             McdError::Internal(msg) => write!(f, "internal evaluation error: {msg}"),
         }
     }

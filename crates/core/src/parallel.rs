@@ -1,20 +1,20 @@
 //! Thread-pool scaffolding shared by the evaluation layers.
 //!
-//! Two shapes live here:
+//! One shape lives here: [`parallel_map`] — apply a pure function to each
+//! index of a *fixed* work list on a bounded pool of scoped threads,
+//! collecting results in input order so the outcome is bit-identical to a
+//! serial loop. Both batch parallel levels (benchmarks across a suite,
+//! windows within an off-line analysis, see
+//! [`crate::pipeline::window::analyze_windows`]) use it.
 //!
-//! * [`parallel_map`] — apply a pure function to each index of a *fixed* work
-//!   list on a bounded pool of scoped threads, collecting results in input
-//!   order so the outcome is bit-identical to a serial loop. Both batch
-//!   parallel levels (benchmarks across a suite, windows within an off-line
-//!   analysis, see [`crate::pipeline::window::analyze_windows`]) use it.
-//! * [`WorkQueue`] — a blocking multi-producer/multi-consumer queue for an
-//!   *open-ended* work list, used by the long-lived worker pool of the
-//!   [`Evaluator`](crate::service::Evaluator) service, whose jobs arrive over
-//!   the service's lifetime instead of as one up-front slice.
+//! The *open-ended* work list of the long-lived
+//! [`Evaluator`](crate::service::Evaluator) service lives in the service
+//! layer instead: its sharded, priority-classed scheduler
+//! (`service::scheduler`) replaced the plain blocking queue that used to sit
+//! here.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::Mutex;
 
 /// Applies `f` to every index in `0..count`, spreading the calls over up to
 /// `workers` scoped threads, and returns the results in index order.
@@ -59,72 +59,6 @@ where
         .collect()
 }
 
-/// A blocking FIFO work queue feeding a pool of long-lived worker threads.
-///
-/// Producers [`push`](WorkQueue::push) items at any time; consumers
-/// [`pop`](WorkQueue::pop) and block while the queue is empty. Closing the
-/// queue ([`close`](WorkQueue::close)) lets consumers drain the remaining
-/// items and then observe `None`, which is the workers' shutdown signal.
-#[derive(Debug)]
-pub(crate) struct WorkQueue<T> {
-    state: Mutex<QueueState<T>>,
-    available: Condvar,
-}
-
-#[derive(Debug)]
-struct QueueState<T> {
-    items: VecDeque<T>,
-    closed: bool,
-}
-
-impl<T> WorkQueue<T> {
-    /// Creates an empty, open queue.
-    pub(crate) fn new() -> Self {
-        WorkQueue {
-            state: Mutex::new(QueueState {
-                items: VecDeque::new(),
-                closed: false,
-            }),
-            available: Condvar::new(),
-        }
-    }
-
-    /// Enqueues one item and wakes one waiting consumer. Items pushed after
-    /// [`close`](WorkQueue::close) are dropped — the pool is shutting down.
-    pub(crate) fn push(&self, item: T) {
-        let mut state = self.state.lock().expect("queue lock never poisoned");
-        if !state.closed {
-            state.items.push_back(item);
-            self.available.notify_one();
-        }
-    }
-
-    /// Closes the queue: consumers drain what is left, then see `None`.
-    pub(crate) fn close(&self) {
-        let mut state = self.state.lock().expect("queue lock never poisoned");
-        state.closed = true;
-        self.available.notify_all();
-    }
-
-    /// Dequeues the next item, blocking while the queue is empty and open.
-    /// Returns `None` once the queue is closed *and* drained.
-    pub(crate) fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock never poisoned");
-        loop {
-            if let Some(item) = state.items.pop_front() {
-                return Some(item);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self
-                .available
-                .wait(state)
-                .expect("queue lock never poisoned");
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,41 +77,5 @@ mod tests {
         assert_eq!(parallel_map(0, 8, |i| i), Vec::<usize>::new());
         assert_eq!(parallel_map(1, 8, |i| i + 1), vec![1]);
         assert_eq!(parallel_map(3, 0, |i| i), vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn work_queue_drains_after_close_and_rejects_late_pushes() {
-        let queue = WorkQueue::new();
-        queue.push(1);
-        queue.push(2);
-        queue.close();
-        queue.push(3); // dropped: the queue is closed
-        assert_eq!(queue.pop(), Some(1));
-        assert_eq!(queue.pop(), Some(2));
-        assert_eq!(queue.pop(), None);
-        assert_eq!(queue.pop(), None);
-    }
-
-    #[test]
-    fn work_queue_feeds_concurrent_consumers() {
-        let queue = std::sync::Arc::new(WorkQueue::new());
-        let total = 100u64;
-        let sum = std::sync::Arc::new(AtomicUsize::new(0));
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                let queue = queue.clone();
-                let sum = sum.clone();
-                scope.spawn(move || {
-                    while let Some(v) = queue.pop() {
-                        sum.fetch_add(v as usize, Ordering::Relaxed);
-                    }
-                });
-            }
-            for v in 1..=total {
-                queue.push(v);
-            }
-            queue.close();
-        });
-        assert_eq!(sum.load(Ordering::Relaxed) as u64, total * (total + 1) / 2);
     }
 }

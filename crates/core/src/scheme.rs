@@ -216,6 +216,14 @@ impl OfflineScheme {
                 .with_parallelism(self.parallelism)
                 .analyze_with(simulator, ctx.reference_trace);
         }
+        // Single-writer publication: lock the schedule key, then re-check —
+        // a concurrent process may have published it while we waited. Every
+        // store below happens under a lock after a confirmed miss, so N cold
+        // processes sharing this cache write each key exactly once.
+        let _schedule_lock = self.cache.lock_publication(&key);
+        if let Some(schedule) = self.cache.recheck_schedule(&key) {
+            return schedule;
+        }
         let grid = &ctx.machine.grid;
         let histograms_key = artifact::window_histograms_key(
             ctx.benchmark.name,
@@ -225,6 +233,15 @@ impl OfflineScheme {
             &self.config,
         );
         if let Some(windows) = self.cache.load_window_histograms(&histograms_key, grid) {
+            let schedule = threshold_windows(&windows, self.config.slowdown, grid);
+            self.cache.store_schedule(&key, &schedule);
+            return schedule;
+        }
+        // Lock order is always schedule key → histograms key, so concurrent
+        // sweep points (distinct schedule keys, one shared histograms key)
+        // cannot deadlock.
+        let _histograms_lock = self.cache.lock_publication(&histograms_key);
+        if let Some(windows) = self.cache.recheck_window_histograms(&histograms_key, grid) {
             let schedule = threshold_windows(&windows, self.config.slowdown, grid);
             self.cache.store_schedule(&key, &schedule);
             return schedule;
@@ -259,6 +276,13 @@ impl OfflineScheme {
         if let Some(schedule) = self.cache.load_schedule(&key) {
             return schedule;
         }
+        // Same single-writer publication protocol (and lock order) as
+        // `schedule_for`; for a disabled cache the lock degenerates to `None`
+        // and the loads/stores below to no-ops, leaving the pool sharing.
+        let _schedule_lock = self.cache.lock_publication(&key);
+        if let Some(schedule) = self.cache.recheck_schedule(&key) {
+            return schedule;
+        }
         let grid = &ctx.machine.grid;
         let histograms_key = artifact::window_histograms_key(
             ctx.benchmark.name,
@@ -273,6 +297,13 @@ impl OfflineScheme {
             return schedule;
         }
         if let Some(windows) = self.cache.load_window_histograms(&histograms_key, grid) {
+            let schedule = threshold_windows(&windows, self.config.slowdown, grid);
+            pool.insert(histograms_key, Arc::new(windows));
+            self.cache.store_schedule(&key, &schedule);
+            return schedule;
+        }
+        let _histograms_lock = self.cache.lock_publication(&histograms_key);
+        if let Some(windows) = self.cache.recheck_window_histograms(&histograms_key, grid) {
             let schedule = threshold_windows(&windows, self.config.slowdown, grid);
             pool.insert(histograms_key, Arc::new(windows));
             self.cache.store_schedule(&key, &schedule);
@@ -375,6 +406,20 @@ impl ProfileScheme {
             };
         }
         if self.cache.is_enabled() {
+            // Single-writer publication, lock order plan key → histograms
+            // key (mirroring the off-line scheme's schedule → histograms).
+            let _plan_lock = self.cache.lock_publication(&key);
+            if let Some(cached) = self.cache.recheck_training(&key) {
+                let trace = mcd_workloads::generator::generate_packed(
+                    &ctx.benchmark.program,
+                    &ctx.benchmark.inputs.training,
+                );
+                return ProfilePlan {
+                    instrumentation: instrumentation_plan(&trace, &self.config),
+                    table: cached.to_table(),
+                    training_stats: cached.training_stats,
+                };
+            }
             let grid = &ctx.machine.grid;
             let histograms_key = artifact::training_histograms_key(
                 ctx.benchmark.name,
@@ -383,6 +428,26 @@ impl ProfileScheme {
                 &self.config,
             );
             if let Some(cached) = self.cache.load_training_histograms(&histograms_key, grid) {
+                let trace = mcd_workloads::generator::generate_packed(
+                    &ctx.benchmark.program,
+                    &ctx.benchmark.inputs.training,
+                );
+                let plan = ProfilePlan {
+                    instrumentation: instrumentation_plan(&trace, &self.config),
+                    table: profile::threshold_table(&cached.entries, self.config.slowdown, grid),
+                    training_stats: cached.training_stats,
+                };
+                self.cache.store_training(
+                    &key,
+                    &TrainingArtifact::from_table(&plan.table, plan.training_stats.clone()),
+                );
+                return plan;
+            }
+            let _histograms_lock = self.cache.lock_publication(&histograms_key);
+            if let Some(cached) = self
+                .cache
+                .recheck_training_histograms(&histograms_key, grid)
+            {
                 let trace = mcd_workloads::generator::generate_packed(
                     &ctx.benchmark.program,
                     &ctx.benchmark.inputs.training,
@@ -455,6 +520,20 @@ impl ProfileScheme {
                 training_stats: cached.training_stats,
             };
         }
+        // Single-writer publication, same plan → histograms lock order as
+        // `plan_for`. A disabled cache yields `None` guards and no-op stores.
+        let _plan_lock = self.cache.lock_publication(&key);
+        if let Some(cached) = self.cache.recheck_training(&key) {
+            let trace = mcd_workloads::generator::generate_packed(
+                &ctx.benchmark.program,
+                &ctx.benchmark.inputs.training,
+            );
+            return ProfilePlan {
+                instrumentation: instrumentation_plan(&trace, &self.config),
+                table: cached.to_table(),
+                training_stats: cached.training_stats,
+            };
+        }
         let grid = &ctx.machine.grid;
         let histograms_key = artifact::training_histograms_key(
             ctx.benchmark.name,
@@ -479,6 +558,33 @@ impl ProfileScheme {
             return plan;
         }
         if let Some(artifact) = self.cache.load_training_histograms(&histograms_key, grid) {
+            let trace = mcd_workloads::generator::generate_packed(
+                &ctx.benchmark.program,
+                &ctx.benchmark.inputs.training,
+            );
+            let plan = ProfilePlan {
+                instrumentation: instrumentation_plan(&trace, &self.config),
+                table: profile::threshold_table(&artifact.entries, self.config.slowdown, grid),
+                training_stats: artifact.training_stats.clone(),
+            };
+            pool.insert(
+                histograms_key,
+                SharedTraining {
+                    instrumentation: plan.instrumentation.clone(),
+                    artifact: Arc::new(artifact),
+                },
+            );
+            self.cache.store_training(
+                &key,
+                &TrainingArtifact::from_table(&plan.table, plan.training_stats.clone()),
+            );
+            return plan;
+        }
+        let _histograms_lock = self.cache.lock_publication(&histograms_key);
+        if let Some(artifact) = self
+            .cache
+            .recheck_training_histograms(&histograms_key, grid)
+        {
             let trace = mcd_workloads::generator::generate_packed(
                 &ctx.benchmark.program,
                 &ctx.benchmark.inputs.training,

@@ -6,7 +6,6 @@ use crate::evaluation::{BenchmarkEvaluation, EvaluationConfig, SchemeResult};
 use crate::histogram::RegionHistograms;
 use crate::offline::OfflineSchedule;
 use crate::online::OnlineController;
-use crate::parallel::WorkQueue;
 use crate::pipeline::schedule::ScheduleHooks;
 use crate::profile::{ProfileHooks, ProfilePlan};
 use crate::scheme::{
@@ -14,6 +13,7 @@ use crate::scheme::{
     SharedTraining,
 };
 use crate::service::job::{EvalBatch, EvalJob, JobId};
+use crate::service::scheduler::{PushOutcome, ShardedScheduler, TokenBucket};
 use crate::service::stream::{EvalEvent, ResultStream};
 use mcd_sim::config::MachineConfig;
 use mcd_sim::fingerprint::{Fingerprint, Fnv1a};
@@ -27,6 +27,88 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why admission control turned a submission away. Carried by
+/// [`EvalEvent::JobRejected`] and [`Admission::Rejected`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Admitting the submission would push the queue past its configured
+    /// capacity (in jobs). Retry after draining some of the backlog.
+    QueueFull {
+        /// Queue depth (jobs) at the time of the rejection.
+        depth: usize,
+        /// The configured bound it would have exceeded.
+        capacity: usize,
+    },
+    /// The token-bucket rate limiter ran dry. Retry after backing off.
+    RateLimited,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth, capacity } => {
+                write!(f, "queue full ({depth} of {capacity} jobs queued)")
+            }
+            RejectReason::RateLimited => write!(f, "submission rate limit exceeded"),
+        }
+    }
+}
+
+/// The per-job outcome of a capacity-checked submission
+/// ([`Evaluator::try_submit_all`] / [`Evaluator::try_submit_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The job was accepted and enqueued.
+    Queued {
+        /// The job's identity.
+        job: JobId,
+        /// Queue depth (jobs) just after the job was enqueued.
+        depth: usize,
+    },
+    /// The job was turned away; its stream carries the matching terminal
+    /// [`EvalEvent::JobRejected`] and nothing else.
+    Rejected {
+        /// The job's identity.
+        job: JobId,
+        /// Why it was turned away.
+        reason: RejectReason,
+    },
+}
+
+impl Admission {
+    /// The job this outcome is about.
+    pub fn job(&self) -> JobId {
+        match self {
+            Admission::Queued { job, .. } | Admission::Rejected { job, .. } => *job,
+        }
+    }
+
+    /// True when the job was accepted.
+    pub fn is_queued(&self) -> bool {
+        matches!(self, Admission::Queued { .. })
+    }
+}
+
+/// Counters of the admission front-end, one increment per job (a rejected
+/// batch counts each member).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Jobs accepted through the capacity-checked entry points.
+    pub accepted: u64,
+    /// Jobs rejected because the queue was at capacity.
+    pub rejected_queue_full: u64,
+    /// Jobs rejected by the rate limiter.
+    pub rejected_rate_limited: u64,
+}
+
+impl AdmissionStats {
+    /// Total rejected jobs across both reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_rate_limited
+    }
+}
 
 /// Counters of the evaluator's baseline memo.
 ///
@@ -91,12 +173,14 @@ impl BatchStats {
     }
 }
 
-/// One queued unit of work: the job plus the event channel of its submission.
+/// One queued unit of work: the job plus the event channel of its submission
+/// and the enqueue timestamp feeding the queue-latency gauge.
 #[derive(Debug)]
 struct QueuedJob {
     id: JobId,
     job: EvalJob,
     events: mpsc::Sender<EvalEvent>,
+    queued_at: Instant,
 }
 
 /// What a worker pops off the queue: a lone job, or a whole batch processed
@@ -113,7 +197,15 @@ enum QueuedWork {
 struct Shared {
     config: EvaluationConfig,
     window_parallelism: usize,
-    queue: WorkQueue<QueuedWork>,
+    queue: ShardedScheduler<QueuedWork>,
+    /// Bound (in jobs) enforced by the capacity-checked entry points; the
+    /// unconditional `submit*` family ignores it.
+    queue_capacity: Option<usize>,
+    /// Token-bucket limiter of the capacity-checked entry points.
+    rate: Option<Mutex<TokenBucket>>,
+    admitted: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_rate: AtomicU64,
     baselines: Mutex<HashMap<u64, Arc<OnceLock<Arc<BaselineArtifacts>>>>>,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
@@ -153,9 +245,15 @@ impl Shared {
                 let cache = &self.config.cache;
                 let key = crate::artifact::packed_trace_key(bench.name, &bench.inputs.reference);
                 let trace = cache.load_trace(&key).unwrap_or_else(|| {
-                    let trace = generate_packed(&bench.program, &bench.inputs.reference);
-                    cache.store_trace(&key, &trace);
-                    trace
+                    // Publication lock + re-check so concurrent evaluator
+                    // processes sharing one cache dir generate each reference
+                    // trace exactly once.
+                    let _trace_lock = cache.lock_publication(&key);
+                    cache.recheck_trace(&key).unwrap_or_else(|| {
+                        let trace = generate_packed(&bench.program, &bench.inputs.reference);
+                        cache.store_trace(&key, &trace);
+                        trace
+                    })
                 });
                 let baseline = Simulator::new(machine.clone())
                     .run(trace.iter(), &mut NullHooks, false)
@@ -197,6 +295,9 @@ fn baseline_key(bench: &Benchmark, machine: &MachineConfig) -> u64 {
 pub struct EvaluatorBuilder {
     config: EvaluationConfig,
     workers: Option<usize>,
+    queue_capacity: Option<usize>,
+    rate_limit: Option<(f64, f64)>,
+    shutdown_timeout: Option<Duration>,
 }
 
 impl EvaluatorBuilder {
@@ -238,6 +339,33 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Bounds the queue at `capacity` jobs (floor 1) for the
+    /// capacity-checked entry points ([`Evaluator::try_submit_all`] /
+    /// [`Evaluator::try_submit_batch`]): submissions that would exceed the
+    /// bound are rejected with [`RejectReason::QueueFull`] instead of growing
+    /// memory without limit. The unconditional `submit*` family is unaffected.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Installs a token-bucket rate limiter on the capacity-checked entry
+    /// points: sustained throughput `per_second` jobs/s with bursts up to
+    /// `burst` jobs. Submissions beyond the budget are rejected with
+    /// [`RejectReason::RateLimited`].
+    pub fn rate_limit(mut self, per_second: f64, burst: f64) -> Self {
+        self.rate_limit = Some((per_second, burst));
+        self
+    }
+
+    /// Bounds how long dropping the evaluator waits for queued work to drain
+    /// before aborting it (default 60 s). Jobs still queued past the deadline
+    /// fail with [`McdError::Shutdown`] so their streams terminate cleanly.
+    pub fn shutdown_timeout(mut self, timeout: Duration) -> Self {
+        self.shutdown_timeout = Some(timeout);
+        self
+    }
+
     /// Spawns the worker pool and returns the ready service.
     pub fn build(self) -> Evaluator {
         let total = self.config.parallelism.max(1);
@@ -246,7 +374,14 @@ impl EvaluatorBuilder {
         let shared = Arc::new(Shared {
             config: self.config,
             window_parallelism,
-            queue: WorkQueue::new(),
+            queue: ShardedScheduler::new(workers),
+            queue_capacity: self.queue_capacity,
+            rate: self.rate_limit.map(|(per_second, burst)| {
+                Mutex::new(TokenBucket::new(per_second, burst, Instant::now()))
+            }),
+            admitted: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            rejected_rate: AtomicU64::new(0),
             baselines: Mutex::new(HashMap::new()),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
@@ -262,7 +397,7 @@ impl EvaluatorBuilder {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("mcd-eval-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("worker thread spawns")
             })
             .collect();
@@ -270,6 +405,7 @@ impl EvaluatorBuilder {
             shared,
             worker_handles: handles,
             worker_count: workers,
+            shutdown_timeout: self.shutdown_timeout.unwrap_or(Duration::from_secs(60)),
             next_id: AtomicU64::new(0),
         }
     }
@@ -287,6 +423,7 @@ pub struct Evaluator {
     shared: Arc<Shared>,
     worker_handles: Vec<JoinHandle<()>>,
     worker_count: usize,
+    shutdown_timeout: Duration,
     next_id: AtomicU64,
 }
 
@@ -332,6 +469,28 @@ impl Evaluator {
         }
     }
 
+    /// Current queue depth in jobs (batch members counted individually) —
+    /// the saturation gauge producers poll between submissions.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// High-water mark of the queue depth in jobs over the evaluator's
+    /// lifetime.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.shared.queue.peak_depth()
+    }
+
+    /// Snapshot of the admission-control counters (the capacity-checked
+    /// entry points only; the unconditional `submit*` family bypasses them).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            accepted: self.shared.admitted.load(Ordering::Relaxed),
+            rejected_queue_full: self.shared.rejected_full.load(Ordering::Relaxed),
+            rejected_rate_limited: self.shared.rejected_rate.load(Ordering::Relaxed),
+        }
+    }
+
     /// Releases the memoized reference traces and baselines; the counters
     /// are preserved.
     ///
@@ -354,26 +513,50 @@ impl Evaluator {
     }
 
     /// Submits a batch of jobs sharing one event stream. Jobs start in
-    /// submission order as workers free up; their events interleave on the
-    /// returned stream. An empty batch returns a stream that is already
-    /// finished.
+    /// per-class submission order as workers free up; their events interleave
+    /// on the returned stream. An empty batch returns a stream that is
+    /// already finished. Submission is unconditional — for backpressure use
+    /// [`try_submit_all`](Evaluator::try_submit_all).
     pub fn submit_all(&self, jobs: Vec<EvalJob>) -> ResultStream {
         let (sender, receiver) = mpsc::channel();
         let mut ids = Vec::with_capacity(jobs.len());
         for job in jobs {
             let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
             ids.push(id);
-            let _ = sender.send(EvalEvent::JobQueued {
-                job: id,
-                benchmark: job.benchmark.name.to_string(),
-            });
-            self.shared
-                .queue
-                .push(QueuedWork::Single(Box::new(QueuedJob {
-                    id,
-                    job,
-                    events: sender.clone(),
-                })));
+            let benchmark = job.benchmark.name.to_string();
+            let priority = job.priority;
+            // Reserve first, then emit `JobQueued`, then land the work: the
+            // reservation makes the depth gauge exact and the ordering keeps
+            // `JobQueued` ahead of the worker's `JobStarted` on the stream.
+            match self.shared.queue.try_reserve(1, None) {
+                PushOutcome::Pushed(depth) => {
+                    let _ = sender.send(EvalEvent::JobQueued {
+                        job: id,
+                        benchmark,
+                        depth,
+                    });
+                    self.shared.queue.push_reserved(
+                        QueuedWork::Single(Box::new(QueuedJob {
+                            id,
+                            job,
+                            events: sender.clone(),
+                            queued_at: Instant::now(),
+                        })),
+                        priority,
+                        1,
+                    );
+                }
+                // Unreachable while the evaluator is alive (close happens in
+                // drop), but keeps every job's stream terminating if that
+                // changes.
+                PushOutcome::Full(_) | PushOutcome::Closed => {
+                    let _ = sender.send(EvalEvent::JobFailed {
+                        job: id,
+                        benchmark,
+                        error: McdError::Shutdown,
+                    });
+                }
+            }
         }
         // Dropping the submission's sender leaves one sender clone per queued
         // job; the stream therefore ends exactly when the last job finishes.
@@ -381,6 +564,100 @@ impl Evaluator {
         ResultStream {
             receiver,
             jobs: ids,
+        }
+    }
+
+    /// Capacity-checked [`submit_all`](Evaluator::submit_all): each job
+    /// passes the rate limiter and the queue bound or is turned away with an
+    /// explicit [`Admission::Rejected`] outcome (plus a terminal
+    /// [`EvalEvent::JobRejected`] on the stream). Accepted and rejected jobs
+    /// share the returned stream, so `collect` surfaces a rejection as
+    /// [`McdError::Rejected`] exactly like any other job failure.
+    pub fn try_submit_all(&self, jobs: Vec<EvalJob>) -> (ResultStream, Vec<Admission>) {
+        let (sender, receiver) = mpsc::channel();
+        let mut ids = Vec::with_capacity(jobs.len());
+        let mut admissions = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+            ids.push(id);
+            let benchmark = job.benchmark.name.to_string();
+            if let Some(reason) = self.admit(1.0) {
+                admissions.push(Admission::Rejected { job: id, reason });
+                let _ = sender.send(EvalEvent::JobRejected {
+                    job: id,
+                    benchmark,
+                    reason,
+                });
+                continue;
+            }
+            let priority = job.priority;
+            match self.shared.queue.try_reserve(1, self.shared.queue_capacity) {
+                PushOutcome::Pushed(depth) => {
+                    self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+                    admissions.push(Admission::Queued { job: id, depth });
+                    let _ = sender.send(EvalEvent::JobQueued {
+                        job: id,
+                        benchmark,
+                        depth,
+                    });
+                    self.shared.queue.push_reserved(
+                        QueuedWork::Single(Box::new(QueuedJob {
+                            id,
+                            job,
+                            events: sender.clone(),
+                            queued_at: Instant::now(),
+                        })),
+                        priority,
+                        1,
+                    );
+                }
+                PushOutcome::Full(depth) => {
+                    self.shared.rejected_full.fetch_add(1, Ordering::Relaxed);
+                    let reason = RejectReason::QueueFull {
+                        depth,
+                        capacity: self.shared.queue_capacity.unwrap_or(usize::MAX),
+                    };
+                    admissions.push(Admission::Rejected { job: id, reason });
+                    let _ = sender.send(EvalEvent::JobRejected {
+                        job: id,
+                        benchmark,
+                        reason,
+                    });
+                }
+                PushOutcome::Closed => {
+                    let _ = sender.send(EvalEvent::JobFailed {
+                        job: id,
+                        benchmark,
+                        error: McdError::Shutdown,
+                    });
+                }
+            }
+        }
+        drop(sender);
+        (
+            ResultStream {
+                receiver,
+                jobs: ids,
+            },
+            admissions,
+        )
+    }
+
+    /// Consults the rate limiter for `tokens` jobs' worth of budget; `Some`
+    /// carries the rejection reason, `None` admits.
+    fn admit(&self, tokens: f64) -> Option<RejectReason> {
+        let rate = self.shared.rate.as_ref()?;
+        let admitted = rate
+            .lock()
+            .expect("rate-limiter lock never poisoned")
+            .try_take(tokens, Instant::now());
+        if admitted {
+            None
+        } else {
+            self.shared
+                .rejected_rate
+                .fetch_add(tokens.max(1.0) as u64, Ordering::Relaxed);
+            Some(RejectReason::RateLimited)
         }
     }
 
@@ -392,48 +669,193 @@ impl Evaluator {
     /// with the same jobs — batching only changes wall-clock time, counted in
     /// [`batch_stats`](Evaluator::batch_stats).
     pub fn submit_batch(&self, batch: EvalBatch) -> ResultStream {
+        let (stream, _) = self.submit_batch_inner(batch, false);
+        stream
+    }
+
+    /// Capacity-checked [`submit_batch`](Evaluator::submit_batch): the batch
+    /// is one schedulable unit, so it is admitted or rejected whole — the
+    /// rate limiter is charged one token per member and the queue bound is
+    /// checked against the full member count. On rejection every member gets
+    /// a terminal [`EvalEvent::JobRejected`] and a matching
+    /// [`Admission::Rejected`] entry.
+    pub fn try_submit_batch(&self, batch: EvalBatch) -> (ResultStream, Vec<Admission>) {
+        self.submit_batch_inner(batch, true)
+    }
+
+    fn submit_batch_inner(
+        &self,
+        batch: EvalBatch,
+        checked: bool,
+    ) -> (ResultStream, Vec<Admission>) {
+        let priority = batch.priority();
+        let jobs = batch.jobs.len();
         let (sender, receiver) = mpsc::channel();
-        let mut ids = Vec::with_capacity(batch.jobs.len());
-        let mut members = Vec::with_capacity(batch.jobs.len());
+        let mut ids = Vec::with_capacity(jobs);
+        let mut members = Vec::with_capacity(jobs);
+        let queued_at = Instant::now();
         for job in batch.jobs {
             let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
             ids.push(id);
-            let _ = sender.send(EvalEvent::JobQueued {
-                job: id,
-                benchmark: job.benchmark.name.to_string(),
-            });
             members.push(QueuedJob {
                 id,
                 job,
                 events: sender.clone(),
+                queued_at,
             });
         }
+
+        // The batch is one schedulable unit: admitted or rejected whole.
+        let reserved = if checked {
+            match self.admit(jobs as f64) {
+                Some(reason) => Err(Some(reason)),
+                None => match self
+                    .shared
+                    .queue
+                    .try_reserve(jobs, self.shared.queue_capacity)
+                {
+                    PushOutcome::Pushed(depth) => Ok(depth),
+                    PushOutcome::Full(depth) => {
+                        self.shared
+                            .rejected_full
+                            .fetch_add(jobs as u64, Ordering::Relaxed);
+                        Err(Some(RejectReason::QueueFull {
+                            depth,
+                            capacity: self.shared.queue_capacity.unwrap_or(usize::MAX),
+                        }))
+                    }
+                    PushOutcome::Closed => Err(None),
+                },
+            }
+        } else {
+            match self.shared.queue.try_reserve(jobs, None) {
+                PushOutcome::Pushed(depth) => Ok(depth),
+                // Unreachable while the evaluator is alive; keeps streams
+                // terminating if that changes.
+                PushOutcome::Full(_) | PushOutcome::Closed => Err(None),
+            }
+        };
+
+        let admissions = match reserved {
+            Ok(depth) => {
+                if checked {
+                    self.shared
+                        .admitted
+                        .fetch_add(jobs as u64, Ordering::Relaxed);
+                }
+                let admissions = members
+                    .iter()
+                    .map(|member| {
+                        let _ = sender.send(EvalEvent::JobQueued {
+                            job: member.id,
+                            benchmark: member.job.benchmark.name.to_string(),
+                            depth,
+                        });
+                        Admission::Queued {
+                            job: member.id,
+                            depth,
+                        }
+                    })
+                    .collect();
+                self.shared
+                    .queue
+                    .push_reserved(QueuedWork::Batch(members), priority, jobs);
+                admissions
+            }
+            Err(Some(reason)) => members
+                .into_iter()
+                .map(|member| {
+                    let _ = sender.send(EvalEvent::JobRejected {
+                        job: member.id,
+                        benchmark: member.job.benchmark.name.to_string(),
+                        reason,
+                    });
+                    Admission::Rejected {
+                        job: member.id,
+                        reason,
+                    }
+                })
+                .collect(),
+            Err(None) => {
+                for member in members {
+                    let _ = sender.send(EvalEvent::JobFailed {
+                        job: member.id,
+                        benchmark: member.job.benchmark.name.to_string(),
+                        error: McdError::Shutdown,
+                    });
+                }
+                Vec::new()
+            }
+        };
         drop(sender);
-        self.shared.queue.push(QueuedWork::Batch(members));
-        ResultStream {
-            receiver,
-            jobs: ids,
-        }
+        (
+            ResultStream {
+                receiver,
+                jobs: ids,
+            },
+            admissions,
+        )
     }
 }
 
 impl Drop for Evaluator {
-    /// Graceful shutdown: queued jobs are drained (their streams complete),
-    /// then the workers exit and are joined.
+    /// Graceful shutdown within a bounded timeout: the queue is closed, then
+    /// drained for up to [`shutdown_timeout`](EvaluatorBuilder::shutdown_timeout).
+    /// Work still queued past the deadline is aborted — each abandoned job
+    /// emits a terminal [`EvalEvent::JobFailed`] with [`McdError::Shutdown`]
+    /// so its stream still ends — and the workers (which finish their
+    /// in-flight item either way) are joined.
     fn drop(&mut self) {
         self.shared.queue.close();
+        let deadline = Instant::now() + self.shutdown_timeout;
+        if !self.shared.queue.wait_empty(deadline) {
+            let fail = |queued: QueuedJob| {
+                let _ = queued.events.send(EvalEvent::JobFailed {
+                    job: queued.id,
+                    benchmark: queued.job.benchmark.name.to_string(),
+                    error: McdError::Shutdown,
+                });
+            };
+            for work in self.shared.queue.abort() {
+                match work {
+                    QueuedWork::Single(queued) => fail(*queued),
+                    QueuedWork::Batch(members) => members.into_iter().for_each(fail),
+                }
+            }
+        }
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// A worker: pop work until the queue closes and drains.
-fn worker_loop(shared: &Shared) {
-    while let Some(work) = shared.queue.pop() {
+/// A worker: pop work (own shard first, stealing otherwise) until the queue
+/// closes and drains. Each popped unit first emits `JobStarted` per job,
+/// carrying the queue-latency and depth gauges.
+fn worker_loop(shared: &Shared, worker: usize) {
+    while let Some(work) = shared.queue.pop(worker) {
+        let depth = shared.queue.depth();
         match work {
-            QueuedWork::Single(queued) => process_job(shared, *queued),
-            QueuedWork::Batch(members) => process_batch(shared, members),
+            QueuedWork::Single(queued) => {
+                let _ = queued.events.send(EvalEvent::JobStarted {
+                    job: queued.id,
+                    benchmark: queued.job.benchmark.name.to_string(),
+                    queued_for: queued.queued_at.elapsed(),
+                    depth,
+                });
+                process_job(shared, *queued);
+            }
+            QueuedWork::Batch(members) => {
+                for member in &members {
+                    let _ = member.events.send(EvalEvent::JobStarted {
+                        job: member.id,
+                        benchmark: member.job.benchmark.name.to_string(),
+                        queued_for: member.queued_at.elapsed(),
+                        depth,
+                    });
+                }
+                process_batch(shared, members);
+            }
         }
     }
 }
@@ -442,7 +864,9 @@ fn worker_loop(shared: &Shared) {
 /// allowed to fail silently: a caller that dropped its [`ResultStream`] has
 /// said it no longer cares about the results.
 fn process_job(shared: &Shared, queued: QueuedJob) {
-    let QueuedJob { id, job, events } = queued;
+    let QueuedJob {
+        id, job, events, ..
+    } = queued;
     let benchmark_name = job.benchmark().name.to_string();
     let config = job.effective_config(&shared.config, shared.window_parallelism);
 
@@ -567,7 +991,10 @@ fn process_batch(shared: &Shared, queued: Vec<QueuedJob>) {
 
     // Validate every member's registry before paying for the baseline.
     let mut members: Vec<BatchMember> = Vec::with_capacity(queued.len());
-    for QueuedJob { id, job, events } in queued {
+    for QueuedJob {
+        id, job, events, ..
+    } in queued
+    {
         let benchmark_name = job.benchmark().name.to_string();
         let config = job.effective_config(&shared.config, shared.window_parallelism);
         match job.build_registry(&config) {

@@ -4,6 +4,7 @@ use crate::error::McdError;
 use crate::evaluation::EvaluationConfig;
 use crate::online::OnlineConfig;
 use crate::scheme::{configured_registry, subset_registry, DvfsScheme};
+use crate::service::scheduler::Priority;
 use mcd_profiling::context::ContextPolicy;
 use mcd_workloads::suite::Benchmark;
 
@@ -32,6 +33,7 @@ impl std::fmt::Display for JobId {
 #[derive(Debug, Clone)]
 pub struct EvalJob {
     pub(crate) benchmark: Benchmark,
+    pub(crate) priority: Priority,
     pub(crate) slowdown: Option<f64>,
     pub(crate) policy: Option<ContextPolicy>,
     pub(crate) online: Option<OnlineConfig>,
@@ -44,6 +46,7 @@ impl EvalJob {
     pub fn new(benchmark: Benchmark) -> Self {
         EvalJob {
             benchmark,
+            priority: Priority::default(),
             slowdown: None,
             policy: None,
             online: None,
@@ -62,6 +65,19 @@ impl EvalJob {
     /// The benchmark this job evaluates.
     pub fn benchmark(&self) -> &Benchmark {
         &self.benchmark
+    }
+
+    /// The job's scheduling class (defaults to [`Priority::Batch`]).
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Sets the job's scheduling class. Workers prefer more urgent classes
+    /// but per-class FIFO order is preserved and the scheduler's starvation
+    /// guard keeps lower classes progressing under sustained urgent load.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// Overrides the slowdown target of the off-line and profile analyses.
@@ -187,6 +203,17 @@ impl EvalBatch {
     /// Number of member jobs (at least one).
     pub fn len(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// The batch's scheduling class: the most urgent class among its members
+    /// (the batch is one schedulable unit, so it rides at the urgency of its
+    /// most impatient job).
+    pub fn priority(&self) -> Priority {
+        self.jobs
+            .iter()
+            .map(|job| job.priority)
+            .min()
+            .unwrap_or_default()
     }
 
     /// Always false — [`EvalJob::batch`] rejects empty batches.

@@ -11,12 +11,17 @@
 //!
 //! * **Build once** ([`Evaluator::builder`]): machine model, analysis
 //!   parameters, artifact cache and thread budget are fixed up front; a pool
-//!   of worker threads (the [`WorkQueue`](crate::parallel) scaffolding) waits
-//!   for jobs.
+//!   of worker threads behind a sharded, priority-classed work-stealing
+//!   scheduler waits for jobs.
 //! * **Submit jobs** ([`Evaluator::submit`], [`Evaluator::submit_all`]): an
 //!   [`EvalJob`] is a benchmark plus overrides — slowdown target, context
-//!   policy, on-line tuning, scheme subset. Submission never blocks on
-//!   evaluation work.
+//!   policy, on-line tuning, scheme subset — and a [`Priority`] class
+//!   (`Interactive` / `Batch` / `Background`; per-class FIFO, starvation
+//!   guarded). Submission never blocks on evaluation work. The
+//!   capacity-checked twins ([`Evaluator::try_submit_all`],
+//!   [`Evaluator::try_submit_batch`]) add admission control: a bounded queue
+//!   and a token-bucket rate limiter turn overload into explicit
+//!   [`Admission::Rejected`] outcomes instead of unbounded memory growth.
 //! * **Share baselines**: the service memoizes reference traces and
 //!   full-speed baselines per `(benchmark, machine)` fingerprint, so a sweep
 //!   submitting many configurations of the same benchmarks computes each
@@ -31,12 +36,16 @@
 //! Per job, events always arrive in this order on the submission's stream:
 //!
 //! ```text
-//! JobQueued ──▶ BaselineReady ──▶ SchemeFinished (0..n) ──▶ JobCompleted
-//!                                                      └──▶ JobFailed
-//!                                               (exactly one terminal event)
+//! JobQueued ──▶ JobStarted ──▶ BaselineReady ──▶ SchemeFinished (0..n)
+//!                                           ──▶ JobCompleted / JobFailed
+//! JobRejected                    (exactly one terminal event per job)
 //! ```
 //!
-//! * [`EvalEvent::JobQueued`] — sent at submission time.
+//! * [`EvalEvent::JobQueued`] — sent at submission time, carrying the queue
+//!   depth; a capacity-checked submission that is turned away sends a
+//!   terminal [`EvalEvent::JobRejected`] instead.
+//! * [`EvalEvent::JobStarted`] — a worker picked the job up; carries the
+//!   queue latency (`queued_for`) and the depth left behind.
 //! * [`EvalEvent::BaselineReady`] — the job's reference trace and baseline
 //!   exist (`memo_hit` says whether another job already paid for them).
 //! * [`EvalEvent::SchemeFinished`] — one per scheme in the job's registry, in
@@ -47,7 +56,7 @@
 //!   [`BenchmarkEvaluation`](crate::evaluation::BenchmarkEvaluation). A failed
 //!   job never poisons the rest of its batch. A job rejected at
 //!   registry-construction time (unknown scheme name) fails straight from
-//!   `JobQueued`, before any baseline work.
+//!   `JobStarted`, before any baseline work.
 //!
 //! Events of different jobs interleave arbitrarily; the stream ends after the
 //! last job's terminal event. [`ResultStream::collect`] recovers the old
@@ -82,8 +91,12 @@
 
 mod evaluator;
 mod job;
+mod scheduler;
 mod stream;
 
-pub use evaluator::{BatchStats, Evaluator, EvaluatorBuilder, MemoStats};
+pub use evaluator::{
+    Admission, AdmissionStats, BatchStats, Evaluator, EvaluatorBuilder, MemoStats, RejectReason,
+};
 pub use job::{EvalBatch, EvalJob, JobId};
+pub use scheduler::{Priority, STARVATION_LIMIT};
 pub use stream::{EvalEvent, ResultStream};

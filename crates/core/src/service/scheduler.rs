@@ -1,0 +1,594 @@
+//! Sharded priority scheduling and admission control for the [`Evaluator`]
+//! (see the [service docs](crate::service)).
+//!
+//! Three pieces live here:
+//!
+//! * [`Priority`] — the public priority classes a submitter stamps on an
+//!   [`EvalJob`](crate::service::EvalJob).
+//! * [`ShardedScheduler`] — the worker pool's queue: one shard per worker,
+//!   each holding a FIFO deque per priority class. Workers pop from their own
+//!   shard and steal from the others when it is empty, so a hot submitter
+//!   cannot serialize the pool behind one lock. Higher classes are served
+//!   first, but a lower class that has been bypassed
+//!   [`STARVATION_LIMIT`] times in a row is served next regardless —
+//!   background work makes progress under any interactive load.
+//! * [`TokenBucket`] — the submission front-end's rate limiter: a classic
+//!   token bucket (capacity = burst, steady refill), driven by explicit
+//!   timestamps so admission decisions are unit-testable without sleeping.
+//!
+//! The scheduler is deliberately *not* globally FIFO across shards: per-class
+//! FIFO holds within each shard (and therefore exactly, when there is one
+//! shard), while cross-shard order is only approximate — that is the price of
+//! sharding, and the paper-shaped workloads never depend on global order.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Priority class of one submission, highest first.
+///
+/// Classes share the evaluator; they only decide who goes first when the
+/// queue is contended. Within a class, jobs of one shard are served FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive work: served before everything else.
+    Interactive,
+    /// The default class: bulk evaluations, sweeps, figure regeneration.
+    #[default]
+    Batch,
+    /// Best-effort work (speculative warming, training-data generation):
+    /// served when nothing more urgent is queued, but never starved — see
+    /// [`STARVATION_LIMIT`].
+    Background,
+}
+
+impl Priority {
+    /// Every class, highest priority first.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Batch, Priority::Background];
+
+    /// Index into per-class arrays (0 = most urgent).
+    fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+            Priority::Background => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::Background => "background",
+        })
+    }
+}
+
+/// How many times a non-empty lower class may be bypassed by higher-priority
+/// pops before it is served regardless. The bound is per shard and per class:
+/// under a saturating interactive stream, a queued background item still pops
+/// within `STARVATION_LIMIT + 1` pops of its shard.
+pub const STARVATION_LIMIT: u32 = 7;
+
+/// One queued entry: the payload plus its accounting weight (a batched group
+/// counts each member toward queue depth and capacity).
+struct Entry<T> {
+    jobs: usize,
+    item: T,
+}
+
+/// One shard: a FIFO deque per priority class plus the bypass counters the
+/// starvation guard reads.
+struct Shard<T> {
+    classes: [VecDeque<Entry<T>>; 3],
+    skipped: [u32; 3],
+}
+
+impl<T> Shard<T> {
+    fn new() -> Self {
+        Shard {
+            classes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            skipped: [0; 3],
+        }
+    }
+
+    /// Serves the next entry of this shard under the priority discipline:
+    /// a class bypassed [`STARVATION_LIMIT`] times goes first (oldest starved
+    /// class wins, i.e. the lowest such index is checked last so deeper
+    /// starvation is preferred), otherwise the most urgent non-empty class;
+    /// every lower non-empty class it bypasses ages by one.
+    fn pop(&mut self) -> Option<Entry<T>> {
+        // Starved classes first, most-starved (largest skip count) first.
+        let starved = (0..3)
+            .filter(|&c| self.skipped[c] >= STARVATION_LIMIT && !self.classes[c].is_empty())
+            .max_by_key(|&c| self.skipped[c]);
+        if let Some(c) = starved {
+            self.skipped[c] = 0;
+            return self.classes[c].pop_front();
+        }
+        for c in 0..3 {
+            if let Some(entry) = self.classes[c].pop_front() {
+                self.skipped[c] = 0;
+                for lower in &mut self.skipped[c + 1..] {
+                    *lower += 1;
+                }
+                // Aging only counts against classes that actually had work.
+                for (lower, skipped) in self.classes[c + 1..].iter().zip(&mut self.skipped[c + 1..])
+                {
+                    if lower.is_empty() {
+                        *skipped = 0;
+                    }
+                }
+                return Some(entry);
+            }
+        }
+        None
+    }
+
+    fn drain(&mut self) -> Vec<T> {
+        let mut items = Vec::new();
+        for class in &mut self.classes {
+            items.extend(class.drain(..).map(|e| e.item));
+        }
+        items
+    }
+}
+
+/// Shared counters and lifecycle flags, guarded by one small mutex that is
+/// never held while a shard is locked (and vice versa), so push and pop can
+/// never deadlock against each other.
+struct Gate {
+    /// Queued entries across all shards (a batch is one entry).
+    entries: usize,
+    /// Queued jobs across all shards (a batch counts its members).
+    jobs: usize,
+    /// High-water mark of `jobs`.
+    peak_jobs: usize,
+    closed: bool,
+    aborted: bool,
+}
+
+/// The outcome of a capacity-checked push.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushOutcome {
+    /// Accepted; carries the queue depth (in jobs) after the push.
+    Pushed(usize),
+    /// Rejected: `jobs` more would exceed the capacity. Carries the current
+    /// depth.
+    Full(usize),
+    /// Rejected: the scheduler is shutting down.
+    Closed,
+}
+
+/// A sharded, priority-classed, work-stealing blocking queue.
+///
+/// See the [module docs](self) for the discipline. All methods are safe to
+/// call from any thread.
+pub(crate) struct ShardedScheduler<T> {
+    shards: Vec<Mutex<Shard<T>>>,
+    gate: Mutex<Gate>,
+    available: Condvar,
+    next_shard: AtomicUsize,
+}
+
+impl<T> std::fmt::Debug for ShardedScheduler<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedScheduler")
+            .field("shards", &self.shards.len())
+            .field("depth_jobs", &self.depth())
+            .finish()
+    }
+}
+
+impl<T> ShardedScheduler<T> {
+    /// Creates a scheduler with `shards` shards (floor 1) — one per worker.
+    pub(crate) fn new(shards: usize) -> Self {
+        ShardedScheduler {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Shard::new()))
+                .collect(),
+            gate: Mutex::new(Gate {
+                entries: 0,
+                jobs: 0,
+                peak_jobs: 0,
+                closed: false,
+                aborted: false,
+            }),
+            available: Condvar::new(),
+            next_shard: AtomicUsize::new(0),
+        }
+    }
+
+    fn gate(&self) -> std::sync::MutexGuard<'_, Gate> {
+        self.gate.lock().expect("scheduler gate never poisoned")
+    }
+
+    fn shard(&self, i: usize) -> std::sync::MutexGuard<'_, Shard<T>> {
+        self.shards[i]
+            .lock()
+            .expect("scheduler shard never poisoned")
+    }
+
+    /// Current queue depth in jobs (batch members counted individually).
+    pub(crate) fn depth(&self) -> usize {
+        self.gate().jobs
+    }
+
+    /// High-water mark of the queue depth in jobs.
+    pub(crate) fn peak_depth(&self) -> usize {
+        self.gate().peak_jobs
+    }
+
+    /// Reserves space for one entry of weight `jobs`, unless doing so would
+    /// push the depth past `capacity` or the scheduler is closed.
+    ///
+    /// The capacity check and the depth update happen under one lock, so a
+    /// bounded scheduler never overshoots its capacity no matter how many
+    /// submitters race. On `Pushed` the depth gauge already includes the
+    /// reservation and the caller MUST follow up with
+    /// [`push_reserved`](ShardedScheduler::push_reserved) promptly —
+    /// consumers rescan (yielding) until the reserved entry lands. The split
+    /// exists so a submitter can emit its "queued" events *before* the entry
+    /// becomes poppable, keeping per-job event order.
+    pub(crate) fn try_reserve(&self, jobs: usize, capacity: Option<usize>) -> PushOutcome {
+        let mut gate = self.gate();
+        if gate.closed {
+            return PushOutcome::Closed;
+        }
+        if let Some(cap) = capacity {
+            if gate.jobs + jobs > cap {
+                return PushOutcome::Full(gate.jobs);
+            }
+        }
+        gate.entries += 1;
+        gate.jobs += jobs;
+        gate.peak_jobs = gate.peak_jobs.max(gate.jobs);
+        PushOutcome::Pushed(gate.jobs)
+    }
+
+    /// Lands an entry whose space was reserved by a successful
+    /// [`try_reserve`](ShardedScheduler::try_reserve); `jobs` must match the
+    /// reservation. The gate lock is never held here (see [`Gate`]).
+    pub(crate) fn push_reserved(&self, item: T, priority: Priority, jobs: usize) {
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shard(shard).classes[priority.index()].push_back(Entry { jobs, item });
+        self.available.notify_one();
+    }
+
+    /// Enqueues one entry of weight `jobs` under `priority`, unless doing so
+    /// would push the depth past `capacity` or the scheduler is closed (the
+    /// item is dropped on rejection). Production paths use the
+    /// reserve-then-land split directly; the tests keep this one-shot shape.
+    #[cfg(test)]
+    pub(crate) fn try_push(
+        &self,
+        item: T,
+        priority: Priority,
+        jobs: usize,
+        capacity: Option<usize>,
+    ) -> PushOutcome {
+        let outcome = self.try_reserve(jobs, capacity);
+        if matches!(outcome, PushOutcome::Pushed(_)) {
+            self.push_reserved(item, priority, jobs);
+        }
+        outcome
+    }
+
+    /// Enqueues unconditionally (no capacity bound). Items pushed after
+    /// [`close`](ShardedScheduler::close) are dropped, as on the old queue.
+    #[cfg(test)]
+    pub(crate) fn push(&self, item: T, priority: Priority, jobs: usize) {
+        let _ = self.try_push(item, priority, jobs, None);
+    }
+
+    /// Dequeues the next item for worker `worker`: its own shard first, then
+    /// stealing from the others in ring order. Blocks while the scheduler is
+    /// empty and open; returns `None` once it is closed and drained, or
+    /// immediately after an [`abort`](ShardedScheduler::abort).
+    pub(crate) fn pop(&self, worker: usize) -> Option<T> {
+        let n = self.shards.len();
+        loop {
+            for k in 0..n {
+                let taken = self.shard((worker + k) % n).pop();
+                if let Some(entry) = taken {
+                    let mut gate = self.gate();
+                    gate.entries -= 1;
+                    gate.jobs -= entry.jobs;
+                    if gate.entries == 0 {
+                        // Wake shutdown waiters in wait_empty.
+                        self.available.notify_all();
+                    }
+                    return Some(entry.item);
+                }
+            }
+            let gate = self.gate();
+            if gate.aborted || (gate.entries == 0 && gate.closed) {
+                return None;
+            }
+            if gate.entries > 0 {
+                // A racing push has counted its entry but not yet landed it
+                // in a shard; yield and rescan (the window is a few
+                // instructions, but the pusher may be descheduled).
+                drop(gate);
+                std::thread::yield_now();
+                continue;
+            }
+            let _unused = self
+                .available
+                .wait(gate)
+                .expect("scheduler gate never poisoned");
+        }
+    }
+
+    /// Closes the scheduler: no new pushes are accepted; consumers drain what
+    /// is left, then observe `None`.
+    pub(crate) fn close(&self) {
+        self.gate().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Blocks until the queue is empty (in-flight work may still be running)
+    /// or `deadline` passes; true when empty.
+    pub(crate) fn wait_empty(&self, deadline: Instant) -> bool {
+        let mut gate = self.gate();
+        loop {
+            if gate.entries == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, timeout) = self
+                .available
+                .wait_timeout(gate, deadline - now)
+                .expect("scheduler gate never poisoned");
+            gate = next;
+            if timeout.timed_out() && gate.entries > 0 {
+                return false;
+            }
+        }
+    }
+
+    /// Aborts: closes the scheduler, makes every blocked and future `pop`
+    /// return `None` immediately (workers finish their in-flight item and
+    /// exit), and returns everything still queued so the caller can emit
+    /// terminal events for it.
+    pub(crate) fn abort(&self) -> Vec<T> {
+        {
+            let mut gate = self.gate();
+            gate.closed = true;
+            gate.aborted = true;
+            gate.entries = 0;
+            gate.jobs = 0;
+        }
+        let mut items = Vec::new();
+        for shard in &self.shards {
+            items.extend(
+                shard
+                    .lock()
+                    .expect("scheduler shard never poisoned")
+                    .drain(),
+            );
+        }
+        self.available.notify_all();
+        items
+    }
+}
+
+/// A token-bucket rate limiter: `burst` tokens of headroom, refilled at
+/// `per_second` tokens per second. Driven by explicit [`Instant`]s so the
+/// admission logic is testable without wall-clock sleeps.
+#[derive(Debug, Clone)]
+pub(crate) struct TokenBucket {
+    per_second: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A full bucket. `per_second` and `burst` are floored to small positive
+    /// values so a zero-configured limiter still admits work slowly instead
+    /// of deadlocking submissions.
+    pub(crate) fn new(per_second: f64, burst: f64, now: Instant) -> Self {
+        let per_second = if per_second > 0.0 {
+            per_second
+        } else {
+            f64::MIN_POSITIVE
+        };
+        let burst = if burst >= 1.0 { burst } else { 1.0 };
+        TokenBucket {
+            per_second,
+            burst,
+            tokens: burst,
+            last: now,
+        }
+    }
+
+    /// Takes `n` tokens if available at `now`; false means "rate limited".
+    pub(crate) fn try_take(&mut self, n: f64, now: Instant) -> bool {
+        let elapsed = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.per_second).min(self.burst);
+        if self.tokens >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn priority_order_and_display() {
+        assert!(Priority::Interactive < Priority::Batch);
+        assert!(Priority::Batch < Priority::Background);
+        assert_eq!(Priority::default(), Priority::Batch);
+        assert_eq!(Priority::Background.to_string(), "background");
+    }
+
+    #[test]
+    fn single_shard_serves_higher_classes_first_fifo_within_class() {
+        let q: ShardedScheduler<u32> = ShardedScheduler::new(1);
+        q.push(1, Priority::Background, 1);
+        q.push(2, Priority::Batch, 1);
+        q.push(3, Priority::Interactive, 1);
+        q.push(4, Priority::Interactive, 1);
+        q.push(5, Priority::Batch, 1);
+        q.close();
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop(0)).collect();
+        assert_eq!(order, vec![3, 4, 2, 5, 1]);
+    }
+
+    #[test]
+    fn starvation_guard_bounds_background_wait() {
+        let q: ShardedScheduler<&'static str> = ShardedScheduler::new(1);
+        q.push("bg", Priority::Background, 1);
+        // A saturating interactive stream: the background item must still pop
+        // within STARVATION_LIMIT + 1 pops.
+        for _ in 0..64 {
+            q.push("fg", Priority::Interactive, 1);
+        }
+        let mut pops = 0;
+        loop {
+            let item = q.pop(0).expect("queue is non-empty");
+            pops += 1;
+            if item == "bg" {
+                break;
+            }
+            // Keep the interactive class saturated.
+            q.push("fg", Priority::Interactive, 1);
+            assert!(
+                pops <= STARVATION_LIMIT + 1,
+                "background item starved for {pops} pops"
+            );
+        }
+        assert_eq!(pops, STARVATION_LIMIT + 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_at_job_granularity() {
+        let q: ShardedScheduler<u8> = ShardedScheduler::new(2);
+        assert_eq!(
+            q.try_push(0, Priority::Batch, 3, Some(4)),
+            PushOutcome::Pushed(3)
+        );
+        // A 2-job batch would reach 5 > 4.
+        assert_eq!(
+            q.try_push(1, Priority::Batch, 2, Some(4)),
+            PushOutcome::Full(3)
+        );
+        assert_eq!(
+            q.try_push(2, Priority::Batch, 1, Some(4)),
+            PushOutcome::Pushed(4)
+        );
+        assert_eq!(q.depth(), 4);
+        assert_eq!(q.peak_depth(), 4);
+        assert!(q.pop(0).is_some());
+        q.close();
+        assert_eq!(
+            q.try_push(3, Priority::Batch, 1, Some(4)),
+            PushOutcome::Closed
+        );
+    }
+
+    #[test]
+    fn workers_steal_across_shards() {
+        // Everything lands round-robin across 4 shards; a single worker must
+        // still see all of it.
+        let q: ShardedScheduler<u32> = ShardedScheduler::new(4);
+        for v in 0..16 {
+            q.push(v, Priority::Batch, 1);
+        }
+        q.close();
+        let mut got: Vec<u32> = std::iter::from_fn(|| q.pop(2)).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_consumers_drain_everything_exactly_once() {
+        let q: Arc<ShardedScheduler<u64>> = Arc::new(ShardedScheduler::new(4));
+        let sum = Arc::new(AtomicU64::new(0));
+        let total = 500u64;
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let q = q.clone();
+                let sum = sum.clone();
+                scope.spawn(move || {
+                    while let Some(v) = q.pop(w) {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+            for v in 1..=total {
+                let class = Priority::ALL[(v % 3) as usize];
+                q.push(v, class, 1);
+            }
+            q.close();
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), total * (total + 1) / 2);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn abort_returns_the_leftovers_and_unblocks_pops() {
+        let q: ShardedScheduler<u32> = ShardedScheduler::new(2);
+        for v in 0..6 {
+            q.push(v, Priority::Batch, 1);
+        }
+        assert!(q.pop(0).is_some());
+        let mut left = q.abort();
+        left.sort_unstable();
+        assert_eq!(left.len(), 5);
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn wait_empty_observes_drain_and_timeout() {
+        let q: Arc<ShardedScheduler<u32>> = Arc::new(ShardedScheduler::new(1));
+        q.push(1, Priority::Batch, 1);
+        // Timeout path: nobody pops.
+        assert!(!q.wait_empty(Instant::now() + Duration::from_millis(20)));
+        // Drain path: a consumer empties the queue while we wait.
+        std::thread::scope(|scope| {
+            let q2 = q.clone();
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                assert!(q2.pop(0).is_some());
+            });
+            assert!(q.wait_empty(Instant::now() + Duration::from_secs(5)));
+        });
+    }
+
+    #[test]
+    fn token_bucket_burst_then_steady_rate() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(10.0, 3.0, t0);
+        // The burst admits three immediately.
+        assert!(bucket.try_take(1.0, t0));
+        assert!(bucket.try_take(1.0, t0));
+        assert!(bucket.try_take(1.0, t0));
+        assert!(!bucket.try_take(1.0, t0));
+        // 100 ms at 10/s refills one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(bucket.try_take(1.0, t1));
+        assert!(!bucket.try_take(1.0, t1));
+        // Refill saturates at the burst.
+        let t2 = t1 + Duration::from_secs(60);
+        assert!(bucket.try_take(3.0, t2));
+        assert!(!bucket.try_take(1.0, t2));
+    }
+}

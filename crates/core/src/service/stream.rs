@@ -3,19 +3,27 @@
 use crate::error::McdError;
 use crate::evaluation::BenchmarkEvaluation;
 use crate::scheme::SchemeOutcome;
+use crate::service::evaluator::RejectReason;
 use crate::service::job::JobId;
 use std::collections::HashMap;
 use std::sync::mpsc;
+use std::time::Duration;
 
 /// One step in a job's lifecycle, delivered over a [`ResultStream`].
 ///
-/// Per job the order is always `JobQueued` → `BaselineReady` → zero or more
-/// `SchemeFinished` → exactly one of `JobCompleted` / `JobFailed` (a job
-/// whose registry is invalid — e.g. an unknown scheme name — fails fast,
-/// jumping from `JobQueued` straight to `JobFailed` without paying for a
-/// baseline). Events of *different* jobs interleave arbitrarily — that
-/// interleaving is the point: a caller watching the stream sees each scheme
-/// result the moment it exists instead of waiting for the whole batch.
+/// Per job the order is always `JobQueued` → `JobStarted` → `BaselineReady`
+/// → zero or more `SchemeFinished` → exactly one of `JobCompleted` /
+/// `JobFailed` (a job whose registry is invalid — e.g. an unknown scheme
+/// name — fails fast, jumping from `JobStarted` straight to `JobFailed`
+/// without paying for a baseline). A job turned away by admission control
+/// emits a single terminal `JobRejected` instead. Events of *different* jobs
+/// interleave arbitrarily — that interleaving is the point: a caller watching
+/// the stream sees each scheme result the moment it exists instead of waiting
+/// for the whole batch.
+///
+/// `JobQueued` and `JobStarted` double as the service's saturation gauges:
+/// they carry the queue depth (in jobs) at enqueue and dequeue time, and
+/// `JobStarted` carries how long the job waited in the queue.
 #[derive(Debug, Clone)]
 pub enum EvalEvent {
     /// The job was accepted and enqueued for a worker.
@@ -24,6 +32,31 @@ pub enum EvalEvent {
         job: JobId,
         /// Benchmark name, for display.
         benchmark: String,
+        /// Queue depth in jobs just after this job was enqueued.
+        depth: usize,
+    },
+    /// The submission was turned away by admission control (bounded queue or
+    /// rate limiter). Terminal: no further events follow for this job, and
+    /// nothing was evaluated.
+    JobRejected {
+        /// The job's identity.
+        job: JobId,
+        /// Benchmark name, for display.
+        benchmark: String,
+        /// Why the job was rejected.
+        reason: RejectReason,
+    },
+    /// A worker picked the job up from the queue.
+    JobStarted {
+        /// The job's identity.
+        job: JobId,
+        /// Benchmark name, for display.
+        benchmark: String,
+        /// Time the job spent queued (submission to worker pickup) — the
+        /// stream's queue-latency gauge.
+        queued_for: Duration,
+        /// Queue depth in jobs just after this job was dequeued.
+        depth: usize,
     },
     /// The job's reference trace and full-speed baseline are available.
     BaselineReady {
@@ -68,6 +101,8 @@ impl EvalEvent {
     pub fn job(&self) -> JobId {
         match self {
             EvalEvent::JobQueued { job, .. }
+            | EvalEvent::JobRejected { job, .. }
+            | EvalEvent::JobStarted { job, .. }
             | EvalEvent::BaselineReady { job, .. }
             | EvalEvent::SchemeFinished { job, .. }
             | EvalEvent::JobCompleted { job, .. }
@@ -75,11 +110,14 @@ impl EvalEvent {
         }
     }
 
-    /// True for the two terminal events (`JobCompleted` / `JobFailed`).
+    /// True for the terminal events (`JobCompleted` / `JobFailed` /
+    /// `JobRejected`) — no further events follow for the job.
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            EvalEvent::JobCompleted { .. } | EvalEvent::JobFailed { .. }
+            EvalEvent::JobCompleted { .. }
+                | EvalEvent::JobFailed { .. }
+                | EvalEvent::JobRejected { .. }
         )
     }
 }
@@ -120,6 +158,9 @@ impl ResultStream {
                     completed.insert(job, evaluation);
                 }
                 EvalEvent::JobFailed { job, error, .. } => failed.push((job, error)),
+                EvalEvent::JobRejected { job, reason, .. } => {
+                    failed.push((job, McdError::Rejected(reason.to_string())));
+                }
                 _ => {}
             }
         }

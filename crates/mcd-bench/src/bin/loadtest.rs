@@ -1,0 +1,238 @@
+//! `loadtest` — the evaluation service's load-test harness.
+//!
+//! Replays the synthetic mixed-tier job stream (see [`mcd_bench::loadtest`])
+//! through three phases:
+//!
+//! 1. **Throughput** — the same stream under serial (one job per entry) and
+//!    batched (one [`EvalJob::batch`] group per benchmark) submission, cold
+//!    cache; reports jobs/s and p50/p95/p99 queue/completion latency, and
+//!    requires the two runs' per-job metrics to hash to the same digest.
+//! 2. **Admission** — the stream fired at a bounded front-end, once with a
+//!    small queue capacity and once with a token-bucket rate limit; both
+//!    must produce nonzero completed *and* rejected counts, proving the
+//!    explicit queued/rejected accounting works under pressure.
+//! 3. **Shared cache** — N concurrent worker processes (re-executions of
+//!    this binary with `--worker`) cold-start on one `MCD_CACHE_DIR`; the
+//!    parent then asserts the single-writer guarantee: per artifact kind,
+//!    recorded writes equal distinct files — no key was computed twice.
+//!
+//! Flags: `--points N` (slowdown points per benchmark, default 32),
+//! `--procs N` (shared-cache worker processes, default 2), `--smoke`
+//! (CI-sized run: 3 points), `--worker` (internal: run one batched stream
+//! against the environment's cache directory and append its stats snapshot).
+//! Exit status is non-zero on any failed invariant, so CI can run
+//! `loadtest --smoke` directly.
+//!
+//! [`EvalJob::batch`]: mcd_dvfs::service::EvalJob::batch
+
+use mcd_bench::loadtest::{
+    cold_config, run_admission, run_batched, run_serial, stream_jobs, RunReport, DEFAULT_POINTS,
+};
+use mcd_dvfs::artifact::ArtifactCache;
+use mcd_dvfs::error::McdError;
+use std::collections::BTreeMap;
+use std::process::{Command, ExitCode};
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    let smoke = flag("--smoke");
+    let points =
+        value("--points")
+            .filter(|&n| n > 0)
+            .unwrap_or(if smoke { 3 } else { DEFAULT_POINTS });
+    let procs = value("--procs").filter(|&n| n > 0).unwrap_or(2);
+
+    if flag("--worker") {
+        return match run_worker(points) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("loadtest worker: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match run_harness(points, procs, smoke) {
+        Ok(true) => {
+            println!("loadtest: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("loadtest: FAIL");
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("loadtest: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--worker`: one batched pass over the stream against the cache directory
+/// the parent set up in the environment, stats snapshot appended on exit.
+fn run_worker(points: usize) -> Result<(), McdError> {
+    let cache = Arc::new(ArtifactCache::from_env());
+    let config = cold_config().with_cache(cache.clone());
+    let report = run_batched(&config, stream_jobs(points)?)?;
+    eprintln!(
+        "loadtest worker: {} job(s) in {:.0} ms",
+        report.jobs,
+        report.wall.as_secs_f64() * 1e3
+    );
+    cache.flush_stats_log();
+    Ok(())
+}
+
+fn run_harness(points: usize, procs: usize, smoke: bool) -> Result<bool, McdError> {
+    let mut ok = true;
+
+    // Phase 1: serial vs batched throughput on the identical stream.
+    println!("phase 1: throughput (cold, cache disabled, {points} points/benchmark)");
+    let config = cold_config();
+    let serial = run_serial(&config, stream_jobs(points)?)?;
+    print_run("serial", &serial);
+    let batched = run_batched(&config, stream_jobs(points)?)?;
+    print_run("batched", &batched);
+    let speedup = batched.throughput() / serial.throughput().max(1e-9);
+    let digests_match = serial.digest == batched.digest;
+    println!(
+        "loadtest: speedup={speedup:.2}x digests={}",
+        if digests_match { "match" } else { "MISMATCH" }
+    );
+    if !digests_match {
+        println!("loadtest: FAIL — batched metrics are not bit-identical to serial metrics");
+        ok = false;
+    }
+
+    // Phase 2: admission control under pressure.
+    println!();
+    println!("phase 2: admission (bounded front-end)");
+    let capped = run_admission(&config, stream_jobs(points)?, Some(2), None)?;
+    println!(
+        "loadtest: admission capacity=2 completed={} rejected_queue_full={} \
+         rejected_rate_limited={}",
+        capped.completed, capped.rejected_queue_full, capped.rejected_rate_limited
+    );
+    let limited = run_admission(&config, stream_jobs(points)?, None, Some((4.0, 2.0)))?;
+    println!(
+        "loadtest: admission rate=4/s burst=2 completed={} rejected_queue_full={} \
+         rejected_rate_limited={}",
+        limited.completed, limited.rejected_queue_full, limited.rejected_rate_limited
+    );
+    for (label, outcome) in [("capacity", &capped), ("rate", &limited)] {
+        if outcome.completed == 0 || outcome.rejected() == 0 {
+            println!(
+                "loadtest: FAIL — {label} phase must both admit and reject \
+                 (completed={}, rejected={})",
+                outcome.completed,
+                outcome.rejected()
+            );
+            ok = false;
+        }
+    }
+
+    // Phase 3: N cold processes on one cache directory — single writer.
+    println!();
+    let worker_points = if smoke { points } else { points.min(4) };
+    println!("phase 3: shared cache ({procs} concurrent cold processes, {worker_points} points)");
+    if !shared_cache_phase(worker_points, procs)? {
+        ok = false;
+    }
+    Ok(ok)
+}
+
+fn print_run(mode: &str, report: &RunReport) {
+    println!(
+        "loadtest: {mode:<8} jobs={} wall_ms={:.0} throughput={:.2}/s \
+         queue_ms p50={:.0} p95={:.0} p99={:.0} \
+         completion_ms p50={:.0} p95={:.0} p99={:.0} digest={:016x}",
+        report.jobs,
+        report.wall.as_secs_f64() * 1e3,
+        report.throughput(),
+        report.queue.p50_ms,
+        report.queue.p95_ms,
+        report.queue.p99_ms,
+        report.completion.p50_ms,
+        report.completion.p95_ms,
+        report.completion.p99_ms,
+        report.digest,
+    );
+}
+
+/// Runs `procs` concurrent `--worker` re-executions of this binary on a
+/// fresh shared cache directory, then verifies that per artifact kind the
+/// recorded writes equal the distinct files on disk (single-writer) and
+/// reports the contention the lock absorbed.
+fn shared_cache_phase(points: usize, procs: usize) -> Result<bool, McdError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| McdError::Internal(format!("cannot locate own executable: {e}")))?;
+    let dir = std::env::temp_dir().join(format!("mcd-loadtest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut children = Vec::new();
+    for _ in 0..procs {
+        let child = Command::new(&exe)
+            .args(["--worker", "--points", &points.to_string()])
+            .env("MCD_CACHE_DIR", &dir)
+            .env_remove("MCD_NO_CACHE")
+            .spawn()
+            .map_err(|e| McdError::Internal(format!("cannot spawn worker: {e}")))?;
+        children.push(child);
+    }
+    let mut ok = true;
+    for mut child in children {
+        let status = child
+            .wait()
+            .map_err(|e| McdError::Internal(format!("cannot wait for worker: {e}")))?;
+        if !status.success() {
+            println!("loadtest: FAIL — worker exited with {status}");
+            ok = false;
+        }
+    }
+
+    // Distinct artifacts on disk, per kind.
+    let cache = ArtifactCache::new(&dir);
+    let mut files: BTreeMap<String, u64> = BTreeMap::new();
+    for entry in cache.entries() {
+        *files.entry(entry.kind).or_default() += 1;
+    }
+    // Writes recorded across every process that used the directory.
+    let recorded: BTreeMap<String, _> = ArtifactCache::aggregated_kind_stats(&dir)
+        .into_iter()
+        .collect();
+    let totals = ArtifactCache::aggregated_stats(&dir);
+
+    let mut duplicates = 0u64;
+    for (kind, count) in &files {
+        let writes = recorded.get(kind).map(|s| s.writes).unwrap_or(0);
+        let dup = writes.saturating_sub(*count);
+        duplicates += dup;
+        println!("loadtest: shared-cache kind={kind} files={count} writes={writes} dup={dup}");
+    }
+    println!(
+        "loadtest: shared-cache procs={procs} duplicate_writes={duplicates} lock_waits={} \
+         writes={}",
+        totals.lock_waits, totals.writes
+    );
+    if files.is_empty() || totals.writes == 0 {
+        println!("loadtest: FAIL — shared-cache phase produced no artifacts");
+        ok = false;
+    }
+    if duplicates > 0 {
+        println!(
+            "loadtest: FAIL — {duplicates} duplicate write(s): concurrent processes \
+             recomputed a published key"
+        );
+        ok = false;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(ok)
+}

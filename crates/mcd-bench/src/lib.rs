@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod loadtest;
 pub mod timing;
 
 use mcd_dvfs::artifact::ArtifactCache;

@@ -39,8 +39,20 @@ fn run() -> Result<(), McdError> {
     let mut events: Vec<EvalEvent> = Vec::new();
     for event in stream {
         match &event {
-            EvalEvent::JobQueued { job, benchmark } => {
-                println!("{job}: queued        {benchmark}");
+            EvalEvent::JobQueued {
+                job,
+                benchmark,
+                depth,
+            } => {
+                println!("{job}: queued        {benchmark} (depth {depth})");
+            }
+            EvalEvent::JobRejected { job, reason, .. } => {
+                println!("{job}: REJECTED      {reason}");
+            }
+            EvalEvent::JobStarted {
+                job, queued_for, ..
+            } => {
+                println!("{job}: started       after {queued_for:?} queued");
             }
             EvalEvent::BaselineReady { job, memo_hit, .. } => {
                 println!("{job}: baseline      (memo hit: {memo_hit})");
@@ -67,9 +79,12 @@ fn run() -> Result<(), McdError> {
     for event in &events {
         let stage = match event {
             EvalEvent::JobQueued { .. } => 0,
-            EvalEvent::BaselineReady { .. } => 1,
-            EvalEvent::SchemeFinished { .. } => 2,
-            EvalEvent::JobCompleted { .. } | EvalEvent::JobFailed { .. } => 3,
+            EvalEvent::JobStarted { .. } => 1,
+            EvalEvent::BaselineReady { .. } => 2,
+            EvalEvent::SchemeFinished { .. } => 3,
+            EvalEvent::JobCompleted { .. }
+            | EvalEvent::JobFailed { .. }
+            | EvalEvent::JobRejected { .. } => 4,
         };
         lifecycle.entry(event.job()).or_default().push(stage);
     }
@@ -81,12 +96,16 @@ fn run() -> Result<(), McdError> {
             stages.first() == Some(&0),
             "lifecycle starts with JobQueued",
         )?;
-        ensure(stages.get(1) == Some(&1), "BaselineReady follows JobQueued")?;
+        ensure(stages.get(1) == Some(&1), "JobStarted follows JobQueued")?;
         ensure(
-            stages.last() == Some(&3),
+            stages.get(2) == Some(&2),
+            "BaselineReady follows JobStarted",
+        )?;
+        ensure(
+            stages.last() == Some(&4),
             "lifecycle ends with a terminal event",
         )?;
-        let schemes = stages.iter().filter(|&&s| s == 2).count();
+        let schemes = stages.iter().filter(|&&s| s == 3).count();
         ensure(schemes == 3, "one SchemeFinished per standard scheme")?;
         ensure(
             stages.windows(2).all(|w| w[0] <= w[1]),

@@ -26,18 +26,34 @@ fmt:
     cargo fmt
 
 # Run the tracked macro-benchmark harness: times trace generation, baseline
-# simulation, streaming capture+analysis, a cold fig4 --quick evaluation, and
-# the batched slowdown sweep (one point vs. ten points in a single batch);
-# each stage runs in a fresh child process (median of 3) and the report goes
-# to BENCH_6.json. See README "Performance" for the schema and trajectory.
+# simulation, streaming capture+analysis, a cold fig4 --quick evaluation, the
+# batched slowdown sweep (one point vs. ten points in a single batch), the
+# load-test stream under serial and batched submission, and the shared-cache
+# single-writer stage; each stage runs in a fresh child process (median of 3)
+# and the report goes to BENCH_7.json. See README "Performance" for the
+# schema and trajectory.
 bench:
     cargo run --release --bin perf_report
 
-# Compare a fresh bench run against the committed BENCH_6.json: fails on a
-# >25% fig4-quick or sweep regression, or when the ten-point batched sweep
-# costs 4x or more the one-point cost (the CI gates).
+# Compare a fresh bench run against the committed BENCH_7.json: fails on a
+# >25% fig4-quick / sweep / load-batched regression, when the ten-point
+# batched sweep costs 4x or more the one-point cost, when batched load-test
+# submission is less than 4x serial throughput, when the serial and batched
+# metrics digests diverge, or when the shared-cache stage records a
+# duplicate artifact write (the CI gates).
 bench-check:
-    cargo run --release --bin perf_report -- --check BENCH_6.json --out /tmp/bench-check.json
+    cargo run --release --bin perf_report -- --check BENCH_7.json --out /tmp/bench-check.json
+
+# Replay the full synthetic load-test stream: serial-vs-batched throughput
+# with latency percentiles and a bit-exact metrics digest, admission control
+# under queue-capacity and rate-limit pressure, and N concurrent cold
+# processes proving the shared cache's single-writer guarantee.
+loadtest:
+    cargo run --release --bin loadtest
+
+# The CI-sized load test (3 points per benchmark, same invariants).
+loadtest-smoke:
+    cargo run --release --bin loadtest -- --smoke
 
 # Run the micro-benchmarks (the criterion-style harness in crates/mcd-bench).
 microbench:

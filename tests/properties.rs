@@ -685,6 +685,161 @@ fn batched_lanes_match_serial_submission_bitwise() {
     }
 }
 
+/// Under contention (one worker, every job queued behind a running one),
+/// jobs start strictly by priority class — every interactive job before
+/// every batch job before every background job — and in FIFO order within a
+/// class. The queue never exceeds the submitted backlog and the counters
+/// account for every admission.
+#[test]
+fn priority_classes_are_served_in_order_under_contention() {
+    use mcd_dvfs::service::{EvalEvent, EvalJob, Evaluator, Priority};
+
+    let evaluator = Evaluator::builder().workers(1).build();
+    // The blocker occupies the single worker while the backlog is submitted;
+    // nine more jobs then drain strictly by priority. Off-line only and a
+    // shared baseline keep each job cheap.
+    let job = |i: usize, priority: Priority| {
+        EvalJob::named("adpcm decode")
+            .expect("known benchmark")
+            .with_slowdown(0.02 + 0.01 * i as f64)
+            .with_schemes([mcd_dvfs::scheme::names::OFFLINE])
+            .with_priority(priority)
+    };
+    let mut jobs = vec![job(0, Priority::Background)];
+    // Interleave the submission order so FIFO-within-class is distinguishable
+    // from plain FIFO: B I G B I G B I G (after the blocker).
+    let classes = [Priority::Batch, Priority::Interactive, Priority::Background];
+    for i in 1..10 {
+        jobs.push(job(i, classes[(i - 1) % 3]));
+    }
+    let priorities: Vec<Priority> = jobs.iter().map(|j| j.priority()).collect();
+    let stream = evaluator.submit_all(jobs);
+    let ids = stream.jobs().to_vec();
+    let mut started = Vec::new();
+    stream
+        .collect_with(|event| {
+            if let EvalEvent::JobStarted { job, .. } = event {
+                started.push(*job);
+            }
+        })
+        .expect("all jobs evaluate");
+
+    assert_eq!(started.len(), 10);
+    assert_eq!(started[0], ids[0], "the blocker starts first");
+    // The backlog drains class by class, FIFO within each class.
+    let expected: Vec<_> = [Priority::Interactive, Priority::Batch, Priority::Background]
+        .iter()
+        .flat_map(|&class| {
+            ids.iter()
+                .zip(&priorities)
+                .skip(1)
+                .filter(move |(_, &p)| p == class)
+                .map(|(id, _)| *id)
+        })
+        .collect();
+    assert_eq!(
+        started[1..],
+        expected,
+        "backlog must start interactive, then batch, then background"
+    );
+    assert_eq!(evaluator.queue_depth(), 0, "queue drains completely");
+    assert!(evaluator.peak_queue_depth() >= 9, "backlog was queued");
+    assert_eq!(evaluator.admission_stats().accepted, 0); // submit_all is unchecked
+}
+
+/// Two caches (standing in for two processes) racing to publish the same
+/// key produce exactly one write and one file: the publication lock plus the
+/// under-lock re-check admit a single writer per key.
+#[test]
+fn publication_lock_admits_one_writer_per_key() {
+    use mcd_dvfs::artifact::{packed_trace_key, ArtifactCache};
+    use mcd_sim::instruction::TraceItem;
+    use std::sync::{Arc, Barrier};
+
+    let dir = std::env::temp_dir().join(format!("mcd-prop-lock-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let bench = mcd_workloads::suite::benchmark("adpcm decode").expect("known benchmark");
+    let key = packed_trace_key(bench.name, &bench.inputs.reference);
+    let trace = PackedTrace::from_items(&[TraceItem::Instr(Instr::op(0x1000, InstrClass::IntAlu))]);
+
+    let barrier = Arc::new(Barrier::new(2));
+    let caches: Vec<Arc<ArtifactCache>> =
+        (0..2).map(|_| Arc::new(ArtifactCache::new(&dir))).collect();
+    let handles: Vec<_> = caches
+        .iter()
+        .map(|cache| {
+            let cache = cache.clone();
+            let barrier = barrier.clone();
+            let trace = trace.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let guard = cache.lock_publication(&key);
+                assert!(guard.is_some(), "enabled cache always yields a guard");
+                if cache.recheck_trace(&key).is_none() {
+                    // Hold the lock across the "computation" so the loser
+                    // really does contend rather than racing past.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    cache.store_trace(&key, &trace);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("publisher threads complete");
+    }
+
+    let writes: u64 = caches.iter().map(|c| c.stats().writes).sum();
+    assert_eq!(writes, 1, "exactly one racer computes and publishes");
+    let files = ArtifactCache::new(&dir).entries();
+    assert_eq!(files.len(), 1, "exactly one artifact lands on disk");
+    assert!(
+        caches.iter().any(|c| c.stats().lock_waits > 0),
+        "the losing racer waited on the publication lock"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A lock file left behind by a dead process does not wedge publication:
+/// once older than the configured stale age it is stolen and the key is
+/// published normally.
+#[test]
+fn stale_publication_locks_are_stolen() {
+    use mcd_dvfs::artifact::{packed_trace_key, ArtifactCache};
+    use mcd_sim::instruction::TraceItem;
+
+    let dir = std::env::temp_dir().join(format!("mcd-prop-stale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("cache dir");
+    let cache = ArtifactCache::new(&dir).with_lock_stale(std::time::Duration::from_millis(50));
+    let bench = mcd_workloads::suite::benchmark("adpcm decode").expect("known benchmark");
+    let key = packed_trace_key(bench.name, &bench.inputs.reference);
+    // A lock file nobody will ever release, as a crashed process leaves it.
+    let path = cache.path_of(&key).expect("enabled cache");
+    let lock_path = path.with_file_name(format!(
+        ".lock-{}",
+        path.file_name().unwrap().to_string_lossy()
+    ));
+    std::fs::write(&lock_path, b"dead-process").expect("orphan lock");
+    std::thread::sleep(std::time::Duration::from_millis(80));
+
+    let start = std::time::Instant::now();
+    let guard = cache.lock_publication(&key);
+    assert!(guard.is_some(), "stale lock must be stolen, not waited out");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "steal happens promptly once the lock is stale"
+    );
+    let trace = PackedTrace::from_items(&[TraceItem::Instr(Instr::op(0x1000, InstrClass::IntAlu))]);
+    cache.store_trace(&key, &trace);
+    drop(guard);
+    assert!(
+        !lock_path.exists(),
+        "releasing the stolen lock removes the lock file"
+    );
+    assert!(cache.recheck_trace(&key).is_some(), "key was published");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The simulator is monotone in work: appending instructions never reduces
 /// run time or energy, and run time is always positive for non-empty traces.
 #[test]

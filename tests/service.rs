@@ -168,10 +168,12 @@ fn events_follow_the_documented_lifecycle() {
     for event in stream {
         let stage = match &event {
             EvalEvent::JobQueued { .. } => 0,
-            EvalEvent::BaselineReady { .. } => 1,
-            EvalEvent::SchemeFinished { .. } => 2,
-            EvalEvent::JobCompleted { .. } => 3,
+            EvalEvent::JobStarted { .. } => 1,
+            EvalEvent::BaselineReady { .. } => 2,
+            EvalEvent::SchemeFinished { .. } => 3,
+            EvalEvent::JobCompleted { .. } => 4,
             EvalEvent::JobFailed { .. } => panic!("no job should fail"),
+            EvalEvent::JobRejected { .. } => panic!("no job should be rejected"),
         };
         per_job.entry(event.job()).or_default().push(stage);
     }
@@ -179,8 +181,9 @@ fn events_follow_the_documented_lifecycle() {
         let stages = per_job.get(&id).expect("every job emitted events");
         assert_eq!(stages.first(), Some(&0));
         assert_eq!(stages.get(1), Some(&1));
-        assert_eq!(stages.last(), Some(&3));
-        assert_eq!(stages.iter().filter(|&&s| s == 2).count(), 3);
+        assert_eq!(stages.get(2), Some(&2));
+        assert_eq!(stages.last(), Some(&4));
+        assert_eq!(stages.iter().filter(|&&s| s == 3).count(), 3);
         assert!(stages.windows(2).all(|w| w[0] <= w[1]));
     }
 }
@@ -389,6 +392,135 @@ fn shim_parity_for_single_benchmark_evaluations() {
         .expect("service evaluation")
         .remove(0);
     assert_evaluations_bit_identical(&old, &new);
+}
+
+/// Graceful shutdown under load: dropping the evaluator with a backlog
+/// closes the queue, waits out the (short) shutdown timeout, and fails every
+/// still-queued job with a terminal `Shutdown` event — no job is left
+/// hanging, and the in-flight job still completes.
+#[test]
+fn dropping_a_loaded_evaluator_fails_queued_jobs_with_terminal_events() {
+    let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+    let evaluator = Evaluator::builder()
+        .workers(1)
+        .shutdown_timeout(std::time::Duration::from_millis(10))
+        .build();
+    let jobs: Vec<EvalJob> = (0..5)
+        .map(|i| {
+            EvalJob::new(bench.clone())
+                .with_slowdown(0.02 + 0.01 * i as f64)
+                .with_schemes([names::OFFLINE])
+        })
+        .collect();
+    let stream = evaluator.submit_all(jobs);
+    let ids = stream.jobs().to_vec();
+    // Drop immediately: the worker is at most one job in; the timeout is far
+    // shorter than a job, so the backlog must be aborted and failed.
+    drop(evaluator);
+
+    let mut completed = Vec::new();
+    let mut shut_down = Vec::new();
+    for event in stream {
+        match event {
+            EvalEvent::JobCompleted { job, .. } => completed.push(job),
+            EvalEvent::JobFailed { job, error, .. } => {
+                assert!(
+                    matches!(error, McdError::Shutdown),
+                    "queued jobs fail with the shutdown error, got: {error}"
+                );
+                shut_down.push(job);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        completed.len() + shut_down.len(),
+        ids.len(),
+        "every job reaches a terminal event"
+    );
+    assert!(
+        !shut_down.is_empty(),
+        "a 10ms timeout cannot drain a 5-job backlog"
+    );
+    let mut all: Vec<JobId> = completed.iter().chain(&shut_down).copied().collect();
+    all.sort();
+    assert_eq!(all, ids, "terminal events cover exactly the submitted jobs");
+}
+
+/// The bounded front-end: a full queue and an exhausted rate budget reject
+/// with explicit `JobRejected` terminal events and per-cause admission
+/// counters, while `submit_all` (the unchecked path) never rejects.
+#[test]
+fn admission_control_accounts_for_queued_and_rejected_jobs() {
+    use mcd_dvfs::service::{Admission, RejectReason};
+
+    let bench = suite::benchmark("adpcm decode").expect("known benchmark");
+    let job = |i: usize| {
+        EvalJob::new(bench.clone())
+            .with_slowdown(0.02 + 0.005 * i as f64)
+            .with_schemes([names::OFFLINE])
+    };
+
+    // Queue capacity: a single worker stuck on the first job bounds how many
+    // of the rest fit.
+    let evaluator = Evaluator::builder().workers(1).queue_capacity(2).build();
+    let (stream, admissions) = evaluator.try_submit_all((0..8).map(job).collect());
+    assert_eq!(admissions.len(), 8);
+    let queued = admissions.iter().filter(|a| a.is_queued()).count();
+    let rejected = admissions.len() - queued;
+    assert!(queued >= 2, "capacity admits at least the bounded backlog");
+    assert!(rejected >= 1, "an 8-job burst must overflow a 2-slot queue");
+    let mut rejected_events = 0;
+    let outcome = stream.collect_with(|event| {
+        if let EvalEvent::JobRejected { reason, .. } = event {
+            assert!(matches!(reason, RejectReason::QueueFull { .. }));
+            rejected_events += 1;
+        }
+    });
+    assert!(
+        matches!(outcome, Err(McdError::Rejected(_))),
+        "collect surfaces the rejection"
+    );
+    assert_eq!(
+        rejected_events, rejected,
+        "every rejection is a terminal event"
+    );
+    let stats = evaluator.admission_stats();
+    assert_eq!(stats.accepted, queued as u64);
+    assert_eq!(stats.rejected_queue_full, rejected as u64);
+    assert_eq!(stats.rejected_rate_limited, 0);
+
+    // Rate limiting: burst of 2 admits two instantly-submitted jobs, the
+    // rest bounce with the rate-limited cause.
+    let evaluator = Evaluator::builder()
+        .workers(1)
+        .rate_limit(0.001, 2.0)
+        .build();
+    let (stream, admissions) = evaluator.try_submit_all((0..6).map(job).collect());
+    let queued: Vec<_> = admissions.iter().filter(|a| a.is_queued()).collect();
+    assert_eq!(queued.len(), 2, "the burst budget admits exactly two");
+    for admission in &admissions {
+        if let Admission::Rejected { reason, .. } = admission {
+            assert!(matches!(reason, RejectReason::RateLimited));
+        }
+    }
+    assert!(matches!(stream.collect(), Err(McdError::Rejected(_))));
+    let stats = evaluator.admission_stats();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.rejected_rate_limited, 4);
+
+    // The unchecked path is unaffected by the same limits: everything runs.
+    let evaluator = Evaluator::builder()
+        .workers(1)
+        .queue_capacity(1)
+        .rate_limit(0.001, 1.0)
+        .build();
+    let evals = evaluator
+        .submit_all((0..3).map(job).collect())
+        .collect()
+        .expect("submit_all bypasses admission control");
+    assert_eq!(evals.len(), 3);
+    assert_eq!(evaluator.admission_stats().rejected(), 0);
 }
 
 /// The documented `parallelism / workers` budget split, observable on the
