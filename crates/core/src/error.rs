@@ -18,6 +18,10 @@ pub enum McdError {
     DuplicateBenchmark(String),
     /// A scheme name did not match any registry entry.
     UnknownScheme(String),
+    /// A scheme name was registered more than once in one registry (names are
+    /// the identity the evaluator, tables, and caches key on, so shadowing is
+    /// rejected instead of silently keeping the first registration).
+    DuplicateScheme(String),
     /// A scheme was looked up in an evaluation it was not part of (for
     /// example `global` when `EvaluationConfig::include_global` was false).
     SchemeNotEvaluated(String),
@@ -59,6 +63,11 @@ impl fmt::Display for McdError {
                 )
             }
             McdError::UnknownScheme(name) => write!(f, "unknown scheme `{name}`"),
+            McdError::DuplicateScheme(name) => write!(
+                f,
+                "scheme `{name}` is registered more than once (scheme names must be \
+                 unique within a registry)"
+            ),
             McdError::SchemeNotEvaluated(name) => write!(
                 f,
                 "scheme `{name}` was not part of this evaluation (for `global`, set \
@@ -142,6 +151,13 @@ mod tests {
         let err: McdError = mcd_workloads::suite::SuiteError::DuplicateName("mcf".into()).into();
         assert_eq!(err, McdError::DuplicateBenchmark("mcf".into()));
         assert!(err.to_string().contains("mcf"));
+    }
+
+    #[test]
+    fn duplicate_scheme_display_names_the_offender() {
+        let err = McdError::DuplicateScheme("pid".into());
+        assert!(err.to_string().contains("pid"));
+        assert!(err.to_string().contains("more than once"));
     }
 
     #[test]

@@ -22,10 +22,13 @@
 
 use crate::artifact::ArtifactCache;
 use crate::error::McdError;
+use crate::learned::LearnedConfig;
 use crate::offline::OfflineConfig;
 use crate::online::OnlineConfig;
+use crate::pid::PidConfig;
 use crate::profile::TrainingConfig;
 use crate::scheme::{DvfsScheme, SchemeContext, SchemeOutcome};
+use crate::sysscale::SysScaleConfig;
 use mcd_profiling::context::ContextPolicy;
 use mcd_sim::config::MachineConfig;
 use mcd_sim::simulator::{NullHooks, Simulator};
@@ -63,8 +66,18 @@ pub struct EvaluationConfig {
     pub offline: OfflineConfig,
     /// On-line attack–decay parameters.
     pub online: OnlineConfig,
+    /// PID queue-occupancy controller parameters (controller zoo).
+    pub pid: PidConfig,
+    /// SysScale-style shared-budget controller parameters (controller zoo).
+    pub sysscale: SysScaleConfig,
+    /// Learned table-policy parameters (controller zoo).
+    pub learned: LearnedConfig,
     /// Whether to also evaluate the global-DVS baseline (Figure 7).
     pub include_global: bool,
+    /// Whether to also evaluate the controller zoo (PID, SysScale-style,
+    /// learned table). Off by default so the paper's figures keep their
+    /// four-scheme shape; the tournament harness turns it on.
+    pub include_zoo: bool,
     /// Worker-thread budget. One knob governs both parallel levels: suite
     /// evaluation spreads *benchmarks* across threads, and the off-line
     /// oracle's per-window analysis spreads *windows* across threads (see
@@ -87,7 +100,11 @@ impl Default for EvaluationConfig {
             training: TrainingConfig::default(),
             offline: OfflineConfig::default(),
             online: OnlineConfig::default(),
+            pid: PidConfig::default(),
+            sysscale: SysScaleConfig::default(),
+            learned: LearnedConfig::default(),
             include_global: false,
+            include_zoo: false,
             parallelism: 1,
             cache: Arc::new(ArtifactCache::disabled()),
         }
@@ -95,10 +112,12 @@ impl Default for EvaluationConfig {
 }
 
 impl EvaluationConfig {
-    /// Sets the slowdown target of both off-line and profile-driven analysis.
+    /// Sets the slowdown target of off-line, profile-driven, and learned-table
+    /// analysis.
     pub fn with_slowdown(mut self, slowdown: f64) -> Self {
         self.training.slowdown = slowdown;
         self.offline.slowdown = slowdown;
+        self.learned.slowdown = slowdown;
         self
     }
 

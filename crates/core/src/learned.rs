@@ -1,0 +1,337 @@
+//! A table-driven learned DVFS policy, trained offline on recorded window
+//! features (after the learning-based DVFS platform of Fouman Ajirlou &
+//! Partin-Vaisband, arXiv 2006.07450).
+//!
+//! Instead of a hand-tuned control law, the policy is a lookup table mapping
+//! a quantized *workload feature* — the per-domain shares of execution-domain
+//! activity in the current interval — to a frequency setting. The table is
+//! trained offline from the profile pipeline's capture artifacts on the
+//! *training* input: every recorded region contributes its per-domain
+//! activity shares (the feature) and the frequency that slowdown thresholding
+//! assigns to its histograms (the label), weighted by the region's cycle
+//! count. At production time the controller computes the same feature from
+//! the interval statistics and plays back the learned frequency; a feature
+//! combination never seen in training falls back to full speed, so the policy
+//! can only be wrong in the safe direction.
+//!
+//! Because the output is piecewise-constant in the feature, the policy
+//! reconfigures only when the workload mix actually changes — at a burst edge
+//! it snaps once to the learned operating point instead of ramping every
+//! interval the way attack–decay does.
+
+use crate::histogram::RegionHistograms;
+use crate::threshold::SlowdownThreshold;
+use mcd_profiling::edit::NodeKey;
+use mcd_sim::domain::Domain;
+use mcd_sim::freq::FrequencyGrid;
+use mcd_sim::reconfig::FrequencySetting;
+use mcd_sim::simulator::SimHooks;
+use mcd_sim::stats::IntervalStats;
+use mcd_sim::time::{MegaHertz, TimeNs};
+
+/// The execution domains whose activity shares form the feature and whose
+/// frequencies the table controls (the front end stays at full speed).
+pub const CONTROLLED: [Domain; 3] = [Domain::Integer, Domain::FloatingPoint, Domain::Memory];
+
+/// Tuning parameters of the learned table policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnedConfig {
+    /// Control interval in nanoseconds.
+    pub interval_ns: f64,
+    /// Quantization levels per feature dimension (the table holds
+    /// `share_levels³` buckets).
+    pub share_levels: usize,
+    /// Slowdown bound handed to the thresholding that labels the training
+    /// regions (the same knob the off-line and profile analyses use).
+    pub slowdown: f64,
+}
+
+impl Default for LearnedConfig {
+    fn default() -> Self {
+        LearnedConfig {
+            interval_ns: 10_000.0,
+            share_levels: 4,
+            slowdown: 0.07,
+        }
+    }
+}
+
+/// Quantizes three activity shares into one table index.
+fn bucket(levels: usize, shares: [f64; 3]) -> usize {
+    let mut index = 0;
+    for s in shares {
+        let level = ((s * levels as f64) as usize).min(levels - 1);
+        index = index * levels + level;
+    }
+    index
+}
+
+/// The activity shares of the controlled domains: each domain's fraction of
+/// the three-domain total, or all zeros when nothing ran.
+fn shares_of(cycles: [f64; 3]) -> [f64; 3] {
+    let total: f64 = cycles.iter().sum();
+    if total <= 0.0 {
+        return [0.0; 3];
+    }
+    [cycles[0] / total, cycles[1] / total, cycles[2] / total]
+}
+
+/// The trained lookup table: one optional frequency setting per feature
+/// bucket (`None` marks a combination never seen in training).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedTable {
+    levels: usize,
+    entries: Vec<Option<FrequencySetting>>,
+}
+
+impl LearnedTable {
+    /// Trains the table from the profile pipeline's capture artifacts: the
+    /// per-region histograms recorded on the training input. Deterministic in
+    /// the entry order (which the artifact codec canonicalizes by key).
+    pub fn from_training(
+        entries: &[(NodeKey, RegionHistograms)],
+        config: &LearnedConfig,
+        grid: &FrequencyGrid,
+    ) -> Self {
+        let levels = config.share_levels.max(1);
+        let buckets = levels * levels * levels;
+        let mut weighted_mhz = vec![[0.0f64; 3]; buckets];
+        let mut weights = vec![0.0f64; buckets];
+        let threshold = SlowdownThreshold::new(config.slowdown.max(0.0));
+
+        for (_, histograms) in entries {
+            let cycles = [
+                histograms.domain(Domain::Integer).total_cycles(),
+                histograms.domain(Domain::FloatingPoint).total_cycles(),
+                histograms.domain(Domain::Memory).total_cycles(),
+            ];
+            let b = bucket(levels, shares_of(cycles));
+            let weight = cycles.iter().sum::<f64>().max(1.0);
+            for (i, d) in CONTROLLED.into_iter().enumerate() {
+                let label = threshold.choose_for_domain(histograms.domain(d));
+                weighted_mhz[b][i] += weight * label.as_mhz();
+            }
+            weights[b] += weight;
+        }
+
+        let entries = weighted_mhz
+            .iter()
+            .zip(&weights)
+            .map(|(sums, &weight)| {
+                if weight <= 0.0 {
+                    return None;
+                }
+                let mut setting = FrequencySetting::full_speed();
+                for (i, d) in CONTROLLED.into_iter().enumerate() {
+                    let mean = MegaHertz::new(sums[i] / weight);
+                    setting = setting.with(d, grid.quantize_up(mean));
+                }
+                Some(setting)
+            })
+            .collect();
+        LearnedTable { levels, entries }
+    }
+
+    /// Number of trained (non-empty) buckets.
+    pub fn trained_buckets(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Total number of buckets (`share_levels³`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no buckets at all (it never does in practice;
+    /// even `share_levels == 1` yields one).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the setting for a feature, if that bucket was trained.
+    pub fn lookup(&self, shares: [f64; 3]) -> Option<FrequencySetting> {
+        self.entries[bucket(self.levels, shares)]
+    }
+}
+
+/// The production-run hooks: computes the feature from each interval's
+/// statistics and plays back the learned setting.
+#[derive(Debug, Clone)]
+pub struct LearnedPolicy {
+    interval_ns: f64,
+    table: LearnedTable,
+    last: Option<FrequencySetting>,
+    intervals: u64,
+    fallbacks: u64,
+}
+
+impl LearnedPolicy {
+    /// Creates the policy around a trained table.
+    pub fn new(config: &LearnedConfig, table: LearnedTable) -> Self {
+        LearnedPolicy {
+            interval_ns: config.interval_ns,
+            table,
+            last: None,
+            intervals: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// Number of control intervals processed.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Number of intervals whose feature had no trained bucket (and fell back
+    /// to full speed).
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    fn decide(&mut self, stats: &IntervalStats) -> Option<FrequencySetting> {
+        self.intervals += 1;
+        let cycles = [
+            stats.active_cycles[Domain::Integer],
+            stats.active_cycles[Domain::FloatingPoint],
+            stats.active_cycles[Domain::Memory],
+        ];
+        let setting = match self.table.lookup(shares_of(cycles)) {
+            Some(setting) => setting,
+            None => {
+                self.fallbacks += 1;
+                FrequencySetting::full_speed()
+            }
+        };
+        // Piecewise-constant output: only write the register when the learned
+        // operating point actually changes.
+        if self.last == Some(setting) {
+            return None;
+        }
+        self.last = Some(setting);
+        Some(setting)
+    }
+}
+
+impl SimHooks for LearnedPolicy {
+    fn interval_ns(&self) -> Option<f64> {
+        Some(self.interval_ns)
+    }
+
+    fn on_interval(&mut self, stats: &IntervalStats, _now: TimeNs) -> Option<FrequencySetting> {
+        self.decide(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::RegionHistograms;
+
+    fn region(int_cycles: f64, fp_cycles: f64, mem_cycles: f64) -> RegionHistograms {
+        let grid = FrequencyGrid::default();
+        let mut h = RegionHistograms::new(&grid);
+        // Work recorded at full speed, so thresholding has real bins to walk.
+        h.domain_mut(Domain::Integer)
+            .add(MegaHertz::new(1_000.0), int_cycles);
+        h.domain_mut(Domain::FloatingPoint)
+            .add(MegaHertz::new(1_000.0), fp_cycles);
+        h.domain_mut(Domain::Memory)
+            .add(MegaHertz::new(1_000.0), mem_cycles);
+        h
+    }
+
+    fn key(i: u32) -> NodeKey {
+        NodeKey::Subroutine(mcd_sim::instruction::SubroutineId(i))
+    }
+
+    #[test]
+    fn bucket_quantization_covers_the_index_space() {
+        assert_eq!(bucket(4, [0.0, 0.0, 0.0]), 0);
+        assert_eq!(bucket(4, [1.0, 1.0, 1.0]), 63);
+        assert!(bucket(4, [0.5, 0.25, 0.25]) < 64);
+        // The empty feature and a uniform mix land in different buckets.
+        assert_ne!(bucket(4, [0.0; 3]), bucket(4, [1.0 / 3.0; 3]));
+    }
+
+    #[test]
+    fn training_fills_buckets_and_lookup_replays_them() {
+        let grid = FrequencyGrid::default();
+        let config = LearnedConfig::default();
+        let entries = vec![
+            (key(1), region(9_000.0, 0.0, 1_000.0)),
+            (key(2), region(0.0, 8_000.0, 2_000.0)),
+        ];
+        let table = LearnedTable::from_training(&entries, &config, &grid);
+        assert_eq!(table.len(), 64);
+        assert_eq!(table.trained_buckets(), 2);
+
+        let int_heavy = table.lookup(shares_of([9.0, 0.0, 1.0])).expect("trained");
+        // The idle FP domain is labeled with the grid minimum by thresholding.
+        assert_eq!(int_heavy.get(Domain::FloatingPoint), grid.min());
+        assert!(int_heavy.get(Domain::Integer) > grid.min());
+        // Untrained feature → no entry.
+        assert!(table.lookup(shares_of([1.0, 1.0, 1.0])).is_none());
+    }
+
+    #[test]
+    fn policy_falls_back_to_full_speed_on_unseen_features() {
+        let grid = FrequencyGrid::default();
+        let config = LearnedConfig::default();
+        let entries = vec![(key(1), region(9_000.0, 0.0, 1_000.0))];
+        let table = LearnedTable::from_training(&entries, &config, &grid);
+        let mut policy = LearnedPolicy::new(&config, table);
+
+        let mut stats = IntervalStats {
+            elapsed: TimeNs::new(10_000.0),
+            instructions: 10_000,
+            ..IntervalStats::default()
+        };
+        stats.active_cycles[Domain::Integer] = 3_000.0;
+        stats.active_cycles[Domain::FloatingPoint] = 3_000.0;
+        stats.active_cycles[Domain::Memory] = 3_000.0;
+        let setting = policy.decide(&stats).expect("first decision reconfigures");
+        assert_eq!(setting.get(Domain::Integer).as_mhz(), 1_000.0);
+        assert_eq!(policy.fallbacks(), 1);
+    }
+
+    #[test]
+    fn unchanged_features_do_not_rewrite_the_register() {
+        let grid = FrequencyGrid::default();
+        let config = LearnedConfig::default();
+        let entries = vec![(key(1), region(9_000.0, 0.0, 1_000.0))];
+        let table = LearnedTable::from_training(&entries, &config, &grid);
+        let mut policy = LearnedPolicy::new(&config, table);
+
+        let mut stats = IntervalStats {
+            elapsed: TimeNs::new(10_000.0),
+            instructions: 10_000,
+            ..IntervalStats::default()
+        };
+        stats.active_cycles[Domain::Integer] = 9_000.0;
+        stats.active_cycles[Domain::Memory] = 1_000.0;
+        assert!(policy.decide(&stats).is_some());
+        assert!(policy.decide(&stats).is_none(), "steady feature is silent");
+        assert_eq!(policy.intervals(), 2);
+    }
+
+    #[test]
+    fn heavier_regions_dominate_a_shared_bucket() {
+        let grid = FrequencyGrid::default();
+        let config = LearnedConfig::default();
+        // Two regions, same feature bucket, very different weights: the big
+        // one must dominate the learned frequency.
+        let entries_light_first = vec![
+            (key(1), region(900.0, 0.0, 100.0)),
+            (key(2), region(90_000.0, 0.0, 10_000.0)),
+        ];
+        let entries_heavy_first = vec![
+            (key(2), region(90_000.0, 0.0, 10_000.0)),
+            (key(1), region(900.0, 0.0, 100.0)),
+        ];
+        let a = LearnedTable::from_training(&entries_light_first, &config, &grid);
+        let b = LearnedTable::from_training(&entries_heavy_first, &config, &grid);
+        // Weighted averaging is also order-insensitive up to f64 rounding on
+        // the same two addends, so the quantized tables agree.
+        assert_eq!(a, b);
+    }
+}

@@ -20,6 +20,11 @@
 //! * [`offline`] — the off-line oracle with perfect future knowledge;
 //! * [`online`] — the hardware attack–decay controller;
 //! * [`global_dvs`] — the conventional whole-chip DVS baseline;
+//! * [`pid`], [`sysscale`], [`learned`] — the controller zoo: a PID loop on
+//!   queue occupancy, a SysScale-style shared-power-budget policy, and a
+//!   table-driven policy learned offline from the profile pipeline's capture
+//!   artifacts (compared against the paper's schemes by the `tournament`
+//!   harness in `mcd-bench`);
 //! * [`scheme`] — the [`DvfsScheme`](scheme::DvfsScheme) trait unifying all
 //!   four control schemes behind one interface, plus the standard registry;
 //! * [`evaluation`] — the registry-driven pipeline that compares the schemes
@@ -55,14 +60,17 @@ pub mod error;
 pub mod evaluation;
 pub mod global_dvs;
 pub mod histogram;
+pub mod learned;
 pub mod offline;
 pub mod online;
 mod parallel;
+pub mod pid;
 pub mod pipeline;
 pub mod profile;
 pub mod scheme;
 pub mod service;
 pub mod shaker;
+pub mod sysscale;
 pub mod threshold;
 
 pub use artifact::{ArtifactCache, ArtifactKey, CacheStats};
@@ -73,16 +81,20 @@ pub use evaluation::{evaluate_benchmark, evaluate_suite};
 pub use evaluation::{
     evaluate_scheme, evaluate_with_registry, BenchmarkEvaluation, EvaluationConfig, SchemeResult,
 };
+pub use learned::{LearnedConfig, LearnedPolicy, LearnedTable};
 pub use offline::{run_offline, OfflineConfig, OfflineResult, OfflineSchedule};
 pub use online::{OnlineConfig, OnlineController};
+pub use pid::{PidConfig, PidController};
 pub use pipeline::AnalysisPipeline;
 pub use profile::{train, train_and_run, ProfileHooks, ProfilePlan, TrainingConfig};
 pub use scheme::{
-    configured_registry, standard_registry, DvfsScheme, GlobalDvsScheme, OfflineScheme,
-    OnlineScheme, ProfileScheme, SchemeContext, SchemeOutcome,
+    configured_registry, full_registry, standard_registry, subset_registry, DvfsScheme,
+    GlobalDvsScheme, LearnedScheme, OfflineScheme, OnlineScheme, PidScheme, ProfileScheme,
+    SchemeContext, SchemeOutcome, SchemeRegistry, SysScaleScheme,
 };
 pub use service::{
     EvalEvent, EvalJob, Evaluator, EvaluatorBuilder, JobId, MemoStats, ResultStream,
 };
 pub use shaker::{Shaker, ShakerConfig};
+pub use sysscale::{SysScaleConfig, SysScaleController};
 pub use threshold::SlowdownThreshold;

@@ -1,0 +1,323 @@
+//! A per-domain PID controller on issue-queue occupancy.
+//!
+//! Classical feedback control applied to the MCD frequency problem: each
+//! execution domain's queue occupancy is driven toward a setpoint by a
+//! proportional–integral–derivative loop whose output is the domain's target
+//! frequency. Lowering a domain's frequency raises its queue occupancy (work
+//! arrives at the same rate but drains more slowly), so the loop is a
+//! conventional negative-feedback arrangement: occupancy above the setpoint
+//! raises the frequency, slack below it lets the frequency sink.
+//!
+//! Two guards keep the textbook loop implementable in hardware:
+//!
+//! * **anti-windup** — the integral term only accumulates while the output is
+//!   unsaturated (conditional integration), so a long idle phase cannot bank
+//!   an arbitrarily negative integral that would delay the response to the
+//!   next burst;
+//! * **clamped output steps** — the requested frequency moves at most
+//!   [`PidConfig::max_step_mhz`] per interval, bounding the voltage
+//!   regulator's slew demand. A saturated queue bypasses the slew clamp and
+//!   snaps straight to full speed, exactly like the attack–decay controller's
+//!   panic rule.
+//!
+//! Compared to attack–decay, the integral term holds a steady operating point
+//! between bursts instead of continuously probing downward and ramping back
+//! up, which is precisely where the on-line controller pays the ramp cost on
+//! bursty programs (fig13's tier-2 suite).
+
+use mcd_sim::domain::{Domain, PerDomain};
+use mcd_sim::reconfig::FrequencySetting;
+use mcd_sim::simulator::SimHooks;
+use mcd_sim::stats::IntervalStats;
+use mcd_sim::time::{MegaHertz, TimeNs};
+
+/// Tuning parameters of the PID queue-occupancy controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PidConfig {
+    /// Control interval in nanoseconds.
+    pub interval_ns: f64,
+    /// Queue-occupancy setpoint the loop regulates toward.
+    pub setpoint: f64,
+    /// Proportional gain, in MHz per unit of occupancy error.
+    pub kp_mhz: f64,
+    /// Integral gain, in MHz per unit of accumulated error·interval.
+    pub ki_mhz: f64,
+    /// Derivative gain, in MHz per unit of error change per interval.
+    pub kd_mhz: f64,
+    /// Slew clamp: largest frequency change applied per interval.
+    pub max_step_mhz: f64,
+    /// Occupancy at which the domain bypasses the slew clamp and snaps to
+    /// full speed (the queue is throttling the rest of the machine).
+    pub panic_occupancy: f64,
+    /// Minimum frequency the controller will request.
+    pub floor_mhz: f64,
+}
+
+impl Default for PidConfig {
+    fn default() -> Self {
+        PidConfig {
+            interval_ns: 10_000.0,
+            setpoint: 0.20,
+            kp_mhz: 1_200.0,
+            ki_mhz: 50.0,
+            kd_mhz: 300.0,
+            max_step_mhz: 200.0,
+            panic_occupancy: 0.85,
+            floor_mhz: 250.0,
+        }
+    }
+}
+
+/// The PID controller, used as [`SimHooks`] during a production run.
+#[derive(Debug, Clone)]
+pub struct PidController {
+    config: PidConfig,
+    integral: PerDomain<f64>,
+    previous_error: PerDomain<f64>,
+    output_mhz: PerDomain<f64>,
+    intervals: u64,
+    windup_clamps: u64,
+    slew_clamps: u64,
+    panics: u64,
+}
+
+impl PidController {
+    /// The domains the controller manages (the front end, which feeds all
+    /// others, is left at full speed).
+    pub const CONTROLLED: [Domain; 3] = [Domain::Integer, Domain::FloatingPoint, Domain::Memory];
+
+    /// Creates a controller with the given parameters. The integral term is
+    /// seeded so the initial output sits at full speed.
+    pub fn new(config: PidConfig) -> Self {
+        let seed = if config.ki_mhz > 0.0 {
+            1_000.0 / config.ki_mhz
+        } else {
+            0.0
+        };
+        PidController {
+            config,
+            integral: PerDomain::splat(seed),
+            previous_error: PerDomain::splat(0.0),
+            output_mhz: PerDomain::splat(1_000.0),
+            intervals: 0,
+            windup_clamps: 0,
+            slew_clamps: 0,
+            panics: 0,
+        }
+    }
+
+    /// The controller's parameters.
+    pub fn config(&self) -> &PidConfig {
+        &self.config
+    }
+
+    /// Number of control intervals processed.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Number of times anti-windup froze the integral (per domain-interval).
+    pub fn windup_clamps(&self) -> u64 {
+        self.windup_clamps
+    }
+
+    /// Number of times the slew clamp limited the output step.
+    pub fn slew_clamps(&self) -> u64 {
+        self.slew_clamps
+    }
+
+    /// Number of panic (queue-saturated) snaps to full speed.
+    pub fn panics(&self) -> u64 {
+        self.panics
+    }
+
+    fn decide(&mut self, stats: &IntervalStats) -> FrequencySetting {
+        self.intervals += 1;
+        let c = self.config;
+        let mut setting = FrequencySetting::full_speed();
+        for d in Self::CONTROLLED {
+            let occupancy = stats.queue_utilization[d];
+
+            if occupancy >= c.panic_occupancy {
+                // Saturated queue: bypass the loop (and the slew clamp) and go
+                // straight to full speed; re-seat the integral so the loop
+                // resumes bumplessly from the panic output.
+                self.panics += 1;
+                self.output_mhz[d] = 1_000.0;
+                self.previous_error[d] = occupancy - c.setpoint;
+                if c.ki_mhz > 0.0 {
+                    self.integral[d] = 1_000.0 / c.ki_mhz;
+                }
+                setting = setting.with(d, MegaHertz::new(1_000.0));
+                continue;
+            }
+
+            let error = occupancy - c.setpoint;
+            let derivative = error - self.previous_error[d];
+
+            // Conditional integration: tentatively accumulate, but reject the
+            // update when the unsaturated output lies outside the legal range
+            // *and* this interval's error pushes it further out (anti-windup).
+            let mut integral = self.integral[d] + error;
+            let unsaturated = c.kp_mhz * error + c.ki_mhz * integral + c.kd_mhz * derivative;
+            let saturated = unsaturated.clamp(c.floor_mhz, 1_000.0);
+            if unsaturated != saturated && (unsaturated - saturated) * error > 0.0 {
+                integral = self.integral[d];
+                self.windup_clamps += 1;
+            }
+            self.integral[d] = integral;
+
+            let output = (c.kp_mhz * error + c.ki_mhz * integral + c.kd_mhz * derivative)
+                .clamp(c.floor_mhz, 1_000.0);
+
+            // Slew clamp: the applied target moves at most max_step_mhz.
+            let previous = self.output_mhz[d];
+            let mut step = output - previous;
+            if step.abs() > c.max_step_mhz {
+                step = step.clamp(-c.max_step_mhz, c.max_step_mhz);
+                self.slew_clamps += 1;
+            }
+            let target = (previous + step).clamp(c.floor_mhz, 1_000.0);
+
+            self.output_mhz[d] = target;
+            self.previous_error[d] = error;
+            setting = setting.with(d, MegaHertz::new(target));
+        }
+        setting
+    }
+}
+
+impl Default for PidController {
+    fn default() -> Self {
+        PidController::new(PidConfig::default())
+    }
+}
+
+impl SimHooks for PidController {
+    fn interval_ns(&self) -> Option<f64> {
+        Some(self.config.interval_ns)
+    }
+
+    fn on_interval(&mut self, stats: &IntervalStats, _now: TimeNs) -> Option<FrequencySetting> {
+        Some(self.decide(stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval_stats(int_util: f64, fp_util: f64, mem_util: f64) -> IntervalStats {
+        let mut q = PerDomain::splat(0.0);
+        q[Domain::Integer] = int_util;
+        q[Domain::FloatingPoint] = fp_util;
+        q[Domain::Memory] = mem_util;
+        IntervalStats {
+            elapsed: TimeNs::new(10_000.0),
+            instructions: 10_000,
+            queue_utilization: q,
+            ..IntervalStats::default()
+        }
+    }
+
+    #[test]
+    fn idle_domains_sink_toward_the_floor() {
+        let mut c = PidController::default();
+        let mut last = FrequencySetting::full_speed();
+        for _ in 0..400 {
+            last = c.decide(&interval_stats(0.0, 0.0, 0.0));
+        }
+        for d in PidController::CONTROLLED {
+            assert!(
+                last.get(d).as_mhz() < 400.0,
+                "idle {d} should sink, got {}",
+                last.get(d).as_mhz()
+            );
+        }
+        // The front end is never scaled by this controller.
+        assert_eq!(last.get(Domain::FrontEnd).as_mhz(), 1_000.0);
+    }
+
+    #[test]
+    fn occupancy_above_the_setpoint_raises_frequency() {
+        let mut c = PidController::default();
+        for _ in 0..300 {
+            c.decide(&interval_stats(0.02, 0.0, 0.02));
+        }
+        let before = c.output_mhz[Domain::Integer];
+        let mut after = before;
+        for _ in 0..20 {
+            after = c
+                .decide(&interval_stats(0.6, 0.0, 0.02))
+                .get(Domain::Integer)
+                .as_mhz();
+        }
+        assert!(
+            after > before,
+            "pressure must raise frequency: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn saturated_queue_bypasses_the_slew_clamp() {
+        let mut c = PidController::default();
+        for _ in 0..400 {
+            c.decide(&interval_stats(0.0, 0.0, 0.0));
+        }
+        assert!(c.output_mhz[Domain::Memory] < 500.0);
+        let setting = c.decide(&interval_stats(0.0, 0.0, 0.95));
+        assert_eq!(setting.get(Domain::Memory).as_mhz(), 1_000.0);
+        assert!(c.panics() > 0);
+    }
+
+    #[test]
+    fn output_steps_respect_the_slew_clamp() {
+        let mut c = PidController::default();
+        let mut previous: PerDomain<f64> = PerDomain::splat(1_000.0);
+        for i in 0..500 {
+            let u = if i % 11 == 0 { 0.8 } else { 0.01 };
+            let s = c.decide(&interval_stats(u, u / 2.0, u));
+            for d in PidController::CONTROLLED {
+                let f = s.get(d).as_mhz();
+                assert!((250.0..=1000.0).contains(&f), "frequency {f} out of range");
+                let step = (f - previous[d]).abs();
+                // Panic snaps are exempt from the clamp by design.
+                if f < 1_000.0 {
+                    assert!(
+                        step <= c.config.max_step_mhz + 1e-9,
+                        "step {step} exceeds the slew clamp"
+                    );
+                }
+                previous[d] = f;
+            }
+        }
+        assert_eq!(c.intervals(), 500);
+    }
+
+    #[test]
+    fn anti_windup_freezes_the_integral_at_saturation() {
+        let mut c = PidController::default();
+        // A long idle phase saturates the output at the floor; conditional
+        // integration must stop the integral from drifting without bound.
+        for _ in 0..5_000 {
+            c.decide(&interval_stats(0.0, 0.0, 0.0));
+        }
+        assert!(c.windup_clamps() > 0);
+        let banked = c.integral[Domain::Integer];
+        // With windup bounded, a burst recovers within the slew-limited ramp
+        // (1000 MHz span / 200 MHz per step = 4 steps) plus a few intervals of
+        // loop response, not hundreds of intervals paying back the integral.
+        let mut intervals_to_recover = 0;
+        for _ in 0..50 {
+            let s = c.decide(&interval_stats(0.6, 0.6, 0.6));
+            intervals_to_recover += 1;
+            if s.get(Domain::Integer).as_mhz() >= 900.0 {
+                break;
+            }
+        }
+        assert!(
+            intervals_to_recover <= 20,
+            "recovery took {intervals_to_recover} intervals (integral {banked})"
+        );
+    }
+}

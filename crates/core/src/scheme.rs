@@ -18,12 +18,15 @@ use crate::error::McdError;
 use crate::evaluation::{EvaluationConfig, SchemeResult};
 use crate::global_dvs::run_global_dvs;
 use crate::histogram::RegionHistograms;
+use crate::learned::{LearnedConfig, LearnedPolicy, LearnedTable};
 use crate::offline::{OfflineConfig, OfflineSchedule};
 use crate::online::{OnlineConfig, OnlineController};
+use crate::pid::{PidConfig, PidController};
 use crate::pipeline::{schedule, threshold_windows, AnalysisPipeline};
 use crate::profile::{
     self, instrumentation_plan, train, train_with_histograms, ProfilePlan, TrainingConfig,
 };
+use crate::sysscale::{SysScaleConfig, SysScaleController};
 use mcd_sim::config::MachineConfig;
 use mcd_sim::simulator::{SimHooks, Simulator};
 use mcd_sim::stats::SimStats;
@@ -44,6 +47,15 @@ pub mod names {
     pub const PROFILE: &str = "profile";
     /// The whole-chip dynamic voltage scaling baseline.
     pub const GLOBAL: &str = "global";
+    /// The PID queue-occupancy controller (controller zoo).
+    pub const PID: &str = "pid";
+    /// The SysScale-style shared-budget controller (controller zoo).
+    pub const SYSSCALE: &str = "sysscale";
+    /// The table-driven learned policy (controller zoo).
+    pub const LEARNED: &str = "learned";
+
+    /// The controller-zoo scheme names, in full-registry order.
+    pub const ZOO: [&str; 3] = [PID, SYSSCALE, LEARNED];
 }
 
 /// Everything a scheme needs to evaluate one benchmark.
@@ -709,25 +721,288 @@ impl DvfsScheme for GlobalDvsScheme {
     }
 }
 
+/// The PID queue-occupancy controller scheme (controller zoo).
+#[derive(Debug, Clone, Default)]
+pub struct PidScheme {
+    /// Controller tuning parameters.
+    pub config: PidConfig,
+}
+
+impl DvfsScheme for PidScheme {
+    fn name(&self) -> &'static str {
+        names::PID
+    }
+
+    fn configure(&mut self, config: &EvaluationConfig) -> Result<(), McdError> {
+        self.config = config.pid;
+        Ok(())
+    }
+
+    fn run(&self, ctx: &SchemeContext<'_>) -> Result<SimStats, McdError> {
+        // A fresh controller per run keeps evaluations order-independent.
+        let mut controller = PidController::new(self.config);
+        Ok(ctx.simulate(&mut controller))
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+/// The SysScale-style shared-budget controller scheme (controller zoo).
+#[derive(Debug, Clone, Default)]
+pub struct SysScaleScheme {
+    /// Controller tuning parameters.
+    pub config: SysScaleConfig,
+}
+
+impl DvfsScheme for SysScaleScheme {
+    fn name(&self) -> &'static str {
+        names::SYSSCALE
+    }
+
+    fn configure(&mut self, config: &EvaluationConfig) -> Result<(), McdError> {
+        self.config = config.sysscale;
+        Ok(())
+    }
+
+    fn run(&self, ctx: &SchemeContext<'_>) -> Result<SimStats, McdError> {
+        let mut controller = SysScaleController::new(
+            self.config,
+            ctx.machine.grid.clone(),
+            ctx.machine.voltage_map.clone(),
+        );
+        Ok(ctx.simulate(&mut controller))
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+/// The table-driven learned policy scheme (controller zoo).
+///
+/// Training reuses the profile pipeline's capture artifacts: the per-region
+/// histograms recorded on the training input (the slowdown-free
+/// `training_histograms` cache entry the profile scheme also feeds on) are
+/// turned into a feature → frequency lookup table. A warm cache makes
+/// training a pure table rebuild; a cold run records once and publishes the
+/// artifact for the profile scheme to reuse, and vice versa.
+#[derive(Debug, Clone)]
+pub struct LearnedScheme {
+    /// Table-policy parameters (feature quantization, slowdown target).
+    pub config: LearnedConfig,
+    /// Training parameters shared with the profile pipeline (context policy,
+    /// thresholds) — they shape the recorded regions the table learns from.
+    pub training: TrainingConfig,
+    /// Artifact cache consulted for recorded histograms and updated after a
+    /// cold recording run. The default is a disabled cache (always record).
+    pub cache: Arc<ArtifactCache>,
+}
+
+impl Default for LearnedScheme {
+    fn default() -> Self {
+        LearnedScheme {
+            config: LearnedConfig::default(),
+            training: TrainingConfig::default(),
+            cache: Arc::new(ArtifactCache::disabled()),
+        }
+    }
+}
+
+impl LearnedScheme {
+    /// Obtains the trained lookup table: a cached histograms artifact rebuilds
+    /// the table in microseconds; otherwise the profile pipeline's recording
+    /// run captures the histograms (publishing them for the profile scheme to
+    /// reuse) and the table is trained from the fresh capture. The table is
+    /// always built from the artifact's canonicalized entry order, so cached
+    /// and freshly-recorded tables are bit-identical.
+    fn table_for(&self, ctx: &SchemeContext<'_>) -> LearnedTable {
+        let grid = &ctx.machine.grid;
+        let key = artifact::training_histograms_key(
+            ctx.benchmark.name,
+            &ctx.benchmark.inputs.training,
+            ctx.machine,
+            &self.training,
+        );
+        if let Some(cached) = self.cache.load_training_histograms(&key, grid) {
+            return LearnedTable::from_training(&cached.entries, &self.config, grid);
+        }
+        // Single-writer publication on the shared histograms key (no-op
+        // guards for a disabled cache), mirroring the profile scheme.
+        let _lock = self.cache.lock_publication(&key);
+        if let Some(cached) = self.cache.recheck_training_histograms(&key, grid) {
+            return LearnedTable::from_training(&cached.entries, &self.config, grid);
+        }
+        let (plan, entries) = train_with_histograms(
+            &ctx.benchmark.program,
+            &ctx.benchmark.inputs.training,
+            ctx.machine,
+            &self.training,
+        );
+        let artifact = TrainingHistogramsArtifact::from_entries(entries, plan.training_stats);
+        self.cache.store_training_histograms(&key, &artifact, grid);
+        LearnedTable::from_training(&artifact.entries, &self.config, grid)
+    }
+
+    /// [`LearnedScheme::table_for`] with an in-memory pool shared across the
+    /// members of one batch, so members sharing a `training_histograms_key`
+    /// pay for at most one recording run even with the cache disabled.
+    pub(crate) fn table_for_batched(
+        &self,
+        ctx: &SchemeContext<'_>,
+        pool: &mut HashMap<ArtifactKey, Arc<TrainingHistogramsArtifact>>,
+    ) -> LearnedTable {
+        let grid = &ctx.machine.grid;
+        let key = artifact::training_histograms_key(
+            ctx.benchmark.name,
+            &ctx.benchmark.inputs.training,
+            ctx.machine,
+            &self.training,
+        );
+        if let Some(shared) = pool.get(&key) {
+            return LearnedTable::from_training(&shared.entries, &self.config, grid);
+        }
+        if let Some(cached) = self.cache.load_training_histograms(&key, grid) {
+            let table = LearnedTable::from_training(&cached.entries, &self.config, grid);
+            pool.insert(key, Arc::new(cached));
+            return table;
+        }
+        let _lock = self.cache.lock_publication(&key);
+        if let Some(cached) = self.cache.recheck_training_histograms(&key, grid) {
+            let table = LearnedTable::from_training(&cached.entries, &self.config, grid);
+            pool.insert(key, Arc::new(cached));
+            return table;
+        }
+        let (plan, entries) = train_with_histograms(
+            &ctx.benchmark.program,
+            &ctx.benchmark.inputs.training,
+            ctx.machine,
+            &self.training,
+        );
+        let artifact = TrainingHistogramsArtifact::from_entries(entries, plan.training_stats);
+        self.cache.store_training_histograms(&key, &artifact, grid);
+        let table = LearnedTable::from_training(&artifact.entries, &self.config, grid);
+        pool.insert(key, Arc::new(artifact));
+        table
+    }
+}
+
+impl DvfsScheme for LearnedScheme {
+    fn name(&self) -> &'static str {
+        names::LEARNED
+    }
+
+    fn configure(&mut self, config: &EvaluationConfig) -> Result<(), McdError> {
+        self.config = config.learned;
+        self.training = config.training;
+        self.cache = config.cache.clone();
+        Ok(())
+    }
+
+    fn run(&self, ctx: &SchemeContext<'_>) -> Result<SimStats, McdError> {
+        let table = self.table_for(ctx);
+        let mut policy = LearnedPolicy::new(&self.config, table);
+        Ok(ctx.simulate(&mut policy))
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+/// An ordered scheme registry that rejects duplicate names — the same
+/// shadowing protection [`mcd_workloads::suite::Registry`] applies to
+/// benchmark names, applied to schemes. Names are the identity the
+/// evaluator's batch families, result tables, and lookups key on, so a
+/// second registration under an existing name is an
+/// [`McdError::DuplicateScheme`] instead of a silent shadow.
+#[derive(Debug, Default)]
+pub struct SchemeRegistry {
+    schemes: Vec<Box<dyn DvfsScheme>>,
+}
+
+impl SchemeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SchemeRegistry::default()
+    }
+
+    /// Registers a scheme, rejecting a name collision (case-insensitive, so
+    /// `PID` cannot shadow `pid` in tables that fold case).
+    pub fn register(&mut self, scheme: Box<dyn DvfsScheme>) -> Result<(), McdError> {
+        if self
+            .schemes
+            .iter()
+            .any(|s| s.name().eq_ignore_ascii_case(scheme.name()))
+        {
+            return Err(McdError::DuplicateScheme(scheme.name().to_string()));
+        }
+        self.schemes.push(scheme);
+        Ok(())
+    }
+
+    /// Number of registered schemes.
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Whether the registry holds no schemes.
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+
+    /// The registered scheme names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.schemes.iter().map(|s| s.name()).collect()
+    }
+
+    /// Consumes the registry, yielding the schemes in registration order for
+    /// [`crate::evaluation::evaluate_with_registry`].
+    pub fn into_schemes(self) -> Vec<Box<dyn DvfsScheme>> {
+        self.schemes
+    }
+}
+
 /// The paper's standard comparison registry, in evaluation order: off-line
 /// oracle, on-line controller, profile-driven, and (optionally) global DVS.
 pub fn standard_registry(include_global: bool) -> Vec<Box<dyn DvfsScheme>> {
-    let mut registry: Vec<Box<dyn DvfsScheme>> = vec![
-        Box::new(OfflineScheme::default()),
-        Box::new(OnlineScheme::default()),
-        Box::new(ProfileScheme::default()),
-    ];
-    if include_global {
-        registry.push(Box::new(GlobalDvsScheme::default()));
-    }
-    registry
+    full_registry(include_global, false)
 }
 
-/// Builds the standard registry and configures every scheme from `config`.
+/// The full comparison registry: the paper's schemes, optionally the
+/// controller zoo (PID, SysScale-style, learned table), and optionally the
+/// global-DVS baseline last (it matches the off-line oracle's run time, so it
+/// must run after `offline`). Built through [`SchemeRegistry`], whose
+/// duplicate check is statically satisfied here — the names are distinct
+/// constants — so the construction cannot fail.
+pub fn full_registry(include_global: bool, include_zoo: bool) -> Vec<Box<dyn DvfsScheme>> {
+    let mut registry = SchemeRegistry::new();
+    let mut add = |scheme: Box<dyn DvfsScheme>| {
+        registry
+            .register(scheme)
+            .expect("standard scheme names are statically unique");
+    };
+    add(Box::<OfflineScheme>::default());
+    add(Box::<OnlineScheme>::default());
+    add(Box::<ProfileScheme>::default());
+    if include_zoo {
+        add(Box::<PidScheme>::default());
+        add(Box::<SysScaleScheme>::default());
+        add(Box::<LearnedScheme>::default());
+    }
+    if include_global {
+        add(Box::<GlobalDvsScheme>::default());
+    }
+    registry.into_schemes()
+}
+
+/// Builds the full registry per the config's `include_global`/`include_zoo`
+/// flags and configures every scheme from `config`.
 pub fn configured_registry(
     config: &EvaluationConfig,
 ) -> Result<Vec<Box<dyn DvfsScheme>>, McdError> {
-    let mut registry = standard_registry(config.include_global);
+    let mut registry = full_registry(config.include_global, config.include_zoo);
     for scheme in &mut registry {
         scheme.configure(config)?;
     }
@@ -741,9 +1016,10 @@ pub fn configured_registry(
 /// analysis).
 ///
 /// Naming [`names::GLOBAL`] implies `include_global` regardless of the
-/// config; an unrecognised name is an [`McdError::UnknownScheme`]. Note that
-/// `global` matches the off-line oracle's run time, so a subset containing
-/// `global` but not `offline` fails at run time with
+/// config, and naming any controller-zoo scheme likewise implies
+/// `include_zoo`; an unrecognised name is an [`McdError::UnknownScheme`].
+/// Note that `global` matches the off-line oracle's run time, so a subset
+/// containing `global` but not `offline` fails at run time with
 /// [`McdError::MissingDependency`].
 pub fn subset_registry(
     config: &EvaluationConfig,
@@ -751,6 +1027,8 @@ pub fn subset_registry(
 ) -> Result<Vec<Box<dyn DvfsScheme>>, McdError> {
     let mut config = config.clone();
     config.include_global = config.include_global || subset.iter().any(|n| n == names::GLOBAL);
+    config.include_zoo =
+        config.include_zoo || subset.iter().any(|n| names::ZOO.contains(&n.as_str()));
     let full = configured_registry(&config)?;
     for name in subset {
         if !full.iter().any(|s| s.name() == name) {
@@ -777,6 +1055,52 @@ mod tests {
         );
         let without_global = standard_registry(false);
         assert_eq!(without_global.len(), 3);
+    }
+
+    #[test]
+    fn full_registry_appends_the_zoo_before_global() {
+        let registry = full_registry(true, true);
+        let names: Vec<&str> = registry.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                names::OFFLINE,
+                names::ONLINE,
+                names::PROFILE,
+                names::PID,
+                names::SYSSCALE,
+                names::LEARNED,
+                names::GLOBAL
+            ]
+        );
+        // Zoo without global, and the paper shape with the zoo off.
+        assert_eq!(full_registry(false, true).len(), 6);
+        assert_eq!(full_registry(false, false).len(), 3);
+    }
+
+    #[test]
+    fn scheme_registry_rejects_duplicate_names() {
+        let mut registry = SchemeRegistry::new();
+        registry
+            .register(Box::new(OnlineScheme::default()))
+            .expect("first registration succeeds");
+        let err = registry
+            .register(Box::new(OnlineScheme::default()))
+            .unwrap_err();
+        assert_eq!(err, McdError::DuplicateScheme(names::ONLINE.to_string()));
+        // The failed registration did not shadow or displace the original.
+        assert_eq!(registry.names(), vec![names::ONLINE]);
+        assert_eq!(registry.into_schemes().len(), 1);
+    }
+
+    #[test]
+    fn subset_registry_naming_a_zoo_scheme_implies_include_zoo() {
+        let config = EvaluationConfig::default();
+        assert!(!config.include_zoo);
+        let subset =
+            subset_registry(&config, &[names::PID.to_string()]).expect("zoo implied by the subset");
+        assert_eq!(subset.len(), 1);
+        assert_eq!(subset[0].name(), names::PID);
     }
 
     #[test]

@@ -1,20 +1,23 @@
 //! The long-lived evaluation service: worker pool, baseline memo, submission.
 
-use crate::artifact::ArtifactKey;
+use crate::artifact::{ArtifactKey, TrainingHistogramsArtifact};
 use crate::error::McdError;
 use crate::evaluation::{BenchmarkEvaluation, EvaluationConfig, SchemeResult};
 use crate::histogram::RegionHistograms;
+use crate::learned::LearnedPolicy;
 use crate::offline::OfflineSchedule;
 use crate::online::OnlineController;
+use crate::pid::PidController;
 use crate::pipeline::schedule::ScheduleHooks;
 use crate::profile::{ProfileHooks, ProfilePlan};
 use crate::scheme::{
-    names, DvfsScheme, OfflineScheme, OnlineScheme, ProfileScheme, SchemeContext, SchemeOutcome,
-    SharedTraining,
+    names, DvfsScheme, LearnedScheme, OfflineScheme, OnlineScheme, PidScheme, ProfileScheme,
+    SchemeContext, SchemeOutcome, SharedTraining, SysScaleScheme,
 };
 use crate::service::job::{EvalBatch, EvalJob, JobId};
 use crate::service::scheduler::{PushOutcome, ShardedScheduler, TokenBucket};
 use crate::service::stream::{EvalEvent, ResultStream};
+use crate::sysscale::SysScaleController;
 use mcd_sim::config::MachineConfig;
 use mcd_sim::fingerprint::{Fingerprint, Fnv1a};
 use mcd_sim::simulator::{NullHooks, SimHooks, Simulator};
@@ -1048,7 +1051,15 @@ fn process_batch(shared: &Shared, queued: Vec<QueuedJob>) {
     // Scheme families run in standard registry order so a member's `global`
     // finds its matched scheme among the member's prior outcomes, exactly as
     // in a serial run. (Subset registries preserve that order too.)
-    for family in [names::OFFLINE, names::ONLINE, names::PROFILE, names::GLOBAL] {
+    for family in [
+        names::OFFLINE,
+        names::ONLINE,
+        names::PROFILE,
+        names::PID,
+        names::SYSSCALE,
+        names::LEARNED,
+        names::GLOBAL,
+    ] {
         run_batch_family(shared, &mut members, family, &machine, &artifacts);
     }
 
@@ -1166,6 +1177,69 @@ fn run_batch_family(
                 .iter()
                 .map(|(i, label, _)| (*i, label.clone()))
                 .collect();
+            finish_lanes(members, family, artifacts, labeled, stats);
+        }
+        names::PID => {
+            let mut labeled: Vec<(usize, String)> = Vec::new();
+            let mut controllers: Vec<PidController> = Vec::new();
+            for i in participating {
+                let Some(pid) = downcast_family::<PidScheme>(&members[i], family) else {
+                    run_member_serially(members, i, family, machine, artifacts);
+                    continue;
+                };
+                // A fresh controller per lane, as in PidScheme::run.
+                controllers.push(PidController::new(pid.config));
+                labeled.push((i, pid.label()));
+            }
+            if controllers.is_empty() {
+                return;
+            }
+            let stats = run_lanes(shared, machine, artifacts, &mut controllers);
+            finish_lanes(members, family, artifacts, labeled, stats);
+        }
+        names::SYSSCALE => {
+            let mut labeled: Vec<(usize, String)> = Vec::new();
+            let mut controllers: Vec<SysScaleController> = Vec::new();
+            for i in participating {
+                let Some(sysscale) = downcast_family::<SysScaleScheme>(&members[i], family) else {
+                    run_member_serially(members, i, family, machine, artifacts);
+                    continue;
+                };
+                controllers.push(SysScaleController::new(
+                    sysscale.config,
+                    machine.grid.clone(),
+                    machine.voltage_map.clone(),
+                ));
+                labeled.push((i, sysscale.label()));
+            }
+            if controllers.is_empty() {
+                return;
+            }
+            let stats = run_lanes(shared, machine, artifacts, &mut controllers);
+            finish_lanes(members, family, artifacts, labeled, stats);
+        }
+        names::LEARNED => {
+            // Per member: train or reload the lookup table (sharing the
+            // recording run through the pool), then play every policy as a
+            // lane of one batched trace pass.
+            let mut pool: HashMap<ArtifactKey, Arc<TrainingHistogramsArtifact>> = HashMap::new();
+            let mut labeled: Vec<(usize, String)> = Vec::new();
+            let mut policies: Vec<LearnedPolicy> = Vec::new();
+            for i in participating {
+                let Some(learned) = downcast_family::<LearnedScheme>(&members[i], family) else {
+                    run_member_serially(members, i, family, machine, artifacts);
+                    continue;
+                };
+                let learned = learned.clone();
+                let ctx = members[i].context(machine, artifacts);
+                let table = learned.table_for_batched(&ctx, &mut pool);
+                policies.push(LearnedPolicy::new(&learned.config, table));
+                labeled.push((i, learned.label()));
+            }
+            if policies.is_empty() {
+                return;
+            }
+            let stats = run_lanes(shared, machine, artifacts, &mut policies);
             finish_lanes(members, family, artifacts, labeled, stats);
         }
         // Global DVS (and any future family without a batched form) depends

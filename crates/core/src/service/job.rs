@@ -3,6 +3,7 @@
 use crate::error::McdError;
 use crate::evaluation::EvaluationConfig;
 use crate::online::OnlineConfig;
+use crate::pid::PidConfig;
 use crate::scheme::{configured_registry, subset_registry, DvfsScheme};
 use crate::service::scheduler::Priority;
 use mcd_profiling::context::ContextPolicy;
@@ -37,7 +38,9 @@ pub struct EvalJob {
     pub(crate) slowdown: Option<f64>,
     pub(crate) policy: Option<ContextPolicy>,
     pub(crate) online: Option<OnlineConfig>,
+    pub(crate) pid: Option<PidConfig>,
     pub(crate) include_global: Option<bool>,
+    pub(crate) include_zoo: Option<bool>,
     pub(crate) schemes: Option<Vec<String>>,
 }
 
@@ -50,7 +53,9 @@ impl EvalJob {
             slowdown: None,
             policy: None,
             online: None,
+            pid: None,
             include_global: None,
+            include_zoo: None,
             schemes: None,
         }
     }
@@ -98,9 +103,22 @@ impl EvalJob {
         self
     }
 
+    /// Overrides the PID controller tuning (controller zoo).
+    pub fn with_pid(mut self, pid: PidConfig) -> Self {
+        self.pid = Some(pid);
+        self
+    }
+
     /// Overrides whether the global-DVS baseline is part of the comparison.
     pub fn with_global(mut self, include_global: bool) -> Self {
         self.include_global = Some(include_global);
+        self
+    }
+
+    /// Overrides whether the controller zoo (PID, SysScale-style, learned
+    /// table) is part of the comparison.
+    pub fn with_zoo(mut self, include_zoo: bool) -> Self {
+        self.include_zoo = Some(include_zoo);
         self
     }
 
@@ -134,8 +152,14 @@ impl EvalJob {
         if let Some(online) = self.online {
             config.online = online;
         }
+        if let Some(pid) = self.pid {
+            config.pid = pid;
+        }
         if let Some(include_global) = self.include_global {
             config.include_global = include_global;
+        }
+        if let Some(include_zoo) = self.include_zoo {
+            config.include_zoo = include_zoo;
         }
         config
     }

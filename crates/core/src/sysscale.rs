@@ -1,0 +1,319 @@
+//! A SysScale-style globally-coordinated power-budget controller
+//! (after Haj-Yahya et al., "SysScale", ISCA 2020 / arXiv 2005.07613).
+//!
+//! Where attack–decay and the PID loop scale each domain independently, this
+//! controller treats the chip as one system with a shared power budget. Every
+//! interval it gathers cross-domain demand signals (busy fractions derived
+//! from per-domain active cycles, and issue-queue occupancy), smooths them
+//! with an EWMA, and *redistributes* the budget across the scalable domains
+//! in proportion to demand: a domain is granted the highest frequency whose
+//! dynamic-power weight `(f / f_max) · (V(f) / V_max)²` fits its power share.
+//! The front end participates in the redistribution (unlike the per-domain
+//! controllers, which pin it at full speed); the external memory domain is
+//! fixed hardware and accounted outside the budget.
+//!
+//! The coordination is the point: when one domain's demand collapses, its
+//! share flows to the domains that still have work, so a fixed chip-level
+//! budget buys more performance than four independent loops would extract
+//! from the same power.
+
+use mcd_sim::domain::{Domain, PerDomain};
+use mcd_sim::freq::{FrequencyGrid, VoltageMap};
+use mcd_sim::reconfig::FrequencySetting;
+use mcd_sim::simulator::SimHooks;
+use mcd_sim::stats::IntervalStats;
+use mcd_sim::time::{MegaHertz, TimeNs};
+
+/// Tuning parameters of the shared-budget controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SysScaleConfig {
+    /// Control interval in nanoseconds.
+    pub interval_ns: f64,
+    /// Shared budget as a fraction of the full-speed power of all scalable
+    /// domains (1.0 grants every domain full speed; lower values force the
+    /// redistribution to choose).
+    pub budget_fraction: f64,
+    /// EWMA smoothing factor applied to the per-domain demand signals.
+    pub ewma_alpha: f64,
+    /// Queue occupancy at which a domain is granted full speed outright this
+    /// interval (the budget re-balances around it on the next one).
+    pub panic_occupancy: f64,
+    /// Smallest demand credited to a domain, so a briefly-idle domain retains
+    /// a sliver of budget and can restart without a full ramp from the floor.
+    pub demand_floor: f64,
+}
+
+impl Default for SysScaleConfig {
+    fn default() -> Self {
+        SysScaleConfig {
+            interval_ns: 10_000.0,
+            budget_fraction: 0.55,
+            ewma_alpha: 0.25,
+            panic_occupancy: 0.9,
+            demand_floor: 0.02,
+        }
+    }
+}
+
+/// The shared-budget controller, used as [`SimHooks`] during a production run.
+#[derive(Debug, Clone)]
+pub struct SysScaleController {
+    config: SysScaleConfig,
+    grid: FrequencyGrid,
+    voltage: VoltageMap,
+    demand: PerDomain<f64>,
+    target_mhz: PerDomain<f64>,
+    intervals: u64,
+    panics: u64,
+}
+
+impl SysScaleController {
+    /// Creates a controller for the given machine's frequency grid and
+    /// voltage map (the power weights are derived from the map, so the
+    /// controller's notion of power matches the simulator's energy model).
+    pub fn new(config: SysScaleConfig, grid: FrequencyGrid, voltage: VoltageMap) -> Self {
+        SysScaleController {
+            config,
+            grid,
+            voltage,
+            // Start with uniform full demand so the first intervals run at
+            // whatever the budget allows for an evenly loaded chip.
+            demand: PerDomain::splat(1.0),
+            target_mhz: PerDomain::splat(1_000.0),
+            intervals: 0,
+            panics: 0,
+        }
+    }
+
+    /// The controller's parameters.
+    pub fn config(&self) -> &SysScaleConfig {
+        &self.config
+    }
+
+    /// Number of control intervals processed.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Number of panic (queue-saturated) full-speed grants.
+    pub fn panics(&self) -> u64 {
+        self.panics
+    }
+
+    /// The relative dynamic-power weight of running a domain at `f`: 1.0 at
+    /// full speed, falling with both frequency and the scaled voltage.
+    fn power_weight(&self, f: MegaHertz) -> f64 {
+        let fmax = self.grid.max().as_mhz();
+        (f.as_mhz() / fmax) * self.voltage.energy_scale(f)
+    }
+
+    /// The highest grid frequency whose power weight fits `share`; the grid
+    /// minimum when even that does not fit.
+    fn frequency_for_share(&self, share: f64) -> MegaHertz {
+        let mut chosen = self.grid.min();
+        for f in self.grid.iter() {
+            if self.power_weight(f) <= share + 1e-12 {
+                chosen = f;
+            } else {
+                break;
+            }
+        }
+        chosen
+    }
+
+    fn decide(&mut self, stats: &IntervalStats) -> FrequencySetting {
+        self.intervals += 1;
+        let c = self.config;
+        let elapsed_ns = stats.elapsed.as_ns().max(1.0);
+
+        // Demand per scalable domain: the busy fraction at the frequency we
+        // granted last interval, or the queue occupancy when the backlog says
+        // more than the busy cycles do. EWMA-smoothed, floored so an idle
+        // domain keeps a sliver of budget.
+        for d in Domain::SCALABLE {
+            let cycles_possible = elapsed_ns * self.target_mhz[d] / 1_000.0;
+            let busy = (stats.active_cycles[d] / cycles_possible.max(1.0)).min(1.5);
+            let raw = busy.max(stats.queue_utilization[d]).max(c.demand_floor);
+            self.demand[d] = c.ewma_alpha * raw + (1.0 - c.ewma_alpha) * self.demand[d];
+        }
+
+        // Redistribute the shared budget in proportion to demand. A share is
+        // capped at 1.0 (a domain cannot spend more than full speed); one
+        // deterministic redistribution round passes the excess to the others.
+        let budget = c.budget_fraction * Domain::SCALABLE_COUNT as f64;
+        let total_demand: f64 = Domain::SCALABLE.iter().map(|&d| self.demand[d]).sum();
+        let mut shares: PerDomain<f64> = PerDomain::splat(0.0);
+        if total_demand > 1e-9 {
+            let mut excess = 0.0;
+            let mut uncapped_demand = 0.0;
+            for d in Domain::SCALABLE {
+                let p = budget * self.demand[d] / total_demand;
+                if p > 1.0 {
+                    excess += p - 1.0;
+                    shares[d] = 1.0;
+                } else {
+                    uncapped_demand += self.demand[d];
+                    shares[d] = p;
+                }
+            }
+            if excess > 0.0 && uncapped_demand > 1e-9 {
+                for d in Domain::SCALABLE {
+                    if shares[d] < 1.0 {
+                        shares[d] =
+                            (shares[d] + excess * self.demand[d] / uncapped_demand).min(1.0);
+                    }
+                }
+            }
+        }
+
+        let mut setting = FrequencySetting::full_speed();
+        for d in Domain::SCALABLE {
+            let f = if stats.queue_utilization[d] >= c.panic_occupancy {
+                // A saturated queue throttles the whole machine: grant full
+                // speed now, let the budget re-balance next interval.
+                self.panics += 1;
+                self.grid.max()
+            } else {
+                self.frequency_for_share(shares[d])
+            };
+            self.target_mhz[d] = f.as_mhz();
+            setting = setting.with(d, f);
+        }
+        setting
+    }
+}
+
+impl SimHooks for SysScaleController {
+    fn interval_ns(&self) -> Option<f64> {
+        Some(self.config.interval_ns)
+    }
+
+    fn on_interval(&mut self, stats: &IntervalStats, _now: TimeNs) -> Option<FrequencySetting> {
+        Some(self.decide(stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(config: SysScaleConfig) -> SysScaleController {
+        SysScaleController::new(config, FrequencyGrid::default(), VoltageMap::default())
+    }
+
+    /// Interval stats with per-domain active-cycle fractions of a 10 µs
+    /// interval at 1 GHz (so 1.0 means 10 000 busy cycles).
+    fn interval_stats(fe: f64, int: f64, fp: f64, mem: f64) -> IntervalStats {
+        let mut active = PerDomain::splat(0.0);
+        active[Domain::FrontEnd] = fe * 10_000.0;
+        active[Domain::Integer] = int * 10_000.0;
+        active[Domain::FloatingPoint] = fp * 10_000.0;
+        active[Domain::Memory] = mem * 10_000.0;
+        IntervalStats {
+            elapsed: TimeNs::new(10_000.0),
+            instructions: 10_000,
+            active_cycles: active,
+            ..IntervalStats::default()
+        }
+    }
+
+    #[test]
+    fn power_weight_is_one_at_full_speed_and_falls_with_frequency() {
+        let c = controller(SysScaleConfig::default());
+        assert!((c.power_weight(MegaHertz::new(1_000.0)) - 1.0).abs() < 1e-12);
+        let half = c.power_weight(MegaHertz::new(500.0));
+        assert!(
+            half < 0.5,
+            "voltage scaling must make 500 MHz cheaper than linear"
+        );
+        assert!(half > 0.1);
+    }
+
+    #[test]
+    fn demand_shifts_budget_between_domains() {
+        let mut c = controller(SysScaleConfig::default());
+        // Integer-heavy phase: integer busy, FP idle.
+        let mut s = FrequencySetting::full_speed();
+        for _ in 0..100 {
+            s = c.decide(&interval_stats(0.6, 0.9, 0.0, 0.3));
+        }
+        assert!(
+            s.get(Domain::Integer).as_mhz() > s.get(Domain::FloatingPoint).as_mhz(),
+            "the busy domain must hold the larger share"
+        );
+        // Phase change: FP work arrives, integer goes idle — the budget
+        // must flow across.
+        for _ in 0..100 {
+            s = c.decide(&interval_stats(0.6, 0.0, 0.9, 0.3));
+        }
+        assert!(s.get(Domain::FloatingPoint).as_mhz() > s.get(Domain::Integer).as_mhz());
+    }
+
+    #[test]
+    fn total_power_respects_the_budget_in_steady_state() {
+        let config = SysScaleConfig::default();
+        let mut c = controller(config);
+        let mut s = FrequencySetting::full_speed();
+        for _ in 0..200 {
+            s = c.decide(&interval_stats(0.5, 0.5, 0.5, 0.5));
+        }
+        let spent: f64 = Domain::SCALABLE
+            .iter()
+            .map(|&d| c.power_weight(s.get(d)))
+            .sum();
+        let budget = config.budget_fraction * Domain::SCALABLE_COUNT as f64;
+        assert!(
+            spent <= budget + 1e-9,
+            "steady-state power {spent} exceeds budget {budget}"
+        );
+    }
+
+    #[test]
+    fn saturated_queue_is_granted_full_speed() {
+        let mut c = controller(SysScaleConfig::default());
+        for _ in 0..50 {
+            c.decide(&interval_stats(0.1, 0.1, 0.0, 0.1));
+        }
+        let mut stats = interval_stats(0.1, 0.1, 0.0, 0.1);
+        stats.queue_utilization[Domain::Memory] = 0.95;
+        let s = c.decide(&stats);
+        assert_eq!(s.get(Domain::Memory).as_mhz(), 1_000.0);
+        assert!(c.panics() > 0);
+    }
+
+    #[test]
+    fn frequencies_stay_on_the_grid() {
+        let mut c = controller(SysScaleConfig::default());
+        let grid = FrequencyGrid::default();
+        for i in 0..300 {
+            let x = (i % 10) as f64 / 10.0;
+            let s = c.decide(&interval_stats(x, 1.0 - x, x / 2.0, x));
+            for d in Domain::SCALABLE {
+                let f = s.get(d);
+                assert!(f >= grid.min() && f <= grid.max());
+                let steps = (f.as_mhz() - grid.min().as_mhz()) / grid.step().as_mhz();
+                assert!(
+                    (steps - steps.round()).abs() < 1e-9,
+                    "{} MHz is not a grid point",
+                    f.as_mhz()
+                );
+            }
+        }
+        assert_eq!(c.intervals(), 300);
+    }
+
+    #[test]
+    fn full_budget_grants_full_speed_to_a_busy_chip() {
+        let mut c = controller(SysScaleConfig {
+            budget_fraction: 1.0,
+            ..SysScaleConfig::default()
+        });
+        let mut s = FrequencySetting::full_speed();
+        for _ in 0..100 {
+            s = c.decide(&interval_stats(1.0, 1.0, 1.0, 1.0));
+        }
+        for d in Domain::SCALABLE {
+            assert_eq!(s.get(d).as_mhz(), 1_000.0);
+        }
+    }
+}

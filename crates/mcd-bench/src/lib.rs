@@ -13,6 +13,7 @@
 pub mod cli;
 pub mod loadtest;
 pub mod timing;
+pub mod tournament;
 
 use mcd_dvfs::artifact::ArtifactCache;
 use mcd_dvfs::error::McdError;

@@ -64,6 +64,16 @@ microbench:
 stream-smoke:
     cargo run --release --example streaming_eval
 
+# Run the controller tournament: every registered scheme (paper schemes +
+# controller zoo) across all three suite tiers through one batched Evaluator,
+# reported as metric matrices plus per-tier and overall rankings.
+tournament:
+    cargo run --release --bin tournament -- --quick
+
+# The full-suite tournament (all nineteen paper benchmarks + second tier).
+tournament-full:
+    cargo run --release --bin tournament
+
 # Print artifact-cache entries, sizes, and accumulated hit/miss counters.
 cache-stats:
     cargo run --release --bin cache_stats

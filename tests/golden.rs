@@ -61,22 +61,37 @@ const GOLDEN: &[GoldenRow] = &[
     GoldenRow { benchmark: "adpcm decode", scheme: "offline", slowdown: 0.173191, energy: 0.226834, energy_delay: 0.092929 },
     GoldenRow { benchmark: "adpcm decode", scheme: "online", slowdown: -0.001380, energy: 0.036475, energy_delay: 0.037804 },
     GoldenRow { benchmark: "adpcm decode", scheme: "profile", slowdown: 0.161567, energy: 0.204755, energy_delay: 0.076270 },
+    GoldenRow { benchmark: "adpcm decode", scheme: "pid", slowdown: -0.010636, energy: 0.053183, energy_delay: 0.063253 },
+    GoldenRow { benchmark: "adpcm decode", scheme: "sysscale", slowdown: 0.173017, energy: 0.190386, energy_delay: 0.050309 },
+    GoldenRow { benchmark: "adpcm decode", scheme: "learned", slowdown: 0.108308, energy: 0.129014, energy_delay: 0.034680 },
     GoldenRow { benchmark: "adpcm decode", scheme: "global", slowdown: 0.134247, energy: 0.140917, energy_delay: 0.025588 },
     GoldenRow { benchmark: "gsm decode", scheme: "offline", slowdown: 0.160110, energy: 0.231066, energy_delay: 0.107952 },
     GoldenRow { benchmark: "gsm decode", scheme: "online", slowdown: 0.058034, energy: 0.088741, energy_delay: 0.035857 },
     GoldenRow { benchmark: "gsm decode", scheme: "profile", slowdown: 0.152799, energy: 0.217171, energy_delay: 0.097556 },
+    GoldenRow { benchmark: "gsm decode", scheme: "pid", slowdown: -0.001325, energy: 0.068118, energy_delay: 0.069353 },
+    GoldenRow { benchmark: "gsm decode", scheme: "sysscale", slowdown: 0.167429, energy: 0.198416, energy_delay: 0.064207 },
+    GoldenRow { benchmark: "gsm decode", scheme: "learned", slowdown: 0.117910, energy: 0.153101, energy_delay: 0.053244 },
     GoldenRow { benchmark: "gsm decode", scheme: "global", slowdown: 0.125234, energy: 0.142931, energy_delay: 0.035597 },
     GoldenRow { benchmark: "mcf", scheme: "offline", slowdown: 0.051431, energy: 0.332166, energy_delay: 0.297819 },
     GoldenRow { benchmark: "mcf", scheme: "online", slowdown: 0.426794, energy: 0.416479, energy_delay: 0.167436 },
     GoldenRow { benchmark: "mcf", scheme: "profile", slowdown: 0.042791, energy: 0.321005, energy_delay: 0.291950 },
+    GoldenRow { benchmark: "mcf", scheme: "pid", slowdown: 0.434487, energy: 0.279497, energy_delay: -0.033552 },
+    GoldenRow { benchmark: "mcf", scheme: "sysscale", slowdown: 0.025864, energy: 0.271227, energy_delay: 0.252378 },
+    GoldenRow { benchmark: "mcf", scheme: "learned", slowdown: 0.015281, energy: 0.222495, energy_delay: 0.210613 },
     GoldenRow { benchmark: "mcf", scheme: "global", slowdown: 0.006418, energy: 0.039311, energy_delay: 0.033145 },
     GoldenRow { benchmark: "web serve", scheme: "offline", slowdown: 0.111076, energy: 0.282235, energy_delay: 0.202508 },
     GoldenRow { benchmark: "web serve", scheme: "online", slowdown: 0.151905, energy: 0.215942, energy_delay: 0.096840 },
     GoldenRow { benchmark: "web serve", scheme: "profile", slowdown: 0.104630, energy: 0.269313, energy_delay: 0.192861 },
+    GoldenRow { benchmark: "web serve", scheme: "pid", slowdown: 0.069400, energy: 0.162183, energy_delay: 0.104038 },
+    GoldenRow { benchmark: "web serve", scheme: "sysscale", slowdown: 0.085666, energy: 0.235953, energy_delay: 0.170501 },
+    GoldenRow { benchmark: "web serve", scheme: "learned", slowdown: 0.073484, energy: 0.219583, energy_delay: 0.162234 },
     GoldenRow { benchmark: "web serve", scheme: "global", slowdown: 0.048571, energy: 0.095422, energy_delay: 0.051487 },
     GoldenRow { benchmark: "sensor hub", scheme: "offline", slowdown: 0.161586, energy: 0.220609, energy_delay: 0.094671 },
     GoldenRow { benchmark: "sensor hub", scheme: "online", slowdown: 0.016279, energy: 0.058442, energy_delay: 0.043114 },
     GoldenRow { benchmark: "sensor hub", scheme: "profile", slowdown: 0.167420, energy: 0.215410, energy_delay: 0.084054 },
+    GoldenRow { benchmark: "sensor hub", scheme: "pid", slowdown: -0.088662, energy: 0.060057, energy_delay: 0.143394 },
+    GoldenRow { benchmark: "sensor hub", scheme: "sysscale", slowdown: 0.176637, energy: 0.192024, energy_delay: 0.049305 },
+    GoldenRow { benchmark: "sensor hub", scheme: "learned", slowdown: 0.153362, energy: 0.176870, energy_delay: 0.050634 },
     GoldenRow { benchmark: "sensor hub", scheme: "global", slowdown: 0.134676, energy: 0.140572, energy_delay: 0.024828 },
 ];
 
@@ -87,10 +102,12 @@ fn panel_evaluations() -> &'static [BenchmarkEvaluation] {
 }
 
 /// One full-registry evaluation of the given benchmarks under the headline
-/// configuration (global DVS included, cache disabled, fixed seeds).
+/// configuration (global DVS and the controller zoo included, cache
+/// disabled, fixed seeds).
 fn evaluate(benchmarks: &[&str]) -> Vec<BenchmarkEvaluation> {
     let config = EvaluationConfig {
         include_global: true,
+        include_zoo: true,
         ..EvaluationConfig::default()
     }
     .with_slowdown(SLOWDOWN_TARGET)

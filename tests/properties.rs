@@ -567,9 +567,14 @@ fn server_tier_is_deterministic_across_parallelism() {
 
     let benches = ["web serve", "sensor hub"];
     let evaluate = |parallelism: usize| {
-        let evaluator = Evaluator::builder()
-            .config(EvaluationConfig::default().with_parallelism(parallelism))
-            .build();
+        // The controller zoo rides along: the new controllers must be as
+        // deterministic across thread counts as the paper's schemes.
+        let config = EvaluationConfig {
+            include_zoo: true,
+            ..EvaluationConfig::default()
+        }
+        .with_parallelism(parallelism);
+        let evaluator = Evaluator::builder().config(config).build();
         let jobs = benches
             .iter()
             .map(|n| EvalJob::named(n).expect("known second-tier benchmark"))
@@ -607,19 +612,27 @@ fn server_tier_is_deterministic_across_parallelism() {
 }
 
 /// Batched multi-config evaluation is bit-identical to serial submission:
-/// for lane counts 1, 3 and 8, every scheme family (off-line, on-line,
-/// profile-driven L+F and the global-DVS baseline) produces exactly the
-/// statistics N independent jobs produce, on both workload tiers.
+/// for lane counts 1, 3 and 8, every scheme family in the full registry —
+/// off-line, on-line, profile-driven L+F, the controller zoo (PID, SysScale,
+/// learned) and the global-DVS baseline — produces exactly the statistics N
+/// independent jobs produce, on both workload tiers.
 ///
 /// The serial reference is computed once per benchmark for all eight
 /// configurations; each batch must reproduce the matching prefix bit for bit
 /// — lanes share one trace pass per family and (for the analysis schemes)
 /// one capture/shaker pass, so any divergence in lane state isolation shows
-/// up here.
+/// up here. The registry-coverage assertion at the end makes the property
+/// self-extending: a newly registered scheme is automatically subject to it
+/// unless explicitly exempted below with a reason.
 #[test]
 fn batched_lanes_match_serial_submission_bitwise() {
     use mcd_dvfs::online::OnlineConfig;
+    use mcd_dvfs::pid::PidConfig;
     use mcd_dvfs::service::{EvalJob, Evaluator};
+
+    // Schemes exempt from the batched bit-identity property. Every exemption
+    // must carry a reason; an empty list means the whole registry is covered.
+    const EXEMPT: [&str; 0] = [];
 
     // One paper-tier and one server-tier benchmark.
     for bench_name in ["adpcm decode", "web serve"] {
@@ -631,7 +644,12 @@ fn batched_lanes_match_serial_submission_bitwise() {
                     decay_mhz: 2.0 + 3.0 * i as f64,
                     ..OnlineConfig::default()
                 })
+                .with_pid(PidConfig {
+                    setpoint: 0.12 + 0.02 * i as f64,
+                    ..PidConfig::default()
+                })
                 .with_global(true)
+                .with_zoo(true)
         };
         let serial: Vec<_> = {
             let evaluator = Evaluator::builder().workers(1).build();
@@ -641,6 +659,19 @@ fn batched_lanes_match_serial_submission_bitwise() {
                 .collect()
                 .expect("serial jobs evaluate")
         };
+        // Registry coverage: the property exercises exactly the full registry
+        // (global DVS and the zoo included) minus the documented exemptions.
+        let expected: Vec<String> = mcd_dvfs::scheme::full_registry(true, true)
+            .iter()
+            .map(|s| s.name().to_string())
+            .filter(|n| !EXEMPT.contains(&n.as_str()))
+            .collect();
+        let covered: Vec<String> = serial[0].schemes.iter().map(|o| o.name.clone()).collect();
+        assert_eq!(
+            covered, expected,
+            "{bench_name}: batched bit-identity must cover every registered \
+             scheme (or exempt it above, with a reason)"
+        );
         for lanes in [1usize, 3, 8] {
             let evaluator = Evaluator::builder().workers(1).build();
             let batch = EvalJob::batch((0..lanes).map(configure).collect())
@@ -695,9 +726,23 @@ fn priority_classes_are_served_in_order_under_contention() {
     use mcd_dvfs::service::{EvalEvent, EvalJob, Evaluator, Priority};
 
     let evaluator = Evaluator::builder().workers(1).build();
-    // The blocker occupies the single worker while the backlog is submitted;
-    // nine more jobs then drain strictly by priority. Off-line only and a
-    // shared baseline keep each job cheap.
+    // The blocker occupies the single worker while the backlog is queued. It
+    // is submitted alone first, and the backlog only after its `JobStarted`
+    // event arrives — so the worker is provably busy while the nine backlog
+    // jobs land, with no timing assumptions: a full mcf off-line analysis
+    // outlasts nine sub-microsecond queue pushes on any machine, however
+    // loaded. Off-line only keeps each backlog job cheap.
+    let blocker = EvalJob::named("mcf")
+        .expect("known benchmark")
+        .with_schemes([mcd_dvfs::scheme::names::OFFLINE])
+        .with_priority(Priority::Background);
+    let mut blocker_stream = evaluator.submit_all(vec![blocker]);
+    for event in blocker_stream.by_ref() {
+        if matches!(event, EvalEvent::JobStarted { .. }) {
+            break;
+        }
+    }
+
     let job = |i: usize, priority: Priority| {
         EvalJob::named("adpcm decode")
             .expect("known benchmark")
@@ -705,13 +750,10 @@ fn priority_classes_are_served_in_order_under_contention() {
             .with_schemes([mcd_dvfs::scheme::names::OFFLINE])
             .with_priority(priority)
     };
-    let mut jobs = vec![job(0, Priority::Background)];
     // Interleave the submission order so FIFO-within-class is distinguishable
-    // from plain FIFO: B I G B I G B I G (after the blocker).
+    // from plain FIFO: B I G B I G B I G.
     let classes = [Priority::Batch, Priority::Interactive, Priority::Background];
-    for i in 1..10 {
-        jobs.push(job(i, classes[(i - 1) % 3]));
-    }
+    let jobs: Vec<EvalJob> = (1..10).map(|i| job(i, classes[(i - 1) % 3])).collect();
     let priorities: Vec<Priority> = jobs.iter().map(|j| j.priority()).collect();
     let stream = evaluator.submit_all(jobs);
     let ids = stream.jobs().to_vec();
@@ -723,23 +765,23 @@ fn priority_classes_are_served_in_order_under_contention() {
             }
         })
         .expect("all jobs evaluate");
+    // Drain the blocker's remaining events (it finished before the backlog
+    // could start on the single worker).
+    for _ in blocker_stream {}
 
-    assert_eq!(started.len(), 10);
-    assert_eq!(started[0], ids[0], "the blocker starts first");
     // The backlog drains class by class, FIFO within each class.
+    assert_eq!(started.len(), 9);
     let expected: Vec<_> = [Priority::Interactive, Priority::Batch, Priority::Background]
         .iter()
         .flat_map(|&class| {
             ids.iter()
                 .zip(&priorities)
-                .skip(1)
                 .filter(move |(_, &p)| p == class)
                 .map(|(id, _)| *id)
         })
         .collect();
     assert_eq!(
-        started[1..],
-        expected,
+        started, expected,
         "backlog must start interactive, then batch, then background"
     );
     assert_eq!(evaluator.queue_depth(), 0, "queue drains completely");
