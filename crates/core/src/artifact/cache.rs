@@ -24,9 +24,28 @@
 //! [`PublishGuard`]. Lock files left behind by a crashed process are stolen
 //! after [`ArtifactCache::lock_stale`]. Waits are counted per kind in
 //! [`CacheStats::lock_waits`], the store's contention gauge.
+//!
+//! # Crash consistency and self-healing
+//!
+//! Publication is crash-consistent: the payload goes to a `.tmp-*` file, is
+//! fsynced so the bytes are durable before they become visible, and is then
+//! renamed into place atomically — a reader can never observe a torn
+//! artifact, and the trailing codec checksum backstops even a corrupted one.
+//! Reads and writes run under a bounded, deterministic
+//! [`RetryPolicy`](crate::fault::RetryPolicy) (counted in
+//! [`ArtifactCache::retry_stats`]); when the budget is exhausted the read
+//! side falls back to recomputation and the write side counts an error.
+//! [`ArtifactCache::sweep_orphans`] (run automatically by
+//! [`ArtifactCache::from_env`]) quarantines stale `.tmp-*` debris and
+//! removes stale `.lock-*` files a crashed process left behind. All of it is
+//! exercisable deterministically through an injected
+//! [`FaultPlan`](crate::fault::FaultPlan) ([`ArtifactCache::with_faults`]).
 
 use crate::artifact::codec::{self, TrainingArtifact, TrainingHistogramsArtifact};
 use crate::artifact::key::ArtifactKey;
+use crate::error::McdError;
+use crate::fault::plan::LOCK_STALL;
+use crate::fault::{FaultPlan, FaultSite, RetryPolicy, RetryStats};
 use crate::histogram::RegionHistograms;
 use crate::offline::OfflineSchedule;
 use mcd_sim::freq::FrequencyGrid;
@@ -35,7 +54,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
 /// Default cache directory, relative to the working directory (git-ignored).
@@ -43,6 +62,10 @@ pub const DEFAULT_CACHE_DIR: &str = ".mcd-cache";
 
 /// Name of the append-only counter log inside the cache directory.
 pub const STATS_LOG: &str = "stats.log";
+
+/// Subdirectory where [`ArtifactCache::sweep_orphans`] parks stale `.tmp-*`
+/// debris: out of the artifact namespace, preserved for post-mortem.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Snapshot of a cache's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,6 +122,14 @@ pub struct ArtifactCache {
     /// re-analysis tests (and the CI smoke steps) assert on *which* kinds
     /// missed, not just how many lookups did.
     by_kind: Mutex<HashMap<&'static str, CacheStats>>,
+    /// Fault-injection plan consulted on every read, write, and lock
+    /// acquisition; the default plan is disabled and costs one boolean load.
+    faults: Arc<FaultPlan>,
+    /// Bounded retry schedule for transient read/write failures.
+    retry: RetryPolicy,
+    retry_retries: AtomicU64,
+    retry_recovered: AtomicU64,
+    retry_exhausted: AtomicU64,
 }
 
 /// Default age after which a publication lock is presumed abandoned. Long
@@ -157,8 +188,51 @@ impl ArtifactCache {
         let cache_dir = std::env::var("MCD_CACHE_DIR").ok();
         let no_cache = std::env::var("MCD_NO_CACHE").ok();
         match dir_from_settings(cache_dir.as_deref(), no_cache.as_deref()) {
-            Some(dir) => ArtifactCache::new(dir),
+            Some(dir) => {
+                let cache = ArtifactCache::new(dir);
+                // Self-heal on startup: debris from a crashed writer must
+                // neither wedge this process (stale locks) nor linger as
+                // pseudo-artifacts (stale temporaries).
+                let _ = cache.sweep_orphans();
+                cache
+            }
             None => ArtifactCache::disabled(),
+        }
+    }
+
+    /// Installs a fault-injection plan consulted on every read, write, and
+    /// lock acquisition (see [`crate::fault`]). The default plan is disabled
+    /// and reduces every hook to one boolean load.
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the retry policy transient read/write failures run under
+    /// (default: [`RetryPolicy::default`], three attempts with deterministic
+    /// exponential backoff).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The fault plan this cache consults.
+    pub fn faults(&self) -> &Arc<FaultPlan> {
+        &self.faults
+    }
+
+    /// The retry policy this cache runs reads and writes under.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Snapshot of the retry counters: re-attempts taken, operations that
+    /// recovered on a retry, and operations that exhausted the budget.
+    pub fn retry_stats(&self) -> RetryStats {
+        RetryStats {
+            retries: self.retry_retries.load(Ordering::Relaxed),
+            recovered: self.retry_recovered.load(Ordering::Relaxed),
+            exhausted: self.retry_exhausted.load(Ordering::Relaxed),
         }
     }
 
@@ -253,6 +327,11 @@ impl ArtifactCache {
     /// this caller wanted to compute.
     pub fn lock_publication(&self, key: &ArtifactKey) -> Option<PublishGuard> {
         let dir = self.dir.as_ref()?;
+        if self.faults.should(FaultSite::LockStall) {
+            // A descheduled/slow acquirer: widens every race window the
+            // publication protocol has without violating it.
+            std::thread::sleep(LOCK_STALL);
+        }
         let path = dir.join(format!(".lock-{}", key.file_name()));
         let mut waited = false;
         let mut backoff_ms = 1u64;
@@ -289,7 +368,7 @@ impl ArtifactCache {
                         None => started.elapsed() >= self.lock_stale(),
                     };
                     if stale {
-                        let _ = fs::remove_file(&path);
+                        self.steal_lock(dir, &path);
                         continue;
                     }
                     std::thread::sleep(Duration::from_millis(backoff_ms));
@@ -307,38 +386,133 @@ impl ArtifactCache {
         }
     }
 
-    /// Reads an artifact's raw bytes without touching the counters.
-    fn read_raw(&self, key: &ArtifactKey) -> Option<Vec<u8>> {
-        let path = self.path_of(key)?;
-        match fs::read(&path) {
-            Ok(bytes) => Some(bytes),
-            Err(err) => {
-                if err.kind() != io::ErrorKind::NotFound {
-                    self.error(key.kind);
-                }
-                None
+    /// Steals a presumed-stale lock by renaming it aside under a unique name
+    /// before deleting it: of N racing stealers only one rename succeeds
+    /// (the rest loop back and contend on the ordinary `create_new` path),
+    /// and the corpse's age is re-verified *after* the rename, so a lock
+    /// freshly created between a racer's staleness verdict and its steal is
+    /// put back instead of discarded.
+    fn steal_lock(&self, dir: &Path, path: &Path) {
+        static STEAL_SEQ: AtomicU64 = AtomicU64::new(0);
+        let corpse = dir.join(format!(
+            ".lock-steal-{}-{}",
+            std::process::id(),
+            STEAL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if fs::rename(path, &corpse).is_err() {
+            // Another stealer won the rename, or the holder released.
+            return;
+        }
+        let age = fs::metadata(&corpse)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| SystemTime::now().duration_since(mtime).ok());
+        match age {
+            Some(age) if age < self.lock_stale() => {
+                // We grabbed a *fresh* lock: between the staleness verdict
+                // and our rename, someone else completed the steal and
+                // re-created the lock. Restore it.
+                let _ = fs::rename(&corpse, path);
+            }
+            _ => {
+                let _ = fs::remove_file(&corpse);
             }
         }
     }
 
+    /// One read attempt: `Ok(None)` is a clean not-found (never retried);
+    /// `Err` is a retryable failure, injected or real.
+    fn read_attempt(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        if self.faults.should(FaultSite::ArtifactRead) {
+            return Err(io::Error::other("injected artifact-read fault"));
+        }
+        match fs::read(path) {
+            Ok(mut bytes) => {
+                if self.faults.should(FaultSite::ShortRead) {
+                    // A truncated read: the codec's trailing checksum is what
+                    // turns this into a detected (and retried) failure.
+                    bytes.truncate(bytes.len() / 2);
+                }
+                Ok(Some(bytes))
+            }
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Runs one fallible operation under the retry policy: failed attempts
+    /// back off deterministically and re-run until an attempt succeeds or the
+    /// budget is spent, with the counters behind
+    /// [`retry_stats`](Self::retry_stats) tracking every step.
+    fn with_retries<T>(
+        &self,
+        site: FaultSite,
+        mut op: impl FnMut() -> Result<T, ()>,
+    ) -> Result<T, McdError> {
+        let attempts = self.retry.attempts();
+        for attempt in 1..=attempts {
+            match op() {
+                Ok(value) => {
+                    if attempt > 1 {
+                        self.retry_recovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(value);
+                }
+                Err(()) if attempt < attempts => {
+                    self.retry_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.retry.backoff(attempt));
+                }
+                Err(()) => {}
+            }
+        }
+        self.retry_exhausted.fetch_add(1, Ordering::Relaxed);
+        Err(McdError::Io {
+            site,
+            retries: attempts - 1,
+        })
+    }
+
+    /// Read plus decode under the retry policy. A decode failure is retried
+    /// like an I/O error — a short or torn read looks exactly like corruption
+    /// from here, and re-reading is what recovers the transient case — while
+    /// not-found returns immediately.
+    fn read_decoded<T>(
+        &self,
+        key: &ArtifactKey,
+        decode: impl Fn(&[u8]) -> Result<T, codec::CodecError>,
+    ) -> Result<Option<T>, McdError> {
+        let Some(path) = self.path_of(key) else {
+            return Ok(None);
+        };
+        self.with_retries(FaultSite::ArtifactRead, || match self.read_attempt(&path) {
+            Ok(None) => Ok(None),
+            Ok(Some(bytes)) => match decode(&bytes) {
+                Ok(value) => Ok(Some(value)),
+                Err(_) => Err(()),
+            },
+            Err(_) => Err(()),
+        })
+    }
+
     /// The shared lookup path: read, decode, count. A found-but-undecodable
-    /// artifact counts as an error plus a miss and falls back to
-    /// recomputation.
+    /// artifact (after the retry budget) counts as an error plus a miss and
+    /// falls back to recomputation.
     fn load_with<T>(
         &self,
         key: &ArtifactKey,
-        decode: impl FnOnce(&[u8]) -> Result<T, codec::CodecError>,
+        decode: impl Fn(&[u8]) -> Result<T, codec::CodecError>,
     ) -> Option<T> {
-        let Some(bytes) = self.read_raw(key) else {
-            if self.is_enabled() {
-                self.miss(key.kind);
-            }
+        if !self.is_enabled() {
             return None;
-        };
-        match decode(&bytes) {
-            Ok(value) => {
+        }
+        match self.read_decoded(key, decode) {
+            Ok(Some(value)) => {
                 self.hit(key.kind);
                 Some(value)
+            }
+            Ok(None) => {
+                self.miss(key.kind);
+                None
             }
             Err(_) => {
                 self.error(key.kind);
@@ -350,14 +524,14 @@ impl ArtifactCache {
 
     /// The quiet lookup path of the publication protocol: the caller already
     /// counted its miss before taking the lock, so the mandatory under-lock
-    /// re-check must not distort the counters. Decode failures are silent too
-    /// (the caller recomputes, and the counted path already reported them).
+    /// re-check must not distort the counters. Failures are silent (the
+    /// caller recomputes, and the counted path already reported them).
     fn recheck_with<T>(
         &self,
         key: &ArtifactKey,
-        decode: impl FnOnce(&[u8]) -> Result<T, codec::CodecError>,
+        decode: impl Fn(&[u8]) -> Result<T, codec::CodecError>,
     ) -> Option<T> {
-        decode(&self.read_raw(key)?).ok()
+        self.read_decoded(key, decode).ok().flatten()
     }
 
     /// Quiet re-check of an off-line schedule (see
@@ -394,8 +568,37 @@ impl ArtifactCache {
         self.recheck_with(key, |bytes| codec::decode_training_histograms(bytes, grid))
     }
 
+    /// One crash-consistent publication attempt: payload to a temporary
+    /// file, fsync so the bytes are durable before they become visible, then
+    /// the atomic rename that publishes.
+    fn store_attempt(&self, dir: &Path, tmp: &Path, path: &Path, payload: &[u8]) -> io::Result<()> {
+        if self.faults.should(FaultSite::ArtifactWrite) {
+            return Err(io::Error::other("injected artifact-write fault"));
+        }
+        fs::create_dir_all(dir)?;
+        if self.faults.should(FaultSite::TornWrite) {
+            // A simulated crash mid-write: a prefix reaches the temporary
+            // file and the publishing rename never happens. Readers cannot
+            // observe it (they only ever see `path`), and the next attempt
+            // rewrites the temporary from scratch.
+            let _ = fs::write(tmp, &payload[..payload.len() / 2]);
+            return Err(io::Error::other("injected torn write"));
+        }
+        let mut file = fs::File::create(tmp)?;
+        {
+            use std::io::Write as _;
+            file.write_all(payload)?;
+        }
+        file.sync_all()?;
+        drop(file);
+        fs::rename(tmp, path)
+    }
+
     /// Stores `payload` under `key` atomically (write to a temporary file,
-    /// then rename). Errors are counted, never propagated.
+    /// fsync, then rename) under the retry policy. Errors are counted, never
+    /// propagated; a writer whose budget is spent removes its temporary so
+    /// only a genuine crash strands one (and the startup sweep quarantines
+    /// those).
     fn store_raw(&self, key: &ArtifactKey, payload: &[u8]) {
         let Some(path) = self.path_of(key) else {
             return;
@@ -404,9 +607,10 @@ impl ArtifactCache {
             return;
         };
         let tmp = dir.join(format!(".tmp-{}-{}", std::process::id(), key.file_name()));
-        let written = fs::create_dir_all(dir)
-            .and_then(|_| fs::write(&tmp, payload))
-            .and_then(|_| fs::rename(&tmp, &path));
+        let written = self.with_retries(FaultSite::ArtifactWrite, || {
+            self.store_attempt(dir, &tmp, &path, payload)
+                .map_err(|_| ())
+        });
         match written {
             Ok(()) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
@@ -417,6 +621,55 @@ impl ArtifactCache {
                 self.error(key.kind);
             }
         }
+    }
+
+    /// Sweeps debris a crashed process left in the cache directory:
+    /// temporary files and publication locks older than
+    /// [`lock_stale`](Self::lock_stale). Stale `.tmp-*` files are
+    /// *quarantined* — moved into [`QUARANTINE_DIR`], out of the artifact
+    /// namespace but preserved for post-mortem — and stale `.lock-*` files
+    /// are removed so no key starts life wedged behind a dead writer. Fresh
+    /// temporaries and locks belong to live writers (possibly in other
+    /// processes) and are left untouched. Returns
+    /// `(quarantined, locks_removed)`.
+    pub fn sweep_orphans(&self) -> (usize, usize) {
+        let Some(dir) = self.dir.as_ref() else {
+            return (0, 0);
+        };
+        let Ok(read) = fs::read_dir(dir) else {
+            return (0, 0);
+        };
+        let stale_age = self.lock_stale();
+        let mut quarantined = 0;
+        let mut locks_removed = 0;
+        for entry in read.filter_map(|e| e.ok()) {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let is_tmp = name.starts_with(".tmp-");
+            let is_lock = name.starts_with(".lock-");
+            if !is_tmp && !is_lock {
+                continue;
+            }
+            let age = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|mtime| SystemTime::now().duration_since(mtime).ok());
+            if !matches!(age, Some(age) if age >= stale_age) {
+                continue;
+            }
+            let path = entry.path();
+            if is_tmp {
+                let qdir = dir.join(QUARANTINE_DIR);
+                let moved =
+                    fs::create_dir_all(&qdir).and_then(|_| fs::rename(&path, qdir.join(&name)));
+                if moved.is_ok() {
+                    quarantined += 1;
+                }
+            } else if fs::remove_file(&path).is_ok() {
+                locks_removed += 1;
+            }
+        }
+        (quarantined, locks_removed)
     }
 
     /// Looks up an off-line schedule (see [`ArtifactCache::load_with`] for
@@ -629,6 +882,7 @@ impl ArtifactCache {
 mod tests {
     use super::*;
     use crate::artifact::key::offline_schedule_key;
+    use crate::fault::FaultConfig;
     use crate::offline::OfflineConfig;
     use mcd_sim::config::MachineConfig;
     use mcd_sim::reconfig::FrequencySetting;
@@ -781,6 +1035,171 @@ mod tests {
             dir_from_settings(None, Some("0")),
             Some(PathBuf::from(DEFAULT_CACHE_DIR))
         );
+    }
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy::default().with_base(Duration::from_micros(100))
+    }
+
+    #[test]
+    fn read_faults_exhaust_retries_and_fall_back_to_recompute() {
+        let dir = unique_dir("readfault");
+        let key = sample_key();
+        ArtifactCache::new(&dir).store_schedule(&key, &sample_schedule());
+        let plan = Arc::new(FaultPlan::new(
+            FaultConfig::default().with_probability(FaultSite::ArtifactRead, 1.0),
+        ));
+        let cache = ArtifactCache::new(&dir)
+            .with_faults(plan)
+            .with_retry(fast_retry());
+        assert_eq!(cache.load_schedule(&key), None, "falls back to recompute");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.errors), (0, 1, 1));
+        let r = cache.retry_stats();
+        assert_eq!((r.retries, r.recovered, r.exhausted), (2, 0, 1));
+        // The artifact itself is untouched: a clean handle still reads it.
+        assert_eq!(
+            ArtifactCache::new(&dir).load_schedule(&key),
+            Some(sample_schedule())
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_short_read_recovers_on_retry() {
+        // Deterministically pick a seed whose ShortRead sequence starts
+        // fire-then-clean: the first attempt reads a truncated payload (the
+        // codec checksum rejects it) and the retry reads the intact file.
+        let config = |seed| {
+            FaultConfig {
+                seed,
+                ..FaultConfig::default()
+            }
+            .with_probability(FaultSite::ShortRead, 0.5)
+        };
+        let seed = (0..200)
+            .find(|&s| {
+                let probe = FaultPlan::new(config(s));
+                probe.should(FaultSite::ShortRead) && !probe.should(FaultSite::ShortRead)
+            })
+            .expect("a fire-then-clean seed among 200 candidates");
+        let dir = unique_dir("shortread");
+        let key = sample_key();
+        ArtifactCache::new(&dir).store_schedule(&key, &sample_schedule());
+        let cache = ArtifactCache::new(&dir)
+            .with_faults(Arc::new(FaultPlan::new(config(seed))))
+            .with_retry(fast_retry());
+        assert_eq!(cache.load_schedule(&key), Some(sample_schedule()));
+        let s = cache.stats();
+        assert_eq!(
+            (s.hits, s.errors),
+            (1, 0),
+            "a recovered read is a clean hit"
+        );
+        let r = cache.retry_stats();
+        assert_eq!(r.recovered, 1);
+        assert!(r.retries >= 1);
+        assert_eq!(r.exhausted, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_writes_exhaust_the_budget_and_strand_nothing() {
+        let dir = unique_dir("tornwrite");
+        let key = sample_key();
+        let plan = Arc::new(FaultPlan::new(
+            FaultConfig::default().with_probability(FaultSite::TornWrite, 1.0),
+        ));
+        let cache = ArtifactCache::new(&dir)
+            .with_faults(plan)
+            .with_retry(fast_retry());
+        cache.store_schedule(&key, &sample_schedule());
+        let s = cache.stats();
+        assert_eq!((s.writes, s.errors), (0, 1));
+        assert_eq!(cache.retry_stats().exhausted, 1);
+        // No published artifact — the rename never ran — and no stranded
+        // temporary: the failed writer cleans up after itself.
+        assert!(!cache.path_of(&key).unwrap().exists());
+        let leftovers: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stranded temporaries: {leftovers:?}");
+        // A clean handle then publishes the key normally.
+        ArtifactCache::new(&dir).store_schedule(&key, &sample_schedule());
+        assert_eq!(
+            ArtifactCache::new(&dir).load_schedule(&key),
+            Some(sample_schedule())
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_quarantines_stale_debris_and_spares_fresh_files() {
+        let dir = unique_dir("sweep");
+        let cache = ArtifactCache::new(&dir).with_lock_stale(Duration::from_millis(100));
+        let key = sample_key();
+        cache.store_schedule(&key, &sample_schedule());
+        fs::write(dir.join(".tmp-999-stranded.bin"), b"partial").unwrap();
+        fs::write(dir.join(".lock-stranded.bin"), b"999").unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        fs::write(dir.join(".tmp-999-fresh.bin"), b"in flight").unwrap();
+        fs::write(dir.join(".lock-fresh.bin"), b"999").unwrap();
+        assert_eq!(cache.sweep_orphans(), (1, 1));
+        // The stale temporary is preserved in quarantine, the stale lock is
+        // simply gone, and the fresh pair (a live writer, possibly in another
+        // process) is untouched.
+        assert!(dir
+            .join(QUARANTINE_DIR)
+            .join(".tmp-999-stranded.bin")
+            .exists());
+        assert!(!dir.join(".tmp-999-stranded.bin").exists());
+        assert!(!dir.join(".lock-stranded.bin").exists());
+        assert!(dir.join(".tmp-999-fresh.bin").exists());
+        assert!(dir.join(".lock-fresh.bin").exists());
+        // The published artifact (older than the threshold, but not debris)
+        // survives and still loads.
+        assert_eq!(cache.load_schedule(&key), Some(sample_schedule()));
+        // A second sweep finds nothing stale left.
+        assert_eq!(cache.sweep_orphans(), (0, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn publication_lock_is_released_when_the_holder_panics() {
+        let dir = unique_dir("lockpanic");
+        let cache = ArtifactCache::new(&dir);
+        let key = sample_key();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.lock_publication(&key).expect("uncontended lock");
+            panic!("worker dies mid-publication");
+        }));
+        assert!(result.is_err());
+        // RAII released the lock during unwinding: no lock file survives and
+        // re-acquisition is immediate, not a stale-steal wait.
+        assert!(!dir.join(format!(".lock-{}", key.file_name())).exists());
+        let started = Instant::now();
+        let guard = cache.lock_publication(&key).expect("lock is free again");
+        assert!(started.elapsed() < Duration::from_millis(50));
+        drop(guard);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_stall_injection_delays_acquisition() {
+        let dir = unique_dir("lockstall");
+        let plan = Arc::new(FaultPlan::new(
+            FaultConfig::default().with_probability(FaultSite::LockStall, 1.0),
+        ));
+        let cache = ArtifactCache::new(&dir).with_faults(Arc::clone(&plan));
+        let started = Instant::now();
+        let guard = cache.lock_publication(&sample_key());
+        assert!(started.elapsed() >= LOCK_STALL);
+        drop(guard);
+        assert_eq!(plan.stats().injected_at(FaultSite::LockStall), 1);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

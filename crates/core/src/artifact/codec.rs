@@ -183,6 +183,15 @@ fn unseal<'a>(kind: &str, data: &'a [u8]) -> Result<&'a [u8], CodecError> {
     Ok(&content[HEADER..])
 }
 
+/// Verifies an artifact file's *envelope* — magic, version, kind tag and
+/// trailing checksum — without decoding the payload. The chaos harness uses
+/// this to prove that every `.bin` in a cache directory is well-formed (no
+/// torn or half-published artifact ever becomes visible); `kind` is the kind
+/// parsed from the file name.
+pub fn verify_envelope(kind: &str, data: &[u8]) -> Result<(), CodecError> {
+    unseal(kind, data).map(|_| ())
+}
+
 // ---------------------------------------------------------------------------
 // Field codecs.
 

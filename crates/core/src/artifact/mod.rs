@@ -27,8 +27,10 @@ pub mod cache;
 pub mod codec;
 pub mod key;
 
-pub use cache::{ArtifactCache, CacheEntry, CacheStats, PublishGuard, DEFAULT_LOCK_STALE};
-pub use codec::{CodecError, TrainingArtifact, TrainingHistogramsArtifact};
+pub use cache::{
+    ArtifactCache, CacheEntry, CacheStats, PublishGuard, DEFAULT_LOCK_STALE, QUARANTINE_DIR,
+};
+pub use codec::{verify_envelope, CodecError, TrainingArtifact, TrainingHistogramsArtifact};
 pub use key::{
     offline_schedule_key, packed_trace_key, training_histograms_key, training_plan_key,
     window_histograms_key, ArtifactKey, CACHE_SCHEMA_VERSION,

@@ -5,6 +5,7 @@
 //! benchmark names, mis-wired scheme registries, invalid machine
 //! configurations — surfaces as an [`McdError`] instead.
 
+use crate::fault::FaultSite;
 use mcd_workloads::suite::Benchmark;
 use std::fmt;
 use std::process::ExitCode;
@@ -41,6 +42,29 @@ pub enum McdError {
     /// The evaluator shut down (its drop drained past the shutdown timeout)
     /// before this queued job reached a worker.
     Shutdown,
+    /// An *injected* fault (see [`crate::fault`]) terminated this job: the
+    /// chaos harness fired `site` and the service converted it into a clean
+    /// per-job failure. Distinct from [`McdError::Panic`], which is a
+    /// genuine bug, and from [`McdError::Io`], which is an exhausted retry
+    /// budget — chaos assertions and operators triage the three differently.
+    Fault {
+        /// The injection site that fired.
+        site: FaultSite,
+    },
+    /// An artifact-store I/O operation failed every attempt of its bounded
+    /// retry budget. The store itself falls back (reads recompute, writes
+    /// count an error), so this surfaces on user-facing paths only where no
+    /// fallback exists.
+    Io {
+        /// Which injection/IO site the operation belongs to.
+        site: FaultSite,
+        /// Re-attempts taken after the first failure.
+        retries: u32,
+    },
+    /// The worker task executing this job panicked; the payload carries the
+    /// panic message. The worker thread survives (`catch_unwind`) and the
+    /// panic poisons only this job.
+    Panic(String),
     /// An internal pipeline invariant failed (reported, not panicked, so the
     /// figure binaries exit cleanly).
     Internal(String),
@@ -84,6 +108,15 @@ impl fmt::Display for McdError {
                 f,
                 "the evaluator shut down before this queued job could run"
             ),
+            McdError::Fault { site } => {
+                write!(f, "injected fault at site `{site}` terminated the job")
+            }
+            McdError::Io { site, retries } => write!(
+                f,
+                "artifact I/O at site `{site}` failed after {retries} retr{}",
+                if *retries == 1 { "y" } else { "ies" }
+            ),
+            McdError::Panic(msg) => write!(f, "worker panicked: {msg}"),
             McdError::Internal(msg) => write!(f, "internal evaluation error: {msg}"),
         }
     }
@@ -158,6 +191,35 @@ mod tests {
         let err = McdError::DuplicateScheme("pid".into());
         assert!(err.to_string().contains("pid"));
         assert!(err.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn fault_taxonomy_distinguishes_injection_retries_and_panics() {
+        let fault = McdError::Fault {
+            site: FaultSite::WorkerPanic,
+        };
+        assert!(fault.to_string().contains("injected fault"));
+        assert!(fault.to_string().contains("worker-panic"));
+
+        let io = McdError::Io {
+            site: FaultSite::ArtifactWrite,
+            retries: 2,
+        };
+        assert!(io.to_string().contains("artifact-write"));
+        assert!(io.to_string().contains("2 retries"));
+        let io_one = McdError::Io {
+            site: FaultSite::ArtifactRead,
+            retries: 1,
+        };
+        assert!(io_one.to_string().contains("1 retry"));
+
+        let panic = McdError::Panic("index out of bounds".into());
+        assert!(panic.to_string().contains("worker panicked"));
+        assert!(panic.to_string().contains("index out of bounds"));
+
+        // The three are distinct values — chaos assertions match on them.
+        assert_ne!(fault, io);
+        assert_ne!(io, panic);
     }
 
     #[test]

@@ -34,6 +34,10 @@
 //!   service: build it once, submit `(benchmark, overrides)` jobs, share
 //!   memoized baselines across configurations, and stream per-scheme results
 //!   as events;
+//! * [`fault`] — the deterministic, seeded fault-injection layer that
+//!   chaos-tests the artifact store and the service (worker panics, torn
+//!   writes, I/O errors, lock stalls), plus the retry policy the store
+//!   recovers under;
 //! * [`error`] — the shared [`McdError`](error::McdError) type reported on
 //!   every user-facing path.
 //!
@@ -58,6 +62,7 @@ pub mod controller;
 pub mod dag;
 pub mod error;
 pub mod evaluation;
+pub mod fault;
 pub mod global_dvs;
 pub mod histogram;
 pub mod learned;
@@ -81,6 +86,7 @@ pub use evaluation::{evaluate_benchmark, evaluate_suite};
 pub use evaluation::{
     evaluate_scheme, evaluate_with_registry, BenchmarkEvaluation, EvaluationConfig, SchemeResult,
 };
+pub use fault::{FaultConfig, FaultPlan, FaultSite, FaultStats, RetryPolicy, RetryStats};
 pub use learned::{LearnedConfig, LearnedPolicy, LearnedTable};
 pub use offline::{run_offline, OfflineConfig, OfflineResult, OfflineSchedule};
 pub use online::{OnlineConfig, OnlineController};

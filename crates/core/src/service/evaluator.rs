@@ -3,6 +3,7 @@
 use crate::artifact::{ArtifactKey, TrainingHistogramsArtifact};
 use crate::error::McdError;
 use crate::evaluation::{BenchmarkEvaluation, EvaluationConfig, SchemeResult};
+use crate::fault::{FaultPlan, FaultSite, InjectedPanic};
 use crate::histogram::RegionHistograms;
 use crate::learned::LearnedPolicy;
 use crate::offline::OfflineSchedule;
@@ -27,7 +28,8 @@ use mcd_sim::BatchedSimulator;
 use mcd_workloads::generator::generate_packed;
 use mcd_workloads::suite::Benchmark;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -218,6 +220,10 @@ struct Shared {
     batch_baselines_reused: AtomicU64,
     batch_passes: AtomicU64,
     batch_lanes: AtomicU64,
+    /// Fault-injection plan consulted by the workers
+    /// ([`FaultSite::WorkerPanic`] per job or batch member) and shared with
+    /// the scheduler; the default plan is disabled.
+    faults: Arc<FaultPlan>,
 }
 
 impl Shared {
@@ -301,6 +307,7 @@ pub struct EvaluatorBuilder {
     queue_capacity: Option<usize>,
     rate_limit: Option<(f64, f64)>,
     shutdown_timeout: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl EvaluatorBuilder {
@@ -361,6 +368,19 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Installs a fault-injection plan (see [`crate::fault`]) shared by the
+    /// scheduler and the workers: pops may stall, and jobs (or batch members)
+    /// may be hit by an injected worker panic — which the service must
+    /// convert into a clean per-job [`McdError::Fault`] failure. Share the
+    /// same plan with the artifact cache
+    /// ([`ArtifactCache::with_faults`](crate::artifact::ArtifactCache::with_faults))
+    /// so the whole service runs under one seeded schedule. The default plan
+    /// is disabled and costs one boolean load per hook.
+    pub fn faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Bounds how long dropping the evaluator waits for queued work to drain
     /// before aborting it (default 60 s). Jobs still queued past the deadline
     /// fail with [`McdError::Shutdown`] so their streams terminate cleanly.
@@ -374,10 +394,13 @@ impl EvaluatorBuilder {
         let total = self.config.parallelism.max(1);
         let workers = self.workers.unwrap_or(total).clamp(1, total);
         let window_parallelism = (total / workers).max(1);
+        let faults = self
+            .faults
+            .unwrap_or_else(|| Arc::new(FaultPlan::disabled()));
         let shared = Arc::new(Shared {
             config: self.config,
             window_parallelism,
-            queue: ShardedScheduler::new(workers),
+            queue: ShardedScheduler::new(workers).with_faults(Arc::clone(&faults)),
             queue_capacity: self.queue_capacity,
             rate: self.rate_limit.map(|(per_second, burst)| {
                 Mutex::new(TokenBucket::new(per_second, burst, Instant::now()))
@@ -394,6 +417,7 @@ impl EvaluatorBuilder {
             batch_baselines_reused: AtomicU64::new(0),
             batch_passes: AtomicU64::new(0),
             batch_lanes: AtomicU64::new(0),
+            faults,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -832,9 +856,35 @@ impl Drop for Evaluator {
     }
 }
 
+/// Maps a caught panic payload to the [`McdError`] its job fails with: an
+/// [`InjectedPanic`] (planted by the fault harness) becomes
+/// [`McdError::Fault`], anything else is a genuine bug and becomes
+/// [`McdError::Panic`] carrying the panic message.
+fn panic_error(payload: Box<dyn std::any::Any + Send>) -> McdError {
+    if payload.downcast_ref::<InjectedPanic>().is_some() {
+        return McdError::Fault {
+            site: FaultSite::WorkerPanic,
+        };
+    }
+    let msg = payload
+        .downcast_ref::<&'static str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string());
+    McdError::Panic(msg)
+}
+
 /// A worker: pop work (own shard first, stealing otherwise) until the queue
 /// closes and drains. Each popped unit first emits `JobStarted` per job,
 /// carrying the queue-latency and depth gauges.
+///
+/// Job execution runs under `catch_unwind`, so a panic — injected by the
+/// fault plan or a genuine bug — poisons only its own job: the job gets a
+/// terminal [`EvalEvent::JobFailed`] (so its stream still ends) and the
+/// worker thread goes back to popping. The shared state is unwind-safe by
+/// construction: no lock is held across job execution, and the baseline
+/// memo's `OnceLock` is left uninitialized (not poisoned) when its
+/// initializer panics, so a later job simply recomputes.
 fn worker_loop(shared: &Shared, worker: usize) {
     while let Some(work) = shared.queue.pop(worker) {
         let depth = shared.queue.depth();
@@ -846,7 +896,24 @@ fn worker_loop(shared: &Shared, worker: usize) {
                     queued_for: queued.queued_at.elapsed(),
                     depth,
                 });
-                process_job(shared, *queued);
+                let id = queued.id;
+                let benchmark = queued.job.benchmark.name.to_string();
+                let events = queued.events.clone();
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    if shared.faults.should(FaultSite::WorkerPanic) {
+                        std::panic::panic_any(InjectedPanic);
+                    }
+                    process_job(shared, *queued);
+                }));
+                if let Err(payload) = result {
+                    // `process_job` sends its terminal as its very last
+                    // action, so an unwound job has not sent one yet.
+                    let _ = events.send(EvalEvent::JobFailed {
+                        job: id,
+                        benchmark,
+                        error: panic_error(payload),
+                    });
+                }
             }
             QueuedWork::Batch(members) => {
                 for member in &members {
@@ -857,7 +924,39 @@ fn worker_loop(shared: &Shared, worker: usize) {
                         depth,
                     });
                 }
-                process_batch(shared, members);
+                // Per-member terminal bookkeeping: `process_batch` marks each
+                // member whose terminal event it sent, so if it unwinds
+                // mid-batch the backstop fails exactly the members still
+                // missing one.
+                let terminals: Vec<(JobId, String, mpsc::Sender<EvalEvent>, Arc<AtomicBool>)> =
+                    members
+                        .iter()
+                        .map(|m| {
+                            (
+                                m.id,
+                                m.job.benchmark.name.to_string(),
+                                m.events.clone(),
+                                Arc::new(AtomicBool::new(false)),
+                            )
+                        })
+                        .collect();
+                let flags: Vec<Arc<AtomicBool>> =
+                    terminals.iter().map(|(_, _, _, f)| Arc::clone(f)).collect();
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    process_batch(shared, members, &flags);
+                }));
+                if let Err(payload) = result {
+                    let error = panic_error(payload);
+                    for (id, benchmark, events, sent) in terminals {
+                        if !sent.load(Ordering::Relaxed) {
+                            let _ = events.send(EvalEvent::JobFailed {
+                                job: id,
+                                benchmark,
+                                error: error.clone(),
+                            });
+                        }
+                    }
+                }
             }
         }
     }
@@ -940,11 +1039,15 @@ struct BatchMember {
     registry: Vec<Box<dyn DvfsScheme>>,
     outcomes: Vec<SchemeOutcome>,
     failed: bool,
+    /// Set when this member's terminal event goes out; the worker's
+    /// `catch_unwind` backstop fails only members whose flag is still unset.
+    terminal_sent: Arc<AtomicBool>,
 }
 
 impl BatchMember {
     fn fail(&mut self, error: McdError) {
         self.failed = true;
+        self.terminal_sent.store(true, Ordering::Relaxed);
         let _ = self.events.send(EvalEvent::JobFailed {
             job: self.id,
             benchmark: self.benchmark_name.clone(),
@@ -982,8 +1085,12 @@ impl BatchMember {
 /// one capture/training pass per shared histogram key, and one batched
 /// multi-lane simulation pass per scheme family. Failures are isolated: a
 /// member whose scheme errors emits its `JobFailed` and drops out; the rest
-/// of the batch continues.
-fn process_batch(shared: &Shared, queued: Vec<QueuedJob>) {
+/// of the batch continues. The same holds for an injected worker panic,
+/// drawn once per member: the panicking member fails with
+/// [`McdError::Fault`] and the batch carries on without it. `flags` are the
+/// per-member terminal markers (parallel to `queued`) the worker's panic
+/// backstop reads.
+fn process_batch(shared: &Shared, queued: Vec<QueuedJob>, flags: &[Arc<AtomicBool>]) {
     if queued.is_empty() {
         return;
     }
@@ -992,16 +1099,28 @@ fn process_batch(shared: &Shared, queued: Vec<QueuedJob>) {
         .batch_members
         .fetch_add(queued.len() as u64, Ordering::Relaxed);
 
-    // Validate every member's registry before paying for the baseline.
+    // Validate every member's registry before paying for the baseline. The
+    // per-member injection point lives here too, under its own
+    // `catch_unwind`, giving batches genuinely member-granular panic
+    // isolation on this path.
     let mut members: Vec<BatchMember> = Vec::with_capacity(queued.len());
-    for QueuedJob {
-        id, job, events, ..
-    } in queued
+    for (
+        QueuedJob {
+            id, job, events, ..
+        },
+        terminal_sent,
+    ) in queued.into_iter().zip(flags)
     {
         let benchmark_name = job.benchmark().name.to_string();
         let config = job.effective_config(&shared.config, shared.window_parallelism);
-        match job.build_registry(&config) {
-            Ok(registry) => members.push(BatchMember {
+        let built = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if shared.faults.should(FaultSite::WorkerPanic) {
+                std::panic::panic_any(InjectedPanic);
+            }
+            job.build_registry(&config)
+        }));
+        match built {
+            Ok(Ok(registry)) => members.push(BatchMember {
                 id,
                 benchmark_name,
                 events,
@@ -1009,12 +1128,22 @@ fn process_batch(shared: &Shared, queued: Vec<QueuedJob>) {
                 registry,
                 outcomes: Vec::new(),
                 failed: false,
+                terminal_sent: Arc::clone(terminal_sent),
             }),
-            Err(error) => {
+            Ok(Err(error)) => {
+                terminal_sent.store(true, Ordering::Relaxed);
                 let _ = events.send(EvalEvent::JobFailed {
                     job: id,
                     benchmark: benchmark_name,
                     error,
+                });
+            }
+            Err(payload) => {
+                terminal_sent.store(true, Ordering::Relaxed);
+                let _ = events.send(EvalEvent::JobFailed {
+                    job: id,
+                    benchmark: benchmark_name,
+                    error: panic_error(payload),
                 });
             }
         }
@@ -1067,6 +1196,7 @@ fn process_batch(shared: &Shared, queued: Vec<QueuedJob>) {
         if member.failed {
             continue;
         }
+        member.terminal_sent.store(true, Ordering::Relaxed);
         let _ = member.events.send(EvalEvent::JobCompleted {
             job: member.id,
             evaluation: BenchmarkEvaluation {
@@ -1467,6 +1597,126 @@ mod tests {
             }
         }
         assert_eq!((completed, failed), (1, 1));
+    }
+
+    #[test]
+    fn panic_payloads_map_to_the_right_error_variant() {
+        assert_eq!(
+            panic_error(Box::new(InjectedPanic)),
+            McdError::Fault {
+                site: FaultSite::WorkerPanic
+            }
+        );
+        assert_eq!(
+            panic_error(Box::new("boom")),
+            McdError::Panic("boom".into())
+        );
+        assert_eq!(
+            panic_error(Box::new(String::from("kaboom"))),
+            McdError::Panic("kaboom".into())
+        );
+        assert_eq!(
+            panic_error(Box::new(42u32)),
+            McdError::Panic("opaque panic payload".into())
+        );
+    }
+
+    /// A worker-panic config whose first draw fires and whose next `clean`
+    /// draws do not — deterministic, found by probing seeds.
+    fn fire_then_clean_panics(clean: usize) -> crate::fault::FaultConfig {
+        use crate::fault::FaultConfig;
+        let config = |seed| {
+            FaultConfig {
+                seed,
+                ..FaultConfig::default()
+            }
+            .with_probability(FaultSite::WorkerPanic, 0.5)
+        };
+        let seed = (0..10_000)
+            .find(|&s| {
+                let probe = FaultPlan::new(config(s));
+                probe.should(FaultSite::WorkerPanic)
+                    && (0..clean).all(|_| !probe.should(FaultSite::WorkerPanic))
+            })
+            .expect("a fire-then-clean seed exists");
+        config(seed)
+    }
+
+    #[test]
+    fn a_panicking_job_fails_alone_and_the_worker_keeps_serving() {
+        use crate::scheme::names;
+        let bench = mcd_workloads::suite::benchmark("adpcm decode").unwrap();
+        // One worker processes the jobs in order: the first draw injects a
+        // panic, the second job must still complete on the same thread.
+        let evaluator = Evaluator::builder()
+            .workers(1)
+            .faults(Arc::new(FaultPlan::new(fire_then_clean_panics(1))))
+            .build();
+        let stream = evaluator.submit_all(vec![
+            EvalJob::new(bench.clone()).with_schemes([names::ONLINE]),
+            EvalJob::new(bench.clone()).with_schemes([names::ONLINE]),
+        ]);
+        let mut failures = Vec::new();
+        let mut completed = 0;
+        for event in stream {
+            match event {
+                EvalEvent::JobFailed { error, .. } => failures.push(error),
+                EvalEvent::JobCompleted { .. } => completed += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(
+            failures,
+            vec![McdError::Fault {
+                site: FaultSite::WorkerPanic
+            }],
+            "the injected panic is reported as a Fault, not a generic Panic"
+        );
+        assert_eq!(completed, 1, "the worker survived and served the next job");
+    }
+
+    #[test]
+    fn batch_member_panics_are_isolated_to_the_member() {
+        use crate::scheme::names;
+        let bench = mcd_workloads::suite::benchmark("adpcm decode").unwrap();
+        let evaluator = Evaluator::builder()
+            .workers(1)
+            .faults(Arc::new(FaultPlan::new(fire_then_clean_panics(2))))
+            .build();
+        let batch = EvalJob::batch(vec![
+            EvalJob::new(bench.clone()).with_schemes([names::ONLINE]),
+            EvalJob::new(bench.clone()).with_schemes([names::ONLINE]),
+            EvalJob::new(bench.clone()).with_schemes([names::ONLINE]),
+        ])
+        .expect("one benchmark");
+        let stream = evaluator.submit_batch(batch);
+        let jobs = stream.jobs().to_vec();
+        let mut terminal_by_job: HashMap<JobId, u32> = HashMap::new();
+        let mut faults = 0;
+        let mut completed = 0;
+        for event in stream {
+            if event.is_terminal() {
+                *terminal_by_job.entry(event.job()).or_default() += 1;
+            }
+            match event {
+                EvalEvent::JobFailed { error, .. } => {
+                    assert_eq!(
+                        error,
+                        McdError::Fault {
+                            site: FaultSite::WorkerPanic
+                        }
+                    );
+                    faults += 1;
+                }
+                EvalEvent::JobCompleted { .. } => completed += 1,
+                _ => {}
+            }
+        }
+        assert_eq!((faults, completed), (1, 2));
+        // Every member reached exactly one terminal event.
+        for job in jobs {
+            assert_eq!(terminal_by_job.get(&job), Some(&1));
+        }
     }
 
     #[test]

@@ -21,9 +21,11 @@
 //! shard), while cross-shard order is only approximate — that is the price of
 //! sharding, and the paper-shaped workloads never depend on global order.
 
+use crate::fault::plan::LOCK_STALL;
+use crate::fault::{FaultPlan, FaultSite};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Priority class of one submission, highest first.
@@ -172,6 +174,9 @@ pub(crate) struct ShardedScheduler<T> {
     gate: Mutex<Gate>,
     available: Condvar,
     next_shard: AtomicUsize,
+    /// Fault-injection plan consulted per pop ([`FaultSite::LockStall`]
+    /// models a descheduled consumer); the default plan is disabled.
+    faults: Arc<FaultPlan>,
 }
 
 impl<T> std::fmt::Debug for ShardedScheduler<T> {
@@ -199,7 +204,15 @@ impl<T> ShardedScheduler<T> {
             }),
             available: Condvar::new(),
             next_shard: AtomicUsize::new(0),
+            faults: Arc::new(FaultPlan::disabled()),
         }
+    }
+
+    /// Installs a fault-injection plan (see [`crate::fault`]); pops then
+    /// stall under [`FaultSite::LockStall`] draws.
+    pub(crate) fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
     }
 
     fn gate(&self) -> std::sync::MutexGuard<'_, Gate> {
@@ -289,6 +302,11 @@ impl<T> ShardedScheduler<T> {
     /// empty and open; returns `None` once it is closed and drained, or
     /// immediately after an [`abort`](ShardedScheduler::abort).
     pub(crate) fn pop(&self, worker: usize) -> Option<T> {
+        if self.faults.should(FaultSite::LockStall) {
+            // A descheduled consumer: queued work waits while its worker is
+            // off-CPU, widening the pop/steal race windows.
+            std::thread::sleep(LOCK_STALL);
+        }
         let n = self.shards.len();
         loop {
             for k in 0..n {
@@ -571,6 +589,18 @@ mod tests {
             });
             assert!(q.wait_empty(Instant::now() + Duration::from_secs(5)));
         });
+    }
+
+    #[test]
+    fn pop_stalls_under_injected_lock_stall_but_still_serves() {
+        let plan = crate::fault::FaultPlan::new(
+            crate::fault::FaultConfig::default().with_probability(FaultSite::LockStall, 1.0),
+        );
+        let q: ShardedScheduler<u32> = ShardedScheduler::new(1).with_faults(Arc::new(plan));
+        q.push(1, Priority::Batch, 1);
+        let started = Instant::now();
+        assert_eq!(q.pop(0), Some(1), "a stalled pop still serves its item");
+        assert!(started.elapsed() >= LOCK_STALL);
     }
 
     #[test]

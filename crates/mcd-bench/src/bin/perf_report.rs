@@ -1,7 +1,7 @@
 //! `perf_report` — the dependency-free macro-benchmark harness behind the
 //! repository's tracked performance trajectory (`BENCH_*.json`).
 //!
-//! The harness times nine stages of the simulator's hot data path and the
+//! The harness times ten stages of the simulator's hot data path and the
 //! evaluation service, each in a fresh child process (re-executing this
 //! binary with `--child --stage X`) so per-stage peak RSS is meaningful and
 //! every measurement is cold:
@@ -24,22 +24,27 @@
 //!   bit-exact metrics digest,
 //! * `load_batched`  — the identical stream as three batched job groups
 //!   (one per benchmark) — the high-throughput submission path,
+//! * `fault_off_overhead` — the `load_batched` workload with a *disabled*
+//!   fault plan explicitly installed in the evaluator: the fault-injection
+//!   hooks are runtime-gated, so this must price out within noise of
+//!   `load_batched` itself (the hooks' disabled path is free),
 //! * `shared_cache`  — two concurrent cold evaluator processes on one
 //!   shared cache directory, reporting any duplicate artifact writes (the
 //!   single-writer gate).
 //!
 //! The parent runs each stage `--iters` times (default 3), reports median
 //! wall-clock and peak RSS, and writes the JSON report (default
-//! `BENCH_7.json`, with a `host` fingerprint — CPU model, core count,
+//! `BENCH_8.json`, with a `host` fingerprint — CPU model, core count,
 //! kernel — in the header; see the README's "Performance" section for the
 //! schema). `--check <file>` compares the measured `fig4_quick`, `sweep`
 //! and `load_batched` medians against a previously committed report and
 //! exits non-zero on a regression beyond `--tolerance` (default 0.25, i.e.
 //! 25%); it also asserts the sweep's sublinear scaling (ten batched points
 //! under 4× the one-point cost), the load test's batched-over-serial
-//! speedup (at least 4×), the serial/batched digest equality (bit-identical
-//! per-job metrics), and zero duplicate writes in the shared-cache stage —
-//! the CI bench smoke gates.
+//! speedup (at least 4×), the serial/batched/fault-off digest equality
+//! (bit-identical per-job metrics), the disabled fault hooks' overhead
+//! ceiling, and zero duplicate writes in the shared-cache stage — the CI
+//! bench smoke gates.
 
 use mcd_bench::loadtest;
 use mcd_dvfs::artifact::ArtifactCache;
@@ -48,6 +53,7 @@ use mcd_dvfs::offline::OfflineConfig;
 use mcd_dvfs::pipeline::AnalysisPipeline;
 use mcd_dvfs::scheme::names;
 use mcd_dvfs::service::{EvalJob, Evaluator};
+use mcd_dvfs::FaultPlan;
 use mcd_sim::config::MachineConfig;
 use mcd_sim::simulator::{NullHooks, Simulator};
 use mcd_sim::trace::PackedTrace;
@@ -60,9 +66,9 @@ use std::process::{Command, ExitCode, Stdio};
 use std::time::Instant;
 
 /// Report schema version (bump on layout changes).
-const SCHEMA: u32 = 3;
+const SCHEMA: u32 = 4;
 
-const STAGES: [&str; 9] = [
+const STAGES: [&str; 10] = [
     "trace_gen",
     "baseline_sim",
     "capture",
@@ -71,6 +77,7 @@ const STAGES: [&str; 9] = [
     "sweep",
     "load_serial",
     "load_batched",
+    "fault_off_overhead",
     "shared_cache",
 ];
 
@@ -95,6 +102,12 @@ const SHARED_CACHE_PROCS: usize = 2;
 /// The load-test gate: batched submission must be at least this many times
 /// faster than serial submission of the identical stream.
 const LOAD_SPEEDUP_FLOOR: f64 = 4.0;
+
+/// The fault-hook gate: the `load_batched` workload with a disabled fault
+/// plan installed must cost at most this multiple of plain `load_batched`.
+/// The hooks' disabled path is one relaxed boolean load, so anything beyond
+/// run-to-run noise is a regression.
+const FAULT_OFF_OVERHEAD_LIMIT: f64 = 1.15;
 
 /// Extra per-iteration fields the `load_*` stages report (medians land in
 /// the stage's JSON object alongside the wall/RSS numbers).
@@ -127,7 +140,7 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(3);
-    let out = value("--out").unwrap_or_else(|| "BENCH_7.json".to_string());
+    let out = value("--out").unwrap_or_else(|| "BENCH_8.json".to_string());
     let check = value("--check");
     let tolerance: f64 = value("--tolerance")
         .and_then(|v| v.parse().ok())
@@ -192,7 +205,7 @@ fn main() -> ExitCode {
         // latency percentiles, the shared-cache stage its duplicate-write
         // count.
         let mut extra = String::new();
-        if stage == "load_serial" || stage == "load_batched" {
+        if stage == "load_serial" || stage == "load_batched" || stage == "fault_off_overhead" {
             let stage_digests: Vec<String> = lines
                 .iter()
                 .filter_map(|l| json_string(l, "digest"))
@@ -329,11 +342,28 @@ fn main() -> ExitCode {
             "perf_report: load speedup {speedup:.2}x batched over serial \
              (floor {LOAD_SPEEDUP_FLOOR:.1}x)"
         );
+        // The fault hooks' reason to be runtime-gated: with the plan
+        // disabled, the batched stream must cost the same as without any
+        // plan installed at all.
+        let overhead = stage_median("fault_off_overhead") / stage_median("load_batched");
+        if !overhead.is_finite() || overhead > FAULT_OFF_OVERHEAD_LIMIT {
+            eprintln!(
+                "perf_report: REGRESSION — disabled fault hooks cost {overhead:.2}x the \
+                 plain batched stream (limit {FAULT_OFF_OVERHEAD_LIMIT:.2}x): the \
+                 disabled path is no longer free"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "perf_report: fault-off overhead {overhead:.2}x of load_batched \
+             (limit {FAULT_OFF_OVERHEAD_LIMIT:.2}x)"
+        );
         let all_digests: Vec<&String> = digests.values().flatten().collect();
         match all_digests.first() {
             Some(first) if all_digests.iter().all(|d| d == first) => {
                 eprintln!(
-                    "perf_report: load digests identical across serial/batched runs ({first})"
+                    "perf_report: load digests identical across serial/batched/fault-off \
+                     runs ({first})"
                 );
             }
             Some(_) => {
@@ -423,8 +453,9 @@ fn run_child(stage: &str) -> ExitCode {
         }
         "sweep" => return run_sweep(SWEEP_POINTS),
         "sweep_point" => return run_sweep(1),
-        "load_serial" => return run_load(false),
-        "load_batched" => return run_load(true),
+        "load_serial" => return run_load(LoadMode::Serial),
+        "load_batched" => return run_load(LoadMode::Batched),
+        "fault_off_overhead" => return run_load(LoadMode::BatchedFaultOff),
         "shared_cache" => return run_shared_cache(),
         "shared_cache_worker" => return run_shared_cache_worker(),
         other => {
@@ -473,10 +504,19 @@ fn run_sweep(points: usize) -> ExitCode {
     emit_measurement(start, "")
 }
 
+/// Which submission path a `load_*` stage exercises.
+enum LoadMode {
+    Serial,
+    Batched,
+    /// Batched with a disabled [`FaultPlan`] explicitly installed — the
+    /// `fault_off_overhead` stage's subject.
+    BatchedFaultOff,
+}
+
 /// The load-test stream (cold cache) under serial or batched submission,
 /// reporting the metrics digest and latency percentiles alongside the
 /// timing.
-fn run_load(batched: bool) -> ExitCode {
+fn run_load(mode: LoadMode) -> ExitCode {
     let jobs = match loadtest::stream_jobs(LOAD_POINTS) {
         Ok(jobs) => jobs,
         Err(err) => {
@@ -486,10 +526,14 @@ fn run_load(batched: bool) -> ExitCode {
     };
     let config = loadtest::cold_config();
     let start = Instant::now();
-    let report = if batched {
-        loadtest::run_batched(&config, jobs)
-    } else {
-        loadtest::run_serial(&config, jobs)
+    let report = match mode {
+        LoadMode::Serial => loadtest::run_serial(&config, jobs),
+        LoadMode::Batched => loadtest::run_batched(&config, jobs),
+        LoadMode::BatchedFaultOff => loadtest::run_batched_with_faults(
+            &config,
+            jobs,
+            std::sync::Arc::new(FaultPlan::disabled()),
+        ),
     };
     let report = match report {
         Ok(report) => report,

@@ -15,7 +15,15 @@
 //!   [`EvalJob::batch`] group — one capture/training pass feeding all lanes;
 //! * [`run_admission`] pushes the stream through a bounded, rate-limited
 //!   front-end ([`Evaluator::try_submit_all`]) and tallies the explicit
-//!   queued/rejected outcomes.
+//!   queued/rejected outcomes;
+//! * [`run_chaos`] replays the stream under a seeded fault plan
+//!   ([`FaultConfig::chaos`]) — injected read/write errors, torn writes,
+//!   lock stalls and worker panics — and records per-job outcomes so the
+//!   harness can assert the self-healing invariants: every job reaches
+//!   exactly one terminal event, every *surviving* job's metrics are
+//!   bit-identical to the fault-free run's ([`job_digest`]), and the cache
+//!   directory holds only well-formed artifacts afterwards
+//!   ([`check_cache_integrity`]).
 //!
 //! Each run reports wall-clock throughput, queue-latency and
 //! completion-latency percentiles (p50/p95/p99 from per-job
@@ -26,13 +34,18 @@
 //! beat the serial runner on throughput while hashing to the same digest —
 //! the load-test harness's two headline gates.
 
+use mcd_dvfs::artifact::{verify_envelope, ArtifactCache};
 use mcd_dvfs::error::{find_benchmark, McdError};
 use mcd_dvfs::evaluation::{BenchmarkEvaluation, EvaluationConfig};
 use mcd_dvfs::scheme::names;
 use mcd_dvfs::service::{
     Admission, EvalEvent, EvalJob, Evaluator, Priority, RejectReason, ResultStream,
 };
+use mcd_dvfs::{FaultConfig, FaultPlan, FaultStats, RetryPolicy, RetryStats};
 use mcd_sim::fingerprint::Fnv1a;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The stream's benchmarks: one per workload tier (batch, server,
@@ -167,9 +180,23 @@ pub fn run_serial(config: &EvaluationConfig, jobs: Vec<EvalJob>) -> Result<RunRe
 /// concatenated evaluations land in the same canonical order as
 /// [`run_serial`]'s.
 pub fn run_batched(config: &EvaluationConfig, jobs: Vec<EvalJob>) -> Result<RunReport, McdError> {
+    run_batched_with_faults(config, jobs, Arc::new(FaultPlan::disabled()))
+}
+
+/// [`run_batched`] with an explicit (typically disabled) fault plan
+/// installed in the evaluator — the `perf_report` `fault_off_overhead`
+/// stage's subject: the injection hooks are runtime-gated, so a disabled
+/// plan threaded through the full hot path must cost nothing measurable
+/// against [`run_batched`] itself.
+pub fn run_batched_with_faults(
+    config: &EvaluationConfig,
+    jobs: Vec<EvalJob>,
+    faults: Arc<FaultPlan>,
+) -> Result<RunReport, McdError> {
     let evaluator = Evaluator::builder()
         .config(config.clone())
         .workers(1)
+        .faults(faults)
         .build();
     let count = jobs.len();
     let mut groups: Vec<(String, Vec<EvalJob>)> = Vec::new();
@@ -238,6 +265,168 @@ pub fn metrics_digest(evals: &[BenchmarkEvaluation]) -> u64 {
         }
     }
     h.finish()
+}
+
+/// One job's digest — [`metrics_digest`] over a single evaluation — so a
+/// chaos run can compare each *surviving* job bit-for-bit against the
+/// fault-free run at the same canonical stream index.
+pub fn job_digest(eval: &BenchmarkEvaluation) -> u64 {
+    metrics_digest(std::slice::from_ref(eval))
+}
+
+/// What one [`run_chaos`] pass observed, per-job and in aggregate.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that completed despite the fault plan.
+    pub completed: usize,
+    /// Jobs that failed on an *injected* fault (a worker panic surfacing as
+    /// [`McdError::Fault`], or exhausted artifact retries as
+    /// [`McdError::Io`]).
+    pub faulted: usize,
+    /// Failures NOT attributable to injection — rendered errors the harness
+    /// must treat as real bugs. Empty on a healthy run.
+    pub unexpected: Vec<String>,
+    /// Jobs that saw zero or more than one terminal event. Zero on a
+    /// healthy run: panic isolation must deliver exactly one terminal per
+    /// job, never strand and never double-report.
+    pub double_terminals: usize,
+    /// Per canonical stream index: `Some(job_digest)` for completed jobs,
+    /// `None` for faulted ones.
+    pub digests: Vec<Option<u64>>,
+    /// The fault plan's draw/injection counters at drain time.
+    pub faults: FaultStats,
+    /// The cache's retry counters (transient-I/O recoveries vs exhaustions).
+    pub retry: RetryStats,
+    /// End-to-end wall clock.
+    pub wall: Duration,
+}
+
+/// Replays the canonical stream under a fault plan built from `fault_config`
+/// (typically [`FaultConfig::chaos`]; pass [`FaultConfig::default`] for a
+/// disabled-plan reference run through the identical machinery). The plan is
+/// shared between the evaluator (lock stalls, worker panics) and an artifact
+/// cache on `cache_dir` (read/write errors, short and torn reads/writes)
+/// with the default retry policy. Each job is submitted individually so a
+/// panicking job's blast radius is visible per-index; the same seed always
+/// injects the same faults at the same per-site draw counts, independent of
+/// thread interleaving.
+pub fn run_chaos(
+    cache_dir: &Path,
+    jobs: Vec<EvalJob>,
+    fault_config: FaultConfig,
+    workers: usize,
+) -> Result<ChaosReport, McdError> {
+    let faults = Arc::new(FaultPlan::new(fault_config));
+    let cache = Arc::new(
+        ArtifactCache::new(cache_dir)
+            .with_faults(Arc::clone(&faults))
+            .with_retry(RetryPolicy::new(3)),
+    );
+    let config = EvaluationConfig {
+        parallelism: 1,
+        ..EvaluationConfig::default()
+    }
+    .with_cache(Arc::clone(&cache));
+    let evaluator = Evaluator::builder()
+        .config(config)
+        .workers(workers)
+        .faults(Arc::clone(&faults))
+        .build();
+    let count = jobs.len();
+    let start = Instant::now();
+    let stream = evaluator.submit_all(jobs);
+    let order = stream.jobs().to_vec();
+    let mut terminals: HashMap<mcd_dvfs::service::JobId, u32> = HashMap::new();
+    let mut digests_by_id = HashMap::new();
+    let mut faulted = 0usize;
+    let mut unexpected = Vec::new();
+    for event in stream {
+        if event.is_terminal() {
+            *terminals.entry(event.job()).or_default() += 1;
+        }
+        match event {
+            EvalEvent::JobCompleted { job, evaluation } => {
+                digests_by_id.insert(job, job_digest(&evaluation));
+            }
+            EvalEvent::JobFailed { error, .. } => match error {
+                McdError::Fault { .. } | McdError::Io { .. } => faulted += 1,
+                other => unexpected.push(other.to_string()),
+            },
+            _ => {}
+        }
+    }
+    // Join the workers before inspecting the directory: a live worker could
+    // still hold a publication lock or an in-flight temp file.
+    drop(evaluator);
+    let wall = start.elapsed();
+    let digests: Vec<Option<u64>> = order
+        .iter()
+        .map(|id| digests_by_id.get(id).copied())
+        .collect();
+    let double_terminals = order
+        .iter()
+        .filter(|id| terminals.get(id).copied().unwrap_or(0) != 1)
+        .count();
+    Ok(ChaosReport {
+        jobs: count,
+        completed: digests_by_id.len(),
+        faulted,
+        unexpected,
+        double_terminals,
+        digests,
+        faults: faults.stats(),
+        retry: cache.retry_stats(),
+        wall,
+    })
+}
+
+/// The cache directory's on-disk state after a chaos run: every published
+/// artifact must pass the codec's envelope check (magic, version, checksum —
+/// a torn write can never be mistaken for a publication), and no publication
+/// debris (`.lock-*` / `.tmp-*` files) may outlive the evaluator.
+#[derive(Debug, Clone, Default)]
+pub struct CacheIntegrity {
+    /// Published artifacts found.
+    pub artifacts: usize,
+    /// Artifact files whose envelope failed verification.
+    pub corrupt: Vec<String>,
+    /// Lock or temp files left behind.
+    pub stranded: Vec<String>,
+}
+
+impl CacheIntegrity {
+    /// True when every artifact verified and nothing was stranded.
+    pub fn clean(&self) -> bool {
+        self.corrupt.is_empty() && self.stranded.is_empty()
+    }
+}
+
+/// Scans `cache_dir` for the two classes of fault damage a crash-consistent
+/// store must rule out: torn artifacts (checksum/envelope mismatch) and
+/// stranded publication debris.
+pub fn check_cache_integrity(cache_dir: &Path) -> CacheIntegrity {
+    let mut integrity = CacheIntegrity::default();
+    for entry in ArtifactCache::new(cache_dir).entries() {
+        integrity.artifacts += 1;
+        let ok = std::fs::read(cache_dir.join(&entry.name))
+            .map(|bytes| verify_envelope(&entry.kind, &bytes).is_ok())
+            .unwrap_or(false);
+        if !ok {
+            integrity.corrupt.push(entry.name);
+        }
+    }
+    let listing = std::fs::read_dir(cache_dir)
+        .map(|dir| dir.flatten().collect::<Vec<_>>())
+        .unwrap_or_default();
+    for entry in listing {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with(".lock-") || name.starts_with(".tmp-") {
+            integrity.stranded.push(name);
+        }
+    }
+    integrity
 }
 
 /// The admission phase's tally: how the bounded front-end disposed of the
@@ -336,6 +525,50 @@ mod tests {
         let summary = LatencySummary::from_samples(&mut []);
         assert_eq!(summary.p50_ms, 0.0);
         assert_eq!(summary.max_ms, 0.0);
+    }
+
+    #[test]
+    fn chaos_run_reaches_exactly_one_terminal_per_job() {
+        let dir = std::env::temp_dir().join(format!("mcd-chaos-lib-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = run_chaos(&dir, stream_jobs(2).unwrap(), FaultConfig::chaos(7), 2).unwrap();
+        assert_eq!(report.jobs, 6);
+        assert_eq!(report.completed + report.faulted, report.jobs);
+        assert_eq!(report.double_terminals, 0);
+        assert!(
+            report.unexpected.is_empty(),
+            "non-injected failures under chaos: {:?}",
+            report.unexpected
+        );
+        assert_eq!(report.digests.len(), report.jobs);
+        assert_eq!(
+            report.digests.iter().flatten().count(),
+            report.completed,
+            "one digest per completed job"
+        );
+        let integrity = check_cache_integrity(&dir);
+        assert!(
+            integrity.clean(),
+            "corrupt={:?} stranded={:?}",
+            integrity.corrupt,
+            integrity.stranded
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn integrity_check_flags_torn_artifacts_and_debris() {
+        let dir = std::env::temp_dir().join(format!("mcd-integrity-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("trace-deadbeef.bin"), b"torn").unwrap();
+        std::fs::write(dir.join(".lock-foo.bin"), b"").unwrap();
+        std::fs::write(dir.join(".tmp-999-bar.bin"), b"half").unwrap();
+        let integrity = check_cache_integrity(&dir);
+        assert!(!integrity.clean());
+        assert_eq!(integrity.corrupt, vec!["trace-deadbeef.bin".to_string()]);
+        assert_eq!(integrity.stranded.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -28,32 +28,43 @@ fmt:
 # Run the tracked macro-benchmark harness: times trace generation, baseline
 # simulation, streaming capture+analysis, a cold fig4 --quick evaluation, the
 # batched slowdown sweep (one point vs. ten points in a single batch), the
-# load-test stream under serial and batched submission, and the shared-cache
-# single-writer stage; each stage runs in a fresh child process (median of 3)
-# and the report goes to BENCH_7.json. See README "Performance" for the
-# schema and trajectory.
+# load-test stream under serial and batched submission, the same stream with
+# disabled fault-injection hooks installed (their off-path must be free),
+# and the shared-cache single-writer stage; each stage runs in a fresh child
+# process (median of 3) and the report goes to BENCH_8.json. See README
+# "Performance" for the schema and trajectory.
 bench:
     cargo run --release --bin perf_report
 
-# Compare a fresh bench run against the committed BENCH_7.json: fails on a
+# Compare a fresh bench run against the committed BENCH_8.json: fails on a
 # >25% fig4-quick / sweep / load-batched regression, when the ten-point
 # batched sweep costs 4x or more the one-point cost, when batched load-test
-# submission is less than 4x serial throughput, when the serial and batched
-# metrics digests diverge, or when the shared-cache stage records a
+# submission is less than 4x serial throughput, when the serial, batched and
+# fault-off metrics digests diverge, when the disabled fault hooks cost more
+# than 15% over plain batched load, or when the shared-cache stage records a
 # duplicate artifact write (the CI gates).
 bench-check:
-    cargo run --release --bin perf_report -- --check BENCH_7.json --out /tmp/bench-check.json
+    cargo run --release --bin perf_report -- --check BENCH_8.json --out /tmp/bench-check.json
 
 # Replay the full synthetic load-test stream: serial-vs-batched throughput
 # with latency percentiles and a bit-exact metrics digest, admission control
-# under queue-capacity and rate-limit pressure, and N concurrent cold
-# processes proving the shared cache's single-writer guarantee.
+# under queue-capacity and rate-limit pressure, N concurrent cold processes
+# proving the shared cache's single-writer guarantee, and the chaos phase
+# (seeded fault injection against the self-healing machinery).
 loadtest:
     cargo run --release --bin loadtest
 
 # The CI-sized load test (3 points per benchmark, same invariants).
 loadtest-smoke:
     cargo run --release --bin loadtest -- --smoke
+
+# Only the chaos phase: the CI-sized stream under a seeded fault plan
+# (injected read/write errors, torn writes, lock stalls, worker panics),
+# asserting exactly-one-terminal-per-job, bit-identical survivors, verified
+# artifacts, and zero stranded debris. Override the seed to replay a failure:
+# `just chaos 1234`.
+chaos seed="42":
+    cargo run --release --bin loadtest -- --chaos-only --smoke --fault-seed {{seed}}
 
 # Run the micro-benchmarks (the criterion-style harness in crates/mcd-bench).
 microbench:
